@@ -1,0 +1,83 @@
+// A1 (ablation) — Kernel SHAP estimator design choices.
+//
+// DESIGN.md calls out two choices in the sampling regime: (1) sampled
+// coalitions' regression weights are rescaled to the kernel mass their sizes
+// stand in for, and (2) samples are drawn in antithetic complement pairs.
+// This ablation quantifies (1): without mass normalization the sampled
+// middle sizes dwarf the enumerated extreme sizes and the estimator is
+// biased at any budget.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "xai/data/synthetic.h"
+#include "xai/explain/shapley/exact_shapley.h"
+#include "xai/explain/shapley/kernel_shap.h"
+#include "xai/explain/shapley/value_function.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+namespace {
+
+double MaxAbsError(const Vector& a, const Vector& b) {
+  double m = 0;
+  for (size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+void Run() {
+  bench::Banner(
+      "A1 (ablation): KernelSHAP sampled-mass normalization",
+      "design choice from DESIGN.md: sampled coalition weights are rescaled "
+      "to the kernel mass of their sizes",
+      "logistic d=12, marginal game with 24 background rows; error vs exact "
+      "averaged over 5 instances");
+
+  auto [data, gt] = MakeLogisticData(300, 12, 3);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(data).ValueOrDie();
+
+  std::printf("%10s %22s %22s\n", "budget", "max_err(normalized)",
+              "max_err(ablated)");
+  for (int budget : {200, 400, 800, 1600}) {
+    double err_norm = 0, err_ablated = 0;
+    const int kInstances = 5;
+    for (int i = 0; i < kInstances; ++i) {
+      Vector instance = data.Row(i * 11);
+      MarginalFeatureGame reference(AsPredictFn(model), instance, data.x(),
+                                    24);
+      Vector exact = ExactShapley(reference).ValueOrDie();
+      {
+        MarginalFeatureGame game(AsPredictFn(model), instance, data.x(),
+                                 24);
+        Rng rng(100 + i);
+        KernelShapConfig config;
+        config.coalition_budget = budget;
+        auto ks = KernelShap(game, config, &rng).ValueOrDie();
+        err_norm += MaxAbsError(ks.attributions, exact) / kInstances;
+      }
+      {
+        MarginalFeatureGame game(AsPredictFn(model), instance, data.x(),
+                                 24);
+        Rng rng(100 + i);
+        KernelShapConfig config;
+        config.coalition_budget = budget;
+        config.normalize_sampled_mass = false;
+        auto ks = KernelShap(game, config, &rng).ValueOrDie();
+        err_ablated += MaxAbsError(ks.attributions, exact) / kInstances;
+      }
+    }
+    std::printf("%10d %22.5f %22.5f\n", budget, err_norm, err_ablated);
+  }
+  std::printf(
+      "\nShape check: normalized error falls with budget; ablated error "
+      "plateaus at a bias floor several times higher.\n");
+  bench::Footer();
+}
+
+}  // namespace
+}  // namespace xai
+
+int main() { xai::Run(); }

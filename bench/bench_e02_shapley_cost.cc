@@ -1,0 +1,96 @@
+// E2 — Exponential cost of exact Shapley values; approximation quality
+// (§2.1.2).
+//
+// Paper claim: "Computing Shapley values takes exponential time, since all
+// possible feature orderings are considered. Existing methods, therefore,
+// compute some approximation of these values."
+// Expected shape: exact runtime doubles with every added feature; the
+// sampling estimators trade model evaluations for error ~ 1/sqrt(budget).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "xai/core/timer.h"
+#include "xai/data/synthetic.h"
+#include "xai/explain/shapley/exact_shapley.h"
+#include "xai/explain/shapley/kernel_shap.h"
+#include "xai/explain/shapley/sampling_shapley.h"
+#include "xai/explain/shapley/value_function.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+namespace {
+
+double MaxAbsError(const Vector& a, const Vector& b) {
+  double m = 0;
+  for (size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+void Run() {
+  bench::Banner(
+      "E2: exact Shapley cost growth and approximation error",
+      "\"Computing Shapley values takes exponential time ... existing "
+      "methods compute some approximation\" (S2.1.2)",
+      "logistic model on synthetic data; marginal game, 24 background rows");
+
+  bench::Section("exact Shapley runtime vs number of features d");
+  std::printf("%4s %14s %16s %12s\n", "d", "coalitions", "evaluations",
+              "time_ms");
+  for (int d = 4; d <= 14; d += 2) {
+    auto [data, gt] = MakeLogisticData(300, d, 7 + d);
+    (void)gt;
+    auto model = LogisticRegressionModel::Train(data).ValueOrDie();
+    MarginalFeatureGame game(AsPredictFn(model), data.Row(0), data.x(), 24);
+    WallTimer timer;
+    Vector phi = ExactShapley(game).ValueOrDie();
+    std::printf("%4d %14.0f %16d %12.2f\n", d, std::pow(2.0, d),
+                game.num_evaluations(), timer.Millis());
+  }
+
+  bench::Section(
+      "approximation error vs budget at d = 12 (exact = reference)");
+  auto [data, gt] = MakeLogisticData(300, 12, 3);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(data).ValueOrDie();
+  Vector instance = data.Row(5);
+
+  MarginalFeatureGame reference_game(AsPredictFn(model), instance, data.x(),
+                                     24);
+  Vector exact = ExactShapley(reference_game).ValueOrDie();
+
+  std::printf("%22s %10s %14s %12s\n", "estimator", "budget", "max_error",
+              "time_ms");
+  for (int budget : {64, 256, 1024, 4096}) {
+    {
+      MarginalFeatureGame game(AsPredictFn(model), instance, data.x(), 24);
+      Rng rng(11);
+      KernelShapConfig config;
+      config.coalition_budget = budget;
+      WallTimer timer;
+      auto ks = KernelShap(game, config, &rng).ValueOrDie();
+      std::printf("%22s %10d %14.5f %12.2f\n", "KernelSHAP", budget,
+                  MaxAbsError(ks.attributions, exact), timer.Millis());
+    }
+    {
+      MarginalFeatureGame game(AsPredictFn(model), instance, data.x(), 24);
+      Rng rng(13);
+      int permutations = std::max(1, budget / 12);
+      WallTimer timer;
+      auto ss = SamplingShapley(game, permutations, &rng);
+      std::printf("%22s %10d %14.5f %12.2f\n", "permutation-sampling",
+                  budget, MaxAbsError(ss.values, exact), timer.Millis());
+    }
+  }
+  std::printf(
+      "\nShape check: exact time roughly x4 per +2 features; estimator "
+      "errors fall with budget.\n");
+  bench::Footer();
+}
+
+}  // namespace
+}  // namespace xai
+
+int main() { xai::Run(); }

@@ -1,0 +1,142 @@
+// E9 — Influence functions vs retraining; second-order group influence
+// (§2.3.2).
+//
+// Paper claims: "Retraining the model is computationally prohibitive when
+// there are numerous data points"; Koh & Liang "compute the first-order
+// approximate change in model parameters ... avoid(ing) retraining";
+// "applying first-order approximations to a group of data points can be
+// inaccurate because they do not capture the correlations among data points
+// in the group" (Basu et al.); Sharchilev et al. extend influence to GBDTs
+// with fixed structure.
+// Expected shape: influence correlates > 0.9 with true leave-one-out at a
+// fraction of the cost; the second-order group estimate dominates the
+// first-order one, increasingly so for larger coherent groups.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "xai/core/stats.h"
+#include "xai/core/timer.h"
+#include "xai/data/synthetic.h"
+#include "xai/influence/group_influence.h"
+#include "xai/influence/influence_function.h"
+#include "xai/influence/tree_influence.h"
+#include "xai/model/gbdt.h"
+
+namespace xai {
+namespace {
+
+void Run() {
+  bench::Banner(
+      "E9: influence functions vs retraining",
+      "influence \"avoids retraining the model\"; first-order group "
+      "influence \"can be inaccurate\" (S2.3.2)",
+      "logistic n=500 d=5; GBDT(20) n=400; ground truth = actual retrain");
+
+  auto [data, gt] = MakeLogisticData(600, 5, 1);
+  (void)gt;
+  auto [train, test] = data.TrainTestSplit(0.2, 2);
+  LogisticRegressionConfig config;
+  config.l2 = 1e-3;
+  auto model = LogisticRegressionModel::Train(train, config).ValueOrDie();
+  auto influence =
+      LogisticInfluence::Make(model, train.x(), train.y()).ValueOrDie();
+  Vector x_test = test.Row(0);
+  double y_test = test.Label(0);
+
+  bench::Section("single-point influence vs true retraining (100 points)");
+  WallTimer influence_timer;
+  Vector predicted =
+      influence.InfluenceOnLossAll(x_test, y_test).ValueOrDie();
+  double influence_ms = influence_timer.Millis();
+
+  WallTimer retrain_timer;
+  std::vector<double> actual, predicted_subset;
+  for (int i = 0; i < 100; ++i) {
+    auto retrained =
+        LogisticRegressionModel::Train(train.Without({i}).x(),
+                                       train.Without({i}).y(), config)
+            .ValueOrDie();
+    actual.push_back(retrained.ExampleLoss(x_test, y_test) -
+                     model.ExampleLoss(x_test, y_test));
+    predicted_subset.push_back(predicted[i]);
+  }
+  double retrain_ms = retrain_timer.Millis();
+  std::printf("pearson(influence, retrain) = %.4f  spearman = %.4f\n",
+              PearsonCorrelation(predicted_subset, actual),
+              SpearmanCorrelation(predicted_subset, actual));
+  std::printf(
+      "influence: %.1f ms for ALL %d points; retraining: %.1f ms for 100 "
+      "points (%.0fx speedup per point)\n",
+      influence_ms, train.num_rows(), retrain_ms,
+      (retrain_ms / 100.0) / (influence_ms / train.num_rows()));
+
+  bench::Section("group influence: first vs second order");
+  std::printf("%12s %18s %18s %12s\n", "group_size", "err_first_order",
+              "err_second_order", "ratio");
+  for (int m : {5, 20, 60, 120}) {
+    // Coherent group: the m rows with the largest x0.
+    std::vector<int> order = ArgSortDescending(train.x().Col(0));
+    std::vector<int> group(order.begin(), order.begin() + m);
+    Vector first =
+        FirstOrderGroupParamChange(influence, group).ValueOrDie();
+    Vector second = SecondOrderGroupParamChange(model, train.x(),
+                                                train.y(), group)
+                        .ValueOrDie();
+    auto retrained =
+        LogisticRegressionModel::Train(train.Without(group), config)
+            .ValueOrDie();
+    double err1 = 0, err2 = 0;
+    for (int j = 0; j < 5; ++j) {
+      double delta = retrained.weights()[j] - model.weights()[j];
+      err1 += std::fabs(first[j] - delta);
+      err2 += std::fabs(second[j] - delta);
+    }
+    std::printf("%12d %18.5f %18.5f %12.2f\n", m, err1, err2,
+                err1 / std::max(err2, 1e-12));
+  }
+
+  bench::Section("GBDT fixed-structure leaf influence (Sharchilev-style)");
+  Dataset tree_data = MakeLoans(400, 3);
+  GbdtModel::Config tree_config;
+  tree_config.n_trees = 20;
+  auto gbdt = GbdtModel::Train(tree_data, tree_config).ValueOrDie();
+  auto leaf_influence =
+      GbdtLeafInfluence::Make(gbdt, tree_data.x(), tree_data.y())
+          .ValueOrDie();
+  Vector x_probe = tree_data.Row(7);
+  WallTimer leaf_timer;
+  Vector leaf_scores = leaf_influence.InfluenceOnMarginAll(x_probe);
+  double leaf_ms = leaf_timer.Millis();
+
+  // Ground truth on 60 points: retrain the GBDT without the point.
+  WallTimer gbdt_retrain_timer;
+  std::vector<double> tree_actual, tree_predicted;
+  for (int i = 0; i < 60; ++i) {
+    auto retrained = GbdtModel::Train(tree_data.Without({i}).x(),
+                                      tree_data.Without({i}).y(),
+                                      TaskType::kClassification,
+                                      tree_config)
+                         .ValueOrDie();
+    tree_actual.push_back(retrained.Margin(x_probe) - gbdt.Margin(x_probe));
+    tree_predicted.push_back(leaf_scores[i]);
+  }
+  double gbdt_retrain_ms = gbdt_retrain_timer.Millis();
+  std::printf(
+      "pearson(leaf_influence, retrain) = %.3f ; leaf influence %.2f ms "
+      "for all %d points vs %.0f ms for 60 retrains\n",
+      PearsonCorrelation(tree_predicted, tree_actual), leaf_ms,
+      tree_data.num_rows(), gbdt_retrain_ms);
+  std::printf(
+      "\nShape check: single-point correlation > 0.9 with >100x speedup; "
+      "err_second < err_first and the gap widens with group size; leaf "
+      "influence correlates positively at near-zero cost (fixed-structure "
+      "approximation).\n");
+  bench::Footer();
+}
+
+}  // namespace
+}  // namespace xai
+
+int main() { xai::Run(); }

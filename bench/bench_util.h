@@ -1,0 +1,33 @@
+#ifndef XAI_BENCH_BENCH_UTIL_H_
+#define XAI_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace xai::bench {
+
+/// Prints the experiment banner: id, the paper claim being reproduced, and
+/// the workload description.
+inline void Banner(const char* id, const char* claim, const char* workload) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", id);
+  std::printf("Claim    : %s\n", claim);
+  std::printf("Workload : %s\n", workload);
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+}
+
+inline void Section(const char* title) {
+  std::printf("\n-- %s\n", title);
+}
+
+inline void Footer() {
+  std::printf("==============================================================="
+              "=================\n\n");
+}
+
+}  // namespace xai::bench
+
+#endif  // XAI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,93 @@
+// Causal explanations (§2.1.3-2.1.4): causal Shapley values, Shapley flow
+// and LEWIS-style probabilistic contrastive counterfactuals over a
+// structural causal model of the lending domain.
+//
+//   ./causal_explanations
+
+#include <cstdio>
+
+#include "xai/causal/scm.h"
+#include "xai/explain/counterfactual/lewis.h"
+#include "xai/explain/shapley/asymmetric_shapley.h"
+#include "xai/explain/shapley/causal_shapley.h"
+#include "xai/explain/shapley/shapley_flow.h"
+
+int main() {
+  using namespace xai;
+
+  // A small causal story: education -> income -> savings; the bank's score
+  // reads income and savings only.
+  Dag dag({"education", "income", "savings"});
+  XAI_CHECK(dag.AddEdge("education", "income").ok());
+  XAI_CHECK(dag.AddEdge("income", "savings").ok());
+  LinearScm scm(std::move(dag));
+  XAI_CHECK(scm.SetWeight("education", "income", 1.2).ok());
+  XAI_CHECK(scm.SetWeight("income", "savings", 0.8).ok());
+  scm.SetNoiseStdDev(1, 0.5);
+  scm.SetNoiseStdDev(2, 0.5);
+
+  PredictFn score = [](const Vector& x) { return 0.6 * x[1] + 0.4 * x[2]; };
+  Vector person = {1.5, 1.8, 1.44};  // A consistent high-education world.
+
+  std::printf("bank score(person) = %.3f\n\n", score(person));
+
+  std::printf("== causal Shapley values ==\n");
+  auto causal = CausalShapley(scm, score, person).ValueOrDie();
+  for (size_t j = 0; j < causal.attributions.size(); ++j)
+    std::printf("  %-12s %+.4f\n", causal.feature_names[j].c_str(),
+                causal.attributions[j]);
+  std::printf("  (education is credited although the model never reads "
+              "it: its effect flows through income)\n\n");
+
+  std::printf("== asymmetric Shapley values (causal order enforced) ==\n");
+  InterventionalScmGame game(&scm, score, person, 3000, 1);
+  Vector asym = ExactAsymmetricShapley(game, scm.dag()).ValueOrDie();
+  for (int j = 0; j < 3; ++j)
+    std::printf("  %-12s %+.4f\n", scm.dag().name(j).c_str(), asym[j]);
+  std::printf("\n");
+
+  std::printf("== Shapley flow (credit on causal edges) ==\n");
+  Rng rng(2);
+  auto flow =
+      ShapleyFlow(scm, score, person, {0.0, 0.0, 0.0}, 50, &rng)
+          .ValueOrDie();
+  for (size_t e = 0; e < flow.edges.size(); ++e)
+    std::printf("  %-24s %+.4f\n", flow.EdgeLabel(scm.dag(), e).c_str(),
+                flow.edges[e].credit);
+  std::printf("\n");
+
+  std::printf("== LEWIS-style contrastive scores for education ==\n");
+  PredictFn approve = [&score](const Vector& x) {
+    return score(x) > 1.0 ? 1.0 : 0.0;
+  };
+  LewisExplainer lewis(&scm, approve);
+  Rng lewis_rng(3);
+  auto scores =
+      lewis.AttributeScores(/*feature=*/0, /*hi=*/1.5, /*lo=*/-1.5, 20000,
+                            &lewis_rng)
+          .ValueOrDie();
+  std::printf("  necessity   = %.3f  (P(denied had education been low | "
+              "high education, approved))\n",
+              scores.necessity);
+  std::printf("  sufficiency = %.3f  (P(approved had education been high "
+              "| low education, denied))\n",
+              scores.sufficiency);
+  std::printf("  nesuf       = %.3f\n\n", scores.nesuf);
+
+  std::printf("== LEWIS counterfactual recourse for a denied person ==\n");
+  Vector denied = {-1.0, -1.0, -1.1};
+  std::printf("score(denied) = %.3f\n", score(denied));
+  auto actions = lewis.CounterfactualRecourse(
+                          denied,
+                          {{0, {0.5, 1.5}}, {1, {1.0, 2.0}}},
+                          /*max_features=*/1, {1.0, 1.0, 1.0})
+                     .ValueOrDie();
+  for (size_t a = 0; a < actions.size() && a < 3; ++a) {
+    std::printf("  option %zu (cost %.2f):", a + 1, actions[a].cost);
+    for (const auto& [j, v] : actions[a].interventions)
+      std::printf(" set %s = %.2f", scm.dag().name(j).c_str(), v);
+    std::printf(" -> downstream world gives score %.3f\n",
+                score(actions[a].counterfactual_world));
+  }
+  return 0;
+}

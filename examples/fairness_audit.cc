@@ -1,0 +1,54 @@
+// Fairness auditing with XAI tools (the paper's motivation (3): "the
+// identification of sources of harms such as bias and discrimination"):
+// group metrics, disparity QII to find proxy features, and partial
+// dependence to see how the proxy drives the outcome.
+//
+//   ./fairness_audit
+
+#include <cstdio>
+
+#include "xai/data/synthetic.h"
+#include "xai/explain/fairness.h"
+#include "xai/explain/global_importance.h"
+#include "xai/explain/partial_dependence.h"
+#include "xai/model/logistic_regression.h"
+
+int main() {
+  using namespace xai;
+
+  // COMPAS-like data where race never enters the label mechanism but is
+  // correlated with priors_count (a proxy).
+  Dataset data = MakeRecidivism(4000, 17);
+  int race = data.schema().FeatureIndex("race");
+  int priors = data.schema().FeatureIndex("priors_count");
+
+  auto model = LogisticRegressionModel::Train(data).ValueOrDie();
+  // "Fairness through unawareness": zero the race weight.
+  Vector w = model.weights();
+  w[race] = 0.0;
+  auto unaware = LogisticRegressionModel::FromCoefficients(w, model.bias());
+
+  std::printf("== group fairness of the race-blind model ==\n");
+  auto report =
+      EvaluateGroupFairness(AsPredictFn(unaware), data, race).ValueOrDie();
+  std::printf("%s\n", report.ToString().c_str());
+  std::printf(
+      "The model never reads race, yet the parity gap is non-zero: a proxy "
+      "is at work.\n\n");
+
+  std::printf("== disparity QII: which feature carries the gap? ==\n");
+  Rng rng(18);
+  Vector influence =
+      DisparityQii(AsPredictFn(unaware), data, race, 3, &rng).ValueOrDie();
+  std::printf("%s\n",
+              ImportanceToString(influence, data.schema()).c_str());
+  std::printf("=> randomizing '%s' closes most of the gap: it is the "
+              "proxy.\n\n",
+              data.schema().features[priors].name.c_str());
+
+  std::printf("== partial dependence of the proxy ==\n");
+  auto pd = ComputePartialDependence(AsPredictFn(unaware), data, priors)
+                .ValueOrDie();
+  std::printf("%s", pd.ToString("priors_count").c_str());
+  return 0;
+}

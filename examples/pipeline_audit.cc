@@ -1,0 +1,61 @@
+// Provenance-based pipeline debugging (§3): trace rows through a prep
+// pipeline and attribute a model-quality regression to the stage that
+// caused it.
+//
+//   ./pipeline_audit
+
+#include <cstdio>
+#include <memory>
+
+#include "xai/data/synthetic.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/metrics.h"
+#include "xai/pipeline/operators.h"
+#include "xai/pipeline/pipeline.h"
+#include "xai/pipeline/stage_attribution.h"
+
+int main() {
+  using namespace xai;
+
+  Dataset data = MakeLoans(1500, 9);
+  auto [input, valid] = data.TrainTestSplit(0.3, 10);
+  int income = input.schema().FeatureIndex("income");
+  int age = input.schema().FeatureIndex("age");
+
+  // A realistic prep pipeline... with one stage a junior engineer got
+  // wrong: the "deduplication" stage flips labels of high-income rows.
+  Pipeline pipeline;
+  pipeline.Add(std::make_shared<ClipOp>(age, 18.0, 100.0));
+  pipeline.Add(std::make_shared<ImputeMeanOp>(income, -999.0));
+  pipeline.Add(std::make_shared<CorruptLabelsOp>(
+      "dedup_v2", [income](const Vector& x, double) {
+        return x[income] > 60.0;
+      }));
+  pipeline.Add(std::make_shared<ClipOp>(income, 0.0, 400.0));
+
+  // Run with provenance and inspect what touched a few rows.
+  PipelineResult result = pipeline.Run(input).ValueOrDie();
+  std::printf("row-level provenance samples:\n");
+  for (int row : {0, 1, 2}) {
+    std::printf("  %s\n", result.TraceRow(row).c_str());
+  }
+
+  auto model = LogisticRegressionModel::Train(result.output).ValueOrDie();
+  std::printf("\nvalidation accuracy after the pipeline: %.3f (clean "
+              "pipeline would give ~0.85)\n",
+              EvaluateAccuracy(model, valid));
+
+  // Stage attribution: which stage is responsible?
+  auto quality = [&valid](const Dataset& prepared) {
+    auto m = LogisticRegressionModel::Train(prepared);
+    return m.ok() ? EvaluateAccuracy(*m, valid) : 0.0;
+  };
+  StageAttribution attribution =
+      StageShapley(pipeline, input, quality).ValueOrDie();
+  std::printf("\nstage Shapley attribution of validation accuracy:\n%s",
+              attribution.ToString().c_str());
+  std::printf("\n=> most harmful stage: %s\n",
+              attribution.stage_names[attribution.MostHarmfulStage()]
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: train a gradient-boosted model on credit data and explain one
+// of its predictions with TreeSHAP, LIME and an Anchors-style view of the
+// features (see README.md).
+//
+//   ./quickstart
+
+#include <cstdio>
+
+#include "xai/data/synthetic.h"
+#include "xai/explain/global_importance.h"
+#include "xai/explain/lime.h"
+#include "xai/explain/shapley/tree_shap.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/metrics.h"
+
+int main() {
+  using namespace xai;
+
+  // 1. Data: a synthetic credit-lending dataset (schema mirrors the
+  //    tutorial's running example; see MakeLoans docs for the mechanism).
+  Dataset data = MakeLoans(2000, /*seed=*/42);
+  auto [train, test] = data.TrainTestSplit(0.25, /*seed=*/1);
+
+  // 2. Model: a 100-tree GBDT.
+  GbdtModel::Config config;
+  config.n_trees = 100;
+  GbdtModel model = GbdtModel::Train(train, config).ValueOrDie();
+  std::printf("model: %s, test accuracy %.3f, test AUC %.3f\n\n",
+              model.name().c_str(), EvaluateAccuracy(model, test),
+              EvaluateAuc(model, test));
+
+  // 3. Pick an applicant and explain the model's decision.
+  Vector applicant = test.Row(0);
+  std::printf("applicant:\n");
+  for (int j = 0; j < test.num_features(); ++j)
+    std::printf("  %-18s %s\n",
+                test.schema().features[j].name.c_str(),
+                test.RenderValue(j, applicant[j]).c_str());
+  std::printf("predicted approval probability: %.3f\n\n",
+              model.Predict(applicant));
+
+  // 4a. TreeSHAP: exact per-feature attributions of the margin, in
+  //     milliseconds, using the tree structure (no model queries).
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  AttributionExplanation shap = TreeShap(view, applicant);
+  shap.feature_names.clear();
+  for (const auto& f : test.schema().features)
+    shap.feature_names.push_back(f.name);
+  std::printf("TreeSHAP attributions (log-odds margin):\n%s\n",
+              shap.ToString().c_str());
+
+  // 4b. LIME: a local weighted-ridge surrogate over perturbations.
+  LimeExplainer lime(train);
+  LimeExplanation lime_exp =
+      lime.Explain(AsPredictFn(model), applicant, /*seed=*/7).ValueOrDie();
+  lime_exp.feature_names = shap.feature_names;
+  std::printf("LIME attributions (local surrogate, R^2 = %.3f):\n%s\n",
+              lime_exp.local_r2, lime_exp.ToString().c_str());
+
+  // 5. Global view: aggregate TreeSHAP over the test set ("combine local
+  //    explanations to get a global understanding", TreeSHAP paper).
+  Vector global = GlobalShapImportance(view, test, 150);
+  std::printf("global mean |SHAP| importance:\n%s\n",
+              ImportanceToString(global, test.schema()).c_str());
+
+  std::printf(
+      "All explainers should surface credit_score / debt_to_income /\n"
+      "has_default as the drivers -- the features the generator actually\n"
+      "uses -- and gender (not in the mechanism) near zero.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "xai/causal/dag.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "xai/core/check.h"
+
+namespace xai {
+
+Dag::Dag(std::vector<std::string> names)
+    : names_(std::move(names)),
+      parents_(names_.size()),
+      children_(names_.size()) {}
+
+int Dag::NodeIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+Status Dag::AddEdge(int from, int to) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes())
+    return Status::InvalidArgument("edge endpoint out of range");
+  if (from == to) return Status::InvalidArgument("self-loop");
+  if (HasEdge(from, to)) return Status::AlreadyExists("edge exists");
+  if (WouldCreateCycle(from, to))
+    return Status::InvalidArgument("edge " + names_[from] + "->" +
+                                   names_[to] + " would create a cycle");
+  parents_[to].push_back(from);
+  children_[from].push_back(to);
+  edges_.emplace_back(from, to);
+  return Status::OK();
+}
+
+Status Dag::AddEdge(const std::string& from, const std::string& to) {
+  int f = NodeIndex(from);
+  int t = NodeIndex(to);
+  if (f < 0) return Status::NotFound("no node named " + from);
+  if (t < 0) return Status::NotFound("no node named " + to);
+  return AddEdge(f, t);
+}
+
+bool Dag::HasEdge(int from, int to) const {
+  const auto& ch = children_[from];
+  return std::find(ch.begin(), ch.end(), to) != ch.end();
+}
+
+bool Dag::WouldCreateCycle(int from, int to) const {
+  // Cycle iff `from` is reachable from `to`.
+  std::vector<bool> seen(num_nodes(), false);
+  std::queue<int> q;
+  q.push(to);
+  seen[to] = true;
+  while (!q.empty()) {
+    int u = q.front();
+    q.pop();
+    if (u == from) return true;
+    for (int v : children_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        q.push(v);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<int> Dag::TopologicalOrder() const {
+  std::vector<int> indeg(num_nodes());
+  for (int i = 0; i < num_nodes(); ++i)
+    indeg[i] = static_cast<int>(parents_[i].size());
+  std::queue<int> q;
+  for (int i = 0; i < num_nodes(); ++i)
+    if (indeg[i] == 0) q.push(i);
+  std::vector<int> order;
+  order.reserve(num_nodes());
+  while (!q.empty()) {
+    int u = q.front();
+    q.pop();
+    order.push_back(u);
+    for (int v : children_[u])
+      if (--indeg[v] == 0) q.push(v);
+  }
+  XAI_CHECK_EQ(static_cast<int>(order.size()), num_nodes());
+  return order;
+}
+
+bool Dag::IsAncestor(int a, int b) const {
+  std::vector<bool> seen(num_nodes(), false);
+  std::queue<int> q;
+  q.push(a);
+  while (!q.empty()) {
+    int u = q.front();
+    q.pop();
+    for (int v : children_[u]) {
+      if (v == b) return true;
+      if (!seen[v]) {
+        seen[v] = true;
+        q.push(v);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<int> Dag::Descendants(int node) const {
+  std::vector<bool> seen(num_nodes(), false);
+  std::queue<int> q;
+  q.push(node);
+  std::vector<int> out;
+  while (!q.empty()) {
+    int u = q.front();
+    q.pop();
+    for (int v : children_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        out.push_back(v);
+        q.push(v);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> Dag::Roots() const {
+  std::vector<int> roots;
+  for (int i = 0; i < num_nodes(); ++i)
+    if (parents_[i].empty()) roots.push_back(i);
+  return roots;
+}
+
+}  // namespace xai

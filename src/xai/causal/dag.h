@@ -1,0 +1,60 @@
+#ifndef XAI_CAUSAL_DAG_H_
+#define XAI_CAUSAL_DAG_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+
+namespace xai {
+
+/// \brief Directed acyclic graph over named nodes.
+///
+/// Used as the causal diagram for causal/asymmetric Shapley values, Shapley
+/// flow and LEWIS-style counterfactual reasoning.
+class Dag {
+ public:
+  Dag() = default;
+  /// Creates a DAG with `names.size()` nodes and no edges.
+  explicit Dag(std::vector<std::string> names);
+
+  int num_nodes() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int node) const { return names_[node]; }
+  /// Index of a node by name, or -1.
+  int NodeIndex(const std::string& name) const;
+
+  /// Adds edge from -> to. Returns InvalidArgument if it creates a cycle or
+  /// AlreadyExists if the edge is present.
+  Status AddEdge(int from, int to);
+  Status AddEdge(const std::string& from, const std::string& to);
+
+  bool HasEdge(int from, int to) const;
+  const std::vector<int>& Parents(int node) const { return parents_[node]; }
+  const std::vector<int>& Children(int node) const { return children_[node]; }
+  /// All edges as (from, to) pairs in insertion order.
+  const std::vector<std::pair<int, int>>& Edges() const { return edges_; }
+
+  /// Nodes in a topological order (parents before children).
+  std::vector<int> TopologicalOrder() const;
+
+  /// True if `a` is an ancestor of `b` (a strictly precedes b on some path).
+  bool IsAncestor(int a, int b) const;
+
+  /// All descendants of `node` (excluding itself).
+  std::vector<int> Descendants(int node) const;
+
+  /// Root nodes (no parents).
+  std::vector<int> Roots() const;
+
+ private:
+  bool WouldCreateCycle(int from, int to) const;
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<int>> parents_;
+  std::vector<std::vector<int>> children_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_CAUSAL_DAG_H_

@@ -1,0 +1,187 @@
+#include "xai/causal/scm.h"
+
+#include <algorithm>
+
+#include "xai/core/check.h"
+
+namespace xai {
+
+LinearScm::LinearScm(Dag dag)
+    : dag_(std::move(dag)),
+      weight_(dag_.num_nodes()),
+      bias_(dag_.num_nodes(), 0.0),
+      sigma_(dag_.num_nodes(), 1.0) {
+  for (int i = 0; i < dag_.num_nodes(); ++i)
+    weight_[i].resize(dag_.Parents(i).size(), 0.0);
+}
+
+Status LinearScm::SetWeight(int parent, int child, double weight) {
+  const auto& parents = dag_.Parents(child);
+  // weight_ slots can lag behind edges added after construction.
+  weight_[child].resize(parents.size(), 0.0);
+  for (size_t k = 0; k < parents.size(); ++k) {
+    if (parents[k] == parent) {
+      weight_[child][k] = weight;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no edge " + dag_.name(parent) + "->" +
+                          dag_.name(child));
+}
+
+Status LinearScm::SetWeight(const std::string& parent,
+                            const std::string& child, double weight) {
+  int p = dag_.NodeIndex(parent);
+  int c = dag_.NodeIndex(child);
+  if (p < 0 || c < 0) return Status::NotFound("unknown node name");
+  return SetWeight(p, c, weight);
+}
+
+double LinearScm::Weight(int parent, int child) const {
+  const auto& parents = dag_.Parents(child);
+  for (size_t k = 0; k < parents.size() && k < weight_[child].size(); ++k)
+    if (parents[k] == parent) return weight_[child][k];
+  return 0.0;
+}
+
+double LinearScm::Mechanism(int node, const Vector& values) const {
+  double v = bias_[node];
+  const auto& parents = dag_.Parents(node);
+  for (size_t k = 0; k < parents.size(); ++k) {
+    double w = k < weight_[node].size() ? weight_[node][k] : 0.0;
+    v += w * values[parents[k]];
+  }
+  return v;
+}
+
+Matrix LinearScm::Sample(int n, Rng* rng) const {
+  return SampleInterventional({}, n, rng);
+}
+
+Matrix LinearScm::SampleInterventional(
+    const std::map<int, double>& interventions, int n, Rng* rng) const {
+  std::vector<int> order = dag_.TopologicalOrder();
+  Matrix out(n, num_nodes());
+  Vector values(num_nodes());
+  for (int i = 0; i < n; ++i) {
+    for (int node : order) {
+      auto it = interventions.find(node);
+      if (it != interventions.end()) {
+        values[node] = it->second;
+      } else {
+        values[node] = Mechanism(node, values) +
+                       sigma_[node] * rng->Normal();
+      }
+    }
+    out.SetRow(i, values);
+  }
+  return out;
+}
+
+Vector LinearScm::AbductNoise(const Vector& observed) const {
+  XAI_CHECK_EQ(static_cast<int>(observed.size()), num_nodes());
+  Vector noise(num_nodes());
+  for (int node = 0; node < num_nodes(); ++node) {
+    double residual = observed[node] - Mechanism(node, observed);
+    noise[node] = sigma_[node] > 1e-12 ? residual / sigma_[node] : 0.0;
+  }
+  return noise;
+}
+
+Vector LinearScm::Counterfactual(
+    const Vector& observed, const std::map<int, double>& interventions) const {
+  Vector noise = AbductNoise(observed);
+  std::vector<int> order = dag_.TopologicalOrder();
+  Vector values(num_nodes());
+  for (int node : order) {
+    auto it = interventions.find(node);
+    if (it != interventions.end()) {
+      values[node] = it->second;
+    } else {
+      values[node] = Mechanism(node, values) + sigma_[node] * noise[node];
+    }
+  }
+  return values;
+}
+
+Vector LinearScm::InterventionalMean(
+    const std::map<int, double>& interventions) const {
+  std::vector<int> order = dag_.TopologicalOrder();
+  Vector mean(num_nodes());
+  for (int node : order) {
+    auto it = interventions.find(node);
+    mean[node] =
+        it != interventions.end() ? it->second : Mechanism(node, mean);
+  }
+  return mean;
+}
+
+double LinearScm::TotalEffect(int from, int to) const {
+  if (from == to) return 1.0;
+  // Dynamic programming over a topological order: effect[v] = sum over
+  // parents p of effect[p] * w(p, v), seeded with effect[from] = 1.
+  std::vector<int> order = dag_.TopologicalOrder();
+  Vector effect(num_nodes(), 0.0);
+  effect[from] = 1.0;
+  for (int node : order) {
+    if (node == from) continue;
+    const auto& parents = dag_.Parents(node);
+    double acc = 0.0;
+    for (size_t k = 0; k < parents.size(); ++k)
+      acc += effect[parents[k]] *
+             (k < weight_[node].size() ? weight_[node][k] : 0.0);
+    effect[node] = acc;
+  }
+  return effect[to];
+}
+
+Dataset LinearScm::SampleDataset(
+    int n, Rng* rng, const std::function<double(const Vector&)>& label_of_row,
+    TaskType task) const {
+  Matrix x = Sample(n, rng);
+  Vector y(n);
+  for (int i = 0; i < n; ++i) y[i] = label_of_row(x.Row(i));
+  Schema schema;
+  for (int j = 0; j < num_nodes(); ++j)
+    schema.features.push_back(FeatureSpec::Numeric(dag_.name(j)));
+  schema.task = task;
+  return Dataset(std::move(schema), std::move(x), std::move(y));
+}
+
+namespace {
+
+Dag ThreeNodeDag() { return Dag({"x0", "x1", "x2"}); }
+
+}  // namespace
+
+LinearScm MakeChainScm(double w01, double w12) {
+  Dag dag = ThreeNodeDag();
+  XAI_CHECK(dag.AddEdge(0, 1).ok());
+  XAI_CHECK(dag.AddEdge(1, 2).ok());
+  LinearScm scm(std::move(dag));
+  XAI_CHECK(scm.SetWeight(0, 1, w01).ok());
+  XAI_CHECK(scm.SetWeight(1, 2, w12).ok());
+  return scm;
+}
+
+LinearScm MakeForkScm(double w01, double w02) {
+  Dag dag = ThreeNodeDag();
+  XAI_CHECK(dag.AddEdge(0, 1).ok());
+  XAI_CHECK(dag.AddEdge(0, 2).ok());
+  LinearScm scm(std::move(dag));
+  XAI_CHECK(scm.SetWeight(0, 1, w01).ok());
+  XAI_CHECK(scm.SetWeight(0, 2, w02).ok());
+  return scm;
+}
+
+LinearScm MakeColliderScm(double w02, double w12) {
+  Dag dag = ThreeNodeDag();
+  XAI_CHECK(dag.AddEdge(0, 2).ok());
+  XAI_CHECK(dag.AddEdge(1, 2).ok());
+  LinearScm scm(std::move(dag));
+  XAI_CHECK(scm.SetWeight(0, 2, w02).ok());
+  XAI_CHECK(scm.SetWeight(1, 2, w12).ok());
+  return scm;
+}
+
+}  // namespace xai

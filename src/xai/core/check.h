@@ -1,0 +1,43 @@
+#ifndef XAI_CORE_CHECK_H_
+#define XAI_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Programmer-error assertions. These abort the process; they are for
+/// invariants, not for user input validation (which returns Status).
+
+#define XAI_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "XAI_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define XAI_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "XAI_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define XAI_CHECK_EQ(a, b) XAI_CHECK((a) == (b))
+#define XAI_CHECK_NE(a, b) XAI_CHECK((a) != (b))
+#define XAI_CHECK_LT(a, b) XAI_CHECK((a) < (b))
+#define XAI_CHECK_LE(a, b) XAI_CHECK((a) <= (b))
+#define XAI_CHECK_GT(a, b) XAI_CHECK((a) > (b))
+#define XAI_CHECK_GE(a, b) XAI_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define XAI_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define XAI_DCHECK(cond) XAI_CHECK(cond)
+#endif
+
+#endif  // XAI_CORE_CHECK_H_

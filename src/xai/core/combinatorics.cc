@@ -1,0 +1,89 @@
+#include "xai/core/combinatorics.h"
+
+#include <bit>
+
+#include "xai/core/check.h"
+
+namespace xai {
+
+double Factorial(int n) {
+  XAI_CHECK_GE(n, 0);
+  double f = 1.0;
+  for (int i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+double BinomialCoefficient(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  double c = 1.0;
+  for (int i = 0; i < k; ++i) c = c * (n - i) / (i + 1);
+  return c;
+}
+
+double ShapleyWeight(int n, int subset_size) {
+  XAI_CHECK(subset_size >= 0 && subset_size < n);
+  return Factorial(subset_size) * Factorial(n - subset_size - 1) /
+         Factorial(n);
+}
+
+void ForEachSubset(int n, const std::function<void(uint64_t)>& fn) {
+  XAI_CHECK(n >= 0 && n < 63);
+  uint64_t limit = 1ULL << n;
+  for (uint64_t mask = 0; mask < limit; ++mask) fn(mask);
+}
+
+void ForEachSubsetOf(const std::vector<int>& elements,
+                     const std::function<void(uint64_t)>& fn) {
+  int n = static_cast<int>(elements.size());
+  XAI_CHECK(n >= 0 && n < 63);
+  uint64_t limit = 1ULL << n;
+  for (uint64_t sub = 0; sub < limit; ++sub) {
+    uint64_t mask = 0;
+    for (int i = 0; i < n; ++i)
+      if (sub & (1ULL << i)) mask |= 1ULL << elements[i];
+    fn(mask);
+  }
+}
+
+int PopCount(uint64_t mask) { return std::popcount(mask); }
+
+std::vector<int> MaskToIndices(uint64_t mask) {
+  std::vector<int> out;
+  for (int i = 0; i < 64; ++i)
+    if (mask & (1ULL << i)) out.push_back(i);
+  return out;
+}
+
+uint64_t IndicesToMask(const std::vector<int>& indices) {
+  uint64_t mask = 0;
+  for (int i : indices) {
+    XAI_CHECK(i >= 0 && i < 64);
+    mask |= 1ULL << i;
+  }
+  return mask;
+}
+
+std::vector<double> ShapleyOfSetFunction(
+    int n, const std::function<double(uint64_t)>& v) {
+  XAI_CHECK(n >= 0 && n <= 24);
+  std::vector<double> phi(n, 0.0);
+  if (n == 0) return phi;
+  // Cache all 2^n values (each evaluated once).
+  uint64_t limit = 1ULL << n;
+  std::vector<double> values(limit);
+  for (uint64_t mask = 0; mask < limit; ++mask) values[mask] = v(mask);
+  std::vector<double> w(n);
+  for (int s = 0; s < n; ++s) w[s] = ShapleyWeight(n, s);
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    int size = PopCount(mask);
+    if (size == n) continue;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) continue;
+      phi[i] += w[size] * (values[mask | (1ULL << i)] - values[mask]);
+    }
+  }
+  return phi;
+}
+
+}  // namespace xai

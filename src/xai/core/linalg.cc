@@ -1,0 +1,120 @@
+#include "xai/core/linalg.h"
+
+#include <cmath>
+
+namespace xai {
+namespace {
+
+Matrix AppendOnesColumn(const Matrix& x) {
+  Matrix out(x.rows(), x.cols() + 1);
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) out(i, j) = x(i, j);
+    out(i, x.cols()) = 1.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Vector> RidgeRegression(const Matrix& x, const Vector& y, double l2,
+                               bool fit_intercept) {
+  Vector ones(x.rows(), 1.0);
+  return WeightedRidgeRegression(x, y, ones, l2, fit_intercept);
+}
+
+Result<Vector> WeightedRidgeRegression(const Matrix& x, const Vector& y,
+                                       const Vector& sample_weights, double l2,
+                                       bool fit_intercept) {
+  if (x.rows() != static_cast<int>(y.size()) ||
+      x.rows() != static_cast<int>(sample_weights.size())) {
+    return Status::InvalidArgument("row count mismatch in ridge regression");
+  }
+  Matrix xx = fit_intercept ? AppendOnesColumn(x) : x;
+  Matrix gram = xx.WeightedGram(sample_weights);
+  // Regularize all but the intercept coefficient.
+  int d = gram.rows();
+  int reg_dims = fit_intercept ? d - 1 : d;
+  for (int i = 0; i < reg_dims; ++i) gram(i, i) += l2;
+  // Tiny jitter for numerical robustness of the Cholesky factorization.
+  gram.AddScaledIdentity(1e-12);
+  Vector wy(y.size());
+  for (size_t i = 0; i < y.size(); ++i) wy[i] = sample_weights[i] * y[i];
+  Vector rhs = xx.TransposeMatVec(wy);
+  return CholeskySolve(gram, rhs);
+}
+
+Result<Vector> ConstrainedWeightedLeastSquares(const Matrix& x,
+                                               const Vector& y,
+                                               const Vector& sample_weights,
+                                               const Vector& c, double d,
+                                               double l2) {
+  // Eliminate the last variable with non-zero constraint coefficient:
+  //   w_k = (d - sum_{j != k} c_j w_j) / c_k
+  // and solve the reduced unconstrained problem.
+  int dim = x.cols();
+  if (static_cast<int>(c.size()) != dim)
+    return Status::InvalidArgument("constraint dimension mismatch");
+  int k = -1;
+  for (int j = dim - 1; j >= 0; --j) {
+    if (std::fabs(c[j]) > 1e-12) {
+      k = j;
+      break;
+    }
+  }
+  if (k < 0) return Status::InvalidArgument("constraint vector is zero");
+
+  // Reduced design: for each row i,
+  //   pred_i = sum_{j != k} w_j (x_ij - x_ik c_j / c_k) + x_ik d / c_k.
+  Matrix xr(x.rows(), dim - 1);
+  Vector yr(y.size());
+  for (int i = 0; i < x.rows(); ++i) {
+    double xik = x(i, k);
+    int jj = 0;
+    for (int j = 0; j < dim; ++j) {
+      if (j == k) continue;
+      xr(i, jj++) = x(i, j) - xik * c[j] / c[k];
+    }
+    yr[i] = y[i] - xik * d / c[k];
+  }
+  XAI_ASSIGN_OR_RETURN(Vector wr,
+                       WeightedRidgeRegression(xr, yr, sample_weights, l2));
+  Vector w(dim);
+  int jj = 0;
+  double acc = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    if (j == k) continue;
+    w[j] = wr[jj++];
+    acc += c[j] * w[j];
+  }
+  w[k] = (d - acc) / c[k];
+  return w;
+}
+
+Result<Vector> ConjugateGradient(
+    const std::function<Vector(const Vector&)>& apply_a, const Vector& b,
+    int max_iter, double tol) {
+  Vector x(b.size(), 0.0);
+  Vector r = b;
+  Vector p = r;
+  double rs_old = Dot(r, r);
+  double b_norm = std::sqrt(Dot(b, b));
+  if (b_norm == 0.0) return x;
+  for (int it = 0; it < max_iter; ++it) {
+    Vector ap = apply_a(p);
+    double p_ap = Dot(p, ap);
+    if (p_ap <= 0.0 || !std::isfinite(p_ap))
+      return Status::InvalidArgument(
+          "conjugate gradient: operator is not positive definite");
+    double alpha = rs_old / p_ap;
+    Axpy(alpha, p, &x);
+    Axpy(-alpha, ap, &r);
+    double rs_new = Dot(r, r);
+    if (std::sqrt(rs_new) / b_norm < tol) break;
+    double beta = rs_new / rs_old;
+    for (size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
+    rs_old = rs_new;
+  }
+  return x;
+}
+
+}  // namespace xai

@@ -1,0 +1,43 @@
+#ifndef XAI_CORE_LINALG_H_
+#define XAI_CORE_LINALG_H_
+
+#include <functional>
+
+#include "xai/core/matrix.h"
+#include "xai/core/status.h"
+
+namespace xai {
+
+/// \brief Higher-level solvers built on Matrix: ridge / weighted least
+/// squares (the workhorse of LIME and KernelSHAP) and conjugate gradient
+/// (the workhorse of influence functions).
+
+/// Solves min_w ||X w - y||^2 + l2 ||w||^2 via normal equations.
+/// When `fit_intercept` is true an intercept column is appended internally
+/// and returned as the last coefficient (the intercept is not regularized).
+Result<Vector> RidgeRegression(const Matrix& x, const Vector& y, double l2,
+                               bool fit_intercept = false);
+
+/// Solves min_w sum_i s_i (x_i . w - y_i)^2 + l2 ||w||^2 for sample weights s.
+Result<Vector> WeightedRidgeRegression(const Matrix& x, const Vector& y,
+                                       const Vector& sample_weights, double l2,
+                                       bool fit_intercept = false);
+
+/// Solves the equality-constrained weighted least squares
+///   min_w sum_i s_i (x_i . w - y_i)^2   s.t.  c . w = d
+/// via variable elimination; used by KernelSHAP's efficiency constraint.
+Result<Vector> ConstrainedWeightedLeastSquares(const Matrix& x,
+                                               const Vector& y,
+                                               const Vector& sample_weights,
+                                               const Vector& c, double d,
+                                               double l2 = 1e-9);
+
+/// Matrix-free conjugate gradient for SPD systems A x = b, where `apply_a`
+/// computes A v. Stops at `tol` relative residual or `max_iter`.
+Result<Vector> ConjugateGradient(
+    const std::function<Vector(const Vector&)>& apply_a, const Vector& b,
+    int max_iter = 200, double tol = 1e-10);
+
+}  // namespace xai
+
+#endif  // XAI_CORE_LINALG_H_

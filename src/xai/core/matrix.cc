@@ -1,0 +1,342 @@
+#include "xai/core/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace xai {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<int>(rows.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<int>(rows.begin()->size());
+  data_.reserve(static_cast<size_t>(rows_) * cols_);
+  for (const auto& row : rows) {
+    XAI_CHECK_EQ(static_cast<int>(row.size()), cols_);
+    for (double v : row) data_.push_back(v);
+  }
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& diag) {
+  int n = static_cast<int>(diag.size());
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  int r = static_cast<int>(rows.size());
+  int c = r == 0 ? 0 : static_cast<int>(rows[0].size());
+  Matrix m(r, c);
+  for (int i = 0; i < r; ++i) {
+    XAI_CHECK_EQ(static_cast<int>(rows[i].size()), c);
+    for (int j = 0; j < c; ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+Vector Matrix::Row(int r) const {
+  Vector v(cols_);
+  for (int j = 0; j < cols_; ++j) v[j] = (*this)(r, j);
+  return v;
+}
+
+Vector Matrix::Col(int c) const {
+  Vector v(rows_);
+  for (int i = 0; i < rows_; ++i) v[i] = (*this)(i, c);
+  return v;
+}
+
+void Matrix::SetRow(int r, const Vector& v) {
+  XAI_CHECK_EQ(static_cast<int>(v.size()), cols_);
+  for (int j = 0; j < cols_; ++j) (*this)(r, j) = v[j];
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  XAI_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix m(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) m.data_[i] = data_[i] + other.data_[i];
+  return m;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  XAI_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix m(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) m.data_[i] = data_[i] - other.data_[i];
+  return m;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix m(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) m.data_[i] = data_[i] * s;
+  return m;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  XAI_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    const double* arow = RowPtr(i);
+    double* orow = out.RowPtr(i);
+    for (int k = 0; k < cols_; ++k) {
+      double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = other.RowPtr(k);
+      for (int j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MatVec(const Vector& v) const {
+  XAI_CHECK_EQ(static_cast<int>(v.size()), cols_);
+  Vector out(rows_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    double acc = 0.0;
+    for (int j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Vector Matrix::TransposeMatVec(const Vector& v) const {
+  XAI_CHECK_EQ(static_cast<int>(v.size()), rows_);
+  Vector out(cols_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    double vi = v[i];
+    if (vi == 0.0) continue;
+    for (int j = 0; j < cols_; ++j) out[j] += row[j] * vi;
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_);
+  for (int i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    for (int a = 0; a < cols_; ++a) {
+      double ra = row[a];
+      if (ra == 0.0) continue;
+      double* grow = g.RowPtr(a);
+      for (int b = a; b < cols_; ++b) grow[b] += ra * row[b];
+    }
+  }
+  for (int a = 0; a < cols_; ++a)
+    for (int b = 0; b < a; ++b) g(a, b) = g(b, a);
+  return g;
+}
+
+Matrix Matrix::WeightedGram(const Vector& w) const {
+  XAI_CHECK_EQ(static_cast<int>(w.size()), rows_);
+  Matrix g(cols_, cols_);
+  for (int i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    double wi = w[i];
+    if (wi == 0.0) continue;
+    for (int a = 0; a < cols_; ++a) {
+      double ra = wi * row[a];
+      if (ra == 0.0) continue;
+      double* grow = g.RowPtr(a);
+      for (int b = a; b < cols_; ++b) grow[b] += ra * row[b];
+    }
+  }
+  for (int a = 0; a < cols_; ++a)
+    for (int b = 0; b < a; ++b) g(a, b) = g(b, a);
+  return g;
+}
+
+void Matrix::AddScaledIdentity(double s) {
+  XAI_CHECK_EQ(rows_, cols_);
+  for (int i = 0; i < rows_; ++i) (*this)(i, i) += s;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i)
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  return true;
+}
+
+std::string Matrix::ToString(int max_rows) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [\n";
+  for (int i = 0; i < rows_ && i < max_rows; ++i) {
+    os << "  ";
+    for (int j = 0; j < cols_; ++j) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%10.4f", (*this)(i, j));
+      os << buf << (j + 1 < cols_ ? " " : "");
+    }
+    os << "\n";
+  }
+  if (rows_ > max_rows) os << "  ... (" << rows_ - max_rows << " more)\n";
+  os << "]";
+  return os.str();
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  XAI_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+Vector Add(const Vector& a, const Vector& b) {
+  XAI_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Sub(const Vector& a, const Vector& b) {
+  XAI_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Scale(const Vector& a, double s) {
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void Axpy(double s, const Vector& b, Vector* a) {
+  XAI_CHECK_EQ(a->size(), b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += s * b[i];
+}
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols())
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  int n = a.rows();
+  Matrix l(n, n);
+  for (int j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (int k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag))
+      return Status::InvalidArgument("matrix is not positive definite");
+    l(j, j) = std::sqrt(diag);
+    for (int i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (int k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v / l(j, j);
+    }
+  }
+  return l;
+}
+
+namespace {
+
+// Solves L y = b then L^T x = y given lower-triangular L.
+Vector CholeskyBackSubstitute(const Matrix& l, const Vector& b) {
+  int n = l.rows();
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    double v = b[i];
+    for (int k = 0; k < i; ++k) v -= l(i, k) * y[k];
+    y[i] = v / l(i, i);
+  }
+  Vector x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double v = y[i];
+    for (int k = i + 1; k < n; ++k) v -= l(k, i) * x[k];
+    x[i] = v / l(i, i);
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
+  if (a.rows() != static_cast<int>(b.size()))
+    return Status::InvalidArgument("dimension mismatch in CholeskySolve");
+  XAI_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  return CholeskyBackSubstitute(l, b);
+}
+
+Result<Matrix> CholeskySolveMatrix(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows())
+    return Status::InvalidArgument("dimension mismatch in CholeskySolveMatrix");
+  XAI_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  Matrix x(b.rows(), b.cols());
+  for (int c = 0; c < b.cols(); ++c) {
+    Vector col = b.Col(c);
+    Vector sol = CholeskyBackSubstitute(l, col);
+    for (int r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+Result<Vector> LuSolve(const Matrix& a, const Vector& b) {
+  if (a.rows() != a.cols())
+    return Status::InvalidArgument("LuSolve requires a square matrix");
+  if (a.rows() != static_cast<int>(b.size()))
+    return Status::InvalidArgument("dimension mismatch in LuSolve");
+  int n = a.rows();
+  Matrix lu = a;
+  Vector x = b;
+  std::vector<int> piv(n);
+  for (int i = 0; i < n; ++i) piv[i] = i;
+  for (int col = 0; col < n; ++col) {
+    int best = col;
+    for (int r = col + 1; r < n; ++r)
+      if (std::fabs(lu(r, col)) > std::fabs(lu(best, col))) best = r;
+    if (std::fabs(lu(best, col)) < 1e-14)
+      return Status::InvalidArgument("matrix is singular");
+    if (best != col) {
+      for (int j = 0; j < n; ++j) std::swap(lu(col, j), lu(best, j));
+      std::swap(x[col], x[best]);
+    }
+    for (int r = col + 1; r < n; ++r) {
+      double f = lu(r, col) / lu(col, col);
+      lu(r, col) = f;
+      for (int j = col + 1; j < n; ++j) lu(r, j) -= f * lu(col, j);
+      x[r] -= f * x[col];
+    }
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    double v = x[i];
+    for (int j = i + 1; j < n; ++j) v -= lu(i, j) * x[j];
+    x[i] = v / lu(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  if (a.rows() != a.cols())
+    return Status::InvalidArgument("Inverse requires a square matrix");
+  int n = a.rows();
+  Matrix inv(n, n);
+  for (int c = 0; c < n; ++c) {
+    Vector e(n, 0.0);
+    e[c] = 1.0;
+    XAI_ASSIGN_OR_RETURN(Vector col, LuSolve(a, e));
+    for (int r = 0; r < n; ++r) inv(r, c) = col[r];
+  }
+  return inv;
+}
+
+}  // namespace xai

@@ -1,0 +1,130 @@
+#include "xai/core/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "xai/core/check.h"
+
+namespace xai {
+namespace {
+
+// splitmix64: used to decorrelate user-provided seeds.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  state_ = SplitMix64(&sm);
+  inc_ = SplitMix64(&sm) | 1ULL;
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  // PCG-XSH-RR.
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+double Rng::Uniform() {
+  return (NextU64() >> 11) * 0x1.0p-53;  // 53 random bits in [0,1).
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = Uniform();
+  double u2 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+int Rng::UniformInt(int n) {
+  XAI_CHECK_GT(n, 0);
+  // Rejection sampling to avoid modulo bias.
+  uint32_t bound = static_cast<uint32_t>(n);
+  uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    uint32_t r = NextU32();
+    if (r >= threshold) return static_cast<int>(r % bound);
+  }
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  XAI_CHECK_LT(lo, hi);
+  return lo + UniformInt(hi - lo);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  XAI_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    XAI_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  XAI_CHECK_GT(total, 0.0);
+  double target = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  std::vector<int> p(n);
+  for (int i = 0; i < n; ++i) p[i] = i;
+  Shuffle(&p);
+  return p;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  XAI_CHECK_LE(k, n);
+  // Floyd's algorithm for k << n; fall back to shuffle otherwise.
+  if (k * 4 >= n) {
+    std::vector<int> p = Permutation(n);
+    p.resize(k);
+    return p;
+  }
+  std::vector<int> result;
+  result.reserve(k);
+  std::vector<bool> chosen(n, false);
+  for (int j = n - k; j < n; ++j) {
+    int t = UniformInt(j + 1);
+    if (chosen[t]) t = j;
+    chosen[t] = true;
+    result.push_back(t);
+  }
+  return result;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace xai

@@ -1,0 +1,103 @@
+#include "xai/core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "xai/core/check.h"
+
+namespace xai {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / v.size();
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / (v.size() - 1);
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double Quantile(std::vector<double> v, double q) {
+  XAI_CHECK(!v.empty());
+  XAI_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  double pos = q * (v.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - lo;
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Median(std::vector<double> v) { return Quantile(std::move(v), 0.5); }
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  XAI_CHECK_EQ(a.size(), b.size());
+  if (a.size() < 2) return 0.0;
+  double ma = Mean(a);
+  double mb = Mean(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da <= 0.0 || db <= 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+std::vector<double> Ranks(const std::vector<double>& v) {
+  std::vector<int> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](int x, int y) { return v[x] < v[y]; });
+  std::vector<double> ranks(v.size());
+  size_t i = 0;
+  while (i < idx.size()) {
+    size_t j = i;
+    while (j + 1 < idx.size() && v[idx[j + 1]] == v[idx[i]]) ++j;
+    double avg_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[idx[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  return PearsonCorrelation(Ranks(a), Ranks(b));
+}
+
+int ArgMax(const std::vector<double>& v) {
+  if (v.empty()) return -1;
+  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+int ArgMin(const std::vector<double>& v) {
+  if (v.empty()) return -1;
+  return static_cast<int>(std::min_element(v.begin(), v.end()) - v.begin());
+}
+
+std::vector<int> ArgSortDescending(const std::vector<double>& v) {
+  std::vector<int> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](int a, int b) { return v[a] > v[b]; });
+  return idx;
+}
+
+std::vector<int> ArgSortAscending(const std::vector<double>& v) {
+  std::vector<int> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](int a, int b) { return v[a] < v[b]; });
+  return idx;
+}
+
+}  // namespace xai

@@ -1,0 +1,40 @@
+#ifndef XAI_CORE_STATS_H_
+#define XAI_CORE_STATS_H_
+
+#include <vector>
+
+namespace xai {
+
+/// \brief Descriptive statistics and rank correlations used throughout the
+/// experiment harnesses (agreement between estimators, stability indices).
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& v);
+/// Unbiased sample variance; 0 for fewer than two elements.
+double Variance(const std::vector<double>& v);
+/// Square root of Variance().
+double StdDev(const std::vector<double>& v);
+/// Linear-interpolated quantile, q in [0, 1].
+double Quantile(std::vector<double> v, double q);
+/// Median (Quantile 0.5).
+double Median(std::vector<double> v);
+/// Pearson correlation; 0 if either side is constant.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+/// Spearman rank correlation (average ranks for ties).
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+/// Ranks with ties broken by averaging (1-based ranks).
+std::vector<double> Ranks(const std::vector<double>& v);
+/// argmax index; -1 for empty input.
+int ArgMax(const std::vector<double>& v);
+/// argmin index; -1 for empty input.
+int ArgMin(const std::vector<double>& v);
+/// Indices that sort v descending.
+std::vector<int> ArgSortDescending(const std::vector<double>& v);
+/// Indices that sort v ascending.
+std::vector<int> ArgSortAscending(const std::vector<double>& v);
+
+}  // namespace xai
+
+#endif  // XAI_CORE_STATS_H_

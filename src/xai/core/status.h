@@ -1,0 +1,148 @@
+#ifndef XAI_CORE_STATUS_H_
+#define XAI_CORE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xai {
+
+/// \brief Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kUnimplemented,
+  kIOError,
+  kInternal,
+};
+
+/// \brief Human-readable name of a status code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Arrow-style status object: either OK or a code plus message.
+///
+/// All fallible public APIs in libxai return `Status` or `Result<T>` instead
+/// of throwing exceptions.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors `arrow::Result`. Access the value with `ValueOrDie()` /
+/// `ValueUnsafe()` after checking `ok()`, or use XAI_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    AbortIfError();
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value without checking; UB if not ok().
+  const T& ValueUnsafe() const& { return *value_; }
+  T& ValueUnsafe() & { return *value_; }
+  T&& ValueUnsafe() && { return std::move(*value_); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResult(status_);
+}
+
+/// Propagates a non-OK Status to the caller.
+#define XAI_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::xai::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define XAI_CONCAT_IMPL(a, b) a##b
+#define XAI_CONCAT(a, b) XAI_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may include a declaration).
+#define XAI_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  XAI_ASSIGN_OR_RETURN_IMPL(XAI_CONCAT(_xai_result_, __COUNTER__), lhs, rexpr)
+
+#define XAI_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueUnsafe();
+
+}  // namespace xai
+
+#endif  // XAI_CORE_STATUS_H_

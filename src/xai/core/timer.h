@@ -1,0 +1,33 @@
+#ifndef XAI_CORE_TIMER_H_
+#define XAI_CORE_TIMER_H_
+
+#include <chrono>
+
+namespace xai {
+
+/// \brief Simple wall-clock stopwatch for the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+  /// Elapsed microseconds.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_CORE_TIMER_H_

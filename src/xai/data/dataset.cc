@@ -1,0 +1,111 @@
+#include "xai/data/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <set>
+
+#include "xai/core/check.h"
+
+namespace xai {
+
+int Schema::FeatureIndex(const std::string& name) const {
+  for (size_t i = 0; i < features.size(); ++i)
+    if (features[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+Dataset::Dataset(Schema schema, Matrix x, Vector y)
+    : schema_(std::move(schema)), x_(std::move(x)), y_(std::move(y)) {
+  XAI_CHECK_EQ(x_.rows(), static_cast<int>(y_.size()));
+  XAI_CHECK_EQ(x_.cols(), schema_.num_features());
+}
+
+std::string Dataset::RenderCell(int row, int feature) const {
+  return RenderValue(feature, x_(row, feature));
+}
+
+std::string Dataset::RenderValue(int feature, double value) const {
+  const FeatureSpec& spec = schema_.features[feature];
+  if (spec.is_categorical()) {
+    int idx = static_cast<int>(value);
+    if (idx >= 0 && idx < spec.num_categories()) return spec.categories[idx];
+    return "<bad category " + std::to_string(idx) + ">";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
+void Dataset::AppendRow(const Vector& features, double label) {
+  XAI_CHECK_EQ(static_cast<int>(features.size()), schema_.num_features());
+  Matrix nx(x_.rows() + 1, schema_.num_features());
+  for (int i = 0; i < x_.rows(); ++i)
+    for (int j = 0; j < x_.cols(); ++j) nx(i, j) = x_(i, j);
+  for (int j = 0; j < nx.cols(); ++j) nx(x_.rows(), j) = features[j];
+  x_ = std::move(nx);
+  y_.push_back(label);
+}
+
+Dataset Dataset::Subset(const std::vector<int>& rows) const {
+  Matrix nx(static_cast<int>(rows.size()), num_features());
+  Vector ny(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    XAI_CHECK(rows[i] >= 0 && rows[i] < num_rows());
+    for (int j = 0; j < num_features(); ++j) nx(static_cast<int>(i), j) = x_(rows[i], j);
+    ny[i] = y_[rows[i]];
+  }
+  return Dataset(schema_, std::move(nx), std::move(ny));
+}
+
+Dataset Dataset::Without(const std::vector<int>& rows) const {
+  std::set<int> excluded(rows.begin(), rows.end());
+  std::vector<int> keep;
+  keep.reserve(num_rows() - excluded.size());
+  for (int i = 0; i < num_rows(); ++i)
+    if (!excluded.count(i)) keep.push_back(i);
+  return Subset(keep);
+}
+
+std::pair<Dataset, Dataset> Dataset::TrainTestSplit(double test_fraction,
+                                                    uint64_t seed) const {
+  XAI_CHECK(test_fraction >= 0.0 && test_fraction <= 1.0);
+  Rng rng(seed);
+  std::vector<int> perm = rng.Permutation(num_rows());
+  int n_test = static_cast<int>(test_fraction * num_rows());
+  std::vector<int> test_rows(perm.begin(), perm.begin() + n_test);
+  std::vector<int> train_rows(perm.begin() + n_test, perm.end());
+  return {Subset(train_rows), Subset(test_rows)};
+}
+
+std::vector<double> Dataset::DistinctLabels() const {
+  std::set<double> labels(y_.begin(), y_.end());
+  return std::vector<double>(labels.begin(), labels.end());
+}
+
+std::vector<std::pair<double, double>> Dataset::FeatureRanges() const {
+  std::vector<std::pair<double, double>> ranges(
+      num_features(), {std::numeric_limits<double>::infinity(),
+                       -std::numeric_limits<double>::infinity()});
+  for (int i = 0; i < num_rows(); ++i) {
+    for (int j = 0; j < num_features(); ++j) {
+      ranges[j].first = std::min(ranges[j].first, x_(i, j));
+      ranges[j].second = std::max(ranges[j].second, x_(i, j));
+    }
+  }
+  return ranges;
+}
+
+std::vector<int> FlipBinaryLabels(Dataset* dataset, double fraction,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  int n = dataset->num_rows();
+  int k = static_cast<int>(fraction * n);
+  std::vector<int> rows = rng.SampleWithoutReplacement(n, k);
+  std::sort(rows.begin(), rows.end());
+  Vector* y = dataset->mutable_y();
+  for (int r : rows) (*y)[r] = 1.0 - (*y)[r];
+  return rows;
+}
+
+}  // namespace xai

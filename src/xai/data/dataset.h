@@ -1,0 +1,119 @@
+#ifndef XAI_DATA_DATASET_H_
+#define XAI_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/matrix.h"
+#include "xai/core/rng.h"
+#include "xai/core/status.h"
+
+namespace xai {
+
+/// \brief Kind of a feature column.
+enum class FeatureType {
+  kNumeric,      ///< Real-valued.
+  kCategorical,  ///< Encoded as a category index (0-based) stored as double.
+};
+
+/// \brief Metadata for one feature column.
+struct FeatureSpec {
+  std::string name;
+  FeatureType type = FeatureType::kNumeric;
+  /// For categorical features: human-readable names of the categories; the
+  /// stored value `v` refers to `categories[(int)v]`.
+  std::vector<std::string> categories;
+
+  bool is_categorical() const { return type == FeatureType::kCategorical; }
+  int num_categories() const { return static_cast<int>(categories.size()); }
+
+  static FeatureSpec Numeric(std::string name) {
+    return FeatureSpec{std::move(name), FeatureType::kNumeric, {}};
+  }
+  static FeatureSpec Categorical(std::string name,
+                                 std::vector<std::string> categories) {
+    return FeatureSpec{std::move(name), FeatureType::kCategorical,
+                       std::move(categories)};
+  }
+};
+
+/// \brief Whether the dataset's target is a class label or a real value.
+enum class TaskType { kClassification, kRegression };
+
+/// \brief Column schema of a tabular dataset: features plus target.
+struct Schema {
+  std::vector<FeatureSpec> features;
+  std::string target_name = "target";
+  TaskType task = TaskType::kClassification;
+
+  int num_features() const { return static_cast<int>(features.size()); }
+  /// Index of the feature with the given name, or -1.
+  int FeatureIndex(const std::string& name) const;
+};
+
+/// \brief In-memory tabular dataset: a feature matrix, a target vector and a
+/// schema describing both.
+///
+/// Categorical features are stored as 0-based category indices in the feature
+/// matrix; models and explainers consult the schema to treat them correctly.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Schema schema, Matrix x, Vector y);
+
+  const Schema& schema() const { return schema_; }
+  const Matrix& x() const { return x_; }
+  const Vector& y() const { return y_; }
+  Matrix* mutable_x() { return &x_; }
+  Vector* mutable_y() { return &y_; }
+
+  int num_rows() const { return x_.rows(); }
+  int num_features() const { return x_.cols(); }
+
+  /// Feature value at (row, feature).
+  double At(int row, int feature) const { return x_(row, feature); }
+  /// Target value of a row.
+  double Label(int row) const { return y_[row]; }
+  /// Copy of a row's feature vector.
+  Vector Row(int row) const { return x_.Row(row); }
+
+  /// Human-readable rendering of a single cell ("34.5" or "married").
+  std::string RenderCell(int row, int feature) const;
+  /// Renders a feature value that is not necessarily stored in this dataset.
+  std::string RenderValue(int feature, double value) const;
+
+  /// Appends a row; `features` must have num_features() entries.
+  void AppendRow(const Vector& features, double label);
+
+  /// New dataset restricted to the given row indices (in order).
+  Dataset Subset(const std::vector<int>& rows) const;
+
+  /// New dataset excluding the given row indices.
+  Dataset Without(const std::vector<int>& rows) const;
+
+  /// Splits into (train, test) with `test_fraction` of rows in test,
+  /// shuffled with `seed`.
+  std::pair<Dataset, Dataset> TrainTestSplit(double test_fraction,
+                                             uint64_t seed) const;
+
+  /// Distinct labels present (classification).
+  std::vector<double> DistinctLabels() const;
+
+  /// Per-feature [min, max] over the rows.
+  std::vector<std::pair<double, double>> FeatureRanges() const;
+
+ private:
+  Schema schema_;
+  Matrix x_;
+  Vector y_;
+};
+
+/// Flips the binary {0,1} labels of a random `fraction` of rows in place;
+/// returns the affected row indices (sorted). Used by the data-debugging
+/// experiments, which need ground-truth corrupted rows.
+std::vector<int> FlipBinaryLabels(Dataset* dataset, double fraction,
+                                  uint64_t seed);
+
+}  // namespace xai
+
+#endif  // XAI_DATA_DATASET_H_

@@ -1,0 +1,266 @@
+#include "xai/data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xai/core/check.h"
+
+namespace xai {
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+double Clip(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+}  // namespace
+
+Dataset MakeLoans(int n, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema;
+  schema.features = {
+      FeatureSpec::Numeric("age"),
+      FeatureSpec::Numeric("income"),
+      FeatureSpec::Numeric("credit_score"),
+      FeatureSpec::Numeric("debt_to_income"),
+      FeatureSpec::Numeric("employment_years"),
+      FeatureSpec::Categorical("has_default", {"no", "yes"}),
+      FeatureSpec::Categorical("purpose",
+                               {"car", "home", "education", "business"}),
+      FeatureSpec::Categorical("gender", {"male", "female"}),
+  };
+  schema.target_name = "approved";
+  schema.task = TaskType::kClassification;
+
+  Matrix x(n, schema.num_features());
+  Vector y(n);
+  const double purpose_effect[4] = {0.0, 0.3, 0.1, -0.2};
+  for (int i = 0; i < n; ++i) {
+    double age = rng.Uniform(21.0, 70.0);
+    double income = std::exp(rng.Normal(4.0, 0.5));  // k$ / year, ~55 median
+    double credit = Clip(rng.Normal(650.0, 80.0), 300.0, 850.0);
+    double dti = rng.Uniform(0.0, 0.6);
+    double emp = Clip(rng.Normal((age - 21.0) * 0.5, 4.0), 0.0, age - 18.0);
+    int has_default = rng.Bernoulli(0.15) ? 1 : 0;
+    int purpose = rng.UniformInt(4);
+    int gender = rng.Bernoulli(0.5) ? 1 : 0;
+
+    double score = 0.004 * (credit - 650.0) + 0.8 * std::log(income / 50.0) -
+                   2.5 * dti + 0.04 * emp - 1.2 * has_default +
+                   purpose_effect[purpose] + rng.Normal(0.0, 0.3);
+    x(i, 0) = age;
+    x(i, 1) = income;
+    x(i, 2) = credit;
+    x(i, 3) = dti;
+    x(i, 4) = emp;
+    x(i, 5) = has_default;
+    x(i, 6) = purpose;
+    x(i, 7) = gender;
+    y[i] = score > 0.0 ? 1.0 : 0.0;
+  }
+  return Dataset(std::move(schema), std::move(x), std::move(y));
+}
+
+Dataset MakeIncome(int n, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema;
+  schema.features = {
+      FeatureSpec::Numeric("age"),
+      FeatureSpec::Numeric("education_num"),
+      FeatureSpec::Numeric("hours_per_week"),
+      FeatureSpec::Numeric("capital_gain"),
+      FeatureSpec::Categorical(
+          "occupation", {"service", "clerical", "technical", "managerial",
+                         "professional"}),
+      FeatureSpec::Categorical("marital",
+                               {"single", "married", "divorced"}),
+      FeatureSpec::Categorical("gender", {"male", "female"}),
+  };
+  schema.target_name = "high_income";
+  schema.task = TaskType::kClassification;
+
+  Matrix x(n, schema.num_features());
+  Vector y(n);
+  const double occ_effect[5] = {-0.4, -0.1, 0.2, 0.6, 0.8};
+  for (int i = 0; i < n; ++i) {
+    double age = rng.Uniform(18.0, 80.0);
+    double edu = 1.0 + rng.UniformInt(16);
+    double hours = Clip(rng.Normal(40.0, 12.0), 5.0, 90.0);
+    double capgain =
+        rng.Bernoulli(0.8) ? 0.0 : std::exp(rng.Normal(7.0, 1.0));
+    int occ = rng.UniformInt(5);
+    int marital = rng.UniformInt(3);
+    int gender = rng.Bernoulli(0.5) ? 1 : 0;
+
+    double z = 0.03 * (age - 40.0) + 0.30 * (edu - 9.0) +
+               0.04 * (hours - 40.0) + 0.0004 * capgain + occ_effect[occ] +
+               (marital == 1 ? 0.5 : 0.0) - 1.0;
+    x(i, 0) = age;
+    x(i, 1) = edu;
+    x(i, 2) = hours;
+    x(i, 3) = capgain;
+    x(i, 4) = occ;
+    x(i, 5) = marital;
+    x(i, 6) = gender;
+    y[i] = rng.Bernoulli(Sigmoid(z)) ? 1.0 : 0.0;
+  }
+  return Dataset(std::move(schema), std::move(x), std::move(y));
+}
+
+Dataset MakeRecidivism(int n, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema;
+  schema.features = {
+      FeatureSpec::Numeric("age"),
+      FeatureSpec::Numeric("priors_count"),
+      FeatureSpec::Categorical("charge_degree", {"misdemeanor", "felony"}),
+      FeatureSpec::Categorical("gender", {"male", "female"}),
+      FeatureSpec::Categorical("race", {"group_a", "group_b"}),
+  };
+  schema.target_name = "reoffend";
+  schema.task = TaskType::kClassification;
+
+  Matrix x(n, schema.num_features());
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    int race = rng.Bernoulli(0.5) ? 1 : 0;
+    double age = rng.Uniform(18.0, 70.0);
+    // priors correlated with race group (proxy-bias construction).
+    double priors_rate = race == 1 ? 3.5 : 2.0;
+    int priors = 0;
+    // Poisson via inversion.
+    double l = std::exp(-priors_rate), p = rng.Uniform();
+    double acc = l;
+    while (p > acc && priors < 30) {
+      ++priors;
+      l *= priors_rate / priors;
+      acc += l;
+    }
+    int degree = rng.Bernoulli(0.4) ? 1 : 0;
+    int gender = rng.Bernoulli(0.8) ? 0 : 1;
+
+    double z = 0.35 * priors - 0.04 * (age - 25.0) + 0.4 * degree - 0.8;
+    x(i, 0) = age;
+    x(i, 1) = priors;
+    x(i, 2) = degree;
+    x(i, 3) = gender;
+    x(i, 4) = race;
+    y[i] = rng.Bernoulli(Sigmoid(z)) ? 1.0 : 0.0;
+  }
+  return Dataset(std::move(schema), std::move(x), std::move(y));
+}
+
+Dataset MakeBlobs(int n, int d, int k, double spread, uint64_t seed) {
+  XAI_CHECK_GE(k, 2);
+  Rng rng(seed);
+  Schema schema;
+  for (int j = 0; j < d; ++j)
+    schema.features.push_back(FeatureSpec::Numeric("x" + std::to_string(j)));
+  schema.target_name = "blob";
+  schema.task = TaskType::kClassification;
+
+  // Blob centers on a scaled simplex-ish arrangement.
+  std::vector<Vector> centers(k, Vector(d));
+  for (int c = 0; c < k; ++c)
+    for (int j = 0; j < d; ++j) centers[c][j] = rng.Uniform(-5.0, 5.0);
+
+  Matrix x(n, d);
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    int c = rng.UniformInt(k);
+    for (int j = 0; j < d; ++j)
+      x(i, j) = centers[c][j] + rng.Normal(0.0, spread);
+    y[i] = c;
+  }
+  return Dataset(std::move(schema), std::move(x), std::move(y));
+}
+
+std::pair<Dataset, LinearGroundTruth> MakeLinearData(int n, int d,
+                                                     double noise,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  LinearGroundTruth gt;
+  gt.noise_stddev = noise;
+  gt.weights.resize(d);
+  for (int j = 0; j < d; ++j) gt.weights[j] = rng.Uniform(-2.0, 2.0);
+  gt.bias = rng.Uniform(-1.0, 1.0);
+
+  Schema schema;
+  for (int j = 0; j < d; ++j)
+    schema.features.push_back(FeatureSpec::Numeric("x" + std::to_string(j)));
+  schema.target_name = "y";
+  schema.task = TaskType::kRegression;
+
+  Matrix x(n, d);
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    double z = gt.bias;
+    for (int j = 0; j < d; ++j) {
+      x(i, j) = rng.Normal();
+      z += gt.weights[j] * x(i, j);
+    }
+    y[i] = z + rng.Normal(0.0, noise);
+  }
+  return {Dataset(std::move(schema), std::move(x), std::move(y)), gt};
+}
+
+std::pair<Dataset, LinearGroundTruth> MakeLogisticData(int n, int d,
+                                                       uint64_t seed) {
+  Rng rng(seed);
+  LinearGroundTruth gt;
+  gt.weights.resize(d);
+  for (int j = 0; j < d; ++j) gt.weights[j] = rng.Uniform(-2.0, 2.0);
+  gt.bias = rng.Uniform(-0.5, 0.5);
+
+  Schema schema;
+  for (int j = 0; j < d; ++j)
+    schema.features.push_back(FeatureSpec::Numeric("x" + std::to_string(j)));
+  schema.target_name = "y";
+  schema.task = TaskType::kClassification;
+
+  Matrix x(n, d);
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    double z = gt.bias;
+    for (int j = 0; j < d; ++j) {
+      x(i, j) = rng.Normal();
+      z += gt.weights[j] * x(i, j);
+    }
+    y[i] = rng.Bernoulli(Sigmoid(z)) ? 1.0 : 0.0;
+  }
+  return {Dataset(std::move(schema), std::move(x), std::move(y)), gt};
+}
+
+std::vector<std::vector<int>> MakeTransactions(int n_txn, int n_items,
+                                               int txn_len, int n_patterns,
+                                               int pattern_len,
+                                               uint64_t seed) {
+  XAI_CHECK_GT(n_items, 0);
+  Rng rng(seed);
+  // Plant patterns: each is a random itemset; transactions draw 1-2 patterns
+  // plus random noise items, emulating the IBM Quest generator's structure.
+  std::vector<std::vector<int>> patterns(n_patterns);
+  for (auto& p : patterns) {
+    int len = std::max(1, pattern_len + rng.UniformInt(-1, 2));
+    p = rng.SampleWithoutReplacement(n_items, std::min(len, n_items));
+    std::sort(p.begin(), p.end());
+  }
+  std::vector<std::vector<int>> txns(n_txn);
+  for (auto& t : txns) {
+    std::vector<bool> present(n_items, false);
+    int n_pat = 1 + (rng.Bernoulli(0.3) ? 1 : 0);
+    for (int q = 0; q < n_pat && n_patterns > 0; ++q) {
+      const auto& p = patterns[rng.UniformInt(n_patterns)];
+      for (int item : p)
+        if (rng.Bernoulli(0.85)) present[item] = true;  // Pattern corruption.
+    }
+    int extra = std::max(0, txn_len - pattern_len + rng.UniformInt(-1, 2));
+    for (int q = 0; q < extra; ++q) present[rng.UniformInt(n_items)] = true;
+    for (int item = 0; item < n_items; ++item)
+      if (present[item]) t.push_back(item);
+  }
+  return txns;
+}
+
+}  // namespace xai

@@ -1,0 +1,70 @@
+#ifndef XAI_DATA_SYNTHETIC_H_
+#define XAI_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "xai/data/dataset.h"
+
+namespace xai {
+
+/// \brief Synthetic dataset generators.
+///
+/// The tutorial's experiments are usually run on Adult/German-credit/COMPAS;
+/// those datasets are not available offline, so these generators produce
+/// matched-schema synthetic equivalents with *known* generating mechanisms
+/// (see DESIGN.md §4). Knowing the mechanism is a feature: tests can check
+/// explanations against ground truth.
+
+/// Credit-lending data ("loans"): 5 numeric + 3 categorical features.
+///
+/// Ground truth: approval is a noisy threshold on
+///   0.004*(credit_score-650) + 0.8*ln(income/50) - 2.5*debt_to_income
+///   + 0.04*employment_years - 1.2*[has_default=yes] + purpose_effect
+/// where purpose_effect = {car:0.0, home:+0.3, education:+0.1,
+/// business:-0.2}. `gender` does NOT enter the mechanism (useful for the
+/// adversarial-attack and fairness experiments).
+Dataset MakeLoans(int n, uint64_t seed);
+
+/// Census-income data ("income", Adult-like): label = high income.
+/// Mechanism: sigmoid of 0.03*(age-40) + 0.30*(education_num-9)
+///   + 0.04*(hours_per_week-40) + 0.0004*capital_gain + occupation effect
+///   + 0.5*[married].
+Dataset MakeIncome(int n, uint64_t seed);
+
+/// Recidivism data (COMPAS-like). `race` is correlated with `priors_count`
+/// but does not directly enter the label mechanism — a proxy-bias setup.
+Dataset MakeRecidivism(int n, uint64_t seed);
+
+/// k isotropic Gaussian blobs in d dimensions; label = blob index.
+Dataset MakeBlobs(int n, int d, int k, double spread, uint64_t seed);
+
+/// Known ground truth of a linear regression generator.
+struct LinearGroundTruth {
+  Vector weights;
+  double bias = 0.0;
+  double noise_stddev = 0.0;
+};
+
+/// Regression data y = X w + b + N(0, noise); X ~ N(0, I). Returns the
+/// dataset and the generating coefficients.
+std::pair<Dataset, LinearGroundTruth> MakeLinearData(int n, int d,
+                                                     double noise,
+                                                     uint64_t seed);
+
+/// Binary classification with a known logistic mechanism
+/// P(y=1|x) = sigmoid(x . w + b); returns dataset and coefficients.
+std::pair<Dataset, LinearGroundTruth> MakeLogisticData(int n, int d,
+                                                       uint64_t seed);
+
+/// IBM-Quest-style market-basket transactions for frequent-itemset mining:
+/// `n_patterns` hidden patterns of average length `pattern_len` are planted
+/// into transactions of average length `txn_len` over `n_items` items.
+std::vector<std::vector<int>> MakeTransactions(int n_txn, int n_items,
+                                               int txn_len, int n_patterns,
+                                               int pattern_len, uint64_t seed);
+
+}  // namespace xai
+
+#endif  // XAI_DATA_SYNTHETIC_H_

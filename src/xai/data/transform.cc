@@ -1,0 +1,171 @@
+#include "xai/data/transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "xai/core/check.h"
+#include "xai/core/stats.h"
+
+namespace xai {
+
+Standardizer Standardizer::Fit(const Dataset& dataset) {
+  Standardizer s;
+  int d = dataset.num_features();
+  s.numeric_.resize(d);
+  s.means_.resize(d, 0.0);
+  s.stddevs_.resize(d, 1.0);
+  for (int j = 0; j < d; ++j) {
+    s.numeric_[j] = !dataset.schema().features[j].is_categorical();
+    if (!s.numeric_[j]) continue;
+    std::vector<double> col = dataset.x().Col(j);
+    s.means_[j] = Mean(col);
+    double sd = StdDev(col);
+    s.stddevs_[j] = sd > 1e-12 ? sd : 1.0;
+  }
+  return s;
+}
+
+Dataset Standardizer::Transform(const Dataset& dataset) const {
+  Matrix x = dataset.x();
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      if (numeric_[j]) x(i, j) = (x(i, j) - means_[j]) / stddevs_[j];
+    }
+  }
+  return Dataset(dataset.schema(), std::move(x), dataset.y());
+}
+
+void Standardizer::TransformRow(Vector* row) const {
+  XAI_CHECK_EQ(row->size(), means_.size());
+  for (size_t j = 0; j < row->size(); ++j)
+    if (numeric_[j]) (*row)[j] = ((*row)[j] - means_[j]) / stddevs_[j];
+}
+
+void Standardizer::InverseTransformRow(Vector* row) const {
+  XAI_CHECK_EQ(row->size(), means_.size());
+  for (size_t j = 0; j < row->size(); ++j)
+    if (numeric_[j]) (*row)[j] = (*row)[j] * stddevs_[j] + means_[j];
+}
+
+OneHotEncoder OneHotEncoder::Fit(const Schema& schema) {
+  OneHotEncoder enc;
+  enc.schema_ = schema;
+  for (int f = 0; f < schema.num_features(); ++f) {
+    const FeatureSpec& spec = schema.features[f];
+    enc.offsets_.push_back(enc.encoded_width_);
+    if (spec.is_categorical()) {
+      for (int c = 0; c < spec.num_categories(); ++c) {
+        enc.encoded_names_.push_back(spec.name + "=" + spec.categories[c]);
+        enc.source_feature_.push_back(f);
+      }
+      enc.encoded_width_ += spec.num_categories();
+    } else {
+      enc.encoded_names_.push_back(spec.name);
+      enc.source_feature_.push_back(f);
+      enc.encoded_width_ += 1;
+    }
+  }
+  return enc;
+}
+
+Vector OneHotEncoder::EncodeRow(const Vector& row) const {
+  XAI_CHECK_EQ(static_cast<int>(row.size()), schema_.num_features());
+  Vector out(encoded_width_, 0.0);
+  for (int f = 0; f < schema_.num_features(); ++f) {
+    const FeatureSpec& spec = schema_.features[f];
+    if (spec.is_categorical()) {
+      int c = static_cast<int>(row[f]);
+      if (c >= 0 && c < spec.num_categories()) out[offsets_[f] + c] = 1.0;
+    } else {
+      out[offsets_[f]] = row[f];
+    }
+  }
+  return out;
+}
+
+Matrix OneHotEncoder::Encode(const Dataset& dataset) const {
+  Matrix out(dataset.num_rows(), encoded_width_);
+  for (int i = 0; i < dataset.num_rows(); ++i) {
+    Vector enc = EncodeRow(dataset.Row(i));
+    out.SetRow(i, enc);
+  }
+  return out;
+}
+
+QuantileDiscretizer QuantileDiscretizer::Fit(const Dataset& dataset,
+                                             int bins_per_feature) {
+  XAI_CHECK_GE(bins_per_feature, 2);
+  QuantileDiscretizer q;
+  q.schema_ = dataset.schema();
+  q.ranges_ = dataset.FeatureRanges();
+  int d = dataset.num_features();
+  q.edges_.resize(d);
+  for (int j = 0; j < d; ++j) {
+    if (q.schema_.features[j].is_categorical()) continue;
+    std::vector<double> col = dataset.x().Col(j);
+    std::vector<double> edges;
+    for (int b = 1; b < bins_per_feature; ++b) {
+      double e = Quantile(col, static_cast<double>(b) / bins_per_feature);
+      if (edges.empty() || e > edges.back() + 1e-12) edges.push_back(e);
+    }
+    q.edges_[j] = std::move(edges);
+  }
+  return q;
+}
+
+int QuantileDiscretizer::BinOf(int feature, double value) const {
+  if (schema_.features[feature].is_categorical())
+    return static_cast<int>(value);
+  const auto& e = edges_[feature];
+  int bin = 0;
+  while (bin < static_cast<int>(e.size()) && value > e[bin]) ++bin;
+  return bin;
+}
+
+int QuantileDiscretizer::NumBins(int feature) const {
+  if (schema_.features[feature].is_categorical())
+    return schema_.features[feature].num_categories();
+  return static_cast<int>(edges_[feature].size()) + 1;
+}
+
+std::string QuantileDiscretizer::DescribeBin(int feature, int bin) const {
+  const FeatureSpec& spec = schema_.features[feature];
+  if (spec.is_categorical()) {
+    XAI_CHECK(bin >= 0 && bin < spec.num_categories());
+    return spec.name + " = " + spec.categories[bin];
+  }
+  const auto& e = edges_[feature];
+  char buf[96];
+  if (bin == 0) {
+    std::snprintf(buf, sizeof(buf), "%s <= %.4g", spec.name.c_str(), e[0]);
+  } else if (bin == static_cast<int>(e.size())) {
+    std::snprintf(buf, sizeof(buf), "%s > %.4g", spec.name.c_str(),
+                  e[bin - 1]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g < %s <= %.4g", e[bin - 1],
+                  spec.name.c_str(), e[bin]);
+  }
+  return buf;
+}
+
+std::vector<int> QuantileDiscretizer::Discretize(const Vector& row) const {
+  std::vector<int> out(row.size());
+  for (size_t j = 0; j < row.size(); ++j)
+    out[j] = BinOf(static_cast<int>(j), row[j]);
+  return out;
+}
+
+double QuantileDiscretizer::SampleFromBin(int feature, int bin,
+                                          Rng* rng) const {
+  const FeatureSpec& spec = schema_.features[feature];
+  if (spec.is_categorical()) return bin;
+  const auto& e = edges_[feature];
+  double lo = bin == 0 ? ranges_[feature].first : e[bin - 1];
+  double hi =
+      bin == static_cast<int>(e.size()) ? ranges_[feature].second : e[bin];
+  if (hi <= lo) return lo;
+  return rng->Uniform(lo, hi);
+}
+
+}  // namespace xai

@@ -1,0 +1,101 @@
+#ifndef XAI_DATA_TRANSFORM_H_
+#define XAI_DATA_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/matrix.h"
+#include "xai/core/status.h"
+#include "xai/data/dataset.h"
+
+namespace xai {
+
+/// \brief Z-score standardization of the numeric features of a dataset.
+/// Categorical columns pass through unchanged.
+class Standardizer {
+ public:
+  /// Learns per-feature mean and stddev from `dataset`.
+  static Standardizer Fit(const Dataset& dataset);
+
+  /// Applies (x - mean) / stddev to numeric columns of a copy.
+  Dataset Transform(const Dataset& dataset) const;
+  /// Transforms a single feature vector in place.
+  void TransformRow(Vector* row) const;
+  /// Inverse transform of a single feature vector in place.
+  void InverseTransformRow(Vector* row) const;
+
+  const Vector& means() const { return means_; }
+  const Vector& stddevs() const { return stddevs_; }
+
+ private:
+  std::vector<bool> numeric_;
+  Vector means_;
+  Vector stddevs_;
+};
+
+/// \brief One-hot encoding of categorical features, producing an all-numeric
+/// design matrix for linear models / distance computations.
+class OneHotEncoder {
+ public:
+  /// Learns the encoding layout from a schema.
+  static OneHotEncoder Fit(const Schema& schema);
+
+  /// Encoded width (numerics + sum of category counts).
+  int encoded_width() const { return encoded_width_; }
+  /// Names of the encoded columns ("age", "purpose=car", ...).
+  const std::vector<std::string>& encoded_names() const {
+    return encoded_names_;
+  }
+  /// Source feature index of each encoded column.
+  const std::vector<int>& source_feature() const { return source_feature_; }
+
+  /// Encodes one raw feature vector.
+  Vector EncodeRow(const Vector& row) const;
+  /// Encodes a whole dataset's feature matrix.
+  Matrix Encode(const Dataset& dataset) const;
+
+ private:
+  Schema schema_;
+  int encoded_width_ = 0;
+  std::vector<std::string> encoded_names_;
+  std::vector<int> source_feature_;
+  std::vector<int> offsets_;  // Start column for each source feature.
+};
+
+/// \brief Equal-frequency (quantile) discretizer for numeric features.
+///
+/// Produces the interpretable representation used by LIME, Anchors, decision
+/// sets and sufficient reasons: each numeric feature is mapped to a small
+/// number of bins with human-readable descriptions ("age <= 28.0",
+/// "28.0 < age <= 45.0", ...). Categorical features map to their category
+/// index unchanged.
+class QuantileDiscretizer {
+ public:
+  /// Learns bin edges (quantiles) for each numeric feature.
+  static QuantileDiscretizer Fit(const Dataset& dataset, int bins_per_feature);
+
+  /// Bin index of a feature value.
+  int BinOf(int feature, double value) const;
+  /// Number of bins of a feature (categoricals: number of categories).
+  int NumBins(int feature) const;
+  /// Human-readable description of a bin ("age <= 28.0", "purpose = car").
+  std::string DescribeBin(int feature, int bin) const;
+  /// Discretizes a raw row into bin indices.
+  std::vector<int> Discretize(const Vector& row) const;
+  /// Samples a raw value uniformly from within the given bin (numeric) or
+  /// returns the category index (categorical); requires the fitted ranges.
+  double SampleFromBin(int feature, int bin, Rng* rng) const;
+
+  const Schema& schema() const { return schema_; }
+
+ private:
+  Schema schema_;
+  /// Bin edges per feature (empty for categoricals). k edges -> k+1 bins.
+  std::vector<std::vector<double>> edges_;
+  /// Observed [min,max] per feature, for sampling from edge bins.
+  std::vector<std::pair<double, double>> ranges_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_DATA_TRANSFORM_H_

@@ -1,0 +1,56 @@
+#ifndef XAI_DBX_QUERY_EXPLANATIONS_H_
+#define XAI_DBX_QUERY_EXPLANATIONS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/relational/relation.h"
+
+namespace xai {
+
+/// \brief Intervention-based explanations for aggregate query answers
+/// (Roy & Suciu 2014 / Meliou et al., cited in §3 "Explaining database
+/// query results has been an active area of research"): an explanation is a
+/// *predicate* over the input tuples; its score is how much the query
+/// answer changes when the tuples satisfying the predicate are removed
+/// (the intervention).
+struct PredicateExplanation {
+  /// Conjunction of (column, value) equality predicates (1 or 2 terms).
+  std::vector<std::pair<int, rel::Value>> predicate;
+  /// Query answer on the full input.
+  double original = 0.0;
+  /// Query answer after removing tuples matching the predicate.
+  double after_intervention = 0.0;
+  /// original - after_intervention: positive means the matched tuples push
+  /// the answer up.
+  double effect = 0.0;
+  /// How many tuples the predicate matches.
+  int support = 0;
+
+  std::string ToString(const rel::Relation& relation) const;
+};
+
+struct QueryExplanationConfig {
+  /// Also score conjunctions of two predicates on different columns.
+  bool include_pairs = false;
+  /// Keep only the top_k explanations by |effect|; 0 = all.
+  int top_k = 10;
+  /// Skip predicates matching fewer tuples than this.
+  int min_support = 1;
+};
+
+/// Scores every candidate equality predicate over `candidate_columns`
+/// (each distinct value, optionally pairs across columns) by re-evaluating
+/// the numeric `query` on the input with matching tuples removed. Returns
+/// explanations sorted by |effect| descending.
+Result<std::vector<PredicateExplanation>> ExplainAggregateAnswer(
+    const rel::Relation& input,
+    const std::function<double(const rel::Relation&)>& query,
+    const std::vector<int>& candidate_columns,
+    const QueryExplanationConfig& config = QueryExplanationConfig());
+
+}  // namespace xai
+
+#endif  // XAI_DBX_QUERY_EXPLANATIONS_H_

@@ -1,0 +1,94 @@
+#include "xai/dbx/repair_shapley.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xai {
+namespace {
+
+Status ValidateColumns(const rel::Relation& relation,
+                       const std::vector<int>& columns) {
+  if (columns.empty())
+    return Status::InvalidArgument("FD side must name at least one column");
+  for (int c : columns)
+    if (c < 0 || c >= relation.num_columns())
+      return Status::OutOfRange("FD column out of range");
+  return Status::OK();
+}
+
+bool Agree(const rel::Tuple& a, const rel::Tuple& b,
+           const std::vector<int>& columns) {
+  for (int c : columns)
+    if (!(a[c] == b[c])) return false;
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<FdViolation>> FindFdViolations(
+    const rel::Relation& relation, const std::vector<int>& lhs,
+    const std::vector<int>& rhs) {
+  XAI_RETURN_NOT_OK(ValidateColumns(relation, lhs));
+  XAI_RETURN_NOT_OK(ValidateColumns(relation, rhs));
+  std::vector<FdViolation> violations;
+  int n = relation.num_tuples();
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (Agree(relation.tuple(a), relation.tuple(b), lhs) &&
+          !Agree(relation.tuple(a), relation.tuple(b), rhs)) {
+        violations.push_back({a, b});
+      }
+    }
+  }
+  return violations;
+}
+
+Result<std::map<int, double>> RepairShapley(const rel::Relation& relation,
+                                            const std::vector<int>& lhs,
+                                            const std::vector<int>& rhs) {
+  XAI_ASSIGN_OR_RETURN(std::vector<FdViolation> violations,
+                       FindFdViolations(relation, lhs, rhs));
+  std::map<int, double> values;
+  for (int t = 0; t < relation.num_tuples(); ++t) values[t] = 0.0;
+  // Each violating pair's unit of inconsistency splits evenly between its
+  // two (symmetric) endpoints.
+  for (const FdViolation& v : violations) {
+    values[v.tuple_a] += 0.5;
+    values[v.tuple_b] += 0.5;
+  }
+  return values;
+}
+
+Result<std::vector<int>> GreedyRepair(const rel::Relation& relation,
+                                      const std::vector<int>& lhs,
+                                      const std::vector<int>& rhs) {
+  XAI_ASSIGN_OR_RETURN(std::vector<FdViolation> violations,
+                       FindFdViolations(relation, lhs, rhs));
+  std::vector<int> removed;
+  std::set<int> removed_set;
+  while (true) {
+    // Count remaining violations per tuple.
+    std::map<int, int> degree;
+    int remaining = 0;
+    for (const FdViolation& v : violations) {
+      if (removed_set.count(v.tuple_a) || removed_set.count(v.tuple_b))
+        continue;
+      ++degree[v.tuple_a];
+      ++degree[v.tuple_b];
+      ++remaining;
+    }
+    if (remaining == 0) break;
+    int best = -1, best_degree = -1;
+    for (const auto& [tuple, deg] : degree) {
+      if (deg > best_degree) {
+        best_degree = deg;
+        best = tuple;
+      }
+    }
+    removed.push_back(best);
+    removed_set.insert(best);
+  }
+  return removed;
+}
+
+}  // namespace xai

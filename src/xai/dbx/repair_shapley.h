@@ -1,0 +1,48 @@
+#ifndef XAI_DBX_REPAIR_SHAPLEY_H_
+#define XAI_DBX_REPAIR_SHAPLEY_H_
+
+#include <map>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/relational/relation.h"
+
+namespace xai {
+
+/// \brief Shapley-value explanations for data repairs (Deutch, Frost, Gilad
+/// & Sheffer 2021, cited in §3 "Explanations in Databases"): quantify how
+/// much each tuple contributes to the inconsistency of a relation with
+/// respect to a functional dependency, and use the ranking to drive repairs.
+
+/// A violating pair of tuple indices (agree on the FD's LHS, differ on its
+/// RHS).
+struct FdViolation {
+  int tuple_a = 0;
+  int tuple_b = 0;
+};
+
+/// All violations of the FD lhs -> rhs (column index lists).
+Result<std::vector<FdViolation>> FindFdViolations(
+    const rel::Relation& relation, const std::vector<int>& lhs,
+    const std::vector<int>& rhs);
+
+/// Shapley value of each tuple for the inconsistency measure
+/// v(S) = #violating pairs within S. Because the game is a sum of pair
+/// indicators, the Shapley value has the closed form
+///   phi_t = (1/2) * #violations involving t,
+/// (verified against generic exact Shapley in the tests). Keyed by tuple
+/// index within the relation.
+Result<std::map<int, double>> RepairShapley(const rel::Relation& relation,
+                                            const std::vector<int>& lhs,
+                                            const std::vector<int>& rhs);
+
+/// Greedy Shapley-guided repair: repeatedly delete the tuple with the most
+/// remaining violations until the FD holds; returns the deletion order.
+/// (A 2-approximation of the minimum deletion repair, which is NP-hard.)
+Result<std::vector<int>> GreedyRepair(const rel::Relation& relation,
+                                      const std::vector<int>& lhs,
+                                      const std::vector<int>& rhs);
+
+}  // namespace xai
+
+#endif  // XAI_DBX_REPAIR_SHAPLEY_H_

@@ -1,0 +1,101 @@
+#include "xai/dbx/tuple_shapley.h"
+
+#include <algorithm>
+#include <set>
+
+#include "xai/core/combinatorics.h"
+
+namespace xai {
+
+Result<TupleShapleyResult> BooleanQueryTupleShapley(
+    const rel::ProvExprPtr& lineage, const std::vector<int>& endogenous,
+    const TupleShapleyConfig& config) {
+  int n = static_cast<int>(endogenous.size());
+  if (n == 0) return Status::InvalidArgument("no endogenous tuples");
+  if (n > 63)
+    return Status::Unimplemented("more than 63 endogenous tuples");
+  std::set<int> endo_set(endogenous.begin(), endogenous.end());
+
+  TupleShapleyResult result;
+  auto value_of_mask = [&](uint64_t mask) {
+    ++result.game_evaluations;
+    auto present = [&](int id) {
+      if (!endo_set.count(id)) return true;  // Exogenous: always present.
+      for (int i = 0; i < n; ++i)
+        if (endogenous[i] == id) return (mask & (1ULL << i)) != 0;
+      return false;
+    };
+    return lineage->EvalBool(present) ? 1.0 : 0.0;
+  };
+
+  if (n <= config.exact_limit && n <= 24) {
+    std::vector<double> phi = ShapleyOfSetFunction(n, value_of_mask);
+    for (int i = 0; i < n; ++i) result.values[endogenous[i]] = phi[i];
+    result.exact = true;
+    return result;
+  }
+
+  // Permutation sampling.
+  Rng rng(config.seed);
+  std::vector<double> acc(n, 0.0);
+  for (int p = 0; p < config.permutations; ++p) {
+    std::vector<int> perm = rng.Permutation(n);
+    uint64_t mask = 0;
+    double prev = value_of_mask(0);
+    for (int i : perm) {
+      mask |= 1ULL << i;
+      double cur = value_of_mask(mask);
+      acc[i] += cur - prev;
+      prev = cur;
+    }
+  }
+  for (int i = 0; i < n; ++i)
+    result.values[endogenous[i]] = acc[i] / config.permutations;
+  result.exact = false;
+  return result;
+}
+
+Result<TupleShapleyResult> NumericQueryTupleShapley(
+    const std::function<double(const std::vector<int>& present)>& query_value,
+    const std::vector<int>& endogenous, const TupleShapleyConfig& config) {
+  int n = static_cast<int>(endogenous.size());
+  if (n == 0) return Status::InvalidArgument("no endogenous tuples");
+  if (n > 63)
+    return Status::Unimplemented("more than 63 endogenous tuples");
+  TupleShapleyResult result;
+
+  auto value_of_mask = [&](uint64_t mask) {
+    ++result.game_evaluations;
+    std::vector<int> present;
+    for (int i = 0; i < n; ++i)
+      if (mask & (1ULL << i)) present.push_back(endogenous[i]);
+    return query_value(present);
+  };
+
+  if (n <= config.exact_limit && n <= 24) {
+    std::vector<double> phi = ShapleyOfSetFunction(n, value_of_mask);
+    for (int i = 0; i < n; ++i) result.values[endogenous[i]] = phi[i];
+    result.exact = true;
+    return result;
+  }
+
+  Rng rng(config.seed);
+  std::vector<double> acc(n, 0.0);
+  for (int p = 0; p < config.permutations; ++p) {
+    std::vector<int> perm = rng.Permutation(n);
+    uint64_t mask = 0;
+    double prev = value_of_mask(0);
+    for (int i : perm) {
+      mask |= 1ULL << i;
+      double cur = value_of_mask(mask);
+      acc[i] += cur - prev;
+      prev = cur;
+    }
+  }
+  for (int i = 0; i < n; ++i)
+    result.values[endogenous[i]] = acc[i] / config.permutations;
+  result.exact = false;
+  return result;
+}
+
+}  // namespace xai

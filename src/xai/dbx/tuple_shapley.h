@@ -1,0 +1,57 @@
+#ifndef XAI_DBX_TUPLE_SHAPLEY_H_
+#define XAI_DBX_TUPLE_SHAPLEY_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "xai/core/rng.h"
+#include "xai/core/status.h"
+#include "xai/relational/provenance.h"
+
+namespace xai {
+
+/// \brief Shapley values of tuples in query answering (Livshits, Bertossi,
+/// Kimelfeld & Sebag 2021, §3 "Explanations in Databases"): the database is
+/// split into *exogenous* tuples (always present) and *endogenous* tuples
+/// (the players); the Shapley value of an endogenous tuple measures its
+/// contribution to a query answer.
+///
+/// Games are expressed over the boolean provenance of the answer: a
+/// coalition S of endogenous tuples is "present" together with all exogenous
+/// tuples, and the value is the query outcome on that sub-instance.
+
+/// Configuration for the estimators.
+struct TupleShapleyConfig {
+  /// Exact computation is refused above this many endogenous tuples.
+  int exact_limit = 20;
+  /// Permutation samples for the Monte-Carlo estimator.
+  int permutations = 2000;
+  uint64_t seed = 31;
+};
+
+/// Result values are keyed by endogenous tuple id.
+struct TupleShapleyResult {
+  std::map<int, double> values;
+  int game_evaluations = 0;
+  bool exact = false;
+};
+
+/// Shapley values for a *boolean* query: v(S) = 1 iff the answer's lineage
+/// is derivable from S plus the exogenous tuples. Exact (subset
+/// enumeration) when |endogenous| <= exact_limit.
+Result<TupleShapleyResult> BooleanQueryTupleShapley(
+    const rel::ProvExprPtr& lineage, const std::vector<int>& endogenous,
+    const TupleShapleyConfig& config = {});
+
+/// Shapley values for a general numeric query given as a callback:
+/// `query_value(present)` recomputes the answer when endogenous tuple id e
+/// is present iff present.count(e) > 0. Used for aggregate queries (e.g.
+/// COUNT of qualifying rows). Monte-Carlo permutation sampling.
+Result<TupleShapleyResult> NumericQueryTupleShapley(
+    const std::function<double(const std::vector<int>& present)>& query_value,
+    const std::vector<int>& endogenous, const TupleShapleyConfig& config = {});
+
+}  // namespace xai
+
+#endif  // XAI_DBX_TUPLE_SHAPLEY_H_

@@ -1,0 +1,71 @@
+#include "xai/explain/adversarial.h"
+
+namespace xai {
+
+Result<AdversarialModel> AdversarialModel::Make(
+    const Dataset& train, const Perturber& perturber, PredictFn biased,
+    PredictFn innocuous, const AdversarialConfig& config) {
+  if (train.num_rows() == 0)
+    return Status::InvalidArgument("empty training data");
+  Rng rng(config.seed);
+
+  // Detector training set: real rows labelled 1, perturbations labelled 0.
+  int n = train.num_rows();
+  int n_pert = n * config.perturbations_per_row;
+  Matrix x(n + n_pert, train.num_features());
+  Vector y(n + n_pert);
+  for (int i = 0; i < n; ++i) {
+    x.SetRow(i, train.Row(i));
+    y[i] = 1.0;
+  }
+  int row = n;
+  for (int i = 0; i < n; ++i) {
+    Matrix pert = perturber.Sample(train.Row(i),
+                                   config.perturbations_per_row, &rng);
+    for (int p = 0; p < pert.rows(); ++p) {
+      x.SetRow(row, pert.Row(p));
+      y[row] = 0.0;
+      ++row;
+    }
+  }
+
+  RandomForestModel::Config forest;
+  forest.n_trees = config.ood_trees;
+  forest.max_depth = 10;
+  forest.seed = config.seed + 1;
+  XAI_ASSIGN_OR_RETURN(
+      RandomForestModel detector,
+      RandomForestModel::Train(x, y, TaskType::kClassification, forest));
+
+  AdversarialModel model;
+  model.biased_ = std::move(biased);
+  model.innocuous_ = std::move(innocuous);
+  model.detector_ = std::make_shared<RandomForestModel>(std::move(detector));
+  model.real_threshold_ = config.real_threshold;
+  return model;
+}
+
+double AdversarialModel::Predict(const Vector& row) const {
+  return RealScore(row) >= real_threshold_ ? biased_(row) : innocuous_(row);
+}
+
+double AdversarialModel::RealScore(const Vector& row) const {
+  return detector_->Predict(row);
+}
+
+double AdversarialModel::DetectorAccuracy(const Dataset& holdout,
+                                          const Perturber& perturber,
+                                          uint64_t seed) const {
+  Rng rng(seed);
+  int correct = 0, total = 0;
+  for (int i = 0; i < holdout.num_rows(); ++i) {
+    if (RealScore(holdout.Row(i)) >= real_threshold_) ++correct;
+    ++total;
+    Matrix pert = perturber.Sample(holdout.Row(i), 1, &rng);
+    if (RealScore(pert.Row(0)) < real_threshold_) ++correct;
+    ++total;
+  }
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+}  // namespace xai

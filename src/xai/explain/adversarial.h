@@ -1,0 +1,62 @@
+#ifndef XAI_EXPLAIN_ADVERSARIAL_H_
+#define XAI_EXPLAIN_ADVERSARIAL_H_
+
+#include <memory>
+#include <string>
+
+#include "xai/core/status.h"
+#include "xai/explain/perturbation.h"
+#include "xai/model/model.h"
+#include "xai/model/random_forest.h"
+
+namespace xai {
+
+/// \brief Configuration of the adversarial scaffolding.
+struct AdversarialConfig {
+  /// Trees in the OOD detector forest.
+  int ood_trees = 64;
+  /// Perturbed samples generated per training row to train the detector.
+  int perturbations_per_row = 2;
+  /// Detector probability above which a query counts as "real data".
+  double real_threshold = 0.5;
+  uint64_t seed = 21;
+};
+
+/// \brief Scaffolding of Slack et al. 2020 (§2.1.1): "Fooling LIME and
+/// SHAP". The adversarial model behaves as a biased model on real
+/// (in-distribution) inputs but routes the synthetic perturbations LIME/SHAP
+/// generate — which an out-of-distribution detector recognizes — to an
+/// innocuous model, hiding the bias from perturbation-based explainers.
+class AdversarialModel : public Model {
+ public:
+  /// Trains the OOD detector to separate `train` rows from `perturber`
+  /// samples, then wires up the two-faced predictor.
+  static Result<AdversarialModel> Make(const Dataset& train,
+                                       const Perturber& perturber,
+                                       PredictFn biased, PredictFn innocuous,
+                                       const AdversarialConfig& config = {});
+
+  TaskType task() const override { return TaskType::kClassification; }
+  std::string name() const override { return "adversarial"; }
+
+  /// Biased prediction if the detector believes the row is real data,
+  /// innocuous prediction otherwise.
+  double Predict(const Vector& row) const override;
+
+  /// Detector's probability that the row is real (not a perturbation).
+  double RealScore(const Vector& row) const;
+
+  /// Detector accuracy on held-out real and perturbed points.
+  double DetectorAccuracy(const Dataset& holdout, const Perturber& perturber,
+                          uint64_t seed) const;
+
+ private:
+  PredictFn biased_;
+  PredictFn innocuous_;
+  std::shared_ptr<RandomForestModel> detector_;
+  double real_threshold_ = 0.5;
+};
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_ADVERSARIAL_H_

@@ -1,0 +1,127 @@
+#include "xai/explain/counterfactual/counterfactual.h"
+
+#include <cmath>
+#include <limits>
+
+#include "xai/core/check.h"
+#include "xai/core/stats.h"
+#include "xai/explain/explanation.h"
+
+namespace xai {
+
+ActionabilitySpec ActionabilitySpec::AllFree(const Dataset& train) {
+  ActionabilitySpec spec;
+  int d = train.num_features();
+  spec.immutable.assign(d, false);
+  spec.ranges = train.FeatureRanges();
+  spec.monotonicity.assign(d, 0);
+  return spec;
+}
+
+bool ActionabilitySpec::Allows(int feature, double from, double to) const {
+  if (from == to) return true;
+  if (feature < static_cast<int>(immutable.size()) && immutable[feature])
+    return false;
+  if (feature < static_cast<int>(ranges.size()) &&
+      (to < ranges[feature].first || to > ranges[feature].second))
+    return false;
+  if (feature < static_cast<int>(monotonicity.size())) {
+    int m = monotonicity[feature];
+    if (m > 0 && to < from) return false;
+    if (m < 0 && to > from) return false;
+  }
+  return true;
+}
+
+CounterfactualEvaluator::CounterfactualEvaluator(const Dataset& train)
+    : train_(&train), mad_(MedianAbsoluteDeviation(train.x())) {
+  int d = train.num_features();
+  stddevs_.resize(d, 1.0);
+  categorical_.resize(d);
+  for (int j = 0; j < d; ++j) {
+    categorical_[j] = train.schema().features[j].is_categorical();
+    std::vector<double> col = train.x().Col(j);
+    double sd = StdDev(col);
+    stddevs_[j] = sd > 1e-9 ? sd : 1.0;
+  }
+}
+
+double CounterfactualEvaluator::Proximity(const Vector& a,
+                                          const Vector& b) const {
+  XAI_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    if (categorical_[j]) {
+      acc += static_cast<int>(a[j]) == static_cast<int>(b[j]) ? 0.0 : 1.0;
+    } else {
+      acc += std::fabs(a[j] - b[j]) / mad_[j];
+    }
+  }
+  return acc;
+}
+
+int CounterfactualEvaluator::Sparsity(const Vector& a, const Vector& b) const {
+  int count = 0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    if (categorical_[j]) {
+      count += static_cast<int>(a[j]) != static_cast<int>(b[j]);
+    } else {
+      count += std::fabs(a[j] - b[j]) > 1e-9;
+    }
+  }
+  return count;
+}
+
+double CounterfactualEvaluator::PlausibilityDistance(const Vector& x) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < train_->num_rows(); ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < train_->num_features(); ++j) {
+      double dj;
+      if (categorical_[j]) {
+        dj = static_cast<int>(x[j]) ==
+                     static_cast<int>(train_->At(i, j))
+                 ? 0.0
+                 : 1.0;
+      } else {
+        dj = (x[j] - train_->At(i, j)) / stddevs_[j];
+      }
+      acc += dj * dj;
+      if (acc >= best) break;
+    }
+    best = std::min(best, acc);
+  }
+  return std::sqrt(best);
+}
+
+double CounterfactualEvaluator::Diversity(
+    const std::vector<Counterfactual>& cfs) const {
+  if (cfs.size() < 2) return 0.0;
+  double acc = 0.0;
+  int pairs = 0;
+  for (size_t a = 0; a < cfs.size(); ++a) {
+    for (size_t b = a + 1; b < cfs.size(); ++b) {
+      acc += Proximity(cfs[a].x, cfs[b].x);
+      ++pairs;
+    }
+  }
+  return acc / pairs;
+}
+
+Counterfactual CounterfactualEvaluator::Evaluate(const PredictFn& f,
+                                                 const Vector& original,
+                                                 Vector candidate,
+                                                 int desired_class,
+                                                 double threshold) const {
+  Counterfactual cf;
+  cf.prediction = f(candidate);
+  cf.valid = desired_class == 1 ? cf.prediction >= threshold
+                                : cf.prediction < threshold;
+  cf.proximity = Proximity(original, candidate);
+  cf.sparsity = Sparsity(original, candidate);
+  cf.plausibility_distance = PlausibilityDistance(candidate);
+  cf.x = std::move(candidate);
+  return cf;
+}
+
+}  // namespace xai

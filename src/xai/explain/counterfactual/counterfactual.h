@@ -1,0 +1,76 @@
+#ifndef XAI_EXPLAIN_COUNTERFACTUAL_COUNTERFACTUAL_H_
+#define XAI_EXPLAIN_COUNTERFACTUAL_COUNTERFACTUAL_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/matrix.h"
+#include "xai/data/dataset.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief Which feature changes are allowed when searching for
+/// counterfactuals / recourse (the *feasibility* constraints of §2.1.4).
+struct ActionabilitySpec {
+  /// Features that may never change (e.g. race, gender).
+  std::vector<bool> immutable;
+  /// Allowed [lo, hi] per feature (categoricals: category index range).
+  std::vector<std::pair<double, double>> ranges;
+  /// Monotonicity: +1 may only increase (e.g. age), -1 only decrease, 0 free.
+  std::vector<int> monotonicity;
+
+  /// Everything mutable, ranges from the training data, no monotonicity.
+  static ActionabilitySpec AllFree(const Dataset& train);
+
+  /// True if moving feature j from `from` to `to` is allowed.
+  bool Allows(int feature, double from, double to) const;
+};
+
+/// \brief One counterfactual example with its quality metrics (§2.1.4).
+struct Counterfactual {
+  Vector x;
+  double prediction = 0.0;
+  bool valid = false;
+  /// MAD-weighted L1 distance to the original (numerics) + #category flips.
+  double proximity = 0.0;
+  /// Number of changed features.
+  int sparsity = 0;
+  /// Standardized distance to the nearest training row — a proxy for the
+  /// "unrealistic and impossible counterfactual instances" critique: large
+  /// values mean the counterfactual left the data manifold.
+  double plausibility_distance = 0.0;
+};
+
+/// \brief Shared metric computation for all counterfactual generators.
+class CounterfactualEvaluator {
+ public:
+  explicit CounterfactualEvaluator(const Dataset& train);
+
+  /// MAD-weighted L1 distance (categorical mismatch counts 1).
+  double Proximity(const Vector& a, const Vector& b) const;
+  /// Number of differing features.
+  int Sparsity(const Vector& a, const Vector& b) const;
+  /// Standardized Euclidean distance to the nearest training row.
+  double PlausibilityDistance(const Vector& x) const;
+  /// Mean pairwise proximity among a set of counterfactuals.
+  double Diversity(const std::vector<Counterfactual>& cfs) const;
+
+  /// Fills in all metrics for a candidate counterfactual.
+  Counterfactual Evaluate(const PredictFn& f, const Vector& original,
+                          Vector candidate, int desired_class,
+                          double threshold = 0.5) const;
+
+  const Dataset& train() const { return *train_; }
+  const Vector& mad() const { return mad_; }
+
+ private:
+  const Dataset* train_;
+  Vector mad_;
+  Vector stddevs_;
+  std::vector<bool> categorical_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_COUNTERFACTUAL_COUNTERFACTUAL_H_

@@ -1,0 +1,126 @@
+#include "xai/explain/counterfactual/dice.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xai/core/matrix.h"
+
+namespace xai {
+namespace {
+
+// log det of the DPP kernel K_ij = 1 / (1 + dist(i, j)) over selected CFs.
+double LogDetKernel(const std::vector<Counterfactual>& sel,
+                    const CounterfactualEvaluator& eval) {
+  int k = static_cast<int>(sel.size());
+  if (k == 0) return 0.0;
+  Matrix kmat(k, k);
+  for (int a = 0; a < k; ++a) {
+    for (int b = 0; b < k; ++b) {
+      double dist = a == b ? 0.0 : eval.Proximity(sel[a].x, sel[b].x);
+      kmat(a, b) = 1.0 / (1.0 + dist);
+    }
+    kmat(a, a) += 1e-6;
+  }
+  auto chol = CholeskyFactor(kmat);
+  if (!chol.ok()) return -1e18;
+  double logdet = 0.0;
+  for (int i = 0; i < k; ++i) logdet += 2.0 * std::log(chol->operator()(i, i));
+  return logdet;
+}
+
+}  // namespace
+
+Result<DiceResult> DiceCounterfactuals(const PredictFn& f,
+                                       const Vector& instance,
+                                       int desired_class,
+                                       const CounterfactualEvaluator& eval,
+                                       const ActionabilitySpec& spec,
+                                       const DiceConfig& config, Rng* rng) {
+  int d = static_cast<int>(instance.size());
+  if (eval.train().num_features() != d)
+    return Status::InvalidArgument("instance width mismatch");
+
+  const Dataset& train = eval.train();
+  DiceResult result;
+  auto predict = [&](const Vector& x) {
+    ++result.model_calls;
+    return f(x);
+  };
+  auto is_valid = [&](double p) {
+    return desired_class == 1 ? p >= config.threshold : p < config.threshold;
+  };
+
+  std::vector<Counterfactual> pool;
+  for (int restart = 0;
+       restart < config.max_restarts &&
+       static_cast<int>(pool.size()) < config.pool_size;
+       ++restart) {
+    Vector current = instance;
+    for (int step = 0; step < config.max_steps_per_restart; ++step) {
+      // Mutate one random feature toward the value of a random training row.
+      int feature = rng->UniformInt(d);
+      double target = train.At(rng->UniformInt(train.num_rows()), feature);
+      if (!spec.Allows(feature, instance[feature], target)) continue;
+      double old = current[feature];
+      if (train.schema().features[feature].is_categorical()) {
+        current[feature] = target;
+      } else {
+        // Move a random fraction of the way toward the sampled value.
+        current[feature] = old + rng->Uniform(0.3, 1.0) * (target - old);
+        if (!spec.Allows(feature, instance[feature], current[feature])) {
+          current[feature] = old;
+          continue;
+        }
+      }
+      double p = predict(current);
+      if (is_valid(p)) {
+        // Sparsify: greedily revert changed features that are unnecessary.
+        for (int j = 0; j < d; ++j) {
+          if (current[j] == instance[j]) continue;
+          double saved = current[j];
+          current[j] = instance[j];
+          if (!is_valid(predict(current))) current[j] = saved;
+        }
+        pool.push_back(eval.Evaluate(f, instance, current, desired_class,
+                                     config.threshold));
+        ++result.model_calls;
+        break;
+      }
+    }
+  }
+
+  if (pool.empty()) {
+    return result;  // No counterfactual found within the budget.
+  }
+
+  // Greedy diverse selection: maximize diversity_weight * logdet(K) -
+  // proximity_weight * sum proximity.
+  std::vector<bool> used(pool.size(), false);
+  std::vector<Counterfactual> selected;
+  int k = std::min<int>(config.k, static_cast<int>(pool.size()));
+  for (int pick = 0; pick < k; ++pick) {
+    int best = -1;
+    double best_score = -1e18;
+    for (size_t c = 0; c < pool.size(); ++c) {
+      if (used[c]) continue;
+      std::vector<Counterfactual> cand = selected;
+      cand.push_back(pool[c]);
+      double prox = 0.0;
+      for (const auto& cf : cand) prox += cf.proximity;
+      double score = config.diversity_weight * LogDetKernel(cand, eval) -
+                     config.proximity_weight * prox;
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) break;
+    used[best] = true;
+    selected.push_back(pool[best]);
+  }
+  result.diversity = eval.Diversity(selected);
+  result.counterfactuals = std::move(selected);
+  return result;
+}
+
+}  // namespace xai

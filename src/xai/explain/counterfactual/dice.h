@@ -1,0 +1,53 @@
+#ifndef XAI_EXPLAIN_COUNTERFACTUAL_DICE_H_
+#define XAI_EXPLAIN_COUNTERFACTUAL_DICE_H_
+
+#include <vector>
+
+#include "xai/core/rng.h"
+#include "xai/core/status.h"
+#include "xai/explain/counterfactual/counterfactual.h"
+
+namespace xai {
+
+/// \brief Configuration of the DiCE-style generator.
+struct DiceConfig {
+  /// Number of diverse counterfactuals to return.
+  int k = 4;
+  /// Size of the valid-candidate pool built before diverse selection.
+  int pool_size = 40;
+  /// Random-walk restarts allowed while building the pool.
+  int max_restarts = 400;
+  /// Maximum mutation steps per restart.
+  int max_steps_per_restart = 60;
+  /// Trade-off weights of the selection objective
+  /// (-proximity_weight * proximity + diversity_weight * log det K).
+  double proximity_weight = 0.5;
+  double diversity_weight = 1.0;
+  double threshold = 0.5;
+};
+
+/// \brief Result: the selected diverse set plus search statistics.
+struct DiceResult {
+  std::vector<Counterfactual> counterfactuals;
+  int model_calls = 0;
+  /// Mean pairwise distance within the returned set.
+  double diversity = 0.0;
+};
+
+/// \brief DiCE-style diverse counterfactuals (Mothilal et al. 2020, §2.1.4):
+/// builds a pool of valid counterfactuals by guided random walks from the
+/// instance (mutating features toward values seen in training data, then
+/// greedily reverting unnecessary changes for sparsity), and selects k of
+/// them greedily maximizing a determinantal-point-process diversity score
+/// traded off against proximity — "a candidate set of diverse and feasible
+/// counterfactuals".
+Result<DiceResult> DiceCounterfactuals(const PredictFn& f,
+                                       const Vector& instance,
+                                       int desired_class,
+                                       const CounterfactualEvaluator& eval,
+                                       const ActionabilitySpec& spec,
+                                       const DiceConfig& config, Rng* rng);
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_COUNTERFACTUAL_DICE_H_

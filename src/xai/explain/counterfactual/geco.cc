@@ -1,0 +1,161 @@
+#include "xai/explain/counterfactual/geco.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xai {
+namespace {
+
+struct Candidate {
+  Vector x;
+  double prediction = 0.0;
+  bool valid = false;
+  int changes = 0;
+  double proximity = 0.0;
+
+  /// Lexicographic fitness: valid first, then fewer changes, then closer.
+  bool BetterThan(const Candidate& other) const {
+    if (valid != other.valid) return valid;
+    if (!valid) {
+      // Both invalid: closer to the decision boundary wins.
+      return prediction > other.prediction;
+    }
+    if (changes != other.changes) return changes < other.changes;
+    return proximity < other.proximity;
+  }
+};
+
+}  // namespace
+
+Result<GecoResult> GecoCounterfactual(
+    const PredictFn& f, const Vector& instance, int desired_class,
+    const CounterfactualEvaluator& eval, const ActionabilitySpec& spec,
+    const std::vector<PlafConstraint>& plaf, const GecoConfig& config) {
+  int d = static_cast<int>(instance.size());
+  const Dataset& train = eval.train();
+  if (train.num_features() != d)
+    return Status::InvalidArgument("instance width mismatch");
+  Rng rng(config.seed);
+  GecoResult result;
+
+  // Signed view of the prediction so "higher is better" regardless of the
+  // desired class.
+  auto signed_pred = [&](double p) {
+    return desired_class == 1 ? p : 1.0 - p;
+  };
+  double signed_threshold =
+      desired_class == 1 ? config.threshold : 1.0 - config.threshold;
+
+  auto satisfies = [&](const Vector& x) {
+    for (int j = 0; j < d; ++j)
+      if (!spec.Allows(j, instance[j], x[j])) return false;
+    for (const auto& c : plaf)
+      if (!c(instance, x)) return false;
+    return true;
+  };
+
+  auto make_candidate = [&](Vector x) {
+    Candidate c;
+    ++result.model_calls;
+    c.prediction = signed_pred(f(x));
+    c.valid = c.prediction >= signed_threshold;
+    c.changes = eval.Sparsity(instance, x);
+    c.proximity = eval.Proximity(instance, x);
+    c.x = std::move(x);
+    return c;
+  };
+
+  // Candidate values per feature come from the training data (plausibility:
+  // every proposed value has been observed in the wild).
+  auto sample_value = [&](int feature) {
+    return train.At(rng.UniformInt(train.num_rows()), feature);
+  };
+
+  // Initial population: single-feature changes, the "fewest changes first"
+  // exploration order.
+  std::vector<Candidate> population;
+  for (int tries = 0;
+       tries < config.population * 4 &&
+       static_cast<int>(population.size()) < config.population;
+       ++tries) {
+    Vector x = instance;
+    int feature = rng.UniformInt(d);
+    x[feature] = sample_value(feature);
+    if (!satisfies(x)) continue;
+    population.push_back(make_candidate(std::move(x)));
+  }
+  if (population.empty())
+    return Status::InvalidArgument(
+        "no feasible single-feature candidate; constraints too tight");
+
+  auto by_fitness = [](const Candidate& a, const Candidate& b) {
+    return a.BetterThan(b);
+  };
+
+  Candidate best = population[0];
+  for (const Candidate& c : population)
+    if (c.BetterThan(best)) best = c;
+
+  int stable = 0;
+  for (int gen = 0; gen < config.max_generations; ++gen) {
+    result.generations = gen + 1;
+    std::sort(population.begin(), population.end(), by_fitness);
+    if (static_cast<int>(population.size()) > config.elite)
+      population.resize(config.elite);
+
+    std::vector<Candidate> next = population;
+    while (static_cast<int>(next.size()) < config.population) {
+      const Candidate& parent =
+          population[rng.UniformInt(static_cast<int>(population.size()))];
+      Vector child = parent.x;
+      bool changed = false;
+      if (rng.Bernoulli(config.crossover_rate) && population.size() > 1) {
+        const Candidate& other =
+            population[rng.UniformInt(static_cast<int>(population.size()))];
+        // Crossover: adopt the other parent's change on one feature.
+        for (int j = 0; j < d; ++j) {
+          if (other.x[j] != instance[j] && rng.Bernoulli(0.5)) {
+            child[j] = other.x[j];
+            changed = true;
+          }
+        }
+      }
+      if (rng.Bernoulli(config.mutation_rate) || !changed) {
+        int feature = rng.UniformInt(d);
+        child[feature] = sample_value(feature);
+        changed = true;
+      }
+      if (!satisfies(child)) continue;
+      next.push_back(make_candidate(std::move(child)));
+    }
+    population = std::move(next);
+
+    Candidate gen_best = population[0];
+    for (const Candidate& c : population)
+      if (c.BetterThan(gen_best)) gen_best = c;
+    if (gen_best.BetterThan(best)) {
+      best = gen_best;
+      stable = 0;
+    } else if (best.valid) {
+      if (++stable >= config.patience) break;  // Real-time early exit.
+    }
+  }
+
+  if (best.valid) {
+    result.found = true;
+    result.best = eval.Evaluate(f, instance, best.x, desired_class,
+                                config.threshold);
+    // Collect distinct valid runners-up.
+    std::sort(population.begin(), population.end(), by_fitness);
+    for (const Candidate& c : population) {
+      if (!c.valid || c.x == best.x) continue;
+      result.runners_up.push_back(eval.Evaluate(f, instance, c.x,
+                                                desired_class,
+                                                config.threshold));
+      if (result.runners_up.size() >= 4) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace xai

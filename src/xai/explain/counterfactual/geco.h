@@ -1,0 +1,58 @@
+#ifndef XAI_EXPLAIN_COUNTERFACTUAL_GECO_H_
+#define XAI_EXPLAIN_COUNTERFACTUAL_GECO_H_
+
+#include <functional>
+#include <vector>
+
+#include "xai/core/rng.h"
+#include "xai/core/status.h"
+#include "xai/explain/counterfactual/counterfactual.h"
+
+namespace xai {
+
+/// \brief A PLAF-style plausibility/feasibility constraint: a predicate the
+/// counterfactual must satisfy (e.g. "education can only increase",
+/// "if education increases then age increases").
+using PlafConstraint = std::function<bool(const Vector& original,
+                                          const Vector& candidate)>;
+
+/// \brief Configuration of the GeCo-style genetic search.
+struct GecoConfig {
+  int population = 64;
+  int max_generations = 30;
+  /// Survivors kept per generation.
+  int elite = 16;
+  double mutation_rate = 0.4;
+  double crossover_rate = 0.6;
+  /// Stop after the best valid candidate has been stable this many
+  /// generations (the "real time" early exit).
+  int patience = 3;
+  double threshold = 0.5;
+  uint64_t seed = 11;
+};
+
+/// \brief Search statistics reported alongside the counterfactual.
+struct GecoResult {
+  /// Best counterfactual found (check `found`).
+  Counterfactual best;
+  bool found = false;
+  int model_calls = 0;
+  int generations = 0;
+  /// Additional valid candidates (sorted by quality) for diversity.
+  std::vector<Counterfactual> runners_up;
+};
+
+/// \brief GeCo-style counterfactual search (Schleich et al. 2021, §3):
+/// genetic algorithm whose candidate values are grounded in the training
+/// data (plausibility), subject to PLAF constraints (feasibility), exploring
+/// few-feature changes first and terminating as soon as a stable valid
+/// counterfactual exists — the design that makes "quality counterfactual
+/// explanations in real time" possible.
+Result<GecoResult> GecoCounterfactual(
+    const PredictFn& f, const Vector& instance, int desired_class,
+    const CounterfactualEvaluator& eval, const ActionabilitySpec& spec,
+    const std::vector<PlafConstraint>& plaf, const GecoConfig& config);
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_COUNTERFACTUAL_GECO_H_

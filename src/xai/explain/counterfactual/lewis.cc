@@ -1,0 +1,111 @@
+#include "xai/explain/counterfactual/lewis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xai/core/check.h"
+
+namespace xai {
+
+LewisExplainer::LewisExplainer(const LinearScm* scm, PredictFn f,
+                               double threshold)
+    : scm_(scm), f_(std::move(f)), threshold_(threshold) {
+  XAI_CHECK(scm != nullptr);
+}
+
+bool LewisExplainer::Positive(const Vector& world) const {
+  return f_(world) >= threshold_;
+}
+
+Result<LewisExplainer::Scores> LewisExplainer::AttributeScores(
+    int feature, double hi, double lo, int samples, Rng* rng) const {
+  if (feature < 0 || feature >= scm_->num_nodes())
+    return Status::InvalidArgument("feature out of range");
+  if (samples <= 0) return Status::InvalidArgument("samples must be > 0");
+  double midpoint = 0.5 * (hi + lo);
+
+  Scores scores;
+  int nec_hits = 0, suf_hits = 0, nesuf_hits = 0;
+  for (int s = 0; s < samples; ++s) {
+    Vector world = scm_->Sample(1, rng).Row(0);
+    bool positive = Positive(world);
+    bool is_high = world[feature] >= midpoint;
+
+    // Counterfactual twins under the two interventions (abduction of this
+    // world's noise happens inside Counterfactual()).
+    Vector twin_lo = scm_->Counterfactual(world, {{feature, lo}});
+    Vector twin_hi = scm_->Counterfactual(world, {{feature, hi}});
+    bool lo_positive = Positive(twin_lo);
+    bool hi_positive = Positive(twin_hi);
+
+    if (is_high && positive) {
+      ++scores.necessity_support;
+      if (!lo_positive) ++nec_hits;
+    }
+    if (!is_high && !positive) {
+      ++scores.sufficiency_support;
+      if (hi_positive) ++suf_hits;
+    }
+    if (hi_positive && !lo_positive) ++nesuf_hits;
+  }
+  scores.necessity = scores.necessity_support > 0
+                         ? static_cast<double>(nec_hits) /
+                               scores.necessity_support
+                         : 0.0;
+  scores.sufficiency = scores.sufficiency_support > 0
+                           ? static_cast<double>(suf_hits) /
+                                 scores.sufficiency_support
+                           : 0.0;
+  scores.nesuf = static_cast<double>(nesuf_hits) / samples;
+  return scores;
+}
+
+Result<std::vector<LewisExplainer::RecourseAction>>
+LewisExplainer::CounterfactualRecourse(
+    const Vector& instance,
+    const std::vector<std::pair<int, std::vector<double>>>& candidate_values,
+    int max_features, const Vector& mad) const {
+  if (static_cast<int>(instance.size()) != scm_->num_nodes())
+    return Status::InvalidArgument("instance width mismatch");
+  if (max_features < 1 || max_features > 2)
+    return Status::InvalidArgument(
+        "recourse search supports 1 or 2 intervened features");
+
+  std::vector<RecourseAction> actions;
+  auto try_action = [&](const std::map<int, double>& iv) {
+    Vector world = scm_->Counterfactual(instance, iv);
+    if (!Positive(world)) return;
+    RecourseAction action;
+    action.interventions = iv;
+    for (const auto& [j, v] : iv) {
+      double scale = j < static_cast<int>(mad.size()) && mad[j] > 1e-12
+                         ? mad[j]
+                         : 1.0;
+      action.cost += std::fabs(v - instance[j]) / scale;
+    }
+    action.counterfactual_world = std::move(world);
+    actions.push_back(std::move(action));
+  };
+
+  for (const auto& [j, values] : candidate_values)
+    for (double v : values) try_action({{j, v}});
+
+  if (max_features >= 2) {
+    for (size_t a = 0; a < candidate_values.size(); ++a) {
+      for (size_t b = a + 1; b < candidate_values.size(); ++b) {
+        for (double va : candidate_values[a].second)
+          for (double vb : candidate_values[b].second)
+            try_action({{candidate_values[a].first, va},
+                        {candidate_values[b].first, vb}});
+      }
+    }
+  }
+
+  std::sort(actions.begin(), actions.end(),
+            [](const RecourseAction& x, const RecourseAction& y) {
+              return x.cost < y.cost;
+            });
+  return actions;
+}
+
+}  // namespace xai

@@ -1,0 +1,75 @@
+#ifndef XAI_EXPLAIN_COUNTERFACTUAL_LEWIS_H_
+#define XAI_EXPLAIN_COUNTERFACTUAL_LEWIS_H_
+
+#include <map>
+#include <vector>
+
+#include "xai/causal/scm.h"
+#include "xai/core/rng.h"
+#include "xai/core/status.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief LEWIS-style probabilistic contrastive counterfactuals (Galhotra,
+/// Pradhan & Salimi 2021, §2.1.4): explains a classifier's output with the
+/// probabilities of necessity and sufficiency of attribute interventions,
+/// computed over a structural causal model, and ranks interventions for
+/// counterfactual recourse.
+class LewisExplainer {
+ public:
+  /// `scm` must outlive the explainer; `f` is the (black-box) classifier
+  /// over the SCM's node vector; outputs >= threshold count as positive.
+  LewisExplainer(const LinearScm* scm, PredictFn f, double threshold = 0.5);
+
+  /// Contrastive scores of the intervention do(X_j = hi) vs do(X_j = lo).
+  struct Scores {
+    /// P( Y_{do(X_j=lo)} = 0 | X_j "high", Y = 1 ) — would flipping the
+    /// attribute down have changed a positive outcome?
+    double necessity = 0.0;
+    /// P( Y_{do(X_j=hi)} = 1 | X_j "low", Y = 0 ) — would flipping it up fix
+    /// a negative outcome?
+    double sufficiency = 0.0;
+    /// P( Y_{do(hi)} = 1 and Y_{do(lo)} = 0 ) over the population.
+    double nesuf = 0.0;
+    /// How many rejection samples backed each conditional estimate.
+    int necessity_support = 0;
+    int sufficiency_support = 0;
+  };
+
+  /// Population-level scores by rejection sampling `samples` observational
+  /// worlds from the SCM; "X_j high/low" means above/below the midpoint of
+  /// hi and lo. Counterfactual outcomes use abduction of the sampled
+  /// world's noise.
+  Result<Scores> AttributeScores(int feature, double hi, double lo,
+                                 int samples, Rng* rng) const;
+
+  /// One recourse option for an individual.
+  struct RecourseAction {
+    std::map<int, double> interventions;
+    double cost = 0.0;
+    /// The counterfactual world resulting from the interventions.
+    Vector counterfactual_world;
+  };
+
+  /// Individual counterfactual recourse: among interventions assembled from
+  /// `candidate_values` (feature -> candidate values), finds those that flip
+  /// the individual's outcome to positive, trying single features first,
+  /// then pairs, up to `max_features`. Actions are returned sorted by cost
+  /// (sum over intervened features of |new - old| / mad[j]).
+  Result<std::vector<RecourseAction>> CounterfactualRecourse(
+      const Vector& instance,
+      const std::vector<std::pair<int, std::vector<double>>>& candidate_values,
+      int max_features, const Vector& mad) const;
+
+ private:
+  bool Positive(const Vector& world) const;
+
+  const LinearScm* scm_;
+  PredictFn f_;
+  double threshold_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_COUNTERFACTUAL_LEWIS_H_

@@ -1,0 +1,137 @@
+#include "xai/explain/counterfactual/recourse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace xai {
+
+std::string Flipset::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  if (!feasible) return "infeasible (no action set found)\n";
+  char buf[160];
+  for (const RecourseItem& item : items) {
+    std::snprintf(buf, sizeof(buf), "  %-20s %.4g -> %.4g (cost %.3f)\n",
+                  schema.features[item.feature].name.c_str(), item.from,
+                  item.to, item.cost);
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  total cost %.3f, new score %.4f\n",
+                total_cost, new_score);
+  os << buf;
+  return os.str();
+}
+
+namespace {
+
+// Candidate moves of one feature: grid between the current value and the
+// boundary allowed by the spec, in the direction that increases the score.
+std::vector<double> CandidateValues(const LogisticRegressionModel& model,
+                                    const Vector& instance, int feature,
+                                    const ActionabilitySpec& spec,
+                                    int grid_steps) {
+  std::vector<double> values;
+  double w = model.weights()[feature];
+  if (w == 0.0) return values;
+  if (feature < static_cast<int>(spec.immutable.size()) &&
+      spec.immutable[feature])
+    return values;
+  double cur = instance[feature];
+  double lo = feature < static_cast<int>(spec.ranges.size())
+                  ? spec.ranges[feature].first
+                  : cur - 1.0;
+  double hi = feature < static_cast<int>(spec.ranges.size())
+                  ? spec.ranges[feature].second
+                  : cur + 1.0;
+  // Direction that pushes the score up.
+  double target = w > 0.0 ? hi : lo;
+  for (int s = 1; s <= grid_steps; ++s) {
+    double v = cur + (target - cur) * s / grid_steps;
+    if (spec.Allows(feature, cur, v) && v != cur) values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace
+
+Result<Flipset> LinearRecourse(const LogisticRegressionModel& model,
+                               const Vector& instance,
+                               const ActionabilitySpec& spec,
+                               const Vector& mad,
+                               const RecourseConfig& config) {
+  int d = static_cast<int>(instance.size());
+  if (static_cast<int>(model.weights().size()) != d)
+    return Status::InvalidArgument("model/instance width mismatch");
+  if (config.max_features < 1 || config.max_features > 3)
+    return Status::InvalidArgument("max_features must be in [1, 3]");
+
+  double base_margin = model.Margin(instance);
+  if (base_margin >= config.target_margin) {
+    Flipset trivial;
+    trivial.feasible = true;
+    trivial.new_score = model.Predict(instance);
+    return trivial;  // Already positive: empty flipset.
+  }
+
+  std::vector<std::vector<double>> candidates(d);
+  for (int j = 0; j < d; ++j)
+    candidates[j] =
+        CandidateValues(model, instance, j, spec, config.grid_steps);
+
+  auto cost_of = [&](int j, double to) {
+    double scale = j < static_cast<int>(mad.size()) && mad[j] > 1e-12
+                       ? mad[j]
+                       : 1.0;
+    return std::fabs(to - instance[j]) / scale;
+  };
+  auto margin_gain = [&](int j, double to) {
+    return model.weights()[j] * (to - instance[j]);
+  };
+
+  Flipset best;
+  double best_cost = 1e300;
+  auto consider = [&](const std::vector<std::pair<int, double>>& actions) {
+    double margin = base_margin;
+    double cost = 0.0;
+    for (const auto& [j, v] : actions) {
+      margin += margin_gain(j, v);
+      cost += cost_of(j, v);
+    }
+    if (margin < config.target_margin || cost >= best_cost) return;
+    best_cost = cost;
+    best.items.clear();
+    Vector moved = instance;
+    for (const auto& [j, v] : actions) {
+      best.items.push_back({j, instance[j], v, cost_of(j, v)});
+      moved[j] = v;
+    }
+    best.total_cost = cost;
+    best.new_score = model.Predict(moved);
+    best.feasible = true;
+  };
+
+  // Single-feature actions.
+  for (int j = 0; j < d; ++j)
+    for (double v : candidates[j]) consider({{j, v}});
+  // Pairs.
+  if (config.max_features >= 2) {
+    for (int a = 0; a < d; ++a)
+      for (int b = a + 1; b < d; ++b)
+        for (double va : candidates[a])
+          for (double vb : candidates[b]) consider({{a, va}, {b, vb}});
+  }
+  // Triples.
+  if (config.max_features >= 3) {
+    for (int a = 0; a < d; ++a)
+      for (int b = a + 1; b < d; ++b)
+        for (int c = b + 1; c < d; ++c)
+          for (double va : candidates[a])
+            for (double vb : candidates[b])
+              for (double vc : candidates[c])
+                consider({{a, va}, {b, vb}, {c, vc}});
+  }
+  return best;
+}
+
+}  // namespace xai

@@ -1,0 +1,55 @@
+#ifndef XAI_EXPLAIN_COUNTERFACTUAL_RECOURSE_H_
+#define XAI_EXPLAIN_COUNTERFACTUAL_RECOURSE_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/explain/counterfactual/counterfactual.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+
+/// \brief One feature change within a recourse flipset.
+struct RecourseItem {
+  int feature = -1;
+  double from = 0.0;
+  double to = 0.0;
+  double cost = 0.0;
+};
+
+/// \brief A minimal-cost set of actions that flips a linear classifier's
+/// decision (Ustun, Spangher & Liu 2019, §2.1.4: "actionable recourse in
+/// linear classification").
+struct Flipset {
+  std::vector<RecourseItem> items;
+  double total_cost = 0.0;
+  /// Model score after applying the actions.
+  double new_score = 0.0;
+  bool feasible = false;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// \brief Configuration of the recourse search.
+struct RecourseConfig {
+  /// Grid points per feature between its current value and its bound.
+  int grid_steps = 8;
+  /// Maximum number of features changed jointly (exhaustive search; <= 3).
+  int max_features = 2;
+  /// Required margin past the decision boundary.
+  double target_margin = 1e-6;
+};
+
+/// Exhaustive grid search for the cheapest action set that makes the
+/// logistic model predict the positive class for `instance`, honoring the
+/// actionability spec. Cost of changing feature j by delta = |delta|/mad_j.
+Result<Flipset> LinearRecourse(const LogisticRegressionModel& model,
+                               const Vector& instance,
+                               const ActionabilitySpec& spec,
+                               const Vector& mad,
+                               const RecourseConfig& config = {});
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_COUNTERFACTUAL_RECOURSE_H_

@@ -1,0 +1,57 @@
+#include "xai/explain/explanation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "xai/core/stats.h"
+
+namespace xai {
+
+std::vector<int> AttributionExplanation::TopFeatures(int k) const {
+  std::vector<double> magnitude(attributions.size());
+  for (size_t i = 0; i < attributions.size(); ++i)
+    magnitude[i] = std::fabs(attributions[i]);
+  std::vector<int> order = ArgSortDescending(magnitude);
+  if (k < static_cast<int>(order.size())) order.resize(k);
+  return order;
+}
+
+double AttributionExplanation::AttributionSum() const {
+  return base_value +
+         std::accumulate(attributions.begin(), attributions.end(), 0.0);
+}
+
+std::string AttributionExplanation::ToString() const {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "prediction=%.4f base=%.4f\n", prediction,
+                base_value);
+  os << buf;
+  for (int i : TopFeatures(static_cast<int>(attributions.size()))) {
+    const std::string& name = i < static_cast<int>(feature_names.size())
+                                  ? feature_names[i]
+                                  : "feature_" + std::to_string(i);
+    std::snprintf(buf, sizeof(buf), "  %-24s %+.5f\n", name.c_str(),
+                  attributions[i]);
+    os << buf;
+  }
+  return os.str();
+}
+
+Vector MedianAbsoluteDeviation(const Matrix& x) {
+  Vector mad(x.cols());
+  for (int j = 0; j < x.cols(); ++j) {
+    std::vector<double> col = x.Col(j);
+    double med = Median(col);
+    std::vector<double> dev(col.size());
+    for (size_t i = 0; i < col.size(); ++i) dev[i] = std::fabs(col[i] - med);
+    double m = Median(dev);
+    mad[j] = m > 1e-9 ? m : 1.0;
+  }
+  return mad;
+}
+
+}  // namespace xai

@@ -1,0 +1,40 @@
+#ifndef XAI_EXPLAIN_EXPLANATION_H_
+#define XAI_EXPLAIN_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/matrix.h"
+
+namespace xai {
+
+/// \brief A feature-attribution explanation: one real number per feature
+/// indicating the magnitude and direction of its influence on a single
+/// prediction (§2.1 of the tutorial).
+struct AttributionExplanation {
+  /// Attribution of each feature (aligned with `feature_names`).
+  Vector attributions;
+  /// The explainer's reference output (expected value / intercept).
+  double base_value = 0.0;
+  /// Model output at the explained instance.
+  double prediction = 0.0;
+  std::vector<std::string> feature_names;
+
+  /// Indices of the `k` largest-|attribution| features, descending.
+  std::vector<int> TopFeatures(int k) const;
+
+  /// Sum of attributions plus base value (equals the prediction for
+  /// efficiency-satisfying explainers such as SHAP).
+  double AttributionSum() const;
+
+  /// Pretty-printed table of the attributions.
+  std::string ToString() const;
+};
+
+/// Mean absolute deviation of each column of `x` from its median — the
+/// robust per-feature scale used by LIME/DiCE-style distances.
+Vector MedianAbsoluteDeviation(const Matrix& x);
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_EXPLANATION_H_

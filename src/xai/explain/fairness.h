@@ -1,0 +1,51 @@
+#ifndef XAI_EXPLAIN_FAIRNESS_H_
+#define XAI_EXPLAIN_FAIRNESS_H_
+
+#include <string>
+
+#include "xai/core/matrix.h"
+#include "xai/core/rng.h"
+#include "xai/core/status.h"
+#include "xai/data/dataset.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief Group-fairness metrics and disparity attribution. The paper's
+/// motivation (3): XAI should "facilitat(e) the identification of sources of
+/// harms such as bias and discrimination"; QII (Datta et al., §2.1.2)
+/// defines exactly this "group disparity" quantity of interest.
+
+/// Group outcome statistics for a binary protected feature.
+struct GroupFairnessReport {
+  /// Mean model output (e.g. P(positive)) per group value 0 / 1.
+  double mean_outcome_group0 = 0.0;
+  double mean_outcome_group1 = 0.0;
+  /// Demographic-parity difference: |mean1 - mean0|.
+  double demographic_parity_gap = 0.0;
+  /// True-positive-rate difference (equal opportunity): needs labels.
+  double equal_opportunity_gap = 0.0;
+  int count_group0 = 0;
+  int count_group1 = 0;
+
+  std::string ToString() const;
+};
+
+/// Evaluates group fairness of a model over a dataset; `group_feature` must
+/// be a binary (0/1-coded) feature.
+Result<GroupFairnessReport> EvaluateGroupFairness(const PredictFn& f,
+                                                  const Dataset& data,
+                                                  int group_feature);
+
+/// \brief Disparity QII (Datta et al.'s "group disparity" quantity of
+/// interest): the influence of each feature on the demographic-parity gap,
+/// measured as
+///   iota_j = gap(original) - E[ gap when feature j is randomized ].
+/// A large positive value means feature j *carries* the disparity (directly
+/// or as a proxy); near-zero means the gap survives without it.
+Result<Vector> DisparityQii(const PredictFn& f, const Dataset& data,
+                            int group_feature, int repeats, Rng* rng);
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_FAIRNESS_H_

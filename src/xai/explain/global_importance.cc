@@ -1,0 +1,93 @@
+#include "xai/explain/global_importance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "xai/core/stats.h"
+#include "xai/explain/shapley/tree_shap.h"
+
+namespace xai {
+
+Vector GlobalShapImportance(const TreeEnsembleView& view, const Dataset& data,
+                            int max_rows) {
+  int d = data.num_features();
+  Vector importance(d, 0.0);
+  int rows = std::min(max_rows, data.num_rows());
+  if (rows == 0) return importance;
+  for (int i = 0; i < rows; ++i) {
+    AttributionExplanation exp = TreeShap(view, data.Row(i));
+    for (int j = 0; j < d; ++j)
+      importance[j] += std::fabs(exp.attributions[j]);
+  }
+  for (double& v : importance) v /= rows;
+  return importance;
+}
+
+Vector SplitFrequencyImportance(const TreeEnsembleView& view,
+                                int num_features) {
+  Vector importance(num_features, 0.0);
+  double total = 0.0;
+  for (int t = 0; t < view.num_trees(); ++t) {
+    for (const TreeNode& node : view.trees[t]->nodes()) {
+      if (node.IsLeaf()) continue;
+      if (node.feature >= 0 && node.feature < num_features) {
+        importance[node.feature] += view.scales[t] * node.cover;
+        total += view.scales[t] * node.cover;
+      }
+    }
+  }
+  if (total > 0.0)
+    for (double& v : importance) v /= total;
+  return importance;
+}
+
+Result<Vector> PermutationImportance(
+    const PredictFn& f, const Dataset& data,
+    const std::function<double(const Vector& scores, const Vector& labels)>&
+        metric,
+    int repeats, Rng* rng) {
+  if (data.num_rows() < 2)
+    return Status::InvalidArgument("need at least two rows");
+  if (repeats < 1) return Status::InvalidArgument("repeats must be >= 1");
+  int n = data.num_rows(), d = data.num_features();
+
+  Vector baseline_scores(n);
+  for (int i = 0; i < n; ++i) baseline_scores[i] = f(data.Row(i));
+  double baseline = metric(baseline_scores, data.y());
+
+  Vector importance(d, 0.0);
+  Matrix x = data.x();
+  for (int j = 0; j < d; ++j) {
+    double drop = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      std::vector<int> perm = rng->Permutation(n);
+      Vector scores(n);
+      Vector row(d);
+      for (int i = 0; i < n; ++i) {
+        for (int k = 0; k < d; ++k) row[k] = x(i, k);
+        row[j] = x(perm[i], j);  // Break the feature-label association.
+        scores[i] = f(row);
+      }
+      drop += baseline - metric(scores, data.y());
+    }
+    importance[j] = drop / repeats;
+  }
+  return importance;
+}
+
+std::string ImportanceToString(const Vector& importance,
+                               const Schema& schema) {
+  std::ostringstream os;
+  std::vector<int> order = ArgSortDescending(importance);
+  for (int j : order) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  %-22s %.5f\n",
+                  schema.features[j].name.c_str(), importance[j]);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace xai

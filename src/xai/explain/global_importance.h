@@ -1,0 +1,46 @@
+#ifndef XAI_EXPLAIN_GLOBAL_IMPORTANCE_H_
+#define XAI_EXPLAIN_GLOBAL_IMPORTANCE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xai/core/rng.h"
+#include "xai/core/status.h"
+#include "xai/data/dataset.h"
+#include "xai/model/model.h"
+#include "xai/model/tree_ensemble_view.h"
+
+namespace xai {
+
+/// \brief Global feature-importance measures (§2.1.2: TreeSHAP "suggests
+/// ways to combine local explanations to get a global understanding of the
+/// model").
+
+/// Mean |SHAP value| per feature over (up to `max_rows` of) a dataset,
+/// computed with TreeSHAP — the SHAP summary-bar aggregation.
+Vector GlobalShapImportance(const TreeEnsembleView& view, const Dataset& data,
+                            int max_rows = 200);
+
+/// Cover-weighted split-frequency importance: how much training mass flows
+/// through splits on each feature, summed over the ensemble. The classic
+/// cheap structural importance TreeSHAP's global view improves on.
+Vector SplitFrequencyImportance(const TreeEnsembleView& view,
+                                int num_features);
+
+/// Permutation importance (Breiman): the drop in `metric` (higher = better,
+/// e.g. accuracy or AUC) when feature j's column is shuffled. Model
+/// agnostic; `repeats` shuffles are averaged.
+Result<Vector> PermutationImportance(
+    const PredictFn& f, const Dataset& data,
+    const std::function<double(const Vector& scores, const Vector& labels)>&
+        metric,
+    int repeats, Rng* rng);
+
+/// Renders an importance vector as a sorted human-readable table.
+std::string ImportanceToString(const Vector& importance,
+                               const Schema& schema);
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_GLOBAL_IMPORTANCE_H_

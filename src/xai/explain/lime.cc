@@ -1,0 +1,195 @@
+#include "xai/explain/lime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "xai/core/linalg.h"
+#include "xai/core/stats.h"
+
+namespace xai {
+
+LimeExplainer::LimeExplainer(const Dataset& train, const LimeConfig& config)
+    : config_(config),
+      schema_(train.schema()),
+      perturber_(train, config.strategy, config.discretizer_bins) {}
+
+namespace {
+
+// Weighted R^2 of predictions vs targets.
+double WeightedR2(const Vector& pred, const Vector& target, const Vector& w) {
+  double wsum = 0.0, mean = 0.0;
+  for (size_t i = 0; i < target.size(); ++i) {
+    wsum += w[i];
+    mean += w[i] * target[i];
+  }
+  if (wsum <= 0.0) return 0.0;
+  mean /= wsum;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < target.size(); ++i) {
+    ss_res += w[i] * (target[i] - pred[i]) * (target[i] - pred[i]);
+    ss_tot += w[i] * (target[i] - mean) * (target[i] - mean);
+  }
+  if (ss_tot <= 1e-12) return 1.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace
+
+Result<LimeExplanation> LimeExplainer::Explain(const PredictFn& f,
+                                               const Vector& instance,
+                                               uint64_t seed) const {
+  int d = static_cast<int>(instance.size());
+  if (d != schema_.num_features())
+    return Status::InvalidArgument("instance width does not match schema");
+  Rng rng(seed);
+  int n = config_.num_samples;
+  Matrix raw = perturber_.Sample(instance, n, &rng);
+
+  // Design matrix over the interpretable representation; row 0 is the
+  // instance itself, as in the reference implementation. In discretized
+  // mode the representation is binary same-bin indicators; in Gaussian mode
+  // numeric features enter as standardized raw values (the reference
+  // discretize_continuous=False behavior) and categoricals as match
+  // indicators.
+  bool discretized = config_.strategy == Perturber::Strategy::kDiscretized;
+  Matrix z(n + 1, d);
+  Vector target(n + 1);
+  Vector weight(n + 1);
+  double width = config_.kernel_width > 0.0
+                     ? config_.kernel_width
+                     : 0.75 * std::sqrt(static_cast<double>(d));
+  for (int i = 0; i <= n; ++i) {
+    Vector sample = i == 0 ? instance : raw.Row(i - 1);
+    if (discretized) {
+      std::vector<int> zi = perturber_.Interpretable(instance, sample);
+      for (int j = 0; j < d; ++j) z(i, j) = zi[j];
+    } else {
+      for (int j = 0; j < d; ++j) {
+        if (schema_.features[j].is_categorical()) {
+          z(i, j) = static_cast<int>(sample[j]) ==
+                            static_cast<int>(instance[j])
+                        ? 1.0
+                        : 0.0;
+        } else {
+          z(i, j) = (sample[j] - perturber_.means()[j]) /
+                    perturber_.stddevs()[j];
+        }
+      }
+    }
+    target[i] = f(sample);
+    double dist = perturber_.Distance(instance, sample);
+    weight[i] = std::exp(-dist * dist / (width * width));
+  }
+
+  // Optional forward selection of top_k interpretable features.
+  std::vector<int> selected;
+  if (config_.top_k > 0 && config_.top_k < d) {
+    std::set<int> remaining;
+    for (int j = 0; j < d; ++j) remaining.insert(j);
+    while (static_cast<int>(selected.size()) < config_.top_k) {
+      int best = -1;
+      double best_r2 = -1e18;
+      for (int j : remaining) {
+        std::vector<int> cand = selected;
+        cand.push_back(j);
+        Matrix sub(n + 1, static_cast<int>(cand.size()));
+        for (int i = 0; i <= n; ++i)
+          for (size_t c = 0; c < cand.size(); ++c) sub(i, c) = z(i, cand[c]);
+        auto coef = WeightedRidgeRegression(sub, target, weight,
+                                            config_.ridge, true);
+        if (!coef.ok()) continue;
+        Vector pred(n + 1);
+        for (int i = 0; i <= n; ++i) {
+          double p = coef.ValueUnsafe().back();
+          for (size_t c = 0; c < cand.size(); ++c)
+            p += coef.ValueUnsafe()[c] * sub(i, c);
+          pred[i] = p;
+        }
+        double r2 = WeightedR2(pred, target, weight);
+        if (r2 > best_r2) {
+          best_r2 = r2;
+          best = j;
+        }
+      }
+      if (best < 0) break;
+      selected.push_back(best);
+      remaining.erase(best);
+    }
+  } else {
+    for (int j = 0; j < d; ++j) selected.push_back(j);
+  }
+
+  Matrix design(n + 1, static_cast<int>(selected.size()));
+  for (int i = 0; i <= n; ++i)
+    for (size_t c = 0; c < selected.size(); ++c)
+      design(i, c) = z(i, selected[c]);
+  XAI_ASSIGN_OR_RETURN(Vector coef,
+                       WeightedRidgeRegression(design, target, weight,
+                                               config_.ridge, true));
+
+  LimeExplanation exp;
+  exp.attributions.assign(d, 0.0);
+  for (size_t c = 0; c < selected.size(); ++c)
+    exp.attributions[selected[c]] = coef[c];
+  exp.intercept = coef.back();
+  exp.base_value = coef.back();
+  exp.prediction = target[0];
+  for (int j = 0; j < d; ++j)
+    exp.feature_names.push_back(schema_.features[j].name);
+
+  Vector pred(n + 1);
+  for (int i = 0; i <= n; ++i) {
+    double p = exp.intercept;
+    for (size_t c = 0; c < selected.size(); ++c)
+      p += coef[c] * design(i, c);
+    pred[i] = p;
+  }
+  exp.local_r2 = WeightedR2(pred, target, weight);
+  return exp;
+}
+
+Result<LimeStability> EvaluateLimeStability(const LimeExplainer& explainer,
+                                            const PredictFn& f,
+                                            const Vector& instance, int runs,
+                                            int top_k, uint64_t seed) {
+  if (runs < 2) return Status::InvalidArgument("need at least 2 runs");
+  std::vector<Vector> coefs;
+  std::vector<std::set<int>> tops;
+  LimeStability out;
+  for (int r = 0; r < runs; ++r) {
+    XAI_ASSIGN_OR_RETURN(LimeExplanation e,
+                         explainer.Explain(f, instance, seed + r));
+    coefs.push_back(e.attributions);
+    std::vector<int> top = e.TopFeatures(top_k);
+    tops.emplace_back(top.begin(), top.end());
+    out.mean_r2 += e.local_r2 / runs;
+  }
+  int d = static_cast<int>(instance.size());
+  double acc = 0.0;
+  for (int j = 0; j < d; ++j) {
+    std::vector<double> vals;
+    for (const Vector& c : coefs) vals.push_back(c[j]);
+    acc += StdDev(vals);
+  }
+  out.coefficient_stddev = acc / d;
+
+  double jac = 0.0;
+  int pairs = 0;
+  for (size_t a = 0; a < tops.size(); ++a) {
+    for (size_t b = a + 1; b < tops.size(); ++b) {
+      std::vector<int> inter;
+      std::set_intersection(tops[a].begin(), tops[a].end(), tops[b].begin(),
+                            tops[b].end(), std::back_inserter(inter));
+      std::set<int> uni = tops[a];
+      uni.insert(tops[b].begin(), tops[b].end());
+      jac += uni.empty() ? 1.0
+                         : static_cast<double>(inter.size()) / uni.size();
+      ++pairs;
+    }
+  }
+  out.jaccard_top_k = pairs > 0 ? jac / pairs : 1.0;
+  return out;
+}
+
+}  // namespace xai

@@ -1,0 +1,77 @@
+#include "xai/explain/partial_dependence.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "xai/core/stats.h"
+
+namespace xai {
+
+Vector PartialDependence::IceStdDev() const {
+  Vector out(grid.size(), 0.0);
+  for (size_t k = 0; k < grid.size(); ++k) {
+    std::vector<double> col = ice.Col(static_cast<int>(k));
+    out[k] = StdDev(col);
+  }
+  return out;
+}
+
+std::string PartialDependence::ToString(
+    const std::string& feature_name) const {
+  std::ostringstream os;
+  os << "partial dependence of " << feature_name << ":\n";
+  Vector sd = IceStdDev();
+  for (size_t k = 0; k < grid.size(); ++k) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  %10.4g -> %8.4f (ice sd %.4f)\n",
+                  grid[k], mean[k], sd[k]);
+    os << buf;
+  }
+  return os.str();
+}
+
+Result<PartialDependence> ComputePartialDependence(
+    const PredictFn& f, const Dataset& data, int feature,
+    const PartialDependenceConfig& config) {
+  if (feature < 0 || feature >= data.num_features())
+    return Status::OutOfRange("feature out of range");
+  if (data.num_rows() == 0) return Status::InvalidArgument("empty dataset");
+  if (config.grid_points < 2)
+    return Status::InvalidArgument("need at least 2 grid points");
+
+  const FeatureSpec& spec = data.schema().features[feature];
+  PartialDependence pd;
+  if (spec.is_categorical()) {
+    for (int c = 0; c < spec.num_categories(); ++c)
+      pd.grid.push_back(static_cast<double>(c));
+  } else {
+    std::vector<double> col = data.x().Col(feature);
+    for (int k = 0; k < config.grid_points; ++k) {
+      double q = static_cast<double>(k) / (config.grid_points - 1);
+      pd.grid.push_back(Quantile(col, q));
+    }
+    pd.grid.erase(std::unique(pd.grid.begin(), pd.grid.end()),
+                  pd.grid.end());
+  }
+
+  int rows = config.max_rows > 0
+                 ? std::min(config.max_rows, data.num_rows())
+                 : data.num_rows();
+  int g = static_cast<int>(pd.grid.size());
+  pd.ice = Matrix(rows, g);
+  pd.mean.assign(g, 0.0);
+  Vector row;
+  for (int i = 0; i < rows; ++i) {
+    row = data.Row(i);
+    for (int k = 0; k < g; ++k) {
+      row[feature] = pd.grid[k];
+      double v = f(row);
+      pd.ice(i, k) = v;
+      pd.mean[k] += v / rows;
+    }
+  }
+  return pd;
+}
+
+}  // namespace xai

@@ -1,0 +1,47 @@
+#ifndef XAI_EXPLAIN_PARTIAL_DEPENDENCE_H_
+#define XAI_EXPLAIN_PARTIAL_DEPENDENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/matrix.h"
+#include "xai/core/status.h"
+#include "xai/data/dataset.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief Partial-dependence and ICE curves (§2: methods that "provide a
+/// comprehensive summary of features"): the classic global view of how one
+/// feature moves the model output, marginalized over the data.
+struct PartialDependence {
+  /// Grid of values of the probed feature.
+  Vector grid;
+  /// PD curve: mean model output with the feature forced to grid[k].
+  Vector mean;
+  /// ICE curves: per-row outputs (rows x grid), for heterogeneity checks.
+  Matrix ice;
+
+  /// Standard deviation of the ICE curves at each grid point — large values
+  /// flag interactions that the averaged PD curve hides.
+  Vector IceStdDev() const;
+
+  std::string ToString(const std::string& feature_name) const;
+};
+
+struct PartialDependenceConfig {
+  /// Grid points; numeric features use equally spaced quantiles,
+  /// categorical features enumerate their categories.
+  int grid_points = 10;
+  /// Rows sampled from the dataset (0 = all).
+  int max_rows = 200;
+};
+
+/// Computes PD + ICE of `feature` for a black-box model over `data`.
+Result<PartialDependence> ComputePartialDependence(
+    const PredictFn& f, const Dataset& data, int feature,
+    const PartialDependenceConfig& config = {});
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_PARTIAL_DEPENDENCE_H_

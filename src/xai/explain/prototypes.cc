@@ -1,0 +1,119 @@
+#include "xai/explain/prototypes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xai/core/stats.h"
+
+namespace xai {
+
+double RbfKernel(const Vector& a, const Vector& b, double bandwidth) {
+  double acc = 0.0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    double d = a[j] - b[j];
+    acc += d * d;
+  }
+  return std::exp(-acc / (2.0 * bandwidth * bandwidth));
+}
+
+double MedianHeuristicBandwidth(const Dataset& data, int max_rows) {
+  int n = std::min(max_rows, data.num_rows());
+  std::vector<double> dists;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (int f = 0; f < data.num_features(); ++f) {
+        double d = data.At(i, f) - data.At(j, f);
+        acc += d * d;
+      }
+      dists.push_back(std::sqrt(acc));
+    }
+  }
+  if (dists.empty()) return 1.0;
+  double med = Median(std::move(dists));
+  return med > 1e-9 ? med : 1.0;
+}
+
+Result<PrototypeResult> SelectPrototypes(const Dataset& data,
+                                         const PrototypeConfig& config) {
+  int n = data.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  if (config.num_prototypes < 1 || config.num_prototypes > n)
+    return Status::InvalidArgument("bad num_prototypes");
+  double bw = config.bandwidth > 0.0 ? config.bandwidth
+                                     : MedianHeuristicBandwidth(data);
+
+  // Precompute rows and the mean kernel value of each point to the data:
+  // colmean[i] = (1/n) sum_j k(x_i, x_j).
+  std::vector<Vector> rows(n);
+  for (int i = 0; i < n; ++i) rows[i] = data.Row(i);
+  Vector colmean(n, 0.0);
+  // Symmetric accumulation (k(i,i) = 1).
+  std::vector<std::vector<double>> kernel(n);
+  for (int i = 0; i < n; ++i) kernel[i].assign(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    kernel[i][i] = 1.0;
+    for (int j = i + 1; j < n; ++j) {
+      double k = RbfKernel(rows[i], rows[j], bw);
+      kernel[i][j] = kernel[j][i] = k;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < n; ++j) acc += kernel[i][j];
+    colmean[i] = acc / n;
+  }
+
+  // Greedy MMD^2 minimization: with prototype set S,
+  //   MMD^2(S) = const - (2/(n|S|)) sum_{i in S} sum_j k_ij
+  //              + (1/|S|^2) sum_{i,i' in S} k_ii'.
+  PrototypeResult result;
+  std::vector<bool> chosen(n, false);
+  Vector proto_ksum(n, 0.0);  // sum_{p in S} k(i, p) for every i.
+  double ss_sum = 0.0;        // sum over pairs within S (incl. diagonal).
+  double data_const = 0.0;
+  for (int i = 0; i < n; ++i) data_const += colmean[i] / n;
+
+  for (int pick = 0; pick < config.num_prototypes; ++pick) {
+    int best = -1;
+    double best_mmd = 1e300;
+    int m = pick + 1;
+    for (int c = 0; c < n; ++c) {
+      if (chosen[c]) continue;
+      double new_ss = ss_sum + 2.0 * proto_ksum[c] + 1.0;
+      double cross = 0.0;
+      // sum_{p in S+c} colmean[p] (2/m averaged below).
+      // Track incrementally: store running sum of colmeans of S.
+      cross = colmean[c];
+      for (int p : result.prototypes) cross += colmean[p];
+      double mmd = data_const - 2.0 * cross / m + new_ss / (m * m);
+      if (mmd < best_mmd) {
+        best_mmd = mmd;
+        best = c;
+      }
+    }
+    chosen[best] = true;
+    ss_sum += 2.0 * proto_ksum[best] + 1.0;
+    for (int i = 0; i < n; ++i) proto_ksum[i] += kernel[i][best];
+    result.prototypes.push_back(best);
+    result.mmd_trace.push_back(best_mmd);
+  }
+
+  // Criticisms: largest |witness| where
+  //   witness(x) = (1/n) sum_j k(x, x_j) - (1/|S|) sum_{p in S} k(x, p).
+  int m = static_cast<int>(result.prototypes.size());
+  std::vector<double> witness(n);
+  for (int i = 0; i < n; ++i)
+    witness[i] = std::fabs(colmean[i] - proto_ksum[i] / m);
+  std::vector<int> order = ArgSortDescending(witness);
+  for (int i : order) {
+    if (chosen[i]) continue;
+    result.criticisms.push_back(i);
+    if (static_cast<int>(result.criticisms.size()) >=
+        config.num_criticisms)
+      break;
+  }
+  return result;
+}
+
+}  // namespace xai

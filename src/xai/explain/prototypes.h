@@ -1,0 +1,53 @@
+#ifndef XAI_EXPLAIN_PROTOTYPES_H_
+#define XAI_EXPLAIN_PROTOTYPES_H_
+
+#include <vector>
+
+#include "xai/core/matrix.h"
+#include "xai/core/status.h"
+#include "xai/data/dataset.h"
+
+namespace xai {
+
+/// \brief Example-based explanations (§2: "some return data points to make
+/// the model interpretable"): MMD-critic-style prototypes and criticisms
+/// (Kim, Khanna & Koyejo 2016).
+///
+/// Prototypes are training points that together minimize the maximum mean
+/// discrepancy (MMD) between the data distribution and the prototype set
+/// under an RBF kernel — representative examples. Criticisms are points
+/// worst-represented by the prototypes (largest witness-function value) —
+/// the outliers/edge cases a user should also see.
+struct PrototypeResult {
+  /// Row indices of the selected prototypes (in selection order).
+  std::vector<int> prototypes;
+  /// Row indices of the criticisms (most under-represented first).
+  std::vector<int> criticisms;
+  /// MMD^2 between data and prototype set after each greedy addition.
+  std::vector<double> mmd_trace;
+};
+
+struct PrototypeConfig {
+  int num_prototypes = 5;
+  int num_criticisms = 3;
+  /// RBF kernel bandwidth; <= 0 uses the median-heuristic over pairwise
+  /// distances of (a sample of) the data.
+  double bandwidth = -1.0;
+};
+
+/// Greedy MMD prototype selection plus witness-function criticisms over the
+/// dataset's standardized numeric representation (categoricals enter as
+/// their codes; standardize beforehand for mixed scales).
+Result<PrototypeResult> SelectPrototypes(const Dataset& data,
+                                         const PrototypeConfig& config = {});
+
+/// RBF kernel value between two rows: exp(-||a-b||^2 / (2 bw^2)).
+double RbfKernel(const Vector& a, const Vector& b, double bandwidth);
+
+/// Median-heuristic bandwidth over pairwise distances of up to `max_rows`
+/// rows.
+double MedianHeuristicBandwidth(const Dataset& data, int max_rows = 200);
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_PROTOTYPES_H_

@@ -1,0 +1,119 @@
+#include "xai/explain/shapley/asymmetric_shapley.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "xai/core/check.h"
+
+namespace xai {
+namespace {
+
+// Marginal contributions along one permutation, added into acc with weight.
+void AccumulatePermutation(const CoalitionGame& game,
+                           const std::vector<int>& perm, double weight,
+                           Vector* acc) {
+  uint64_t mask = 0;
+  double prev = game.Value(0);
+  for (int i : perm) {
+    mask |= 1ULL << i;
+    double cur = game.Value(mask);
+    (*acc)[i] += weight * (cur - prev);
+    prev = cur;
+  }
+}
+
+bool ConsistentWithDag(const std::vector<int>& perm, const Dag& dag) {
+  std::vector<int> position(perm.size());
+  for (size_t p = 0; p < perm.size(); ++p) position[perm[p]] = static_cast<int>(p);
+  for (const auto& [from, to] : dag.Edges())
+    if (position[from] > position[to]) return false;
+  // Edges only give direct precedence; ancestors follow transitively.
+  return true;
+}
+
+}  // namespace
+
+Result<Vector> ExactAsymmetricShapley(const CoalitionGame& game,
+                                      const Dag& dag) {
+  int n = game.num_players();
+  if (n != dag.num_nodes())
+    return Status::InvalidArgument("DAG size must match player count");
+  if (n > 9)
+    return Status::InvalidArgument(
+        "exact asymmetric Shapley enumerates n! permutations; n > 9 refused");
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  Vector acc(n, 0.0);
+  int count = 0;
+  do {
+    if (!ConsistentWithDag(perm, dag)) continue;
+    AccumulatePermutation(game, perm, 1.0, &acc);
+    ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  if (count == 0) return Status::Internal("no consistent permutation found");
+  for (double& v : acc) v /= count;
+  return acc;
+}
+
+std::vector<int> RandomLinearExtension(const Dag& dag, Rng* rng) {
+  int n = dag.num_nodes();
+  std::vector<int> indeg(n);
+  for (int i = 0; i < n; ++i)
+    indeg[i] = static_cast<int>(dag.Parents(i).size());
+  std::vector<int> available;
+  for (int i = 0; i < n; ++i)
+    if (indeg[i] == 0) available.push_back(i);
+  std::vector<int> order;
+  order.reserve(n);
+  while (!available.empty()) {
+    int pick = rng->UniformInt(static_cast<int>(available.size()));
+    int node = available[pick];
+    available.erase(available.begin() + pick);
+    order.push_back(node);
+    for (int child : dag.Children(node))
+      if (--indeg[child] == 0) available.push_back(child);
+  }
+  XAI_CHECK_EQ(static_cast<int>(order.size()), n);
+  return order;
+}
+
+Result<Vector> SampledAsymmetricShapley(const CoalitionGame& game,
+                                        const Dag& dag, int samples,
+                                        Rng* rng) {
+  int n = game.num_players();
+  if (n != dag.num_nodes())
+    return Status::InvalidArgument("DAG size must match player count");
+  if (samples <= 0) return Status::InvalidArgument("samples must be > 0");
+  // The greedy sampler picks uniformly among available minimal elements, so
+  // extension e has probability prod_t 1/|avail_t|; importance-weight each
+  // sample by prod_t |avail_t| to recover the uniform-over-extensions mean.
+  Vector acc(n, 0.0);
+  double weight_sum = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    std::vector<int> indeg(n);
+    for (int i = 0; i < n; ++i)
+      indeg[i] = static_cast<int>(dag.Parents(i).size());
+    std::vector<int> available;
+    for (int i = 0; i < n; ++i)
+      if (indeg[i] == 0) available.push_back(i);
+    std::vector<int> order;
+    double log_weight = 0.0;
+    while (!available.empty()) {
+      log_weight += std::log(static_cast<double>(available.size()));
+      int pick = rng->UniformInt(static_cast<int>(available.size()));
+      int node = available[pick];
+      available.erase(available.begin() + pick);
+      order.push_back(node);
+      for (int child : dag.Children(node))
+        if (--indeg[child] == 0) available.push_back(child);
+    }
+    double weight = std::exp(log_weight);
+    AccumulatePermutation(game, order, weight, &acc);
+    weight_sum += weight;
+  }
+  for (double& v : acc) v /= weight_sum;
+  return acc;
+}
+
+}  // namespace xai

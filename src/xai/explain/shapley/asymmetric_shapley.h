@@ -1,0 +1,35 @@
+#ifndef XAI_EXPLAIN_SHAPLEY_ASYMMETRIC_SHAPLEY_H_
+#define XAI_EXPLAIN_SHAPLEY_ASYMMETRIC_SHAPLEY_H_
+
+#include "xai/causal/dag.h"
+#include "xai/core/matrix.h"
+#include "xai/core/rng.h"
+#include "xai/core/status.h"
+#include "xai/explain/shapley/value_function.h"
+
+namespace xai {
+
+/// \brief Asymmetric Shapley values (Frye, Rowat & Feige 2019, §2.1.3):
+/// only permutations consistent with a causal partial order contribute —
+/// "incorporat(ing) causality by discarding coalitions that do not follow
+/// causal ordering", at the cost of the symmetry axiom.
+///
+/// The partial order is given by `dag`: i must precede j in a permutation
+/// whenever i is an ancestor of j.
+
+/// Exact version: enumerates all linear extensions of the DAG (n <= 9).
+Result<Vector> ExactAsymmetricShapley(const CoalitionGame& game,
+                                      const Dag& dag);
+
+/// Monte-Carlo version: samples uniform random linear extensions.
+Result<Vector> SampledAsymmetricShapley(const CoalitionGame& game,
+                                        const Dag& dag, int samples,
+                                        Rng* rng);
+
+/// Draws a uniformly random linear extension of the DAG (random choice among
+/// currently available minimal elements).
+std::vector<int> RandomLinearExtension(const Dag& dag, Rng* rng);
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_SHAPLEY_ASYMMETRIC_SHAPLEY_H_

@@ -1,0 +1,48 @@
+#include "xai/explain/shapley/causal_shapley.h"
+
+#include "xai/explain/shapley/exact_shapley.h"
+#include "xai/explain/shapley/sampling_shapley.h"
+#include "xai/explain/shapley/value_function.h"
+
+namespace xai {
+
+Result<AttributionExplanation> CausalShapley(
+    const LinearScm& scm, const PredictFn& f, const Vector& instance,
+    const CausalShapleyConfig& config) {
+  if (scm.num_nodes() != static_cast<int>(instance.size()))
+    return Status::InvalidArgument("instance width must match SCM nodes");
+  InterventionalScmGame game(&scm, f, instance, config.mc_samples,
+                             config.seed);
+  int d = game.num_players();
+  AttributionExplanation exp;
+  if (d <= 14) {
+    XAI_ASSIGN_OR_RETURN(exp.attributions, ExactShapley(game));
+  } else {
+    Rng rng(config.seed + 1);
+    exp.attributions =
+        SamplingShapley(game, config.permutations, &rng).values;
+  }
+  exp.base_value = game.Value(0);
+  exp.prediction = game.Value((1ULL << d) - 1);
+  for (int j = 0; j < d; ++j)
+    exp.feature_names.push_back(scm.dag().name(j));
+  return exp;
+}
+
+std::vector<std::pair<double, double>> LinearDirectIndirectEffects(
+    const LinearScm& scm, const Vector& model_weights,
+    const Vector& instance, const Vector& baseline) {
+  int d = scm.num_nodes();
+  std::vector<std::pair<double, double>> out(d);
+  for (int j = 0; j < d; ++j) {
+    double delta = instance[j] - baseline[j];
+    double direct = delta * model_weights[j];
+    double total = 0.0;
+    for (int k = 0; k < d; ++k)
+      total += delta * model_weights[k] * scm.TotalEffect(j, k);
+    out[j] = {direct, total - direct};
+  }
+  return out;
+}
+
+}  // namespace xai

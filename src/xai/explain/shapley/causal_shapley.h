@@ -1,0 +1,41 @@
+#ifndef XAI_EXPLAIN_SHAPLEY_CAUSAL_SHAPLEY_H_
+#define XAI_EXPLAIN_SHAPLEY_CAUSAL_SHAPLEY_H_
+
+#include "xai/causal/scm.h"
+#include "xai/core/rng.h"
+#include "xai/core/status.h"
+#include "xai/explain/explanation.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief Configuration of the causal Shapley explainer.
+struct CausalShapleyConfig {
+  /// Monte-Carlo samples per interventional expectation.
+  int mc_samples = 512;
+  /// Permutation samples when the exact computation is refused (d > 14).
+  int permutations = 200;
+  uint64_t seed = 7;
+};
+
+/// \brief Causal Shapley values (Heskes et al. 2020, §2.1.3): ordinary
+/// Shapley values of the interventional game v(S) = E[f(X) | do(X_S = x_S)],
+/// computed over a structural causal model. Unlike asymmetric Shapley
+/// values, all Shapley axioms are preserved while indirect effects routed
+/// through the causal graph are still credited.
+Result<AttributionExplanation> CausalShapley(
+    const LinearScm& scm, const PredictFn& f, const Vector& instance,
+    const CausalShapleyConfig& config = {});
+
+/// Decomposition of a linear model's causal attribution into direct and
+/// indirect parts, computed analytically on a linear SCM: the *total*
+/// effect of feature j routes w_j directly plus the model weights of its
+/// descendants times their path effects. Returned per feature as
+/// (direct, indirect).
+std::vector<std::pair<double, double>> LinearDirectIndirectEffects(
+    const LinearScm& scm, const Vector& model_weights,
+    const Vector& instance, const Vector& baseline);
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_SHAPLEY_CAUSAL_SHAPLEY_H_

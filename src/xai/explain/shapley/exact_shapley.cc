@@ -1,0 +1,49 @@
+#include "xai/explain/shapley/exact_shapley.h"
+
+#include "xai/core/combinatorics.h"
+
+namespace xai {
+
+Result<Vector> ExactShapley(const CoalitionGame& game) {
+  int n = game.num_players();
+  if (n > 24)
+    return Status::InvalidArgument(
+        "ExactShapley is exponential; refusing n > 24");
+  Vector phi(n, 0.0);
+  // Precompute the weights per subset size.
+  Vector w(n);
+  for (int s = 0; s < n; ++s) w[s] = ShapleyWeight(n, s);
+  uint64_t limit = 1ULL << n;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    int size = PopCount(mask);
+    if (size == n) continue;
+    double v_s = game.Value(mask);
+    double weight = w[size];
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) continue;
+      phi[i] += weight * (game.Value(mask | (1ULL << i)) - v_s);
+    }
+  }
+  return phi;
+}
+
+Result<Vector> ExactBanzhaf(const CoalitionGame& game) {
+  int n = game.num_players();
+  if (n > 24)
+    return Status::InvalidArgument(
+        "ExactBanzhaf is exponential; refusing n > 24");
+  Vector phi(n, 0.0);
+  uint64_t limit = 1ULL << n;
+  double denom = static_cast<double>(limit) / 2.0;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    if (PopCount(mask) == n) continue;
+    double v_s = game.Value(mask);
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) continue;
+      phi[i] += (game.Value(mask | (1ULL << i)) - v_s) / denom;
+    }
+  }
+  return phi;
+}
+
+}  // namespace xai

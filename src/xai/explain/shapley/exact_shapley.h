@@ -1,0 +1,21 @@
+#ifndef XAI_EXPLAIN_SHAPLEY_EXACT_SHAPLEY_H_
+#define XAI_EXPLAIN_SHAPLEY_EXACT_SHAPLEY_H_
+
+#include "xai/core/matrix.h"
+#include "xai/core/status.h"
+#include "xai/explain/shapley/value_function.h"
+
+namespace xai {
+
+/// Exact Shapley values by full subset enumeration:
+///   phi_i = sum_{S not containing i} |S|!(n-|S|-1)!/n! [v(S+i) - v(S)].
+/// O(2^n) value-function evaluations — "computing Shapley values takes
+/// exponential time" (§2.1.2). Refuses n > 24.
+Result<Vector> ExactShapley(const CoalitionGame& game);
+
+/// Exact Banzhaf indices (uniform coalition weights) for comparison.
+Result<Vector> ExactBanzhaf(const CoalitionGame& game);
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_SHAPLEY_EXACT_SHAPLEY_H_

@@ -1,0 +1,55 @@
+#include "xai/explain/shapley/interaction.h"
+
+#include "xai/core/combinatorics.h"
+#include "xai/explain/shapley/exact_shapley.h"
+
+namespace xai {
+
+Result<Matrix> ExactShapleyInteractions(const CoalitionGame& game) {
+  int n = game.num_players();
+  if (n < 2) return Status::InvalidArgument("need at least two players");
+  if (n > 16)
+    return Status::InvalidArgument(
+        "exact interaction values are exponential; refusing n > 16");
+
+  // Cache all 2^n game values.
+  uint64_t limit = 1ULL << n;
+  std::vector<double> v(limit);
+  for (uint64_t mask = 0; mask < limit; ++mask) v[mask] = game.Value(mask);
+
+  // Interaction weights per |S| (S excludes both i and j).
+  Vector w(n - 1);
+  for (int s = 0; s <= n - 2; ++s)
+    w[s] = Factorial(s) * Factorial(n - s - 2) / (2.0 * Factorial(n - 1));
+
+  Matrix phi(n, n);
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    int size = PopCount(mask);
+    if (size > n - 2) continue;
+    double weight = w[size];
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) continue;
+      for (int j = i + 1; j < n; ++j) {
+        if (mask & (1ULL << j)) continue;
+        double delta = v[mask | (1ULL << i) | (1ULL << j)] -
+                       v[mask | (1ULL << i)] - v[mask | (1ULL << j)] +
+                       v[mask];
+        phi(i, j) += weight * delta;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < i; ++j) phi(i, j) = phi(j, i);
+
+  // Diagonal: main effects so that row sums equal the Shapley values.
+  XAI_ASSIGN_OR_RETURN(Vector shapley, ExactShapley(game));
+  for (int i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (int j = 0; j < n; ++j)
+      if (j != i) off += phi(i, j);
+    phi(i, i) = shapley[i] - off;
+  }
+  return phi;
+}
+
+}  // namespace xai

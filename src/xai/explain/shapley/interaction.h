@@ -1,0 +1,27 @@
+#ifndef XAI_EXPLAIN_SHAPLEY_INTERACTION_H_
+#define XAI_EXPLAIN_SHAPLEY_INTERACTION_H_
+
+#include "xai/core/matrix.h"
+#include "xai/core/status.h"
+#include "xai/explain/shapley/value_function.h"
+
+namespace xai {
+
+/// \brief Exact Shapley interaction values (the SHAP interaction index of
+/// Lundberg et al. 2020, building on Fujimoto et al.): a d x d matrix whose
+/// off-diagonal entries capture pairwise feature interactions,
+///
+///   Phi_ij = sum_{S not containing i,j} |S|!(n-|S|-2)!/(2(n-1)!) *
+///            [ v(S+ij) - v(S+i) - v(S+j) + v(S) ]        (i != j)
+///
+/// and whose diagonal holds the "main effects"
+///   Phi_ii = phi_i - sum_{j != i} Phi_ij,
+/// so every row sums to the feature's ordinary Shapley value and the whole
+/// matrix sums to v(N) - v(empty).
+///
+/// Exponential in d (full enumeration); refuses n > 16.
+Result<Matrix> ExactShapleyInteractions(const CoalitionGame& game);
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_SHAPLEY_INTERACTION_H_

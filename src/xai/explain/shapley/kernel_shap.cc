@@ -1,0 +1,149 @@
+#include "xai/explain/shapley/kernel_shap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "xai/core/combinatorics.h"
+#include "xai/core/linalg.h"
+
+namespace xai {
+namespace {
+
+// Shapley kernel weight for coalition size s out of d.
+double KernelWeight(int d, int s) {
+  return (d - 1.0) / (BinomialCoefficient(d, s) * s * (d - s));
+}
+
+// Appends every coalition of `size` over d players to out.
+void EnumerateSize(int d, int size, std::vector<uint64_t>* out) {
+  std::vector<int> idx(size);
+  for (int i = 0; i < size; ++i) idx[i] = i;
+  for (;;) {
+    uint64_t mask = 0;
+    for (int i : idx) mask |= 1ULL << i;
+    out->push_back(mask);
+    int i = size - 1;
+    while (i >= 0 && idx[i] == d - size + i) --i;
+    if (i < 0) break;
+    ++idx[i];
+    for (int j = i + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+uint64_t RandomMaskOfSize(int d, int size, Rng* rng) {
+  std::vector<int> chosen = rng->SampleWithoutReplacement(d, size);
+  uint64_t mask = 0;
+  for (int i : chosen) mask |= 1ULL << i;
+  return mask;
+}
+
+}  // namespace
+
+Result<AttributionExplanation> KernelShap(const CoalitionGame& game,
+                                          const KernelShapConfig& config,
+                                          Rng* rng) {
+  int d = game.num_players();
+  if (d < 1) return Status::InvalidArgument("game has no players");
+  if (d == 1) {
+    AttributionExplanation exp;
+    exp.base_value = game.Value(0);
+    exp.prediction = game.Value(1);
+    exp.attributions = {exp.prediction - exp.base_value};
+    return exp;
+  }
+
+  double v0 = game.Value(0);
+  uint64_t full = d >= 63 ? ~0ULL : (1ULL << d) - 1;
+  double vn = game.Value(full);
+
+  // Collect coalitions and their regression weights.
+  std::vector<uint64_t> masks;
+  std::vector<double> weights;
+  double total_coalitions = std::pow(2.0, d) - 2.0;
+  if (total_coalitions <= config.coalition_budget) {
+    for (int s = 1; s < d; ++s) {
+      size_t before = masks.size();
+      EnumerateSize(d, s, &masks);
+      double w = KernelWeight(d, s);
+      weights.resize(masks.size(), w);
+      (void)before;
+    }
+  } else {
+    // Fill size pairs (s, d-s) from the extremes inward while they fit.
+    int budget = config.coalition_budget;
+    std::vector<bool> enumerated(d, false);
+    for (int s = 1; s <= d / 2; ++s) {
+      int other = d - s;
+      double count = BinomialCoefficient(d, s);
+      if (other != s) count *= 2.0;
+      if (count > budget) break;
+      EnumerateSize(d, s, &masks);
+      weights.resize(masks.size(), KernelWeight(d, s));
+      if (other != s) {
+        EnumerateSize(d, other, &masks);
+        weights.resize(masks.size(), KernelWeight(d, other));
+      }
+      enumerated[s] = enumerated[other] = true;
+      budget -= static_cast<int>(count);
+    }
+    // Sample the remaining budget from the non-enumerated sizes with
+    // probability proportional to the total kernel mass of the size. The
+    // sampled coalitions' frequencies are then rescaled so their total
+    // regression weight equals the kernel mass they stand in for — without
+    // this, sampled (middle) sizes would dwarf the enumerated tails.
+    std::vector<double> size_mass(d, 0.0);
+    double remaining_mass = 0.0;
+    for (int s = 1; s < d; ++s) {
+      if (enumerated[s]) continue;
+      size_mass[s] = KernelWeight(d, s) * BinomialCoefficient(d, s);
+      remaining_mass += size_mass[s];
+    }
+    if (remaining_mass > 0.0 && budget > 0) {
+      std::unordered_map<uint64_t, double> sampled;  // mask -> frequency.
+      int drawn = 0;
+      for (int q = 0; q < budget; ++q) {
+        int s = rng->Categorical(size_mass);
+        uint64_t mask = RandomMaskOfSize(d, s, rng);
+        sampled[mask] += 1.0;
+        ++drawn;
+        // Paired complement sample (antithetic), as in the reference code.
+        if (++q < budget) {
+          sampled[full ^ mask] += 1.0;
+          ++drawn;
+        }
+      }
+      double scale =
+          config.normalize_sampled_mass ? remaining_mass / drawn : 1.0;
+      for (const auto& [mask, freq] : sampled) {
+        masks.push_back(mask);
+        weights.push_back(freq * scale);
+      }
+    }
+  }
+
+  if (masks.empty())
+    return Status::InvalidArgument("coalition budget too small");
+
+  Matrix design(static_cast<int>(masks.size()), d);
+  Vector target(masks.size());
+  for (size_t r = 0; r < masks.size(); ++r) {
+    for (int j = 0; j < d; ++j)
+      design(static_cast<int>(r), j) = (masks[r] >> j) & 1ULL ? 1.0 : 0.0;
+    target[r] = game.Value(masks[r]) - v0;
+  }
+
+  Vector ones(d, 1.0);
+  XAI_ASSIGN_OR_RETURN(
+      Vector phi, ConstrainedWeightedLeastSquares(design, target, weights,
+                                                  ones, vn - v0,
+                                                  config.ridge));
+  AttributionExplanation exp;
+  exp.attributions = std::move(phi);
+  exp.base_value = v0;
+  exp.prediction = vn;
+  return exp;
+}
+
+}  // namespace xai

@@ -1,0 +1,39 @@
+#include "xai/explain/shapley/qii.h"
+
+#include "xai/explain/shapley/sampling_shapley.h"
+
+namespace xai {
+
+Vector UnaryQii(const CoalitionGame& game) {
+  int n = game.num_players();
+  uint64_t full = (1ULL << n) - 1;
+  double vn = game.Value(full);
+  Vector iota(n);
+  for (int i = 0; i < n; ++i)
+    iota[i] = vn - game.Value(full & ~(1ULL << i));
+  return iota;
+}
+
+Vector BanzhafQii(const CoalitionGame& game, int samples, Rng* rng) {
+  int n = game.num_players();
+  Vector phi(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    uint64_t bit = 1ULL << i;
+    double acc = 0.0;
+    for (int s = 0; s < samples; ++s) {
+      // Uniformly random coalition not containing i.
+      uint64_t mask = 0;
+      for (int j = 0; j < n; ++j)
+        if (j != i && rng->Bernoulli(0.5)) mask |= 1ULL << j;
+      acc += game.Value(mask | bit) - game.Value(mask);
+    }
+    phi[i] = acc / samples;
+  }
+  return phi;
+}
+
+Vector ShapleyQii(const CoalitionGame& game, int permutations, Rng* rng) {
+  return SamplingShapley(game, permutations, rng).values;
+}
+
+}  // namespace xai

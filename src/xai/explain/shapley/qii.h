@@ -1,0 +1,28 @@
+#ifndef XAI_EXPLAIN_SHAPLEY_QII_H_
+#define XAI_EXPLAIN_SHAPLEY_QII_H_
+
+#include "xai/core/matrix.h"
+#include "xai/core/rng.h"
+#include "xai/explain/shapley/value_function.h"
+
+namespace xai {
+
+/// \brief Quantitative Input Influence (Datta, Sen & Zick 2016, §2.1.2):
+/// the influence of a feature measured as its marginal effect across sets.
+
+/// Unary QII: iota(i) = v(N) - v(N \ {i}) — the effect of randomizing only
+/// feature i while everything else stays known.
+Vector UnaryQii(const CoalitionGame& game);
+
+/// Set QII averaged over uniformly random coalitions (the Banzhaf-style
+/// aggregate); `samples` random S per feature.
+Vector BanzhafQii(const CoalitionGame& game, int samples, Rng* rng);
+
+/// Shapley QII (the paper's recommended aggregation) via permutation
+/// sampling — identical in expectation to SamplingShapley; provided under
+/// the QII name for the tutorial's taxonomy.
+Vector ShapleyQii(const CoalitionGame& game, int permutations, Rng* rng);
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_SHAPLEY_QII_H_

@@ -1,0 +1,40 @@
+#include "xai/explain/shapley/sampling_shapley.h"
+
+#include <cmath>
+
+namespace xai {
+
+SamplingShapleyResult SamplingShapley(const CoalitionGame& game,
+                                      int permutations, Rng* rng) {
+  int n = game.num_players();
+  Vector sum(n, 0.0), sum_sq(n, 0.0);
+  for (int p = 0; p < permutations; ++p) {
+    std::vector<int> perm = rng->Permutation(n);
+    uint64_t mask = 0;
+    double prev = game.Value(0);
+    for (int i : perm) {
+      mask |= 1ULL << i;
+      double cur = game.Value(mask);
+      double marginal = cur - prev;
+      sum[i] += marginal;
+      sum_sq[i] += marginal * marginal;
+      prev = cur;
+    }
+  }
+  SamplingShapleyResult result;
+  result.permutations_used = permutations;
+  result.values.resize(n);
+  result.std_errors.resize(n);
+  for (int i = 0; i < n; ++i) {
+    double mean = sum[i] / permutations;
+    result.values[i] = mean;
+    if (permutations > 1) {
+      double var =
+          (sum_sq[i] - permutations * mean * mean) / (permutations - 1);
+      result.std_errors[i] = std::sqrt(std::max(0.0, var) / permutations);
+    }
+  }
+  return result;
+}
+
+}  // namespace xai

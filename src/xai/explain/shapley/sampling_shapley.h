@@ -1,0 +1,26 @@
+#ifndef XAI_EXPLAIN_SHAPLEY_SAMPLING_SHAPLEY_H_
+#define XAI_EXPLAIN_SHAPLEY_SAMPLING_SHAPLEY_H_
+
+#include "xai/core/matrix.h"
+#include "xai/core/rng.h"
+#include "xai/explain/shapley/value_function.h"
+
+namespace xai {
+
+/// \brief Result of Monte-Carlo Shapley estimation.
+struct SamplingShapleyResult {
+  Vector values;
+  /// Per-player standard error of the mean marginal contribution.
+  Vector std_errors;
+  int permutations_used = 0;
+};
+
+/// Permutation-sampling Shapley estimator (Castro et al. style): draws
+/// random permutations, walks each one accumulating marginal contributions.
+/// Unbiased; error shrinks as 1/sqrt(permutations).
+SamplingShapleyResult SamplingShapley(const CoalitionGame& game,
+                                      int permutations, Rng* rng);
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_SHAPLEY_SAMPLING_SHAPLEY_H_

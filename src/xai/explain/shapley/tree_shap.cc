@@ -1,0 +1,203 @@
+#include "xai/explain/shapley/tree_shap.h"
+
+#include <vector>
+
+#include "xai/core/check.h"
+
+namespace xai {
+
+double TreeExpectedValue(const Tree& tree) {
+  if (tree.empty()) return 0.0;
+  double num = 0.0, den = 0.0;
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.IsLeaf()) {
+      num += node.cover * node.value;
+      den += node.cover;
+    }
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double TreeConditionalExpectation(const Tree& tree, const Vector& x,
+                                  uint64_t known_mask) {
+  struct Walker {
+    const Tree& tree;
+    const Vector& x;
+    uint64_t mask;
+    double Visit(int index) const {
+      const TreeNode& node = tree.nodes()[index];
+      if (node.IsLeaf()) return node.value;
+      if (mask & (1ULL << node.feature)) {
+        return Visit(x[node.feature] <= node.threshold ? node.left
+                                                       : node.right);
+      }
+      const TreeNode& l = tree.nodes()[node.left];
+      const TreeNode& r = tree.nodes()[node.right];
+      double total = l.cover + r.cover;
+      if (total <= 0.0) return 0.0;
+      return (l.cover * Visit(node.left) + r.cover * Visit(node.right)) /
+             total;
+    }
+  };
+  if (tree.empty()) return 0.0;
+  return Walker{tree, x, known_mask}.Visit(0);
+}
+
+namespace {
+
+// Path bookkeeping of the polynomial TreeSHAP algorithm (Lundberg et al.,
+// Algorithm 2). `pweight` holds the proportion of subsets of a given
+// cardinality flowing down the path.
+struct PathElement {
+  int feature_index = -1;
+  double zero_fraction = 0.0;  // Fraction of paths when the feature is absent.
+  double one_fraction = 0.0;   // 1 if x follows this split, else 0.
+  double pweight = 0.0;
+};
+
+void ExtendPath(std::vector<PathElement>* path, int unique_depth,
+                double zero_fraction, double one_fraction,
+                int feature_index) {
+  auto& p = *path;
+  p[unique_depth].feature_index = feature_index;
+  p[unique_depth].zero_fraction = zero_fraction;
+  p[unique_depth].one_fraction = one_fraction;
+  p[unique_depth].pweight = unique_depth == 0 ? 1.0 : 0.0;
+  for (int i = unique_depth - 1; i >= 0; --i) {
+    p[i + 1].pweight +=
+        one_fraction * p[i].pweight * (i + 1) / (unique_depth + 1.0);
+    p[i].pweight =
+        zero_fraction * p[i].pweight * (unique_depth - i) /
+        (unique_depth + 1.0);
+  }
+}
+
+void UnwindPath(std::vector<PathElement>* path, int unique_depth,
+                int path_index) {
+  auto& p = *path;
+  const double one_fraction = p[path_index].one_fraction;
+  const double zero_fraction = p[path_index].zero_fraction;
+  double next_one_portion = p[unique_depth].pweight;
+  for (int i = unique_depth - 1; i >= 0; --i) {
+    if (one_fraction != 0.0) {
+      const double tmp = p[i].pweight;
+      p[i].pweight =
+          next_one_portion * (unique_depth + 1.0) / ((i + 1) * one_fraction);
+      next_one_portion = tmp - p[i].pweight * zero_fraction *
+                                   (unique_depth - i) / (unique_depth + 1.0);
+    } else {
+      p[i].pweight = p[i].pweight * (unique_depth + 1.0) /
+                     (zero_fraction * (unique_depth - i));
+    }
+  }
+  for (int i = path_index; i < unique_depth; ++i) {
+    p[i].feature_index = p[i + 1].feature_index;
+    p[i].zero_fraction = p[i + 1].zero_fraction;
+    p[i].one_fraction = p[i + 1].one_fraction;
+  }
+}
+
+double UnwoundPathSum(const std::vector<PathElement>& p, int unique_depth,
+                      int path_index) {
+  const double one_fraction = p[path_index].one_fraction;
+  const double zero_fraction = p[path_index].zero_fraction;
+  double next_one_portion = p[unique_depth].pweight;
+  double total = 0.0;
+  for (int i = unique_depth - 1; i >= 0; --i) {
+    if (one_fraction != 0.0) {
+      const double tmp =
+          next_one_portion * (unique_depth + 1.0) / ((i + 1) * one_fraction);
+      total += tmp;
+      next_one_portion =
+          p[i].pweight -
+          tmp * zero_fraction * (unique_depth - i) / (unique_depth + 1.0);
+    } else if (zero_fraction != 0.0) {
+      total += (p[i].pweight / zero_fraction) /
+               ((unique_depth - i) / (unique_depth + 1.0));
+    }
+  }
+  return total;
+}
+
+struct TreeShapWalker {
+  const Tree& tree;
+  const Vector& x;
+  Vector* phi;
+
+  void Recurse(int node_index, std::vector<PathElement> path,
+               double parent_zero_fraction, double parent_one_fraction,
+               int parent_feature_index, int unique_depth) {
+    ExtendPath(&path, unique_depth, parent_zero_fraction,
+               parent_one_fraction, parent_feature_index);
+    const TreeNode& node = tree.nodes()[node_index];
+    if (node.IsLeaf()) {
+      for (int i = 1; i <= unique_depth; ++i) {
+        const double w = UnwoundPathSum(path, unique_depth, i);
+        const PathElement& el = path[i];
+        (*phi)[el.feature_index] +=
+            w * (el.one_fraction - el.zero_fraction) * node.value;
+      }
+      return;
+    }
+
+    const TreeNode& left = tree.nodes()[node.left];
+    const TreeNode& right = tree.nodes()[node.right];
+    bool goes_left = x[node.feature] <= node.threshold;
+    int hot = goes_left ? node.left : node.right;
+    int cold = goes_left ? node.right : node.left;
+    double cover = left.cover + right.cover;
+    double hot_zero_fraction =
+        cover > 0.0 ? tree.nodes()[hot].cover / cover : 0.0;
+    double cold_zero_fraction =
+        cover > 0.0 ? tree.nodes()[cold].cover / cover : 0.0;
+    double incoming_zero_fraction = 1.0;
+    double incoming_one_fraction = 1.0;
+
+    // If this feature already appears on the path, undo its previous
+    // contribution (each feature may appear on the path only once).
+    int path_index = 1;
+    for (; path_index <= unique_depth; ++path_index)
+      if (path[path_index].feature_index == node.feature) break;
+    if (path_index <= unique_depth) {
+      incoming_zero_fraction = path[path_index].zero_fraction;
+      incoming_one_fraction = path[path_index].one_fraction;
+      UnwindPath(&path, unique_depth, path_index);
+      unique_depth -= 1;
+    }
+
+    Recurse(hot, path, hot_zero_fraction * incoming_zero_fraction,
+            incoming_one_fraction, node.feature, unique_depth + 1);
+    Recurse(cold, path, cold_zero_fraction * incoming_zero_fraction, 0.0,
+            node.feature, unique_depth + 1);
+  }
+};
+
+}  // namespace
+
+Vector TreeShapValues(const Tree& tree, const Vector& x, int num_features) {
+  Vector phi(num_features, 0.0);
+  if (tree.empty()) return phi;
+  if (tree.nodes()[0].IsLeaf()) return phi;  // Constant tree: all zero.
+  std::vector<PathElement> path(tree.Depth() + 2);
+  TreeShapWalker walker{tree, x, &phi};
+  walker.Recurse(0, path, 1.0, 1.0, -1, 0);
+  return phi;
+}
+
+AttributionExplanation TreeShap(const TreeEnsembleView& view,
+                                const Vector& x) {
+  int d = static_cast<int>(x.size());
+  AttributionExplanation exp;
+  exp.attributions.assign(d, 0.0);
+  exp.base_value = view.base;
+  for (int t = 0; t < view.num_trees(); ++t) {
+    Vector phi = TreeShapValues(*view.trees[t], x, d);
+    for (int j = 0; j < d; ++j)
+      exp.attributions[j] += view.scales[t] * phi[j];
+    exp.base_value += view.scales[t] * TreeExpectedValue(*view.trees[t]);
+  }
+  exp.prediction = view.Margin(x);
+  return exp;
+}
+
+}  // namespace xai

@@ -1,0 +1,41 @@
+#ifndef XAI_EXPLAIN_SHAPLEY_TREE_SHAP_H_
+#define XAI_EXPLAIN_SHAPLEY_TREE_SHAP_H_
+
+#include <cstdint>
+
+#include "xai/core/matrix.h"
+#include "xai/explain/explanation.h"
+#include "xai/model/tree.h"
+#include "xai/model/tree_ensemble_view.h"
+
+namespace xai {
+
+/// \brief TreeSHAP (Lundberg et al. 2020, §2.1.2): exact Shapley values of
+/// the tree-path-conditional game in O(L D^2) per tree instead of O(2^d)
+/// model evaluations — "exploits properties of the tree structure for faster
+/// and efficient computation".
+
+/// Expected output of a tree: the cover-weighted mean of its leaves.
+double TreeExpectedValue(const Tree& tree);
+
+/// The game TreeSHAP computes Shapley values of:
+///   v(S) = E[tree(x) | x_S] under path-proportion conditioning —
+/// splits on features in S are followed; splits on other features average
+/// both children weighted by cover. Used by tests to cross-check TreeSHAP
+/// against brute-force exact Shapley values.
+double TreeConditionalExpectation(const Tree& tree, const Vector& x,
+                                  uint64_t known_mask);
+
+/// Exact per-feature Shapley values of one tree at `x` (polynomial
+/// algorithm). The returned vector has one entry per feature and sums to
+/// tree(x) - TreeExpectedValue(tree).
+Vector TreeShapValues(const Tree& tree, const Vector& x, int num_features);
+
+/// TreeSHAP over an additive tree ensemble view: attributions sum over
+/// trees (scaled); base value = view.base + sum of scaled tree expectations;
+/// prediction = view.Margin(x).
+AttributionExplanation TreeShap(const TreeEnsembleView& view, const Vector& x);
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_SHAPLEY_TREE_SHAP_H_

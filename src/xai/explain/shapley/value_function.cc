@@ -1,0 +1,148 @@
+#include "xai/explain/shapley/value_function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "xai/core/check.h"
+
+namespace xai {
+
+MarginalFeatureGame::MarginalFeatureGame(PredictFn f, Vector instance,
+                                         Matrix background,
+                                         int max_background)
+    : f_(std::move(f)), instance_(std::move(instance)) {
+  XAI_CHECK_GT(background.rows(), 0);
+  XAI_CHECK_EQ(background.cols(), static_cast<int>(instance_.size()));
+  if (max_background > 0 && max_background < background.rows()) {
+    Matrix truncated(max_background, background.cols());
+    for (int i = 0; i < max_background; ++i)
+      truncated.SetRow(i, background.Row(i));
+    background_ = std::move(truncated);
+  } else {
+    background_ = std::move(background);
+  }
+}
+
+int MarginalFeatureGame::num_players() const {
+  return static_cast<int>(instance_.size());
+}
+
+double MarginalFeatureGame::Value(uint64_t coalition) const {
+  auto it = cache_.find(coalition);
+  if (it != cache_.end()) return it->second;
+  ++evaluations_;
+  int d = num_players();
+  double acc = 0.0;
+  Vector row(d);
+  for (int b = 0; b < background_.rows(); ++b) {
+    const double* bg = background_.RowPtr(b);
+    for (int j = 0; j < d; ++j)
+      row[j] = (coalition & (1ULL << j)) ? instance_[j] : bg[j];
+    acc += f_(row);
+  }
+  double value = acc / background_.rows();
+  cache_.emplace(coalition, value);
+  return value;
+}
+
+ConditionalFeatureGame::ConditionalFeatureGame(PredictFn f, Vector instance,
+                                               Matrix background,
+                                               int k_neighbors)
+    : f_(std::move(f)),
+      instance_(std::move(instance)),
+      background_(std::move(background)),
+      k_(k_neighbors) {
+  XAI_CHECK_GT(background_.rows(), 0);
+  XAI_CHECK_EQ(background_.cols(), static_cast<int>(instance_.size()));
+  XAI_CHECK_GT(k_, 0);
+  // Per-feature scales for the conditioning distance.
+  int d = background_.cols();
+  stddevs_.assign(d, 1.0);
+  for (int j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (int i = 0; i < background_.rows(); ++i) mean += background_(i, j);
+    mean /= background_.rows();
+    double var = 0.0;
+    for (int i = 0; i < background_.rows(); ++i) {
+      double diff = background_(i, j) - mean;
+      var += diff * diff;
+    }
+    var /= std::max(1, background_.rows() - 1);
+    stddevs_[j] = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+}
+
+int ConditionalFeatureGame::num_players() const {
+  return static_cast<int>(instance_.size());
+}
+
+double ConditionalFeatureGame::Value(uint64_t coalition) const {
+  auto it = cache_.find(coalition);
+  if (it != cache_.end()) return it->second;
+  int d = num_players();
+  int n = background_.rows();
+  int k = std::min(k_, n);
+
+  // Rank background rows by distance to the instance over the coalition's
+  // features (empty coalition: every row is equally close).
+  std::vector<std::pair<double, int>> by_dist(n);
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < d; ++j) {
+      if (!(coalition & (1ULL << j))) continue;
+      double diff = (background_(i, j) - instance_[j]) / stddevs_[j];
+      acc += diff * diff;
+    }
+    by_dist[i] = {acc, i};
+  }
+  std::nth_element(by_dist.begin(), by_dist.begin() + (k - 1),
+                   by_dist.end());
+
+  double acc = 0.0;
+  Vector row(d);
+  for (int q = 0; q < k; ++q) {
+    int i = by_dist[q].second;
+    for (int j = 0; j < d; ++j)
+      row[j] = (coalition & (1ULL << j)) ? instance_[j]
+                                         : background_(i, j);
+    acc += f_(row);
+  }
+  double value = acc / k;
+  cache_.emplace(coalition, value);
+  return value;
+}
+
+InterventionalScmGame::InterventionalScmGame(const LinearScm* scm,
+                                             PredictFn f, Vector instance,
+                                             int mc_samples, uint64_t seed)
+    : scm_(scm),
+      f_(std::move(f)),
+      instance_(std::move(instance)),
+      mc_samples_(mc_samples),
+      seed_(seed) {
+  XAI_CHECK(scm != nullptr);
+  XAI_CHECK_EQ(scm->num_nodes(), static_cast<int>(instance_.size()));
+}
+
+int InterventionalScmGame::num_players() const {
+  return static_cast<int>(instance_.size());
+}
+
+double InterventionalScmGame::Value(uint64_t coalition) const {
+  auto it = cache_.find(coalition);
+  if (it != cache_.end()) return it->second;
+  std::map<int, double> interventions;
+  for (int j = 0; j < num_players(); ++j)
+    if (coalition & (1ULL << j)) interventions[j] = instance_[j];
+  // Common random numbers: the same seed for every coalition.
+  Rng rng(seed_);
+  Matrix samples = scm_->SampleInterventional(interventions, mc_samples_, &rng);
+  double acc = 0.0;
+  for (int i = 0; i < samples.rows(); ++i) acc += f_(samples.Row(i));
+  double value = acc / mc_samples_;
+  cache_.emplace(coalition, value);
+  return value;
+}
+
+}  // namespace xai

@@ -1,0 +1,112 @@
+#ifndef XAI_EXPLAIN_SHAPLEY_VALUE_FUNCTION_H_
+#define XAI_EXPLAIN_SHAPLEY_VALUE_FUNCTION_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "xai/causal/scm.h"
+#include "xai/core/matrix.h"
+#include "xai/core/rng.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief A cooperative game over feature coalitions (bitmask of players).
+///
+/// Shapley-value explainers (§2.1.2-2.1.3) differ only in this value
+/// function: marginal expectations for SHAP, interventional expectations for
+/// causal Shapley values, model-performance for Data Shapley. Implementations
+/// may cache: Value() is expected to be deterministic per coalition.
+class CoalitionGame {
+ public:
+  virtual ~CoalitionGame() = default;
+  /// Number of players n (coalitions are bitmasks over n bits; n < 63).
+  virtual int num_players() const = 0;
+  /// Worth of a coalition.
+  virtual double Value(uint64_t coalition) const = 0;
+};
+
+/// \brief The (marginal / interventional-by-independence) SHAP game:
+///
+///   v(S) = (1/B) sum_b f(x_S ; background_b restricted to ~S)
+///
+/// i.e. features in S take the instance's values, the rest take values from
+/// background rows. Values are memoized, so exact enumeration over 2^d
+/// coalitions costs each coalition only once.
+class MarginalFeatureGame : public CoalitionGame {
+ public:
+  /// `background` rows supply the off-coalition feature values. If
+  /// `max_background` > 0 only the first `max_background` rows are used.
+  MarginalFeatureGame(PredictFn f, Vector instance, Matrix background,
+                      int max_background = 0);
+
+  int num_players() const override;
+  double Value(uint64_t coalition) const override;
+
+  /// Number of distinct coalition evaluations so far (for cost accounting).
+  int num_evaluations() const { return evaluations_; }
+
+ private:
+  PredictFn f_;
+  Vector instance_;
+  Matrix background_;
+  mutable std::unordered_map<uint64_t, double> cache_;
+  mutable int evaluations_ = 0;
+};
+
+/// \brief The *conditional* (on-manifold) SHAP game (Aas et al.'s empirical
+/// conditioning; the answer to §2.1.2's criticism that marginal Shapley
+/// values cannot "capture the indirect influences of features"):
+///
+///   v(S) = E[ f(X) | X_S = x_S ]
+///
+/// estimated by averaging f over the `k` training rows closest to the
+/// instance in the coalition's coordinates (standardized distance), with
+/// the coalition features forced to the instance's values. Because the
+/// off-coalition values come from *matching real rows*, correlated features
+/// move together and the evaluation points stay near the data manifold —
+/// which also blunts OOD-detector-based adversarial attacks (§2.1.1).
+class ConditionalFeatureGame : public CoalitionGame {
+ public:
+  ConditionalFeatureGame(PredictFn f, Vector instance, Matrix background,
+                         int k_neighbors = 20);
+
+  int num_players() const override;
+  double Value(uint64_t coalition) const override;
+
+ private:
+  PredictFn f_;
+  Vector instance_;
+  Matrix background_;
+  int k_;
+  Vector stddevs_;  // Per-feature scale for the conditioning distance.
+  mutable std::unordered_map<uint64_t, double> cache_;
+};
+
+/// \brief The causal Shapley game of Heskes et al. (§2.1.3):
+///
+///   v(S) = E[ f(X) | do(X_S = x_S) ]
+///
+/// estimated by sampling the SCM under the hard intervention. The RNG is
+/// re-seeded per coalition (common random numbers), making Value()
+/// deterministic and reducing the variance of marginal contrasts.
+class InterventionalScmGame : public CoalitionGame {
+ public:
+  InterventionalScmGame(const LinearScm* scm, PredictFn f, Vector instance,
+                        int mc_samples, uint64_t seed);
+
+  int num_players() const override;
+  double Value(uint64_t coalition) const override;
+
+ private:
+  const LinearScm* scm_;
+  PredictFn f_;
+  Vector instance_;
+  int mc_samples_;
+  uint64_t seed_;
+  mutable std::unordered_map<uint64_t, double> cache_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_SHAPLEY_VALUE_FUNCTION_H_

@@ -1,0 +1,88 @@
+#include "xai/explain/surrogate_tree.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "xai/core/stats.h"
+
+namespace xai {
+
+std::string SurrogateTreeExplanation::ToString() const {
+  std::ostringstream os;
+  os << "surrogate path (fidelity R^2 = ";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", fidelity);
+  os << buf << "):\n";
+  for (const std::string& predicate : path) os << "  AND " << predicate
+                                               << "\n";
+  std::snprintf(buf, sizeof(buf), "%.4f", surrogate_prediction);
+  os << "  => " << buf << "\n";
+  return os.str();
+}
+
+SurrogateTreeExplainer::SurrogateTreeExplainer(
+    const Dataset& train, const SurrogateTreeConfig& config)
+    : config_(config),
+      schema_(train.schema()),
+      perturber_(train, config.strategy) {}
+
+Result<SurrogateTreeExplanation> SurrogateTreeExplainer::Explain(
+    const PredictFn& f, const Vector& instance, uint64_t seed) const {
+  int d = static_cast<int>(instance.size());
+  if (d != schema_.num_features())
+    return Status::InvalidArgument("instance width mismatch");
+  Rng rng(seed);
+
+  // Neighborhood: perturbations labelled by the black box.
+  Matrix x = perturber_.Sample(instance, config_.num_samples, &rng);
+  Vector y(config_.num_samples);
+  for (int i = 0; i < config_.num_samples; ++i) y[i] = f(x.Row(i));
+
+  CartConfig cart;
+  cart.max_depth = config_.max_depth;
+  cart.min_samples_leaf = config_.min_samples_leaf;
+  cart.criterion = CartConfig::Criterion::kMse;  // Regress on f's output.
+  XAI_ASSIGN_OR_RETURN(
+      DecisionTreeModel surrogate,
+      DecisionTreeModel::Train(x, y, TaskType::kRegression, cart));
+
+  SurrogateTreeExplanation exp;
+  exp.prediction = f(instance);
+  exp.surrogate_prediction = surrogate.Predict(instance);
+
+  // Fidelity: R^2 of surrogate vs black box over the neighborhood.
+  Vector surrogate_scores(config_.num_samples);
+  for (int i = 0; i < config_.num_samples; ++i)
+    surrogate_scores[i] = surrogate.Predict(x.Row(i));
+  double mean = Mean(y);
+  double ss_res = 0, ss_tot = 0;
+  for (int i = 0; i < config_.num_samples; ++i) {
+    ss_res += (y[i] - surrogate_scores[i]) * (y[i] - surrogate_scores[i]);
+    ss_tot += (y[i] - mean) * (y[i] - mean);
+  }
+  exp.fidelity = ss_tot > 1e-12 ? 1.0 - ss_res / ss_tot : 1.0;
+
+  // Decision path of the instance through the surrogate.
+  const Tree& tree = surrogate.tree();
+  int node = 0;
+  while (!tree.nodes()[node].IsLeaf()) {
+    const TreeNode& split = tree.nodes()[node];
+    const std::string& name = schema_.features[split.feature].name;
+    char buf[96];
+    if (instance[split.feature] <= split.threshold) {
+      std::snprintf(buf, sizeof(buf), "%s <= %.4g", name.c_str(),
+                    split.threshold);
+      node = split.left;
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s > %.4g", name.c_str(),
+                    split.threshold);
+      node = split.right;
+    }
+    exp.path.push_back(buf);
+  }
+  exp.surrogate = std::move(surrogate);
+  return exp;
+}
+
+}  // namespace xai

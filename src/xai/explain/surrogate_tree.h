@@ -1,0 +1,62 @@
+#ifndef XAI_EXPLAIN_SURROGATE_TREE_H_
+#define XAI_EXPLAIN_SURROGATE_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/data/dataset.h"
+#include "xai/explain/perturbation.h"
+#include "xai/model/decision_tree.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief Local rule-surrogate explanations (§2.1.1: "a simple surrogate
+/// model ... such as linear regression model [LIME] or decision rules"):
+/// fit a shallow decision tree on the perturbation neighborhood of the
+/// instance and read off the root-to-leaf decision path as the explanation.
+struct SurrogateTreeConfig {
+  int num_samples = 1500;
+  int max_depth = 3;
+  int min_samples_leaf = 10;
+  Perturber::Strategy strategy = Perturber::Strategy::kGaussian;
+};
+
+struct SurrogateTreeExplanation {
+  /// The decision path as human-readable predicates
+  /// ("credit_score <= 644.2", ...).
+  std::vector<std::string> path;
+  /// Surrogate output at the instance's leaf.
+  double surrogate_prediction = 0.0;
+  /// Black-box output at the instance.
+  double prediction = 0.0;
+  /// Agreement between surrogate and black box on the neighborhood
+  /// (R^2 of surrogate outputs vs black-box outputs).
+  double fidelity = 0.0;
+  /// The fitted surrogate itself (inspectable/queriable).
+  DecisionTreeModel surrogate;
+
+  std::string ToString() const;
+};
+
+/// \brief Fits the neighborhood surrogate tree and extracts the instance's
+/// decision path.
+class SurrogateTreeExplainer {
+ public:
+  SurrogateTreeExplainer(const Dataset& train,
+                         const SurrogateTreeConfig& config = {});
+
+  Result<SurrogateTreeExplanation> Explain(const PredictFn& f,
+                                           const Vector& instance,
+                                           uint64_t seed) const;
+
+ private:
+  SurrogateTreeConfig config_;
+  Schema schema_;
+  Perturber perturber_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_EXPLAIN_SURROGATE_TREE_H_

@@ -1,0 +1,50 @@
+#include "xai/influence/complaint.h"
+
+#include "xai/core/stats.h"
+
+namespace xai {
+
+Result<ComplaintResult> ExplainComplaint(const LogisticInfluence& influence,
+                                         const Matrix& x_query,
+                                         const Complaint& complaint) {
+  const LogisticRegressionModel& model = influence.model();
+  int d = x_query.cols();
+  if (complaint.direction != 1 && complaint.direction != -1)
+    return Status::InvalidArgument("direction must be +1 or -1");
+
+  // Gradient of the smoothed aggregate w.r.t. theta = [w; b]:
+  //   d/dtheta sum_r sigmoid(m_r) = sum_r p_r (1 - p_r) [x_r; 1].
+  Vector agg_grad(d + 1, 0.0);
+  double aggregate = 0.0;
+  for (int r : complaint.query_rows) {
+    if (r < 0 || r >= x_query.rows())
+      return Status::OutOfRange("query row out of range");
+    Vector row = x_query.Row(r);
+    double p = Sigmoid(model.Margin(row));
+    aggregate += p;
+    double w = p * (1.0 - p);
+    for (int j = 0; j < d; ++j) agg_grad[j] += w * row[j];
+    agg_grad[d] += w;
+  }
+
+  // Removing train point i changes theta by (1/n) H^{-1} g_i, hence the
+  // aggregate by (1/n) agg_grad^T H^{-1} g_i. One Hessian solve for the
+  // aggregate, then a dot product per training point.
+  XAI_ASSIGN_OR_RETURN(Vector s, influence.SolveHessian(agg_grad));
+
+  ComplaintResult result;
+  result.aggregate = aggregate;
+  int n = influence.num_train();
+  result.fix_scores.resize(n);
+  for (int i = 0; i < n; ++i) {
+    Vector g_i = model.ExampleLossGradient(influence.x_train().Row(i),
+                                           influence.y_train()[i]);
+    double delta_aggregate = Dot(s, g_i) / n;
+    // A "fix" moves the aggregate against the complained direction.
+    result.fix_scores[i] = -complaint.direction * delta_aggregate;
+  }
+  result.ranking = ArgSortDescending(result.fix_scores);
+  return result;
+}
+
+}  // namespace xai

@@ -1,0 +1,48 @@
+#ifndef XAI_INFLUENCE_COMPLAINT_H_
+#define XAI_INFLUENCE_COMPLAINT_H_
+
+#include <vector>
+
+#include "xai/core/matrix.h"
+#include "xai/core/status.h"
+#include "xai/influence/influence_function.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+
+/// \brief Complaint-driven training-data debugging (Wu et al. 2020 "Rain",
+/// §3): the user complains that an *aggregate query over model predictions*
+/// is wrong (e.g. "COUNT(approved) for group g is too high"), and the system
+/// ranks training points by how much their removal would move that
+/// aggregate — "identifying data points that are responsible for an error in
+/// a query result (where the query includes predictions from an ML model)".
+struct Complaint {
+  /// Rows of the query input that participate in the aggregate.
+  std::vector<int> query_rows;
+  /// +1: the aggregate is too high (removals should decrease it);
+  /// -1: too low.
+  int direction = +1;
+};
+
+/// \brief Result of a complaint analysis.
+struct ComplaintResult {
+  /// Per-training-point estimated change of the (smoothed) aggregate if the
+  /// point were removed; positive = removal moves the aggregate in the
+  /// complained-about direction (i.e. fixes it).
+  Vector fix_scores;
+  /// Training rows ranked by fix_scores descending.
+  std::vector<int> ranking;
+  /// Current value of the smoothed aggregate.
+  double aggregate = 0.0;
+};
+
+/// Ranks training points by influence on the smoothed aggregate
+/// sum_{r in query_rows} sigmoid(margin(x_r)) — the differentiable proxy
+/// Rain relaxes COUNT() into. One Hessian solve total.
+Result<ComplaintResult> ExplainComplaint(const LogisticInfluence& influence,
+                                         const Matrix& x_query,
+                                         const Complaint& complaint);
+
+}  // namespace xai
+
+#endif  // XAI_INFLUENCE_COMPLAINT_H_

@@ -1,0 +1,66 @@
+#include "xai/influence/group_influence.h"
+
+#include <set>
+
+#include "xai/core/matrix.h"
+
+namespace xai {
+
+Result<Vector> FirstOrderGroupParamChange(const LogisticInfluence& influence,
+                                          const std::vector<int>& rows) {
+  return influence.ParamChangeOnRemoval(rows);
+}
+
+Result<Vector> SecondOrderGroupParamChange(
+    const LogisticRegressionModel& model, const Matrix& x_train,
+    const Vector& y_train, const std::vector<int>& rows) {
+  int n = x_train.rows();
+  int d = x_train.cols();
+  int m = static_cast<int>(rows.size());
+  if (m >= n) return Status::InvalidArgument("cannot remove all rows");
+  std::set<int> removed(rows.begin(), rows.end());
+
+  // Post-removal gradient of J'(theta) = (1/(n-m)) sum_keep nll + reg at the
+  // current optimum: since (1/n) sum_all g_i + l2 w = 0,
+  //   grad J' = ( -m * l2*[w;0] - sum_U g_i ) / (n - m)  + l2*[w;0]
+  // but computing it directly from the kept rows is simpler and exact.
+  Vector grad(d + 1, 0.0);
+  Matrix hess(d + 1, d + 1);
+  for (int i = 0; i < n; ++i) {
+    if (removed.count(i)) continue;
+    Vector row = x_train.Row(i);
+    Vector g = model.ExampleLossGradient(row, y_train[i]);
+    for (int j = 0; j <= d; ++j) grad[j] += g[j];
+    double p = Sigmoid(model.Margin(row));
+    double w = p * (1.0 - p);
+    for (int a = 0; a < d; ++a) {
+      double wa = w * row[a];
+      for (int b = a; b < d; ++b) hess(a, b) += wa * row[b];
+      hess(a, d) += wa;
+    }
+    hess(d, d) += w;
+  }
+  double keep = n - m;
+  for (int a = 0; a <= d; ++a)
+    for (int b = a; b <= d; ++b) {
+      hess(a, b) /= keep;
+      hess(b, a) = hess(a, b);
+    }
+  for (int j = 0; j <= d; ++j) grad[j] /= keep;
+  for (int j = 0; j < d; ++j) {
+    grad[j] += model.config().l2 * model.weights()[j];
+    hess(j, j) += model.config().l2;
+  }
+  hess.AddScaledIdentity(1e-10);
+  XAI_ASSIGN_OR_RETURN(Vector step, CholeskySolve(hess, grad));
+  return Scale(step, -1.0);
+}
+
+double MarginChange(const Vector& param_change, const Vector& x_test) {
+  double acc = param_change.back();
+  for (size_t j = 0; j < x_test.size(); ++j)
+    acc += param_change[j] * x_test[j];
+  return acc;
+}
+
+}  // namespace xai

@@ -1,0 +1,37 @@
+#ifndef XAI_INFLUENCE_GROUP_INFLUENCE_H_
+#define XAI_INFLUENCE_GROUP_INFLUENCE_H_
+
+#include <vector>
+
+#include "xai/core/matrix.h"
+#include "xai/core/status.h"
+#include "xai/influence/influence_function.h"
+
+namespace xai {
+
+/// \brief Group influence for logistic regression (Basu, You & Feizi 2020,
+/// §2.3.2). First-order group influence simply sums individual influences;
+/// "applying first-order approximations to a group of data points can be
+/// inaccurate because they do not capture the correlations among data points
+/// in the group". The second-order variant re-derives the Newton step with
+/// the group's own Hessian contributions removed, capturing exactly those
+/// intra-group correlations.
+
+/// First-order parameter change from removing `rows`: (1/n) H^{-1} sum g_i.
+Result<Vector> FirstOrderGroupParamChange(const LogisticInfluence& influence,
+                                          const std::vector<int>& rows);
+
+/// Second-order (group-corrected) parameter change: solves with the
+/// *post-removal* Hessian H' = (n H - sum_{i in U} H_i) / (n - |U|) and the
+/// post-removal gradient, i.e. one exact Newton step of the reduced
+/// objective from the old optimum.
+Result<Vector> SecondOrderGroupParamChange(
+    const LogisticRegressionModel& model, const Matrix& x_train,
+    const Vector& y_train, const std::vector<int>& rows);
+
+/// Effect on a test margin implied by a parameter change.
+double MarginChange(const Vector& param_change, const Vector& x_test);
+
+}  // namespace xai
+
+#endif  // XAI_INFLUENCE_GROUP_INFLUENCE_H_

@@ -1,0 +1,159 @@
+#include "xai/influence/influence_function.h"
+
+#include <cmath>
+
+#include "xai/core/linalg.h"
+
+namespace xai {
+
+Result<LogisticInfluence> LogisticInfluence::Make(
+    const LogisticRegressionModel& model, const Matrix& x_train,
+    const Vector& y_train, const Config& config) {
+  if (x_train.rows() != static_cast<int>(y_train.size()))
+    return Status::InvalidArgument("row count mismatch");
+  if (x_train.rows() == 0) return Status::InvalidArgument("empty train set");
+  LogisticInfluence inf;
+  inf.model_ = &model;
+  inf.x_train_ = &x_train;
+  inf.y_train_ = &y_train;
+  inf.config_ = config;
+  inf.hessian_ = model.LossHessian(x_train);
+  if (config.damping > 0.0) inf.hessian_.AddScaledIdentity(config.damping);
+  if (!config.use_conjugate_gradient) {
+    XAI_ASSIGN_OR_RETURN(inf.cholesky_, CholeskyFactor(inf.hessian_));
+  }
+  return inf;
+}
+
+Result<Vector> LogisticInfluence::SolveHessian(const Vector& v) const {
+  if (config_.use_conjugate_gradient) {
+    const Matrix& h = hessian_;
+    return ConjugateGradient(
+        [&h](const Vector& p) { return h.MatVec(p); }, v,
+        config_.cg_max_iter);
+  }
+  // Reuse the cached Cholesky factor: L L^T s = v.
+  int n = cholesky_.rows();
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    double val = v[i];
+    for (int k = 0; k < i; ++k) val -= cholesky_(i, k) * y[k];
+    y[i] = val / cholesky_(i, i);
+  }
+  Vector s(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double val = y[i];
+    for (int k = i + 1; k < n; ++k) val -= cholesky_(k, i) * s[k];
+    s[i] = val / cholesky_(i, i);
+  }
+  return s;
+}
+
+double LogisticInfluence::InfluenceOnLoss(const Vector& x_test, double y_test,
+                                          int train_index) const {
+  auto all = InfluenceOnLossAll(x_test, y_test);
+  if (!all.ok()) return 0.0;
+  return all.ValueUnsafe()[train_index];
+}
+
+Result<Vector> LogisticInfluence::InfluenceOnLossAll(const Vector& x_test,
+                                                     double y_test) const {
+  Vector g_test = model_->ExampleLossGradient(x_test, y_test);
+  XAI_ASSIGN_OR_RETURN(Vector s, SolveHessian(g_test));
+  int n = x_train_->rows();
+  Vector out(n);
+  for (int i = 0; i < n; ++i) {
+    Vector g_i =
+        model_->ExampleLossGradient(x_train_->Row(i), (*y_train_)[i]);
+    out[i] = Dot(s, g_i) / n;
+  }
+  return out;
+}
+
+Result<Vector> LogisticInfluence::InfluenceOnMarginAll(
+    const Vector& x_test) const {
+  // d margin / d theta = [x_test; 1].
+  Vector g(x_test);
+  g.push_back(1.0);
+  XAI_ASSIGN_OR_RETURN(Vector s, SolveHessian(g));
+  int n = x_train_->rows();
+  Vector out(n);
+  for (int i = 0; i < n; ++i) {
+    Vector g_i =
+        model_->ExampleLossGradient(x_train_->Row(i), (*y_train_)[i]);
+    out[i] = Dot(s, g_i) / n;
+  }
+  return out;
+}
+
+Result<Vector> LogisticInfluence::ParamChangeOnRemoval(
+    const std::vector<int>& rows) const {
+  int d = x_train_->cols();
+  Vector g_sum(d + 1, 0.0);
+  for (int r : rows) {
+    Vector g = model_->ExampleLossGradient(x_train_->Row(r), (*y_train_)[r]);
+    for (int j = 0; j <= d; ++j) g_sum[j] += g[j];
+  }
+  XAI_ASSIGN_OR_RETURN(Vector s, SolveHessian(g_sum));
+  return Scale(s, 1.0 / x_train_->rows());
+}
+
+Result<LinearInfluence> LinearInfluence::Make(
+    const LinearRegressionModel& model, const Matrix& x_train,
+    const Vector& y_train) {
+  if (x_train.rows() != static_cast<int>(y_train.size()))
+    return Status::InvalidArgument("row count mismatch");
+  int n = x_train.rows(), d = x_train.cols();
+  if (n <= d + 1)
+    return Status::InvalidArgument("need more rows than parameters");
+  LinearInfluence inf;
+  inf.d_ = d;
+  inf.x_ = Matrix(n, d + 1);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) inf.x_(i, j) = x_train(i, j);
+    inf.x_(i, d) = 1.0;
+  }
+  Matrix gram = inf.x_.Gram();
+  for (int j = 0; j < d; ++j) gram(j, j) += model.config().l2;
+  gram.AddScaledIdentity(1e-10);
+  XAI_ASSIGN_OR_RETURN(inf.inv_gram_, Inverse(gram));
+
+  inf.residual_.resize(n);
+  inf.leverage_.resize(n);
+  double sse = 0.0;
+  for (int i = 0; i < n; ++i) {
+    Vector xi = x_train.Row(i);
+    inf.residual_[i] = y_train[i] - model.Predict(xi);
+    sse += inf.residual_[i] * inf.residual_[i];
+    Vector row = inf.x_.Row(i);
+    inf.leverage_[i] = Dot(row, inf.inv_gram_.MatVec(row));
+  }
+  inf.mse_ = sse / std::max(1, n - d - 1);
+  return inf;
+}
+
+Vector LinearInfluence::LooParamChange(int i) const {
+  // theta_{-i} - theta = -inv(X^T X) x_i e_i / (1 - h_i)  (exact).
+  Vector xi = x_.Row(i);
+  Vector v = inv_gram_.MatVec(xi);
+  double factor = -residual_[i] / (1.0 - leverage_[i]);
+  return Scale(v, factor);
+}
+
+double LinearInfluence::LooPredictionChange(const Vector& x_test,
+                                            int i) const {
+  Vector xt = x_test;
+  xt.push_back(1.0);
+  return Dot(xt, LooParamChange(i));
+}
+
+double LinearInfluence::Leverage(int i) const { return leverage_[i]; }
+
+double LinearInfluence::CooksDistance(int i) const {
+  double h = leverage_[i];
+  double e = residual_[i];
+  double p = d_ + 1;
+  return (e * e * h) / (p * mse_ * (1.0 - h) * (1.0 - h));
+}
+
+}  // namespace xai

@@ -1,0 +1,107 @@
+#ifndef XAI_INFLUENCE_INFLUENCE_FUNCTION_H_
+#define XAI_INFLUENCE_INFLUENCE_FUNCTION_H_
+
+#include <vector>
+
+#include "xai/core/matrix.h"
+#include "xai/core/status.h"
+#include "xai/model/linear_regression.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+
+/// \brief Influence functions for logistic regression (Koh & Liang 2017,
+/// §2.3.2): first-order estimates of how removing a training point changes
+/// the parameters, a test loss, or a test prediction — "avoid(ing)
+/// retraining the model by estimating the change in model parameters
+/// effected by a slight change in the weight of a data point".
+///
+/// Conventions: the trained objective is J(theta) = (1/n) sum_i nll_i +
+/// (l2/2)||w||^2. Removing point z moves the parameters by approximately
+///   delta_theta = (1/n) H^{-1} grad nll_z(theta*),
+/// where H is the Hessian of J at theta*.
+struct InfluenceConfig {
+  /// Solve H s = g with conjugate gradient instead of a Cholesky factor
+  /// (matrix-free; the right choice when d is large).
+  bool use_conjugate_gradient = false;
+  int cg_max_iter = 200;
+  /// Damping added to H (stabilizes nearly-singular Hessians).
+  double damping = 0.0;
+};
+
+class LogisticInfluence {
+ public:
+  using Config = InfluenceConfig;
+
+  /// Precomputes the Hessian at the trained model. The referenced matrix /
+  /// labels must outlive the object.
+  static Result<LogisticInfluence> Make(const LogisticRegressionModel& model,
+                                        const Matrix& x_train,
+                                        const Vector& y_train,
+                                        const Config& config = {});
+
+  /// Estimated change in loss at (x_test, y_test) caused by REMOVING
+  /// training point i (positive = the test loss would increase).
+  double InfluenceOnLoss(const Vector& x_test, double y_test,
+                         int train_index) const;
+
+  /// All-points version: one Hessian solve for the test gradient, then one
+  /// dot product per training point.
+  Result<Vector> InfluenceOnLossAll(const Vector& x_test,
+                                    double y_test) const;
+
+  /// Estimated change of the test *margin* caused by removing point i.
+  Result<Vector> InfluenceOnMarginAll(const Vector& x_test) const;
+
+  /// First-order estimated parameter change ([weights; bias]) from removing
+  /// a set of training points (sum of individual influences).
+  Result<Vector> ParamChangeOnRemoval(const std::vector<int>& rows) const;
+
+  /// Solves H s = v (the inverse-Hessian-vector product).
+  Result<Vector> SolveHessian(const Vector& v) const;
+
+  const LogisticRegressionModel& model() const { return *model_; }
+  int num_train() const { return x_train_->rows(); }
+  const Matrix& x_train() const { return *x_train_; }
+  const Vector& y_train() const { return *y_train_; }
+
+ private:
+  const LogisticRegressionModel* model_ = nullptr;
+  const Matrix* x_train_ = nullptr;
+  const Vector* y_train_ = nullptr;
+  Config config_;
+  Matrix hessian_;
+  /// Cholesky factor of the Hessian (empty when using CG).
+  Matrix cholesky_;
+};
+
+/// \brief Exact leave-one-out analysis for ridge linear regression via the
+/// hat matrix (Cook & Weisberg 1980, cited in §2.3.2): the rare model where
+/// "the naive way" has a closed form and no retraining is needed at all.
+class LinearInfluence {
+ public:
+  static Result<LinearInfluence> Make(const LinearRegressionModel& model,
+                                      const Matrix& x_train,
+                                      const Vector& y_train);
+
+  /// Exact parameter change ([weights; bias]) from deleting train point i.
+  Vector LooParamChange(int train_index) const;
+  /// Exact change of the prediction at x_test from deleting train point i.
+  double LooPredictionChange(const Vector& x_test, int train_index) const;
+  /// Leverage (hat value) of training point i.
+  double Leverage(int train_index) const;
+  /// Cook's distance of training point i.
+  double CooksDistance(int train_index) const;
+
+ private:
+  Matrix x_;        // With intercept column.
+  Vector residual_; // y - prediction.
+  Matrix inv_gram_; // (X^T X + reg)^{-1}.
+  Vector leverage_;
+  double mse_ = 0.0;
+  int d_ = 0;
+};
+
+}  // namespace xai
+
+#endif  // XAI_INFLUENCE_INFLUENCE_FUNCTION_H_

@@ -1,0 +1,84 @@
+#include "xai/influence/tree_influence.h"
+
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+
+Result<GbdtLeafInfluence> GbdtLeafInfluence::Make(const GbdtModel& model,
+                                                  const Matrix& x,
+                                                  const Vector& y) {
+  int n = x.rows();
+  if (n != static_cast<int>(y.size()))
+    return Status::InvalidArgument("row count mismatch");
+  if (model.trees().empty())
+    return Status::InvalidArgument("model has no trees");
+  bool classify = model.task() == TaskType::kClassification;
+
+  GbdtLeafInfluence inf;
+  inf.model_ = &model;
+  int t_count = static_cast<int>(model.trees().size());
+  inf.leaf_of_.resize(t_count);
+  inf.leaf_r_.resize(t_count);
+  inf.leaf_h_.resize(t_count);
+  inf.point_r_.resize(t_count);
+  inf.point_h_.resize(t_count);
+
+  Vector margin(n, model.base_score());
+  for (int t = 0; t < t_count; ++t) {
+    const Tree& tree = model.trees()[t];
+    inf.leaf_of_[t].resize(n);
+    inf.leaf_r_[t].assign(tree.num_nodes(), 0.0);
+    inf.leaf_h_[t].assign(tree.num_nodes(), 0.0);
+    inf.point_r_[t].resize(n);
+    inf.point_h_[t].resize(n);
+    for (int i = 0; i < n; ++i) {
+      Vector row = x.Row(i);
+      double r, h;
+      if (classify) {
+        double p = Sigmoid(margin[i]);
+        r = y[i] - p;
+        h = p * (1.0 - p);
+      } else {
+        r = y[i] - margin[i];
+        h = 1.0;
+      }
+      int leaf = tree.LeafIndexOf(row);
+      inf.leaf_of_[t][i] = leaf;
+      inf.leaf_r_[t][leaf] += r;
+      inf.leaf_h_[t][leaf] += h;
+      inf.point_r_[t][i] = r;
+      inf.point_h_[t][i] = h;
+      margin[i] += tree.PredictRow(row);
+    }
+  }
+  return inf;
+}
+
+Vector GbdtLeafInfluence::InfluenceOnMarginAll(const Vector& x_test) const {
+  int n = num_train();
+  Vector out(n, 0.0);
+  double lr = model_->config().learning_rate;
+  for (size_t t = 0; t < leaf_of_.size(); ++t) {
+    const Tree& tree = model_->trees()[t];
+    int test_leaf = tree.LeafIndexOf(x_test);
+    double big_r = leaf_r_[t][test_leaf];
+    double big_h = leaf_h_[t][test_leaf];
+    if (big_h <= 1e-12) continue;
+    double v = lr * big_r / big_h;
+    for (int i = 0; i < n; ++i) {
+      if (leaf_of_[t][i] != test_leaf) continue;
+      double r2 = big_r - point_r_[t][i];
+      double h2 = big_h - point_h_[t][i];
+      double v2 = h2 > 1e-12 ? lr * r2 / h2 : 0.0;
+      out[i] += v2 - v;  // Margin change at x_test if i is removed.
+    }
+  }
+  return out;
+}
+
+double GbdtLeafInfluence::InfluenceOnMargin(const Vector& x_test,
+                                            int train_index) const {
+  return InfluenceOnMarginAll(x_test)[train_index];
+}
+
+}  // namespace xai

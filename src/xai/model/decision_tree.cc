@@ -1,0 +1,177 @@
+#include "xai/model/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "xai/core/check.h"
+
+namespace xai {
+namespace {
+
+// Impurity of a node given (count, sum, sum of squares, count of ones).
+// For gini we use label counts; for mse the variance times count.
+struct SplitStats {
+  double count = 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+
+  void Add(double y) {
+    count += 1.0;
+    sum += y;
+    sum_sq += y * y;
+  }
+  void Remove(double y) {
+    count -= 1.0;
+    sum -= y;
+    sum_sq -= y * y;
+  }
+};
+
+double Impurity(const SplitStats& s, CartConfig::Criterion criterion) {
+  if (s.count <= 0.0) return 0.0;
+  if (criterion == CartConfig::Criterion::kGini) {
+    // Binary gini from the mean of {0,1} labels: 2 p (1-p), scaled by count.
+    double p = s.sum / s.count;
+    return s.count * 2.0 * p * (1.0 - p);
+  }
+  // MSE: count * variance = sum_sq - sum^2 / count.
+  return s.sum_sq - s.sum * s.sum / s.count;
+}
+
+struct Builder {
+  const Matrix& x;
+  const Vector& y;
+  const CartConfig& config;
+  Rng* rng;
+  std::vector<TreeNode> nodes;
+
+  int Build(std::vector<int>* rows, int depth) {
+    SplitStats total;
+    for (int r : *rows) total.Add(y[r]);
+    int node_index = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    nodes[node_index].cover = total.count;
+    nodes[node_index].value = total.count > 0 ? total.sum / total.count : 0.0;
+
+    bool can_split =
+        depth < config.max_depth &&
+        static_cast<int>(rows->size()) >= config.min_samples_split &&
+        Impurity(total, config.criterion) > 1e-12;
+    if (!can_split) return node_index;
+
+    int d = x.cols();
+    std::vector<int> features(d);
+    std::iota(features.begin(), features.end(), 0);
+    if (config.max_features > 0 && config.max_features < d) {
+      XAI_CHECK(rng != nullptr);
+      features = rng->SampleWithoutReplacement(d, config.max_features);
+    }
+
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    double parent_impurity = Impurity(total, config.criterion);
+
+    std::vector<int> sorted = *rows;
+    for (int f : features) {
+      std::sort(sorted.begin(), sorted.end(),
+                [&](int a, int b) { return x(a, f) < x(b, f); });
+      SplitStats left, right = total;
+      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+        double yi = y[sorted[i]];
+        left.Add(yi);
+        right.Remove(yi);
+        double v = x(sorted[i], f);
+        double v_next = x(sorted[i + 1], f);
+        if (v_next <= v + 1e-12) continue;  // No valid threshold here.
+        if (left.count < config.min_samples_leaf ||
+            right.count < config.min_samples_leaf)
+          continue;
+        double gain = parent_impurity - Impurity(left, config.criterion) -
+                      Impurity(right, config.criterion);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_threshold = 0.5 * (v + v_next);
+        }
+      }
+    }
+
+    if (best_feature < 0) return node_index;
+
+    std::vector<int> left_rows, right_rows;
+    for (int r : *rows) {
+      (x(r, best_feature) <= best_threshold ? left_rows : right_rows)
+          .push_back(r);
+    }
+    XAI_CHECK(!left_rows.empty() && !right_rows.empty());
+    rows->clear();
+    rows->shrink_to_fit();
+
+    int left_index = Build(&left_rows, depth + 1);
+    int right_index = Build(&right_rows, depth + 1);
+    nodes[node_index].feature = best_feature;
+    nodes[node_index].threshold = best_threshold;
+    nodes[node_index].left = left_index;
+    nodes[node_index].right = right_index;
+    return node_index;
+  }
+};
+
+}  // namespace
+
+Tree BuildCartTree(const Matrix& x, const Vector& y,
+                   const std::vector<int>& rows, const CartConfig& config,
+                   Rng* rng) {
+  XAI_CHECK(!rows.empty());
+  Builder builder{x, y, config, rng, {}};
+  std::vector<int> mutable_rows = rows;
+  builder.Build(&mutable_rows, 0);
+  return Tree(std::move(builder.nodes));
+}
+
+Result<DecisionTreeModel> DecisionTreeModel::Train(const Matrix& x,
+                                                   const Vector& y,
+                                                   TaskType task,
+                                                   const CartConfig& config) {
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  if (x.rows() != static_cast<int>(y.size()))
+    return Status::InvalidArgument("row count mismatch");
+  if (task == TaskType::kClassification) {
+    for (double label : y)
+      if (label != 0.0 && label != 1.0)
+        return Status::InvalidArgument(
+            "classification trees require binary {0,1} labels");
+  }
+  CartConfig cfg = config;
+  cfg.criterion = task == TaskType::kClassification
+                      ? CartConfig::Criterion::kGini
+                      : CartConfig::Criterion::kMse;
+  std::vector<int> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  Rng rng(0);
+  DecisionTreeModel model;
+  model.tree_ = BuildCartTree(x, y, rows, cfg, &rng);
+  model.task_ = task;
+  model.config_ = cfg;
+  return model;
+}
+
+Result<DecisionTreeModel> DecisionTreeModel::Train(const Dataset& dataset,
+                                                   const CartConfig& config) {
+  return Train(dataset.x(), dataset.y(), dataset.schema().task, config);
+}
+
+double DecisionTreeModel::Predict(const Vector& row) const {
+  return tree_.PredictRow(row);
+}
+
+DecisionTreeModel DecisionTreeModel::FromTree(Tree tree, TaskType task) {
+  DecisionTreeModel model;
+  model.tree_ = std::move(tree);
+  model.task_ = task;
+  return model;
+}
+
+}  // namespace xai

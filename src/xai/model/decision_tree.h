@@ -1,0 +1,66 @@
+#ifndef XAI_MODEL_DECISION_TREE_H_
+#define XAI_MODEL_DECISION_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/rng.h"
+#include "xai/core/status.h"
+#include "xai/model/model.h"
+#include "xai/model/tree.h"
+
+namespace xai {
+
+/// \brief Configuration of the CART tree builder.
+struct CartConfig {
+  enum class Criterion { kGini, kMse };
+
+  int max_depth = 6;
+  int min_samples_leaf = 2;
+  int min_samples_split = 2;
+  Criterion criterion = Criterion::kGini;
+  /// Number of features considered per split; -1 = all (0 < mtry <= d).
+  int max_features = -1;
+};
+
+/// Builds a CART tree over the given training rows. All splits are numeric
+/// thresholds (categorical features split on their category index); leaf
+/// values are the mean target of the rows reaching the leaf. `rng` is only
+/// consulted when `max_features` restricts the candidate features.
+Tree BuildCartTree(const Matrix& x, const Vector& y,
+                   const std::vector<int>& rows, const CartConfig& config,
+                   Rng* rng);
+
+/// \brief Single CART decision tree: intrinsically interpretable and the
+/// substrate for TreeSHAP (§2.1.2) and sufficient-reason explanations
+/// (§2.2.2).
+///
+/// Classification trees are binary ({0,1} labels) and predict P(y = 1);
+/// regression trees predict the leaf mean.
+class DecisionTreeModel : public Model {
+ public:
+  static Result<DecisionTreeModel> Train(const Dataset& dataset,
+                                         const CartConfig& config = {});
+  static Result<DecisionTreeModel> Train(const Matrix& x, const Vector& y,
+                                         TaskType task,
+                                         const CartConfig& config = {});
+
+  TaskType task() const override { return task_; }
+  std::string name() const override { return "decision_tree"; }
+  double Predict(const Vector& row) const override;
+
+  const Tree& tree() const { return tree_; }
+  const CartConfig& config() const { return config_; }
+
+  /// Wraps an existing tree (used in tests and by the unlearning module).
+  static DecisionTreeModel FromTree(Tree tree, TaskType task);
+
+ private:
+  Tree tree_;
+  TaskType task_ = TaskType::kClassification;
+  CartConfig config_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_MODEL_DECISION_TREE_H_

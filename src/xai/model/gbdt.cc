@@ -1,0 +1,112 @@
+#include "xai/model/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "xai/core/rng.h"
+#include "xai/model/decision_tree.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+
+Result<GbdtModel> GbdtModel::Train(const Matrix& x, const Vector& y,
+                                   TaskType task, const Config& config) {
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  if (x.rows() != static_cast<int>(y.size()))
+    return Status::InvalidArgument("row count mismatch");
+  int n = x.rows();
+  GbdtModel model;
+  model.task_ = task;
+  model.config_ = config;
+  Rng rng(config.seed);
+
+  bool classify = task == TaskType::kClassification;
+  if (classify) {
+    for (double label : y)
+      if (label != 0.0 && label != 1.0)
+        return Status::InvalidArgument("gbdt classification needs {0,1}");
+    double mean = std::accumulate(y.begin(), y.end(), 0.0) / n;
+    mean = std::clamp(mean, 1e-6, 1.0 - 1e-6);
+    model.base_score_ = std::log(mean / (1.0 - mean));
+  } else {
+    model.base_score_ = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  }
+
+  CartConfig cart;
+  cart.max_depth = config.max_depth;
+  cart.min_samples_leaf = config.min_samples_leaf;
+  cart.criterion = CartConfig::Criterion::kMse;
+
+  Vector margin(n, model.base_score_);
+  Vector residual(n);
+  for (int t = 0; t < config.n_trees; ++t) {
+    // Negative gradient of the loss at the current margin.
+    for (int i = 0; i < n; ++i) {
+      residual[i] =
+          classify ? y[i] - Sigmoid(margin[i]) : y[i] - margin[i];
+    }
+    std::vector<int> rows;
+    if (config.subsample < 1.0) {
+      int k = std::max(1, static_cast<int>(config.subsample * n));
+      rows = rng.SampleWithoutReplacement(n, k);
+    } else {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), 0);
+    }
+    Tree tree = BuildCartTree(x, residual, rows, cart, &rng);
+
+    // Leaf values: one-step Newton for logistic loss, shrunk mean residual
+    // for squared loss; accumulate per-leaf statistics over the *training*
+    // rows of this tree.
+    std::vector<double> num(tree.num_nodes(), 0.0);
+    std::vector<double> den(tree.num_nodes(), 0.0);
+    for (int r : rows) {
+      int leaf = tree.LeafIndexOf(x.Row(r));
+      num[leaf] += residual[r];
+      if (classify) {
+        double p = Sigmoid(margin[r]);
+        den[leaf] += p * (1.0 - p);
+      } else {
+        den[leaf] += 1.0;
+      }
+    }
+    auto* nodes = tree.mutable_nodes();
+    for (int j = 0; j < tree.num_nodes(); ++j) {
+      if (!(*nodes)[j].IsLeaf()) continue;
+      double step = den[j] > 1e-12 ? num[j] / den[j] : 0.0;
+      (*nodes)[j].value = config.learning_rate * std::clamp(step, -4.0, 4.0);
+    }
+    for (int i = 0; i < n; ++i) margin[i] += tree.PredictRow(x.Row(i));
+    model.trees_.push_back(std::move(tree));
+  }
+  return model;
+}
+
+Result<GbdtModel> GbdtModel::Train(const Dataset& dataset,
+                                   const Config& config) {
+  return Train(dataset.x(), dataset.y(), dataset.schema().task, config);
+}
+
+GbdtModel GbdtModel::FromParts(std::vector<Tree> trees, double base_score,
+                               TaskType task, const Config& config) {
+  GbdtModel model;
+  model.trees_ = std::move(trees);
+  model.base_score_ = base_score;
+  model.task_ = task;
+  model.config_ = config;
+  return model;
+}
+
+double GbdtModel::Margin(const Vector& row) const {
+  double acc = base_score_;
+  for (const Tree& tree : trees_) acc += tree.PredictRow(row);
+  return acc;
+}
+
+double GbdtModel::Predict(const Vector& row) const {
+  double margin = Margin(row);
+  return task_ == TaskType::kClassification ? Sigmoid(margin) : margin;
+}
+
+}  // namespace xai

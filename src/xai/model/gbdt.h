@@ -1,0 +1,68 @@
+#ifndef XAI_MODEL_GBDT_H_
+#define XAI_MODEL_GBDT_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/model/model.h"
+#include "xai/model/tree.h"
+
+namespace xai {
+
+/// \brief Configuration for GbdtModel.
+struct GbdtConfig {
+  int n_trees = 100;
+  double learning_rate = 0.1;
+  int max_depth = 3;
+  int min_samples_leaf = 5;
+  /// Fraction of rows sampled (without replacement) per tree; 1 = all.
+  double subsample = 1.0;
+  uint64_t seed = 42;
+};
+
+/// \brief Gradient-boosted decision trees.
+///
+/// Binary classification uses the logistic loss: the model output is
+/// sigmoid(Margin(x)) where Margin(x) = base_score + sum_t tree_t(x), with
+/// one-step-Newton leaf values (leaf values already include the learning
+/// rate, so TreeSHAP attributions over the trees sum exactly to the margin).
+/// Regression uses squared loss and predicts Margin(x) directly.
+class GbdtModel : public Model {
+ public:
+  using Config = GbdtConfig;
+
+  static Result<GbdtModel> Train(const Dataset& dataset,
+                                 const Config& config = {});
+  static Result<GbdtModel> Train(const Matrix& x, const Vector& y,
+                                 TaskType task, const Config& config = {});
+
+  TaskType task() const override { return task_; }
+  std::string name() const override { return "gbdt"; }
+  double Predict(const Vector& row) const override;
+
+  /// Raw additive score: base_score + sum of tree outputs.
+  double Margin(const Vector& row) const;
+
+  const std::vector<Tree>& trees() const { return trees_; }
+  double base_score() const { return base_score_; }
+  const Config& config() const { return config_; }
+
+  /// Mutable access for the LeafInfluence-style tree-influence estimator,
+  /// which re-derives leaf values under reweighted training data.
+  std::vector<Tree>* mutable_trees() { return &trees_; }
+
+  /// Reassembles a model from its parts (deserialization).
+  static GbdtModel FromParts(std::vector<Tree> trees, double base_score,
+                             TaskType task, const Config& config = {});
+
+ private:
+  std::vector<Tree> trees_;
+  double base_score_ = 0.0;
+  TaskType task_ = TaskType::kClassification;
+  Config config_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_MODEL_GBDT_H_

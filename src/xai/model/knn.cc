@@ -1,0 +1,71 @@
+#include "xai/model/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace xai {
+
+Result<KnnModel> KnnModel::Train(const Matrix& x, const Vector& y,
+                                 TaskType task, const Config& config) {
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  if (x.rows() != static_cast<int>(y.size()))
+    return Status::InvalidArgument("row count mismatch");
+  if (config.k <= 0) return Status::InvalidArgument("k must be positive");
+  KnnModel model;
+  model.x_ = x;
+  model.y_ = y;
+  model.task_ = task;
+  model.config_ = config;
+  return model;
+}
+
+Result<KnnModel> KnnModel::Train(const Dataset& dataset,
+                                 const Config& config) {
+  return Train(dataset.x(), dataset.y(), dataset.schema().task, config);
+}
+
+std::vector<int> KnnModel::NeighborsSortedByDistance(const Vector& row) const {
+  int n = x_.rows();
+  std::vector<double> dist(n);
+  for (int i = 0; i < n; ++i) {
+    const double* rp = x_.RowPtr(i);
+    double acc = 0.0;
+    for (int j = 0; j < x_.cols(); ++j) {
+      double d = rp[j] - row[j];
+      acc += d * d;
+    }
+    dist[i] = acc;
+  }
+  std::vector<int> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](int a, int b) { return dist[a] < dist[b]; });
+  return idx;
+}
+
+double KnnModel::Predict(const Vector& row) const {
+  std::vector<int> order = NeighborsSortedByDistance(row);
+  int k = std::min(config_.k, static_cast<int>(order.size()));
+  double acc = 0.0;
+  for (int i = 0; i < k; ++i) acc += y_[order[i]];
+  return k > 0 ? acc / k : 0.0;
+}
+
+int KnnModel::PredictClass(const Vector& row) const {
+  std::vector<int> order = NeighborsSortedByDistance(row);
+  int k = std::min(config_.k, static_cast<int>(order.size()));
+  std::map<int, int> votes;
+  for (int i = 0; i < k; ++i) ++votes[static_cast<int>(y_[order[i]])];
+  int best = 0, best_count = -1;
+  for (auto [label, count] : votes) {
+    if (count > best_count) {
+      best = label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace xai

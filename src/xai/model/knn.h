@@ -1,0 +1,57 @@
+#ifndef XAI_MODEL_KNN_H_
+#define XAI_MODEL_KNN_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief Configuration for KnnModel.
+struct KnnConfig {
+  int k = 5;
+};
+
+/// \brief Brute-force k-nearest-neighbor model (Euclidean distance).
+///
+/// Supports multiclass classification (majority vote) and regression (mean
+/// of neighbor targets). Also the utility model of the exact KNN-Shapley
+/// data-valuation algorithm (§2.3.1), which needs access to the sorted
+/// neighbor order this class exposes.
+class KnnModel : public Model {
+ public:
+  using Config = KnnConfig;
+
+  static Result<KnnModel> Train(const Dataset& dataset,
+                                const Config& config = {});
+  static Result<KnnModel> Train(const Matrix& x, const Vector& y,
+                                TaskType task, const Config& config = {});
+
+  TaskType task() const override { return task_; }
+  std::string name() const override { return "knn"; }
+
+  /// Regression: mean neighbor target. Binary classification: fraction of
+  /// the k nearest neighbors with label 1.
+  double Predict(const Vector& row) const override;
+  /// Majority label among the k nearest (supports multiclass).
+  int PredictClass(const Vector& row) const override;
+
+  /// Indices of all training rows sorted by ascending distance to `row`.
+  std::vector<int> NeighborsSortedByDistance(const Vector& row) const;
+
+  int k() const { return config_.k; }
+  const Matrix& train_x() const { return x_; }
+  const Vector& train_y() const { return y_; }
+
+ private:
+  Matrix x_;
+  Vector y_;
+  TaskType task_ = TaskType::kClassification;
+  Config config_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_MODEL_KNN_H_

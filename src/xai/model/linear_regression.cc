@@ -1,0 +1,40 @@
+#include "xai/model/linear_regression.h"
+
+#include "xai/core/linalg.h"
+
+namespace xai {
+
+Result<LinearRegressionModel> LinearRegressionModel::Train(
+    const Matrix& x, const Vector& y, const Config& config) {
+  if (x.rows() != static_cast<int>(y.size()))
+    return Status::InvalidArgument("row count mismatch");
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  XAI_ASSIGN_OR_RETURN(
+      Vector coef, RidgeRegression(x, y, config.l2, /*fit_intercept=*/true));
+  LinearRegressionModel model;
+  model.config_ = config;
+  model.bias_ = coef.back();
+  coef.pop_back();
+  model.weights_ = std::move(coef);
+  return model;
+}
+
+Result<LinearRegressionModel> LinearRegressionModel::Train(
+    const Dataset& dataset, const Config& config) {
+  return Train(dataset.x(), dataset.y(), config);
+}
+
+double LinearRegressionModel::Predict(const Vector& row) const {
+  return Dot(row, weights_) + bias_;
+}
+
+LinearRegressionModel LinearRegressionModel::FromCoefficients(
+    Vector weights, double bias, const Config& config) {
+  LinearRegressionModel model;
+  model.weights_ = std::move(weights);
+  model.bias_ = bias;
+  model.config_ = config;
+  return model;
+}
+
+}  // namespace xai

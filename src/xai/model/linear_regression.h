@@ -1,0 +1,54 @@
+#ifndef XAI_MODEL_LINEAR_REGRESSION_H_
+#define XAI_MODEL_LINEAR_REGRESSION_H_
+
+#include <string>
+
+#include "xai/core/status.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief Configuration for LinearRegressionModel.
+struct LinearRegressionConfig {
+  double l2 = 1e-6;  ///< Ridge penalty (not applied to the intercept).
+};
+
+/// \brief Ridge linear regression fit in closed form via normal equations.
+///
+/// Exposes its coefficients: the tutorial's running example of an
+/// intrinsically interpretable model ("the coefficients ... can be an
+/// indicator for the importance of the features", §2.1), and the exact
+/// substrate for influence functions (§2.3.2) and PrIU-style incremental
+/// maintenance (§3).
+class LinearRegressionModel : public Model {
+ public:
+  using Config = LinearRegressionConfig;
+
+  /// Fits on a feature matrix and real-valued targets.
+  static Result<LinearRegressionModel> Train(const Matrix& x, const Vector& y,
+                                             const Config& config = {});
+  /// Fits on a dataset (must be a regression task).
+  static Result<LinearRegressionModel> Train(const Dataset& dataset,
+                                             const Config& config = {});
+
+  TaskType task() const override { return TaskType::kRegression; }
+  std::string name() const override { return "linear_regression"; }
+  double Predict(const Vector& row) const override;
+
+  const Vector& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  const Config& config() const { return config_; }
+
+  /// Constructs directly from coefficients (used by incremental updates).
+  static LinearRegressionModel FromCoefficients(Vector weights, double bias,
+                                                const Config& config = {});
+
+ private:
+  Vector weights_;
+  double bias_ = 0.0;
+  Config config_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_MODEL_LINEAR_REGRESSION_H_

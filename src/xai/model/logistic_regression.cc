@@ -1,0 +1,180 @@
+#include "xai/model/logistic_regression.h"
+
+#include <cmath>
+
+#include "xai/core/check.h"
+#include "xai/core/matrix.h"
+
+namespace xai {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+namespace {
+
+// The optimization works on theta = [weights..., bias].
+// Objective: J(theta) = (1/n) sum_i s_i * nll_i + (l2/2) ||w||^2.
+Vector Gradient(const Matrix& x, const Vector& y, const Vector& s,
+                const Vector& theta, double l2, double total_weight) {
+  int d = x.cols();
+  Vector g(d + 1, 0.0);
+  Vector row(d);
+  for (int i = 0; i < x.rows(); ++i) {
+    if (s[i] == 0.0) continue;
+    const double* rp = x.RowPtr(i);
+    double z = theta[d];
+    for (int j = 0; j < d; ++j) z += theta[j] * rp[j];
+    double err = s[i] * (Sigmoid(z) - y[i]);
+    for (int j = 0; j < d; ++j) g[j] += err * rp[j];
+    g[d] += err;
+  }
+  for (int j = 0; j <= d; ++j) g[j] /= total_weight;
+  for (int j = 0; j < d; ++j) g[j] += l2 * theta[j];
+  return g;
+}
+
+Matrix Hessian(const Matrix& x, const Vector& s, const Vector& theta,
+               double l2, double total_weight) {
+  int d = x.cols();
+  Matrix h(d + 1, d + 1);
+  for (int i = 0; i < x.rows(); ++i) {
+    if (s[i] == 0.0) continue;
+    const double* rp = x.RowPtr(i);
+    double z = theta[d];
+    for (int j = 0; j < d; ++j) z += theta[j] * rp[j];
+    double p = Sigmoid(z);
+    double w = s[i] * p * (1.0 - p);
+    if (w == 0.0) continue;
+    for (int a = 0; a < d; ++a) {
+      double wa = w * rp[a];
+      for (int b = a; b < d; ++b) h(a, b) += wa * rp[b];
+      h(a, d) += wa;
+    }
+    h(d, d) += w;
+  }
+  for (int a = 0; a <= d; ++a)
+    for (int b = a; b <= d; ++b) {
+      h(a, b) /= total_weight;
+      h(b, a) = h(a, b);
+    }
+  for (int j = 0; j < d; ++j) h(j, j) += l2;
+  return h;
+}
+
+}  // namespace
+
+Result<LogisticRegressionModel> LogisticRegressionModel::TrainWarmStart(
+    const Matrix& x, const Vector& y, const Vector& init_weights,
+    double init_bias, const Config& config) {
+  if (x.rows() != static_cast<int>(y.size()))
+    return Status::InvalidArgument("row count mismatch");
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  int d = x.cols();
+  Vector s = config.sample_weights;
+  if (s.empty()) s.assign(x.rows(), 1.0);
+  if (static_cast<int>(s.size()) != x.rows())
+    return Status::InvalidArgument("sample_weights size mismatch");
+  double total_weight = 0.0;
+  for (double w : s) total_weight += w;
+  if (total_weight <= 0.0)
+    return Status::InvalidArgument("total sample weight must be positive");
+
+  Vector theta(d + 1, 0.0);
+  if (!init_weights.empty()) {
+    XAI_CHECK_EQ(static_cast<int>(init_weights.size()), d);
+    for (int j = 0; j < d; ++j) theta[j] = init_weights[j];
+    theta[d] = init_bias;
+  }
+
+  for (int it = 0; it < config.max_iter; ++it) {
+    Vector g = Gradient(x, y, s, theta, config.l2, total_weight);
+    if (Norm2(g) < config.tol) break;
+    Matrix h = Hessian(x, s, theta, config.l2, total_weight);
+    h.AddScaledIdentity(1e-10);
+    auto step = CholeskySolve(h, g);
+    if (!step.ok()) {
+      // Gradient-descent fallback for a degenerate Hessian.
+      Axpy(-0.1, g, &theta);
+      continue;
+    }
+    // Damped Newton: halve the step until the gradient norm improves.
+    double g0 = Norm2(g);
+    double scale = 1.0;
+    for (int half = 0; half < 12; ++half) {
+      Vector cand = theta;
+      Axpy(-scale, step.ValueUnsafe(), &cand);
+      Vector g1 = Gradient(x, y, s, cand, config.l2, total_weight);
+      if (Norm2(g1) <= g0 || half == 11) {
+        theta = std::move(cand);
+        break;
+      }
+      scale *= 0.5;
+    }
+  }
+
+  LogisticRegressionModel model;
+  model.config_ = config;
+  model.bias_ = theta[d];
+  theta.pop_back();
+  model.weights_ = std::move(theta);
+  return model;
+}
+
+Result<LogisticRegressionModel> LogisticRegressionModel::Train(
+    const Matrix& x, const Vector& y, const Config& config) {
+  return TrainWarmStart(x, y, {}, 0.0, config);
+}
+
+Result<LogisticRegressionModel> LogisticRegressionModel::Train(
+    const Dataset& dataset, const Config& config) {
+  return Train(dataset.x(), dataset.y(), config);
+}
+
+double LogisticRegressionModel::Predict(const Vector& row) const {
+  return Sigmoid(Margin(row));
+}
+
+double LogisticRegressionModel::Margin(const Vector& row) const {
+  return Dot(row, weights_) + bias_;
+}
+
+double LogisticRegressionModel::ExampleLoss(const Vector& row,
+                                            double label) const {
+  double z = Margin(row);
+  // Stable: log(1 + e^z) - y z.
+  double log1pexp = z > 30 ? z : std::log1p(std::exp(z));
+  return log1pexp - label * z;
+}
+
+Vector LogisticRegressionModel::ExampleLossGradient(const Vector& row,
+                                                    double label) const {
+  double err = Sigmoid(Margin(row)) - label;
+  Vector g(row.size() + 1);
+  for (size_t j = 0; j < row.size(); ++j) g[j] = err * row[j];
+  g[row.size()] = err;
+  return g;
+}
+
+Matrix LogisticRegressionModel::LossHessian(const Matrix& x) const {
+  Vector s(x.rows(), 1.0);
+  Vector theta = weights_;
+  theta.push_back(bias_);
+  return Hessian(x, s, theta, config_.l2, static_cast<double>(x.rows()));
+}
+
+LogisticRegressionModel LogisticRegressionModel::FromCoefficients(
+    Vector weights, double bias, const Config& config) {
+  LogisticRegressionModel model;
+  model.weights_ = std::move(weights);
+  model.bias_ = bias;
+  model.config_ = config;
+  return model;
+}
+
+}  // namespace xai

@@ -1,0 +1,73 @@
+#ifndef XAI_MODEL_LOGISTIC_REGRESSION_H_
+#define XAI_MODEL_LOGISTIC_REGRESSION_H_
+
+#include <string>
+
+#include "xai/core/status.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// Numerically stable sigmoid.
+double Sigmoid(double z);
+
+/// \brief Configuration for LogisticRegressionModel.
+struct LogisticRegressionConfig {
+  double l2 = 1e-4;    ///< L2 penalty on weights (not the intercept).
+  int max_iter = 100;  ///< Newton iterations.
+  double tol = 1e-10;  ///< Stop when the gradient norm drops below this.
+  /// Per-sample weights (empty = all ones); used by Data Shapley variants.
+  Vector sample_weights;
+};
+
+/// \brief L2-regularized binary logistic regression trained with Newton's
+/// method (IRLS), with a gradient-descent fallback if the Hessian solve
+/// fails.
+///
+/// Exposes gradients and Hessians of its loss — the quantities influence
+/// functions (Koh & Liang, §2.3.2) and incremental maintenance (§3) consume.
+class LogisticRegressionModel : public Model {
+ public:
+  using Config = LogisticRegressionConfig;
+
+  static Result<LogisticRegressionModel> Train(const Matrix& x,
+                                               const Vector& y,
+                                               const Config& config = {});
+  static Result<LogisticRegressionModel> Train(const Dataset& dataset,
+                                               const Config& config = {});
+  /// Warm-started training (initial parameters = `init`, last = bias).
+  static Result<LogisticRegressionModel> TrainWarmStart(
+      const Matrix& x, const Vector& y, const Vector& init_weights,
+      double init_bias, const Config& config = {});
+
+  TaskType task() const override { return TaskType::kClassification; }
+  std::string name() const override { return "logistic_regression"; }
+  double Predict(const Vector& row) const override;
+
+  /// Decision-function value (log-odds) for a row.
+  double Margin(const Vector& row) const;
+
+  const Vector& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  const Config& config() const { return config_; }
+
+  /// Per-example (unregularized) negative log-likelihood loss.
+  double ExampleLoss(const Vector& row, double label) const;
+  /// Gradient of the *unregularized* per-example loss w.r.t. [weights; bias].
+  Vector ExampleLossGradient(const Vector& row, double label) const;
+  /// Full-dataset Hessian of the regularized mean loss w.r.t.
+  /// [weights; bias]; dimension (d+1) x (d+1).
+  Matrix LossHessian(const Matrix& x) const;
+
+  static LogisticRegressionModel FromCoefficients(Vector weights, double bias,
+                                                  const Config& config = {});
+
+ private:
+  Vector weights_;
+  double bias_ = 0.0;
+  Config config_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_MODEL_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,107 @@
+#include "xai/model/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xai/core/check.h"
+#include "xai/core/stats.h"
+
+namespace xai {
+
+double Accuracy(const Vector& scores, const Vector& labels) {
+  XAI_CHECK_EQ(scores.size(), labels.size());
+  if (scores.empty()) return 0.0;
+  int correct = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    int pred = scores[i] >= 0.5 ? 1 : 0;
+    if (pred == static_cast<int>(labels[i])) ++correct;
+  }
+  return static_cast<double>(correct) / scores.size();
+}
+
+double Auc(const Vector& scores, const Vector& labels) {
+  XAI_CHECK_EQ(scores.size(), labels.size());
+  // Rank-sum (Mann-Whitney) AUC with average ranks for ties.
+  std::vector<double> ranks = Ranks(scores);
+  double n_pos = 0.0, rank_sum_pos = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == 1.0) {
+      n_pos += 1.0;
+      rank_sum_pos += ranks[i];
+    }
+  }
+  double n_neg = static_cast<double>(labels.size()) - n_pos;
+  if (n_pos == 0.0 || n_neg == 0.0) return 0.5;
+  return (rank_sum_pos - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg);
+}
+
+double LogLoss(const Vector& scores, const Vector& labels) {
+  XAI_CHECK_EQ(scores.size(), labels.size());
+  if (scores.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    double p = std::clamp(scores[i], 1e-12, 1.0 - 1e-12);
+    acc += labels[i] == 1.0 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return acc / scores.size();
+}
+
+double Mse(const Vector& scores, const Vector& labels) {
+  XAI_CHECK_EQ(scores.size(), labels.size());
+  if (scores.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    double d = scores[i] - labels[i];
+    acc += d * d;
+  }
+  return acc / scores.size();
+}
+
+double Precision(const Vector& scores, const Vector& labels) {
+  XAI_CHECK_EQ(scores.size(), labels.size());
+  double tp = 0.0, fp = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] >= 0.5) {
+      if (labels[i] == 1.0)
+        tp += 1.0;
+      else
+        fp += 1.0;
+    }
+  }
+  return tp + fp > 0.0 ? tp / (tp + fp) : 0.0;
+}
+
+double Recall(const Vector& scores, const Vector& labels) {
+  XAI_CHECK_EQ(scores.size(), labels.size());
+  double tp = 0.0, fn = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] == 1.0) {
+      if (scores[i] >= 0.5)
+        tp += 1.0;
+      else
+        fn += 1.0;
+    }
+  }
+  return tp + fn > 0.0 ? tp / (tp + fn) : 0.0;
+}
+
+double EvaluateAccuracy(const Model& model, const Dataset& dataset) {
+  if (dataset.num_rows() == 0) return 0.0;
+  int correct = 0;
+  for (int i = 0; i < dataset.num_rows(); ++i) {
+    if (model.PredictClass(dataset.Row(i)) ==
+        static_cast<int>(dataset.Label(i)))
+      ++correct;
+  }
+  return static_cast<double>(correct) / dataset.num_rows();
+}
+
+double EvaluateAuc(const Model& model, const Dataset& dataset) {
+  return Auc(model.PredictBatch(dataset.x()), dataset.y());
+}
+
+double EvaluateMse(const Model& model, const Dataset& dataset) {
+  return Mse(model.PredictBatch(dataset.x()), dataset.y());
+}
+
+}  // namespace xai

@@ -1,0 +1,38 @@
+#ifndef XAI_MODEL_METRICS_H_
+#define XAI_MODEL_METRICS_H_
+
+#include <vector>
+
+#include "xai/core/matrix.h"
+#include "xai/data/dataset.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief Evaluation metrics. `scores` are model outputs (probabilities or
+/// regression predictions); `labels` are ground truth.
+
+/// Fraction of correct 0.5-thresholded predictions.
+double Accuracy(const Vector& scores, const Vector& labels);
+/// Area under the ROC curve (rank-based; ties get half credit).
+double Auc(const Vector& scores, const Vector& labels);
+/// Mean binary cross-entropy (scores clipped away from 0/1).
+double LogLoss(const Vector& scores, const Vector& labels);
+/// Mean squared error.
+double Mse(const Vector& scores, const Vector& labels);
+/// Precision of the positive class at threshold 0.5.
+double Precision(const Vector& scores, const Vector& labels);
+/// Recall of the positive class at threshold 0.5.
+double Recall(const Vector& scores, const Vector& labels);
+
+/// Convenience: model accuracy over a dataset (classification uses
+/// PredictClass, so multiclass models evaluate correctly).
+double EvaluateAccuracy(const Model& model, const Dataset& dataset);
+/// Convenience: model AUC over a binary-classification dataset.
+double EvaluateAuc(const Model& model, const Dataset& dataset);
+/// Convenience: model MSE over a regression dataset.
+double EvaluateMse(const Model& model, const Dataset& dataset);
+
+}  // namespace xai
+
+#endif  // XAI_MODEL_METRICS_H_

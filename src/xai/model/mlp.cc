@@ -1,0 +1,128 @@
+#include "xai/model/mlp.h"
+
+#include <cmath>
+
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+
+double MlpModel::Forward(const Vector& row,
+                         std::vector<Vector>* activations) const {
+  Vector current = row;
+  if (activations) {
+    activations->clear();
+    activations->push_back(current);
+  }
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    const Matrix& w = weights_[l];
+    Vector next(w.rows());
+    for (int o = 0; o < w.rows(); ++o) {
+      double z = w(o, w.cols() - 1);  // Bias.
+      for (int i = 0; i < w.cols() - 1; ++i) z += w(o, i) * current[i];
+      bool is_output = l + 1 == weights_.size();
+      next[o] = is_output ? z : std::tanh(z);
+    }
+    current = std::move(next);
+    if (activations) activations->push_back(current);
+  }
+  double z = current[0];
+  return task_ == TaskType::kClassification ? Sigmoid(z) : z;
+}
+
+Result<MlpModel> MlpModel::Train(const Matrix& x, const Vector& y,
+                                 TaskType task, const Config& config) {
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  if (x.rows() != static_cast<int>(y.size()))
+    return Status::InvalidArgument("row count mismatch");
+  MlpModel model;
+  model.task_ = task;
+  model.config_ = config;
+  Rng rng(config.seed);
+
+  std::vector<int> sizes;
+  sizes.push_back(x.cols());
+  for (int h : config.hidden) sizes.push_back(h);
+  sizes.push_back(1);
+  for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Matrix w(sizes[l + 1], sizes[l] + 1);
+    double scale = std::sqrt(2.0 / sizes[l]);
+    for (int i = 0; i < w.rows(); ++i)
+      for (int j = 0; j < w.cols(); ++j)
+        w(i, j) = j + 1 == w.cols() ? 0.0 : rng.Normal(0.0, scale);
+    model.weights_.push_back(std::move(w));
+  }
+
+  std::vector<Matrix> velocity;
+  for (const Matrix& w : model.weights_)
+    velocity.emplace_back(w.rows(), w.cols());
+
+  int n = x.rows();
+  std::vector<Vector> activations;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::vector<int> order = rng.Permutation(n);
+    for (int start = 0; start < n; start += config.batch_size) {
+      int end = std::min(n, start + config.batch_size);
+      std::vector<Matrix> grads;
+      for (const Matrix& w : model.weights_)
+        grads.emplace_back(w.rows(), w.cols());
+
+      for (int b = start; b < end; ++b) {
+        int i = order[b];
+        Vector row = x.Row(i);
+        model.Forward(row, &activations);
+        // Output delta: dL/dz for both losses is (pred - y).
+        double z = activations.back()[0];
+        double pred =
+            task == TaskType::kClassification ? Sigmoid(z) : z;
+        Vector delta = {pred - y[i]};
+        for (int l = static_cast<int>(model.weights_.size()) - 1; l >= 0;
+             --l) {
+          const Matrix& w = model.weights_[l];
+          const Vector& input = activations[l];
+          Matrix& g = grads[l];
+          for (int o = 0; o < w.rows(); ++o) {
+            for (int j = 0; j < w.cols() - 1; ++j)
+              g(o, j) += delta[o] * input[j];
+            g(o, w.cols() - 1) += delta[o];
+          }
+          if (l > 0) {
+            Vector next_delta(w.cols() - 1, 0.0);
+            for (int j = 0; j < w.cols() - 1; ++j) {
+              double acc = 0.0;
+              for (int o = 0; o < w.rows(); ++o) acc += w(o, j) * delta[o];
+              // tanh' = 1 - a^2 where a is the activation of layer l.
+              double a = activations[l][j];
+              next_delta[j] = acc * (1.0 - a * a);
+            }
+            delta = std::move(next_delta);
+          }
+        }
+      }
+
+      double batch = end - start;
+      for (size_t l = 0; l < model.weights_.size(); ++l) {
+        Matrix& w = model.weights_[l];
+        Matrix& v = velocity[l];
+        const Matrix& g = grads[l];
+        for (int r = 0; r < w.rows(); ++r) {
+          for (int c = 0; c < w.cols(); ++c) {
+            double grad = g(r, c) / batch + config.l2 * w(r, c);
+            v(r, c) = config.momentum * v(r, c) -
+                      config.learning_rate * grad;
+            w(r, c) += v(r, c);
+          }
+        }
+      }
+    }
+  }
+  return model;
+}
+
+Result<MlpModel> MlpModel::Train(const Dataset& dataset,
+                                 const Config& config) {
+  return Train(dataset.x(), dataset.y(), dataset.schema().task, config);
+}
+
+double MlpModel::Predict(const Vector& row) const { return Forward(row); }
+
+}  // namespace xai

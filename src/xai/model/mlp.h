@@ -1,0 +1,55 @@
+#ifndef XAI_MODEL_MLP_H_
+#define XAI_MODEL_MLP_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/rng.h"
+#include "xai/core/status.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief Configuration for MlpModel.
+struct MlpConfig {
+  std::vector<int> hidden = {16, 8};
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double l2 = 1e-5;
+  int epochs = 200;
+  int batch_size = 32;
+  uint64_t seed = 42;
+};
+
+/// \brief Small fully-connected neural network (tanh hidden layers).
+///
+/// Serves as the genuinely opaque "complex black-box model" the post-hoc
+/// explainers of §2.1 are pointed at. Binary classification (sigmoid output,
+/// log loss) or regression (linear output, squared loss), trained with
+/// mini-batch SGD + momentum.
+class MlpModel : public Model {
+ public:
+  using Config = MlpConfig;
+
+  static Result<MlpModel> Train(const Dataset& dataset,
+                                const Config& config = {});
+  static Result<MlpModel> Train(const Matrix& x, const Vector& y,
+                                TaskType task, const Config& config = {});
+
+  TaskType task() const override { return task_; }
+  std::string name() const override { return "mlp"; }
+  double Predict(const Vector& row) const override;
+
+ private:
+  /// weights_[l] has shape (out_l, in_l + 1); the last column is the bias.
+  std::vector<Matrix> weights_;
+  TaskType task_ = TaskType::kClassification;
+  Config config_;
+
+  double Forward(const Vector& row,
+                 std::vector<Vector>* activations = nullptr) const;
+};
+
+}  // namespace xai
+
+#endif  // XAI_MODEL_MLP_H_

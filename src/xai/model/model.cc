@@ -1,0 +1,19 @@
+#include "xai/model/model.h"
+
+namespace xai {
+
+Vector Model::PredictBatch(const Matrix& x) const {
+  Vector out(x.rows());
+  for (int i = 0; i < x.rows(); ++i) out[i] = Predict(x.Row(i));
+  return out;
+}
+
+int Model::PredictClass(const Vector& row) const {
+  return Predict(row) >= 0.5 ? 1 : 0;
+}
+
+PredictFn AsPredictFn(const Model& model) {
+  return [&model](const Vector& row) { return model.Predict(row); };
+}
+
+}  // namespace xai

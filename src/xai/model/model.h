@@ -1,0 +1,47 @@
+#ifndef XAI_MODEL_MODEL_H_
+#define XAI_MODEL_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "xai/core/matrix.h"
+#include "xai/data/dataset.h"
+
+namespace xai {
+
+/// \brief Base interface of all predictive models in libxai.
+///
+/// The unified output convention keeps explainers model-agnostic:
+///  - regression models: Predict() returns the predicted value;
+///  - binary classifiers: Predict() returns P(y = 1);
+///  - multiclass classifiers additionally override PredictClass().
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Task this model was trained for.
+  virtual TaskType task() const = 0;
+  /// Short human-readable name ("logistic_regression", "gbdt", ...).
+  virtual std::string name() const = 0;
+
+  /// Predicted value (regression) or P(y=1) (binary classification).
+  virtual double Predict(const Vector& row) const = 0;
+
+  /// Batch prediction; the default loops over rows.
+  virtual Vector PredictBatch(const Matrix& x) const;
+
+  /// Hard class decision; the default thresholds Predict() at 0.5.
+  virtual int PredictClass(const Vector& row) const;
+};
+
+/// \brief Black-box view of a model: explainers that are model-agnostic
+/// accept only this function type and can never peek inside.
+using PredictFn = std::function<double(const Vector&)>;
+
+/// Adapts a model to the black-box view. The model must outlive the result.
+PredictFn AsPredictFn(const Model& model);
+
+}  // namespace xai
+
+#endif  // XAI_MODEL_MODEL_H_

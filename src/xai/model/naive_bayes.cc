@@ -1,0 +1,65 @@
+#include "xai/model/naive_bayes.h"
+
+#include <cmath>
+
+namespace xai {
+
+Result<NaiveBayesModel> NaiveBayesModel::Train(const Matrix& x,
+                                               const Vector& y) {
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  if (x.rows() != static_cast<int>(y.size()))
+    return Status::InvalidArgument("row count mismatch");
+  int n = x.rows(), d = x.cols();
+  NaiveBayesModel model;
+  model.mean0_.assign(d, 0.0);
+  model.mean1_.assign(d, 0.0);
+  model.var0_.assign(d, 0.0);
+  model.var1_.assign(d, 0.0);
+  double n1 = 0.0;
+  for (int i = 0; i < n; ++i) n1 += y[i];
+  double n0 = n - n1;
+  if (n0 == 0.0 || n1 == 0.0)
+    return Status::InvalidArgument("need both classes present");
+  model.prior1_ = n1 / n;
+  for (int i = 0; i < n; ++i) {
+    Vector& mean = y[i] == 1.0 ? model.mean1_ : model.mean0_;
+    for (int j = 0; j < d; ++j) mean[j] += x(i, j);
+  }
+  for (int j = 0; j < d; ++j) {
+    model.mean0_[j] /= n0;
+    model.mean1_[j] /= n1;
+  }
+  for (int i = 0; i < n; ++i) {
+    Vector& mean = y[i] == 1.0 ? model.mean1_ : model.mean0_;
+    Vector& var = y[i] == 1.0 ? model.var1_ : model.var0_;
+    for (int j = 0; j < d; ++j) {
+      double diff = x(i, j) - mean[j];
+      var[j] += diff * diff;
+    }
+  }
+  for (int j = 0; j < d; ++j) {
+    model.var0_[j] = model.var0_[j] / n0 + 1e-6;
+    model.var1_[j] = model.var1_[j] / n1 + 1e-6;
+  }
+  return model;
+}
+
+Result<NaiveBayesModel> NaiveBayesModel::Train(const Dataset& dataset) {
+  return Train(dataset.x(), dataset.y());
+}
+
+double NaiveBayesModel::Predict(const Vector& row) const {
+  double log1 = std::log(prior1_);
+  double log0 = std::log(1.0 - prior1_);
+  for (size_t j = 0; j < row.size(); ++j) {
+    double d1 = row[j] - mean1_[j];
+    double d0 = row[j] - mean0_[j];
+    log1 += -0.5 * std::log(2 * M_PI * var1_[j]) - d1 * d1 / (2 * var1_[j]);
+    log0 += -0.5 * std::log(2 * M_PI * var0_[j]) - d0 * d0 / (2 * var0_[j]);
+  }
+  double m = std::max(log0, log1);
+  double e1 = std::exp(log1 - m), e0 = std::exp(log0 - m);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace xai

@@ -1,0 +1,34 @@
+#ifndef XAI_MODEL_NAIVE_BAYES_H_
+#define XAI_MODEL_NAIVE_BAYES_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief Gaussian naive Bayes for binary classification.
+///
+/// Each feature is modeled as class-conditionally Gaussian; categorical
+/// features (small integer codes) are handled acceptably by the same
+/// Gaussian approximation for the synthetic workloads in this library.
+class NaiveBayesModel : public Model {
+ public:
+  static Result<NaiveBayesModel> Train(const Dataset& dataset);
+  static Result<NaiveBayesModel> Train(const Matrix& x, const Vector& y);
+
+  TaskType task() const override { return TaskType::kClassification; }
+  std::string name() const override { return "naive_bayes"; }
+  double Predict(const Vector& row) const override;
+
+ private:
+  double prior1_ = 0.5;
+  Vector mean0_, mean1_;
+  Vector var0_, var1_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_MODEL_NAIVE_BAYES_H_

@@ -1,0 +1,66 @@
+#include "xai/model/random_forest.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace xai {
+
+Result<RandomForestModel> RandomForestModel::Train(const Matrix& x,
+                                                   const Vector& y,
+                                                   TaskType task,
+                                                   const Config& config) {
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  if (x.rows() != static_cast<int>(y.size()))
+    return Status::InvalidArgument("row count mismatch");
+  RandomForestModel model;
+  model.task_ = task;
+  model.config_ = config;
+  Rng rng(config.seed);
+
+  CartConfig cart;
+  cart.max_depth = config.max_depth;
+  cart.min_samples_leaf = config.min_samples_leaf;
+  cart.criterion = task == TaskType::kClassification
+                       ? CartConfig::Criterion::kGini
+                       : CartConfig::Criterion::kMse;
+  cart.max_features =
+      config.max_features > 0
+          ? config.max_features
+          : std::max(1, static_cast<int>(std::lround(std::sqrt(x.cols()))));
+
+  int n = x.rows();
+  for (int t = 0; t < config.n_trees; ++t) {
+    std::vector<int> rows(n);
+    if (config.bootstrap) {
+      for (int i = 0; i < n; ++i) rows[i] = rng.UniformInt(n);
+    } else {
+      std::iota(rows.begin(), rows.end(), 0);
+    }
+    Rng tree_rng = rng.Fork();
+    model.trees_.push_back(BuildCartTree(x, y, rows, cart, &tree_rng));
+  }
+  return model;
+}
+
+Result<RandomForestModel> RandomForestModel::Train(const Dataset& dataset,
+                                                   const Config& config) {
+  return Train(dataset.x(), dataset.y(), dataset.schema().task, config);
+}
+
+RandomForestModel RandomForestModel::FromTrees(std::vector<Tree> trees,
+                                               TaskType task,
+                                               const Config& config) {
+  RandomForestModel model;
+  model.trees_ = std::move(trees);
+  model.task_ = task;
+  model.config_ = config;
+  return model;
+}
+
+double RandomForestModel::Predict(const Vector& row) const {
+  double acc = 0.0;
+  for (const Tree& tree : trees_) acc += tree.PredictRow(row);
+  return trees_.empty() ? 0.0 : acc / trees_.size();
+}
+
+}  // namespace xai

@@ -1,0 +1,58 @@
+#ifndef XAI_MODEL_RANDOM_FOREST_H_
+#define XAI_MODEL_RANDOM_FOREST_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/rng.h"
+#include "xai/core/status.h"
+#include "xai/model/decision_tree.h"
+#include "xai/model/model.h"
+#include "xai/model/tree.h"
+
+namespace xai {
+
+/// \brief Configuration for RandomForestModel.
+struct RandomForestConfig {
+  int n_trees = 50;
+  int max_depth = 8;
+  int min_samples_leaf = 2;
+  /// Features per split; -1 = round(sqrt(d)).
+  int max_features = -1;
+  bool bootstrap = true;
+  uint64_t seed = 42;
+};
+
+/// \brief Random forest: bagged CART trees with per-split feature
+/// subsampling. Predicts the average of the tree outputs (a probability for
+/// binary classification).
+class RandomForestModel : public Model {
+ public:
+  using Config = RandomForestConfig;
+
+  static Result<RandomForestModel> Train(const Dataset& dataset,
+                                         const Config& config = {});
+  static Result<RandomForestModel> Train(const Matrix& x, const Vector& y,
+                                         TaskType task,
+                                         const Config& config = {});
+
+  TaskType task() const override { return task_; }
+  std::string name() const override { return "random_forest"; }
+  double Predict(const Vector& row) const override;
+
+  const std::vector<Tree>& trees() const { return trees_; }
+  const Config& config() const { return config_; }
+
+  /// Reassembles a forest from its trees (deserialization).
+  static RandomForestModel FromTrees(std::vector<Tree> trees, TaskType task,
+                                     const Config& config = {});
+
+ private:
+  std::vector<Tree> trees_;
+  TaskType task_ = TaskType::kClassification;
+  Config config_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_MODEL_RANDOM_FOREST_H_

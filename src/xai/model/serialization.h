@@ -1,0 +1,44 @@
+#ifndef XAI_MODEL_SERIALIZATION_H_
+#define XAI_MODEL_SERIALIZATION_H_
+
+#include <string>
+
+#include "xai/core/status.h"
+#include "xai/model/decision_tree.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/linear_regression.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/random_forest.h"
+
+namespace xai {
+
+/// \brief Text serialization of the library's models: a line-oriented,
+/// human-inspectable format ("xai_model v1 <kind> ..."). Round trips are
+/// prediction-exact (doubles are written with %.17g).
+
+std::string SerializeModel(const LinearRegressionModel& model);
+std::string SerializeModel(const LogisticRegressionModel& model);
+std::string SerializeModel(const DecisionTreeModel& model);
+std::string SerializeModel(const RandomForestModel& model);
+std::string SerializeModel(const GbdtModel& model);
+
+Result<LinearRegressionModel> DeserializeLinearRegression(
+    const std::string& text);
+Result<LogisticRegressionModel> DeserializeLogisticRegression(
+    const std::string& text);
+Result<DecisionTreeModel> DeserializeDecisionTree(const std::string& text);
+Result<RandomForestModel> DeserializeRandomForest(const std::string& text);
+Result<GbdtModel> DeserializeGbdt(const std::string& text);
+
+/// Kind tag on the header line ("linear_regression", "gbdt", ...), so
+/// callers can dispatch before deserializing. NotFound on malformed input.
+Result<std::string> PeekModelKind(const std::string& text);
+
+/// File helpers.
+Status SaveModelToFile(const std::string& serialized,
+                       const std::string& path);
+Result<std::string> LoadModelFile(const std::string& path);
+
+}  // namespace xai
+
+#endif  // XAI_MODEL_SERIALIZATION_H_

@@ -1,0 +1,33 @@
+#include "xai/model/tree_ensemble_view.h"
+
+namespace xai {
+
+TreeEnsembleView TreeEnsembleView::Of(const DecisionTreeModel& model) {
+  TreeEnsembleView view;
+  view.trees.push_back(&model.tree());
+  view.scales.push_back(1.0);
+  return view;
+}
+
+TreeEnsembleView TreeEnsembleView::Of(const RandomForestModel& model) {
+  TreeEnsembleView view;
+  double scale =
+      model.trees().empty() ? 1.0 : 1.0 / static_cast<double>(model.trees().size());
+  for (const Tree& tree : model.trees()) {
+    view.trees.push_back(&tree);
+    view.scales.push_back(scale);
+  }
+  return view;
+}
+
+TreeEnsembleView TreeEnsembleView::Of(const GbdtModel& model) {
+  TreeEnsembleView view;
+  view.base = model.base_score();
+  for (const Tree& tree : model.trees()) {
+    view.trees.push_back(&tree);
+    view.scales.push_back(1.0);
+  }
+  return view;
+}
+
+}  // namespace xai

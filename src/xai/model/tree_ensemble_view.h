@@ -1,0 +1,45 @@
+#ifndef XAI_MODEL_TREE_ENSEMBLE_VIEW_H_
+#define XAI_MODEL_TREE_ENSEMBLE_VIEW_H_
+
+#include <vector>
+
+#include "xai/model/decision_tree.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/random_forest.h"
+#include "xai/model/tree.h"
+
+namespace xai {
+
+/// \brief Uniform additive view over any tree-based model in libxai:
+///
+///   Margin(x) = base + sum_t scale_t * tree_t(x).
+///
+/// TreeSHAP and the LeafInfluence-style estimator operate on this view, so
+/// they work unchanged for single trees, random forests (scale = 1/T) and
+/// GBDTs (scale = 1, base = base_score). The referenced model must outlive
+/// the view.
+struct TreeEnsembleView {
+  std::vector<const Tree*> trees;
+  std::vector<double> scales;
+  double base = 0.0;
+
+  /// The additive raw score this view explains. Note for classifiers this
+  /// is the probability for single trees/forests but the log-odds margin for
+  /// GBDTs (TreeSHAP explains the additive output; see GbdtModel docs).
+  double Margin(const Vector& row) const {
+    double acc = base;
+    for (size_t t = 0; t < trees.size(); ++t)
+      acc += scales[t] * trees[t]->PredictRow(row);
+    return acc;
+  }
+
+  int num_trees() const { return static_cast<int>(trees.size()); }
+
+  static TreeEnsembleView Of(const DecisionTreeModel& model);
+  static TreeEnsembleView Of(const RandomForestModel& model);
+  static TreeEnsembleView Of(const GbdtModel& model);
+};
+
+}  // namespace xai
+
+#endif  // XAI_MODEL_TREE_ENSEMBLE_VIEW_H_

@@ -1,0 +1,124 @@
+#include "xai/pipeline/operators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xai/core/stats.h"
+
+namespace xai {
+
+Result<Dataset> FilterRowsOp::Apply(
+    const Dataset& input, int stage_index,
+    std::vector<RowProvenance>* provenance) const {
+  (void)stage_index;
+  std::vector<int> keep_rows;
+  std::vector<RowProvenance> new_prov;
+  for (int i = 0; i < input.num_rows(); ++i) {
+    if (keep_(input.Row(i), input.Label(i))) {
+      keep_rows.push_back(i);
+      new_prov.push_back((*provenance)[i]);
+    }
+  }
+  *provenance = std::move(new_prov);
+  return input.Subset(keep_rows);
+}
+
+std::string ImputeMeanOp::name() const {
+  return "impute_mean(f" + std::to_string(feature_) + ")";
+}
+
+Result<Dataset> ImputeMeanOp::Apply(
+    const Dataset& input, int stage_index,
+    std::vector<RowProvenance>* provenance) const {
+  if (feature_ < 0 || feature_ >= input.num_features())
+    return Status::OutOfRange("impute feature out of range");
+  double sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < input.num_rows(); ++i) {
+    double v = input.At(i, feature_);
+    if (v != missing_value_ && !std::isnan(v)) {
+      sum += v;
+      ++count;
+    }
+  }
+  double mean = count > 0 ? sum / count : 0.0;
+  Dataset out = input;
+  for (int i = 0; i < out.num_rows(); ++i) {
+    double v = out.At(i, feature_);
+    if (v == missing_value_ || std::isnan(v)) {
+      (*out.mutable_x())(i, feature_) = mean;
+      (*provenance)[i].modified_by.push_back(stage_index);
+    }
+  }
+  return out;
+}
+
+Result<Dataset> StandardizeOp::Apply(
+    const Dataset& input, int stage_index,
+    std::vector<RowProvenance>* provenance) const {
+  Dataset out = input;
+  for (int j = 0; j < input.num_features(); ++j) {
+    if (input.schema().features[j].is_categorical()) continue;
+    std::vector<double> col = input.x().Col(j);
+    double mean = Mean(col);
+    double sd = StdDev(col);
+    if (sd < 1e-12) sd = 1.0;
+    for (int i = 0; i < out.num_rows(); ++i)
+      (*out.mutable_x())(i, j) = (input.At(i, j) - mean) / sd;
+  }
+  for (int i = 0; i < out.num_rows(); ++i)
+    (*provenance)[i].modified_by.push_back(stage_index);
+  return out;
+}
+
+std::string ClipOp::name() const {
+  return "clip(f" + std::to_string(feature_) + ")";
+}
+
+Result<Dataset> ClipOp::Apply(const Dataset& input, int stage_index,
+                              std::vector<RowProvenance>* provenance) const {
+  if (feature_ < 0 || feature_ >= input.num_features())
+    return Status::OutOfRange("clip feature out of range");
+  Dataset out = input;
+  for (int i = 0; i < out.num_rows(); ++i) {
+    double v = out.At(i, feature_);
+    double clipped = std::clamp(v, lo_, hi_);
+    if (clipped != v) {
+      (*out.mutable_x())(i, feature_) = clipped;
+      (*provenance)[i].modified_by.push_back(stage_index);
+    }
+  }
+  return out;
+}
+
+Result<Dataset> TransformFeatureOp::Apply(
+    const Dataset& input, int stage_index,
+    std::vector<RowProvenance>* provenance) const {
+  if (feature_ < 0 || feature_ >= input.num_features())
+    return Status::OutOfRange("transform feature out of range");
+  Dataset out = input;
+  for (int i = 0; i < out.num_rows(); ++i) {
+    double v = out.At(i, feature_);
+    double t = fn_(v);
+    if (t != v) {
+      (*out.mutable_x())(i, feature_) = t;
+      (*provenance)[i].modified_by.push_back(stage_index);
+    }
+  }
+  return out;
+}
+
+Result<Dataset> CorruptLabelsOp::Apply(
+    const Dataset& input, int stage_index,
+    std::vector<RowProvenance>* provenance) const {
+  Dataset out = input;
+  for (int i = 0; i < out.num_rows(); ++i) {
+    if (match_(input.Row(i), input.Label(i))) {
+      (*out.mutable_y())[i] = 1.0 - input.Label(i);
+      (*provenance)[i].modified_by.push_back(stage_index);
+    }
+  }
+  return out;
+}
+
+}  // namespace xai

@@ -1,0 +1,102 @@
+#ifndef XAI_PIPELINE_OPERATORS_H_
+#define XAI_PIPELINE_OPERATORS_H_
+
+#include <functional>
+#include <string>
+
+#include "xai/pipeline/pipeline.h"
+
+namespace xai {
+
+/// \brief Library of concrete pipeline stages. Each stage updates row-level
+/// provenance: dropped rows disappear, modified rows record the stage.
+
+/// Keeps rows where `keep(features, label)` is true.
+class FilterRowsOp : public PipelineOp {
+ public:
+  using Predicate = std::function<bool(const Vector&, double)>;
+  FilterRowsOp(std::string name, Predicate keep)
+      : name_(std::move(name)), keep_(std::move(keep)) {}
+  std::string name() const override { return name_; }
+  Result<Dataset> Apply(const Dataset& input, int stage_index,
+                        std::vector<RowProvenance>* provenance) const override;
+
+ private:
+  std::string name_;
+  Predicate keep_;
+};
+
+/// Replaces `missing_value` in one feature with the mean of the non-missing
+/// values (the classic imputation stage).
+class ImputeMeanOp : public PipelineOp {
+ public:
+  ImputeMeanOp(int feature, double missing_value)
+      : feature_(feature), missing_value_(missing_value) {}
+  std::string name() const override;
+  Result<Dataset> Apply(const Dataset& input, int stage_index,
+                        std::vector<RowProvenance>* provenance) const override;
+
+ private:
+  int feature_;
+  double missing_value_;
+};
+
+/// Z-score standardization of all numeric features.
+class StandardizeOp : public PipelineOp {
+ public:
+  std::string name() const override { return "standardize"; }
+  Result<Dataset> Apply(const Dataset& input, int stage_index,
+                        std::vector<RowProvenance>* provenance) const override;
+};
+
+/// Clips one feature into [lo, hi] (outlier handling).
+class ClipOp : public PipelineOp {
+ public:
+  ClipOp(int feature, double lo, double hi)
+      : feature_(feature), lo_(lo), hi_(hi) {}
+  std::string name() const override;
+  Result<Dataset> Apply(const Dataset& input, int stage_index,
+                        std::vector<RowProvenance>* provenance) const override;
+
+ private:
+  int feature_;
+  double lo_, hi_;
+};
+
+/// Applies an arbitrary per-cell transform to one feature. The workhorse
+/// for injecting *buggy* stages in the provenance experiments (e.g. a unit
+/// conversion applied twice).
+class TransformFeatureOp : public PipelineOp {
+ public:
+  TransformFeatureOp(std::string name, int feature,
+                     std::function<double(double)> fn)
+      : name_(std::move(name)), feature_(feature), fn_(std::move(fn)) {}
+  std::string name() const override { return name_; }
+  Result<Dataset> Apply(const Dataset& input, int stage_index,
+                        std::vector<RowProvenance>* provenance) const override;
+
+ private:
+  std::string name_;
+  int feature_;
+  std::function<double(double)> fn_;
+};
+
+/// Flips the binary labels of rows matching a predicate — a deliberately
+/// corrupting stage for the E13 experiment.
+class CorruptLabelsOp : public PipelineOp {
+ public:
+  using Predicate = std::function<bool(const Vector&, double)>;
+  CorruptLabelsOp(std::string name, Predicate match)
+      : name_(std::move(name)), match_(std::move(match)) {}
+  std::string name() const override { return name_; }
+  Result<Dataset> Apply(const Dataset& input, int stage_index,
+                        std::vector<RowProvenance>* provenance) const override;
+
+ private:
+  std::string name_;
+  Predicate match_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_PIPELINE_OPERATORS_H_

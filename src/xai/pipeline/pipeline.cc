@@ -1,0 +1,52 @@
+#include "xai/pipeline/pipeline.h"
+
+#include <sstream>
+
+namespace xai {
+
+std::string PipelineResult::TraceRow(int output_row) const {
+  std::ostringstream os;
+  const RowProvenance& p = provenance[output_row];
+  os << "output row " << output_row << " <- input row " << p.input_row;
+  if (!p.modified_by.empty()) {
+    os << ", modified by [";
+    for (size_t i = 0; i < p.modified_by.size(); ++i) {
+      os << (i ? ", " : "") << stage_names[p.modified_by[i]];
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+Result<PipelineResult> Pipeline::Run(const Dataset& input) const {
+  PipelineResult result;
+  result.output = input;
+  result.provenance.resize(input.num_rows());
+  for (int i = 0; i < input.num_rows(); ++i)
+    result.provenance[i].input_row = i;
+  for (int s = 0; s < num_stages(); ++s) {
+    result.stage_names.push_back(ops_[s]->name());
+    XAI_ASSIGN_OR_RETURN(
+        result.output, ops_[s]->Apply(result.output, s, &result.provenance));
+    if (static_cast<int>(result.provenance.size()) !=
+        result.output.num_rows())
+      return Status::Internal("stage " + ops_[s]->name() +
+                              " broke provenance tracking");
+  }
+  return result;
+}
+
+Result<Dataset> Pipeline::RunWithStages(const Dataset& input,
+                                        const std::vector<bool>& enabled)
+    const {
+  Dataset current = input;
+  std::vector<RowProvenance> provenance(input.num_rows());
+  for (int i = 0; i < input.num_rows(); ++i) provenance[i].input_row = i;
+  for (int s = 0; s < num_stages(); ++s) {
+    if (s < static_cast<int>(enabled.size()) && !enabled[s]) continue;
+    XAI_ASSIGN_OR_RETURN(current, ops_[s]->Apply(current, s, &provenance));
+  }
+  return current;
+}
+
+}  // namespace xai

@@ -1,0 +1,68 @@
+#ifndef XAI_PIPELINE_PIPELINE_H_
+#define XAI_PIPELINE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/data/dataset.h"
+
+namespace xai {
+
+/// \brief Row-level why-provenance through a data-preparation pipeline (§3
+/// "Provenance-Based Explanations": "the flow of training data points must
+/// be monitored through different stages using provenance techniques").
+struct RowProvenance {
+  /// Origin row index in the pipeline's input dataset.
+  int input_row = -1;
+  /// Stage indices that modified this row's features or label.
+  std::vector<int> modified_by;
+};
+
+/// \brief One stage of a data-preparation pipeline.
+class PipelineOp {
+ public:
+  virtual ~PipelineOp() = default;
+  virtual std::string name() const = 0;
+
+  /// Transforms the dataset. `provenance` is parallel to the rows of the
+  /// input and must be updated to stay parallel to the rows of the output:
+  /// dropped rows remove their entry, modified rows append `stage_index` to
+  /// `modified_by`.
+  virtual Result<Dataset> Apply(const Dataset& input, int stage_index,
+                                std::vector<RowProvenance>* provenance)
+      const = 0;
+};
+
+/// \brief Output of a pipeline run: the dataset plus per-row provenance.
+struct PipelineResult {
+  Dataset output;
+  std::vector<RowProvenance> provenance;
+  std::vector<std::string> stage_names;
+
+  /// "row 17 <- input row 203, modified by [impute_income, standardize]".
+  std::string TraceRow(int output_row) const;
+};
+
+/// \brief A linear pipeline of data-preparation stages with provenance.
+class Pipeline {
+ public:
+  void Add(std::shared_ptr<PipelineOp> op) { ops_.push_back(std::move(op)); }
+  int num_stages() const { return static_cast<int>(ops_.size()); }
+  std::string StageName(int i) const { return ops_[i]->name(); }
+
+  /// Runs all stages, tracking provenance.
+  Result<PipelineResult> Run(const Dataset& input) const;
+
+  /// Runs only the enabled stages (ablation used by stage attribution).
+  Result<Dataset> RunWithStages(const Dataset& input,
+                                const std::vector<bool>& enabled) const;
+
+ private:
+  std::vector<std::shared_ptr<PipelineOp>> ops_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_PIPELINE_PIPELINE_H_

@@ -1,0 +1,51 @@
+#include "xai/pipeline/stage_attribution.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "xai/core/combinatorics.h"
+#include "xai/core/stats.h"
+
+namespace xai {
+
+int StageAttribution::MostHarmfulStage() const { return ArgMin(shapley); }
+
+std::string StageAttribution::ToString() const {
+  std::ostringstream os;
+  for (size_t s = 0; s < shapley.size(); ++s) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "  %-28s %+.5f\n",
+                  stage_names[s].c_str(), shapley[s]);
+    os << buf;
+  }
+  return os.str();
+}
+
+Result<StageAttribution> StageShapley(
+    const Pipeline& pipeline, const Dataset& input,
+    const std::function<double(const Dataset&)>& quality) {
+  int k = pipeline.num_stages();
+  if (k == 0) return Status::InvalidArgument("pipeline has no stages");
+  if (k > 16)
+    return Status::InvalidArgument(
+        "exact stage Shapley enumerates 2^k pipelines; k > 16 refused");
+
+  StageAttribution result;
+  for (int s = 0; s < k; ++s)
+    result.stage_names.push_back(pipeline.StageName(s));
+
+  // The value of a coalition: quality of the dataset produced by running
+  // only those stages. Failures (e.g. a filter leaving no rows) score 0.
+  auto value = [&](uint64_t mask) {
+    ++result.pipeline_evaluations;
+    std::vector<bool> enabled(k);
+    for (int s = 0; s < k; ++s) enabled[s] = (mask >> s) & 1ULL;
+    auto prepared = pipeline.RunWithStages(input, enabled);
+    if (!prepared.ok() || prepared.ValueUnsafe().num_rows() == 0) return 0.0;
+    return quality(prepared.ValueUnsafe());
+  };
+  result.shapley = ShapleyOfSetFunction(k, value);
+  return result;
+}
+
+}  // namespace xai

@@ -1,0 +1,43 @@
+#ifndef XAI_PIPELINE_STAGE_ATTRIBUTION_H_
+#define XAI_PIPELINE_STAGE_ATTRIBUTION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xai/core/matrix.h"
+#include "xai/core/status.h"
+#include "xai/pipeline/pipeline.h"
+
+namespace xai {
+
+/// \brief Attribution of a downstream model-quality outcome to pipeline
+/// stages (§3 "Provenance-Based Explanations": "generate explanations for an
+/// ML model outcome in terms of the actions taken ... throughout the ML
+/// pipeline").
+///
+/// Stages are the players of a cooperative game; the value of a stage
+/// coalition S is the quality (e.g. validation accuracy of a model trained
+/// on the pipeline output) when only the stages in S run. The Shapley value
+/// of a stage is its fair share of the quality difference between the raw
+/// and the fully-prepared data — a *negative* value flags a harmful (buggy)
+/// stage.
+struct StageAttribution {
+  Vector shapley;
+  std::vector<std::string> stage_names;
+  int pipeline_evaluations = 0;
+
+  /// Stage index with the most negative attribution (prime bug suspect).
+  int MostHarmfulStage() const;
+  std::string ToString() const;
+};
+
+/// Exact Shapley over stages (num_stages <= 16; 2^k pipeline runs, each
+/// followed by a `quality` evaluation — typically a model retrain).
+Result<StageAttribution> StageShapley(
+    const Pipeline& pipeline, const Dataset& input,
+    const std::function<double(const Dataset&)>& quality);
+
+}  // namespace xai
+
+#endif  // XAI_PIPELINE_STAGE_ATTRIBUTION_H_

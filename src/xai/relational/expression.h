@@ -1,0 +1,74 @@
+#ifndef XAI_RELATIONAL_EXPRESSION_H_
+#define XAI_RELATIONAL_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xai/relational/value.h"
+
+namespace xai::rel {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief Scalar expression over a tuple: column references, constants,
+/// comparisons, boolean connectives, arithmetic. Used as selection
+/// predicates and projection expressions.
+class Expr {
+ public:
+  enum class Op {
+    kColumn,
+    kConst,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kAnd,
+    kOr,
+    kNot,
+    kAdd,
+    kSub,
+    kMul,
+  };
+
+  static ExprPtr Column(int index);
+  static ExprPtr Const(Value value);
+  static ExprPtr Eq(ExprPtr a, ExprPtr b);
+  static ExprPtr Ne(ExprPtr a, ExprPtr b);
+  static ExprPtr Lt(ExprPtr a, ExprPtr b);
+  static ExprPtr Le(ExprPtr a, ExprPtr b);
+  static ExprPtr Gt(ExprPtr a, ExprPtr b);
+  static ExprPtr Ge(ExprPtr a, ExprPtr b);
+  static ExprPtr And(ExprPtr a, ExprPtr b);
+  static ExprPtr Or(ExprPtr a, ExprPtr b);
+  static ExprPtr Not(ExprPtr a);
+  static ExprPtr Add(ExprPtr a, ExprPtr b);
+  static ExprPtr Sub(ExprPtr a, ExprPtr b);
+  static ExprPtr Mul(ExprPtr a, ExprPtr b);
+
+  /// Evaluates against a tuple. Boolean results are INT 0/1.
+  Value Eval(const Tuple& tuple) const;
+  /// Convenience: Eval() interpreted as a boolean.
+  bool EvalBool(const Tuple& tuple) const;
+
+ private:
+  Expr(Op op, int column, Value constant, std::vector<ExprPtr> children)
+      : op_(op),
+        column_(column),
+        constant_(std::move(constant)),
+        children_(std::move(children)) {}
+
+  static ExprPtr Make(Op op, std::vector<ExprPtr> children);
+
+  Op op_;
+  int column_;
+  Value constant_;
+  std::vector<ExprPtr> children_;
+};
+
+}  // namespace xai::rel
+
+#endif  // XAI_RELATIONAL_EXPRESSION_H_

@@ -1,0 +1,189 @@
+#include "xai/relational/operators.h"
+
+#include <algorithm>
+#include <map>
+
+namespace xai::rel {
+
+xai::Result<Relation> Select(const Relation& input, const ExprPtr& predicate) {
+  Relation out("select(" + input.name() + ")", input.columns());
+  for (int i = 0; i < input.num_tuples(); ++i) {
+    if (predicate->EvalBool(input.tuple(i))) {
+      XAI_RETURN_NOT_OK(out.Append(input.tuple(i), input.annotation(i)));
+    }
+  }
+  return out;
+}
+
+xai::Result<Relation> Project(const Relation& input,
+                              const std::vector<int>& columns,
+                              bool distinct) {
+  std::vector<std::string> names;
+  for (int c : columns) {
+    if (c < 0 || c >= input.num_columns())
+      return xai::Status::OutOfRange("projection column out of range");
+    names.push_back(input.columns()[c]);
+  }
+  Relation out("project(" + input.name() + ")", names);
+  if (!distinct) {
+    for (int i = 0; i < input.num_tuples(); ++i) {
+      Tuple t;
+      for (int c : columns) t.push_back(input.tuple(i)[c]);
+      XAI_RETURN_NOT_OK(out.Append(std::move(t), input.annotation(i)));
+    }
+    return out;
+  }
+  // Distinct: merge equal tuples; annotations combine with a balanced sum
+  // so huge duplicate groups cannot create deep expression chains.
+  std::map<std::vector<std::string>,
+           std::pair<Tuple, std::vector<ProvExprPtr>>>
+      merged;
+  std::vector<std::vector<std::string>> order;
+  for (int i = 0; i < input.num_tuples(); ++i) {
+    Tuple t;
+    std::vector<std::string> key;
+    for (int c : columns) {
+      t.push_back(input.tuple(i)[c]);
+      key.push_back(input.tuple(i)[c].ToString());
+    }
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      merged.emplace(key,
+                     std::make_pair(std::move(t),
+                                    std::vector<ProvExprPtr>{
+                                        input.annotation(i)}));
+      order.push_back(std::move(key));
+    } else {
+      it->second.second.push_back(input.annotation(i));
+    }
+  }
+  for (const auto& key : order) {
+    auto& [tuple, annotations] = merged[key];
+    XAI_RETURN_NOT_OK(
+        out.Append(tuple, ProvExpr::PlusAll(std::move(annotations))));
+  }
+  return out;
+}
+
+xai::Result<Relation> EquiJoin(const Relation& a, const Relation& b,
+                               int col_a, int col_b) {
+  if (col_a < 0 || col_a >= a.num_columns() || col_b < 0 ||
+      col_b >= b.num_columns())
+    return xai::Status::OutOfRange("join column out of range");
+  std::vector<std::string> names = a.columns();
+  for (const std::string& c : b.columns()) names.push_back(b.name() + "." + c);
+  Relation out("join(" + a.name() + "," + b.name() + ")", names);
+
+  // Hash join on the rendered key.
+  std::multimap<std::string, int> index;
+  for (int j = 0; j < b.num_tuples(); ++j)
+    index.emplace(b.tuple(j)[col_b].ToString(), j);
+  for (int i = 0; i < a.num_tuples(); ++i) {
+    auto [lo, hi] = index.equal_range(a.tuple(i)[col_a].ToString());
+    for (auto it = lo; it != hi; ++it) {
+      int j = it->second;
+      if (!(a.tuple(i)[col_a] == b.tuple(j)[col_b])) continue;
+      Tuple t = a.tuple(i);
+      for (const Value& v : b.tuple(j)) t.push_back(v);
+      XAI_RETURN_NOT_OK(out.Append(
+          std::move(t),
+          ProvExpr::Times(a.annotation(i), b.annotation(j))));
+    }
+  }
+  return out;
+}
+
+xai::Result<Relation> Union(const Relation& a, const Relation& b) {
+  if (a.num_columns() != b.num_columns())
+    return xai::Status::InvalidArgument("union arity mismatch");
+  Relation out("union(" + a.name() + "," + b.name() + ")", a.columns());
+  for (int i = 0; i < a.num_tuples(); ++i)
+    XAI_RETURN_NOT_OK(out.Append(a.tuple(i), a.annotation(i)));
+  for (int i = 0; i < b.num_tuples(); ++i)
+    XAI_RETURN_NOT_OK(out.Append(b.tuple(i), b.annotation(i)));
+  return out;
+}
+
+xai::Result<Relation> GroupByAggregate(const Relation& input,
+                                       const std::vector<int>& group_columns,
+                                       AggFn fn, int agg_column,
+                                       const std::string& agg_name) {
+  if (fn != AggFn::kCount &&
+      (agg_column < 0 || agg_column >= input.num_columns()))
+    return xai::Status::OutOfRange("aggregate column out of range");
+  std::vector<std::string> names;
+  for (int c : group_columns) {
+    if (c < 0 || c >= input.num_columns())
+      return xai::Status::OutOfRange("group column out of range");
+    names.push_back(input.columns()[c]);
+  }
+  names.push_back(agg_name);
+  Relation out("agg(" + input.name() + ")", names);
+
+  struct Group {
+    Tuple key;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    int64_t count = 0;
+    std::vector<ProvExprPtr> annotations;
+  };
+  std::map<std::vector<std::string>, Group> groups;
+  std::vector<std::vector<std::string>> order;
+  for (int i = 0; i < input.num_tuples(); ++i) {
+    std::vector<std::string> key_str;
+    Tuple key;
+    for (int c : group_columns) {
+      key.push_back(input.tuple(i)[c]);
+      key_str.push_back(input.tuple(i)[c].ToString());
+    }
+    auto it = groups.find(key_str);
+    if (it == groups.end()) {
+      it = groups.emplace(key_str, Group{}).first;
+      it->second.key = std::move(key);
+      order.push_back(std::move(key_str));
+    }
+    Group& g = it->second;
+    double v =
+        fn == AggFn::kCount ? 1.0 : input.tuple(i)[agg_column].AsDouble();
+    if (g.count == 0) {
+      g.min = g.max = v;
+    } else {
+      g.min = std::min(g.min, v);
+      g.max = std::max(g.max, v);
+    }
+    g.sum += v;
+    g.count += 1;
+    g.annotations.push_back(input.annotation(i));
+  }
+  for (const auto& key : order) {
+    Group& g = groups[key];
+    double value = 0.0;
+    switch (fn) {
+      case AggFn::kCount:
+        value = static_cast<double>(g.count);
+        break;
+      case AggFn::kSum:
+        value = g.sum;
+        break;
+      case AggFn::kAvg:
+        value = g.count ? g.sum / g.count : 0.0;
+        break;
+      case AggFn::kMin:
+        value = g.min;
+        break;
+      case AggFn::kMax:
+        value = g.max;
+        break;
+    }
+    Tuple t = g.key;
+    t.push_back(fn == AggFn::kCount ? Value::Int(g.count)
+                                    : Value::Double(value));
+    XAI_RETURN_NOT_OK(out.Append(std::move(t),
+                                 rel::ProvExpr::PlusAll(
+                                     std::move(g.annotations))));
+  }
+  return out;
+}
+
+}  // namespace xai::rel

@@ -1,0 +1,49 @@
+#ifndef XAI_RELATIONAL_OPERATORS_H_
+#define XAI_RELATIONAL_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/relational/expression.h"
+#include "xai/relational/relation.h"
+
+namespace xai::rel {
+
+/// \brief Relational-algebra operators over annotated relations
+/// (K-relations). Provenance combines by the standard rules: selection
+/// keeps annotations, projection-with-dedup adds them, join multiplies
+/// them, union adds them.
+
+/// sigma_predicate(input).
+xai::Result<Relation> Select(const Relation& input, const ExprPtr& predicate);
+
+/// pi_columns(input). With `distinct`, equal output tuples merge and their
+/// annotations combine with +.
+xai::Result<Relation> Project(const Relation& input,
+                              const std::vector<int>& columns, bool distinct);
+
+/// Equi-join on input_a.col_a == input_b.col_b; output columns are a's
+/// columns followed by b's (join column kept on both sides).
+xai::Result<Relation> EquiJoin(const Relation& a, const Relation& b,
+                               int col_a, int col_b);
+
+/// Bag union (arities must match); annotations pass through.
+xai::Result<Relation> Union(const Relation& a, const Relation& b);
+
+/// Aggregation function.
+enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
+
+/// Group-by aggregate. Output columns: the group columns followed by one
+/// aggregate column. Provenance of each group row = sum (+) over the
+/// annotations of contributing rows — lineage-accurate, which is what the
+/// tuple-Shapley and responsibility analyses of §3 consume. (Aggregate
+/// *values* over K-relations need semimodules; out of scope.)
+xai::Result<Relation> GroupByAggregate(const Relation& input,
+                                       const std::vector<int>& group_columns,
+                                       AggFn fn, int agg_column,
+                                       const std::string& agg_name);
+
+}  // namespace xai::rel
+
+#endif  // XAI_RELATIONAL_OPERATORS_H_

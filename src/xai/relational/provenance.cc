@@ -1,0 +1,251 @@
+#include "xai/relational/provenance.h"
+
+#include <algorithm>
+#include <map>
+
+#include "xai/core/check.h"
+#include "xai/core/rng.h"
+
+namespace xai::rel {
+
+ProvExprPtr ProvExpr::Zero() {
+  static const ProvExprPtr kZero(new ProvExpr(Kind::kZero, -1, {}));
+  return kZero;
+}
+
+ProvExprPtr ProvExpr::One() {
+  static const ProvExprPtr kOne(new ProvExpr(Kind::kOne, -1, {}));
+  return kOne;
+}
+
+ProvExprPtr ProvExpr::Base(int id) {
+  return ProvExprPtr(new ProvExpr(Kind::kBase, id, {}));
+}
+
+ProvExprPtr ProvExpr::Plus(ProvExprPtr a, ProvExprPtr b) {
+  if (a->kind_ == Kind::kZero) return b;
+  if (b->kind_ == Kind::kZero) return a;
+  return ProvExprPtr(
+      new ProvExpr(Kind::kPlus, -1, {std::move(a), std::move(b)}));
+}
+
+ProvExprPtr ProvExpr::PlusAll(std::vector<ProvExprPtr> terms) {
+  if (terms.empty()) return Zero();
+  // Pairwise tree reduction keeps the expression depth logarithmic.
+  while (terms.size() > 1) {
+    std::vector<ProvExprPtr> next;
+    next.reserve((terms.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < terms.size(); i += 2)
+      next.push_back(Plus(terms[i], terms[i + 1]));
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+ProvExprPtr ProvExpr::Times(ProvExprPtr a, ProvExprPtr b) {
+  if (a->kind_ == Kind::kZero || b->kind_ == Kind::kZero) return Zero();
+  if (a->kind_ == Kind::kOne) return b;
+  if (b->kind_ == Kind::kOne) return a;
+  return ProvExprPtr(
+      new ProvExpr(Kind::kTimes, -1, {std::move(a), std::move(b)}));
+}
+
+bool ProvExpr::EvalBool(const std::function<bool(int)>& present) const {
+  switch (kind_) {
+    case Kind::kZero:
+      return false;
+    case Kind::kOne:
+      return true;
+    case Kind::kBase:
+      return present(base_id_);
+    case Kind::kPlus:
+      return children_[0]->EvalBool(present) ||
+             children_[1]->EvalBool(present);
+    case Kind::kTimes:
+      return children_[0]->EvalBool(present) &&
+             children_[1]->EvalBool(present);
+  }
+  return false;
+}
+
+int64_t ProvExpr::EvalCount(const std::function<int64_t(int)>& mult) const {
+  switch (kind_) {
+    case Kind::kZero:
+      return 0;
+    case Kind::kOne:
+      return 1;
+    case Kind::kBase:
+      return mult(base_id_);
+    case Kind::kPlus:
+      return children_[0]->EvalCount(mult) + children_[1]->EvalCount(mult);
+    case Kind::kTimes:
+      return children_[0]->EvalCount(mult) * children_[1]->EvalCount(mult);
+  }
+  return 0;
+}
+
+double ProvExpr::EvalNumeric(
+    const std::function<double(int)>& value,
+    const std::function<double(double, double)>& plus,
+    const std::function<double(double, double)>& times, double zero,
+    double one) const {
+  switch (kind_) {
+    case Kind::kZero:
+      return zero;
+    case Kind::kOne:
+      return one;
+    case Kind::kBase:
+      return value(base_id_);
+    case Kind::kPlus:
+      return plus(
+          children_[0]->EvalNumeric(value, plus, times, zero, one),
+          children_[1]->EvalNumeric(value, plus, times, zero, one));
+    case Kind::kTimes:
+      return times(
+          children_[0]->EvalNumeric(value, plus, times, zero, one),
+          children_[1]->EvalNumeric(value, plus, times, zero, one));
+  }
+  return zero;
+}
+
+std::set<int> ProvExpr::Lineage() const {
+  std::set<int> out;
+  switch (kind_) {
+    case Kind::kBase:
+      out.insert(base_id_);
+      break;
+    case Kind::kPlus:
+    case Kind::kTimes:
+      for (const auto& child : children_) {
+        std::set<int> sub = child->Lineage();
+        out.insert(sub.begin(), sub.end());
+      }
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+std::set<std::set<int>> ProvExpr::WhyProvenance() const {
+  switch (kind_) {
+    case Kind::kZero:
+      return {};
+    case Kind::kOne:
+      return {{}};
+    case Kind::kBase:
+      return {{base_id_}};
+    case Kind::kPlus: {
+      std::set<std::set<int>> out = children_[0]->WhyProvenance();
+      std::set<std::set<int>> rhs = children_[1]->WhyProvenance();
+      out.insert(rhs.begin(), rhs.end());
+      // Minimize: drop witnesses that strictly contain another witness.
+      std::set<std::set<int>> minimal;
+      for (const auto& w : out) {
+        bool dominated = false;
+        for (const auto& other : out) {
+          if (other != w &&
+              std::includes(w.begin(), w.end(), other.begin(), other.end())) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) minimal.insert(w);
+      }
+      return minimal;
+    }
+    case Kind::kTimes: {
+      std::set<std::set<int>> lhs = children_[0]->WhyProvenance();
+      std::set<std::set<int>> rhs = children_[1]->WhyProvenance();
+      std::set<std::set<int>> out;
+      for (const auto& a : lhs) {
+        for (const auto& b : rhs) {
+          std::set<int> merged = a;
+          merged.insert(b.begin(), b.end());
+          out.insert(std::move(merged));
+        }
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+double ProvExpr::ProbabilityExact(
+    const std::function<double(int)>& prob) const {
+  std::set<int> lineage = Lineage();
+  std::vector<int> vars(lineage.begin(), lineage.end());
+  int k = static_cast<int>(vars.size());
+  XAI_CHECK_MSG(k <= 20,
+                "exact possible-worlds enumeration limited to 20 variables");
+  double total = 0.0;
+  uint64_t limit = 1ULL << k;
+  for (uint64_t world = 0; world < limit; ++world) {
+    double p_world = 1.0;
+    std::map<int, bool> present;
+    for (int i = 0; i < k; ++i) {
+      bool exists = (world >> i) & 1ULL;
+      present[vars[i]] = exists;
+      double p = prob(vars[i]);
+      p_world *= exists ? p : 1.0 - p;
+    }
+    if (p_world == 0.0) continue;
+    if (EvalBool([&](int id) {
+          auto it = present.find(id);
+          return it == present.end() ? true : it->second;
+        })) {
+      total += p_world;
+    }
+  }
+  return total;
+}
+
+double ProvExpr::ProbabilityMonteCarlo(
+    const std::function<double(int)>& prob, int samples,
+    uint64_t seed) const {
+  XAI_CHECK_GT(samples, 0);
+  std::set<int> lineage = Lineage();
+  xai::Rng rng(seed);
+  int hits = 0;
+  std::map<int, bool> present;
+  for (int s = 0; s < samples; ++s) {
+    for (int id : lineage) present[id] = rng.Bernoulli(prob(id));
+    if (EvalBool([&](int id) {
+          auto it = present.find(id);
+          return it == present.end() ? true : it->second;
+        })) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / samples;
+}
+
+std::string ProvExpr::ToString(
+    const std::function<std::string(int)>& name) const {
+  auto render = [&](int id) {
+    return name ? name(id) : "t" + std::to_string(id);
+  };
+  switch (kind_) {
+    case Kind::kZero:
+      return "0";
+    case Kind::kOne:
+      return "1";
+    case Kind::kBase:
+      return render(base_id_);
+    case Kind::kPlus:
+      return children_[0]->ToString(name) + " + " +
+             children_[1]->ToString(name);
+    case Kind::kTimes: {
+      auto wrap = [&](const ProvExprPtr& child) {
+        std::string s = child->ToString(name);
+        if (child->kind_ == Kind::kPlus) return "(" + s + ")";
+        return s;
+      };
+      return wrap(children_[0]) + "*" + wrap(children_[1]);
+    }
+  }
+  return "?";
+}
+
+}  // namespace xai::rel

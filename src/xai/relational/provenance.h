@@ -1,0 +1,102 @@
+#ifndef XAI_RELATIONAL_PROVENANCE_H_
+#define XAI_RELATIONAL_PROVENANCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace xai::rel {
+
+/// \brief Provenance expression in the free semiring N[X] over base-tuple
+/// variables (Green, Karvounarakis & Tannen's K-relations).
+///
+/// Because N[X] is the universal provenance semiring, one expression tree
+/// per result tuple suffices to answer *every* semiring question by
+/// evaluation with different carriers:
+///  - Boolean semiring   -> possible-worlds membership (the value function
+///    of tuple Shapley values and causal responsibility, §3),
+///  - counting semiring  -> bag multiplicity,
+///  - lineage semiring   -> which base tuples contributed at all,
+///  - why-provenance     -> the witness basis (sets of joint witnesses).
+class ProvExpr;
+using ProvExprPtr = std::shared_ptr<const ProvExpr>;
+
+class ProvExpr {
+ public:
+  enum class Kind { kZero, kOne, kBase, kPlus, kTimes };
+
+  static ProvExprPtr Zero();
+  static ProvExprPtr One();
+  /// Variable standing for base tuple `id`.
+  static ProvExprPtr Base(int id);
+  /// a + b (alternative derivations). Simplifies 0 + x = x.
+  static ProvExprPtr Plus(ProvExprPtr a, ProvExprPtr b);
+  /// Sum of many terms as a *balanced* tree (depth O(log n)), so the
+  /// recursive evaluators cannot overflow the stack on annotations that
+  /// aggregate millions of tuples. Empty input yields Zero().
+  static ProvExprPtr PlusAll(std::vector<ProvExprPtr> terms);
+  /// a * b (joint derivations). Simplifies 1 * x = x, 0 * x = 0.
+  static ProvExprPtr Times(ProvExprPtr a, ProvExprPtr b);
+
+  Kind kind() const { return kind_; }
+  int base_id() const { return base_id_; }
+  const std::vector<ProvExprPtr>& children() const { return children_; }
+
+  /// \name Semiring evaluations
+  /// @{
+
+  /// Boolean semiring: true iff the expression is "derivable" when exactly
+  /// the base tuples with present(id) == true exist.
+  bool EvalBool(const std::function<bool(int)>& present) const;
+
+  /// Counting semiring: multiplicity when base tuple id has multiplicity
+  /// mult(id).
+  int64_t EvalCount(const std::function<int64_t(int)>& mult) const;
+
+  /// Generic numeric semiring evaluation (e.g. probabilities on a
+  /// tropical/Viterbi semiring can be emulated by the caller).
+  double EvalNumeric(const std::function<double(int)>& value,
+                     const std::function<double(double, double)>& plus,
+                     const std::function<double(double, double)>& times,
+                     double zero, double one) const;
+
+  /// Lineage: the set of base tuples appearing in the expression.
+  std::set<int> Lineage() const;
+
+  /// Why-provenance: the witness basis — minimal sets of base tuples whose
+  /// joint presence yields the tuple. (Exponential in pathological
+  /// expressions; fine for the query sizes in this library.)
+  std::set<std::set<int>> WhyProvenance() const;
+
+  /// Probability that the expression is derivable when every base tuple id
+  /// exists independently with probability prob(id) — evaluation over a
+  /// tuple-independent probabilistic database. Exact by enumerating the
+  /// possible worlds of the lineage variables; refuses > 20 variables
+  /// (use the Monte-Carlo variant there; exact evaluation is #P-hard).
+  double ProbabilityExact(const std::function<double(int)>& prob) const;
+
+  /// Monte-Carlo estimate of the same probability: samples `samples`
+  /// possible worlds with the given uint64 seed.
+  double ProbabilityMonteCarlo(const std::function<double(int)>& prob,
+                               int samples, uint64_t seed) const;
+
+  /// Polynomial rendering, e.g. "t1*t3 + t2*t3".
+  std::string ToString(
+      const std::function<std::string(int)>& name = nullptr) const;
+  /// @}
+
+ private:
+  ProvExpr(Kind kind, int base_id, std::vector<ProvExprPtr> children)
+      : kind_(kind), base_id_(base_id), children_(std::move(children)) {}
+
+  Kind kind_;
+  int base_id_;
+  std::vector<ProvExprPtr> children_;
+};
+
+}  // namespace xai::rel
+
+#endif  // XAI_RELATIONAL_PROVENANCE_H_

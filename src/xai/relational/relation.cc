@@ -1,0 +1,41 @@
+#include "xai/relational/relation.h"
+
+#include <sstream>
+
+namespace xai::rel {
+
+int Relation::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i] == column) return static_cast<int>(i);
+  return -1;
+}
+
+xai::Status Relation::Append(Tuple tuple, ProvExprPtr annotation) {
+  if (static_cast<int>(tuple.size()) != num_columns())
+    return xai::Status::InvalidArgument("tuple arity mismatch in " + name_);
+  tuples_.push_back(std::move(tuple));
+  annotations_.push_back(std::move(annotation));
+  return xai::Status::OK();
+}
+
+xai::Status Relation::AppendBase(Tuple tuple, int base_id) {
+  return Append(std::move(tuple), ProvExpr::Base(base_id));
+}
+
+std::string Relation::ToString(bool with_provenance) const {
+  std::ostringstream os;
+  os << name_ << "(";
+  for (size_t i = 0; i < columns_.size(); ++i)
+    os << (i ? ", " : "") << columns_[i];
+  os << ")\n";
+  for (int i = 0; i < num_tuples(); ++i) {
+    os << "  ";
+    for (int c = 0; c < num_columns(); ++c)
+      os << (c ? " | " : "") << tuples_[i][c].ToString();
+    if (with_provenance) os << "   @ " << annotations_[i]->ToString();
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xai::rel

@@ -1,0 +1,64 @@
+#ifndef XAI_RELATIONAL_RELATION_H_
+#define XAI_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/relational/provenance.h"
+#include "xai/relational/value.h"
+
+namespace xai::rel {
+
+/// \brief An annotated in-memory relation: named columns, tuples, and one
+/// N[X] provenance annotation per tuple (a K-relation). Base relations carry
+/// Base(id) variables; derived relations carry the polynomials the operators
+/// built.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, std::vector<std::string> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int num_tuples() const { return static_cast<int>(tuples_.size()); }
+
+  const Tuple& tuple(int i) const { return tuples_[i]; }
+  const ProvExprPtr& annotation(int i) const { return annotations_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Index of a column by name, or -1.
+  int ColumnIndex(const std::string& column) const;
+
+  /// Appends a tuple with an explicit annotation.
+  xai::Status Append(Tuple tuple, ProvExprPtr annotation);
+  /// Appends a base tuple annotated Base(base_id).
+  xai::Status AppendBase(Tuple tuple, int base_id);
+
+  /// Pretty table (for examples and debugging); shows provenance when
+  /// `with_provenance`.
+  std::string ToString(bool with_provenance = false) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<Tuple> tuples_;
+  std::vector<ProvExprPtr> annotations_;
+};
+
+/// \brief Assigns globally unique base-tuple ids across relations, so
+/// lineage/Shapley ids are unambiguous within a "database".
+class TupleIdAllocator {
+ public:
+  int Next() { return next_++; }
+  int allocated() const { return next_; }
+
+ private:
+  int next_ = 0;
+};
+
+}  // namespace xai::rel
+
+#endif  // XAI_RELATIONAL_RELATION_H_

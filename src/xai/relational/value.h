@@ -1,0 +1,54 @@
+#ifndef XAI_RELATIONAL_VALUE_H_
+#define XAI_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include <vector>
+
+namespace xai::rel {
+
+class Value;
+/// \brief A tuple is a vector of values.
+using Tuple = std::vector<Value>;
+
+/// \brief Dynamically typed SQL-ish scalar: NULL, INT, DOUBLE or STRING.
+class Value {
+ public:
+  enum class Type { kNull, kInt, kDouble, kString };
+
+  Value() : data_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  Type type() const;
+  bool is_null() const { return type() == Type::kNull; }
+
+  /// Numeric view (ints widen to double); 0 for NULL/strings.
+  double AsDouble() const;
+  int64_t AsInt() const;
+  const std::string& AsString() const;
+
+  /// SQL-style comparisons: NULL compares equal only to NULL (simplified
+  /// two-valued logic); numeric types compare by value across INT/DOUBLE;
+  /// cross-type (number vs string) compares by type order.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace xai::rel
+
+#endif  // XAI_RELATIONAL_VALUE_H_

@@ -1,0 +1,232 @@
+#include "xai/rules/anchors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace xai {
+
+std::string AnchorRule::ToString() const {
+  std::ostringstream os;
+  os << "IF ";
+  for (size_t i = 0; i < description.size(); ++i)
+    os << (i ? " AND " : "") << description[i];
+  os << " (precision=" << precision << ", coverage=" << coverage << ")";
+  return os.str();
+}
+
+double BernoulliKl(double p, double q) {
+  p = std::clamp(p, 1e-12, 1.0 - 1e-12);
+  q = std::clamp(q, 1e-12, 1.0 - 1e-12);
+  return p * std::log(p / q) + (1.0 - p) * std::log((1.0 - p) / (1.0 - q));
+}
+
+double KlUpperBound(double p, int n, double level) {
+  if (n == 0) return 1.0;
+  double target = level / n;
+  double lo = p, hi = 1.0;
+  for (int it = 0; it < 50; ++it) {
+    double mid = 0.5 * (lo + hi);
+    if (BernoulliKl(p, mid) > target)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return lo;
+}
+
+double KlLowerBound(double p, int n, double level) {
+  if (n == 0) return 0.0;
+  double target = level / n;
+  double lo = 0.0, hi = p;
+  for (int it = 0; it < 50; ++it) {
+    double mid = 0.5 * (lo + hi);
+    if (BernoulliKl(p, mid) > target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return hi;
+}
+
+AnchorsExplainer::AnchorsExplainer(const Dataset& train,
+                                   const AnchorsConfig& config)
+    : train_(train),
+      config_(config),
+      perturber_(train, Perturber::Strategy::kDiscretized,
+                 config.discretizer_bins) {}
+
+int AnchorsExplainer::SampleBatch(const PredictFn& f, const Vector& instance,
+                                  int instance_class,
+                                  const std::vector<int>& anchored, int batch,
+                                  Rng* rng) const {
+  const QuantileDiscretizer& disc = perturber_.discretizer();
+  Matrix samples = perturber_.Sample(instance, batch, rng);
+  int agree = 0;
+  for (int i = 0; i < batch; ++i) {
+    Vector row = samples.Row(i);
+    // Condition on the rule: anchored features stay in the instance's bin.
+    for (int j : anchored) {
+      if (train_.schema().features[j].is_categorical()) {
+        row[j] = instance[j];
+      } else {
+        int bin = disc.BinOf(j, instance[j]);
+        row[j] = disc.SampleFromBin(j, bin, rng);
+      }
+    }
+    int pred = f(row) >= 0.5 ? 1 : 0;
+    if (pred == instance_class) ++agree;
+  }
+  return agree;
+}
+
+Result<AnchorRule> AnchorsExplainer::Explain(const PredictFn& f,
+                                             const Vector& instance,
+                                             uint64_t seed) const {
+  int d = static_cast<int>(instance.size());
+  if (d != train_.num_features())
+    return Status::InvalidArgument("instance width mismatch");
+  Rng rng(seed);
+  int instance_class = f(instance) >= 0.5 ? 1 : 0;
+  const QuantileDiscretizer& disc = perturber_.discretizer();
+
+  int total_samples = 0;
+  // KL confidence level; the union bound over all candidates ever examined
+  // is approximated with a fixed generous candidate count.
+  double level = std::log((d * config_.max_anchor_size * 2.0) /
+                          config_.delta);
+
+  struct Arm {
+    std::vector<int> features;
+    int pulls = 0;
+    int successes = 0;
+    double mean() const { return pulls ? static_cast<double>(successes) / pulls : 0.0; }
+  };
+
+  auto coverage_of = [&](const std::vector<int>& features) {
+    int covered = 0;
+    for (int r = 0; r < train_.num_rows(); ++r) {
+      bool ok = true;
+      for (int j : features) {
+        if (train_.schema().features[j].is_categorical()) {
+          if (static_cast<int>(train_.At(r, j)) !=
+              static_cast<int>(instance[j])) {
+            ok = false;
+            break;
+          }
+        } else if (disc.BinOf(j, train_.At(r, j)) !=
+                   disc.BinOf(j, instance[j])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ++covered;
+    }
+    return static_cast<double>(covered) / std::max(1, train_.num_rows());
+  };
+
+  auto make_result = [&](const Arm& arm) {
+    AnchorRule rule;
+    rule.features = arm.features;
+    rule.precision = arm.mean();
+    rule.precision_lb = KlLowerBound(arm.mean(), arm.pulls, level);
+    rule.coverage = coverage_of(arm.features);
+    rule.samples_used = total_samples;
+    for (int j : arm.features) {
+      if (train_.schema().features[j].is_categorical()) {
+        rule.description.push_back(
+            train_.schema().features[j].name + " = " +
+            train_.RenderValue(j, instance[j]));
+      } else {
+        rule.description.push_back(
+            disc.DescribeBin(j, disc.BinOf(j, instance[j])));
+      }
+    }
+    return rule;
+  };
+
+  std::vector<Arm> beam = {Arm{}};  // Start from the empty rule.
+  Arm best_so_far;
+  double best_precision = -1.0;
+
+  for (int size = 1; size <= config_.max_anchor_size; ++size) {
+    // Candidate arms: beam rules extended by one unused feature.
+    std::vector<Arm> candidates;
+    std::set<std::vector<int>> seen;
+    for (const Arm& parent : beam) {
+      for (int j = 0; j < d; ++j) {
+        if (std::find(parent.features.begin(), parent.features.end(), j) !=
+            parent.features.end())
+          continue;
+        Arm arm;
+        arm.features = parent.features;
+        arm.features.push_back(j);
+        std::sort(arm.features.begin(), arm.features.end());
+        if (!seen.insert(arm.features).second) continue;
+        candidates.push_back(std::move(arm));
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Adaptive sampling: pull each ambiguous arm (lb < tau < ub) until its
+    // budget runs out or the bound decides; always keep at least an initial
+    // estimate per arm.
+    for (Arm& arm : candidates) {
+      int agree = SampleBatch(f, instance, instance_class, arm.features,
+                              config_.batch_size, &rng);
+      arm.pulls += config_.batch_size;
+      arm.successes += agree;
+      total_samples += config_.batch_size;
+    }
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (Arm& arm : candidates) {
+        if (arm.pulls >= config_.max_samples_per_candidate) continue;
+        double lb = KlLowerBound(arm.mean(), arm.pulls, level);
+        double ub = KlUpperBound(arm.mean(), arm.pulls, level);
+        if (lb >= config_.precision_target ||
+            ub < config_.precision_target)
+          continue;  // Already decided.
+        int agree = SampleBatch(f, instance, instance_class, arm.features,
+                                config_.batch_size, &rng);
+        arm.pulls += config_.batch_size;
+        arm.successes += agree;
+        total_samples += config_.batch_size;
+        progress = true;
+      }
+    }
+
+    // Accept: among arms whose lower bound clears tau, pick max coverage.
+    const Arm* accepted = nullptr;
+    double accepted_coverage = -1.0;
+    for (const Arm& arm : candidates) {
+      double lb = KlLowerBound(arm.mean(), arm.pulls, level);
+      if (lb >= config_.precision_target) {
+        double cov = coverage_of(arm.features);
+        if (cov > accepted_coverage) {
+          accepted_coverage = cov;
+          accepted = &arm;
+        }
+      }
+      if (arm.mean() > best_precision) {
+        best_precision = arm.mean();
+        best_so_far = arm;
+      }
+    }
+    if (accepted != nullptr) return make_result(*accepted);
+
+    // Keep the beam_width most precise arms for the next size.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Arm& a, const Arm& b) { return a.mean() > b.mean(); });
+    if (static_cast<int>(candidates.size()) > config_.beam_width)
+      candidates.resize(config_.beam_width);
+    beam = std::move(candidates);
+  }
+
+  // No rule certified at tau: return the most precise rule found.
+  return make_result(best_so_far);
+}
+
+}  // namespace xai

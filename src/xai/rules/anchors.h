@@ -1,0 +1,89 @@
+#ifndef XAI_RULES_ANCHORS_H_
+#define XAI_RULES_ANCHORS_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/data/dataset.h"
+#include "xai/data/transform.h"
+#include "xai/explain/perturbation.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief Configuration of the Anchors search.
+struct AnchorsConfig {
+  /// Required rule precision tau.
+  double precision_target = 0.95;
+  /// Confidence parameter of the KL bounds.
+  double delta = 0.05;
+  /// Perturbation samples drawn per bandit pull.
+  int batch_size = 64;
+  /// Beam width of the bottom-up rule search.
+  int beam_width = 4;
+  /// Maximum number of predicates in a rule ("longer rules ... are
+  /// incomprehensible", §2.2).
+  int max_anchor_size = 4;
+  /// Sampling budget per candidate rule.
+  int max_samples_per_candidate = 6000;
+  int discretizer_bins = 4;
+};
+
+/// \brief An anchor: a conjunction of predicates "feature_j in the
+/// instance's bin" that (with high probability) fixes the model's
+/// prediction.
+struct AnchorRule {
+  /// Anchored feature indices.
+  std::vector<int> features;
+  /// Estimated precision P(model agrees | rule holds).
+  double precision = 0.0;
+  /// KL lower confidence bound of the precision at acceptance time.
+  double precision_lb = 0.0;
+  /// Fraction of training rows satisfying the rule.
+  double coverage = 0.0;
+  /// Total perturbation samples spent on the search.
+  int samples_used = 0;
+  /// Human-readable predicates ("28 < age <= 45", "purpose = car").
+  std::vector<std::string> description;
+
+  std::string ToString() const;
+};
+
+/// \brief Anchors (Ribeiro, Singh & Guestrin 2018, §2.2): beam search over
+/// predicate conjunctions, with a multi-armed-bandit (KL-LUCB style)
+/// adaptive sampling scheme deciding how many model queries each candidate
+/// rule receives before its precision is confidently above or below tau.
+class AnchorsExplainer {
+ public:
+  AnchorsExplainer(const Dataset& train, const AnchorsConfig& config = {});
+
+  /// Finds a short, high-precision, high-coverage rule anchoring the model's
+  /// prediction at `instance`.
+  Result<AnchorRule> Explain(const PredictFn& f, const Vector& instance,
+                             uint64_t seed) const;
+
+ private:
+  /// Draws one batch conditioned on the rule and returns #model agreements.
+  int SampleBatch(const PredictFn& f, const Vector& instance,
+                  int instance_class, const std::vector<int>& anchored,
+                  int batch, Rng* rng) const;
+
+  Dataset train_;
+  AnchorsConfig config_;
+  Perturber perturber_;
+};
+
+/// \name KL (Bernoulli) confidence bounds used by the bandit.
+/// @{
+/// KL divergence of Bernoulli(p) from Bernoulli(q).
+double BernoulliKl(double p, double q);
+/// Upper confidence bound: max q >= p with n*kl(p, q) <= level.
+double KlUpperBound(double p, int n, double level);
+/// Lower confidence bound: min q <= p with n*kl(p, q) <= level.
+double KlLowerBound(double p, int n, double level);
+/// @}
+
+}  // namespace xai
+
+#endif  // XAI_RULES_ANCHORS_H_

@@ -1,0 +1,73 @@
+#include "xai/rules/apriori.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace xai {
+
+Result<std::vector<FrequentItemset>> Apriori(const TransactionDb& db,
+                                             int min_support) {
+  if (min_support < 1)
+    return Status::InvalidArgument("min_support must be >= 1");
+  std::vector<FrequentItemset> result;
+
+  // Level 1: frequent single items.
+  std::map<int, int> item_counts;
+  for (const auto& txn : db)
+    for (int item : txn) ++item_counts[item];
+  std::vector<Itemset> level;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= min_support) {
+      level.push_back({item});
+      result.push_back({{item}, count});
+    }
+  }
+
+  while (!level.empty()) {
+    // Candidate generation: join itemsets sharing the first k-1 items.
+    std::vector<Itemset> candidates;
+    std::set<Itemset> level_set(level.begin(), level.end());
+    for (size_t a = 0; a < level.size(); ++a) {
+      for (size_t b = a + 1; b < level.size(); ++b) {
+        const Itemset& x = level[a];
+        const Itemset& y = level[b];
+        if (!std::equal(x.begin(), x.end() - 1, y.begin())) continue;
+        Itemset joined = x;
+        joined.push_back(y.back());
+        if (joined[joined.size() - 2] > joined.back())
+          std::swap(joined[joined.size() - 2], joined.back());
+        // Downward-closure prune: every (k-1)-subset must be frequent.
+        bool prune = false;
+        for (size_t drop = 0; drop + 2 < joined.size() && !prune; ++drop) {
+          Itemset sub;
+          for (size_t i = 0; i < joined.size(); ++i)
+            if (i != drop) sub.push_back(joined[i]);
+          if (!level_set.count(sub)) prune = true;
+        }
+        if (!prune) candidates.push_back(std::move(joined));
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    // Support counting: one database pass per level.
+    std::vector<int> counts(candidates.size(), 0);
+    for (const auto& txn : db) {
+      for (size_t c = 0; c < candidates.size(); ++c)
+        if (IsSubsetOf(candidates[c], txn)) ++counts[c];
+    }
+    level.clear();
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (counts[c] >= min_support) {
+        level.push_back(candidates[c]);
+        result.push_back({candidates[c], counts[c]});
+      }
+    }
+  }
+  SortItemsets(&result);
+  return result;
+}
+
+}  // namespace xai

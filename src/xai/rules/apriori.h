@@ -1,0 +1,19 @@
+#ifndef XAI_RULES_APRIORI_H_
+#define XAI_RULES_APRIORI_H_
+
+#include "xai/core/status.h"
+#include "xai/rules/itemset.h"
+
+namespace xai {
+
+/// \brief Apriori frequent-itemset mining (Agrawal & Srikant 1994, §2.2.1):
+/// level-wise candidate generation with the downward-closure prune — the
+/// classic "candidate generation" baseline FP-Growth improves on.
+///
+/// `min_support` is an absolute transaction count (>= 1).
+Result<std::vector<FrequentItemset>> Apriori(const TransactionDb& db,
+                                             int min_support);
+
+}  // namespace xai
+
+#endif  // XAI_RULES_APRIORI_H_

@@ -1,0 +1,191 @@
+#include "xai/rules/decision_set.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "xai/rules/apriori.h"
+
+namespace xai {
+
+bool DecisionRule::Covers(const std::vector<int>& bins) const {
+  for (const auto& [feature, bin] : conditions)
+    if (bins[feature] != bin) return false;
+  return true;
+}
+
+std::string DecisionRule::ToString(const QuantileDiscretizer& disc) const {
+  std::ostringstream os;
+  os << "IF ";
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    os << (i ? " AND " : "")
+       << disc.DescribeBin(conditions[i].first, conditions[i].second);
+  }
+  os << " THEN class=" << predicted_class << "  (precision=" << precision
+     << ", support=" << support << ")";
+  return os.str();
+}
+
+Result<DecisionSetModel> DecisionSetModel::Train(
+    const Dataset& dataset, const DecisionSetConfig& config) {
+  if (dataset.num_rows() == 0)
+    return Status::InvalidArgument("empty training set");
+  for (double y : dataset.y())
+    if (y != 0.0 && y != 1.0)
+      return Status::InvalidArgument("decision sets require binary labels");
+
+  DecisionSetModel model;
+  model.discretizer_ =
+      QuantileDiscretizer::Fit(dataset, config.discretizer_bins);
+  int n = dataset.num_rows();
+  int d = dataset.num_features();
+
+  // Encode each (feature, bin) as an item; mine frequent predicate sets.
+  std::vector<int> bins_per_feature(d);
+  std::vector<int> item_offset(d);
+  int num_items = 0;
+  for (int j = 0; j < d; ++j) {
+    item_offset[j] = num_items;
+    bins_per_feature[j] = model.discretizer_.NumBins(j);
+    num_items += bins_per_feature[j];
+  }
+  TransactionDb db(n);
+  std::vector<std::vector<int>> row_bins(n);
+  for (int i = 0; i < n; ++i) {
+    row_bins[i] = model.discretizer_.Discretize(dataset.Row(i));
+    for (int j = 0; j < d; ++j)
+      db[i].push_back(item_offset[j] + row_bins[i][j]);
+  }
+  int min_support =
+      std::max(2, static_cast<int>(config.min_support * n));
+  XAI_ASSIGN_OR_RETURN(std::vector<FrequentItemset> frequent,
+                       Apriori(db, min_support));
+
+  // Build candidate rules from frequent predicate sets of bounded length.
+  auto item_to_condition = [&](int item) {
+    int feature = 0;
+    while (feature + 1 < d && item >= item_offset[feature + 1]) ++feature;
+    return std::make_pair(feature, item - item_offset[feature]);
+  };
+  std::vector<DecisionRule> candidates;
+  std::vector<std::vector<int>> candidate_cover;  // Covered row indices.
+  for (const auto& fi : frequent) {
+    if (fi.items.empty() ||
+        static_cast<int>(fi.items.size()) > config.max_rule_length)
+      continue;
+    DecisionRule rule;
+    for (int item : fi.items)
+      rule.conditions.push_back(item_to_condition(item));
+    // A rule may not test the same feature twice (frequent sets can't,
+    // since bins are disjoint, but keep the check for safety).
+    std::set<int> feats;
+    bool dup = false;
+    for (const auto& [feat, bin] : rule.conditions)
+      if (!feats.insert(feat).second) dup = true;
+    if (dup) continue;
+
+    std::vector<int> cover;
+    int positive = 0;
+    for (int i = 0; i < n; ++i) {
+      if (rule.Covers(row_bins[i])) {
+        cover.push_back(i);
+        if (dataset.Label(i) == 1.0) ++positive;
+      }
+    }
+    if (cover.empty()) continue;
+    double frac_pos = static_cast<double>(positive) / cover.size();
+    rule.predicted_class = frac_pos >= 0.5 ? 1 : 0;
+    rule.precision = rule.predicted_class == 1 ? frac_pos : 1.0 - frac_pos;
+    rule.support = static_cast<int>(cover.size());
+    candidates.push_back(std::move(rule));
+    candidate_cover.push_back(std::move(cover));
+  }
+  if (candidates.empty())
+    return Status::InvalidArgument(
+        "no candidate rules at the requested support");
+
+  // Greedy selection under the accuracy-vs-interpretability objective.
+  std::vector<bool> used(candidates.size(), false);
+  std::vector<int> covered_by(n, 0);  // How many selected rules cover row i.
+  std::vector<int> correct(n, 0);     // Covered by a correct selected rule.
+  double current_objective = 0.0;
+
+  auto objective_delta = [&](size_t c) {
+    double delta = -config.length_penalty *
+                   static_cast<double>(candidates[c].conditions.size());
+    for (int i : candidate_cover[c]) {
+      bool rule_correct =
+          static_cast<int>(dataset.Label(i)) == candidates[c].predicted_class;
+      if (covered_by[i] > 0) delta -= config.overlap_penalty;
+      if (rule_correct) {
+        if (correct[i] == 0) delta += 1.0;  // Newly correctly covered.
+      } else {
+        delta -= config.incorrect_penalty;
+      }
+    }
+    return delta;
+  };
+
+  for (int pick = 0; pick < config.max_rules; ++pick) {
+    int best = -1;
+    double best_delta = 1e-9;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (used[c]) continue;
+      double delta = objective_delta(c);
+      if (delta > best_delta) {
+        best_delta = delta;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) break;
+    used[best] = true;
+    for (int i : candidate_cover[best]) {
+      ++covered_by[i];
+      if (static_cast<int>(dataset.Label(i)) ==
+          candidates[best].predicted_class)
+        ++correct[i];
+    }
+    current_objective += best_delta;
+    model.rules_.push_back(candidates[best]);
+  }
+
+  // Highest-precision rules first (used as the tie-break at prediction).
+  std::sort(model.rules_.begin(), model.rules_.end(),
+            [](const DecisionRule& a, const DecisionRule& b) {
+              return a.precision > b.precision;
+            });
+
+  // Default class: majority among uncovered rows.
+  int pos = 0, tot = 0;
+  for (int i = 0; i < n; ++i) {
+    if (covered_by[i] == 0) {
+      ++tot;
+      if (dataset.Label(i) == 1.0) ++pos;
+    }
+  }
+  if (tot == 0) {
+    for (int i = 0; i < n; ++i)
+      if (dataset.Label(i) == 1.0) ++pos;
+    tot = n;
+  }
+  model.default_class_ = pos * 2 >= tot ? 1 : 0;
+  return model;
+}
+
+double DecisionSetModel::Predict(const Vector& row) const {
+  std::vector<int> bins = discretizer_.Discretize(row);
+  for (const DecisionRule& rule : rules_)
+    if (rule.Covers(bins)) return rule.predicted_class;
+  return default_class_;
+}
+
+std::string DecisionSetModel::ToString() const {
+  std::ostringstream os;
+  for (const DecisionRule& rule : rules_)
+    os << rule.ToString(discretizer_) << "\n";
+  os << "ELSE class=" << default_class_ << "\n";
+  return os.str();
+}
+
+}  // namespace xai

@@ -1,0 +1,76 @@
+#ifndef XAI_RULES_DECISION_SET_H_
+#define XAI_RULES_DECISION_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/data/dataset.h"
+#include "xai/data/transform.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief One if-then rule of a decision set: a conjunction of (feature, bin)
+/// predicates implying a class.
+struct DecisionRule {
+  /// (feature index, bin index) conjuncts.
+  std::vector<std::pair<int, int>> conditions;
+  int predicted_class = 0;
+  /// Fraction of covered training rows with the predicted class.
+  double precision = 0.0;
+  /// Number of covered training rows.
+  int support = 0;
+
+  bool Covers(const std::vector<int>& bins) const;
+  std::string ToString(const QuantileDiscretizer& disc) const;
+};
+
+/// \brief Configuration of the interpretable-decision-set learner.
+struct DecisionSetConfig {
+  int max_rules = 8;
+  int max_rule_length = 3;
+  /// Minimum fraction of rows a candidate rule must cover.
+  double min_support = 0.05;
+  /// Candidate mining support for frequent predicate sets.
+  int discretizer_bins = 4;
+  /// Objective weights: correct-cover reward minus penalties.
+  double length_penalty = 0.5;
+  double overlap_penalty = 0.2;
+  double incorrect_penalty = 1.0;
+};
+
+/// \brief Interpretable decision sets (Lakkaraju, Bach & Leskovec 2016,
+/// §2.2): an unordered set of independent if-then rules selected greedily
+/// under an objective that "balance(s) and optimize(s) both the accuracy and
+/// interpretability" — rewarding correctly covered rows, penalizing rule
+/// count, rule length, inter-rule overlap and incorrect coverage.
+///
+/// Used both as an interpretable classifier and, trained on another model's
+/// predictions, as a global surrogate explanation of that model.
+class DecisionSetModel : public Model {
+ public:
+  static Result<DecisionSetModel> Train(const Dataset& dataset,
+                                        const DecisionSetConfig& config = {});
+
+  TaskType task() const override { return TaskType::kClassification; }
+  std::string name() const override { return "decision_set"; }
+  /// P(class 1): 1/0 from the matching rule (ties broken by precision),
+  /// default class if no rule covers the row.
+  double Predict(const Vector& row) const override;
+
+  const std::vector<DecisionRule>& rules() const { return rules_; }
+  int default_class() const { return default_class_; }
+  const QuantileDiscretizer& discretizer() const { return discretizer_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<DecisionRule> rules_;
+  int default_class_ = 0;
+  QuantileDiscretizer discretizer_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_RULES_DECISION_SET_H_

@@ -1,0 +1,116 @@
+#include "xai/rules/fpgrowth.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+namespace xai {
+namespace {
+
+struct FpNode {
+  int item = -1;
+  int count = 0;
+  FpNode* parent = nullptr;
+  std::map<int, std::unique_ptr<FpNode>> children;
+  FpNode* next_same_item = nullptr;  // Header-table chain.
+};
+
+struct FpTree {
+  FpNode root;
+  /// item -> (total count, head of node chain).
+  std::map<int, std::pair<int, FpNode*>> header;
+
+  void Insert(const std::vector<int>& items, int count) {
+    FpNode* node = &root;
+    for (int item : items) {
+      auto it = node->children.find(item);
+      if (it == node->children.end()) {
+        auto child = std::make_unique<FpNode>();
+        child->item = item;
+        child->parent = node;
+        auto& slot = header[item];
+        child->next_same_item = slot.second;
+        slot.second = child.get();
+        it = node->children.emplace(item, std::move(child)).first;
+      }
+      it->second->count += count;
+      header[item].first += count;
+      node = it->second.get();
+    }
+  }
+};
+
+// Recursively mines `tree`, emitting itemsets that extend `suffix`.
+void Mine(const FpTree& tree, int min_support, Itemset* suffix,
+          std::vector<FrequentItemset>* out) {
+  // Iterate items (ascending); each frequent item closes one itemset and
+  // spawns a conditional tree.
+  for (const auto& [item, slot] : tree.header) {
+    if (slot.first < min_support) continue;
+    suffix->push_back(item);
+    Itemset emitted(suffix->rbegin(), suffix->rend());
+    std::sort(emitted.begin(), emitted.end());
+    out->push_back({std::move(emitted), slot.first});
+
+    // Conditional pattern base: prefix paths of every node of `item`.
+    FpTree conditional;
+    std::map<int, int> cond_counts;
+    std::vector<std::pair<std::vector<int>, int>> paths;
+    for (FpNode* node = slot.second; node != nullptr;
+         node = node->next_same_item) {
+      std::vector<int> path;
+      for (FpNode* up = node->parent; up && up->item >= 0; up = up->parent)
+        path.push_back(up->item);
+      std::reverse(path.begin(), path.end());
+      if (!path.empty()) {
+        for (int i : path) cond_counts[i] += node->count;
+        paths.emplace_back(std::move(path), node->count);
+      }
+    }
+    for (auto& [path, count] : paths) {
+      std::vector<int> filtered;
+      for (int i : path)
+        if (cond_counts[i] >= min_support) filtered.push_back(i);
+      if (!filtered.empty()) conditional.Insert(filtered, count);
+    }
+    if (!conditional.header.empty())
+      Mine(conditional, min_support, suffix, out);
+    suffix->pop_back();
+  }
+}
+
+}  // namespace
+
+Result<std::vector<FrequentItemset>> FpGrowth(const TransactionDb& db,
+                                              int min_support) {
+  if (min_support < 1)
+    return Status::InvalidArgument("min_support must be >= 1");
+
+  // First pass: item frequencies.
+  std::map<int, int> counts;
+  for (const auto& txn : db)
+    for (int item : txn) ++counts[item];
+
+  // Second pass: insert transactions with items ordered by descending
+  // frequency (ties by item id), infrequent items dropped.
+  FpTree tree;
+  for (const auto& txn : db) {
+    std::vector<int> items;
+    for (int item : txn)
+      if (counts[item] >= min_support) items.push_back(item);
+    std::sort(items.begin(), items.end(), [&](int a, int b) {
+      if (counts[a] != counts[b]) return counts[a] > counts[b];
+      return a < b;
+    });
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    if (!items.empty()) tree.Insert(items, 1);
+  }
+
+  std::vector<FrequentItemset> result;
+  Itemset suffix;
+  Mine(tree, min_support, &suffix, &result);
+  SortItemsets(&result);
+  return result;
+}
+
+}  // namespace xai

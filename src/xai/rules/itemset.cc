@@ -1,0 +1,82 @@
+#include "xai/rules/itemset.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "xai/core/check.h"
+
+namespace xai {
+
+std::string AssociationRule::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < antecedent.size(); ++i)
+    os << (i ? "," : "") << antecedent[i];
+  os << "} => {";
+  for (size_t i = 0; i < consequent.size(); ++i)
+    os << (i ? "," : "") << consequent[i];
+  os << "} (sup=" << support << ", conf=" << confidence << ")";
+  return os.str();
+}
+
+void SortItemsets(std::vector<FrequentItemset>* itemsets) {
+  std::sort(itemsets->begin(), itemsets->end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size())
+                return a.items.size() < b.items.size();
+              return a.items < b.items;
+            });
+}
+
+bool IsSubsetOf(const Itemset& subset, const Itemset& superset) {
+  return std::includes(superset.begin(), superset.end(), subset.begin(),
+                       subset.end());
+}
+
+int CountSupport(const TransactionDb& db, const Itemset& itemset) {
+  int count = 0;
+  for (const auto& txn : db)
+    if (IsSubsetOf(itemset, txn)) ++count;
+  return count;
+}
+
+std::vector<AssociationRule> GenerateRules(
+    const std::vector<FrequentItemset>& frequent, int num_transactions,
+    double min_confidence) {
+  XAI_CHECK_GT(num_transactions, 0);
+  // Support lookup for all frequent itemsets.
+  std::map<Itemset, int> support;
+  for (const auto& fi : frequent) support[fi.items] = fi.support;
+
+  std::vector<AssociationRule> rules;
+  for (const auto& fi : frequent) {
+    int k = static_cast<int>(fi.items.size());
+    if (k < 2 || k > 12) continue;
+    uint64_t limit = 1ULL << k;
+    for (uint64_t mask = 1; mask + 1 < limit; ++mask) {
+      Itemset ante, cons;
+      for (int i = 0; i < k; ++i)
+        ((mask >> i) & 1 ? ante : cons).push_back(fi.items[i]);
+      auto it = support.find(ante);
+      if (it == support.end() || it->second == 0) continue;
+      double conf = static_cast<double>(fi.support) / it->second;
+      if (conf < min_confidence) continue;
+      AssociationRule rule;
+      rule.antecedent = std::move(ante);
+      rule.consequent = cons;
+      rule.support = fi.support;
+      rule.confidence = conf;
+      auto cons_it = support.find(cons);
+      double cons_freq =
+          cons_it != support.end()
+              ? static_cast<double>(cons_it->second) / num_transactions
+              : 0.0;
+      rule.lift = cons_freq > 0.0 ? conf / cons_freq : 0.0;
+      rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+}  // namespace xai

@@ -1,0 +1,51 @@
+#ifndef XAI_RULES_ITEMSET_H_
+#define XAI_RULES_ITEMSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xai {
+
+/// \brief Items are small non-negative integers; itemsets are kept sorted.
+using Itemset = std::vector<int>;
+using TransactionDb = std::vector<std::vector<int>>;
+
+/// \brief A frequent itemset with its absolute support count.
+struct FrequentItemset {
+  Itemset items;
+  int support = 0;
+};
+
+/// \brief An association rule antecedent => consequent.
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  int support = 0;        ///< Count of transactions containing both sides.
+  double confidence = 0;  ///< support / support(antecedent).
+  double lift = 0;        ///< confidence / frequency(consequent).
+
+  std::string ToString() const;
+};
+
+/// Canonical ordering (by size, then lexicographic) used to compare miner
+/// outputs in tests.
+void SortItemsets(std::vector<FrequentItemset>* itemsets);
+
+/// True if `subset` (sorted) is contained in `superset` (sorted).
+bool IsSubsetOf(const Itemset& subset, const Itemset& superset);
+
+/// Absolute support of an itemset in a transaction database (linear scan).
+int CountSupport(const TransactionDb& db, const Itemset& itemset);
+
+/// Derives association rules from frequent itemsets: every non-empty proper
+/// subset of each frequent itemset becomes an antecedent; rules below
+/// `min_confidence` are dropped. Itemsets larger than 12 items are skipped
+/// (2^|I| antecedents).
+std::vector<AssociationRule> GenerateRules(
+    const std::vector<FrequentItemset>& frequent, int num_transactions,
+    double min_confidence);
+
+}  // namespace xai
+
+#endif  // XAI_RULES_ITEMSET_H_

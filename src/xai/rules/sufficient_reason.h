@@ -1,0 +1,57 @@
+#ifndef XAI_RULES_SUFFICIENT_REASON_H_
+#define XAI_RULES_SUFFICIENT_REASON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/model/tree.h"
+
+namespace xai {
+
+/// \brief Logic-based explanations for decision trees (§2.2.2, Shih/Darwiche
+/// style): a *sufficient reason* is a subset of features whose instance
+/// values alone force the tree's decision, no matter what the remaining
+/// features are; a minimal one is a prime implicant of the decision
+/// function. These are "provably correct explanations": sufficiency is
+/// verified exactly against the tree, not sampled.
+
+/// True if fixing the features in `mask` to the instance's values forces
+/// every reachable leaf of the tree to the instance's predicted class
+/// (values thresholded at `decision_threshold`).
+bool IsSufficientReason(const Tree& tree, const Vector& instance,
+                        uint64_t mask, double decision_threshold = 0.5);
+
+/// \brief A sufficient reason with search metadata.
+struct SufficientReason {
+  /// The features in the reason.
+  std::vector<int> features;
+  /// True if no proper subset is sufficient (prime implicant).
+  bool minimal = false;
+  /// Number of sufficiency checks performed by the search.
+  int checks = 0;
+};
+
+/// Finds a cardinality-minimum sufficient reason by breadth-first search
+/// over subsets of the features the tree actually tests (exact when that
+/// count is <= `exact_limit`, otherwise falls back to greedy shrinking from
+/// the full feature set, which yields a minimal — but possibly not minimum —
+/// prime implicant).
+Result<SufficientReason> MinimumSufficientReason(
+    const Tree& tree, const Vector& instance, int num_features,
+    int exact_limit = 20, double decision_threshold = 0.5);
+
+/// Features with necessity score 1: removing the feature from the full
+/// feature set breaks sufficiency, i.e. the feature appears in *every*
+/// sufficient reason.
+std::vector<int> NecessaryFeatures(const Tree& tree, const Vector& instance,
+                                   int num_features,
+                                   double decision_threshold = 0.5);
+
+/// The set of feature indices the tree tests on any node (all other
+/// features are trivially irrelevant to sufficiency).
+std::vector<int> TestedFeatures(const Tree& tree);
+
+}  // namespace xai
+
+#endif  // XAI_RULES_SUFFICIENT_REASON_H_

@@ -1,0 +1,207 @@
+#include "xai/rules/weak_supervision.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xai/core/stats.h"
+
+namespace xai {
+
+Matrix ApplyLabelingFunctions(const std::vector<LabelingFunction>& lfs,
+                              const Dataset& data) {
+  Matrix votes(data.num_rows(), static_cast<int>(lfs.size()));
+  for (int i = 0; i < data.num_rows(); ++i) {
+    Vector row = data.Row(i);
+    for (size_t j = 0; j < lfs.size(); ++j)
+      votes(i, static_cast<int>(j)) = lfs[j](row);
+  }
+  return votes;
+}
+
+namespace {
+
+// P(y=1 | votes of row i) under accuracies a and prior pi. A +1 vote is
+// correct when y=1; a -1 vote is correct when y=0; abstains carry no
+// information. Computed in log space.
+double Posterior(const Matrix& votes, int row, const Vector& accuracies,
+                 double prior) {
+  double log1 = std::log(std::clamp(prior, 1e-9, 1.0 - 1e-9));
+  double log0 = std::log(1.0 - std::clamp(prior, 1e-9, 1.0 - 1e-9));
+  for (int j = 0; j < votes.cols(); ++j) {
+    double v = votes(row, j);
+    if (v == 0.0) continue;
+    double a = std::clamp(accuracies[j], 1e-6, 1.0 - 1e-6);
+    if (v > 0) {
+      log1 += std::log(a);
+      log0 += std::log(1.0 - a);
+    } else {
+      log1 += std::log(1.0 - a);
+      log0 += std::log(a);
+    }
+  }
+  double m = std::max(log0, log1);
+  double e1 = std::exp(log1 - m), e0 = std::exp(log0 - m);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace
+
+Result<LabelModel> LabelModel::Fit(const Matrix& votes,
+                                   const Config& config) {
+  int n = votes.rows(), m = votes.cols();
+  if (n == 0 || m == 0)
+    return Status::InvalidArgument("empty vote matrix");
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j)
+      if (votes(i, j) != -1.0 && votes(i, j) != 0.0 && votes(i, j) != 1.0)
+        return Status::InvalidArgument("votes must be -1, 0 or +1");
+
+  LabelModel model;
+  model.accuracies_.assign(m, config.init_accuracy);
+  model.coverages_.assign(m, 0.0);
+  for (int j = 0; j < m; ++j) {
+    int non_abstain = 0;
+    for (int i = 0; i < n; ++i)
+      if (votes(i, j) != 0.0) ++non_abstain;
+    model.coverages_[j] = static_cast<double>(non_abstain) / n;
+  }
+  model.prior_ = std::clamp(config.prior_positive, 0.05, 0.95);
+
+  Vector posterior(n, 0.5);
+  for (int it = 0; it < config.max_iter; ++it) {
+    // E-step.
+    for (int i = 0; i < n; ++i)
+      posterior[i] = Posterior(votes, i, model.accuracies_, model.prior_);
+
+    // M-step.
+    Vector new_acc(m, 0.0);
+    for (int j = 0; j < m; ++j) {
+      double correct = 0.0, total = 0.0;
+      for (int i = 0; i < n; ++i) {
+        double v = votes(i, j);
+        if (v == 0.0) continue;
+        // Expected correctness under the posterior.
+        correct += v > 0 ? posterior[i] : 1.0 - posterior[i];
+        total += 1.0;
+      }
+      new_acc[j] = total > 0 ? correct / total : config.init_accuracy;
+      // Keep accuracies away from the degenerate 0/1 corners.
+      new_acc[j] = std::clamp(new_acc[j], 0.05, 0.95);
+    }
+    double new_prior =
+        config.learn_prior ? std::clamp(Mean(posterior), 0.05, 0.95)
+                           : model.prior_;
+
+    double delta = std::fabs(new_prior - model.prior_);
+    for (int j = 0; j < m; ++j)
+      delta += std::fabs(new_acc[j] - model.accuracies_[j]);
+    model.accuracies_ = std::move(new_acc);
+    model.prior_ = new_prior;
+    model.iterations_ = it + 1;
+    if (delta < config.tol) break;
+  }
+  return model;
+}
+
+double LabelModel::PosteriorPositive(const Vector& votes) const {
+  Matrix one(1, static_cast<int>(votes.size()));
+  one.SetRow(0, votes);
+  return Posterior(one, 0, accuracies_, prior_);
+}
+
+Vector LabelModel::PosteriorPositiveAll(const Matrix& votes) const {
+  Vector out(votes.rows());
+  for (int i = 0; i < votes.rows(); ++i)
+    out[i] = Posterior(votes, i, accuracies_, prior_);
+  return out;
+}
+
+Result<std::vector<LabelingFunction>> GenerateStumpLfs(
+    const Dataset& labeled, int per_feature, double min_odds_ratio,
+    int thresholds_per_feature) {
+  if (labeled.num_rows() < 10)
+    return Status::InvalidArgument("need at least 10 labeled rows");
+  if (per_feature < 1 || thresholds_per_feature < 1 ||
+      min_odds_ratio <= 1.0)
+    return Status::InvalidArgument("bad generation parameters");
+
+  // Log-odds qualification bars: beat the class base rate by the required
+  // odds ratio.
+  double base_pos = std::clamp(Mean(labeled.y()), 0.02, 0.98);
+  auto bar_of = [&](double base) {
+    double logit = std::log(base / (1.0 - base)) + std::log(min_odds_ratio);
+    return 1.0 / (1.0 + std::exp(-logit));
+  };
+  double bar_pos = bar_of(base_pos);
+  double bar_neg = bar_of(1.0 - base_pos);
+  constexpr double kMaxCoverage = 0.6;
+
+  struct Candidate {
+    int feature;
+    double threshold;
+    bool le_side;  // Vote applies to rows with x <= threshold (else >).
+    int vote;      // +1 or -1.
+    double precision;
+    double coverage;
+  };
+  std::vector<LabelingFunction> result;
+  int n = labeled.num_rows();
+  for (int j = 0; j < labeled.num_features(); ++j) {
+    std::vector<double> col = labeled.x().Col(j);
+    std::vector<Candidate> candidates;
+    for (int t = 1; t <= thresholds_per_feature; ++t) {
+      double threshold = Quantile(
+          col, static_cast<double>(t) / (thresholds_per_feature + 1));
+      for (bool le_side : {true, false}) {
+        int covered = 0, positive = 0;
+        for (int i = 0; i < n; ++i) {
+          bool in_region = le_side ? labeled.At(i, j) <= threshold
+                                   : labeled.At(i, j) > threshold;
+          if (!in_region) continue;
+          ++covered;
+          if (labeled.Label(i) == 1.0) ++positive;
+        }
+        if (covered < 5 || covered > kMaxCoverage * n) continue;
+        double frac_pos = static_cast<double>(positive) / covered;
+        // Evaluate the region as a candidate for BOTH votes; only the
+        // side(s) clearing their class-relative bar survive.
+        for (int vote : {+1, -1}) {
+          double precision = vote > 0 ? frac_pos : 1.0 - frac_pos;
+          double bar = vote > 0 ? bar_pos : bar_neg;
+          if (precision < bar) continue;
+          candidates.push_back({j, threshold, le_side, vote, precision,
+                                static_cast<double>(covered) / n});
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](const Candidate& a, const Candidate& b) {
+                double base_a = a.vote > 0 ? base_pos : 1.0 - base_pos;
+                double base_b = b.vote > 0 ? base_pos : 1.0 - base_pos;
+                return (a.precision - base_a) * a.coverage >
+                       (b.precision - base_b) * b.coverage;
+              });
+    // Keep the best candidates of EACH vote sign: in imbalanced data the
+    // minority class's functions would otherwise never survive, collapsing
+    // all weak labels onto the majority class.
+    for (int sign : {+1, -1}) {
+      int kept = 0;
+      for (const Candidate& c : candidates) {
+        if (c.vote != sign) continue;
+        if (kept++ >= per_feature) break;
+        result.push_back([c](const Vector& row) {
+          bool in_region =
+              c.le_side ? row[c.feature] <= c.threshold
+                        : row[c.feature] > c.threshold;
+          return in_region ? c.vote : 0;
+        });
+      }
+    }
+  }
+  if (result.empty())
+    return Status::NotFound(
+        "no stump clears the odds-ratio bar; lower min_odds_ratio");
+  return result;
+}
+
+}  // namespace xai

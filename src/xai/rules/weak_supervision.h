@@ -1,0 +1,87 @@
+#ifndef XAI_RULES_WEAK_SUPERVISION_H_
+#define XAI_RULES_WEAK_SUPERVISION_H_
+
+#include <functional>
+#include <vector>
+
+#include "xai/core/matrix.h"
+#include "xai/core/status.h"
+#include "xai/data/dataset.h"
+
+namespace xai {
+
+/// \brief Rule-based weak supervision (§2.2.1: "rule-based data mining
+/// techniques that leverage recent advances of weak-supervision for
+/// labelling datasets" — Snorkel, Snuba, adaptive rule discovery).
+///
+/// Labeling functions vote +1 (positive), -1 (negative) or 0 (abstain);
+/// the label model estimates each function's accuracy *without ground
+/// truth* (EM over a Dawid-Skene-style generative model with conditionally
+/// independent functions) and combines the votes into probabilistic labels.
+using LabelingFunction = std::function<int(const Vector&)>;
+
+/// Applies the functions to every row: an n x m vote matrix in {-1, 0, +1}.
+Matrix ApplyLabelingFunctions(const std::vector<LabelingFunction>& lfs,
+                              const Dataset& data);
+
+/// \brief Configuration for LabelModel::Fit.
+struct LabelModelConfig {
+  int max_iter = 200;
+  double tol = 1e-8;
+  /// Initial accuracy assumed for every labeling function.
+  double init_accuracy = 0.7;
+  /// Class prior P(y = 1). Snorkel-style: treated as given. Set
+  /// `learn_prior` to re-estimate it by EM — beware that correlated
+  /// labeling functions can then drive the prior to a degenerate corner.
+  double prior_positive = 0.5;
+  bool learn_prior = false;
+};
+
+/// \brief Snorkel-style generative label model (binary).
+class LabelModel {
+ public:
+  using Config = LabelModelConfig;
+
+  /// Fits by EM on an n x m vote matrix (entries must be -1, 0 or +1).
+  static Result<LabelModel> Fit(const Matrix& votes,
+                                const Config& config = {});
+
+  /// P(y = 1 | votes of one row).
+  double PosteriorPositive(const Vector& votes) const;
+  /// P(y = 1) for every row of a vote matrix.
+  Vector PosteriorPositiveAll(const Matrix& votes) const;
+
+  /// Estimated accuracy of each labeling function,
+  /// P(vote correct | vote != 0).
+  const Vector& accuracies() const { return accuracies_; }
+  /// Fraction of rows where each function does not abstain.
+  const Vector& coverages() const { return coverages_; }
+  /// Estimated class prior P(y = 1).
+  double prior_positive() const { return prior_; }
+  int iterations() const { return iterations_; }
+
+ private:
+  Vector accuracies_;
+  Vector coverages_;
+  double prior_ = 0.5;
+  int iterations_ = 0;
+};
+
+/// \brief Snuba-style automatic labeling-function synthesis: from a *small*
+/// labeled dataset, generates threshold-stump functions
+/// ("x_j <= t votes c") whose precision for their voted class c beats that
+/// class's base rate by at least `min_odds_ratio` in odds space:
+///   logit(precision) >= logit(base_rate_c) + log(min_odds_ratio).
+/// The log-odds bar treats majority and minority classes symmetrically, so
+/// minority-class functions survive on imbalanced data while
+/// high-coverage-but-uninformative stumps do not. Stumps covering more
+/// than 60% of the rows are rejected (a useful labeling function mostly
+/// abstains). Keeps the best `per_feature` stumps per (feature, vote sign)
+/// by (precision - base_rate) * coverage.
+Result<std::vector<LabelingFunction>> GenerateStumpLfs(
+    const Dataset& labeled, int per_feature = 2, double min_odds_ratio = 3.0,
+    int thresholds_per_feature = 8);
+
+}  // namespace xai
+
+#endif  // XAI_RULES_WEAK_SUPERVISION_H_

@@ -1,0 +1,227 @@
+#include "xai/unlearn/dare_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "xai/core/check.h"
+
+namespace xai {
+namespace {
+
+// Weighted Gini impurity of a candidate split given node totals.
+// Invalid splits (empty side / below min leaf size) return +inf.
+double SplitImpurity(int n, int pos, int n_left, int pos_left,
+                     int min_samples_leaf) {
+  int n_right = n - n_left;
+  int pos_right = pos - pos_left;
+  if (n_left < min_samples_leaf || n_right < min_samples_leaf)
+    return std::numeric_limits<double>::infinity();
+  double pl = static_cast<double>(pos_left) / n_left;
+  double pr = static_cast<double>(pos_right) / n_right;
+  return n_left * 2.0 * pl * (1.0 - pl) + n_right * 2.0 * pr * (1.0 - pr);
+}
+
+}  // namespace
+
+Result<DareTree> DareTree::Train(const Dataset& train,
+                                 const DareTreeConfig& config) {
+  if (train.num_rows() == 0)
+    return Status::InvalidArgument("empty training set");
+  for (double label : train.y())
+    if (label != 0.0 && label != 1.0)
+      return Status::InvalidArgument("DareTree requires binary labels");
+  DareTree tree;
+  tree.x_ = train.x();
+  tree.y_ = train.y();
+  tree.removed_.assign(train.num_rows(), false);
+  tree.config_ = config;
+  tree.rng_ = Rng(config.seed);
+  tree.active_rows_ = train.num_rows();
+  std::vector<int> rows(train.num_rows());
+  for (int i = 0; i < train.num_rows(); ++i) rows[i] = i;
+  tree.root_ = tree.Build(std::move(rows), 0);
+  return tree;
+}
+
+int DareTree::BestCandidate(const Node& node) const {
+  int best = -1;
+  double best_impurity = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < node.candidates.size(); ++c) {
+    const Candidate& cand = node.candidates[c];
+    double imp = SplitImpurity(node.n, node.pos, cand.n_left, cand.pos_left,
+                               config_.min_samples_leaf);
+    // Deterministic tie-break keeps "best split unchanged" stable.
+    if (imp + 1e-12 < best_impurity) {
+      best_impurity = imp;
+      best = static_cast<int>(c);
+    }
+  }
+  // A split must actually reduce impurity below the node's own.
+  if (best >= 0) {
+    double p = node.n > 0 ? static_cast<double>(node.pos) / node.n : 0.0;
+    double node_impurity = node.n * 2.0 * p * (1.0 - p);
+    if (best_impurity >= node_impurity - 1e-12) return -1;
+  }
+  return best;
+}
+
+std::unique_ptr<DareTree::Node> DareTree::Build(std::vector<int> rows,
+                                                int depth) {
+  auto node = std::make_unique<Node>();
+  node->depth = depth;
+  node->n = static_cast<int>(rows.size());
+  for (int r : rows) node->pos += y_[r] == 1.0 ? 1 : 0;
+  node->rows = std::move(rows);
+
+  bool splittable = depth < config_.max_depth &&
+                    node->n >= 2 * config_.min_samples_leaf &&
+                    node->pos > 0 && node->pos < node->n;
+  if (!splittable) return node;
+
+  // Draw random candidate thresholds per feature within the node's range.
+  int d = x_.cols();
+  for (int f = 0; f < d; ++f) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (int r : node->rows) {
+      lo = std::min(lo, x_(r, f));
+      hi = std::max(hi, x_(r, f));
+    }
+    if (hi <= lo) continue;
+    for (int t = 0; t < config_.thresholds_per_feature; ++t) {
+      Candidate cand;
+      cand.feature = f;
+      cand.threshold = rng_.Uniform(lo, hi);
+      for (int r : node->rows) {
+        if (x_(r, f) <= cand.threshold) {
+          ++cand.n_left;
+          cand.pos_left += y_[r] == 1.0 ? 1 : 0;
+        }
+      }
+      node->candidates.push_back(cand);
+    }
+  }
+
+  int best = BestCandidate(*node);
+  if (best < 0) return node;
+
+  const Candidate& cand = node->candidates[best];
+  node->leaf = false;
+  node->feature = cand.feature;
+  node->threshold = cand.threshold;
+  std::vector<int> left_rows, right_rows;
+  for (int r : node->rows)
+    (x_(r, node->feature) <= node->threshold ? left_rows : right_rows)
+        .push_back(r);
+  node->left = Build(std::move(left_rows), depth + 1);
+  node->right = Build(std::move(right_rows), depth + 1);
+  return node;
+}
+
+Status DareTree::Delete(int row) {
+  if (row < 0 || row >= x_.rows()) return Status::OutOfRange("bad row index");
+  if (removed_[row]) return Status::InvalidArgument("row already removed");
+  if (active_rows_ <= 2 * config_.min_samples_leaf)
+    return Status::InvalidArgument("too few rows would remain");
+  removed_[row] = true;
+  --active_rows_;
+  ++num_deletions_;
+
+  int label = y_[row] == 1.0 ? 1 : 0;
+  Node* node = root_.get();
+  for (;;) {
+    // Update node statistics.
+    node->n -= 1;
+    node->pos -= label;
+    node->rows.erase(std::find(node->rows.begin(), node->rows.end(), row));
+    for (Candidate& cand : node->candidates) {
+      if (x_(row, cand.feature) <= cand.threshold) {
+        --cand.n_left;
+        cand.pos_left -= label;
+      }
+    }
+    if (node->leaf) break;
+
+    // Does the cached split survive the deletion? Keep it unless it became
+    // invalid or a competitor beats it by the robustness margin.
+    int best = BestCandidate(*node);
+    double current_impurity = std::numeric_limits<double>::infinity();
+    for (const Candidate& cand : node->candidates) {
+      if (cand.feature == node->feature &&
+          cand.threshold == node->threshold) {
+        current_impurity =
+            SplitImpurity(node->n, node->pos, cand.n_left, cand.pos_left,
+                          config_.min_samples_leaf);
+        break;
+      }
+    }
+    bool unchanged = best >= 0 && std::isfinite(current_impurity);
+    if (unchanged) {
+      double best_impurity = SplitImpurity(
+          node->n, node->pos, node->candidates[best].n_left,
+          node->candidates[best].pos_left, config_.min_samples_leaf);
+      if (best_impurity <
+          current_impurity * (1.0 - config_.rebuild_tolerance))
+        unchanged = false;
+    }
+    if (!unchanged) {
+      // Structural change: rebuild this subtree from its remaining rows.
+      ++num_rebuilds_;
+      rows_retrained_ += node->n;
+      std::vector<int> rows = node->rows;
+      int depth = node->depth;
+      auto rebuilt = Build(std::move(rows), depth);
+      *node = std::move(*rebuilt);
+      break;
+    }
+    node = x_(row, node->feature) <= node->threshold ? node->left.get()
+                                                     : node->right.get();
+  }
+  return Status::OK();
+}
+
+double DareTree::PredictFrom(const Node* node, const Vector& row) const {
+  while (!node->leaf) {
+    node = row[node->feature] <= node->threshold ? node->left.get()
+                                                 : node->right.get();
+  }
+  return node->n > 0 ? static_cast<double>(node->pos) / node->n : 0.5;
+}
+
+double DareTree::Predict(const Vector& row) const {
+  XAI_CHECK(root_ != nullptr);
+  return PredictFrom(root_.get(), row);
+}
+
+Result<DareForest> DareForest::Train(const Dataset& train,
+                                     const Config& config) {
+  DareForest forest;
+  for (int t = 0; t < config.n_trees; ++t) {
+    DareTreeConfig tree_config = config.tree;
+    tree_config.seed = config.tree.seed + 0x9e3779b9u * (t + 1);
+    XAI_ASSIGN_OR_RETURN(DareTree tree, DareTree::Train(train, tree_config));
+    forest.trees_.push_back(std::move(tree));
+  }
+  return forest;
+}
+
+Status DareForest::Delete(int row) {
+  for (DareTree& tree : trees_) XAI_RETURN_NOT_OK(tree.Delete(row));
+  return Status::OK();
+}
+
+double DareForest::Predict(const Vector& row) const {
+  if (trees_.empty()) return 0.5;
+  double acc = 0.0;
+  for (const DareTree& tree : trees_) acc += tree.Predict(row);
+  return acc / trees_.size();
+}
+
+int DareForest::num_rebuilds() const {
+  int acc = 0;
+  for (const DareTree& tree : trees_) acc += tree.num_rebuilds();
+  return acc;
+}
+
+}  // namespace xai

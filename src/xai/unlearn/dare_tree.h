@@ -1,0 +1,120 @@
+#ifndef XAI_UNLEARN_DARE_TREE_H_
+#define XAI_UNLEARN_DARE_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "xai/core/rng.h"
+#include "xai/core/status.h"
+#include "xai/data/dataset.h"
+#include "xai/model/model.h"
+
+namespace xai {
+
+/// \brief Configuration of the unlearnable tree.
+struct DareTreeConfig {
+  int max_depth = 8;
+  int min_samples_leaf = 4;
+  /// Candidate thresholds drawn per feature at each node (extremely-
+  /// randomized-trees style, as in HedgeCut's ERTs).
+  int thresholds_per_feature = 8;
+  /// Robustness margin (HedgeCut's split-robustness idea): the cached split
+  /// is kept unless a competitor's impurity beats it by this relative
+  /// margin, so near-tie flips don't trigger subtree rebuilds.
+  double rebuild_tolerance = 0.02;
+  uint64_t seed = 29;
+};
+
+/// \brief DaRE/HedgeCut-style decision tree with low-latency deletion
+/// (§3: "HedgeCut: maintaining randomised trees for low-latency machine
+/// unlearning").
+///
+/// Every node caches, for each candidate split, the label statistics needed
+/// to score it. Deleting a training point decrements those statistics along
+/// the point's root-to-leaf path (O(depth * candidates)); only when the
+/// *best* split of some node changes does the affected subtree get rebuilt.
+/// Most deletions therefore cost microseconds instead of a full retrain.
+class DareTree {
+ public:
+  /// Binary classification only ({0,1} labels).
+  static Result<DareTree> Train(const Dataset& train,
+                                const DareTreeConfig& config = {});
+
+  /// Unlearns one training row (index into the original dataset).
+  Status Delete(int row);
+
+  /// P(y=1) at the routed leaf.
+  double Predict(const Vector& row) const;
+
+  /// \name Deletion statistics (for the E11 experiment).
+  /// @{
+  int num_deletions() const { return num_deletions_; }
+  int num_rebuilds() const { return num_rebuilds_; }
+  int rows_retrained() const { return rows_retrained_; }
+  /// @}
+
+  int active_rows() const { return active_rows_; }
+
+ private:
+  struct Candidate {
+    int feature = -1;
+    double threshold = 0.0;
+    int n_left = 0;
+    int pos_left = 0;
+  };
+  struct Node {
+    int n = 0;
+    int pos = 0;
+    int depth = 0;
+    bool leaf = true;
+    int feature = -1;
+    double threshold = 0.0;
+    std::vector<Candidate> candidates;
+    std::vector<int> rows;  // Active original row indices at this node.
+    std::unique_ptr<Node> left, right;
+  };
+
+  std::unique_ptr<Node> Build(std::vector<int> rows, int depth);
+  /// Index into node->candidates of the best valid split, or -1.
+  int BestCandidate(const Node& node) const;
+  double PredictFrom(const Node* node, const Vector& row) const;
+
+  Matrix x_;
+  Vector y_;
+  std::vector<bool> removed_;
+  DareTreeConfig config_;
+  Rng rng_{0};
+  std::unique_ptr<Node> root_;
+  int active_rows_ = 0;
+  int num_deletions_ = 0;
+  int num_rebuilds_ = 0;
+  int rows_retrained_ = 0;
+};
+
+/// \brief Bagging-free forest of DareTrees (each tree sees all rows but
+/// draws different random candidate thresholds), averaging their outputs.
+class DareForest : public Model {
+ public:
+  struct Config {
+    int n_trees = 10;
+    DareTreeConfig tree;
+  };
+
+  static Result<DareForest> Train(const Dataset& train, const Config& config);
+
+  Status Delete(int row);
+
+  TaskType task() const override { return TaskType::kClassification; }
+  std::string name() const override { return "dare_forest"; }
+  double Predict(const Vector& row) const override;
+
+  const std::vector<DareTree>& trees() const { return trees_; }
+  int num_rebuilds() const;
+
+ private:
+  std::vector<DareTree> trees_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_UNLEARN_DARE_TREE_H_

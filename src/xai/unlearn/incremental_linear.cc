@@ -1,0 +1,101 @@
+#include "xai/unlearn/incremental_linear.h"
+
+#include <cmath>
+
+namespace xai {
+
+Result<MaintainedLinearRegression> MaintainedLinearRegression::Fit(
+    const Matrix& x, const Vector& y, double l2) {
+  if (x.rows() != static_cast<int>(y.size()))
+    return Status::InvalidArgument("row count mismatch");
+  if (x.rows() <= x.cols() + 1)
+    return Status::InvalidArgument(
+        "need more rows than parameters for stable maintenance");
+  MaintainedLinearRegression m;
+  int n = x.rows(), d = x.cols();
+  m.x_ = Matrix(n, d + 1);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) m.x_(i, j) = x(i, j);
+    m.x_(i, d) = 1.0;
+  }
+  m.y_ = y;
+  m.removed_.assign(n, false);
+  m.l2_ = l2;
+  m.active_rows_ = n;
+
+  Matrix gram = m.x_.Gram();
+  for (int j = 0; j < d; ++j) gram(j, j) += l2;  // Intercept unregularized.
+  gram.AddScaledIdentity(1e-10);
+  XAI_ASSIGN_OR_RETURN(m.inv_, Inverse(gram));
+  m.xty_ = m.x_.TransposeMatVec(y);
+  m.RefreshTheta();
+  return m;
+}
+
+void MaintainedLinearRegression::RefreshTheta() {
+  theta_ = inv_.MatVec(xty_);
+  weights_.assign(theta_.begin(), theta_.end() - 1);
+  bias_ = theta_.back();
+}
+
+Status MaintainedLinearRegression::RankOneUpdate(const Vector& u,
+                                                 double sign) {
+  // inv(A + s uu^T) = inv - s (inv u)(u^T inv) / (1 + s u^T inv u).
+  Vector iu = inv_.MatVec(u);
+  double denom = 1.0 + sign * Dot(u, iu);
+  if (std::fabs(denom) < 1e-12)
+    return Status::InvalidArgument(
+        "rank-one downdate is singular (row too influential)");
+  double factor = sign / denom;
+  int k = inv_.rows();
+  for (int a = 0; a < k; ++a)
+    for (int b = 0; b < k; ++b) inv_(a, b) -= factor * iu[a] * iu[b];
+  return Status::OK();
+}
+
+Status MaintainedLinearRegression::RemoveRow(int row) {
+  if (row < 0 || row >= static_cast<int>(removed_.size()))
+    return Status::OutOfRange("row index out of range");
+  if (removed_[row]) return Status::InvalidArgument("row already removed");
+  if (active_rows_ <= inv_.rows())
+    return Status::InvalidArgument("too few rows would remain");
+  Vector u = x_.Row(row);
+  XAI_RETURN_NOT_OK(RankOneUpdate(u, -1.0));
+  for (size_t j = 0; j < xty_.size(); ++j) xty_[j] -= y_[row] * u[j];
+  removed_[row] = true;
+  --active_rows_;
+  RefreshTheta();
+  return Status::OK();
+}
+
+Status MaintainedLinearRegression::RemoveRows(const std::vector<int>& rows) {
+  for (int r : rows) XAI_RETURN_NOT_OK(RemoveRow(r));
+  return Status::OK();
+}
+
+Status MaintainedLinearRegression::AddRow(const Vector& features,
+                                          double label) {
+  if (static_cast<int>(features.size()) + 1 != inv_.rows())
+    return Status::InvalidArgument("feature width mismatch");
+  Vector u = features;
+  u.push_back(1.0);
+  XAI_RETURN_NOT_OK(RankOneUpdate(u, +1.0));
+  for (size_t j = 0; j < xty_.size(); ++j) xty_[j] += label * u[j];
+  // Record the row so it can be removed later.
+  Matrix nx(x_.rows() + 1, x_.cols());
+  for (int i = 0; i < x_.rows(); ++i)
+    for (int j = 0; j < x_.cols(); ++j) nx(i, j) = x_(i, j);
+  nx.SetRow(x_.rows(), u);
+  x_ = std::move(nx);
+  y_.push_back(label);
+  removed_.push_back(false);
+  ++active_rows_;
+  RefreshTheta();
+  return Status::OK();
+}
+
+LinearRegressionModel MaintainedLinearRegression::CurrentModel() const {
+  return LinearRegressionModel::FromCoefficients(weights_, bias_, {l2_});
+}
+
+}  // namespace xai

@@ -1,0 +1,163 @@
+#include "xai/unlearn/incremental_logistic.h"
+
+#include <cmath>
+
+namespace xai {
+namespace {
+
+// Per-example unregularized Hessian contribution at theta, added into h.
+void AddExampleHessian(const Vector& row, double p, Matrix* h) {
+  int d = static_cast<int>(row.size());
+  double w = p * (1.0 - p);
+  for (int a = 0; a < d; ++a) {
+    double wa = w * row[a];
+    for (int b = a; b < d; ++b) (*h)(a, b) += wa * row[b];
+    (*h)(a, d) += wa;
+  }
+  (*h)(d, d) += w;
+}
+
+void Symmetrize(Matrix* h) {
+  for (int a = 0; a < h->rows(); ++a)
+    for (int b = 0; b < a; ++b) (*h)(a, b) = (*h)(b, a);
+}
+
+}  // namespace
+
+Result<MaintainedLogisticRegression> MaintainedLogisticRegression::Fit(
+    const Matrix& x, const Vector& y, const LogisticRegressionConfig& config) {
+  XAI_ASSIGN_OR_RETURN(LogisticRegressionModel model,
+                       LogisticRegressionModel::Train(x, y, config));
+  MaintainedLogisticRegression m;
+  m.x_ = x;
+  m.y_ = y;
+  m.removed_.assign(x.rows(), false);
+  m.config_ = config;
+  m.weights_ = model.weights();
+  m.bias_ = model.bias();
+  m.active_rows_ = x.rows();
+  m.CacheAggregates();
+  return m;
+}
+
+void MaintainedLogisticRegression::CacheAggregates() {
+  int d = x_.cols();
+  grad_sum_.assign(d + 1, 0.0);
+  hessian_sum_ = Matrix(d + 1, d + 1);
+  LogisticRegressionModel model = CurrentModel();
+  for (int i = 0; i < x_.rows(); ++i) {
+    if (removed_[i]) continue;
+    Vector row = x_.Row(i);
+    Vector g = model.ExampleLossGradient(row, y_[i]);
+    for (int j = 0; j <= d; ++j) grad_sum_[j] += g[j];
+    AddExampleHessian(row, Sigmoid(model.Margin(row)), &hessian_sum_);
+  }
+  Symmetrize(&hessian_sum_);
+}
+
+Status MaintainedLogisticRegression::AddRows(const Matrix& new_x,
+                                             const Vector& new_y,
+                                             int refine_full_iters) {
+  int d = x_.cols();
+  if (new_x.cols() != d)
+    return Status::InvalidArgument("new rows have wrong width");
+  if (new_x.rows() != static_cast<int>(new_y.size()))
+    return Status::InvalidArgument("row count mismatch");
+  LogisticRegressionModel model = CurrentModel();
+
+  // Append the rows and add their gradient/Hessian contributions at the
+  // current parameters.
+  Matrix combined(x_.rows() + new_x.rows(), d);
+  for (int i = 0; i < x_.rows(); ++i) combined.SetRow(i, x_.Row(i));
+  for (int i = 0; i < new_x.rows(); ++i) {
+    Vector row = new_x.Row(i);
+    combined.SetRow(x_.rows() + i, row);
+    y_.push_back(new_y[i]);
+    removed_.push_back(false);
+    ++active_rows_;
+    Vector g = model.ExampleLossGradient(row, new_y[i]);
+    for (int j = 0; j <= d; ++j) grad_sum_[j] += g[j];
+    AddExampleHessian(row, Sigmoid(model.Margin(row)), &hessian_sum_);
+  }
+  Symmetrize(&hessian_sum_);
+  x_ = std::move(combined);
+
+  return NewtonCorrectAndRecache(refine_full_iters);
+}
+
+Status MaintainedLogisticRegression::RemoveRows(const std::vector<int>& rows,
+                                                int refine_full_iters) {
+  int d = x_.cols();
+  LogisticRegressionModel model = CurrentModel();
+  // Subtract the removed rows' cached contributions — O(|R| d^2).
+  for (int r : rows) {
+    if (r < 0 || r >= x_.rows()) return Status::OutOfRange("bad row index");
+    if (removed_[r]) return Status::InvalidArgument("row already removed");
+    Vector row = x_.Row(r);
+    Vector g = model.ExampleLossGradient(row, y_[r]);
+    for (int j = 0; j <= d; ++j) grad_sum_[j] -= g[j];
+    Matrix neg(d + 1, d + 1);
+    AddExampleHessian(row, Sigmoid(model.Margin(row)), &neg);
+    Symmetrize(&neg);
+    hessian_sum_ = hessian_sum_ - neg;
+    removed_[r] = true;
+    --active_rows_;
+  }
+  if (active_rows_ < 2)
+    return Status::InvalidArgument("too few rows would remain");
+
+  return NewtonCorrectAndRecache(refine_full_iters);
+}
+
+Status MaintainedLogisticRegression::NewtonCorrectAndRecache(
+    int refine_full_iters) {
+  int d = x_.cols();
+  // One Newton step on the post-update objective
+  //   J'(theta) = (1/n') sum_active nll_i + (l2/2)||w||^2,
+  // evaluated at the cached (pre-deletion) optimum.
+  double n = active_rows_;
+  Vector grad(d + 1);
+  for (int j = 0; j <= d; ++j) grad[j] = grad_sum_[j] / n;
+  for (int j = 0; j < d; ++j) grad[j] += config_.l2 * weights_[j];
+  Matrix hess = hessian_sum_ * (1.0 / n);
+  for (int j = 0; j < d; ++j) hess(j, j) += config_.l2;
+  hess.AddScaledIdentity(1e-10);
+  auto step = CholeskySolve(hess, grad);
+  if (step.ok()) {
+    for (int j = 0; j < d; ++j) weights_[j] -= step.ValueUnsafe()[j];
+    bias_ -= step.ValueUnsafe()[d];
+  }
+
+  if (refine_full_iters > 0) {
+    // Warm-started exact refinement over the remaining rows.
+    std::vector<int> keep;
+    for (int i = 0; i < x_.rows(); ++i)
+      if (!removed_[i]) keep.push_back(i);
+    Matrix xr(static_cast<int>(keep.size()), d);
+    Vector yr(keep.size());
+    for (size_t i = 0; i < keep.size(); ++i) {
+      xr.SetRow(static_cast<int>(i), x_.Row(keep[i]));
+      yr[i] = y_[keep[i]];
+    }
+    LogisticRegressionConfig cfg = config_;
+    cfg.max_iter = refine_full_iters;
+    XAI_ASSIGN_OR_RETURN(
+        LogisticRegressionModel refined,
+        LogisticRegressionModel::TrainWarmStart(xr, yr, weights_, bias_,
+                                                cfg));
+    weights_ = refined.weights();
+    bias_ = refined.bias();
+  }
+
+  // Re-cache aggregates at the new parameters so later deletions remain
+  // first-order accurate. O(n d^2) — still much cheaper than a cold Newton
+  // solve, and skippable for latency-critical paths.
+  CacheAggregates();
+  return Status::OK();
+}
+
+LogisticRegressionModel MaintainedLogisticRegression::CurrentModel() const {
+  return LogisticRegressionModel::FromCoefficients(weights_, bias_, config_);
+}
+
+}  // namespace xai

@@ -1,0 +1,54 @@
+#include "xai/valuation/data_shapley.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "xai/core/rng.h"
+
+namespace xai {
+
+TmcResult TmcDataShapley(int num_points, const UtilityFn& utility,
+                         const TmcConfig& config) {
+  Rng rng(config.seed);
+  TmcResult result;
+  result.values.assign(num_points, 0.0);
+
+  std::vector<int> all(num_points);
+  std::iota(all.begin(), all.end(), 0);
+  double full_utility = utility(all);
+  double empty_utility = utility({});
+  result.utility_calls += 2;
+
+  int total_positions = 0, truncated_positions = 0;
+  for (int p = 0; p < config.max_permutations; ++p) {
+    std::vector<int> perm = rng.Permutation(num_points);
+    std::vector<int> prefix;
+    prefix.reserve(num_points);
+    double prev = empty_utility;
+    bool truncated = false;
+    for (int i : perm) {
+      ++total_positions;
+      if (truncated) {
+        // Remaining marginals treated as zero.
+        ++truncated_positions;
+        continue;
+      }
+      prefix.push_back(i);
+      double cur = utility(prefix);
+      ++result.utility_calls;
+      result.values[i] += cur - prev;
+      prev = cur;
+      if (std::fabs(full_utility - cur) < config.truncation_tolerance)
+        truncated = true;
+    }
+  }
+  for (double& v : result.values) v /= config.max_permutations;
+  result.permutations_used = config.max_permutations;
+  result.truncation_fraction =
+      total_positions > 0
+          ? static_cast<double>(truncated_positions) / total_positions
+          : 0.0;
+  return result;
+}
+
+}  // namespace xai

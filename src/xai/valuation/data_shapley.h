@@ -1,0 +1,40 @@
+#ifndef XAI_VALUATION_DATA_SHAPLEY_H_
+#define XAI_VALUATION_DATA_SHAPLEY_H_
+
+#include <cstdint>
+
+#include "xai/core/matrix.h"
+#include "xai/valuation/loo.h"
+
+namespace xai {
+
+/// \brief Configuration of Truncated Monte-Carlo Data Shapley.
+struct TmcConfig {
+  /// Number of random permutations of the training points.
+  int max_permutations = 100;
+  /// Truncate a permutation walk once the running utility is within this
+  /// tolerance of the full-data utility (the "T" in TMC: later marginals
+  /// are approximately zero).
+  double truncation_tolerance = 0.01;
+  uint64_t seed = 17;
+};
+
+/// \brief Estimates and diagnostics of a TMC run.
+struct TmcResult {
+  Vector values;
+  int permutations_used = 0;
+  /// Total utility-function evaluations (the dominating cost: each is a
+  /// model retraining — "intractable for real-world datasets", §2.3.1).
+  int utility_calls = 0;
+  /// Fraction of permutation positions skipped by truncation.
+  double truncation_fraction = 0.0;
+};
+
+/// Truncated Monte-Carlo Data Shapley (Ghorbani & Zou 2019, §2.3.1):
+/// permutation sampling over training *points* with early truncation.
+TmcResult TmcDataShapley(int num_points, const UtilityFn& utility,
+                         const TmcConfig& config = {});
+
+}  // namespace xai
+
+#endif  // XAI_VALUATION_DATA_SHAPLEY_H_

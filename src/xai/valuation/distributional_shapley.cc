@@ -1,0 +1,35 @@
+#include "xai/valuation/distributional_shapley.h"
+
+#include <algorithm>
+
+#include "xai/core/rng.h"
+
+namespace xai {
+
+Vector DistributionalShapley(int num_points, const UtilityFn& utility,
+                             const DistributionalShapleyConfig& config) {
+  Rng rng(config.seed);
+  Vector values(num_points, 0.0);
+  int max_card = std::min(config.max_cardinality, num_points - 1);
+  for (int i = 0; i < num_points; ++i) {
+    double acc = 0.0;
+    for (int it = 0; it < config.iterations; ++it) {
+      int k = rng.UniformInt(max_card + 1);
+      // Context set S of size k sampled from the pool without point i (the
+      // pool stands in for the underlying distribution D).
+      std::vector<int> context;
+      context.reserve(k + 1);
+      std::vector<int> drawn =
+          rng.SampleWithoutReplacement(num_points - 1, k);
+      for (int idx : drawn) context.push_back(idx >= i ? idx + 1 : idx);
+      double without = utility(context);
+      context.push_back(i);
+      double with = utility(context);
+      acc += with - without;
+    }
+    values[i] = acc / config.iterations;
+  }
+  return values;
+}
+
+}  // namespace xai

@@ -1,0 +1,33 @@
+#ifndef XAI_VALUATION_DISTRIBUTIONAL_SHAPLEY_H_
+#define XAI_VALUATION_DISTRIBUTIONAL_SHAPLEY_H_
+
+#include <cstdint>
+
+#include "xai/core/matrix.h"
+#include "xai/valuation/loo.h"
+
+namespace xai {
+
+/// \brief Configuration of the distributional-Shapley estimator.
+struct DistributionalShapleyConfig {
+  /// Monte-Carlo draws per data point.
+  int iterations = 50;
+  /// Largest context-set cardinality sampled (the "m" of D-Shapley).
+  int max_cardinality = 64;
+  uint64_t seed = 19;
+};
+
+/// Distributional Shapley (Ghorbani, Kim & Zou 2020 / Kwon et al. 2021,
+/// §2.3.1): the value of a point *in the context of the underlying data
+/// distribution* — estimated by resampling context sets S from the data pool
+/// (a proxy for the distribution) at random cardinalities and averaging the
+/// marginal utility of adding the point. Unlike Data Shapley, the value does
+/// not depend on which other points happen to be in one fixed dataset, which
+/// addresses the "training data is in fact sampled from an unknown
+/// underlying distribution" critique of §2.3.1.
+Vector DistributionalShapley(int num_points, const UtilityFn& utility,
+                             const DistributionalShapleyConfig& config = {});
+
+}  // namespace xai
+
+#endif  // XAI_VALUATION_DISTRIBUTIONAL_SHAPLEY_H_

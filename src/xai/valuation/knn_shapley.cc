@@ -1,0 +1,52 @@
+#include "xai/valuation/knn_shapley.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace xai {
+
+Result<Vector> KnnShapley(const Dataset& train, const Dataset& valid, int k) {
+  int n = train.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty training set");
+  if (valid.num_rows() == 0)
+    return Status::InvalidArgument("empty validation set");
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (train.num_features() != valid.num_features())
+    return Status::InvalidArgument("feature width mismatch");
+
+  Vector values(n, 0.0);
+  std::vector<double> dist(n);
+  std::vector<int> order(n);
+  Vector s(n);
+  for (int v = 0; v < valid.num_rows(); ++v) {
+    Vector z = valid.Row(v);
+    double yz = valid.Label(v);
+    for (int i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (int j = 0; j < train.num_features(); ++j) {
+        double d = train.At(i, j) - z[j];
+        acc += d * d;
+      }
+      dist[i] = acc;
+    }
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int a, int b) { return dist[a] < dist[b]; });
+
+    // Jia et al. Theorem 1 recursion over the sorted order (1-indexed i).
+    auto match = [&](int rank) {
+      return train.Label(order[rank]) == yz ? 1.0 : 0.0;
+    };
+    s[n - 1] = match(n - 1) / n;
+    for (int i = n - 2; i >= 0; --i) {
+      int rank1 = i + 1;  // 1-indexed position of alpha_i.
+      s[i] = s[i + 1] + (match(i) - match(i + 1)) / k *
+                            std::min<double>(k, rank1) / rank1;
+    }
+    for (int i = 0; i < n; ++i) values[order[i]] += s[i];
+  }
+  for (double& v : values) v /= valid.num_rows();
+  return values;
+}
+
+}  // namespace xai

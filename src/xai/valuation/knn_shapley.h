@@ -1,0 +1,28 @@
+#ifndef XAI_VALUATION_KNN_SHAPLEY_H_
+#define XAI_VALUATION_KNN_SHAPLEY_H_
+
+#include "xai/core/matrix.h"
+#include "xai/core/status.h"
+#include "xai/data/dataset.h"
+
+namespace xai {
+
+/// \brief Exact KNN-Shapley (Jia et al. 2019, §2.3.1): for the unweighted
+/// k-NN utility, the Shapley value of every training point has a closed-form
+/// recursion over the distance-sorted order, computable in O(N log N) per
+/// validation point — one of the "practical Shapley value estimation
+/// algorithms (obtained) by making assumptions on the ... model".
+///
+/// Per validation point z with neighbors sorted ascending by distance
+/// (alpha_1 nearest):
+///   s(alpha_N) = 1[y_{alpha_N} = y_z] / N
+///   s(alpha_i) = s(alpha_{i+1}) +
+///                (1[y_{alpha_i} = y_z] - 1[y_{alpha_{i+1}} = y_z]) / k *
+///                min(k, i) / i
+/// The returned value of a training point is the mean of its per-validation
+/// scores; values sum to mean kNN accuracy minus the random-guess baseline.
+Result<Vector> KnnShapley(const Dataset& train, const Dataset& valid, int k);
+
+}  // namespace xai
+
+#endif  // XAI_VALUATION_KNN_SHAPLEY_H_

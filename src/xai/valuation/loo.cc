@@ -1,0 +1,72 @@
+#include "xai/valuation/loo.h"
+
+#include <numeric>
+
+#include "xai/model/metrics.h"
+
+namespace xai {
+namespace {
+
+double MajorityAccuracy(const Dataset& valid) {
+  if (valid.num_rows() == 0) return 0.0;
+  double pos = 0.0;
+  for (double y : valid.y()) pos += y;
+  double frac = pos / valid.num_rows();
+  return std::max(frac, 1.0 - frac);
+}
+
+bool HasBothClasses(const Dataset& subset) {
+  bool has0 = false, has1 = false;
+  for (double y : subset.y()) {
+    if (y == 1.0)
+      has1 = true;
+    else
+      has0 = true;
+  }
+  return has0 && has1;
+}
+
+}  // namespace
+
+UtilityFn MakeLogisticAccuracyUtility(const Dataset& train,
+                                      const Dataset& valid,
+                                      const LogisticRegressionConfig& config) {
+  double fallback = MajorityAccuracy(valid);
+  return [&train, &valid, config, fallback](const std::vector<int>& rows) {
+    if (rows.size() < 2) return fallback;
+    Dataset subset = train.Subset(rows);
+    if (!HasBothClasses(subset)) return fallback;
+    auto model = LogisticRegressionModel::Train(subset, config);
+    if (!model.ok()) return fallback;
+    return EvaluateAccuracy(*model, valid);
+  };
+}
+
+UtilityFn MakeKnnAccuracyUtility(const Dataset& train, const Dataset& valid,
+                                 int k) {
+  double fallback = MajorityAccuracy(valid);
+  return [&train, &valid, k, fallback](const std::vector<int>& rows) {
+    if (rows.empty()) return fallback;
+    Dataset subset = train.Subset(rows);
+    auto model = KnnModel::Train(subset, {k});
+    if (!model.ok()) return fallback;
+    return EvaluateAccuracy(*model, valid);
+  };
+}
+
+Vector LeaveOneOutValues(int num_points, const UtilityFn& utility) {
+  std::vector<int> all(num_points);
+  std::iota(all.begin(), all.end(), 0);
+  double full = utility(all);
+  Vector values(num_points);
+  for (int i = 0; i < num_points; ++i) {
+    std::vector<int> rest;
+    rest.reserve(num_points - 1);
+    for (int j = 0; j < num_points; ++j)
+      if (j != i) rest.push_back(j);
+    values[i] = full - utility(rest);
+  }
+  return values;
+}
+
+}  // namespace xai

@@ -1,0 +1,38 @@
+#ifndef XAI_VALUATION_LOO_H_
+#define XAI_VALUATION_LOO_H_
+
+#include <functional>
+#include <vector>
+
+#include "xai/core/matrix.h"
+#include "xai/data/dataset.h"
+#include "xai/model/knn.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+
+/// \brief The utility of a training subset: the performance (e.g. accuracy)
+/// on a fixed validation set of the model trained on those rows. This is the
+/// value function of all data-valuation games (§2.3.1): "the contribution
+/// (of a data point) to the performance of the model ... over a test
+/// dataset".
+using UtilityFn = std::function<double(const std::vector<int>& rows)>;
+
+/// Utility = validation accuracy of a logistic regression retrained on the
+/// subset. Empty/degenerate subsets score the majority-class accuracy.
+UtilityFn MakeLogisticAccuracyUtility(
+    const Dataset& train, const Dataset& valid,
+    const LogisticRegressionConfig& config = {});
+
+/// Utility = validation accuracy of k-NN over the subset (no training cost —
+/// the workhorse utility for the expensive valuation estimators).
+UtilityFn MakeKnnAccuracyUtility(const Dataset& train, const Dataset& valid,
+                                 int k);
+
+/// Exact leave-one-out values: value_i = U(all) - U(all minus i). The
+/// "naive way" of §2.3.2 — n full retrainings.
+Vector LeaveOneOutValues(int num_points, const UtilityFn& utility);
+
+}  // namespace xai
+
+#endif  // XAI_VALUATION_LOO_H_

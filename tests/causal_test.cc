@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/causal/dag.h"
+#include "xai/causal/scm.h"
+#include "xai/core/stats.h"
+
+namespace xai {
+namespace {
+
+TEST(DagTest, AddEdgeAndLookup) {
+  Dag dag({"a", "b", "c"});
+  EXPECT_TRUE(dag.AddEdge("a", "b").ok());
+  EXPECT_TRUE(dag.AddEdge(1, 2).ok());
+  EXPECT_TRUE(dag.HasEdge(0, 1));
+  EXPECT_FALSE(dag.HasEdge(1, 0));
+  EXPECT_EQ(dag.NodeIndex("c"), 2);
+  EXPECT_EQ(dag.NodeIndex("zzz"), -1);
+}
+
+TEST(DagTest, RejectsDuplicatesSelfLoopsCycles) {
+  Dag dag({"a", "b", "c"});
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  EXPECT_EQ(dag.AddEdge(0, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(dag.AddEdge(1, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 2).ok());
+  EXPECT_FALSE(dag.AddEdge(2, 0).ok());  // Would close a cycle.
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  Dag dag({"a", "b", "c", "d"});
+  ASSERT_TRUE(dag.AddEdge(3, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 0).ok());
+  ASSERT_TRUE(dag.AddEdge(3, 2).ok());
+  std::vector<int> order = dag.TopologicalOrder();
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[3], pos[1]);
+  EXPECT_LT(pos[1], pos[0]);
+  EXPECT_LT(pos[3], pos[2]);
+}
+
+TEST(DagTest, AncestorsAndDescendants) {
+  Dag dag({"a", "b", "c", "d"});
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 2).ok());
+  EXPECT_TRUE(dag.IsAncestor(0, 2));
+  EXPECT_FALSE(dag.IsAncestor(2, 0));
+  EXPECT_FALSE(dag.IsAncestor(0, 3));
+  EXPECT_EQ(dag.Descendants(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(dag.Roots(), (std::vector<int>{0, 3}));
+}
+
+TEST(ScmTest, WeightsSetAndRead) {
+  LinearScm scm = MakeChainScm(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(scm.Weight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(scm.Weight(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(scm.Weight(0, 2), 0.0);
+  EXPECT_FALSE(scm.SetWeight(2, 0, 1.0).ok());
+}
+
+TEST(ScmTest, ObservationalMomentsOfChain) {
+  // x0 ~ N(0,1); x1 = 2 x0 + N(0,1); x2 = 3 x1 + N(0,1).
+  LinearScm scm = MakeChainScm(2.0, 3.0);
+  Rng rng(1);
+  Matrix s = scm.Sample(20000, &rng);
+  std::vector<double> x1 = s.Col(1), x2 = s.Col(2);
+  EXPECT_NEAR(Mean(x1), 0.0, 0.05);
+  // var(x1) = 4 + 1 = 5 ; var(x2) = 9*5 + 1 = 46.
+  EXPECT_NEAR(Variance(x1), 5.0, 0.3);
+  EXPECT_NEAR(Variance(x2), 46.0, 3.0);
+}
+
+TEST(ScmTest, InterventionCutsParents) {
+  LinearScm scm = MakeChainScm(2.0, 3.0);
+  Rng rng(2);
+  Matrix s = scm.SampleInterventional({{1, 10.0}}, 5000, &rng);
+  // x1 pinned to 10 regardless of x0; x2 mean = 30.
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(s(i, 1), 10.0);
+  EXPECT_NEAR(Mean(s.Col(2)), 30.0, 0.2);
+  // x0 unaffected (no back-propagation of interventions).
+  EXPECT_NEAR(Mean(s.Col(0)), 0.0, 0.05);
+}
+
+TEST(ScmTest, InterventionalMeanClosedForm) {
+  LinearScm scm = MakeChainScm(2.0, 3.0);
+  Vector mean = scm.InterventionalMean({{0, 1.5}});
+  EXPECT_DOUBLE_EQ(mean[0], 1.5);
+  EXPECT_DOUBLE_EQ(mean[1], 3.0);
+  EXPECT_DOUBLE_EQ(mean[2], 9.0);
+}
+
+TEST(ScmTest, AbductionRecoversNoise) {
+  LinearScm scm = MakeChainScm(1.0, -2.0);
+  Rng rng(3);
+  Matrix s = scm.Sample(10, &rng);
+  for (int i = 0; i < 10; ++i) {
+    Vector world = s.Row(i);
+    // Counterfactual with no intervention reproduces the world exactly.
+    Vector cf = scm.Counterfactual(world, {});
+    for (int j = 0; j < 3; ++j) EXPECT_NEAR(cf[j], world[j], 1e-9);
+  }
+}
+
+TEST(ScmTest, CounterfactualPropagatesDownstreamOnly) {
+  LinearScm scm = MakeChainScm(2.0, 3.0);
+  Rng rng(4);
+  Vector world = scm.Sample(1, &rng).Row(0);
+  Vector cf = scm.Counterfactual(world, {{1, world[1] + 1.0}});
+  EXPECT_DOUBLE_EQ(cf[0], world[0]);          // Upstream unchanged.
+  EXPECT_DOUBLE_EQ(cf[1], world[1] + 1.0);    // Intervened.
+  EXPECT_NEAR(cf[2], world[2] + 3.0, 1e-9);   // Downstream shifts by w12.
+}
+
+TEST(ScmTest, TotalEffectChainIsProductOfWeights) {
+  LinearScm scm = MakeChainScm(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(scm.TotalEffect(0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(scm.TotalEffect(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(scm.TotalEffect(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scm.TotalEffect(1, 1), 1.0);
+}
+
+TEST(ScmTest, TotalEffectSumsOverPaths) {
+  // Diamond: 0 -> 1 -> 3, 0 -> 2 -> 3.
+  Dag dag({"a", "b", "c", "d"});
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(0, 2).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 3).ok());
+  ASSERT_TRUE(dag.AddEdge(2, 3).ok());
+  LinearScm scm(dag);
+  ASSERT_TRUE(scm.SetWeight(0, 1, 2.0).ok());
+  ASSERT_TRUE(scm.SetWeight(0, 2, 3.0).ok());
+  ASSERT_TRUE(scm.SetWeight(1, 3, 5.0).ok());
+  ASSERT_TRUE(scm.SetWeight(2, 3, 7.0).ok());
+  EXPECT_DOUBLE_EQ(scm.TotalEffect(0, 3), 2 * 5 + 3 * 7);
+}
+
+TEST(ScmTest, ForkAndColliderBuilders) {
+  LinearScm fork = MakeForkScm(1.0, 1.0);
+  EXPECT_EQ(fork.dag().Roots(), (std::vector<int>{0}));
+  LinearScm collider = MakeColliderScm(1.0, 1.0);
+  EXPECT_EQ(collider.dag().Roots(), (std::vector<int>{0, 1}));
+}
+
+TEST(ScmTest, SampleDatasetBuildsSchemaAndLabels) {
+  LinearScm scm = MakeChainScm(1.0, 1.0);
+  Rng rng(5);
+  Dataset d = scm.SampleDataset(
+      100, &rng, [](const Vector& row) { return row[2] > 0 ? 1.0 : 0.0; });
+  EXPECT_EQ(d.num_rows(), 100);
+  EXPECT_EQ(d.schema().features[1].name, "x1");
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(d.Label(i), d.At(i, 2) > 0 ? 1.0 : 0.0);
+}
+
+TEST(ScmTest, NoiseStdDevScalesVariance) {
+  LinearScm scm = MakeChainScm(0.0, 0.0);
+  scm.SetNoiseStdDev(0, 3.0);
+  Rng rng(6);
+  Matrix s = scm.Sample(20000, &rng);
+  EXPECT_NEAR(Variance(s.Col(0)), 9.0, 0.5);
+}
+
+TEST(ScmTest, BiasShiftsMean) {
+  LinearScm scm = MakeChainScm(1.0, 1.0);
+  scm.SetBias(1, 5.0);
+  Vector mean = scm.InterventionalMean({});
+  EXPECT_DOUBLE_EQ(mean[1], 5.0);
+  EXPECT_DOUBLE_EQ(mean[2], 5.0);
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,162 @@
+#include "xai/core/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/core/rng.h"
+
+namespace xai {
+namespace {
+
+// Generates y = X w + b exactly (no noise).
+void MakeExactLinear(int n, int d, uint64_t seed, Matrix* x, Vector* y,
+                     Vector* w, double* b) {
+  Rng rng(seed);
+  *x = Matrix(n, d);
+  w->resize(d);
+  for (int j = 0; j < d; ++j) (*w)[j] = rng.Uniform(-2, 2);
+  *b = rng.Uniform(-1, 1);
+  y->resize(n);
+  for (int i = 0; i < n; ++i) {
+    double acc = *b;
+    for (int j = 0; j < d; ++j) {
+      (*x)(i, j) = rng.Normal();
+      acc += (*w)[j] * (*x)(i, j);
+    }
+    (*y)[i] = acc;
+  }
+}
+
+TEST(RidgeTest, RecoversExactCoefficientsWithIntercept) {
+  Matrix x;
+  Vector y, w;
+  double b;
+  MakeExactLinear(200, 4, 3, &x, &y, &w, &b);
+  Vector coef = RidgeRegression(x, y, 1e-10, true).ValueOrDie();
+  ASSERT_EQ(coef.size(), 5u);
+  for (int j = 0; j < 4; ++j) EXPECT_NEAR(coef[j], w[j], 1e-6);
+  EXPECT_NEAR(coef[4], b, 1e-6);
+}
+
+TEST(RidgeTest, NoInterceptFitsThroughOrigin) {
+  Matrix x = {{1}, {2}, {3}};
+  Vector y = {2, 4, 6};
+  Vector coef = RidgeRegression(x, y, 1e-12, false).ValueOrDie();
+  ASSERT_EQ(coef.size(), 1u);
+  EXPECT_NEAR(coef[0], 2.0, 1e-8);
+}
+
+TEST(RidgeTest, PenaltyShrinksCoefficients) {
+  Matrix x;
+  Vector y, w;
+  double b;
+  MakeExactLinear(100, 3, 5, &x, &y, &w, &b);
+  Vector small = RidgeRegression(x, y, 1e-8, true).ValueOrDie();
+  Vector large = RidgeRegression(x, y, 1e4, true).ValueOrDie();
+  double norm_small = 0, norm_large = 0;
+  for (int j = 0; j < 3; ++j) {
+    norm_small += small[j] * small[j];
+    norm_large += large[j] * large[j];
+  }
+  EXPECT_LT(norm_large, norm_small * 0.1);
+}
+
+TEST(RidgeTest, DimensionMismatchRejected) {
+  Matrix x(3, 2);
+  EXPECT_FALSE(RidgeRegression(x, {1, 2}, 0.1).ok());
+}
+
+TEST(WeightedRidgeTest, ZeroWeightIgnoresRow) {
+  // Two clean points plus an outlier with weight 0.
+  Matrix x = {{1}, {2}, {3}};
+  Vector y = {2, 4, 100};
+  Vector w = {1, 1, 0};
+  Vector coef = WeightedRidgeRegression(x, y, w, 1e-10, false).ValueOrDie();
+  EXPECT_NEAR(coef[0], 2.0, 1e-6);
+}
+
+TEST(WeightedRidgeTest, MatchesUnweightedWhenUniform) {
+  Matrix x;
+  Vector y, w;
+  double b;
+  MakeExactLinear(60, 3, 9, &x, &y, &w, &b);
+  Vector ones(60, 1.0);
+  Vector a = RidgeRegression(x, y, 0.5, true).ValueOrDie();
+  Vector c = WeightedRidgeRegression(x, y, ones, 0.5, true).ValueOrDie();
+  for (size_t j = 0; j < a.size(); ++j) EXPECT_NEAR(a[j], c[j], 1e-10);
+}
+
+TEST(ConstrainedWlsTest, ConstraintHolds) {
+  Rng rng(17);
+  Matrix x(40, 4);
+  Vector y(40), w(40, 1.0);
+  for (int i = 0; i < 40; ++i) {
+    for (int j = 0; j < 4; ++j) x(i, j) = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  Vector c = {1, 1, 1, 1};
+  double d = 3.7;
+  Vector sol = ConstrainedWeightedLeastSquares(x, y, w, c, d).ValueOrDie();
+  EXPECT_NEAR(Dot(c, sol), d, 1e-8);
+}
+
+TEST(ConstrainedWlsTest, MatchesUnconstrainedWhenConstraintInactive) {
+  // If the unconstrained optimum already satisfies c.w = d, the constrained
+  // solution equals it.
+  Matrix x;
+  Vector y, w_true;
+  double b;
+  MakeExactLinear(300, 3, 21, &x, &y, &w_true, &b);
+  // Remove intercept effect so the optimum is w_true exactly.
+  for (int i = 0; i < x.rows(); ++i) y[i] -= b;
+  Vector ones(x.rows(), 1.0);
+  Vector c = {1, 1, 1};
+  double d = w_true[0] + w_true[1] + w_true[2];
+  Vector sol =
+      ConstrainedWeightedLeastSquares(x, y, ones, c, d).ValueOrDie();
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(sol[j], w_true[j], 1e-6);
+}
+
+TEST(ConstrainedWlsTest, RejectsZeroConstraint) {
+  Matrix x(4, 2);
+  Vector y(4), w(4, 1.0);
+  EXPECT_FALSE(
+      ConstrainedWeightedLeastSquares(x, y, w, {0, 0}, 1.0).ok());
+}
+
+TEST(ConjugateGradientTest, MatchesCholeskyOnSpd) {
+  Rng rng(23);
+  int n = 12;
+  Matrix x(30, n);
+  for (int i = 0; i < 30; ++i)
+    for (int j = 0; j < n; ++j) x(i, j) = rng.Normal();
+  Matrix a = x.Gram();
+  a.AddScaledIdentity(1.0);
+  Vector b(n);
+  for (int j = 0; j < n; ++j) b[j] = rng.Normal();
+  Vector direct = CholeskySolve(a, b).ValueOrDie();
+  Vector cg =
+      ConjugateGradient([&a](const Vector& v) { return a.MatVec(v); }, b)
+          .ValueOrDie();
+  for (int j = 0; j < n; ++j) EXPECT_NEAR(cg[j], direct[j], 1e-7);
+}
+
+TEST(ConjugateGradientTest, ZeroRhsGivesZero) {
+  Matrix a = Matrix::Identity(3);
+  Vector cg =
+      ConjugateGradient([&a](const Vector& v) { return a.MatVec(v); },
+                        {0, 0, 0})
+          .ValueOrDie();
+  EXPECT_EQ(cg, (Vector{0, 0, 0}));
+}
+
+TEST(ConjugateGradientTest, RejectsIndefiniteOperator) {
+  Matrix a = {{1, 0}, {0, -1}};
+  auto result = ConjugateGradient(
+      [&a](const Vector& v) { return a.MatVec(v); }, {1, 1});
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace xai

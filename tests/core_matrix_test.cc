@@ -1,0 +1,190 @@
+#include "xai/core/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/core/rng.h"
+
+namespace xai {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  Matrix d = Matrix::Diagonal({2, 3});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3);
+}
+
+TEST(MatrixTest, RowColAccessors) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.Row(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.Col(2), (Vector{3, 6}));
+  m.SetRow(0, {7, 8, 9});
+  EXPECT_EQ(m.Row(0), (Vector{7, 8, 9}));
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+}
+
+TEST(MatrixTest, ArithmeticOps) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 0), 6);
+  EXPECT_DOUBLE_EQ((b - a)(1, 1), 4);
+  EXPECT_DOUBLE_EQ((a * 2.0)(1, 0), 6);
+}
+
+TEST(MatrixTest, MatMulKnownProduct) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, MatVecAndTransposeMatVec) {
+  Matrix a = {{1, 2}, {3, 4}, {5, 6}};
+  Vector v = {1, -1};
+  EXPECT_EQ(a.MatVec(v), (Vector{-1, -1, -1}));
+  Vector w = {1, 1, 1};
+  EXPECT_EQ(a.TransposeMatVec(w), (Vector{9, 12}));
+}
+
+TEST(MatrixTest, GramMatchesExplicit) {
+  Rng rng(5);
+  Matrix x(7, 3);
+  for (int i = 0; i < 7; ++i)
+    for (int j = 0; j < 3; ++j) x(i, j) = rng.Normal();
+  Matrix g = x.Gram();
+  Matrix expected = x.Transpose().MatMul(x);
+  EXPECT_TRUE(g.ApproxEquals(expected, 1e-12));
+}
+
+TEST(MatrixTest, WeightedGramMatchesExplicit) {
+  Rng rng(6);
+  Matrix x(6, 3);
+  Vector w(6);
+  for (int i = 0; i < 6; ++i) {
+    w[i] = rng.Uniform(0.1, 2.0);
+    for (int j = 0; j < 3; ++j) x(i, j) = rng.Normal();
+  }
+  Matrix g = x.WeightedGram(w);
+  Matrix wx = x;
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 3; ++j) wx(i, j) *= w[i];
+  Matrix expected = x.Transpose().MatMul(wx);
+  EXPECT_TRUE(g.ApproxEquals(expected, 1e-12));
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m = {{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(VectorOpsTest, DotNormAddSubScaleAxpy) {
+  Vector a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32);
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5);
+  EXPECT_EQ(Add(a, b), (Vector{5, 7, 9}));
+  EXPECT_EQ(Sub(b, a), (Vector{3, 3, 3}));
+  EXPECT_EQ(Scale(a, 2), (Vector{2, 4, 6}));
+  Vector c = a;
+  Axpy(2.0, b, &c);
+  EXPECT_EQ(c, (Vector{9, 12, 15}));
+}
+
+TEST(CholeskyTest, FactorKnownMatrix) {
+  Matrix a = {{4, 2}, {2, 3}};
+  Matrix l = CholeskyFactor(a).ValueOrDie();
+  EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a = {{1, 2}, {2, 1}};  // Indefinite.
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+  Matrix b = {{1, 2, 3}, {4, 5, 6}};  // Non-square.
+  EXPECT_FALSE(CholeskyFactor(b).ok());
+}
+
+TEST(CholeskyTest, SolveMatchesDirect) {
+  Matrix a = {{4, 1, 0}, {1, 3, 1}, {0, 1, 2}};
+  Vector b = {1, 2, 3};
+  Vector x = CholeskySolve(a, b).ValueOrDie();
+  Vector ax = a.MatVec(x);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(LuTest, SolveGeneralSystem) {
+  Matrix a = {{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}};  // Needs pivoting.
+  Vector b = {-8, 0, 3};
+  Vector x = LuSolve(a, b).ValueOrDie();
+  Vector ax = a.MatVec(x);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(LuTest, RejectsSingular) {
+  Matrix a = {{1, 2}, {2, 4}};
+  EXPECT_FALSE(LuSolve(a, {1, 1}).ok());
+}
+
+TEST(InverseTest, InverseTimesSelfIsIdentity) {
+  Matrix a = {{2, 1, 0}, {1, 3, 1}, {0, 1, 4}};
+  Matrix inv = Inverse(a).ValueOrDie();
+  EXPECT_TRUE(a.MatMul(inv).ApproxEquals(Matrix::Identity(3), 1e-10));
+}
+
+// Property sweep: random SPD systems of several sizes solve correctly.
+class SpdSolveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpdSolveTest, CholeskySolvesRandomSpd) {
+  int n = GetParam();
+  Rng rng(1000 + n);
+  Matrix x(2 * n, n);
+  for (int i = 0; i < x.rows(); ++i)
+    for (int j = 0; j < n; ++j) x(i, j) = rng.Normal();
+  Matrix a = x.Gram();
+  a.AddScaledIdentity(0.5);
+  Vector b(n);
+  for (int i = 0; i < n; ++i) b[i] = rng.Normal();
+  Vector sol = CholeskySolve(a, b).ValueOrDie();
+  Vector ax = a.MatVec(sol);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+
+  // LU agrees with Cholesky on SPD systems.
+  Vector lu = LuSolve(a, b).ValueOrDie();
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(lu[i], sol[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpdSolveTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,176 @@
+#include "xai/core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace xai {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.NextU32() == b.NextU32()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.Uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double z = rng.Normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, UniformIntInRangeAndUnbiased) {
+  Rng rng(19);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) {
+    int v = rng.UniformInt(7);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 7);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 7.0, 0.05 * n / 7.0);
+}
+
+TEST(RngTest, UniformIntTwoArg) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformInt(10, 20);
+    EXPECT_GE(v, 10);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.Bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(31);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalSkipsZeroWeight) {
+  Rng rng(37);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Categorical(w), 1);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(41);
+  std::vector<int> p = rng.Permutation(50);
+  std::set<int> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(RngTest, PermutationIsShuffled) {
+  Rng rng(43);
+  std::vector<int> identity(100);
+  for (int i = 0; i < 100; ++i) identity[i] = i;
+  EXPECT_NE(rng.Permutation(100), identity);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(47);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> s = rng.SampleWithoutReplacement(100, 10);
+    std::set<int> seen(s.begin(), s.end());
+    EXPECT_EQ(seen.size(), 10u);
+    for (int v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 100);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(53);
+  std::vector<int> s = rng.SampleWithoutReplacement(5, 5);
+  std::set<int> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniform) {
+  Rng rng(59);
+  std::vector<int> counts(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t)
+    for (int v : rng.SampleWithoutReplacement(10, 3)) ++counts[v];
+  for (int c : counts)
+    EXPECT_NEAR(c, trials * 0.3, trials * 0.3 * 0.1);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(61);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.NextU32() == child.NextU32()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(67);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace xai

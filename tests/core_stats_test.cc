@@ -1,0 +1,77 @@
+#include "xai/core/stats.h"
+
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace xai {
+namespace {
+
+TEST(StatsTest, MeanVarianceStdDev) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5, 1, 3}), 3.0);
+}
+
+TEST(StatsTest, PearsonPerfectAndAnti) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, SpearmanIsRankBased) {
+  // Monotone nonlinear relation: Spearman 1, Pearson < 1.
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {1, 8, 27, 64, 125};
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(a, b), 1.0);
+}
+
+TEST(StatsTest, RanksWithTiesAveraged) {
+  std::vector<double> r = Ranks({10, 20, 20, 30});
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(StatsTest, ArgMaxArgMin) {
+  std::vector<double> v = {3, 9, 1, 9};
+  EXPECT_EQ(ArgMax(v), 1);  // First max.
+  EXPECT_EQ(ArgMin(v), 2);
+  EXPECT_EQ(ArgMax({}), -1);
+}
+
+TEST(StatsTest, ArgSort) {
+  std::vector<double> v = {0.3, 0.1, 0.5};
+  EXPECT_EQ(ArgSortDescending(v), (std::vector<int>{2, 0, 1}));
+  EXPECT_EQ(ArgSortAscending(v), (std::vector<int>{1, 0, 2}));
+}
+
+TEST(StatsTest, ArgSortStable) {
+  std::vector<double> v = {1, 1, 1};
+  EXPECT_EQ(ArgSortDescending(v), (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,136 @@
+#include "xai/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace xai {
+namespace {
+
+Dataset TinyDataset() {
+  Schema schema;
+  schema.features = {
+      FeatureSpec::Numeric("age"),
+      FeatureSpec::Categorical("color", {"red", "green", "blue"}),
+  };
+  schema.target_name = "label";
+  Matrix x = {{30, 0}, {40, 1}, {50, 2}, {60, 0}};
+  Vector y = {0, 1, 1, 0};
+  return Dataset(schema, x, y);
+}
+
+TEST(SchemaTest, FeatureIndexLookup) {
+  Dataset d = TinyDataset();
+  EXPECT_EQ(d.schema().FeatureIndex("age"), 0);
+  EXPECT_EQ(d.schema().FeatureIndex("color"), 1);
+  EXPECT_EQ(d.schema().FeatureIndex("missing"), -1);
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = TinyDataset();
+  EXPECT_EQ(d.num_rows(), 4);
+  EXPECT_EQ(d.num_features(), 2);
+  EXPECT_DOUBLE_EQ(d.At(2, 0), 50);
+  EXPECT_DOUBLE_EQ(d.Label(1), 1);
+  EXPECT_EQ(d.Row(3), (Vector{60, 0}));
+}
+
+TEST(DatasetTest, RenderCellUsesCategories) {
+  Dataset d = TinyDataset();
+  EXPECT_EQ(d.RenderCell(1, 1), "green");
+  EXPECT_EQ(d.RenderCell(0, 0), "30");
+  EXPECT_EQ(d.RenderValue(1, 2.0), "blue");
+}
+
+TEST(DatasetTest, RenderBadCategory) {
+  Dataset d = TinyDataset();
+  EXPECT_NE(d.RenderValue(1, 9.0).find("bad category"), std::string::npos);
+}
+
+TEST(DatasetTest, AppendRow) {
+  Dataset d = TinyDataset();
+  d.AppendRow({70, 1}, 1.0);
+  EXPECT_EQ(d.num_rows(), 5);
+  EXPECT_DOUBLE_EQ(d.At(4, 0), 70);
+  EXPECT_DOUBLE_EQ(d.Label(4), 1.0);
+}
+
+TEST(DatasetTest, SubsetPreservesOrder) {
+  Dataset d = TinyDataset();
+  Dataset s = d.Subset({2, 0});
+  EXPECT_EQ(s.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(s.At(0, 0), 50);
+  EXPECT_DOUBLE_EQ(s.At(1, 0), 30);
+  EXPECT_DOUBLE_EQ(s.Label(0), 1);
+}
+
+TEST(DatasetTest, WithoutExcludes) {
+  Dataset d = TinyDataset();
+  Dataset s = d.Without({1, 3});
+  EXPECT_EQ(s.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(s.At(0, 0), 30);
+  EXPECT_DOUBLE_EQ(s.At(1, 0), 50);
+}
+
+TEST(DatasetTest, TrainTestSplitPartitions) {
+  Dataset d = TinyDataset();
+  auto [train, test] = d.TrainTestSplit(0.5, 99);
+  EXPECT_EQ(train.num_rows(), 2);
+  EXPECT_EQ(test.num_rows(), 2);
+  // Together they hold all four age values.
+  std::multiset<double> ages;
+  for (int i = 0; i < 2; ++i) {
+    ages.insert(train.At(i, 0));
+    ages.insert(test.At(i, 0));
+  }
+  EXPECT_EQ(ages, (std::multiset<double>{30, 40, 50, 60}));
+}
+
+TEST(DatasetTest, TrainTestSplitDeterministic) {
+  Dataset d = TinyDataset();
+  auto [a1, b1] = d.TrainTestSplit(0.5, 7);
+  auto [a2, b2] = d.TrainTestSplit(0.5, 7);
+  EXPECT_EQ(a1.Row(0), a2.Row(0));
+  EXPECT_EQ(b1.Row(0), b2.Row(0));
+}
+
+TEST(DatasetTest, DistinctLabels) {
+  Dataset d = TinyDataset();
+  EXPECT_EQ(d.DistinctLabels(), (std::vector<double>{0, 1}));
+}
+
+TEST(DatasetTest, FeatureRanges) {
+  Dataset d = TinyDataset();
+  auto ranges = d.FeatureRanges();
+  EXPECT_DOUBLE_EQ(ranges[0].first, 30);
+  EXPECT_DOUBLE_EQ(ranges[0].second, 60);
+  EXPECT_DOUBLE_EQ(ranges[1].first, 0);
+  EXPECT_DOUBLE_EQ(ranges[1].second, 2);
+}
+
+TEST(FlipBinaryLabelsTest, FlipsRequestedFraction) {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("x")};
+  Matrix x(100, 1);
+  Vector y(100, 0.0);
+  Dataset d(schema, x, y);
+  std::vector<int> flipped = FlipBinaryLabels(&d, 0.2, 5);
+  EXPECT_EQ(flipped.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(flipped.begin(), flipped.end()));
+  int ones = 0;
+  for (int i = 0; i < 100; ++i) ones += d.Label(i) == 1.0;
+  EXPECT_EQ(ones, 20);
+  for (int r : flipped) EXPECT_DOUBLE_EQ(d.Label(r), 1.0);
+}
+
+TEST(FlipBinaryLabelsTest, DeterministicBySeed) {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("x")};
+  Dataset d1(schema, Matrix(50, 1), Vector(50, 0.0));
+  Dataset d2(schema, Matrix(50, 1), Vector(50, 0.0));
+  EXPECT_EQ(FlipBinaryLabels(&d1, 0.3, 11), FlipBinaryLabels(&d2, 0.3, 11));
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,141 @@
+#include "xai/data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "xai/model/logistic_regression.h"
+#include "xai/model/metrics.h"
+
+namespace xai {
+namespace {
+
+TEST(SyntheticTest, LoansShapeAndSchema) {
+  Dataset d = MakeLoans(200, 1);
+  EXPECT_EQ(d.num_rows(), 200);
+  EXPECT_EQ(d.num_features(), 8);
+  EXPECT_EQ(d.schema().FeatureIndex("credit_score"), 2);
+  EXPECT_TRUE(d.schema().features[6].is_categorical());
+  for (int i = 0; i < d.num_rows(); ++i) {
+    double y = d.Label(i);
+    EXPECT_TRUE(y == 0.0 || y == 1.0);
+  }
+}
+
+TEST(SyntheticTest, LoansDeterministicBySeed) {
+  Dataset a = MakeLoans(50, 7);
+  Dataset b = MakeLoans(50, 7);
+  Dataset c = MakeLoans(50, 8);
+  EXPECT_EQ(a.Row(10), b.Row(10));
+  EXPECT_NE(a.Row(10), c.Row(10));
+}
+
+TEST(SyntheticTest, LoansHaveBothClasses) {
+  Dataset d = MakeLoans(500, 3);
+  std::set<double> labels(d.y().begin(), d.y().end());
+  EXPECT_EQ(labels.size(), 2u);
+}
+
+TEST(SyntheticTest, LoansMechanismIsLearnable) {
+  Dataset d = MakeLoans(2000, 5);
+  auto [train, test] = d.TrainTestSplit(0.3, 1);
+  auto model = LogisticRegressionModel::Train(train).ValueOrDie();
+  EXPECT_GT(EvaluateAccuracy(model, test), 0.75);
+}
+
+TEST(SyntheticTest, LoansGenderIrrelevant) {
+  // gender does not enter the mechanism: a logistic fit should give it a
+  // near-zero weight relative to credit_score's standardized effect.
+  Dataset d = MakeLoans(4000, 11);
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  int gender = d.schema().FeatureIndex("gender");
+  int has_default = d.schema().FeatureIndex("has_default");
+  EXPECT_LT(std::fabs(model.weights()[gender]),
+            0.25 * std::fabs(model.weights()[has_default]));
+}
+
+TEST(SyntheticTest, IncomeShape) {
+  Dataset d = MakeIncome(300, 2);
+  EXPECT_EQ(d.num_features(), 7);
+  EXPECT_EQ(d.schema().target_name, "high_income");
+}
+
+TEST(SyntheticTest, RecidivismProxyBias) {
+  // race group b has systematically more priors (the proxy construction).
+  Dataset d = MakeRecidivism(3000, 3);
+  int race = d.schema().FeatureIndex("race");
+  int priors = d.schema().FeatureIndex("priors_count");
+  double sum_a = 0, n_a = 0, sum_b = 0, n_b = 0;
+  for (int i = 0; i < d.num_rows(); ++i) {
+    if (d.At(i, race) == 0) {
+      sum_a += d.At(i, priors);
+      n_a += 1;
+    } else {
+      sum_b += d.At(i, priors);
+      n_b += 1;
+    }
+  }
+  EXPECT_GT(sum_b / n_b, sum_a / n_a + 0.5);
+}
+
+TEST(SyntheticTest, BlobsSeparableByLabel) {
+  Dataset d = MakeBlobs(300, 2, 3, 0.3, 4);
+  EXPECT_EQ(d.DistinctLabels().size(), 3u);
+}
+
+TEST(SyntheticTest, LinearDataMatchesGroundTruth) {
+  auto [d, gt] = MakeLinearData(100, 3, 0.0, 6);
+  for (int i = 0; i < d.num_rows(); ++i) {
+    double pred = gt.bias;
+    for (int j = 0; j < 3; ++j) pred += gt.weights[j] * d.At(i, j);
+    EXPECT_NEAR(d.Label(i), pred, 1e-9);
+  }
+}
+
+TEST(SyntheticTest, LogisticDataHasBalancedNoise) {
+  auto [d, gt] = MakeLogisticData(2000, 4, 8);
+  (void)gt;
+  double pos = 0;
+  for (double y : d.y()) pos += y;
+  EXPECT_GT(pos, 200);
+  EXPECT_LT(pos, 1800);
+}
+
+TEST(SyntheticTest, TransactionsRespectItemUniverse) {
+  auto txns = MakeTransactions(200, 50, 8, 5, 4, 10);
+  EXPECT_EQ(txns.size(), 200u);
+  for (const auto& t : txns) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      EXPECT_GE(t[i], 0);
+      EXPECT_LT(t[i], 50);
+      if (i > 0) {
+        EXPECT_LT(t[i - 1], t[i]);  // Sorted, distinct.
+      }
+    }
+  }
+}
+
+TEST(SyntheticTest, TransactionsContainPlantedPatterns) {
+  // With planted patterns, some itemset of size >= 2 must be much more
+  // frequent than under independence.
+  auto txns = MakeTransactions(500, 100, 6, 3, 3, 12);
+  // Count pair frequencies.
+  int max_pair = 0;
+  for (int a = 0; a < 100; ++a) {
+    for (int b = a + 1; b < 100; ++b) {
+      int count = 0;
+      for (const auto& t : txns) {
+        bool has_a = std::find(t.begin(), t.end(), a) != t.end();
+        bool has_b = std::find(t.begin(), t.end(), b) != t.end();
+        if (has_a && has_b) ++count;
+      }
+      max_pair = std::max(max_pair, count);
+    }
+  }
+  EXPECT_GT(max_pair, 50);  // Planted pairs co-occur in >10% of txns.
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,164 @@
+#include "xai/data/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/core/stats.h"
+#include "xai/data/synthetic.h"
+
+namespace xai {
+namespace {
+
+Dataset MixedDataset() {
+  Schema schema;
+  schema.features = {
+      FeatureSpec::Numeric("a"),
+      FeatureSpec::Categorical("c", {"x", "y"}),
+  };
+  Matrix x = {{1, 0}, {2, 1}, {3, 0}, {4, 1}, {5, 0}};
+  Vector y = {0, 0, 1, 1, 1};
+  return Dataset(schema, x, y);
+}
+
+TEST(StandardizerTest, TransformsToZeroMeanUnitVariance) {
+  Dataset d = MixedDataset();
+  Standardizer s = Standardizer::Fit(d);
+  Dataset t = s.Transform(d);
+  std::vector<double> col = t.x().Col(0);
+  EXPECT_NEAR(Mean(col), 0.0, 1e-12);
+  EXPECT_NEAR(StdDev(col), 1.0, 1e-12);
+}
+
+TEST(StandardizerTest, CategoricalUntouched) {
+  Dataset d = MixedDataset();
+  Dataset t = Standardizer::Fit(d).Transform(d);
+  for (int i = 0; i < d.num_rows(); ++i)
+    EXPECT_DOUBLE_EQ(t.At(i, 1), d.At(i, 1));
+}
+
+TEST(StandardizerTest, RowRoundTrip) {
+  Dataset d = MixedDataset();
+  Standardizer s = Standardizer::Fit(d);
+  Vector row = {3.5, 1.0};
+  Vector copy = row;
+  s.TransformRow(&copy);
+  s.InverseTransformRow(&copy);
+  EXPECT_NEAR(copy[0], row[0], 1e-12);
+  EXPECT_DOUBLE_EQ(copy[1], row[1]);
+}
+
+TEST(StandardizerTest, ConstantFeatureSafe) {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("const")};
+  Matrix x = {{5}, {5}, {5}};
+  Dataset d(schema, x, {0, 1, 0});
+  Dataset t = Standardizer::Fit(d).Transform(d);
+  EXPECT_TRUE(std::isfinite(t.At(0, 0)));
+}
+
+TEST(OneHotTest, LayoutAndNames) {
+  Dataset d = MixedDataset();
+  OneHotEncoder enc = OneHotEncoder::Fit(d.schema());
+  EXPECT_EQ(enc.encoded_width(), 3);  // a + c=x + c=y.
+  EXPECT_EQ(enc.encoded_names(),
+            (std::vector<std::string>{"a", "c=x", "c=y"}));
+  EXPECT_EQ(enc.source_feature(), (std::vector<int>{0, 1, 1}));
+}
+
+TEST(OneHotTest, EncodeRow) {
+  Dataset d = MixedDataset();
+  OneHotEncoder enc = OneHotEncoder::Fit(d.schema());
+  EXPECT_EQ(enc.EncodeRow({2.5, 1.0}), (Vector{2.5, 0.0, 1.0}));
+  EXPECT_EQ(enc.EncodeRow({7.0, 0.0}), (Vector{7.0, 1.0, 0.0}));
+}
+
+TEST(OneHotTest, EncodeMatrixMatchesRows) {
+  Dataset d = MixedDataset();
+  OneHotEncoder enc = OneHotEncoder::Fit(d.schema());
+  Matrix m = enc.Encode(d);
+  EXPECT_EQ(m.rows(), d.num_rows());
+  for (int i = 0; i < d.num_rows(); ++i)
+    EXPECT_EQ(m.Row(i), enc.EncodeRow(d.Row(i)));
+}
+
+TEST(DiscretizerTest, BinsCoverRange) {
+  Dataset d = MakeLoans(500, 3);
+  QuantileDiscretizer q = QuantileDiscretizer::Fit(d, 4);
+  for (int j = 0; j < d.num_features(); ++j) {
+    for (int i = 0; i < d.num_rows(); ++i) {
+      int bin = q.BinOf(j, d.At(i, j));
+      EXPECT_GE(bin, 0);
+      EXPECT_LT(bin, q.NumBins(j));
+    }
+  }
+}
+
+TEST(DiscretizerTest, NumericBinsBalanced) {
+  Dataset d = MakeLoans(1000, 5);
+  QuantileDiscretizer q = QuantileDiscretizer::Fit(d, 4);
+  int age = d.schema().FeatureIndex("age");
+  std::vector<int> counts(q.NumBins(age), 0);
+  for (int i = 0; i < d.num_rows(); ++i)
+    ++counts[q.BinOf(age, d.At(i, age))];
+  for (int c : counts) EXPECT_NEAR(c, 250, 60);
+}
+
+TEST(DiscretizerTest, CategoricalBinsAreCategories) {
+  Dataset d = MixedDataset();
+  QuantileDiscretizer q = QuantileDiscretizer::Fit(d, 4);
+  EXPECT_EQ(q.NumBins(1), 2);
+  EXPECT_EQ(q.BinOf(1, 1.0), 1);
+  EXPECT_EQ(q.DescribeBin(1, 0), "c = x");
+}
+
+TEST(DiscretizerTest, DescriptionsAreOrderedPredicates) {
+  Dataset d = MakeLoans(500, 7);
+  QuantileDiscretizer q = QuantileDiscretizer::Fit(d, 4);
+  int age = d.schema().FeatureIndex("age");
+  std::string first = q.DescribeBin(age, 0);
+  std::string last = q.DescribeBin(age, q.NumBins(age) - 1);
+  EXPECT_NE(first.find("age <="), std::string::npos);
+  EXPECT_NE(last.find("age >"), std::string::npos);
+}
+
+TEST(DiscretizerTest, DiscretizeRowMatchesPerFeature) {
+  Dataset d = MakeLoans(300, 9);
+  QuantileDiscretizer q = QuantileDiscretizer::Fit(d, 4);
+  Vector row = d.Row(17);
+  std::vector<int> bins = q.Discretize(row);
+  for (int j = 0; j < d.num_features(); ++j)
+    EXPECT_EQ(bins[j], q.BinOf(j, row[j]));
+}
+
+TEST(DiscretizerTest, SampleFromBinStaysInBin) {
+  Dataset d = MakeLoans(400, 11);
+  QuantileDiscretizer q = QuantileDiscretizer::Fit(d, 4);
+  Rng rng(1);
+  int credit = d.schema().FeatureIndex("credit_score");
+  for (int bin = 0; bin < q.NumBins(credit); ++bin) {
+    for (int t = 0; t < 20; ++t) {
+      double v = q.SampleFromBin(credit, bin, &rng);
+      EXPECT_EQ(q.BinOf(credit, v), bin);
+    }
+  }
+}
+
+// Property sweep over bin counts.
+class DiscretizerBinsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiscretizerBinsTest, NumBinsNeverExceedsRequested) {
+  Dataset d = MakeIncome(400, 13);
+  QuantileDiscretizer q = QuantileDiscretizer::Fit(d, GetParam());
+  for (int j = 0; j < d.num_features(); ++j) {
+    if (d.schema().features[j].is_categorical()) continue;
+    EXPECT_LE(q.NumBins(j), GetParam());
+    EXPECT_GE(q.NumBins(j), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, DiscretizerBinsTest,
+                         ::testing::Values(2, 3, 4, 8));
+
+}  // namespace
+}  // namespace xai

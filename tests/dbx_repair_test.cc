@@ -1,0 +1,122 @@
+#include "xai/dbx/repair_shapley.h"
+
+#include <gtest/gtest.h>
+
+#include "xai/core/combinatorics.h"
+
+namespace xai {
+namespace {
+
+using rel::Relation;
+using rel::Value;
+
+// zip -> city with conflicts: tuples 0,1,2 share zip 10001 but tuple 2 says
+// a different city; tuples 3,4 agree on zip 20002.
+Relation AddressRelation() {
+  Relation r("addresses", {"zip", "city"});
+  auto add = [&](int64_t zip, const char* city) {
+    ASSERT_TRUE(
+        r.AppendBase({Value::Int(zip), Value::Str(city)}, r.num_tuples())
+            .ok());
+  };
+  add(10001, "nyc");
+  add(10001, "nyc");
+  add(10001, "boston");
+  add(20002, "dc");
+  add(20002, "dc");
+  return r;
+}
+
+TEST(FdViolationTest, FindsExactlyTheConflictingPairs) {
+  Relation r = AddressRelation();
+  auto violations = FindFdViolations(r, {0}, {1}).ValueOrDie();
+  ASSERT_EQ(violations.size(), 2u);
+  // (0,2) and (1,2): the boston tuple conflicts with both nyc tuples.
+  EXPECT_EQ(violations[0].tuple_a, 0);
+  EXPECT_EQ(violations[0].tuple_b, 2);
+  EXPECT_EQ(violations[1].tuple_a, 1);
+  EXPECT_EQ(violations[1].tuple_b, 2);
+}
+
+TEST(FdViolationTest, CleanRelationHasNone) {
+  Relation r("r", {"a", "b"});
+  ASSERT_TRUE(r.AppendBase({Value::Int(1), Value::Int(2)}, 0).ok());
+  ASSERT_TRUE(r.AppendBase({Value::Int(1), Value::Int(2)}, 1).ok());
+  EXPECT_TRUE(FindFdViolations(r, {0}, {1}).ValueOrDie().empty());
+}
+
+TEST(FdViolationTest, RejectsBadColumns) {
+  Relation r = AddressRelation();
+  EXPECT_FALSE(FindFdViolations(r, {}, {1}).ok());
+  EXPECT_FALSE(FindFdViolations(r, {0}, {9}).ok());
+}
+
+TEST(RepairShapleyTest, ConflictingTupleGetsTheLargestShare) {
+  Relation r = AddressRelation();
+  auto values = RepairShapley(r, {0}, {1}).ValueOrDie();
+  // Tuple 2 participates in both violations: 2 * 0.5 = 1.0.
+  EXPECT_DOUBLE_EQ(values[2], 1.0);
+  EXPECT_DOUBLE_EQ(values[0], 0.5);
+  EXPECT_DOUBLE_EQ(values[1], 0.5);
+  EXPECT_DOUBLE_EQ(values[3], 0.0);
+  EXPECT_DOUBLE_EQ(values[4], 0.0);
+}
+
+TEST(RepairShapleyTest, ClosedFormMatchesGenericExactShapley) {
+  Relation r = AddressRelation();
+  auto closed = RepairShapley(r, {0}, {1}).ValueOrDie();
+  auto violations = FindFdViolations(r, {0}, {1}).ValueOrDie();
+  int n = r.num_tuples();
+  std::vector<double> exact =
+      ShapleyOfSetFunction(n, [&](uint64_t mask) {
+        double count = 0;
+        for (const auto& v : violations) {
+          if ((mask & (1ULL << v.tuple_a)) && (mask & (1ULL << v.tuple_b)))
+            count += 1.0;
+        }
+        return count;
+      });
+  for (int t = 0; t < n; ++t) EXPECT_NEAR(closed[t], exact[t], 1e-12);
+}
+
+TEST(RepairShapleyTest, ValuesSumToViolationCount) {
+  Relation r = AddressRelation();
+  auto values = RepairShapley(r, {0}, {1}).ValueOrDie();
+  double sum = 0;
+  for (const auto& [t, v] : values) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 2.0);  // Two violating pairs.
+}
+
+TEST(GreedyRepairTest, RemovesTheMinimalCulprit) {
+  Relation r = AddressRelation();
+  auto removed = GreedyRepair(r, {0}, {1}).ValueOrDie();
+  // Deleting the single boston tuple resolves everything.
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], 2);
+}
+
+TEST(GreedyRepairTest, ResolvesAllViolations) {
+  // A messier relation: three different cities for one zip.
+  Relation r("r", {"zip", "city"});
+  const char* cities[] = {"a", "b", "c", "a"};
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(
+        r.AppendBase({Value::Int(1), Value::Str(cities[i])}, i).ok());
+  auto removed = GreedyRepair(r, {0}, {1}).ValueOrDie();
+  // Verify: after removing, no violations remain.
+  std::set<int> gone(removed.begin(), removed.end());
+  auto violations = FindFdViolations(r, {0}, {1}).ValueOrDie();
+  for (const auto& v : violations)
+    EXPECT_TRUE(gone.count(v.tuple_a) || gone.count(v.tuple_b));
+  // Optimal repair keeps the majority city "a" (2 tuples): removes 2.
+  EXPECT_EQ(removed.size(), 2u);
+}
+
+TEST(GreedyRepairTest, CleanRelationNeedsNoRepair) {
+  Relation r("r", {"a", "b"});
+  ASSERT_TRUE(r.AppendBase({Value::Int(1), Value::Int(1)}, 0).ok());
+  EXPECT_TRUE(GreedyRepair(r, {0}, {1}).ValueOrDie().empty());
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,121 @@
+#include "xai/explain/adversarial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/data/synthetic.h"
+#include "xai/explain/lime.h"
+#include "xai/explain/shapley/exact_shapley.h"
+#include "xai/explain/shapley/value_function.h"
+
+namespace xai {
+namespace {
+
+struct AttackSetup {
+  Dataset train;
+  Perturber perturber;
+  AdversarialModel model;
+  int sensitive;
+};
+
+// Biased model: decides purely on the sensitive feature (race).
+// Innocuous model: decides on an unrelated numeric feature.
+AttackSetup MakeAttack(uint64_t seed) {
+  Dataset train = MakeRecidivism(600, seed);
+  int race = train.schema().FeatureIndex("race");
+  int age = train.schema().FeatureIndex("age");
+  PredictFn biased = [race](const Vector& x) {
+    return x[race] == 1.0 ? 0.9 : 0.1;
+  };
+  PredictFn innocuous = [age](const Vector& x) {
+    return x[age] > 40.0 ? 0.9 : 0.1;
+  };
+  Perturber perturber(train, Perturber::Strategy::kGaussian);
+  AdversarialConfig config;
+  config.seed = seed + 1;
+  AdversarialModel model =
+      AdversarialModel::Make(train, perturber, biased, innocuous, config)
+          .ValueOrDie();
+  return {std::move(train), std::move(perturber), std::move(model), race};
+}
+
+TEST(AdversarialTest, DetectorSeparatesRealFromPerturbed) {
+  AttackSetup setup = MakeAttack(1);
+  Dataset holdout = MakeRecidivism(200, 99);
+  double acc =
+      setup.model.DetectorAccuracy(holdout, setup.perturber, 5);
+  EXPECT_GT(acc, 0.8);
+}
+
+TEST(AdversarialTest, BiasedOnRealData) {
+  AttackSetup setup = MakeAttack(2);
+  Dataset holdout = MakeRecidivism(100, 98);
+  int race = setup.sensitive;
+  int agree = 0, total = 0;
+  for (int i = 0; i < holdout.num_rows(); ++i) {
+    Vector row = holdout.Row(i);
+    double expected = row[race] == 1.0 ? 0.9 : 0.1;
+    if (setup.model.Predict(row) == expected) ++agree;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.85);
+}
+
+TEST(AdversarialTest, InnocuousOnPerturbations) {
+  AttackSetup setup = MakeAttack(3);
+  Rng rng(4);
+  int hidden = 0, total = 0;
+  for (int i = 0; i < 50; ++i) {
+    Matrix pert = setup.perturber.Sample(setup.train.Row(i), 2, &rng);
+    for (int p = 0; p < 2; ++p) {
+      Vector row = pert.Row(p);
+      int age = setup.train.schema().FeatureIndex("age");
+      double expected = row[age] > 40.0 ? 0.9 : 0.1;
+      if (setup.model.Predict(row) == expected) ++hidden;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(hidden) / total, 0.7);
+}
+
+TEST(AdversarialTest, FoolsLime) {
+  // The §2.1.1 attack: LIME queries the model on Gaussian perturbations,
+  // which the detector recognizes as synthetic, so the explanation reflects
+  // the innocuous model and hides the bias on the sensitive feature.
+  AttackSetup setup = MakeAttack(5);
+  int race = setup.sensitive;
+  int idx = 0;
+  while (setup.train.At(idx, race) != 1.0) ++idx;
+  Vector instance = setup.train.Row(idx);
+
+  LimeConfig config;
+  config.strategy = Perturber::Strategy::kGaussian;
+  config.num_samples = 1500;
+  LimeExplainer lime(setup.train, config);
+  LimeExplanation exp =
+      lime.Explain(AsPredictFn(setup.model), instance, 7).ValueOrDie();
+  // The sensitive feature must not be the strongest attribution.
+  EXPECT_NE(exp.TopFeatures(1)[0], race);
+}
+
+TEST(AdversarialTest, HonestModelIsNotFooled) {
+  // Control experiment: explaining the biased model directly puts all mass
+  // on the sensitive feature.
+  Dataset train = MakeRecidivism(400, 6);
+  int race = train.schema().FeatureIndex("race");
+  PredictFn biased = [race](const Vector& x) {
+    return x[race] == 1.0 ? 0.9 : 0.1;
+  };
+  int idx = 0;
+  while (train.At(idx, race) != 1.0) ++idx;
+  MarginalFeatureGame game(biased, train.Row(idx), train.x(), 30);
+  Vector phi = ExactShapley(game).ValueOrDie();
+  for (size_t j = 0; j < phi.size(); ++j) {
+    if (static_cast<int>(j) == race) continue;
+    EXPECT_LT(std::fabs(phi[j]), std::fabs(phi[race]));
+  }
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/causal/scm.h"
+#include "xai/explain/shapley/asymmetric_shapley.h"
+#include "xai/explain/shapley/causal_shapley.h"
+#include "xai/explain/shapley/exact_shapley.h"
+#include "xai/explain/shapley/shapley_flow.h"
+#include "xai/explain/shapley/value_function.h"
+
+namespace xai {
+namespace {
+
+// Model reading only the last node of a chain: f(x) = x2.
+PredictFn LastNodeModel() {
+  return [](const Vector& x) { return x[2]; };
+}
+
+TEST(InterventionalGameTest, FullCoalitionIsModelAtInstance) {
+  LinearScm scm = MakeChainScm(1.0, 1.0);
+  Vector instance = {1.0, 2.0, 3.0};
+  InterventionalScmGame game(&scm, LastNodeModel(), instance, 400, 1);
+  EXPECT_NEAR(game.Value(0b111), 3.0, 1e-9);
+}
+
+TEST(InterventionalGameTest, EmptyCoalitionIsObservationalMean) {
+  LinearScm scm = MakeChainScm(1.0, 1.0);
+  Vector instance = {1.0, 2.0, 3.0};
+  InterventionalScmGame game(&scm, LastNodeModel(), instance, 20000, 2);
+  EXPECT_NEAR(game.Value(0), 0.0, 0.05);
+}
+
+TEST(InterventionalGameTest, InterventionOnRootPropagates) {
+  // do(x0 = 2) in chain with unit weights: E[x2] = 2.
+  LinearScm scm = MakeChainScm(1.0, 1.0);
+  Vector instance = {2.0, 0.0, 0.0};
+  InterventionalScmGame game(&scm, LastNodeModel(), instance, 20000, 3);
+  EXPECT_NEAR(game.Value(0b001), 2.0, 0.05);
+}
+
+TEST(CausalShapleyTest, RootGetsCreditForIndirectEffect) {
+  // f(x) = x2. Marginal SHAP on independent features would credit only x2;
+  // causal Shapley credits x0 and x1 via the causal chain.
+  LinearScm scm = MakeChainScm(1.0, 1.0);
+  Vector instance = {2.0, 2.0, 2.0};  // A consistent world (zero noise).
+  CausalShapleyConfig config;
+  config.mc_samples = 4000;
+  auto exp = CausalShapley(scm, LastNodeModel(), instance, config)
+                 .ValueOrDie();
+  EXPECT_GT(exp.attributions[0], 0.3);
+  EXPECT_GT(exp.attributions[1], 0.3);
+  EXPECT_GT(exp.attributions[2], 0.3);
+  // Efficiency: sum = f(x) - E[f].
+  EXPECT_NEAR(exp.AttributionSum(), 2.0, 0.1);
+}
+
+TEST(CausalShapleyTest, ComparedToMarginalGame) {
+  // With the marginal (independent-background) game the upstream features
+  // get nothing because the model reads only x2.
+  LinearScm scm = MakeChainScm(1.0, 1.0);
+  Rng rng(4);
+  Matrix background = scm.Sample(200, &rng);
+  Vector instance = {2.0, 2.0, 2.0};
+  MarginalFeatureGame marginal(LastNodeModel(), instance, background);
+  Vector phi = ExactShapley(marginal).ValueOrDie();
+  EXPECT_NEAR(phi[0], 0.0, 1e-9);
+  EXPECT_NEAR(phi[1], 0.0, 1e-9);
+  EXPECT_GT(phi[2], 1.0);
+}
+
+TEST(AsymmetricShapleyTest, ExactEnumerationOnChain) {
+  LinearScm scm = MakeChainScm(1.0, 1.0);
+  Vector instance = {2.0, 2.0, 2.0};
+  InterventionalScmGame game(&scm, LastNodeModel(), instance, 3000, 5);
+  Vector asym = ExactAsymmetricShapley(game, scm.dag()).ValueOrDie();
+  // Only the identity permutation (0,1,2) is consistent with the chain:
+  // asymmetric SV = its marginal contributions.
+  double v0 = game.Value(0), v1 = game.Value(0b001), v2 = game.Value(0b011),
+         v3 = game.Value(0b111);
+  EXPECT_NEAR(asym[0], v1 - v0, 1e-9);
+  EXPECT_NEAR(asym[1], v2 - v1, 1e-9);
+  EXPECT_NEAR(asym[2], v3 - v2, 1e-9);
+}
+
+TEST(AsymmetricShapleyTest, DistalRootGetsAllCreditOnChain) {
+  // In a deterministic unit chain, the root's marginal contribution first
+  // is the whole effect; later features add nothing once ancestors fixed.
+  LinearScm scm = MakeChainScm(1.0, 1.0);
+  scm.SetNoiseStdDev(1, 1e-9);
+  scm.SetNoiseStdDev(2, 1e-9);
+  Vector instance = {2.0, 2.0, 2.0};
+  InterventionalScmGame game(&scm, LastNodeModel(), instance, 2000, 6);
+  Vector asym = ExactAsymmetricShapley(game, scm.dag()).ValueOrDie();
+  EXPECT_NEAR(asym[0], 2.0, 0.1);
+  EXPECT_NEAR(asym[1], 0.0, 0.1);
+  EXPECT_NEAR(asym[2], 0.0, 0.1);
+}
+
+TEST(AsymmetricShapleyTest, NoEdgesEqualsSymmetricShapley) {
+  Dag dag({"a", "b", "c"});
+  LinearScm scm(dag);
+  Vector instance = {1.0, 2.0, 3.0};
+  PredictFn f = [](const Vector& x) { return x[0] + 2 * x[1] - x[2]; };
+  InterventionalScmGame game(&scm, f, instance, 2000, 7);
+  Vector sym = ExactShapley(game).ValueOrDie();
+  Vector asym = ExactAsymmetricShapley(game, dag).ValueOrDie();
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(asym[j], sym[j], 1e-9);
+}
+
+TEST(AsymmetricShapleyTest, SampledMatchesExact) {
+  LinearScm scm = MakeForkScm(1.0, 0.5);
+  Vector instance = {1.0, 1.0, 0.5};
+  PredictFn f = [](const Vector& x) { return x[1] + x[2]; };
+  InterventionalScmGame game(&scm, f, instance, 2000, 8);
+  Vector exact = ExactAsymmetricShapley(game, scm.dag()).ValueOrDie();
+  Rng rng(9);
+  Vector sampled =
+      SampledAsymmetricShapley(game, scm.dag(), 4000, &rng).ValueOrDie();
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(sampled[j], exact[j], 0.05);
+}
+
+TEST(RandomLinearExtensionTest, RespectsDag) {
+  Dag dag({"a", "b", "c", "d"});
+  ASSERT_TRUE(dag.AddEdge(0, 2).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 3).ok());
+  Rng rng(10);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<int> ext = RandomLinearExtension(dag, &rng);
+    std::vector<int> pos(4);
+    for (int i = 0; i < 4; ++i) pos[ext[i]] = i;
+    EXPECT_LT(pos[0], pos[2]);
+    EXPECT_LT(pos[1], pos[3]);
+  }
+}
+
+TEST(LinearEffectsTest, DirectIndirectDecomposition) {
+  // Chain 0->1->2, weights 2 and 3; model w = (1, 1, 1).
+  LinearScm scm = MakeChainScm(2.0, 3.0);
+  Vector weights = {1.0, 1.0, 1.0};
+  Vector instance = {1.0, 2.0, 6.0};
+  Vector baseline = {0.0, 0.0, 0.0};
+  auto effects =
+      LinearDirectIndirectEffects(scm, weights, instance, baseline);
+  // Feature 0: direct = 1*1; total = 1*(1 + 2 + 6) = 9; indirect = 8.
+  EXPECT_NEAR(effects[0].first, 1.0, 1e-12);
+  EXPECT_NEAR(effects[0].second, 8.0, 1e-12);
+  // Feature 2: no descendants: indirect = 0.
+  EXPECT_NEAR(effects[2].second, 0.0, 1e-12);
+}
+
+TEST(ShapleyFlowTest, CreditsSumToOutputDifference) {
+  LinearScm scm = MakeChainScm(1.5, -2.0);
+  PredictFn f = [](const Vector& x) { return x[0] + 0.5 * x[2]; };
+  Rng rng(11);
+  Vector instance = scm.Sample(1, &rng).Row(0);
+  Vector baseline(3, 0.0);
+  auto result =
+      ShapleyFlow(scm, f, instance, baseline, 30, &rng).ValueOrDie();
+  double total = 0.0;
+  for (const auto& e : result.edges) total += e.credit;
+  EXPECT_NEAR(total, result.foreground_output - result.background_output,
+              1e-9);
+}
+
+TEST(ShapleyFlowTest, AllEdgesActiveReproducesModelAtInstance) {
+  LinearScm scm = MakeChainScm(1.0, 1.0);
+  PredictFn f = [](const Vector& x) { return x[2]; };
+  Rng rng(12);
+  Vector instance = scm.Sample(1, &rng).Row(0);
+  auto result = ShapleyFlow(scm, f, instance, {0, 0, 0}, 5, &rng)
+                    .ValueOrDie();
+  EXPECT_NEAR(result.foreground_output, instance[2], 1e-9);
+}
+
+TEST(ShapleyFlowTest, EdgeLabelsReadable) {
+  LinearScm scm = MakeChainScm(1.0, 1.0);
+  PredictFn f = [](const Vector& x) { return x[2]; };
+  Rng rng(13);
+  auto result =
+      ShapleyFlow(scm, f, {1, 1, 1}, {0, 0, 0}, 3, &rng).ValueOrDie();
+  bool found_source = false, found_model = false;
+  for (size_t i = 0; i < result.edges.size(); ++i) {
+    std::string label = result.EdgeLabel(scm.dag(), i);
+    if (label.find("source->") == 0) found_source = true;
+    if (label.find("->model") != std::string::npos) found_model = true;
+  }
+  EXPECT_TRUE(found_source);
+  EXPECT_TRUE(found_model);
+}
+
+TEST(ShapleyFlowTest, IrrelevantEdgeGetsNoCredit) {
+  // Model ignores x1 entirely and the chain weight into x2 is zero, so the
+  // x0->x1 edge and x1->model edge carry no credit.
+  LinearScm scm = MakeChainScm(1.0, 0.0);
+  PredictFn f = [](const Vector& x) { return x[0]; };
+  Rng rng(14);
+  Vector instance = {2.0, 2.0, 0.0};
+  auto result =
+      ShapleyFlow(scm, f, instance, {0, 0, 0}, 20, &rng).ValueOrDie();
+  for (size_t i = 0; i < result.edges.size(); ++i) {
+    const auto& e = result.edges[i];
+    if (e.from == 1 || (e.to == 1 && e.from == 0)) {
+      // x1 is causally live but the model never reads x1/x2.
+    }
+    if (e.from == 1 && e.to == 3) {
+      EXPECT_NEAR(e.credit, 0.0, 1e-9);
+    }
+    if (e.from == 2 && e.to == 3) {
+      EXPECT_NEAR(e.credit, 0.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/causal/scm.h"
+#include "xai/data/synthetic.h"
+#include "xai/explain/counterfactual/counterfactual.h"
+#include "xai/explain/counterfactual/dice.h"
+#include "xai/explain/counterfactual/geco.h"
+#include "xai/explain/counterfactual/lewis.h"
+#include "xai/explain/counterfactual/recourse.h"
+#include "xai/explain/explanation.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+namespace {
+
+// A rejected loan applicant under a trained model.
+struct RejectedCase {
+  Dataset train;
+  LogisticRegressionModel model;
+  Vector instance;
+};
+
+RejectedCase MakeRejectedCase(uint64_t seed) {
+  Dataset d = MakeLoans(800, seed);
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  for (int i = 0; i < d.num_rows(); ++i) {
+    if (model.Predict(d.Row(i)) < 0.35) {
+      return {d, model, d.Row(i)};
+    }
+  }
+  ADD_FAILURE() << "no rejected instance found";
+  return {d, model, d.Row(0)};
+}
+
+TEST(ActionabilityTest, AllFreeAllowsInRangeMoves) {
+  Dataset d = MakeLoans(100, 1);
+  ActionabilitySpec spec = ActionabilitySpec::AllFree(d);
+  EXPECT_TRUE(spec.Allows(0, 30.0, 40.0));
+  EXPECT_FALSE(spec.Allows(0, 30.0, 1e9));  // Outside observed range.
+}
+
+TEST(ActionabilityTest, ImmutableBlocksChange) {
+  Dataset d = MakeLoans(100, 2);
+  ActionabilitySpec spec = ActionabilitySpec::AllFree(d);
+  int gender = d.schema().FeatureIndex("gender");
+  spec.immutable[gender] = true;
+  EXPECT_FALSE(spec.Allows(gender, 0.0, 1.0));
+  EXPECT_TRUE(spec.Allows(gender, 0.0, 0.0));  // No-op allowed.
+}
+
+TEST(ActionabilityTest, MonotonicityEnforced) {
+  Dataset d = MakeLoans(100, 3);
+  ActionabilitySpec spec = ActionabilitySpec::AllFree(d);
+  int age = d.schema().FeatureIndex("age");
+  spec.monotonicity[age] = +1;
+  EXPECT_TRUE(spec.Allows(age, 30.0, 35.0));
+  EXPECT_FALSE(spec.Allows(age, 30.0, 25.0));
+}
+
+TEST(EvaluatorTest, ProximityAndSparsity) {
+  Dataset d = MakeLoans(200, 4);
+  CounterfactualEvaluator eval(d);
+  Vector a = d.Row(0);
+  Vector b = a;
+  EXPECT_DOUBLE_EQ(eval.Proximity(a, b), 0.0);
+  EXPECT_EQ(eval.Sparsity(a, b), 0);
+  b[0] += 10.0;
+  b[6] = b[6] == 0 ? 1 : 0;  // Categorical flip.
+  EXPECT_EQ(eval.Sparsity(a, b), 2);
+  EXPECT_GT(eval.Proximity(a, b), 1.0);  // 10/mad + 1 for the flip.
+}
+
+TEST(EvaluatorTest, PlausibilityZeroForTrainingRow) {
+  Dataset d = MakeLoans(200, 5);
+  CounterfactualEvaluator eval(d);
+  EXPECT_NEAR(eval.PlausibilityDistance(d.Row(10)), 0.0, 1e-9);
+  Vector far = d.Row(10);
+  far[1] += 1e4;
+  EXPECT_GT(eval.PlausibilityDistance(far), 10.0);
+}
+
+TEST(EvaluatorTest, EvaluateSetsValidity) {
+  RejectedCase c = MakeRejectedCase(6);
+  CounterfactualEvaluator eval(c.train);
+  Counterfactual same = eval.Evaluate(AsPredictFn(c.model), c.instance,
+                                      c.instance, /*desired_class=*/1);
+  EXPECT_FALSE(same.valid);
+  EXPECT_EQ(same.sparsity, 0);
+}
+
+TEST(DiceTest, FindsValidDiverseCounterfactuals) {
+  RejectedCase c = MakeRejectedCase(7);
+  CounterfactualEvaluator eval(c.train);
+  ActionabilitySpec spec = ActionabilitySpec::AllFree(c.train);
+  Rng rng(8);
+  DiceConfig config;
+  config.k = 3;
+  DiceResult result = DiceCounterfactuals(AsPredictFn(c.model), c.instance,
+                                          1, eval, spec, config, &rng)
+                          .ValueOrDie();
+  ASSERT_GE(result.counterfactuals.size(), 2u);
+  for (const auto& cf : result.counterfactuals) {
+    EXPECT_TRUE(cf.valid);
+    EXPECT_GE(c.model.Predict(cf.x), 0.5);
+    EXPECT_GT(cf.sparsity, 0);
+  }
+  EXPECT_GT(result.diversity, 0.0);
+}
+
+TEST(DiceTest, RespectsImmutableFeatures) {
+  RejectedCase c = MakeRejectedCase(9);
+  CounterfactualEvaluator eval(c.train);
+  ActionabilitySpec spec = ActionabilitySpec::AllFree(c.train);
+  int gender = c.train.schema().FeatureIndex("gender");
+  int age = c.train.schema().FeatureIndex("age");
+  spec.immutable[gender] = true;
+  spec.immutable[age] = true;
+  Rng rng(10);
+  DiceResult result = DiceCounterfactuals(AsPredictFn(c.model), c.instance,
+                                          1, eval, spec, {}, &rng)
+                          .ValueOrDie();
+  for (const auto& cf : result.counterfactuals) {
+    EXPECT_DOUBLE_EQ(cf.x[gender], c.instance[gender]);
+    EXPECT_DOUBLE_EQ(cf.x[age], c.instance[age]);
+  }
+}
+
+TEST(GecoTest, FindsValidCounterfactual) {
+  RejectedCase c = MakeRejectedCase(11);
+  CounterfactualEvaluator eval(c.train);
+  ActionabilitySpec spec = ActionabilitySpec::AllFree(c.train);
+  GecoResult result = GecoCounterfactual(AsPredictFn(c.model), c.instance,
+                                         1, eval, spec, {}, {})
+                          .ValueOrDie();
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(result.best.valid);
+  EXPECT_GE(c.model.Predict(result.best.x), 0.5);
+  EXPECT_GT(result.generations, 0);
+}
+
+TEST(GecoTest, PrefersSparseChanges) {
+  RejectedCase c = MakeRejectedCase(12);
+  CounterfactualEvaluator eval(c.train);
+  ActionabilitySpec spec = ActionabilitySpec::AllFree(c.train);
+  GecoResult result = GecoCounterfactual(AsPredictFn(c.model), c.instance,
+                                         1, eval, spec, {}, {})
+                          .ValueOrDie();
+  ASSERT_TRUE(result.found);
+  EXPECT_LE(result.best.sparsity, 3);
+}
+
+TEST(GecoTest, CandidateValuesComeFromData) {
+  // Plausibility-by-construction: every changed categorical value must be a
+  // code seen in training data (trivially true), and every changed numeric
+  // value must be a value observed in that column.
+  RejectedCase c = MakeRejectedCase(13);
+  CounterfactualEvaluator eval(c.train);
+  ActionabilitySpec spec = ActionabilitySpec::AllFree(c.train);
+  GecoResult result = GecoCounterfactual(AsPredictFn(c.model), c.instance,
+                                         1, eval, spec, {}, {})
+                          .ValueOrDie();
+  ASSERT_TRUE(result.found);
+  for (int j = 0; j < c.train.num_features(); ++j) {
+    if (result.best.x[j] == c.instance[j]) continue;
+    bool seen = false;
+    for (int i = 0; i < c.train.num_rows() && !seen; ++i)
+      seen = c.train.At(i, j) == result.best.x[j];
+    EXPECT_TRUE(seen) << "feature " << j << " value not from data";
+  }
+}
+
+TEST(GecoTest, PlafConstraintRespected) {
+  RejectedCase c = MakeRejectedCase(14);
+  CounterfactualEvaluator eval(c.train);
+  ActionabilitySpec spec = ActionabilitySpec::AllFree(c.train);
+  int income = c.train.schema().FeatureIndex("income");
+  // PLAF: income may only increase.
+  std::vector<PlafConstraint> plaf = {
+      [income](const Vector& original, const Vector& candidate) {
+        return candidate[income] >= original[income];
+      }};
+  GecoResult result = GecoCounterfactual(AsPredictFn(c.model), c.instance,
+                                         1, eval, spec, plaf, {})
+                          .ValueOrDie();
+  if (result.found) {
+    EXPECT_GE(result.best.x[income], c.instance[income]);
+  }
+}
+
+TEST(RecourseTest, EmptyFlipsetWhenAlreadyPositive) {
+  auto model = LogisticRegressionModel::FromCoefficients({1.0}, 0.0);
+  Dataset d = MakeLoans(50, 15);
+  ActionabilitySpec spec;
+  spec.immutable = {false};
+  spec.ranges = {{-5.0, 5.0}};
+  spec.monotonicity = {0};
+  Flipset flipset =
+      LinearRecourse(model, {2.0}, spec, {1.0}).ValueOrDie();
+  EXPECT_TRUE(flipset.feasible);
+  EXPECT_TRUE(flipset.items.empty());
+}
+
+TEST(RecourseTest, FindsMinimalSingleFeatureAction) {
+  // margin = x0 + 0.1*x1 - 1; from (0,0) cheapest fix is x0 (per unit).
+  auto model = LogisticRegressionModel::FromCoefficients({1.0, 0.1}, -1.0);
+  ActionabilitySpec spec;
+  spec.immutable = {false, false};
+  spec.ranges = {{-10.0, 10.0}, {-10.0, 10.0}};
+  spec.monotonicity = {0, 0};
+  RecourseConfig config;
+  config.grid_steps = 20;
+  Flipset flipset =
+      LinearRecourse(model, {0.0, 0.0}, spec, {1.0, 1.0}, config)
+          .ValueOrDie();
+  ASSERT_TRUE(flipset.feasible);
+  ASSERT_EQ(flipset.items.size(), 1u);
+  EXPECT_EQ(flipset.items[0].feature, 0);
+  EXPECT_GT(flipset.new_score, 0.5);
+  // Needs to move x0 by ~1; the 0.5-wide grid lands on 1.5.
+  EXPECT_LT(flipset.total_cost, 1.6);
+}
+
+TEST(RecourseTest, ImmutableFeatureNeverUsed) {
+  auto model = LogisticRegressionModel::FromCoefficients({5.0, 0.5}, -1.0);
+  ActionabilitySpec spec;
+  spec.immutable = {true, false};
+  spec.ranges = {{-10.0, 10.0}, {-10.0, 10.0}};
+  spec.monotonicity = {0, 0};
+  Flipset flipset =
+      LinearRecourse(model, {0.0, 0.0}, spec, {1.0, 1.0}).ValueOrDie();
+  ASSERT_TRUE(flipset.feasible);
+  for (const auto& item : flipset.items) EXPECT_NE(item.feature, 0);
+}
+
+TEST(RecourseTest, InfeasibleWhenNothingActionable) {
+  auto model = LogisticRegressionModel::FromCoefficients({1.0}, -100.0);
+  ActionabilitySpec spec;
+  spec.immutable = {false};
+  spec.ranges = {{-1.0, 1.0}};  // Cannot move far enough.
+  spec.monotonicity = {0};
+  Flipset flipset =
+      LinearRecourse(model, {0.0}, spec, {1.0}).ValueOrDie();
+  EXPECT_FALSE(flipset.feasible);
+}
+
+TEST(LewisTest, ScoresForStrongCause) {
+  // x0 -> x2 with weight 3, model = 1[x2 > 0]: intervening on x0 controls
+  // the outcome strongly.
+  LinearScm scm = MakeChainScm(0.0, 0.0);
+  Dag dag({"x0", "x1", "x2"});
+  ASSERT_TRUE(dag.AddEdge(0, 2).ok());
+  LinearScm strong(dag);
+  ASSERT_TRUE(strong.SetWeight(0, 2, 3.0).ok());
+  strong.SetNoiseStdDev(2, 0.2);
+  PredictFn f = [](const Vector& x) { return x[2] > 0 ? 1.0 : 0.0; };
+  LewisExplainer lewis(&strong, f);
+  Rng rng(16);
+  auto scores = lewis.AttributeScores(0, 1.0, -1.0, 4000, &rng).ValueOrDie();
+  EXPECT_GT(scores.necessity, 0.9);
+  EXPECT_GT(scores.sufficiency, 0.9);
+  EXPECT_GT(scores.nesuf, 0.9);
+}
+
+TEST(LewisTest, ScoresForIrrelevantAttribute) {
+  Dag dag({"x0", "x1", "x2"});
+  ASSERT_TRUE(dag.AddEdge(0, 2).ok());
+  LinearScm scm(dag);
+  ASSERT_TRUE(scm.SetWeight(0, 2, 3.0).ok());
+  PredictFn f = [](const Vector& x) { return x[2] > 0 ? 1.0 : 0.0; };
+  LewisExplainer lewis(&scm, f);
+  Rng rng(17);
+  // x1 is disconnected: intervening on it never changes the outcome.
+  auto scores = lewis.AttributeScores(1, 1.0, -1.0, 2000, &rng).ValueOrDie();
+  EXPECT_NEAR(scores.necessity, 0.0, 0.01);
+  EXPECT_NEAR(scores.sufficiency, 0.0, 0.01);
+  EXPECT_NEAR(scores.nesuf, 0.0, 0.01);
+}
+
+TEST(LewisTest, CounterfactualRecourseFindsCheapestFlip) {
+  Dag dag({"x0", "x1", "x2"});
+  ASSERT_TRUE(dag.AddEdge(0, 2).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 2).ok());
+  LinearScm scm(dag);
+  ASSERT_TRUE(scm.SetWeight(0, 2, 1.0).ok());
+  ASSERT_TRUE(scm.SetWeight(1, 2, 1.0).ok());
+  PredictFn f = [](const Vector& x) { return x[2] > 0 ? 1.0 : 0.0; };
+  LewisExplainer lewis(&scm, f);
+  Vector instance = {-1.0, -1.0, -2.5};  // Negative outcome world.
+  std::vector<std::pair<int, std::vector<double>>> candidates = {
+      {0, {1.0, 3.0}}, {1, {2.0}}};
+  Vector mad = {1.0, 1.0, 1.0};
+  auto actions =
+      lewis.CounterfactualRecourse(instance, candidates, 2, mad)
+          .ValueOrDie();
+  ASSERT_FALSE(actions.empty());
+  // Sorted by cost; the first action's counterfactual world is positive.
+  EXPECT_GT(actions[0].counterfactual_world[2], 0.0);
+  for (size_t i = 1; i < actions.size(); ++i)
+    EXPECT_GE(actions[i].cost, actions[i - 1].cost);
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,184 @@
+#include "xai/explain/global_importance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/core/stats.h"
+#include "xai/data/synthetic.h"
+#include "xai/explain/shapley/exact_shapley.h"
+#include "xai/explain/shapley/interaction.h"
+#include "xai/explain/shapley/value_function.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/metrics.h"
+
+namespace xai {
+namespace {
+
+struct TrainedGbdt {
+  Dataset train;
+  GbdtModel model;
+};
+
+TrainedGbdt MakeTrained(uint64_t seed) {
+  Dataset train = MakeLoans(800, seed);
+  GbdtModel::Config config;
+  config.n_trees = 40;
+  auto model = GbdtModel::Train(train, config).ValueOrDie();
+  return {std::move(train), std::move(model)};
+}
+
+TEST(GlobalShapTest, IrrelevantFeatureRanksLowRelevantHigh) {
+  TrainedGbdt t = MakeTrained(1);
+  TreeEnsembleView view = TreeEnsembleView::Of(t.model);
+  Vector importance = GlobalShapImportance(view, t.train, 100);
+  int gender = t.train.schema().FeatureIndex("gender");
+  int dti = t.train.schema().FeatureIndex("debt_to_income");
+  // gender never enters the loans label mechanism.
+  EXPECT_LT(importance[gender], 0.3 * importance[dti]);
+}
+
+TEST(GlobalShapTest, NonNegativeAndDeterministic) {
+  TrainedGbdt t = MakeTrained(2);
+  TreeEnsembleView view = TreeEnsembleView::Of(t.model);
+  Vector a = GlobalShapImportance(view, t.train, 50);
+  Vector b = GlobalShapImportance(view, t.train, 50);
+  for (size_t j = 0; j < a.size(); ++j) {
+    EXPECT_GE(a[j], 0.0);
+    EXPECT_DOUBLE_EQ(a[j], b[j]);
+  }
+}
+
+TEST(SplitFrequencyTest, SumsToOneAndSkipsUnusedFeatures) {
+  TrainedGbdt t = MakeTrained(3);
+  TreeEnsembleView view = TreeEnsembleView::Of(t.model);
+  Vector importance =
+      SplitFrequencyImportance(view, t.train.num_features());
+  double sum = 0;
+  for (double v : importance) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(SplitFrequencyTest, AgreesWithShapOnTopFeature) {
+  TrainedGbdt t = MakeTrained(4);
+  TreeEnsembleView view = TreeEnsembleView::Of(t.model);
+  Vector shap = GlobalShapImportance(view, t.train, 100);
+  Vector freq = SplitFrequencyImportance(view, t.train.num_features());
+  // Both should broadly agree on ordering (rank correlation positive).
+  EXPECT_GT(SpearmanCorrelation(shap, freq), 0.4);
+}
+
+TEST(PermutationImportanceTest, RelevantFeatureHasPositiveDrop) {
+  TrainedGbdt t = MakeTrained(5);
+  Rng rng(6);
+  Vector importance =
+      PermutationImportance(AsPredictFn(t.model), t.train, Auc, 2, &rng)
+          .ValueOrDie();
+  int dti = t.train.schema().FeatureIndex("debt_to_income");
+  int gender = t.train.schema().FeatureIndex("gender");
+  EXPECT_GT(importance[dti], 0.02);
+  EXPECT_LT(std::fabs(importance[gender]), 0.02);
+}
+
+TEST(PermutationImportanceTest, RejectsBadInput) {
+  TrainedGbdt t = MakeTrained(7);
+  Rng rng(8);
+  Dataset tiny = t.train.Subset({0});
+  EXPECT_FALSE(
+      PermutationImportance(AsPredictFn(t.model), tiny, Auc, 2, &rng).ok());
+  EXPECT_FALSE(
+      PermutationImportance(AsPredictFn(t.model), t.train, Auc, 0, &rng)
+          .ok());
+}
+
+TEST(ImportanceToStringTest, SortedOutput) {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("low"),
+                     FeatureSpec::Numeric("high")};
+  std::string text = ImportanceToString({0.1, 0.9}, schema);
+  EXPECT_LT(text.find("high"), text.find("low"));
+}
+
+// ---- Shapley interaction values ----
+
+class FunctionGame : public CoalitionGame {
+ public:
+  FunctionGame(int n, std::function<double(uint64_t)> fn)
+      : n_(n), fn_(std::move(fn)) {}
+  int num_players() const override { return n_; }
+  double Value(uint64_t mask) const override { return fn_(mask); }
+
+ private:
+  int n_;
+  std::function<double(uint64_t)> fn_;
+};
+
+TEST(InteractionTest, AdditiveGameHasZeroOffDiagonals) {
+  FunctionGame game(4, [](uint64_t mask) {
+    double vals[] = {1.0, -2.0, 0.5, 3.0};
+    double acc = 0;
+    for (int i = 0; i < 4; ++i)
+      if (mask & (1ULL << i)) acc += vals[i];
+    return acc;
+  });
+  Matrix phi = ExactShapleyInteractions(game).ValueOrDie();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_NEAR(phi(i, j), 0.0, 1e-12);
+      }
+    }
+  }
+  EXPECT_NEAR(phi(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(phi(3, 3), 3.0, 1e-12);
+}
+
+TEST(InteractionTest, PureProductGameConcentratesOnThePair) {
+  // v(S) = 1 iff both 0 and 1 in S: the whole value is interaction.
+  FunctionGame game(3, [](uint64_t mask) {
+    return (mask & 1) && (mask & 2) ? 1.0 : 0.0;
+  });
+  Matrix phi = ExactShapleyInteractions(game).ValueOrDie();
+  EXPECT_GT(phi(0, 1), 0.2);
+  EXPECT_NEAR(phi(0, 1), phi(1, 0), 1e-12);  // Symmetry.
+  EXPECT_NEAR(phi(0, 2), 0.0, 1e-12);
+  EXPECT_NEAR(phi(2, 2), 0.0, 1e-12);
+}
+
+TEST(InteractionTest, RowSumsEqualShapleyValues) {
+  auto [d, gt] = MakeLogisticData(60, 5, 9);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(model), d.Row(2), d.x(), 12);
+  Matrix phi = ExactShapleyInteractions(game).ValueOrDie();
+  Vector shapley = ExactShapley(game).ValueOrDie();
+  for (int i = 0; i < 5; ++i) {
+    double row_sum = 0;
+    for (int j = 0; j < 5; ++j) row_sum += phi(i, j);
+    EXPECT_NEAR(row_sum, shapley[i], 1e-9);
+  }
+}
+
+TEST(InteractionTest, TotalSumIsEfficiency) {
+  auto [d, gt] = MakeLogisticData(40, 4, 10);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(model), d.Row(0), d.x(), 10);
+  Matrix phi = ExactShapleyInteractions(game).ValueOrDie();
+  double total = 0;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) total += phi(i, j);
+  EXPECT_NEAR(total, game.Value((1ULL << 4) - 1) - game.Value(0), 1e-9);
+}
+
+TEST(InteractionTest, RefusesLargeGames) {
+  FunctionGame game(17, [](uint64_t) { return 0.0; });
+  EXPECT_FALSE(ExactShapleyInteractions(game).ok());
+}
+
+}  // namespace
+}  // namespace xai

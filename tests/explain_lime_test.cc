@@ -1,0 +1,183 @@
+#include "xai/explain/lime.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/data/synthetic.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/linear_regression.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+namespace {
+
+TEST(PerturberTest, GaussianKeepsFrozenFeatures) {
+  Dataset d = MakeLoans(300, 1);
+  Perturber p(d, Perturber::Strategy::kGaussian);
+  Rng rng(2);
+  Vector instance = d.Row(0);
+  Matrix samples = p.Sample(instance, 50, &rng, {0, 2});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(samples(i, 0), instance[0]);
+    EXPECT_DOUBLE_EQ(samples(i, 2), instance[2]);
+  }
+}
+
+TEST(PerturberTest, GaussianPerturbsNumerics) {
+  Dataset d = MakeLoans(300, 2);
+  Perturber p(d, Perturber::Strategy::kGaussian);
+  Rng rng(3);
+  Vector instance = d.Row(0);
+  Matrix samples = p.Sample(instance, 50, &rng);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i)
+    if (samples(i, 0) != instance[0]) ++changed;
+  EXPECT_GT(changed, 45);
+}
+
+TEST(PerturberTest, CategoricalSamplesValidCodes) {
+  Dataset d = MakeLoans(300, 3);
+  Perturber p(d, Perturber::Strategy::kDiscretized);
+  Rng rng(4);
+  int purpose = d.schema().FeatureIndex("purpose");
+  Matrix samples = p.Sample(d.Row(0), 200, &rng);
+  for (int i = 0; i < 200; ++i) {
+    int c = static_cast<int>(samples(i, purpose));
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 4);
+  }
+}
+
+TEST(PerturberTest, InterpretableSelfIsAllOnes) {
+  Dataset d = MakeLoans(300, 5);
+  Perturber p(d, Perturber::Strategy::kDiscretized);
+  Vector instance = d.Row(7);
+  std::vector<int> z = p.Interpretable(instance, instance);
+  for (int v : z) EXPECT_EQ(v, 1);
+}
+
+TEST(PerturberTest, DistanceZeroToSelf) {
+  Dataset d = MakeLoans(100, 6);
+  Perturber p(d, Perturber::Strategy::kGaussian);
+  EXPECT_DOUBLE_EQ(p.Distance(d.Row(3), d.Row(3)), 0.0);
+  EXPECT_GT(p.Distance(d.Row(3), d.Row(4)), 0.0);
+}
+
+TEST(LimeTest, RecoversSignsOfLinearModel) {
+  // Black box = logistic with known weights; LIME (gaussian mode, no
+  // discretization) should produce attributions whose signs match w.
+  auto [d, gt] = MakeLogisticData(800, 4, 7);
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  LimeConfig config;
+  config.strategy = Perturber::Strategy::kGaussian;
+  config.num_samples = 2000;
+  LimeExplainer lime(d, config);
+  // An instance near the decision boundary, where the local slope matters.
+  Vector instance(4, 0.1);
+  LimeExplanation exp =
+      lime.Explain(AsPredictFn(model), instance, 1).ValueOrDie();
+  EXPECT_GT(exp.local_r2, 0.5);
+  ASSERT_EQ(exp.attributions.size(), 4u);
+  // Gaussian-mode attributions are local slopes on standardized features:
+  // their signs must match the model weights.
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_GT(exp.attributions[j] * model.weights()[j], 0.0)
+        << "feature " << j;
+  }
+}
+
+TEST(LimeTest, HighFidelityOnAlreadyLinearTarget) {
+  // Explaining a *linear regression* black box: the surrogate can be
+  // near-perfect locally.
+  auto [d, gt] = MakeLinearData(500, 3, 0.0, 8);
+  (void)gt;
+  auto model = LinearRegressionModel::Train(d).ValueOrDie();
+  LimeConfig config;
+  config.strategy = Perturber::Strategy::kGaussian;
+  config.num_samples = 1500;
+  config.ridge = 1e-6;
+  LimeExplainer lime(d, config);
+  LimeExplanation exp =
+      lime.Explain(AsPredictFn(model), d.Row(0), 3).ValueOrDie();
+  EXPECT_GT(exp.local_r2, 0.5);
+}
+
+TEST(LimeTest, DeterministicForFixedSeed) {
+  Dataset d = MakeLoans(400, 9);
+  GbdtModel::Config mc;
+  mc.n_trees = 20;
+  auto model = GbdtModel::Train(d, mc).ValueOrDie();
+  LimeExplainer lime(d);
+  auto a = lime.Explain(AsPredictFn(model), d.Row(5), 42).ValueOrDie();
+  auto b = lime.Explain(AsPredictFn(model), d.Row(5), 42).ValueOrDie();
+  for (size_t j = 0; j < a.attributions.size(); ++j)
+    EXPECT_DOUBLE_EQ(a.attributions[j], b.attributions[j]);
+}
+
+TEST(LimeTest, TopKSelectsRequestedCount) {
+  Dataset d = MakeLoans(400, 10);
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  LimeConfig config;
+  config.top_k = 3;
+  config.num_samples = 400;
+  LimeExplainer lime(d, config);
+  LimeExplanation exp =
+      lime.Explain(AsPredictFn(model), d.Row(1), 5).ValueOrDie();
+  int nonzero = 0;
+  for (double a : exp.attributions)
+    if (a != 0.0) ++nonzero;
+  EXPECT_LE(nonzero, 3);
+}
+
+TEST(LimeTest, RejectsWrongWidthInstance) {
+  Dataset d = MakeLoans(100, 11);
+  LimeExplainer lime(d);
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  EXPECT_FALSE(lime.Explain(AsPredictFn(model), Vector{1.0, 2.0}, 1).ok());
+}
+
+TEST(LimeStabilityTest, MoreSamplesMoreStable) {
+  // The §2.1.1 claim: LIME's neighborhood sampling makes explanations
+  // unstable; stability improves with the sample budget.
+  Dataset d = MakeLoans(600, 12);
+  GbdtModel::Config mc;
+  mc.n_trees = 25;
+  auto model = GbdtModel::Train(d, mc).ValueOrDie();
+  LimeConfig small_cfg, large_cfg;
+  small_cfg.num_samples = 60;
+  large_cfg.num_samples = 3000;
+  LimeExplainer small(d, small_cfg), large(d, large_cfg);
+  Vector instance = d.Row(3);
+  auto s =
+      EvaluateLimeStability(small, AsPredictFn(model), instance, 8, 3, 1)
+          .ValueOrDie();
+  auto l =
+      EvaluateLimeStability(large, AsPredictFn(model), instance, 8, 3, 1)
+          .ValueOrDie();
+  EXPECT_LT(l.coefficient_stddev, s.coefficient_stddev);
+}
+
+TEST(LimeStabilityTest, RejectsSingleRun) {
+  Dataset d = MakeLoans(100, 13);
+  LimeExplainer lime(d);
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  EXPECT_FALSE(
+      EvaluateLimeStability(lime, AsPredictFn(model), d.Row(0), 1, 3, 1)
+          .ok());
+}
+
+TEST(MedianAbsoluteDeviationTest, KnownValues) {
+  Matrix x = {{1}, {2}, {3}, {4}, {100}};
+  Vector mad = MedianAbsoluteDeviation(x);
+  // Median 3, deviations {2,1,0,1,97}, median deviation 1.
+  EXPECT_DOUBLE_EQ(mad[0], 1.0);
+}
+
+TEST(MedianAbsoluteDeviationTest, ConstantColumnFallsBackToOne) {
+  Matrix x = {{5}, {5}, {5}};
+  EXPECT_DOUBLE_EQ(MedianAbsoluteDeviation(x)[0], 1.0);
+}
+
+}  // namespace
+}  // namespace xai

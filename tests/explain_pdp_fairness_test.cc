@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/data/synthetic.h"
+#include "xai/explain/fairness.h"
+#include "xai/explain/partial_dependence.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/linear_regression.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+namespace {
+
+TEST(PartialDependenceTest, LinearModelGivesLinearCurve) {
+  auto [d, gt] = MakeLinearData(300, 3, 0.1, 1);
+  auto model = LinearRegressionModel::Train(d).ValueOrDie();
+  auto pd =
+      ComputePartialDependence(AsPredictFn(model), d, 0).ValueOrDie();
+  ASSERT_GE(pd.grid.size(), 3u);
+  // Slope between consecutive grid points equals the model weight.
+  for (size_t k = 1; k < pd.grid.size(); ++k) {
+    double slope =
+        (pd.mean[k] - pd.mean[k - 1]) / (pd.grid[k] - pd.grid[k - 1]);
+    EXPECT_NEAR(slope, model.weights()[0], 1e-6);
+  }
+}
+
+TEST(PartialDependenceTest, IceFlatForAdditiveModel) {
+  // Additive model: ICE curves are parallel, so per-grid stddev of the
+  // *centered* curves is the same everywhere; raw sd equals spread of other
+  // features' contributions.
+  auto [d, gt] = MakeLinearData(200, 2, 0.0, 2);
+  (void)gt;
+  auto model = LinearRegressionModel::Train(d).ValueOrDie();
+  auto pd =
+      ComputePartialDependence(AsPredictFn(model), d, 0).ValueOrDie();
+  Vector sd = pd.IceStdDev();
+  for (size_t k = 1; k < sd.size(); ++k)
+    EXPECT_NEAR(sd[k], sd[0], 1e-9);  // Parallel curves: constant sd.
+}
+
+TEST(PartialDependenceTest, MonotoneFeatureGivesMonotoneCurve) {
+  Dataset d = MakeLoans(1200, 3);
+  GbdtModel::Config mc;
+  mc.n_trees = 60;
+  auto model = GbdtModel::Train(d, mc).ValueOrDie();
+  int credit = d.schema().FeatureIndex("credit_score");
+  auto pd =
+      ComputePartialDependence(AsPredictFn(model), d, credit).ValueOrDie();
+  // Higher credit score should never substantially hurt approval.
+  EXPECT_GT(pd.mean.back(), pd.mean.front());
+}
+
+TEST(PartialDependenceTest, CategoricalEnumeratesCategories) {
+  Dataset d = MakeLoans(300, 4);
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  int purpose = d.schema().FeatureIndex("purpose");
+  auto pd =
+      ComputePartialDependence(AsPredictFn(model), d, purpose).ValueOrDie();
+  EXPECT_EQ(pd.grid.size(), 4u);
+}
+
+TEST(PartialDependenceTest, RejectsBadInput) {
+  Dataset d = MakeLoans(50, 5);
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  EXPECT_FALSE(
+      ComputePartialDependence(AsPredictFn(model), d, 99).ok());
+  PartialDependenceConfig config;
+  config.grid_points = 1;
+  EXPECT_FALSE(
+      ComputePartialDependence(AsPredictFn(model), d, 0, config).ok());
+}
+
+TEST(FairnessTest, UnbiasedModelHasSmallGap) {
+  Dataset d = MakeLoans(2000, 6);
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  int gender = d.schema().FeatureIndex("gender");
+  auto report =
+      EvaluateGroupFairness(AsPredictFn(model), d, gender).ValueOrDie();
+  // gender does not enter the loans mechanism: gap should be small.
+  EXPECT_LT(report.demographic_parity_gap, 0.05);
+  EXPECT_GT(report.count_group0, 0);
+  EXPECT_GT(report.count_group1, 0);
+}
+
+TEST(FairnessTest, ExplicitlyBiasedModelHasGapOne) {
+  Dataset d = MakeRecidivism(500, 7);
+  int race = d.schema().FeatureIndex("race");
+  PredictFn biased = [race](const Vector& x) {
+    return x[race] == 1.0 ? 1.0 : 0.0;
+  };
+  auto report = EvaluateGroupFairness(biased, d, race).ValueOrDie();
+  EXPECT_NEAR(report.demographic_parity_gap, 1.0, 1e-12);
+}
+
+TEST(FairnessTest, ProxyBiasShowsUpWithoutUsingTheGroupFeature) {
+  // Recidivism: priors_count is correlated with race; a model trained
+  // WITHOUT race still shows a parity gap through the proxy.
+  Dataset d = MakeRecidivism(4000, 8);
+  int race = d.schema().FeatureIndex("race");
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  // Zero out the race weight to simulate "fairness through unawareness".
+  Vector w = model.weights();
+  w[race] = 0.0;
+  auto unaware =
+      LogisticRegressionModel::FromCoefficients(w, model.bias());
+  auto report =
+      EvaluateGroupFairness(AsPredictFn(unaware), d, race).ValueOrDie();
+  EXPECT_GT(report.demographic_parity_gap, 0.05);
+}
+
+TEST(FairnessTest, ToStringMentionsGaps) {
+  Dataset d = MakeRecidivism(300, 9);
+  int race = d.schema().FeatureIndex("race");
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  auto report =
+      EvaluateGroupFairness(AsPredictFn(model), d, race).ValueOrDie();
+  EXPECT_NE(report.ToString().find("parity gap"), std::string::npos);
+}
+
+TEST(FairnessTest, RejectsNonBinaryGroup) {
+  Dataset d = MakeLoans(100, 10);
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  int purpose = d.schema().FeatureIndex("purpose");  // 4 categories.
+  EXPECT_FALSE(
+      EvaluateGroupFairness(AsPredictFn(model), d, purpose).ok());
+}
+
+TEST(DisparityQiiTest, ProxyFeatureCarriesTheDisparity) {
+  Dataset d = MakeRecidivism(1200, 11);
+  int race = d.schema().FeatureIndex("race");
+  int priors = d.schema().FeatureIndex("priors_count");
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  Rng rng(12);
+  Vector influence =
+      DisparityQii(AsPredictFn(model), d, race, 3, &rng).ValueOrDie();
+  // Randomizing priors_count (the proxy) should close most of the gap;
+  // randomizing an irrelevant feature (gender) should not.
+  int gender = d.schema().FeatureIndex("gender");
+  EXPECT_GT(influence[priors], 3.0 * std::fabs(influence[gender]) - 1e-9);
+  EXPECT_GT(influence[priors], 0.01);
+}
+
+TEST(DisparityQiiTest, DirectUseOfGroupFeatureDetected) {
+  Dataset d = MakeRecidivism(800, 13);
+  int race = d.schema().FeatureIndex("race");
+  PredictFn biased = [race](const Vector& x) {
+    return x[race] == 1.0 ? 0.9 : 0.1;
+  };
+  Rng rng(14);
+  Vector influence = DisparityQii(biased, d, race, 3, &rng).ValueOrDie();
+  for (int j = 0; j < d.num_features(); ++j) {
+    if (j == race) continue;
+    EXPECT_GT(influence[race], influence[j]);
+  }
+  EXPECT_GT(influence[race], 0.3);
+}
+
+}  // namespace
+}  // namespace xai

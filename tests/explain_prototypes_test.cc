@@ -1,0 +1,122 @@
+#include "xai/explain/prototypes.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "xai/data/synthetic.h"
+
+namespace xai {
+namespace {
+
+TEST(RbfKernelTest, BasicProperties) {
+  Vector a = {0, 0}, b = {3, 4};
+  EXPECT_DOUBLE_EQ(RbfKernel(a, a, 1.0), 1.0);
+  EXPECT_NEAR(RbfKernel(a, b, 5.0), std::exp(-25.0 / 50.0), 1e-12);
+  EXPECT_GT(RbfKernel(a, b, 10.0), RbfKernel(a, b, 1.0));
+}
+
+TEST(BandwidthTest, MedianHeuristicPositive) {
+  Dataset d = MakeBlobs(100, 3, 2, 0.5, 1);
+  double bw = MedianHeuristicBandwidth(d);
+  EXPECT_GT(bw, 0.1);
+}
+
+TEST(PrototypesTest, OnePrototypePerWellSeparatedCluster) {
+  // 3 tight well-separated blobs, 3 prototypes: each cluster should get
+  // exactly one prototype.
+  Dataset d = MakeBlobs(150, 2, 3, 0.25, 2);
+  PrototypeConfig config;
+  config.num_prototypes = 3;
+  PrototypeResult result = SelectPrototypes(d, config).ValueOrDie();
+  ASSERT_EQ(result.prototypes.size(), 3u);
+  std::set<int> clusters;
+  for (int p : result.prototypes)
+    clusters.insert(static_cast<int>(d.Label(p)));
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(PrototypesTest, MmdImprovesOverall) {
+  // Greedy MMD selection is not guaranteed monotone per step (the 1/m
+  // normalization changes), but more prototypes must represent the data
+  // better overall.
+  Dataset d = MakeBlobs(120, 3, 3, 0.5, 3);
+  PrototypeConfig config;
+  config.num_prototypes = 8;
+  PrototypeResult result = SelectPrototypes(d, config).ValueOrDie();
+  ASSERT_EQ(result.mmd_trace.size(), 8u);
+  EXPECT_LT(result.mmd_trace.back(), result.mmd_trace.front());
+  for (double mmd : result.mmd_trace) EXPECT_GE(mmd, -1e-9);
+}
+
+TEST(PrototypesTest, CriticismsAreNotPrototypes) {
+  Dataset d = MakeBlobs(100, 2, 2, 0.5, 4);
+  PrototypeConfig config;
+  config.num_prototypes = 4;
+  config.num_criticisms = 3;
+  PrototypeResult result = SelectPrototypes(d, config).ValueOrDie();
+  for (int c : result.criticisms) {
+    EXPECT_EQ(std::find(result.prototypes.begin(),
+                        result.prototypes.end(), c),
+              result.prototypes.end());
+  }
+  EXPECT_EQ(result.criticisms.size(), 3u);
+}
+
+// Two big clusters plus a small far-away rare mode of 8 points.
+Dataset WithRareCluster(uint64_t seed) {
+  Dataset d = MakeBlobs(80, 2, 2, 0.4, seed);
+  Rng rng(seed + 4);
+  for (int i = 0; i < 8; ++i)
+    d.AppendRow({20.0 + rng.Normal() * 0.4, 20.0 + rng.Normal() * 0.4},
+                2.0);
+  return d;
+}
+
+TEST(PrototypesTest, UncoveredRareModeSurfacesAsCriticism) {
+  // With too few prototypes to cover the rare mode, its points are the
+  // worst-represented and become the criticisms — the MMD-critic story.
+  Dataset d = WithRareCluster(5);
+  PrototypeConfig config;
+  config.num_prototypes = 4;
+  config.num_criticisms = 4;
+  config.bandwidth = 3.0;
+  PrototypeResult result = SelectPrototypes(d, config).ValueOrDie();
+  for (int c : result.criticisms)
+    EXPECT_DOUBLE_EQ(d.Label(c), 2.0) << "criticism " << c;
+}
+
+TEST(PrototypesTest, LargerBudgetCoversTheRareMode) {
+  // Given enough prototypes, greedy MMD spends one on the rare mode.
+  Dataset d = WithRareCluster(5);
+  PrototypeConfig config;
+  config.num_prototypes = 8;
+  config.bandwidth = 3.0;
+  PrototypeResult result = SelectPrototypes(d, config).ValueOrDie();
+  bool rare_covered = false;
+  for (int p : result.prototypes)
+    rare_covered = rare_covered || d.Label(p) == 2.0;
+  EXPECT_TRUE(rare_covered);
+}
+
+TEST(PrototypesTest, RejectsBadConfig) {
+  Dataset d = MakeBlobs(20, 2, 2, 0.5, 6);
+  PrototypeConfig config;
+  config.num_prototypes = 0;
+  EXPECT_FALSE(SelectPrototypes(d, config).ok());
+  config.num_prototypes = 100;
+  EXPECT_FALSE(SelectPrototypes(d, config).ok());
+}
+
+TEST(PrototypesTest, DeterministicResults) {
+  Dataset d = MakeBlobs(90, 3, 3, 0.6, 7);
+  PrototypeResult a = SelectPrototypes(d).ValueOrDie();
+  PrototypeResult b = SelectPrototypes(d).ValueOrDie();
+  EXPECT_EQ(a.prototypes, b.prototypes);
+  EXPECT_EQ(a.criticisms, b.criticisms);
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "xai/causal/scm.h"
+#include "xai/data/synthetic.h"
+#include "xai/explain/shapley/exact_shapley.h"
+#include "xai/explain/shapley/kernel_shap.h"
+#include "xai/explain/shapley/qii.h"
+#include "xai/explain/shapley/sampling_shapley.h"
+#include "xai/explain/shapley/value_function.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+namespace {
+
+// A deterministic synthetic game for estimator tests.
+class FunctionGame : public CoalitionGame {
+ public:
+  FunctionGame(int n, std::function<double(uint64_t)> fn)
+      : n_(n), fn_(std::move(fn)) {}
+  int num_players() const override { return n_; }
+  double Value(uint64_t mask) const override { return fn_(mask); }
+
+ private:
+  int n_;
+  std::function<double(uint64_t)> fn_;
+};
+
+TEST(ExactShapleyTest, AdditiveGame) {
+  FunctionGame game(4, [](uint64_t mask) {
+    double vals[] = {1.0, -2.0, 0.5, 3.0};
+    double acc = 0;
+    for (int i = 0; i < 4; ++i)
+      if (mask & (1ULL << i)) acc += vals[i];
+    return acc;
+  });
+  Vector phi = ExactShapley(game).ValueOrDie();
+  EXPECT_NEAR(phi[0], 1.0, 1e-12);
+  EXPECT_NEAR(phi[1], -2.0, 1e-12);
+  EXPECT_NEAR(phi[2], 0.5, 1e-12);
+  EXPECT_NEAR(phi[3], 3.0, 1e-12);
+}
+
+TEST(ExactShapleyTest, RefusesLargeGames) {
+  FunctionGame game(25, [](uint64_t) { return 0.0; });
+  EXPECT_FALSE(ExactShapley(game).ok());
+}
+
+TEST(ExactBanzhafTest, MatchesShapleyOnAdditiveGames) {
+  FunctionGame game(3, [](uint64_t mask) {
+    return (mask & 1 ? 2.0 : 0.0) + (mask & 2 ? -1.0 : 0.0) +
+           (mask & 4 ? 0.5 : 0.0);
+  });
+  Vector shapley = ExactShapley(game).ValueOrDie();
+  Vector banzhaf = ExactBanzhaf(game).ValueOrDie();
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(shapley[i], banzhaf[i], 1e-12);
+}
+
+TEST(MarginalGameTest, EmptyCoalitionIsMeanPrediction) {
+  auto [d, gt] = MakeLogisticData(50, 3, 1);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(model), d.Row(0), d.x());
+  double mean = 0;
+  for (int i = 0; i < d.num_rows(); ++i)
+    mean += model.Predict(d.Row(i)) / d.num_rows();
+  EXPECT_NEAR(game.Value(0), mean, 1e-12);
+}
+
+TEST(MarginalGameTest, FullCoalitionIsInstancePrediction) {
+  auto [d, gt] = MakeLogisticData(50, 3, 2);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  Vector instance = d.Row(7);
+  MarginalFeatureGame game(AsPredictFn(model), instance, d.x());
+  EXPECT_NEAR(game.Value((1ULL << 3) - 1), model.Predict(instance), 1e-12);
+}
+
+TEST(MarginalGameTest, CachesEvaluations) {
+  auto [d, gt] = MakeLogisticData(30, 3, 3);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(model), d.Row(0), d.x());
+  game.Value(0b101);
+  game.Value(0b101);
+  game.Value(0b101);
+  EXPECT_EQ(game.num_evaluations(), 1);
+}
+
+TEST(MarginalGameTest, MaxBackgroundTruncates) {
+  auto [d, gt] = MakeLogisticData(100, 2, 4);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  MarginalFeatureGame truncated(AsPredictFn(model), d.Row(0), d.x(), 10);
+  Matrix small(10, 2);
+  for (int i = 0; i < 10; ++i) small.SetRow(i, d.Row(i));
+  MarginalFeatureGame manual(AsPredictFn(model), d.Row(0), small);
+  EXPECT_NEAR(truncated.Value(0b01), manual.Value(0b01), 1e-12);
+}
+
+TEST(ShapleyEfficiencyTest, ExactSumsToFullMinusEmpty) {
+  auto [d, gt] = MakeLogisticData(80, 5, 5);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(model), d.Row(3), d.x(), 20);
+  Vector phi = ExactShapley(game).ValueOrDie();
+  double sum = 0;
+  for (double p : phi) sum += p;
+  uint64_t full = (1ULL << 5) - 1;
+  EXPECT_NEAR(sum, game.Value(full) - game.Value(0), 1e-9);
+}
+
+TEST(SamplingShapleyTest, ConvergesToExact) {
+  auto [d, gt] = MakeLogisticData(60, 4, 6);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(model), d.Row(1), d.x(), 16);
+  Vector exact = ExactShapley(game).ValueOrDie();
+  Rng rng(7);
+  SamplingShapleyResult approx = SamplingShapley(game, 3000, &rng);
+  for (int j = 0; j < 4; ++j)
+    EXPECT_NEAR(approx.values[j], exact[j], 0.02);
+}
+
+TEST(SamplingShapleyTest, StdErrorsShrinkWithSamples) {
+  auto [d, gt] = MakeLogisticData(60, 4, 8);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(model), d.Row(2), d.x(), 16);
+  Rng rng1(1), rng2(1);
+  auto small = SamplingShapley(game, 50, &rng1);
+  auto large = SamplingShapley(game, 2000, &rng2);
+  double se_small = 0, se_large = 0;
+  for (int j = 0; j < 4; ++j) {
+    se_small += small.std_errors[j];
+    se_large += large.std_errors[j];
+  }
+  EXPECT_LT(se_large, se_small);
+}
+
+TEST(KernelShapTest, ExactWhenBudgetCoversAllCoalitions) {
+  // Kernel SHAP with full enumeration solves the exact Shapley values.
+  auto [d, gt] = MakeLogisticData(60, 5, 9);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(model), d.Row(4), d.x(), 16);
+  Vector exact = ExactShapley(game).ValueOrDie();
+  Rng rng(10);
+  KernelShapConfig config;
+  config.coalition_budget = 1 << 10;
+  AttributionExplanation ks = KernelShap(game, config, &rng).ValueOrDie();
+  for (int j = 0; j < 5; ++j)
+    EXPECT_NEAR(ks.attributions[j], exact[j], 1e-6);
+}
+
+TEST(KernelShapTest, EfficiencyConstraintAlwaysHolds) {
+  auto [d, gt] = MakeLogisticData(60, 8, 11);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(model), d.Row(0), d.x(), 8);
+  Rng rng(12);
+  KernelShapConfig config;
+  config.coalition_budget = 64;  // Forces sampling.
+  AttributionExplanation ks = KernelShap(game, config, &rng).ValueOrDie();
+  EXPECT_NEAR(ks.AttributionSum(), ks.prediction, 1e-8);
+}
+
+TEST(KernelShapTest, SampledCloseToExact) {
+  auto [d, gt] = MakeLogisticData(60, 10, 13);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(model), d.Row(6), d.x(), 8);
+  Vector exact = ExactShapley(game).ValueOrDie();
+  Rng rng(14);
+  KernelShapConfig config;
+  config.coalition_budget = 700;
+  AttributionExplanation ks = KernelShap(game, config, &rng).ValueOrDie();
+  for (int j = 0; j < 10; ++j)
+    EXPECT_NEAR(ks.attributions[j], exact[j], 0.05);
+}
+
+TEST(KernelShapTest, SinglePlayerGame) {
+  FunctionGame game(1, [](uint64_t mask) { return mask ? 5.0 : 2.0; });
+  Rng rng(15);
+  AttributionExplanation ks = KernelShap(game, {}, &rng).ValueOrDie();
+  EXPECT_NEAR(ks.attributions[0], 3.0, 1e-12);
+}
+
+TEST(QiiTest, UnaryQiiZeroForDummyFeature) {
+  FunctionGame game(3, [](uint64_t mask) {
+    return (mask & 1 ? 1.0 : 0.0) + (mask & 2 ? 2.0 : 0.0);
+  });
+  Vector iota = UnaryQii(game);
+  EXPECT_NEAR(iota[0], 1.0, 1e-12);
+  EXPECT_NEAR(iota[1], 2.0, 1e-12);
+  EXPECT_NEAR(iota[2], 0.0, 1e-12);
+}
+
+TEST(QiiTest, BanzhafMatchesExactOnAdditive) {
+  FunctionGame game(3, [](uint64_t mask) {
+    return (mask & 1 ? 1.5 : 0.0) - (mask & 4 ? 0.7 : 0.0);
+  });
+  Rng rng(16);
+  Vector banzhaf = BanzhafQii(game, 400, &rng);
+  EXPECT_NEAR(banzhaf[0], 1.5, 0.05);
+  EXPECT_NEAR(banzhaf[1], 0.0, 0.05);
+  EXPECT_NEAR(banzhaf[2], -0.7, 0.05);
+}
+
+TEST(QiiTest, ShapleyQiiMatchesExact) {
+  auto [d, gt] = MakeLogisticData(60, 4, 17);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(model), d.Row(9), d.x(), 16);
+  Vector exact = ExactShapley(game).ValueOrDie();
+  Rng rng(18);
+  Vector qii = ShapleyQii(game, 2000, &rng);
+  for (int j = 0; j < 4; ++j) EXPECT_NEAR(qii[j], exact[j], 0.02);
+}
+
+TEST(ConditionalGameTest, FullCoalitionIsInstancePrediction) {
+  auto [d, gt] = MakeLogisticData(100, 3, 30);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  Vector instance = d.Row(4);
+  ConditionalFeatureGame game(AsPredictFn(model), instance, d.x(), 10);
+  EXPECT_NEAR(game.Value(0b111), model.Predict(instance), 1e-12);
+}
+
+TEST(ConditionalGameTest, EmptyCoalitionWithFullKIsMeanPrediction) {
+  auto [d, gt] = MakeLogisticData(60, 2, 31);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  ConditionalFeatureGame game(AsPredictFn(model), d.Row(0), d.x(),
+                              /*k_neighbors=*/60);
+  double mean = 0;
+  for (int i = 0; i < 60; ++i) mean += model.Predict(d.Row(i)) / 60;
+  EXPECT_NEAR(game.Value(0), mean, 1e-12);
+}
+
+TEST(ConditionalGameTest, CapturesIndirectInfluenceThroughCorrelation) {
+  // The §2.1.2 criticism: marginal Shapley values cannot "capture the
+  // indirect influences of features". Build data where x0 drives x1 and
+  // the model reads only x1: the conditional game credits x0, the marginal
+  // game does not.
+  LinearScm scm = MakeChainScm(1.0, 1.0);  // x0 -> x1 -> x2.
+  Rng rng(32);
+  Matrix background = scm.Sample(400, &rng);
+  PredictFn f = [](const Vector& x) { return x[1]; };
+  Vector instance = {2.0, 2.0, 2.0};
+
+  MarginalFeatureGame marginal(f, instance, background, 200);
+  Vector phi_marginal = ExactShapley(marginal).ValueOrDie();
+  ConditionalFeatureGame conditional(f, instance, background, 25);
+  Vector phi_conditional = ExactShapley(conditional).ValueOrDie();
+
+  EXPECT_NEAR(phi_marginal[0], 0.0, 1e-9);      // Marginal: x0 invisible.
+  EXPECT_GT(phi_conditional[0], 0.3);           // Conditional: x0 credited.
+  EXPECT_GT(phi_conditional[1], phi_conditional[0]);  // x1 still dominant.
+}
+
+TEST(ConditionalGameTest, OnManifoldEvaluationResistsOodGating) {
+  // Rows fed to the model are splices of the instance with *similar* real
+  // rows, so for singleton coalitions they stay close to the manifold:
+  // much closer than marginal-game splices of arbitrary rows.
+  auto [d, gt] = MakeLogisticData(300, 3, 33);
+  (void)gt;
+  // Record every row the game evaluates and measure its distance to the
+  // nearest training row.
+  Matrix x = d.x();
+  auto nearest_dist = [&](const Vector& row) {
+    double best = 1e300;
+    for (int i = 0; i < x.rows(); ++i) {
+      double acc = 0;
+      for (int j = 0; j < 3; ++j) {
+        double diff = row[j] - x(i, j);
+        acc += diff * diff;
+      }
+      best = std::min(best, acc);
+    }
+    return std::sqrt(best);
+  };
+  double conditional_dist = 0, marginal_dist = 0;
+  int evals_cond = 0, evals_marg = 0;
+  PredictFn probe_cond = [&](const Vector& row) {
+    conditional_dist += nearest_dist(row);
+    ++evals_cond;
+    return 0.0;
+  };
+  PredictFn probe_marg = [&](const Vector& row) {
+    marginal_dist += nearest_dist(row);
+    ++evals_marg;
+    return 0.0;
+  };
+  Vector instance = d.Row(0);
+  ConditionalFeatureGame cond(probe_cond, instance, d.x(), 20);
+  MarginalFeatureGame marg(probe_marg, instance, d.x(), 20);
+  for (uint64_t mask : {1ULL, 2ULL, 4ULL, 3ULL, 5ULL}) {
+    cond.Value(mask);
+    marg.Value(mask);
+  }
+  EXPECT_LT(conditional_dist / evals_cond, marginal_dist / evals_marg);
+}
+
+// Property sweep: efficiency across instances.
+class EfficiencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EfficiencyTest, KernelShapEfficiencyPerInstance) {
+  auto [d, gt] = MakeLogisticData(50, 6, 19);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(model), d.Row(GetParam()), d.x(), 10);
+  Rng rng(20 + GetParam());
+  AttributionExplanation ks = KernelShap(game, {}, &rng).ValueOrDie();
+  EXPECT_NEAR(ks.AttributionSum(), ks.prediction, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, EfficiencyTest,
+                         ::testing::Values(0, 5, 10, 15, 20, 25));
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,85 @@
+#include "xai/explain/surrogate_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "xai/data/synthetic.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+namespace {
+
+TEST(SurrogateTreeTest, HighFidelityOnAxisAlignedBlackBox) {
+  // Black box is itself a single threshold rule: a depth-3 surrogate should
+  // capture it almost perfectly and the path should test the right feature.
+  Dataset train = MakeLoans(800, 1);
+  int credit = train.schema().FeatureIndex("credit_score");
+  PredictFn f = [credit](const Vector& x) {
+    return x[credit] > 650.0 ? 1.0 : 0.0;
+  };
+  SurrogateTreeExplainer explainer(train);
+  auto exp = explainer.Explain(f, train.Row(0), 2).ValueOrDie();
+  EXPECT_GT(exp.fidelity, 0.85);
+  ASSERT_FALSE(exp.path.empty());
+  bool mentions_credit = false;
+  for (const std::string& predicate : exp.path)
+    if (predicate.find("credit_score") != std::string::npos)
+      mentions_credit = true;
+  EXPECT_TRUE(mentions_credit);
+}
+
+TEST(SurrogateTreeTest, PathLengthBoundedByDepth) {
+  Dataset train = MakeLoans(600, 2);
+  GbdtModel::Config mc;
+  mc.n_trees = 30;
+  auto model = GbdtModel::Train(train, mc).ValueOrDie();
+  SurrogateTreeConfig config;
+  config.max_depth = 2;
+  SurrogateTreeExplainer explainer(train, config);
+  auto exp =
+      explainer.Explain(AsPredictFn(model), train.Row(4), 3).ValueOrDie();
+  EXPECT_LE(exp.path.size(), 2u);
+}
+
+TEST(SurrogateTreeTest, SurrogateAgreesAtTheInstance) {
+  Dataset train = MakeLoans(700, 3);
+  auto model = LogisticRegressionModel::Train(train).ValueOrDie();
+  SurrogateTreeExplainer explainer(train);
+  auto exp =
+      explainer.Explain(AsPredictFn(model), train.Row(10), 4).ValueOrDie();
+  // The surrogate should locally agree with the black box within a coarse
+  // tolerance (it is a depth-3 step function).
+  EXPECT_NEAR(exp.surrogate_prediction, exp.prediction, 0.35);
+}
+
+TEST(SurrogateTreeTest, PathIsConsistentWithInstanceRouting) {
+  Dataset train = MakeLoans(500, 4);
+  auto model = LogisticRegressionModel::Train(train).ValueOrDie();
+  SurrogateTreeExplainer explainer(train);
+  Vector instance = train.Row(7);
+  auto exp =
+      explainer.Explain(AsPredictFn(model), instance, 5).ValueOrDie();
+  EXPECT_DOUBLE_EQ(exp.surrogate.Predict(instance),
+                   exp.surrogate_prediction);
+}
+
+TEST(SurrogateTreeTest, ToStringRendersPath) {
+  Dataset train = MakeLoans(400, 5);
+  auto model = LogisticRegressionModel::Train(train).ValueOrDie();
+  SurrogateTreeExplainer explainer(train);
+  auto exp =
+      explainer.Explain(AsPredictFn(model), train.Row(0), 6).ValueOrDie();
+  std::string text = exp.ToString();
+  EXPECT_NE(text.find("fidelity"), std::string::npos);
+  EXPECT_NE(text.find("=>"), std::string::npos);
+}
+
+TEST(SurrogateTreeTest, RejectsWrongWidth) {
+  Dataset train = MakeLoans(200, 6);
+  SurrogateTreeExplainer explainer(train);
+  PredictFn f = [](const Vector&) { return 0.5; };
+  EXPECT_FALSE(explainer.Explain(f, Vector{1.0}, 1).ok());
+}
+
+}  // namespace
+}  // namespace xai

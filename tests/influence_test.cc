@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "xai/core/stats.h"
+#include "xai/data/synthetic.h"
+#include "xai/influence/complaint.h"
+#include "xai/influence/group_influence.h"
+#include "xai/influence/influence_function.h"
+#include "xai/influence/tree_influence.h"
+
+namespace xai {
+namespace {
+
+TEST(LinearInfluenceTest, LooParamChangeIsExact) {
+  auto [d, gt] = MakeLinearData(60, 3, 0.3, 1);
+  (void)gt;
+  LinearRegressionModel::Config config;
+  config.l2 = 1e-8;
+  auto model = LinearRegressionModel::Train(d, config).ValueOrDie();
+  auto influence =
+      LinearInfluence::Make(model, d.x(), d.y()).ValueOrDie();
+  for (int i : {0, 7, 33}) {
+    // Ground truth: retrain without point i.
+    Dataset reduced = d.Without({i});
+    auto retrained =
+        LinearRegressionModel::Train(reduced, config).ValueOrDie();
+    Vector predicted_change = influence.LooParamChange(i);
+    for (int j = 0; j < 3; ++j) {
+      double actual = retrained.weights()[j] - model.weights()[j];
+      EXPECT_NEAR(predicted_change[j], actual, 1e-6) << "i=" << i;
+    }
+    double actual_bias = retrained.bias() - model.bias();
+    EXPECT_NEAR(predicted_change[3], actual_bias, 1e-6);
+  }
+}
+
+TEST(LinearInfluenceTest, LooPredictionChangeIsExact) {
+  auto [d, gt] = MakeLinearData(50, 2, 0.5, 2);
+  (void)gt;
+  LinearRegressionModel::Config config;
+  config.l2 = 1e-8;
+  auto model = LinearRegressionModel::Train(d, config).ValueOrDie();
+  auto influence =
+      LinearInfluence::Make(model, d.x(), d.y()).ValueOrDie();
+  Vector x_test = {0.7, -1.2};
+  for (int i : {3, 19}) {
+    auto retrained =
+        LinearRegressionModel::Train(d.Without({i}), config).ValueOrDie();
+    double actual = retrained.Predict(x_test) - model.Predict(x_test);
+    EXPECT_NEAR(influence.LooPredictionChange(x_test, i), actual, 1e-6);
+  }
+}
+
+TEST(LinearInfluenceTest, LeverageInUnitIntervalAndSumsToRank) {
+  auto [d, gt] = MakeLinearData(80, 4, 0.2, 3);
+  (void)gt;
+  auto model = LinearRegressionModel::Train(d).ValueOrDie();
+  auto influence =
+      LinearInfluence::Make(model, d.x(), d.y()).ValueOrDie();
+  double total = 0.0;
+  for (int i = 0; i < d.num_rows(); ++i) {
+    double h = influence.Leverage(i);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0 + 1e-9);
+    total += h;
+  }
+  // Trace of the hat matrix = number of parameters (d + intercept).
+  EXPECT_NEAR(total, 5.0, 0.01);
+}
+
+TEST(LinearInfluenceTest, OutlierHasLargeCooksDistance) {
+  auto [d, gt] = MakeLinearData(60, 2, 0.1, 4);
+  (void)gt;
+  // Inject one gross outlier.
+  Dataset corrupted = d;
+  (*corrupted.mutable_y())[10] += 50.0;
+  auto model = LinearRegressionModel::Train(corrupted).ValueOrDie();
+  auto influence =
+      LinearInfluence::Make(model, corrupted.x(), corrupted.y())
+          .ValueOrDie();
+  std::vector<double> cooks;
+  for (int i = 0; i < corrupted.num_rows(); ++i)
+    cooks.push_back(influence.CooksDistance(i));
+  EXPECT_EQ(ArgMax(cooks), 10);
+}
+
+struct LogisticSetup {
+  Dataset train;
+  Dataset test;
+  LogisticRegressionModel model;
+};
+
+LogisticSetup MakeLogisticSetup(uint64_t seed, int n = 300, int d = 4) {
+  auto [data, gt] = MakeLogisticData(n, d, seed);
+  (void)gt;
+  auto [train, test] = data.TrainTestSplit(0.25, seed + 1);
+  LogisticRegressionConfig config;
+  config.l2 = 1e-3;
+  auto model = LogisticRegressionModel::Train(train, config).ValueOrDie();
+  return {std::move(train), std::move(test), std::move(model)};
+}
+
+TEST(LogisticInfluenceTest, CorrelatesWithActualRetraining) {
+  LogisticSetup s = MakeLogisticSetup(5, 200);
+  auto influence =
+      LogisticInfluence::Make(s.model, s.train.x(), s.train.y())
+          .ValueOrDie();
+  Vector x_test = s.test.Row(0);
+  double y_test = s.test.Label(0);
+  Vector predicted =
+      influence.InfluenceOnLossAll(x_test, y_test).ValueOrDie();
+
+  // Ground truth for a subset of points (retraining 40 models).
+  LogisticRegressionConfig config;
+  config.l2 = 1e-3;
+  std::vector<double> actual, predicted_subset;
+  for (int i = 0; i < 40; ++i) {
+    auto retrained =
+        LogisticRegressionModel::Train(s.train.Without({i}).x(),
+                                       s.train.Without({i}).y(), config)
+            .ValueOrDie();
+    actual.push_back(retrained.ExampleLoss(x_test, y_test) -
+                     s.model.ExampleLoss(x_test, y_test));
+    predicted_subset.push_back(predicted[i]);
+  }
+  EXPECT_GT(PearsonCorrelation(predicted_subset, actual), 0.95);
+}
+
+TEST(LogisticInfluenceTest, CgMatchesCholesky) {
+  LogisticSetup s = MakeLogisticSetup(6);
+  InfluenceConfig chol_config, cg_config;
+  cg_config.use_conjugate_gradient = true;
+  auto chol = LogisticInfluence::Make(s.model, s.train.x(), s.train.y(),
+                                      chol_config)
+                  .ValueOrDie();
+  auto cg = LogisticInfluence::Make(s.model, s.train.x(), s.train.y(),
+                                    cg_config)
+                .ValueOrDie();
+  Vector v = {0.5, -0.2, 0.1, 0.9, 0.3};
+  Vector a = chol.SolveHessian(v).ValueOrDie();
+  Vector b = cg.SolveHessian(v).ValueOrDie();
+  for (size_t j = 0; j < a.size(); ++j) EXPECT_NEAR(a[j], b[j], 1e-5);
+}
+
+TEST(LogisticInfluenceTest, ParamChangePredictsRemovalDirection) {
+  LogisticSetup s = MakeLogisticSetup(7, 250);
+  auto influence =
+      LogisticInfluence::Make(s.model, s.train.x(), s.train.y())
+          .ValueOrDie();
+  std::vector<int> removed = {0, 1, 2, 3, 4};
+  Vector predicted =
+      influence.ParamChangeOnRemoval(removed).ValueOrDie();
+  LogisticRegressionConfig config;
+  config.l2 = 1e-3;
+  Dataset reduced = s.train.Without(removed);
+  auto retrained =
+      LogisticRegressionModel::Train(reduced, config).ValueOrDie();
+  // Sign agreement and rough magnitude on each coordinate.
+  for (int j = 0; j < 4; ++j) {
+    double actual = retrained.weights()[j] - s.model.weights()[j];
+    EXPECT_NEAR(predicted[j], actual, std::fabs(actual) * 0.7 + 5e-3);
+  }
+}
+
+TEST(GroupInfluenceTest, SecondOrderBeatsFirstOrderForLargeGroups) {
+  LogisticSetup s = MakeLogisticSetup(8, 300);
+  auto influence =
+      LogisticInfluence::Make(s.model, s.train.x(), s.train.y())
+          .ValueOrDie();
+  // A coherent group: the 60 rows with the largest x0.
+  std::vector<double> col = s.train.x().Col(0);
+  std::vector<int> order = ArgSortDescending(col);
+  std::vector<int> group(order.begin(), order.begin() + 60);
+
+  Vector first =
+      FirstOrderGroupParamChange(influence, group).ValueOrDie();
+  Vector second = SecondOrderGroupParamChange(s.model, s.train.x(),
+                                              s.train.y(), group)
+                      .ValueOrDie();
+  LogisticRegressionConfig config;
+  config.l2 = 1e-3;
+  auto retrained =
+      LogisticRegressionModel::Train(s.train.Without(group), config)
+          .ValueOrDie();
+  double err_first = 0, err_second = 0;
+  for (int j = 0; j < 4; ++j) {
+    double actual = retrained.weights()[j] - s.model.weights()[j];
+    err_first += std::fabs(first[j] - actual);
+    err_second += std::fabs(second[j] - actual);
+  }
+  EXPECT_LT(err_second, err_first);
+}
+
+TEST(GroupInfluenceTest, MarginChangeHelper) {
+  Vector param_change = {0.5, -1.0, 0.25};  // last = bias.
+  Vector x_test = {2.0, 1.0};
+  EXPECT_DOUBLE_EQ(MarginChange(param_change, x_test),
+                   0.5 * 2 - 1.0 * 1 + 0.25);
+}
+
+TEST(TreeInfluenceTest, SelfInfluenceIsNegativeForCorrectlyLabeled) {
+  // Removing a training point typically moves the margin *away* from its
+  // own label at its own location.
+  Dataset d = MakeLoans(400, 9);
+  GbdtModel::Config config;
+  config.n_trees = 20;
+  auto model = GbdtModel::Train(d, config).ValueOrDie();
+  auto influence = GbdtLeafInfluence::Make(model, d.x(), d.y()).ValueOrDie();
+  int checked = 0, consistent = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (model.PredictClass(d.Row(i)) != static_cast<int>(d.Label(i)))
+      continue;
+    double inf = influence.InfluenceOnMargin(d.Row(i), i);
+    // Removing a positive-label point lowers its own margin and vice versa.
+    double expected_sign = d.Label(i) == 1.0 ? -1.0 : 1.0;
+    if (inf * expected_sign >= 0) ++consistent;
+    ++checked;
+  }
+  ASSERT_GT(checked, 20);
+  EXPECT_GT(static_cast<double>(consistent) / checked, 0.8);
+}
+
+TEST(TreeInfluenceTest, PointsOutsideLeafHaveZeroInfluence) {
+  Dataset d = MakeLoans(200, 10);
+  GbdtModel::Config config;
+  config.n_trees = 5;
+  auto model = GbdtModel::Train(d, config).ValueOrDie();
+  auto influence = GbdtLeafInfluence::Make(model, d.x(), d.y()).ValueOrDie();
+  Vector x_test = d.Row(0);
+  Vector all = influence.InfluenceOnMarginAll(x_test);
+  // A training point sharing no leaf with x_test must have zero influence.
+  for (int i = 0; i < d.num_rows(); ++i) {
+    bool shares_leaf = false;
+    for (const Tree& tree : model.trees())
+      if (tree.LeafIndexOf(d.Row(i)) == tree.LeafIndexOf(x_test))
+        shares_leaf = true;
+    if (!shares_leaf) {
+      EXPECT_DOUBLE_EQ(all[i], 0.0);
+    }
+  }
+}
+
+TEST(ComplaintTest, SurfacesCorruptedPoints) {
+  // Poison the training data of one group so the model over-approves it,
+  // then complain that the approval count for that group is too high: the
+  // corrupted points must rank near the top.
+  auto [data, gt] = MakeLogisticData(500, 3, 11);
+  (void)gt;
+  auto [train, query] = data.TrainTestSplit(0.3, 12);
+  // Corrupt: flip 40 negative-label training points with x0 > 0.5 to 1.
+  std::vector<int> corrupted;
+  for (int i = 0; i < train.num_rows() && corrupted.size() < 40u; ++i) {
+    if (train.Label(i) == 0.0 && train.At(i, 0) > 0.5) {
+      (*train.mutable_y())[i] = 1.0;
+      corrupted.push_back(i);
+    }
+  }
+  ASSERT_GT(corrupted.size(), 15u);
+  LogisticRegressionConfig config;
+  config.l2 = 1e-3;
+  auto model = LogisticRegressionModel::Train(train, config).ValueOrDie();
+  auto influence =
+      LogisticInfluence::Make(model, train.x(), train.y()).ValueOrDie();
+
+  Complaint complaint;
+  complaint.direction = +1;  // Aggregate too high.
+  for (int r = 0; r < query.num_rows(); ++r)
+    if (query.At(r, 0) > 0.5) complaint.query_rows.push_back(r);
+  ComplaintResult result =
+      ExplainComplaint(influence, query.x(), complaint).ValueOrDie();
+
+  // Precision@k: fraction of the top-|corrupted| ranked points that are
+  // actually corrupted.
+  int k = static_cast<int>(corrupted.size());
+  int hits = 0;
+  for (int rank = 0; rank < k; ++rank) {
+    if (std::find(corrupted.begin(), corrupted.end(),
+                  result.ranking[rank]) != corrupted.end())
+      ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / k, 0.5);
+}
+
+TEST(ComplaintTest, RejectsBadInput) {
+  LogisticSetup s = MakeLogisticSetup(13);
+  auto influence =
+      LogisticInfluence::Make(s.model, s.train.x(), s.train.y())
+          .ValueOrDie();
+  Complaint bad_direction;
+  bad_direction.direction = 0;
+  bad_direction.query_rows = {0};
+  EXPECT_FALSE(
+      ExplainComplaint(influence, s.test.x(), bad_direction).ok());
+  Complaint bad_row;
+  bad_row.query_rows = {99999};
+  EXPECT_FALSE(ExplainComplaint(influence, s.test.x(), bad_row).ok());
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,198 @@
+// End-to-end integration across subsystems: a realistic debugging session
+// that exercises pipeline provenance -> model training -> stage attribution
+// -> complaint-driven influence -> incremental unlearning -> explanation of
+// the repaired model, all on one dataset with an injected fault.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "xai/core/stats.h"
+#include "xai/data/synthetic.h"
+#include "xai/explain/global_importance.h"
+#include "xai/explain/lime.h"
+#include "xai/explain/shapley/exact_shapley.h"
+#include "xai/explain/shapley/tree_shap.h"
+#include "xai/explain/shapley/value_function.h"
+#include "xai/influence/complaint.h"
+#include "xai/influence/influence_function.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/metrics.h"
+#include "xai/model/serialization.h"
+#include "xai/pipeline/operators.h"
+#include "xai/pipeline/pipeline.h"
+#include "xai/pipeline/stage_attribution.h"
+#include "xai/unlearn/incremental_logistic.h"
+
+namespace xai {
+namespace {
+
+TEST(IntegrationTest, DebuggingSessionEndToEnd) {
+  // ---- 1. Raw data and a prep pipeline with a corrupting stage.
+  Dataset raw = MakeLoans(1600, 99);
+  auto [input, valid] = raw.TrainTestSplit(0.25, 100);
+  int income = input.schema().FeatureIndex("income");
+
+  Pipeline pipeline;
+  pipeline.Add(std::make_shared<ClipOp>(income, 0.0, 400.0));
+  pipeline.Add(std::make_shared<CorruptLabelsOp>(
+      "buggy_join", [income](const Vector& x, double) {
+        return x[income] > 110.0;
+      }));
+  pipeline.Add(std::make_shared<ImputeMeanOp>(income, -999.0));
+
+  PipelineResult prep = pipeline.Run(input).ValueOrDie();
+  ASSERT_EQ(prep.output.num_rows(), input.num_rows());
+
+  // ---- 2. Train; quality is visibly degraded.
+  LogisticRegressionConfig config;
+  config.l2 = 1e-3;
+  auto model =
+      LogisticRegressionModel::Train(prep.output, config).ValueOrDie();
+  double corrupted_acc = EvaluateAccuracy(model, valid);
+
+  // ---- 3. Stage attribution blames the corrupting stage.
+  auto quality = [&valid](const Dataset& prepared) {
+    auto m = LogisticRegressionModel::Train(prepared);
+    return m.ok() ? EvaluateAccuracy(*m, valid) : 0.0;
+  };
+  StageAttribution attribution =
+      StageShapley(pipeline, input, quality).ValueOrDie();
+  EXPECT_EQ(attribution.MostHarmfulStage(), 1);
+
+  // ---- 4. Complaint: the corrupting stage flips high-income approvals
+  //         to rejections, so approvals among high-income applicants are
+  //         too LOW; influence ranking surfaces corrupted training rows.
+  auto influence =
+      LogisticInfluence::Make(model, prep.output.x(), prep.output.y())
+          .ValueOrDie();
+  Complaint complaint;
+  complaint.direction = -1;
+  for (int r = 0; r < valid.num_rows(); ++r)
+    if (valid.At(r, income) > 110.0) complaint.query_rows.push_back(r);
+  ASSERT_GT(complaint.query_rows.size(), 10u);
+  ComplaintResult diagnosis =
+      ExplainComplaint(influence, valid.x(), complaint).ValueOrDie();
+
+  // Ground truth: which prep-output rows the buggy stage touched.
+  std::vector<bool> touched(prep.output.num_rows(), false);
+  int touched_count = 0;
+  for (int i = 0; i < prep.output.num_rows(); ++i) {
+    for (int s : prep.provenance[i].modified_by) {
+      if (prep.stage_names[s] == "buggy_join") {
+        touched[i] = true;
+        ++touched_count;
+      }
+    }
+  }
+  ASSERT_GT(touched_count, 30);
+  int k = touched_count;
+  int hits = 0;
+  for (int rank = 0; rank < k; ++rank)
+    if (touched[diagnosis.ranking[rank]]) ++hits;
+  double precision = static_cast<double>(hits) / k;
+  double base_rate =
+      static_cast<double>(touched_count) / prep.output.num_rows();
+  EXPECT_GT(precision, 2.0 * base_rate);
+
+  // ---- 5. Fix: unlearn the top suspects incrementally. The success
+  //         criterion of a complaint fix is that the complained-about
+  //         aggregate moves toward its clean-pipeline value (global
+  //         accuracy can even dip while doing so, since good rows are
+  //         removed alongside corrupted ones).
+  auto aggregate_of = [&](const LogisticRegressionModel& m) {
+    double acc = 0;
+    for (int r : complaint.query_rows)
+      acc += Sigmoid(m.Margin(valid.Row(r)));
+    return acc;
+  };
+  Dataset clean_prep =
+      pipeline.RunWithStages(input, {true, false, true}).ValueOrDie();
+  auto clean_model =
+      LogisticRegressionModel::Train(clean_prep, config).ValueOrDie();
+  double clean_agg = aggregate_of(clean_model);
+  double corrupted_agg = aggregate_of(model);
+
+  // Rain's protocol: walk the influence ranking, unlearning in small
+  // batches until the aggregate meets the complainant's expected value
+  // (here: the clean-pipeline aggregate), with a hard budget.
+  auto maintained = MaintainedLogisticRegression::Fit(
+                        prep.output.x(), prep.output.y(), config)
+                        .ValueOrDie();
+  double repaired_agg = corrupted_agg;
+  int removed = 0;
+  const int kBatch = 5, kBudget = 60;
+  while (repaired_agg < clean_agg && removed < kBudget) {
+    std::vector<int> batch(diagnosis.ranking.begin() + removed,
+                           diagnosis.ranking.begin() + removed + kBatch);
+    ASSERT_TRUE(maintained.RemoveRows(batch, 1).ok());
+    removed += kBatch;
+    repaired_agg = aggregate_of(maintained.CurrentModel());
+  }
+  EXPECT_LT(removed, kBudget);  // The complaint cleared within budget.
+  EXPECT_LT(std::fabs(repaired_agg - clean_agg),
+            std::fabs(corrupted_agg - clean_agg));
+  auto repaired = maintained.CurrentModel();
+  (void)corrupted_acc;
+
+  // ---- 6. Explain the repaired model: LIME and exact SHAP agree that the
+  //         mechanism features dominate and gender stays negligible.
+  int gender = input.schema().FeatureIndex("gender");
+  int dti = input.schema().FeatureIndex("debt_to_income");
+  LimeConfig lime_config;
+  lime_config.strategy = Perturber::Strategy::kGaussian;
+  lime_config.num_samples = 1500;
+  LimeExplainer lime(prep.output, lime_config);
+  auto lime_exp =
+      lime.Explain(AsPredictFn(repaired), prep.output.Row(3), 5)
+          .ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(repaired), prep.output.Row(3),
+                           prep.output.x(), 32);
+  Vector shap = ExactShapley(game).ValueOrDie();
+  EXPECT_LT(std::fabs(shap[gender]), std::fabs(shap[dti]));
+  EXPECT_LT(std::fabs(lime_exp.attributions[gender]),
+            std::fabs(lime_exp.attributions[dti]));
+
+  // ---- 7. Ship it: serialize, reload, identical predictions.
+  auto reloaded =
+      DeserializeLogisticRegression(SerializeModel(repaired)).ValueOrDie();
+  for (int i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(reloaded.Predict(valid.Row(i)),
+                     repaired.Predict(valid.Row(i)));
+}
+
+TEST(IntegrationTest, TreeModelExplanationStack) {
+  // GBDT + TreeSHAP + global importance + permutation importance agree on
+  // the irrelevant feature across three different explanation mechanisms.
+  Dataset train = MakeLoans(1200, 101);
+  GbdtModel::Config mc;
+  mc.n_trees = 50;
+  auto model = GbdtModel::Train(train, mc).ValueOrDie();
+  int gender = train.schema().FeatureIndex("gender");
+
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  Vector global = GlobalShapImportance(view, train, 120);
+  Rng rng(6);
+  Vector permutation =
+      PermutationImportance(AsPredictFn(model), train, Auc, 2, &rng)
+          .ValueOrDie();
+  Vector split = SplitFrequencyImportance(view, train.num_features());
+
+  auto rank_of = [&](const Vector& importance) {
+    std::vector<int> order = ArgSortDescending(importance);
+    for (size_t r = 0; r < order.size(); ++r)
+      if (order[r] == gender) return static_cast<int>(r);
+    return -1;
+  };
+  // gender must rank in the bottom half for every mechanism.
+  int d = train.num_features();
+  EXPECT_GE(rank_of(global), d / 2);
+  EXPECT_GE(rank_of(permutation), d / 2);
+  EXPECT_GE(rank_of(split), d / 2);
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/data/synthetic.h"
+#include "xai/model/decision_tree.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/metrics.h"
+#include "xai/model/random_forest.h"
+#include "xai/model/tree_ensemble_view.h"
+
+namespace xai {
+namespace {
+
+TEST(RandomForestTest, BeatsMajorityOnLoans) {
+  Dataset d = MakeLoans(2000, 1);
+  auto [train, test] = d.TrainTestSplit(0.3, 2);
+  RandomForestModel::Config config;
+  config.n_trees = 30;
+  auto model = RandomForestModel::Train(train, config).ValueOrDie();
+  EXPECT_GT(EvaluateAccuracy(model, test), 0.75);
+}
+
+TEST(RandomForestTest, PredictionIsAverageOfTrees) {
+  Dataset d = MakeLoans(300, 3);
+  RandomForestModel::Config config;
+  config.n_trees = 7;
+  auto model = RandomForestModel::Train(d, config).ValueOrDie();
+  Vector row = d.Row(0);
+  double acc = 0;
+  for (const Tree& t : model.trees()) acc += t.PredictRow(row);
+  EXPECT_NEAR(model.Predict(row), acc / 7, 1e-12);
+}
+
+TEST(RandomForestTest, DeterministicBySeed) {
+  Dataset d = MakeLoans(300, 4);
+  RandomForestModel::Config config;
+  config.n_trees = 5;
+  config.seed = 77;
+  auto a = RandomForestModel::Train(d, config).ValueOrDie();
+  auto b = RandomForestModel::Train(d, config).ValueOrDie();
+  for (int i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(a.Predict(d.Row(i)), b.Predict(d.Row(i)));
+}
+
+TEST(RandomForestTest, ProbabilitiesInUnitInterval) {
+  Dataset d = MakeLoans(400, 5);
+  auto model = RandomForestModel::Train(d).ValueOrDie();
+  for (int i = 0; i < 50; ++i) {
+    double p = model.Predict(d.Row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(GbdtTest, ClassificationAccuracy) {
+  Dataset d = MakeLoans(2000, 6);
+  auto [train, test] = d.TrainTestSplit(0.3, 3);
+  GbdtModel::Config config;
+  config.n_trees = 80;
+  auto model = GbdtModel::Train(train, config).ValueOrDie();
+  EXPECT_GT(EvaluateAccuracy(model, test), 0.8);
+}
+
+TEST(GbdtTest, MarginDecomposesAdditively) {
+  Dataset d = MakeLoans(300, 7);
+  GbdtModel::Config config;
+  config.n_trees = 10;
+  auto model = GbdtModel::Train(d, config).ValueOrDie();
+  Vector row = d.Row(5);
+  double margin = model.base_score();
+  for (const Tree& t : model.trees()) margin += t.PredictRow(row);
+  EXPECT_NEAR(model.Margin(row), margin, 1e-12);
+  EXPECT_NEAR(model.Predict(row), Sigmoid(margin), 1e-12);
+}
+
+TEST(GbdtTest, RegressionFitsLinearTarget) {
+  auto [d, gt] = MakeLinearData(1000, 3, 0.1, 4);
+  (void)gt;
+  GbdtModel::Config config;
+  config.n_trees = 150;
+  config.max_depth = 4;
+  auto model = GbdtModel::Train(d, config).ValueOrDie();
+  EXPECT_LT(EvaluateMse(model, d), 0.5);
+}
+
+TEST(GbdtTest, MoreTreesImproveTrainingFit) {
+  Dataset d = MakeLoans(800, 8);
+  GbdtModel::Config small, large;
+  small.n_trees = 5;
+  large.n_trees = 100;
+  auto a = GbdtModel::Train(d, small).ValueOrDie();
+  auto b = GbdtModel::Train(d, large).ValueOrDie();
+  EXPECT_GT(EvaluateAuc(b, d), EvaluateAuc(a, d));
+}
+
+TEST(GbdtTest, SubsamplingStillLearns) {
+  Dataset d = MakeLoans(1000, 9);
+  GbdtModel::Config config;
+  config.subsample = 0.5;
+  config.n_trees = 60;
+  auto model = GbdtModel::Train(d, config).ValueOrDie();
+  EXPECT_GT(EvaluateAccuracy(model, d), 0.8);
+}
+
+TEST(TreeEnsembleViewTest, SingleTreeView) {
+  Dataset d = MakeLoans(300, 10);
+  auto model = DecisionTreeModel::Train(d).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  EXPECT_EQ(view.num_trees(), 1);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(view.Margin(d.Row(i)), model.Predict(d.Row(i)));
+}
+
+TEST(TreeEnsembleViewTest, ForestViewAverages) {
+  Dataset d = MakeLoans(300, 11);
+  RandomForestModel::Config config;
+  config.n_trees = 9;
+  auto model = RandomForestModel::Train(d, config).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_NEAR(view.Margin(d.Row(i)), model.Predict(d.Row(i)), 1e-12);
+}
+
+TEST(TreeEnsembleViewTest, GbdtViewIsMargin) {
+  Dataset d = MakeLoans(300, 12);
+  GbdtModel::Config config;
+  config.n_trees = 15;
+  auto model = GbdtModel::Train(d, config).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_NEAR(view.Margin(d.Row(i)), model.Margin(d.Row(i)), 1e-12);
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,62 @@
+#include "xai/model/linear_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "xai/data/synthetic.h"
+#include "xai/model/metrics.h"
+
+namespace xai {
+namespace {
+
+TEST(LinearRegressionTest, RecoversNoiselessGroundTruth) {
+  auto [d, gt] = MakeLinearData(200, 4, 0.0, 1);
+  auto model = LinearRegressionModel::Train(d).ValueOrDie();
+  for (int j = 0; j < 4; ++j)
+    EXPECT_NEAR(model.weights()[j], gt.weights[j], 1e-5);
+  EXPECT_NEAR(model.bias(), gt.bias, 1e-5);
+}
+
+TEST(LinearRegressionTest, NoisyFitIsClose) {
+  auto [d, gt] = MakeLinearData(5000, 3, 0.5, 2);
+  auto model = LinearRegressionModel::Train(d).ValueOrDie();
+  for (int j = 0; j < 3; ++j)
+    EXPECT_NEAR(model.weights()[j], gt.weights[j], 0.05);
+}
+
+TEST(LinearRegressionTest, PredictMatchesCoefficients) {
+  auto model = LinearRegressionModel::FromCoefficients({2.0, -1.0}, 0.5);
+  EXPECT_DOUBLE_EQ(model.Predict({1.0, 1.0}), 1.5);
+  EXPECT_DOUBLE_EQ(model.Predict({0.0, 0.0}), 0.5);
+}
+
+TEST(LinearRegressionTest, RidgeShrinks) {
+  auto [d, gt] = MakeLinearData(100, 3, 0.1, 3);
+  (void)gt;
+  auto loose = LinearRegressionModel::Train(d, {1e-8}).ValueOrDie();
+  auto tight = LinearRegressionModel::Train(d, {1e5}).ValueOrDie();
+  EXPECT_LT(Norm2(tight.weights()), Norm2(loose.weights()) * 0.1);
+}
+
+TEST(LinearRegressionTest, MseLowOnTrainingData) {
+  auto [d, gt] = MakeLinearData(300, 5, 0.1, 4);
+  (void)gt;
+  auto model = LinearRegressionModel::Train(d).ValueOrDie();
+  EXPECT_LT(EvaluateMse(model, d), 0.02);
+}
+
+TEST(LinearRegressionTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(LinearRegressionModel::Train(Matrix(0, 2), {}).ok());
+  EXPECT_FALSE(LinearRegressionModel::Train(Matrix(3, 2), {1.0, 2.0}).ok());
+}
+
+TEST(LinearRegressionTest, BatchPredictionMatchesRowwise) {
+  auto [d, gt] = MakeLinearData(50, 3, 0.2, 5);
+  (void)gt;
+  auto model = LinearRegressionModel::Train(d).ValueOrDie();
+  Vector batch = model.PredictBatch(d.x());
+  for (int i = 0; i < d.num_rows(); ++i)
+    EXPECT_DOUBLE_EQ(batch[i], model.Predict(d.Row(i)));
+}
+
+}  // namespace
+}  // namespace xai

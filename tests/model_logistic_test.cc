@@ -1,0 +1,150 @@
+#include "xai/model/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/data/synthetic.h"
+#include "xai/model/metrics.h"
+
+namespace xai {
+namespace {
+
+TEST(SigmoidTest, KnownValuesAndStability) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-15);
+  EXPECT_NEAR(Sigmoid(800.0), 1.0, 1e-12);   // No overflow.
+  EXPECT_NEAR(Sigmoid(-800.0), 0.0, 1e-12);  // No underflow to NaN.
+  EXPECT_TRUE(std::isfinite(Sigmoid(-1e308)));
+}
+
+TEST(LogisticTest, RecoversGeneratingWeights) {
+  auto [d, gt] = MakeLogisticData(20000, 3, 1);
+  LogisticRegressionConfig config;
+  config.l2 = 1e-6;
+  auto model = LogisticRegressionModel::Train(d, config).ValueOrDie();
+  for (int j = 0; j < 3; ++j)
+    EXPECT_NEAR(model.weights()[j], gt.weights[j], 0.15);
+  EXPECT_NEAR(model.bias(), gt.bias, 0.15);
+}
+
+TEST(LogisticTest, GradientNearZeroAtOptimum) {
+  auto [d, gt] = MakeLogisticData(500, 4, 2);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  // Mean gradient of the regularized objective should be ~0.
+  int n = d.num_rows(), dd = d.num_features();
+  Vector g(dd + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    Vector gi = model.ExampleLossGradient(d.Row(i), d.Label(i));
+    for (int j = 0; j <= dd; ++j) g[j] += gi[j] / n;
+  }
+  for (int j = 0; j < dd; ++j) g[j] += model.config().l2 * model.weights()[j];
+  EXPECT_LT(Norm2(g), 1e-6);
+}
+
+TEST(LogisticTest, AccuracyBeatsMajority) {
+  Dataset d = MakeLoans(3000, 3);
+  auto [train, test] = d.TrainTestSplit(0.3, 7);
+  auto model = LogisticRegressionModel::Train(train).ValueOrDie();
+  double pos = 0;
+  for (double y : test.y()) pos += y;
+  double majority = std::max(pos, test.num_rows() - pos) / test.num_rows();
+  EXPECT_GT(EvaluateAccuracy(model, test), majority);
+}
+
+TEST(LogisticTest, PredictIsSigmoidOfMargin) {
+  auto model = LogisticRegressionModel::FromCoefficients({1.0, -2.0}, 0.3);
+  Vector row = {0.5, 0.25};
+  EXPECT_DOUBLE_EQ(model.Margin(row), 0.5 - 0.5 + 0.3);
+  EXPECT_DOUBLE_EQ(model.Predict(row), Sigmoid(model.Margin(row)));
+  EXPECT_EQ(model.PredictClass(row), 1);
+}
+
+TEST(LogisticTest, ExampleLossMatchesDefinition) {
+  auto model = LogisticRegressionModel::FromCoefficients({1.0}, 0.0);
+  Vector row = {2.0};
+  double p = Sigmoid(2.0);
+  EXPECT_NEAR(model.ExampleLoss(row, 1.0), -std::log(p), 1e-12);
+  EXPECT_NEAR(model.ExampleLoss(row, 0.0), -std::log(1 - p), 1e-12);
+}
+
+TEST(LogisticTest, ExampleGradientMatchesFiniteDifference) {
+  auto model = LogisticRegressionModel::FromCoefficients({0.7, -0.3}, 0.1);
+  Vector row = {1.5, -2.5};
+  double label = 1.0;
+  Vector g = model.ExampleLossGradient(row, label);
+  double eps = 1e-6;
+  for (int j = 0; j < 2; ++j) {
+    Vector w_plus = model.weights();
+    w_plus[j] += eps;
+    auto shifted =
+        LogisticRegressionModel::FromCoefficients(w_plus, model.bias());
+    double fd =
+        (shifted.ExampleLoss(row, label) - model.ExampleLoss(row, label)) /
+        eps;
+    EXPECT_NEAR(g[j], fd, 1e-4);
+  }
+  auto shifted_bias = LogisticRegressionModel::FromCoefficients(
+      model.weights(), model.bias() + eps);
+  double fd_bias = (shifted_bias.ExampleLoss(row, label) -
+                    model.ExampleLoss(row, label)) /
+                   eps;
+  EXPECT_NEAR(g[2], fd_bias, 1e-4);
+}
+
+TEST(LogisticTest, HessianIsPsdAndMatchesFiniteDifference) {
+  auto [d, gt] = MakeLogisticData(200, 3, 4);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  Matrix h = model.LossHessian(d.x());
+  // PSD: Cholesky succeeds after tiny jitter.
+  Matrix hj = h;
+  hj.AddScaledIdentity(1e-12);
+  EXPECT_TRUE(CholeskyFactor(hj).ok());
+  EXPECT_EQ(h.rows(), 4);
+  // Symmetry.
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b) EXPECT_NEAR(h(a, b), h(b, a), 1e-12);
+}
+
+TEST(LogisticTest, SampleWeightsZeroExcludesPoints) {
+  // Two datasets: one without outlier block, one with outliers weighted 0.
+  auto [base, gt] = MakeLogisticData(400, 2, 5);
+  (void)gt;
+  Dataset with_noise = base;
+  for (int i = 0; i < 50; ++i)
+    with_noise.AppendRow({10.0, 10.0}, 0.0);  // Contradictory block.
+  LogisticRegressionConfig config;
+  config.sample_weights.assign(450, 1.0);
+  for (int i = 400; i < 450; ++i) config.sample_weights[i] = 0.0;
+  auto weighted =
+      LogisticRegressionModel::Train(with_noise, config).ValueOrDie();
+  auto clean = LogisticRegressionModel::Train(base).ValueOrDie();
+  for (int j = 0; j < 2; ++j)
+    EXPECT_NEAR(weighted.weights()[j], clean.weights()[j], 1e-4);
+}
+
+TEST(LogisticTest, WarmStartConverges) {
+  auto [d, gt] = MakeLogisticData(300, 3, 6);
+  (void)gt;
+  auto cold = LogisticRegressionModel::Train(d).ValueOrDie();
+  LogisticRegressionConfig one_iter;
+  one_iter.max_iter = 1;
+  auto warm = LogisticRegressionModel::TrainWarmStart(
+                  d.x(), d.y(), cold.weights(), cold.bias(), one_iter)
+                  .ValueOrDie();
+  for (int j = 0; j < 3; ++j)
+    EXPECT_NEAR(warm.weights()[j], cold.weights()[j], 1e-6);
+}
+
+TEST(LogisticTest, RejectsBadInput) {
+  EXPECT_FALSE(LogisticRegressionModel::Train(Matrix(0, 2), {}).ok());
+  LogisticRegressionConfig config;
+  config.sample_weights = {1.0};  // Wrong size.
+  EXPECT_FALSE(
+      LogisticRegressionModel::Train(Matrix(3, 1), {0, 1, 0}, config).ok());
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,64 @@
+#include "xai/model/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xai {
+namespace {
+
+TEST(MetricsTest, AccuracyThresholdsAtHalf) {
+  EXPECT_DOUBLE_EQ(Accuracy({0.9, 0.2, 0.6, 0.4}, {1, 0, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0.9, 0.2}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0.5}, {1}), 1.0);  // 0.5 rounds up.
+}
+
+TEST(MetricsTest, AucPerfectRanking) {
+  EXPECT_DOUBLE_EQ(Auc({0.1, 0.4, 0.35, 0.8}, {0, 0, 0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Auc({0.8, 0.1}, {0, 1}), 0.0);
+}
+
+TEST(MetricsTest, AucRandomIsHalf) {
+  // All scores equal: AUC 0.5 by tie handling.
+  EXPECT_DOUBLE_EQ(Auc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(MetricsTest, AucKnownMixedCase) {
+  // scores: pos {0.9, 0.4}, neg {0.5, 0.1}:
+  // pairs: (0.9>0.5),(0.9>0.1),(0.4<0.5),(0.4>0.1) => 3/4.
+  EXPECT_DOUBLE_EQ(Auc({0.9, 0.4, 0.5, 0.1}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(MetricsTest, AucDegenerateClasses) {
+  EXPECT_DOUBLE_EQ(Auc({0.2, 0.8}, {1, 1}), 0.5);
+}
+
+TEST(MetricsTest, LogLossKnownValue) {
+  double ll = LogLoss({0.8, 0.3}, {1, 0});
+  EXPECT_NEAR(ll, (-std::log(0.8) - std::log(0.7)) / 2, 1e-12);
+}
+
+TEST(MetricsTest, LogLossClipsExtremes) {
+  EXPECT_TRUE(std::isfinite(LogLoss({0.0, 1.0}, {1, 0})));
+}
+
+TEST(MetricsTest, Mse) {
+  EXPECT_DOUBLE_EQ(Mse({1, 2, 3}, {1, 2, 5}), 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Mse({}, {}), 0.0);
+}
+
+TEST(MetricsTest, PrecisionRecall) {
+  // preds: 1,1,0,0 ; labels: 1,0,1,0 -> TP=1 FP=1 FN=1.
+  Vector scores = {0.9, 0.8, 0.1, 0.2};
+  Vector labels = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(Precision(scores, labels), 0.5);
+  EXPECT_DOUBLE_EQ(Recall(scores, labels), 0.5);
+}
+
+TEST(MetricsTest, PrecisionNoPositivesPredicted) {
+  EXPECT_DOUBLE_EQ(Precision({0.1, 0.2}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(Recall({0.1, 0.2}, {0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "xai/data/synthetic.h"
+#include "xai/model/knn.h"
+#include "xai/model/metrics.h"
+#include "xai/model/mlp.h"
+#include "xai/model/naive_bayes.h"
+
+namespace xai {
+namespace {
+
+TEST(KnnTest, MulticlassBlobs) {
+  Dataset d = MakeBlobs(600, 3, 4, 0.5, 1);
+  auto [train, test] = d.TrainTestSplit(0.3, 2);
+  auto model = KnnModel::Train(train, {5}).ValueOrDie();
+  int correct = 0;
+  for (int i = 0; i < test.num_rows(); ++i)
+    if (model.PredictClass(test.Row(i)) ==
+        static_cast<int>(test.Label(i)))
+      ++correct;
+  EXPECT_GT(static_cast<double>(correct) / test.num_rows(), 0.9);
+}
+
+TEST(KnnTest, NeighborsSortedByDistance) {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("x")};
+  Matrix x = {{0.0}, {10.0}, {1.0}, {5.0}};
+  Dataset d(schema, x, {0, 1, 0, 1});
+  auto model = KnnModel::Train(d, {2}).ValueOrDie();
+  std::vector<int> order = model.NeighborsSortedByDistance({0.4});
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 1}));
+}
+
+TEST(KnnTest, BinaryPredictIsNeighborFraction) {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("x")};
+  Matrix x = {{0.0}, {0.1}, {0.2}, {10.0}};
+  Dataset d(schema, x, {1, 1, 0, 0});
+  auto model = KnnModel::Train(d, {3}).ValueOrDie();
+  EXPECT_NEAR(model.Predict({0.05}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KnnTest, RegressionAveragesNeighbors) {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("x")};
+  schema.task = TaskType::kRegression;
+  Matrix x = {{0.0}, {1.0}, {2.0}, {100.0}};
+  Dataset d(schema, x, {10, 20, 30, 500});
+  auto model =
+      KnnModel::Train(x, d.y(), TaskType::kRegression, {3}).ValueOrDie();
+  EXPECT_NEAR(model.Predict({1.0}), 20.0, 1e-12);
+}
+
+TEST(KnnTest, RejectsBadConfig) {
+  EXPECT_FALSE(
+      KnnModel::Train(Matrix(2, 1), {0.0, 1.0}, TaskType::kClassification,
+                      {0})
+          .ok());
+}
+
+TEST(NaiveBayesTest, SeparatesGaussianClasses) {
+  Dataset d = MakeBlobs(500, 2, 2, 0.6, 3);
+  auto [train, test] = d.TrainTestSplit(0.3, 4);
+  auto model = NaiveBayesModel::Train(train).ValueOrDie();
+  EXPECT_GT(EvaluateAccuracy(model, test), 0.9);
+}
+
+TEST(NaiveBayesTest, ProbabilitiesAreCalibratedDirectionally) {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("x")};
+  Matrix x = {{-2}, {-1.8}, {-2.2}, {2}, {1.8}, {2.2}};
+  Dataset d(schema, x, {0, 0, 0, 1, 1, 1});
+  auto model = NaiveBayesModel::Train(d).ValueOrDie();
+  EXPECT_GT(model.Predict({2.0}), 0.95);
+  EXPECT_LT(model.Predict({-2.0}), 0.05);
+  EXPECT_NEAR(model.Predict({0.0}), 0.5, 0.1);
+}
+
+TEST(NaiveBayesTest, RequiresBothClasses) {
+  Matrix x = {{1}, {2}};
+  EXPECT_FALSE(NaiveBayesModel::Train(x, {1.0, 1.0}).ok());
+}
+
+TEST(MlpTest, LearnsXor) {
+  // XOR is not linearly separable: a working MLP proves the hidden layer.
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("a"), FeatureSpec::Numeric("b")};
+  Matrix x(200, 2);
+  Vector y(200);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    int a = rng.Bernoulli(0.5), b = rng.Bernoulli(0.5);
+    x(i, 0) = a + rng.Normal(0, 0.05);
+    x(i, 1) = b + rng.Normal(0, 0.05);
+    y[i] = a ^ b;
+  }
+  Dataset d(schema, x, y);
+  MlpModel::Config config;
+  config.hidden = {8};
+  config.epochs = 400;
+  config.seed = 3;
+  auto model = MlpModel::Train(d, config).ValueOrDie();
+  EXPECT_GT(EvaluateAccuracy(model, d), 0.95);
+}
+
+TEST(MlpTest, RegressionFitsSmoothFunction) {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("x")};
+  schema.task = TaskType::kRegression;
+  Matrix x(100, 1);
+  Vector y(100);
+  for (int i = 0; i < 100; ++i) {
+    x(i, 0) = -2.0 + 4.0 * i / 99.0;
+    y[i] = x(i, 0) * x(i, 0);
+  }
+  Dataset d(schema, x, y);
+  MlpModel::Config config;
+  config.hidden = {16};
+  config.epochs = 800;
+  config.learning_rate = 0.02;
+  auto model = MlpModel::Train(d, config).ValueOrDie();
+  EXPECT_LT(EvaluateMse(model, d), 0.15);
+}
+
+TEST(MlpTest, DeterministicBySeed) {
+  Dataset d = MakeLoans(200, 6);
+  MlpModel::Config config;
+  config.epochs = 20;
+  auto a = MlpModel::Train(d, config).ValueOrDie();
+  auto b = MlpModel::Train(d, config).ValueOrDie();
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(a.Predict(d.Row(i)), b.Predict(d.Row(i)));
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,141 @@
+#include "xai/model/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "xai/data/synthetic.h"
+#include "xai/model/metrics.h"
+
+namespace xai {
+namespace {
+
+// A dataset with a perfect single split at x <= 0.5.
+Dataset StepDataset() {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("x"),
+                     FeatureSpec::Numeric("noise")};
+  Matrix x = {{0.1, 5}, {0.2, 3}, {0.3, 9}, {0.4, 1},
+              {0.6, 2}, {0.7, 8}, {0.8, 4}, {0.9, 6}};
+  Vector y = {0, 0, 0, 0, 1, 1, 1, 1};
+  return Dataset(schema, x, y);
+}
+
+TEST(DecisionTreeTest, FindsThePerfectSplit) {
+  auto model = DecisionTreeModel::Train(StepDataset()).ValueOrDie();
+  const Tree& tree = model.tree();
+  ASSERT_FALSE(tree.nodes()[0].IsLeaf());
+  EXPECT_EQ(tree.nodes()[0].feature, 0);
+  EXPECT_NEAR(tree.nodes()[0].threshold, 0.5, 0.11);
+  EXPECT_DOUBLE_EQ(model.Predict({0.2, 7.0}), 0.0);
+  EXPECT_DOUBLE_EQ(model.Predict({0.75, 7.0}), 1.0);
+}
+
+TEST(DecisionTreeTest, CoverCountsTrackSamples) {
+  auto model = DecisionTreeModel::Train(StepDataset()).ValueOrDie();
+  const Tree& tree = model.tree();
+  EXPECT_DOUBLE_EQ(tree.nodes()[0].cover, 8.0);
+  // Children covers sum to parent cover.
+  const TreeNode& root = tree.nodes()[0];
+  EXPECT_DOUBLE_EQ(tree.nodes()[root.left].cover +
+                       tree.nodes()[root.right].cover,
+                   root.cover);
+}
+
+TEST(DecisionTreeTest, MaxDepthRespected) {
+  Dataset d = MakeLoans(500, 1);
+  CartConfig config;
+  config.max_depth = 3;
+  auto model = DecisionTreeModel::Train(d, config).ValueOrDie();
+  EXPECT_LE(model.tree().Depth(), 3);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  Dataset d = MakeLoans(300, 2);
+  CartConfig config;
+  config.min_samples_leaf = 20;
+  auto model = DecisionTreeModel::Train(d, config).ValueOrDie();
+  for (const TreeNode& node : model.tree().nodes())
+    if (node.IsLeaf()) {
+      EXPECT_GE(node.cover, 20.0);
+    }
+}
+
+TEST(DecisionTreeTest, PureDataGivesSingleLeaf) {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("x")};
+  Matrix x = {{1}, {2}, {3}};
+  Dataset d(schema, x, {1, 1, 1});
+  auto model = DecisionTreeModel::Train(d).ValueOrDie();
+  EXPECT_EQ(model.tree().num_nodes(), 1);
+  EXPECT_DOUBLE_EQ(model.Predict({5.0}), 1.0);
+}
+
+TEST(DecisionTreeTest, RegressionTreeFitsPiecewiseConstant) {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("x")};
+  schema.task = TaskType::kRegression;
+  Matrix x(40, 1);
+  Vector y(40);
+  for (int i = 0; i < 40; ++i) {
+    x(i, 0) = i;
+    y[i] = i < 20 ? 3.0 : 7.0;
+  }
+  Dataset d(schema, x, y);
+  auto model = DecisionTreeModel::Train(d).ValueOrDie();
+  EXPECT_DOUBLE_EQ(model.Predict({5.0}), 3.0);
+  EXPECT_DOUBLE_EQ(model.Predict({30.0}), 7.0);
+}
+
+TEST(DecisionTreeTest, RejectsNonBinaryClassificationLabels) {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("x")};
+  Matrix x = {{1}, {2}};
+  EXPECT_FALSE(
+      DecisionTreeModel::Train(x, {0.0, 2.0}, TaskType::kClassification)
+          .ok());
+}
+
+TEST(DecisionTreeTest, AccuracyOnLoansReasonable) {
+  Dataset d = MakeLoans(2000, 9);
+  auto [train, test] = d.TrainTestSplit(0.3, 1);
+  CartConfig config;
+  config.max_depth = 6;
+  auto model = DecisionTreeModel::Train(train, config).ValueOrDie();
+  EXPECT_GT(EvaluateAccuracy(model, test), 0.7);
+}
+
+TEST(TreeStructureTest, LeafIndexRouting) {
+  auto model = DecisionTreeModel::Train(StepDataset()).ValueOrDie();
+  const Tree& tree = model.tree();
+  int leaf_low = tree.LeafIndexOf({0.1, 0.0});
+  int leaf_high = tree.LeafIndexOf({0.9, 0.0});
+  EXPECT_NE(leaf_low, leaf_high);
+  EXPECT_TRUE(tree.nodes()[leaf_low].IsLeaf());
+  EXPECT_EQ(tree.NumLeaves(), 2);
+}
+
+TEST(CartBuilderTest, FeatureSubsamplingStillSplits) {
+  Dataset d = MakeLoans(400, 4);
+  CartConfig config;
+  config.max_features = 2;
+  Rng rng(3);
+  std::vector<int> rows(d.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  Tree tree = BuildCartTree(d.x(), d.y(), rows, config, &rng);
+  EXPECT_GT(tree.num_nodes(), 1);
+}
+
+TEST(CartBuilderTest, DuplicateRowsHandled) {
+  // Bootstrap samples repeat rows; builder must not crash and cover counts
+  // must count duplicates.
+  Dataset d = StepDataset();
+  std::vector<int> rows = {0, 0, 0, 4, 4, 4};
+  CartConfig config;
+  Rng rng(4);
+  Tree tree = BuildCartTree(d.x(), d.y(), rows, config, &rng);
+  EXPECT_DOUBLE_EQ(tree.nodes()[0].cover, 6.0);
+}
+
+}  // namespace
+}  // namespace xai

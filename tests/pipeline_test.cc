@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "xai/data/synthetic.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/metrics.h"
+#include "xai/pipeline/operators.h"
+#include "xai/pipeline/pipeline.h"
+#include "xai/pipeline/stage_attribution.h"
+
+namespace xai {
+namespace {
+
+Dataset WithMissing(uint64_t seed, double missing_value) {
+  Dataset d = MakeLoans(300, seed);
+  // Punch holes into the income column.
+  Rng rng(seed + 1);
+  int income = d.schema().FeatureIndex("income");
+  for (int i = 0; i < d.num_rows(); ++i)
+    if (rng.Bernoulli(0.1)) (*d.mutable_x())(i, income) = missing_value;
+  return d;
+}
+
+TEST(PipelineTest, EmptyPipelineIsIdentity) {
+  Dataset d = MakeLoans(100, 1);
+  Pipeline pipeline;
+  PipelineResult result = pipeline.Run(d).ValueOrDie();
+  EXPECT_EQ(result.output.num_rows(), d.num_rows());
+  EXPECT_EQ(result.provenance[5].input_row, 5);
+  EXPECT_TRUE(result.provenance[5].modified_by.empty());
+}
+
+TEST(PipelineTest, FilterTracksDroppedRows) {
+  Dataset d = MakeLoans(200, 2);
+  int age = d.schema().FeatureIndex("age");
+  Pipeline pipeline;
+  pipeline.Add(std::make_shared<FilterRowsOp>(
+      "adults_only",
+      [age](const Vector& x, double) { return x[age] >= 40.0; }));
+  PipelineResult result = pipeline.Run(d).ValueOrDie();
+  EXPECT_LT(result.output.num_rows(), d.num_rows());
+  for (int i = 0; i < result.output.num_rows(); ++i) {
+    EXPECT_GE(result.output.At(i, age), 40.0);
+    // Provenance points back at a matching original row.
+    int src = result.provenance[i].input_row;
+    EXPECT_DOUBLE_EQ(d.At(src, age), result.output.At(i, age));
+  }
+}
+
+TEST(PipelineTest, ImputeMarksOnlyTouchedRows) {
+  const double kMissing = -999.0;
+  Dataset d = WithMissing(3, kMissing);
+  int income = d.schema().FeatureIndex("income");
+  Pipeline pipeline;
+  pipeline.Add(std::make_shared<ImputeMeanOp>(income, kMissing));
+  PipelineResult result = pipeline.Run(d).ValueOrDie();
+  int marked = 0;
+  for (int i = 0; i < result.output.num_rows(); ++i) {
+    bool was_missing = d.At(i, income) == kMissing;
+    bool is_marked = !result.provenance[i].modified_by.empty();
+    EXPECT_EQ(was_missing, is_marked) << "row " << i;
+    if (is_marked) ++marked;
+    EXPECT_NE(result.output.At(i, income), kMissing);
+  }
+  EXPECT_GT(marked, 0);
+}
+
+TEST(PipelineTest, ImputedValueIsMeanOfObserved) {
+  const double kMissing = std::nan("");
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("x")};
+  Matrix x = {{1.0}, {3.0}, {kMissing}};
+  Dataset d(schema, x, {0, 1, 0});
+  Pipeline pipeline;
+  pipeline.Add(std::make_shared<ImputeMeanOp>(0, -12345.0));
+  PipelineResult result = pipeline.Run(d).ValueOrDie();
+  EXPECT_DOUBLE_EQ(result.output.At(2, 0), 2.0);
+}
+
+TEST(PipelineTest, StandardizeMarksEveryRow) {
+  Dataset d = MakeLoans(100, 4);
+  Pipeline pipeline;
+  pipeline.Add(std::make_shared<StandardizeOp>());
+  PipelineResult result = pipeline.Run(d).ValueOrDie();
+  for (int i = 0; i < result.output.num_rows(); ++i)
+    EXPECT_EQ(result.provenance[i].modified_by,
+              (std::vector<int>{0}));
+}
+
+TEST(PipelineTest, ClipOnlyTouchesOutliers) {
+  Schema schema;
+  schema.features = {FeatureSpec::Numeric("x")};
+  Matrix x = {{5.0}, {50.0}, {-3.0}};
+  Dataset d(schema, x, {0, 1, 0});
+  Pipeline pipeline;
+  pipeline.Add(std::make_shared<ClipOp>(0, 0.0, 10.0));
+  PipelineResult result = pipeline.Run(d).ValueOrDie();
+  EXPECT_DOUBLE_EQ(result.output.At(1, 0), 10.0);
+  EXPECT_DOUBLE_EQ(result.output.At(2, 0), 0.0);
+  EXPECT_TRUE(result.provenance[0].modified_by.empty());
+  EXPECT_FALSE(result.provenance[1].modified_by.empty());
+}
+
+TEST(PipelineTest, TraceRowReadable) {
+  Dataset d = MakeLoans(50, 5);
+  Pipeline pipeline;
+  pipeline.Add(std::make_shared<StandardizeOp>());
+  PipelineResult result = pipeline.Run(d).ValueOrDie();
+  std::string trace = result.TraceRow(7);
+  EXPECT_NE(trace.find("input row 7"), std::string::npos);
+  EXPECT_NE(trace.find("standardize"), std::string::npos);
+}
+
+TEST(PipelineTest, RunWithStagesAblation) {
+  Dataset d = MakeLoans(100, 6);
+  int age = d.schema().FeatureIndex("age");
+  Pipeline pipeline;
+  pipeline.Add(std::make_shared<FilterRowsOp>(
+      "adults", [age](const Vector& x, double) { return x[age] >= 30; }));
+  pipeline.Add(std::make_shared<StandardizeOp>());
+  Dataset no_filter =
+      pipeline.RunWithStages(d, {false, true}).ValueOrDie();
+  EXPECT_EQ(no_filter.num_rows(), d.num_rows());
+  Dataset no_standardize =
+      pipeline.RunWithStages(d, {true, false}).ValueOrDie();
+  EXPECT_LT(no_standardize.num_rows(), d.num_rows());
+}
+
+TEST(StageAttributionTest, FlagsTheCorruptingStage) {
+  // A pipeline with three benign stages and one stage that flips labels of
+  // high-income rows: stage Shapley must rank the corrupter most harmful.
+  Dataset d = MakeLoans(800, 7);
+  auto [input, valid] = d.TrainTestSplit(0.3, 8);
+  int income = input.schema().FeatureIndex("income");
+
+  // Benign stages must preserve the feature scale of the validation set;
+  // otherwise they themselves degrade the quality function.
+  Pipeline pipeline;
+  pipeline.Add(std::make_shared<ClipOp>(income, 0.0, 500.0));
+  pipeline.Add(std::make_shared<CorruptLabelsOp>(
+      "buggy_label_fix", [income](const Vector& x, double) {
+        return x[income] > 50.0;
+      }));
+  pipeline.Add(std::make_shared<ImputeMeanOp>(income, -999.0));
+
+  // Quality = validation accuracy of a logistic model trained on the
+  // prepared data.
+  auto quality = [&](const Dataset& prepared) {
+    auto model = LogisticRegressionModel::Train(prepared);
+    if (!model.ok()) return 0.0;
+    return EvaluateAccuracy(*model, valid);
+  };
+  StageAttribution attribution =
+      StageShapley(pipeline, input, quality).ValueOrDie();
+  EXPECT_EQ(attribution.MostHarmfulStage(), 1);
+  EXPECT_LT(attribution.shapley[1], 0.0);
+  EXPECT_EQ(attribution.pipeline_evaluations, 8);  // 2^3 coalitions.
+}
+
+TEST(StageAttributionTest, BenignPipelineHasNoHarmfulStage) {
+  Dataset d = MakeLoans(500, 9);
+  auto [input, valid] = d.TrainTestSplit(0.3, 10);
+  int income = input.schema().FeatureIndex("income");
+  Pipeline pipeline;
+  pipeline.Add(std::make_shared<ClipOp>(income, 0.0, 1e6));
+  pipeline.Add(std::make_shared<ImputeMeanOp>(income, -999.0));
+  auto quality = [&](const Dataset& prepared) {
+    auto model = LogisticRegressionModel::Train(prepared);
+    return model.ok() ? EvaluateAccuracy(*model, valid) : 0.0;
+  };
+  StageAttribution attribution =
+      StageShapley(pipeline, input, quality).ValueOrDie();
+  for (double v : attribution.shapley) EXPECT_GT(v, -0.02);
+}
+
+TEST(StageAttributionTest, ToStringListsStages) {
+  Dataset d = MakeLoans(200, 11);
+  Pipeline pipeline;
+  pipeline.Add(std::make_shared<StandardizeOp>());
+  auto quality = [](const Dataset&) { return 0.5; };
+  StageAttribution attribution =
+      StageShapley(pipeline, d, quality).ValueOrDie();
+  EXPECT_NE(attribution.ToString().find("standardize"), std::string::npos);
+}
+
+TEST(StageAttributionTest, RejectsEmptyPipeline) {
+  Dataset d = MakeLoans(50, 12);
+  Pipeline pipeline;
+  EXPECT_FALSE(
+      StageShapley(pipeline, d, [](const Dataset&) { return 0.0; }).ok());
+}
+
+}  // namespace
+}  // namespace xai

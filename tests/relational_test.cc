@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "xai/relational/expression.h"
+#include "xai/relational/operators.h"
+#include "xai/relational/provenance.h"
+#include "xai/relational/relation.h"
+#include "xai/relational/value.h"
+
+namespace xai::rel {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(7).type(), Value::Type::kInt);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Str("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Int(7).AsDouble(), 7.0);
+  EXPECT_EQ(Value::Double(2.6).AsInt(), 3);  // Rounds.
+}
+
+TEST(ValueTest, EqualityAcrossNumericTypes) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_NE(Value::Int(2), Value::Double(2.5));
+  EXPECT_NE(Value::Int(2), Value::Str("2"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Int(0));
+}
+
+TEST(ValueTest, OrderingAndToString) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Str("x").ToString(), "x");
+}
+
+TEST(ProvenanceTest, SimplificationRules) {
+  auto x = ProvExpr::Base(1);
+  EXPECT_EQ(ProvExpr::Plus(ProvExpr::Zero(), x).get(), x.get());
+  EXPECT_EQ(ProvExpr::Times(ProvExpr::One(), x).get(), x.get());
+  EXPECT_EQ(ProvExpr::Times(ProvExpr::Zero(), x)->kind(),
+            ProvExpr::Kind::kZero);
+}
+
+TEST(ProvenanceTest, BooleanEvaluation) {
+  // t1*t2 + t3.
+  auto expr = ProvExpr::Plus(
+      ProvExpr::Times(ProvExpr::Base(1), ProvExpr::Base(2)),
+      ProvExpr::Base(3));
+  auto with = [&](std::set<int> present) {
+    return expr->EvalBool([&](int id) { return present.count(id) > 0; });
+  };
+  EXPECT_TRUE(with({1, 2}));
+  EXPECT_TRUE(with({3}));
+  EXPECT_FALSE(with({1}));
+  EXPECT_FALSE(with({}));
+}
+
+TEST(ProvenanceTest, CountingSemiring) {
+  // (t1 + t2) * t3 with multiplicities 2, 3, 4 = (2+3)*4 = 20.
+  auto expr = ProvExpr::Times(
+      ProvExpr::Plus(ProvExpr::Base(1), ProvExpr::Base(2)),
+      ProvExpr::Base(3));
+  std::map<int, int64_t> mult = {{1, 2}, {2, 3}, {3, 4}};
+  EXPECT_EQ(expr->EvalCount([&](int id) { return mult[id]; }), 20);
+}
+
+TEST(ProvenanceTest, NumericSemiringMaxTimes) {
+  // Viterbi-like: plus = max, times = product.
+  auto expr = ProvExpr::Plus(
+      ProvExpr::Times(ProvExpr::Base(1), ProvExpr::Base(2)),
+      ProvExpr::Base(3));
+  std::map<int, double> prob = {{1, 0.5}, {2, 0.8}, {3, 0.3}};
+  double v = expr->EvalNumeric(
+      [&](int id) { return prob[id]; },
+      [](double a, double b) { return std::max(a, b); },
+      [](double a, double b) { return a * b; }, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(v, 0.4);  // max(0.5*0.8, 0.3).
+}
+
+TEST(ProvenanceTest, LineageCollectsAllVariables) {
+  auto expr = ProvExpr::Plus(
+      ProvExpr::Times(ProvExpr::Base(1), ProvExpr::Base(2)),
+      ProvExpr::Base(3));
+  EXPECT_EQ(expr->Lineage(), (std::set<int>{1, 2, 3}));
+}
+
+TEST(ProvenanceTest, WhyProvenanceMinimalWitnesses) {
+  auto expr = ProvExpr::Plus(
+      ProvExpr::Times(ProvExpr::Base(1), ProvExpr::Base(2)),
+      ProvExpr::Base(3));
+  std::set<std::set<int>> why = expr->WhyProvenance();
+  EXPECT_EQ(why, (std::set<std::set<int>>{{1, 2}, {3}}));
+}
+
+TEST(ProvenanceTest, WhyProvenanceDropsDominatedWitness) {
+  // t1 + t1*t2: witness {1,2} is dominated by {1}.
+  auto expr = ProvExpr::Plus(
+      ProvExpr::Base(1),
+      ProvExpr::Times(ProvExpr::Base(1), ProvExpr::Base(2)));
+  EXPECT_EQ(expr->WhyProvenance(), (std::set<std::set<int>>{{1}}));
+}
+
+TEST(ProvenanceTest, ExactProbabilityIndependentTuples) {
+  // P(t1*t2 + t3) with p1=0.5, p2=0.5, p3=0.2:
+  // = P(t3) + P(t1 t2) - P(t1 t2 t3) = 0.2 + 0.25 - 0.05 = 0.4.
+  auto expr = ProvExpr::Plus(
+      ProvExpr::Times(ProvExpr::Base(1), ProvExpr::Base(2)),
+      ProvExpr::Base(3));
+  auto prob = [](int id) { return id == 3 ? 0.2 : 0.5; };
+  EXPECT_NEAR(expr->ProbabilityExact(prob), 0.4, 1e-12);
+}
+
+TEST(ProvenanceTest, ProbabilityOfCertainAndImpossible) {
+  EXPECT_DOUBLE_EQ(ProvExpr::One()->ProbabilityExact([](int) { return 0.5; }),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      ProvExpr::Zero()->ProbabilityExact([](int) { return 0.5; }), 0.0);
+  auto base = ProvExpr::Base(7);
+  EXPECT_DOUBLE_EQ(base->ProbabilityExact([](int) { return 0.3; }), 0.3);
+}
+
+TEST(ProvenanceTest, MonteCarloMatchesExact) {
+  auto expr = ProvExpr::Plus(
+      ProvExpr::Times(ProvExpr::Base(1), ProvExpr::Base(2)),
+      ProvExpr::Times(ProvExpr::Base(2), ProvExpr::Base(3)));
+  auto prob = [](int id) { return 0.1 * id + 0.2; };
+  double exact = expr->ProbabilityExact(prob);
+  double mc = expr->ProbabilityMonteCarlo(prob, 200000, 42);
+  EXPECT_NEAR(mc, exact, 0.01);
+}
+
+TEST(ProvenanceTest, SharedVariableProbabilityNotNaiveProduct) {
+  // t1*t2 + t1*t3 with all p=0.5: correct P = p1 * (1-(1-p2)(1-p3)) =
+  // 0.5 * 0.75 = 0.375 (naive independent-monomial math would give
+  // 0.25+0.25-0.0625 = 0.4375).
+  auto expr = ProvExpr::Plus(
+      ProvExpr::Times(ProvExpr::Base(1), ProvExpr::Base(2)),
+      ProvExpr::Times(ProvExpr::Base(1), ProvExpr::Base(3)));
+  EXPECT_NEAR(expr->ProbabilityExact([](int) { return 0.5; }), 0.375,
+              1e-12);
+}
+
+TEST(ProvenanceTest, PolynomialRendering) {
+  auto expr = ProvExpr::Times(
+      ProvExpr::Plus(ProvExpr::Base(1), ProvExpr::Base(2)),
+      ProvExpr::Base(3));
+  EXPECT_EQ(expr->ToString(), "(t1 + t2)*t3");
+}
+
+// A small employee/department database.
+struct TestDb {
+  Relation employees{"emp", {"name", "dept", "salary"}};
+  Relation departments{"dept", {"dname", "budget"}};
+  TupleIdAllocator ids;
+
+  TestDb() {
+    auto add_emp = [&](const std::string& n, const std::string& d,
+                       int64_t s) {
+      ASSERT_TRUE(employees
+                      .AppendBase({Value::Str(n), Value::Str(d),
+                                   Value::Int(s)},
+                                  ids.Next())
+                      .ok());
+    };
+    auto add_dept = [&](const std::string& d, int64_t b) {
+      ASSERT_TRUE(departments
+                      .AppendBase({Value::Str(d), Value::Int(b)},
+                                  ids.Next())
+                      .ok());
+    };
+    add_emp("ann", "eng", 120);
+    add_emp("bob", "eng", 100);
+    add_emp("cat", "sales", 90);
+    add_emp("dan", "sales", 80);
+    add_dept("eng", 1000);
+    add_dept("sales", 500);
+  }
+};
+
+TEST(OperatorsTest, SelectFiltersAndKeepsAnnotations) {
+  TestDb db;
+  auto rich = Select(db.employees,
+                     Expr::Gt(Expr::Column(2), Expr::Const(Value::Int(95))))
+                  .ValueOrDie();
+  EXPECT_EQ(rich.num_tuples(), 2);
+  EXPECT_EQ(rich.tuple(0)[0].AsString(), "ann");
+  EXPECT_EQ(rich.annotation(0)->kind(), ProvExpr::Kind::kBase);
+}
+
+TEST(OperatorsTest, ProjectBagKeepsDuplicates) {
+  TestDb db;
+  auto depts = Project(db.employees, {1}, /*distinct=*/false).ValueOrDie();
+  EXPECT_EQ(depts.num_tuples(), 4);
+}
+
+TEST(OperatorsTest, ProjectDistinctMergesWithPlus) {
+  TestDb db;
+  auto depts = Project(db.employees, {1}, /*distinct=*/true).ValueOrDie();
+  EXPECT_EQ(depts.num_tuples(), 2);
+  // "eng" appears via two employees: its annotation is a Plus.
+  EXPECT_EQ(depts.annotation(0)->kind(), ProvExpr::Kind::kPlus);
+  // Counting semiring recovers the duplicate count.
+  EXPECT_EQ(depts.annotation(0)->EvalCount([](int) { return 1; }), 2);
+}
+
+TEST(OperatorsTest, EquiJoinMultipliesAnnotations) {
+  TestDb db;
+  auto joined = EquiJoin(db.employees, db.departments, 1, 0).ValueOrDie();
+  EXPECT_EQ(joined.num_tuples(), 4);  // Every employee matches one dept.
+  EXPECT_EQ(joined.num_columns(), 5);
+  for (int i = 0; i < joined.num_tuples(); ++i)
+    EXPECT_EQ(joined.annotation(i)->kind(), ProvExpr::Kind::kTimes);
+}
+
+TEST(OperatorsTest, JoinProducesCorrectPairs) {
+  TestDb db;
+  auto joined = EquiJoin(db.employees, db.departments, 1, 0).ValueOrDie();
+  for (int i = 0; i < joined.num_tuples(); ++i)
+    EXPECT_EQ(joined.tuple(i)[1].AsString(), joined.tuple(i)[3].AsString());
+}
+
+TEST(OperatorsTest, UnionConcatenates) {
+  TestDb db;
+  auto a = Select(db.employees,
+                  Expr::Eq(Expr::Column(1), Expr::Const(Value::Str("eng"))))
+               .ValueOrDie();
+  auto b = Select(db.employees, Expr::Eq(Expr::Column(1),
+                                         Expr::Const(Value::Str("sales"))))
+               .ValueOrDie();
+  auto u = Union(a, b).ValueOrDie();
+  EXPECT_EQ(u.num_tuples(), 4);
+  EXPECT_FALSE(Union(a, db.departments).ok());  // Arity mismatch.
+}
+
+TEST(OperatorsTest, GroupByCountAndSum) {
+  TestDb db;
+  auto counts =
+      GroupByAggregate(db.employees, {1}, AggFn::kCount, -1, "cnt")
+          .ValueOrDie();
+  EXPECT_EQ(counts.num_tuples(), 2);
+  EXPECT_EQ(counts.tuple(0)[1].AsInt(), 2);
+
+  auto sums = GroupByAggregate(db.employees, {1}, AggFn::kSum, 2, "total")
+                  .ValueOrDie();
+  // eng: 120+100, sales: 90+80 (order of groups = first appearance).
+  EXPECT_DOUBLE_EQ(sums.tuple(0)[1].AsDouble(), 220);
+  EXPECT_DOUBLE_EQ(sums.tuple(1)[1].AsDouble(), 170);
+}
+
+TEST(OperatorsTest, GroupByMinMaxAvg) {
+  TestDb db;
+  auto mx = GroupByAggregate(db.employees, {1}, AggFn::kMax, 2, "mx")
+                .ValueOrDie();
+  EXPECT_DOUBLE_EQ(mx.tuple(0)[1].AsDouble(), 120);
+  auto mn = GroupByAggregate(db.employees, {1}, AggFn::kMin, 2, "mn")
+                .ValueOrDie();
+  EXPECT_DOUBLE_EQ(mn.tuple(1)[1].AsDouble(), 80);
+  auto avg = GroupByAggregate(db.employees, {1}, AggFn::kAvg, 2, "avg")
+                 .ValueOrDie();
+  EXPECT_DOUBLE_EQ(avg.tuple(0)[1].AsDouble(), 110);
+}
+
+TEST(OperatorsTest, GroupByLineageCoversGroupMembers) {
+  TestDb db;
+  auto counts =
+      GroupByAggregate(db.employees, {1}, AggFn::kCount, -1, "cnt")
+          .ValueOrDie();
+  // eng group: employees 0 and 1.
+  EXPECT_EQ(counts.annotation(0)->Lineage(), (std::set<int>{0, 1}));
+}
+
+TEST(OperatorsTest, ComposedQueryProvenance) {
+  // SELECT dname FROM emp JOIN dept ON emp.dept = dept.dname
+  // WHERE salary > 95 — classic SPJ with polynomial provenance.
+  TestDb db;
+  auto joined = EquiJoin(db.employees, db.departments, 1, 0).ValueOrDie();
+  auto rich = Select(joined, Expr::Gt(Expr::Column(2),
+                                      Expr::Const(Value::Int(95))))
+                  .ValueOrDie();
+  auto names = Project(rich, {3}, /*distinct=*/true).ValueOrDie();
+  ASSERT_EQ(names.num_tuples(), 1);
+  EXPECT_EQ(names.tuple(0)[0].AsString(), "eng");
+  // Provenance: ann*eng_dept + bob*eng_dept = t0*t4 + t1*t4.
+  std::set<int> lineage = names.annotation(0)->Lineage();
+  EXPECT_EQ(lineage, (std::set<int>{0, 1, 4}));
+  std::set<std::set<int>> why = names.annotation(0)->WhyProvenance();
+  EXPECT_EQ(why, (std::set<std::set<int>>{{0, 4}, {1, 4}}));
+}
+
+TEST(RelationTest, ColumnIndexAndToString) {
+  TestDb db;
+  EXPECT_EQ(db.employees.ColumnIndex("salary"), 2);
+  EXPECT_EQ(db.employees.ColumnIndex("zzz"), -1);
+  std::string text = db.employees.ToString(true);
+  EXPECT_NE(text.find("ann"), std::string::npos);
+  EXPECT_NE(text.find("@ t0"), std::string::npos);
+}
+
+TEST(RelationTest, ArityEnforced) {
+  Relation r("r", {"a", "b"});
+  EXPECT_FALSE(r.Append({Value::Int(1)}, ProvExpr::One()).ok());
+}
+
+TEST(ExpressionTest, ArithmeticAndLogic) {
+  Tuple t = {Value::Int(10), Value::Int(3)};
+  auto sum = Expr::Add(Expr::Column(0), Expr::Column(1));
+  EXPECT_DOUBLE_EQ(sum->Eval(t).AsDouble(), 13.0);
+  auto logic = Expr::And(
+      Expr::Ge(Expr::Column(0), Expr::Const(Value::Int(10))),
+      Expr::Not(Expr::Eq(Expr::Column(1), Expr::Const(Value::Int(4)))));
+  EXPECT_TRUE(logic->EvalBool(t));
+  auto mul = Expr::Mul(Expr::Sub(Expr::Column(0), Expr::Column(1)),
+                       Expr::Const(Value::Double(2.0)));
+  EXPECT_DOUBLE_EQ(mul->Eval(t).AsDouble(), 14.0);
+}
+
+}  // namespace
+}  // namespace xai::rel

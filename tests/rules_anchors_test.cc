@@ -1,0 +1,122 @@
+#include "xai/rules/anchors.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "xai/data/synthetic.h"
+#include "xai/model/random_forest.h"
+
+namespace xai {
+namespace {
+
+TEST(KlBoundsTest, KlDivergenceBasics) {
+  EXPECT_NEAR(BernoulliKl(0.5, 0.5), 0.0, 1e-12);
+  EXPECT_GT(BernoulliKl(0.9, 0.5), 0.0);
+  EXPECT_GT(BernoulliKl(0.9, 0.1), BernoulliKl(0.9, 0.5));
+}
+
+TEST(KlBoundsTest, BoundsBracketTheMean) {
+  double p = 0.7;
+  int n = 100;
+  double level = 3.0;
+  double ub = KlUpperBound(p, n, level);
+  double lb = KlLowerBound(p, n, level);
+  EXPECT_GT(ub, p);
+  EXPECT_LT(lb, p);
+  EXPECT_LE(ub, 1.0);
+  EXPECT_GE(lb, 0.0);
+}
+
+TEST(KlBoundsTest, BoundsTightenWithSamples) {
+  double p = 0.8;
+  double level = 3.0;
+  EXPECT_LT(KlUpperBound(p, 1000, level) - KlLowerBound(p, 1000, level),
+            KlUpperBound(p, 50, level) - KlLowerBound(p, 50, level));
+}
+
+TEST(KlBoundsTest, ZeroSamplesAreVacuous) {
+  EXPECT_DOUBLE_EQ(KlUpperBound(0.5, 0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(KlLowerBound(0.5, 0, 3.0), 0.0);
+}
+
+TEST(AnchorsTest, FindsTheDecidingFeatureOfASingleRuleModel) {
+  // Model depends only on credit_score: the anchor must include it.
+  Dataset d = MakeLoans(600, 1);
+  int credit = d.schema().FeatureIndex("credit_score");
+  PredictFn f = [credit](const Vector& x) {
+    return x[credit] > 650.0 ? 1.0 : 0.0;
+  };
+  AnchorsConfig config;
+  config.precision_target = 0.9;
+  AnchorsExplainer anchors(d, config);
+  // Pick an instance deep in the positive region.
+  int idx = 0;
+  while (d.At(idx, credit) < 780.0) ++idx;
+  AnchorRule rule = anchors.Explain(f, d.Row(idx), 3).ValueOrDie();
+  EXPECT_NE(std::find(rule.features.begin(), rule.features.end(), credit),
+            rule.features.end());
+  EXPECT_GE(rule.precision, 0.9);
+  EXPECT_GT(rule.samples_used, 0);
+}
+
+TEST(AnchorsTest, RuleIsShort) {
+  Dataset d = MakeLoans(500, 2);
+  RandomForestModel::Config mc;
+  mc.n_trees = 20;
+  auto model = RandomForestModel::Train(d, mc).ValueOrDie();
+  AnchorsConfig config;
+  config.max_anchor_size = 3;
+  AnchorsExplainer anchors(d, config);
+  AnchorRule rule =
+      anchors.Explain(AsPredictFn(model), d.Row(4), 5).ValueOrDie();
+  EXPECT_LE(rule.features.size(), 3u);
+  EXPECT_EQ(rule.description.size(), rule.features.size());
+}
+
+TEST(AnchorsTest, CoverageInUnitInterval) {
+  Dataset d = MakeLoans(400, 3);
+  auto model = RandomForestModel::Train(d).ValueOrDie();
+  AnchorsExplainer anchors(d);
+  AnchorRule rule =
+      anchors.Explain(AsPredictFn(model), d.Row(10), 7).ValueOrDie();
+  EXPECT_GE(rule.coverage, 0.0);
+  EXPECT_LE(rule.coverage, 1.0);
+}
+
+TEST(AnchorsTest, ConstantModelAnchorsTrivially) {
+  Dataset d = MakeLoans(300, 4);
+  PredictFn constant = [](const Vector&) { return 1.0; };
+  AnchorsConfig config;
+  config.precision_target = 0.95;
+  AnchorsExplainer anchors(d, config);
+  AnchorRule rule = anchors.Explain(constant, d.Row(0), 9).ValueOrDie();
+  // Any single predicate certifies precision 1 for a constant model.
+  EXPECT_LE(rule.features.size(), 1u);
+  EXPECT_GE(rule.precision, 0.99);
+}
+
+TEST(AnchorsTest, DescriptionMentionsBins) {
+  Dataset d = MakeLoans(400, 5);
+  int credit = d.schema().FeatureIndex("credit_score");
+  PredictFn f = [credit](const Vector& x) {
+    return x[credit] > 650.0 ? 1.0 : 0.0;
+  };
+  AnchorsExplainer anchors(d);
+  int idx = 0;
+  while (d.At(idx, credit) < 780.0) ++idx;
+  AnchorRule rule = anchors.Explain(f, d.Row(idx), 11).ValueOrDie();
+  ASSERT_FALSE(rule.description.empty());
+  std::string text = rule.ToString();
+  EXPECT_NE(text.find("credit_score"), std::string::npos);
+}
+
+TEST(AnchorsTest, RejectsWrongWidth) {
+  Dataset d = MakeLoans(100, 6);
+  AnchorsExplainer anchors(d);
+  PredictFn f = [](const Vector&) { return 1.0; };
+  EXPECT_FALSE(anchors.Explain(f, Vector{1.0}, 1).ok());
+}
+
+}  // namespace
+}  // namespace xai

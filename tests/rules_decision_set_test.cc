@@ -1,0 +1,103 @@
+#include "xai/rules/decision_set.h"
+
+#include <gtest/gtest.h>
+
+#include "xai/data/synthetic.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/metrics.h"
+
+namespace xai {
+namespace {
+
+TEST(DecisionSetTest, LearnsAccurateRules) {
+  Dataset d = MakeLoans(1500, 1);
+  auto [train, test] = d.TrainTestSplit(0.3, 2);
+  auto model = DecisionSetModel::Train(train).ValueOrDie();
+  EXPECT_GT(EvaluateAccuracy(model, test), 0.65);
+  EXPECT_FALSE(model.rules().empty());
+}
+
+TEST(DecisionSetTest, RespectsRuleBudget) {
+  Dataset d = MakeLoans(800, 3);
+  DecisionSetConfig config;
+  config.max_rules = 4;
+  config.max_rule_length = 2;
+  auto model = DecisionSetModel::Train(d, config).ValueOrDie();
+  EXPECT_LE(model.rules().size(), 4u);
+  for (const auto& rule : model.rules())
+    EXPECT_LE(rule.conditions.size(), 2u);
+}
+
+TEST(DecisionSetTest, RulesCoverTheirSupport) {
+  Dataset d = MakeLoans(600, 4);
+  auto model = DecisionSetModel::Train(d).ValueOrDie();
+  for (const auto& rule : model.rules()) {
+    int covered = 0;
+    for (int i = 0; i < d.num_rows(); ++i) {
+      std::vector<int> bins = model.discretizer().Discretize(d.Row(i));
+      if (rule.Covers(bins)) ++covered;
+    }
+    EXPECT_EQ(covered, rule.support);
+  }
+}
+
+TEST(DecisionSetTest, PrecisionMatchesEmpirical) {
+  Dataset d = MakeLoans(600, 5);
+  auto model = DecisionSetModel::Train(d).ValueOrDie();
+  for (const auto& rule : model.rules()) {
+    int covered = 0, correct = 0;
+    for (int i = 0; i < d.num_rows(); ++i) {
+      std::vector<int> bins = model.discretizer().Discretize(d.Row(i));
+      if (rule.Covers(bins)) {
+        ++covered;
+        if (static_cast<int>(d.Label(i)) == rule.predicted_class) ++correct;
+      }
+    }
+    ASSERT_GT(covered, 0);
+    EXPECT_NEAR(rule.precision, static_cast<double>(correct) / covered,
+                1e-9);
+  }
+}
+
+TEST(DecisionSetTest, AsGlobalSurrogateOfBlackBox) {
+  // Train the decision set on a GBDT's *predictions* — a global rule-based
+  // surrogate — and measure agreement with the black box.
+  Dataset d = MakeLoans(1200, 6);
+  GbdtModel::Config mc;
+  mc.n_trees = 40;
+  auto blackbox = GbdtModel::Train(d, mc).ValueOrDie();
+  Vector pseudo_labels(d.num_rows());
+  for (int i = 0; i < d.num_rows(); ++i)
+    pseudo_labels[i] = blackbox.PredictClass(d.Row(i));
+  Dataset surrogate_data(d.schema(), d.x(), pseudo_labels);
+  auto surrogate = DecisionSetModel::Train(surrogate_data).ValueOrDie();
+  int agree = 0;
+  for (int i = 0; i < d.num_rows(); ++i)
+    if (surrogate.PredictClass(d.Row(i)) == blackbox.PredictClass(d.Row(i)))
+      ++agree;
+  EXPECT_GT(static_cast<double>(agree) / d.num_rows(), 0.7);
+}
+
+TEST(DecisionSetTest, ToStringListsRulesAndDefault) {
+  Dataset d = MakeLoans(500, 7);
+  auto model = DecisionSetModel::Train(d).ValueOrDie();
+  std::string text = model.ToString();
+  EXPECT_NE(text.find("IF "), std::string::npos);
+  EXPECT_NE(text.find("ELSE class="), std::string::npos);
+}
+
+TEST(DecisionSetTest, RejectsNonBinaryLabels) {
+  Dataset d = MakeBlobs(100, 2, 3, 0.5, 8);
+  EXPECT_FALSE(DecisionSetModel::Train(d).ok());
+}
+
+TEST(DecisionRuleTest, CoversSemantics) {
+  DecisionRule rule;
+  rule.conditions = {{0, 2}, {3, 1}};
+  EXPECT_TRUE(rule.Covers({2, 9, 9, 1}));
+  EXPECT_FALSE(rule.Covers({2, 9, 9, 0}));
+  EXPECT_FALSE(rule.Covers({1, 9, 9, 1}));
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "xai/data/synthetic.h"
+#include "xai/rules/apriori.h"
+#include "xai/rules/fpgrowth.h"
+
+namespace xai {
+namespace {
+
+// The classic textbook database.
+TransactionDb TextbookDb() {
+  return {
+      {1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3},
+      {2, 3},    {1, 3}, {1, 2, 3, 5}, {1, 2, 3},
+  };
+}
+
+TEST(AprioriTest, KnownSupportCounts) {
+  auto frequent = Apriori(TextbookDb(), 2).ValueOrDie();
+  auto find = [&](const Itemset& items) -> int {
+    for (const auto& fi : frequent)
+      if (fi.items == items) return fi.support;
+    return -1;
+  };
+  EXPECT_EQ(find({1}), 6);
+  EXPECT_EQ(find({2}), 7);
+  EXPECT_EQ(find({1, 2}), 4);
+  EXPECT_EQ(find({1, 2, 3}), 2);
+  EXPECT_EQ(find({1, 2, 5}), 2);
+  EXPECT_EQ(find({4}), 2);
+  EXPECT_EQ(find({1, 4}), -1);  // Support 1 < 2: not frequent.
+}
+
+TEST(AprioriTest, MinSupportFiltersEverything) {
+  auto frequent = Apriori(TextbookDb(), 100).ValueOrDie();
+  EXPECT_TRUE(frequent.empty());
+}
+
+TEST(AprioriTest, RejectsBadSupport) {
+  EXPECT_FALSE(Apriori(TextbookDb(), 0).ok());
+}
+
+TEST(FpGrowthTest, KnownSupportCounts) {
+  auto frequent = FpGrowth(TextbookDb(), 2).ValueOrDie();
+  auto find = [&](const Itemset& items) -> int {
+    for (const auto& fi : frequent)
+      if (fi.items == items) return fi.support;
+    return -1;
+  };
+  EXPECT_EQ(find({2}), 7);
+  EXPECT_EQ(find({1, 2}), 4);
+  EXPECT_EQ(find({1, 2, 3}), 2);
+  EXPECT_EQ(find({2, 5}), 2);
+}
+
+// The central cross-check: the two miners emit identical itemset sets on
+// random databases, across support thresholds.
+class MinerAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MinerAgreementTest, AprioriEqualsFpGrowth) {
+  auto [seed, min_support] = GetParam();
+  TransactionDb db = MakeTransactions(150, 30, 6, 4, 3, seed);
+  auto apriori = Apriori(db, min_support).ValueOrDie();
+  auto fpgrowth = FpGrowth(db, min_support).ValueOrDie();
+  ASSERT_EQ(apriori.size(), fpgrowth.size());
+  for (size_t i = 0; i < apriori.size(); ++i) {
+    EXPECT_EQ(apriori[i].items, fpgrowth[i].items);
+    EXPECT_EQ(apriori[i].support, fpgrowth[i].support);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, MinerAgreementTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(3, 8, 20)));
+
+TEST(SupportCountTest, LinearScanMatchesMiners) {
+  TransactionDb db = TextbookDb();
+  EXPECT_EQ(CountSupport(db, {1, 2}), 4);
+  EXPECT_EQ(CountSupport(db, {}), 9);  // Empty set in every transaction.
+  EXPECT_EQ(CountSupport(db, {9}), 0);
+}
+
+TEST(IsSubsetTest, Basics) {
+  EXPECT_TRUE(IsSubsetOf({1, 3}, {1, 2, 3}));
+  EXPECT_FALSE(IsSubsetOf({1, 4}, {1, 2, 3}));
+  EXPECT_TRUE(IsSubsetOf({}, {1}));
+}
+
+TEST(RuleGenerationTest, ConfidenceComputedCorrectly) {
+  auto frequent = Apriori(TextbookDb(), 2).ValueOrDie();
+  auto rules = GenerateRules(frequent, 9, 0.0);
+  // Find rule {5} => {1,2}: support({1,2,5}) = 2, support({5}) = 2: conf 1.
+  bool found = false;
+  for (const auto& rule : rules) {
+    if (rule.antecedent == Itemset{5} && rule.consequent == Itemset{1, 2}) {
+      EXPECT_EQ(rule.support, 2);
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RuleGenerationTest, MinConfidenceFilters) {
+  auto frequent = Apriori(TextbookDb(), 2).ValueOrDie();
+  auto strict = GenerateRules(frequent, 9, 0.99);
+  for (const auto& rule : strict) EXPECT_GE(rule.confidence, 0.99);
+  auto loose = GenerateRules(frequent, 9, 0.1);
+  EXPECT_GT(loose.size(), strict.size());
+}
+
+TEST(RuleGenerationTest, LiftAboveOneForAssociatedItems) {
+  auto frequent = Apriori(TextbookDb(), 2).ValueOrDie();
+  auto rules = GenerateRules(frequent, 9, 0.5);
+  for (const auto& rule : rules) {
+    if (rule.antecedent == Itemset{5} && rule.consequent == Itemset{2}) {
+      // 5 always occurs with 2: lift = 1.0 / (7/9) > 1.
+      EXPECT_GT(rule.lift, 1.0);
+    }
+  }
+}
+
+TEST(SortItemsetsTest, CanonicalOrder) {
+  std::vector<FrequentItemset> sets = {
+      {{2, 3}, 1}, {{1}, 5}, {{1, 2}, 2}, {{3}, 4}};
+  SortItemsets(&sets);
+  EXPECT_EQ(sets[0].items, (Itemset{1}));
+  EXPECT_EQ(sets[1].items, (Itemset{3}));
+  EXPECT_EQ(sets[2].items, (Itemset{1, 2}));
+  EXPECT_EQ(sets[3].items, (Itemset{2, 3}));
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,225 @@
+#include "xai/rules/weak_supervision.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/core/rng.h"
+#include "xai/core/stats.h"
+#include "xai/data/synthetic.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/metrics.h"
+
+namespace xai {
+namespace {
+
+// Synthetic votes with known per-LF accuracies and coverages over known
+// latent labels.
+struct VoteWorld {
+  Matrix votes;
+  Vector labels;
+  Vector true_accuracies;
+};
+
+VoteWorld MakeVotes(int n, const Vector& accuracies,
+                    const Vector& coverages, uint64_t seed) {
+  Rng rng(seed);
+  int m = static_cast<int>(accuracies.size());
+  VoteWorld world;
+  world.votes = Matrix(n, m);
+  world.labels.resize(n);
+  world.true_accuracies = accuracies;
+  for (int i = 0; i < n; ++i) {
+    int y = rng.Bernoulli(0.5) ? 1 : 0;
+    world.labels[i] = y;
+    for (int j = 0; j < m; ++j) {
+      if (!rng.Bernoulli(coverages[j])) continue;  // Abstain.
+      bool correct = rng.Bernoulli(accuracies[j]);
+      int vote = correct == (y == 1) ? +1 : -1;
+      world.votes(i, j) = vote;
+    }
+  }
+  return world;
+}
+
+TEST(LabelModelTest, RecoversKnownAccuracies) {
+  VoteWorld world = MakeVotes(4000, {0.9, 0.75, 0.6, 0.85},
+                              {0.8, 0.7, 0.9, 0.5}, 1);
+  auto model = LabelModel::Fit(world.votes).ValueOrDie();
+  for (int j = 0; j < 4; ++j)
+    EXPECT_NEAR(model.accuracies()[j], world.true_accuracies[j], 0.05)
+        << "lf " << j;
+  EXPECT_NEAR(model.prior_positive(), 0.5, 0.05);
+}
+
+TEST(LabelModelTest, CoverageEstimatedExactly) {
+  VoteWorld world = MakeVotes(3000, {0.8, 0.8}, {0.9, 0.3}, 2);
+  auto model = LabelModel::Fit(world.votes).ValueOrDie();
+  EXPECT_NEAR(model.coverages()[0], 0.9, 0.03);
+  EXPECT_NEAR(model.coverages()[1], 0.3, 0.03);
+}
+
+TEST(LabelModelTest, PosteriorBeatsMajorityVote) {
+  // Heterogeneous accuracies: weighting by estimated accuracy must beat
+  // unweighted majority vote.
+  VoteWorld world = MakeVotes(3000, {0.95, 0.55, 0.55, 0.55, 0.55},
+                              {1.0, 1.0, 1.0, 1.0, 1.0}, 3);
+  auto model = LabelModel::Fit(world.votes).ValueOrDie();
+  Vector posterior = model.PosteriorPositiveAll(world.votes);
+
+  int model_correct = 0, majority_correct = 0;
+  for (int i = 0; i < world.votes.rows(); ++i) {
+    int pred = posterior[i] >= 0.5 ? 1 : 0;
+    if (pred == static_cast<int>(world.labels[i])) ++model_correct;
+    double vote_sum = 0;
+    for (int j = 0; j < world.votes.cols(); ++j)
+      vote_sum += world.votes(i, j);
+    int maj = vote_sum >= 0 ? 1 : 0;
+    if (maj == static_cast<int>(world.labels[i])) ++majority_correct;
+  }
+  EXPECT_GT(model_correct, majority_correct);
+  // The strong LF alone achieves 0.95: the model should get close.
+  EXPECT_GT(static_cast<double>(model_correct) / world.votes.rows(), 0.9);
+}
+
+TEST(LabelModelTest, AbstainsCarryNoInformation) {
+  auto model =
+      LabelModel::Fit(Matrix({{1, 0}, {-1, 0}, {1, 0}, {-1, 1}}))
+          .ValueOrDie();
+  double p = model.PosteriorPositive({0.0, 0.0});
+  EXPECT_NEAR(p, model.prior_positive(), 1e-9);
+}
+
+TEST(LabelModelTest, RejectsBadVotes) {
+  EXPECT_FALSE(LabelModel::Fit(Matrix(0, 0)).ok());
+  EXPECT_FALSE(LabelModel::Fit(Matrix({{2.0}})).ok());
+}
+
+TEST(ApplyLfsTest, MatrixMatchesFunctions) {
+  Dataset d = MakeLoans(50, 4);
+  int credit = d.schema().FeatureIndex("credit_score");
+  std::vector<LabelingFunction> lfs = {
+      [credit](const Vector& x) { return x[credit] > 700 ? +1 : 0; },
+      [credit](const Vector& x) { return x[credit] < 550 ? -1 : 0; },
+  };
+  Matrix votes = ApplyLabelingFunctions(lfs, d);
+  for (int i = 0; i < d.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(votes(i, 0), d.At(i, credit) > 700 ? 1.0 : 0.0);
+    EXPECT_DOUBLE_EQ(votes(i, 1), d.At(i, credit) < 550 ? -1.0 : 0.0);
+  }
+}
+
+TEST(GenerateStumpLfsTest, StumpsClearTheOddsRatioBar) {
+  Dataset labeled = MakeLoans(200, 5);
+  double min_odds_ratio = 3.0;
+  auto lfs = GenerateStumpLfs(labeled, 2, min_odds_ratio).ValueOrDie();
+  ASSERT_FALSE(lfs.empty());
+  double base_pos = Mean(labeled.y());
+  auto bar = [&](double base) {
+    double logit =
+        std::log(base / (1.0 - base)) + std::log(min_odds_ratio);
+    return 1.0 / (1.0 + std::exp(-logit));
+  };
+  for (const auto& lf : lfs) {
+    int covered = 0, correct = 0, vote_sign = 0;
+    for (int i = 0; i < labeled.num_rows(); ++i) {
+      int vote = lf(labeled.Row(i));
+      if (vote == 0) continue;
+      vote_sign = vote;
+      ++covered;
+      int implied = vote > 0 ? 1 : 0;
+      if (implied == static_cast<int>(labeled.Label(i))) ++correct;
+    }
+    ASSERT_GT(covered, 0);
+    // A useful labeling function mostly abstains.
+    EXPECT_LE(covered, 0.6 * labeled.num_rows() + 1);
+    double required = vote_sign > 0 ? bar(base_pos) : bar(1.0 - base_pos);
+    EXPECT_GE(static_cast<double>(correct) / covered, required - 1e-9);
+  }
+}
+
+TEST(GenerateStumpLfsTest, BothVoteSignsRepresented) {
+  // The per-sign selection must keep minority-class functions alive on
+  // imbalanced data.
+  Dataset labeled = MakeLoans(300, 6);
+  auto lfs = GenerateStumpLfs(labeled, 2, 2.0).ValueOrDie();
+  bool has_pos = false, has_neg = false;
+  for (const auto& lf : lfs) {
+    for (int i = 0; i < labeled.num_rows(); ++i) {
+      int vote = lf(labeled.Row(i));
+      has_pos = has_pos || vote == +1;
+      has_neg = has_neg || vote == -1;
+    }
+  }
+  EXPECT_TRUE(has_pos);
+  EXPECT_TRUE(has_neg);
+}
+
+TEST(GenerateStumpLfsTest, RejectsBadParameters) {
+  Dataset labeled = MakeLoans(100, 6);
+  EXPECT_FALSE(GenerateStumpLfs(labeled, 0, 3.0).ok());
+  EXPECT_FALSE(GenerateStumpLfs(labeled, 2, 1.0).ok());  // Odds ratio <= 1.
+  Dataset tiny = labeled.Subset({0, 1, 2});
+  EXPECT_FALSE(GenerateStumpLfs(tiny, 2, 3.0).ok());
+}
+
+TEST(WeakSupervisionEndToEnd, SnorkelPipelineLabelsUnlabeledData) {
+  // The Snuba/Snorkel story: synthesize LFs from a tiny labeled set, apply
+  // them to a large unlabeled pool, fit the label model, and train a
+  // *noise-aware* discriminative model on the probabilistic labels (each
+  // row enters once per class, weighted by its posterior). Threshold
+  // stumps are good labeling functions when individual features are
+  // informative, so the workload is two overlapping Gaussian classes.
+  Dataset pool = MakeBlobs(2500, 4, 2, 1.5, 7);
+  auto [rest, tiny] = pool.TrainTestSplit(0.04, 8);  // 100 labeled rows.
+  auto [unlabeled, test] = rest.TrainTestSplit(0.25, 9);
+
+  auto lfs = GenerateStumpLfs(tiny, 2, 3.0).ValueOrDie();
+  ASSERT_GE(lfs.size(), 4u);
+  Matrix votes = ApplyLabelingFunctions(lfs, unlabeled);
+  auto label_model = LabelModel::Fit(votes).ValueOrDie();
+  Vector soft = label_model.PosteriorPositiveAll(votes);
+
+  // Weak-label quality on rows where at least one LF voted.
+  int covered = 0, agree = 0;
+  for (int i = 0; i < unlabeled.num_rows(); ++i) {
+    bool any = false;
+    for (int j = 0; j < votes.cols(); ++j) any = any || votes(i, j) != 0;
+    if (!any) continue;
+    ++covered;
+    if ((soft[i] >= 0.5 ? 1.0 : 0.0) == unlabeled.Label(i)) ++agree;
+  }
+  ASSERT_GT(covered, 1000);
+  double agreement = static_cast<double>(agree) / covered;
+  EXPECT_GT(agreement, 0.85);
+
+  // Noise-aware training on the *confident* rows (standard practice:
+  // abstain-heavy rows carry p ~ 0.5 and only add noise): each kept row
+  // enters once per class, weighted by its posterior.
+  int n = unlabeled.num_rows(), d = unlabeled.num_features();
+  std::vector<int> confident;
+  for (int i = 0; i < n; ++i)
+    if (std::fabs(soft[i] - 0.5) >= 0.15) confident.push_back(i);
+  ASSERT_GT(confident.size(), 500u);
+  int c = static_cast<int>(confident.size());
+  Matrix x2(2 * c, d);
+  Vector y2(2 * c);
+  LogisticRegressionConfig config;
+  config.sample_weights.resize(2 * c);
+  for (int k = 0; k < c; ++k) {
+    int i = confident[k];
+    x2.SetRow(k, unlabeled.Row(i));
+    x2.SetRow(c + k, unlabeled.Row(i));
+    y2[k] = 1.0;
+    y2[c + k] = 0.0;
+    config.sample_weights[k] = soft[i];
+    config.sample_weights[c + k] = 1.0 - soft[i];
+  }
+  auto weak_model =
+      LogisticRegressionModel::Train(x2, y2, config).ValueOrDie();
+  double weak_acc = EvaluateAccuracy(weak_model, test);
+  EXPECT_GT(weak_acc, 0.85);  // Far above the 0.5 no-label baseline.
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xai/data/synthetic.h"
+#include "xai/model/metrics.h"
+#include "xai/unlearn/dare_tree.h"
+#include "xai/unlearn/incremental_linear.h"
+#include "xai/unlearn/incremental_logistic.h"
+
+namespace xai {
+namespace {
+
+TEST(MaintainedLinearTest, MatchesBatchFitInitially) {
+  auto [d, gt] = MakeLinearData(100, 3, 0.2, 1);
+  (void)gt;
+  auto maintained =
+      MaintainedLinearRegression::Fit(d.x(), d.y(), 1e-6).ValueOrDie();
+  LinearRegressionModel::Config config;
+  config.l2 = 1e-6;
+  auto batch = LinearRegressionModel::Train(d, config).ValueOrDie();
+  for (int j = 0; j < 3; ++j)
+    EXPECT_NEAR(maintained.weights()[j], batch.weights()[j], 1e-6);
+  EXPECT_NEAR(maintained.bias(), batch.bias(), 1e-6);
+}
+
+TEST(MaintainedLinearTest, RemovalEqualsRetrain) {
+  auto [d, gt] = MakeLinearData(120, 4, 0.3, 2);
+  (void)gt;
+  auto maintained =
+      MaintainedLinearRegression::Fit(d.x(), d.y(), 1e-6).ValueOrDie();
+  std::vector<int> removed = {5, 17, 40, 99};
+  ASSERT_TRUE(maintained.RemoveRows(removed).ok());
+
+  LinearRegressionModel::Config config;
+  config.l2 = 1e-6;
+  auto retrained =
+      LinearRegressionModel::Train(d.Without(removed), config).ValueOrDie();
+  for (int j = 0; j < 4; ++j)
+    EXPECT_NEAR(maintained.weights()[j], retrained.weights()[j], 1e-5);
+  EXPECT_NEAR(maintained.bias(), retrained.bias(), 1e-5);
+  EXPECT_EQ(maintained.active_rows(), 116);
+}
+
+TEST(MaintainedLinearTest, ManySequentialRemovalsStayExact) {
+  auto [d, gt] = MakeLinearData(200, 3, 0.5, 3);
+  (void)gt;
+  auto maintained =
+      MaintainedLinearRegression::Fit(d.x(), d.y(), 1e-6).ValueOrDie();
+  std::vector<int> removed;
+  for (int i = 0; i < 80; ++i) {
+    removed.push_back(i * 2);
+    ASSERT_TRUE(maintained.RemoveRow(i * 2).ok());
+  }
+  LinearRegressionModel::Config config;
+  config.l2 = 1e-6;
+  auto retrained =
+      LinearRegressionModel::Train(d.Without(removed), config).ValueOrDie();
+  for (int j = 0; j < 3; ++j)
+    EXPECT_NEAR(maintained.weights()[j], retrained.weights()[j], 1e-4);
+}
+
+TEST(MaintainedLinearTest, AddRowEqualsRetrain) {
+  auto [d, gt] = MakeLinearData(80, 2, 0.3, 4);
+  (void)gt;
+  auto maintained =
+      MaintainedLinearRegression::Fit(d.x(), d.y(), 1e-6).ValueOrDie();
+  Vector new_row = {0.5, -1.0};
+  ASSERT_TRUE(maintained.AddRow(new_row, 2.5).ok());
+
+  Dataset extended = d;
+  extended.AppendRow(new_row, 2.5);
+  LinearRegressionModel::Config config;
+  config.l2 = 1e-6;
+  auto retrained =
+      LinearRegressionModel::Train(extended, config).ValueOrDie();
+  for (int j = 0; j < 2; ++j)
+    EXPECT_NEAR(maintained.weights()[j], retrained.weights()[j], 1e-5);
+}
+
+TEST(MaintainedLinearTest, AddedRowCanBeRemoved) {
+  auto [d, gt] = MakeLinearData(60, 2, 0.2, 5);
+  (void)gt;
+  auto maintained =
+      MaintainedLinearRegression::Fit(d.x(), d.y(), 1e-6).ValueOrDie();
+  Vector before_w = maintained.weights();
+  ASSERT_TRUE(maintained.AddRow({3.0, 3.0}, -10.0).ok());
+  ASSERT_TRUE(maintained.RemoveRow(60).ok());  // The appended row.
+  for (int j = 0; j < 2; ++j)
+    EXPECT_NEAR(maintained.weights()[j], before_w[j], 1e-6);
+}
+
+TEST(MaintainedLinearTest, GuardsAgainstBadRemovals) {
+  auto [d, gt] = MakeLinearData(30, 2, 0.2, 6);
+  (void)gt;
+  auto maintained =
+      MaintainedLinearRegression::Fit(d.x(), d.y(), 1e-6).ValueOrDie();
+  EXPECT_FALSE(maintained.RemoveRow(500).ok());
+  ASSERT_TRUE(maintained.RemoveRow(3).ok());
+  EXPECT_FALSE(maintained.RemoveRow(3).ok());  // Already removed.
+}
+
+TEST(MaintainedLogisticTest, OneStepCorrectionApproximatesRetrain) {
+  auto [d, gt] = MakeLogisticData(400, 3, 7);
+  (void)gt;
+  LogisticRegressionConfig config;
+  config.l2 = 1e-3;
+  auto maintained =
+      MaintainedLogisticRegression::Fit(d.x(), d.y(), config).ValueOrDie();
+  std::vector<int> removed;
+  for (int i = 0; i < 20; ++i) removed.push_back(i * 7);
+  ASSERT_TRUE(maintained.RemoveRows(removed).ok());
+
+  auto retrained =
+      LogisticRegressionModel::Train(d.Without(removed), config)
+          .ValueOrDie();
+  for (int j = 0; j < 3; ++j)
+    EXPECT_NEAR(maintained.weights()[j], retrained.weights()[j], 0.02);
+}
+
+TEST(MaintainedLogisticTest, RefinementTightensTheGap) {
+  auto [d, gt] = MakeLogisticData(300, 3, 8);
+  (void)gt;
+  LogisticRegressionConfig config;
+  config.l2 = 1e-3;
+  std::vector<int> removed;
+  for (int i = 0; i < 60; ++i) removed.push_back(i * 3);
+  auto retrained =
+      LogisticRegressionModel::Train(d.Without(removed), config)
+          .ValueOrDie();
+
+  auto fast = MaintainedLogisticRegression::Fit(d.x(), d.y(), config)
+                  .ValueOrDie();
+  ASSERT_TRUE(fast.RemoveRows(removed, /*refine_full_iters=*/0).ok());
+  auto refined = MaintainedLogisticRegression::Fit(d.x(), d.y(), config)
+                     .ValueOrDie();
+  ASSERT_TRUE(refined.RemoveRows(removed, /*refine_full_iters=*/5).ok());
+
+  double err_fast = 0, err_refined = 0;
+  for (int j = 0; j < 3; ++j) {
+    err_fast += std::fabs(fast.weights()[j] - retrained.weights()[j]);
+    err_refined +=
+        std::fabs(refined.weights()[j] - retrained.weights()[j]);
+  }
+  EXPECT_LE(err_refined, err_fast + 1e-12);
+  EXPECT_LT(err_refined, 1e-4);
+}
+
+TEST(MaintainedLogisticTest, SequentialBatchesStayAccurate) {
+  auto [d, gt] = MakeLogisticData(500, 4, 9);
+  (void)gt;
+  LogisticRegressionConfig config;
+  config.l2 = 1e-3;
+  auto maintained =
+      MaintainedLogisticRegression::Fit(d.x(), d.y(), config).ValueOrDie();
+  std::vector<int> all_removed;
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<int> rows;
+    for (int i = 0; i < 10; ++i) rows.push_back(batch * 10 + i);
+    ASSERT_TRUE(maintained.RemoveRows(rows).ok());
+    all_removed.insert(all_removed.end(), rows.begin(), rows.end());
+  }
+  auto retrained =
+      LogisticRegressionModel::Train(d.Without(all_removed), config)
+          .ValueOrDie();
+  for (int j = 0; j < 4; ++j)
+    EXPECT_NEAR(maintained.weights()[j], retrained.weights()[j], 0.03);
+}
+
+TEST(MaintainedLogisticTest, AddRowsApproximatesRetrain) {
+  auto [d, gt] = MakeLogisticData(500, 3, 21);
+  (void)gt;
+  auto [base, extra] = d.TrainTestSplit(0.2, 22);
+  LogisticRegressionConfig config;
+  config.l2 = 1e-3;
+  auto maintained =
+      MaintainedLogisticRegression::Fit(base.x(), base.y(), config)
+          .ValueOrDie();
+  ASSERT_TRUE(maintained.AddRows(extra.x(), extra.y(), 2).ok());
+  EXPECT_EQ(maintained.active_rows(), 500);
+
+  auto retrained = LogisticRegressionModel::Train(d.x(), d.y(), config)
+                       .ValueOrDie();
+  // Note d's rows are a permutation of base+extra; logistic regression is
+  // permutation invariant, so compare against a model on base+extra.
+  Matrix all_x(500, 3);
+  Vector all_y(500);
+  for (int i = 0; i < base.num_rows(); ++i) {
+    all_x.SetRow(i, base.Row(i));
+    all_y[i] = base.Label(i);
+  }
+  for (int i = 0; i < extra.num_rows(); ++i) {
+    all_x.SetRow(base.num_rows() + i, extra.Row(i));
+    all_y[base.num_rows() + i] = extra.Label(i);
+  }
+  auto exact =
+      LogisticRegressionModel::Train(all_x, all_y, config).ValueOrDie();
+  for (int j = 0; j < 3; ++j)
+    EXPECT_NEAR(maintained.weights()[j], exact.weights()[j], 1e-4);
+  (void)retrained;
+}
+
+TEST(MaintainedLogisticTest, AddedRowsCanBeRemoved) {
+  auto [d, gt] = MakeLogisticData(300, 2, 23);
+  (void)gt;
+  LogisticRegressionConfig config;
+  config.l2 = 1e-3;
+  auto maintained =
+      MaintainedLogisticRegression::Fit(d.x(), d.y(), config).ValueOrDie();
+  Vector before = maintained.weights();
+  Matrix extra(2, 2);
+  extra.SetRow(0, {3.0, -1.0});
+  extra.SetRow(1, {-2.0, 2.0});
+  ASSERT_TRUE(maintained.AddRows(extra, {1.0, 0.0}, 3).ok());
+  ASSERT_TRUE(maintained.RemoveRows({300, 301}, 3).ok());
+  for (int j = 0; j < 2; ++j)
+    EXPECT_NEAR(maintained.weights()[j], before[j], 1e-4);
+}
+
+TEST(MaintainedLogisticTest, AddRowsRejectsBadShapes) {
+  auto [d, gt] = MakeLogisticData(100, 3, 24);
+  (void)gt;
+  auto maintained =
+      MaintainedLogisticRegression::Fit(d.x(), d.y(), {}).ValueOrDie();
+  EXPECT_FALSE(maintained.AddRows(Matrix(2, 5), {0.0, 1.0}, 0).ok());
+  EXPECT_FALSE(maintained.AddRows(Matrix(2, 3), {0.0}, 0).ok());
+}
+
+TEST(DareTreeTest, TrainsAccurately) {
+  Dataset d = MakeLoans(1000, 10);
+  auto [train, test] = d.TrainTestSplit(0.3, 11);
+  auto tree = DareTree::Train(train).ValueOrDie();
+  int correct = 0;
+  for (int i = 0; i < test.num_rows(); ++i) {
+    int pred = tree.Predict(test.Row(i)) >= 0.5 ? 1 : 0;
+    if (pred == static_cast<int>(test.Label(i))) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.num_rows(), 0.7);
+}
+
+TEST(DareTreeTest, DeletionUpdatesBookkeeping) {
+  Dataset d = MakeLoans(400, 12);
+  auto tree = DareTree::Train(d).ValueOrDie();
+  EXPECT_EQ(tree.active_rows(), 400);
+  ASSERT_TRUE(tree.Delete(5).ok());
+  ASSERT_TRUE(tree.Delete(6).ok());
+  EXPECT_EQ(tree.active_rows(), 398);
+  EXPECT_EQ(tree.num_deletions(), 2);
+  EXPECT_FALSE(tree.Delete(5).ok());  // Already deleted.
+  EXPECT_FALSE(tree.Delete(9999).ok());
+}
+
+TEST(DareTreeTest, ManyDeletionsKeepAccuracy) {
+  Dataset d = MakeLoans(1200, 13);
+  auto [train, test] = d.TrainTestSplit(0.25, 14);
+  auto tree = DareTree::Train(train).ValueOrDie();
+  Rng rng(15);
+  std::vector<int> order = rng.Permutation(train.num_rows());
+  for (int i = 0; i < 300; ++i) ASSERT_TRUE(tree.Delete(order[i]).ok());
+
+  int correct = 0;
+  for (int i = 0; i < test.num_rows(); ++i) {
+    int pred = tree.Predict(test.Row(i)) >= 0.5 ? 1 : 0;
+    if (pred == static_cast<int>(test.Label(i))) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.num_rows(), 0.65);
+}
+
+TEST(DareTreeTest, MostDeletionsAvoidRebuilds) {
+  // The HedgeCut/DaRE claim: structural changes are rare, so deletions are
+  // cheap. After many random deletions, rebuilds per deletion stay low.
+  Dataset d = MakeLoans(1500, 16);
+  auto tree = DareTree::Train(d).ValueOrDie();
+  Rng rng(17);
+  std::vector<int> order = rng.Permutation(d.num_rows());
+  int deletions = 400;
+  for (int i = 0; i < deletions; ++i)
+    ASSERT_TRUE(tree.Delete(order[i]).ok());
+  EXPECT_LT(tree.num_rebuilds(), deletions / 4);
+}
+
+TEST(DareTreeTest, DeletingNoiseImprovesFit) {
+  Dataset d = MakeBlobs(400, 2, 2, 0.5, 18);
+  auto [train, test] = d.TrainTestSplit(0.3, 19);
+  std::vector<int> flipped = FlipBinaryLabels(&train, 0.15, 20);
+  auto tree = DareTree::Train(train).ValueOrDie();
+  double acc_before = 0;
+  for (int i = 0; i < test.num_rows(); ++i) {
+    int pred = tree.Predict(test.Row(i)) >= 0.5 ? 1 : 0;
+    acc_before += pred == static_cast<int>(test.Label(i));
+  }
+  for (int r : flipped) ASSERT_TRUE(tree.Delete(r).ok());
+  double acc_after = 0;
+  for (int i = 0; i < test.num_rows(); ++i) {
+    int pred = tree.Predict(test.Row(i)) >= 0.5 ? 1 : 0;
+    acc_after += pred == static_cast<int>(test.Label(i));
+  }
+  EXPECT_GE(acc_after, acc_before);
+}
+
+TEST(DareForestTest, AveragesTreesAndDeletes) {
+  Dataset d = MakeLoans(600, 21);
+  DareForest::Config config;
+  config.n_trees = 5;
+  auto forest = DareForest::Train(d, config).ValueOrDie();
+  double p = forest.Predict(d.Row(0));
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+  ASSERT_TRUE(forest.Delete(10).ok());
+  for (const DareTree& tree : forest.trees())
+    EXPECT_EQ(tree.active_rows(), 599);
+}
+
+TEST(DareTreeTest, RejectsNonBinaryLabels) {
+  Dataset d = MakeBlobs(100, 2, 3, 0.4, 22);
+  EXPECT_FALSE(DareTree::Train(d).ok());
+}
+
+}  // namespace
+}  // namespace xai

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "xai/core/combinatorics.h"
+#include "xai/core/stats.h"
+#include "xai/data/synthetic.h"
+#include "xai/model/metrics.h"
+#include "xai/valuation/data_shapley.h"
+#include "xai/valuation/distributional_shapley.h"
+#include "xai/valuation/knn_shapley.h"
+#include "xai/valuation/loo.h"
+
+namespace xai {
+namespace {
+
+TEST(UtilityTest, LogisticUtilityRangesAndFallback) {
+  Dataset d = MakeLoans(200, 1);
+  auto [train, valid] = d.TrainTestSplit(0.3, 2);
+  UtilityFn u = MakeLogisticAccuracyUtility(train, valid);
+  std::vector<int> all(train.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  double full = u(all);
+  EXPECT_GT(full, 0.5);
+  EXPECT_LE(full, 1.0);
+  // Degenerate subsets fall back to majority accuracy.
+  double empty = u({});
+  EXPECT_GT(empty, 0.4);
+  EXPECT_LE(empty, 1.0);
+  double single = u({0});
+  EXPECT_GT(single, 0.0);
+}
+
+TEST(UtilityTest, KnnUtilityComputes) {
+  Dataset d = MakeBlobs(100, 2, 2, 0.5, 3);
+  auto [train, valid] = d.TrainTestSplit(0.3, 4);
+  UtilityFn u = MakeKnnAccuracyUtility(train, valid, 3);
+  std::vector<int> all(train.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  EXPECT_GT(u(all), 0.85);
+}
+
+TEST(LooTest, FlippedLabelPointsGetLowValues) {
+  Dataset d = MakeBlobs(60, 2, 2, 0.6, 5);
+  auto [train, valid] = d.TrainTestSplit(0.4, 6);
+  std::vector<int> flipped = FlipBinaryLabels(&train, 0.15, 7);
+  UtilityFn u = MakeKnnAccuracyUtility(train, valid, 3);
+  Vector values = LeaveOneOutValues(train.num_rows(), u);
+  double mean_flipped = 0, mean_clean = 0;
+  int n_clean = 0;
+  for (int i = 0; i < train.num_rows(); ++i) {
+    bool is_flipped =
+        std::find(flipped.begin(), flipped.end(), i) != flipped.end();
+    if (is_flipped)
+      mean_flipped += values[i] / flipped.size();
+    else {
+      mean_clean += values[i];
+      ++n_clean;
+    }
+  }
+  mean_clean /= n_clean;
+  EXPECT_LT(mean_flipped, mean_clean);
+}
+
+TEST(TmcTest, ValuesSumNearFullMinusEmptyUtility) {
+  // Exact Data Shapley satisfies efficiency; TMC approximates it.
+  Dataset d = MakeBlobs(24, 2, 2, 0.5, 8);
+  auto [train, valid] = d.TrainTestSplit(0.4, 9);
+  UtilityFn u = MakeKnnAccuracyUtility(train, valid, 1);
+  TmcConfig config;
+  config.max_permutations = 150;
+  config.truncation_tolerance = 0.0;  // No truncation: unbiased.
+  TmcResult result = TmcDataShapley(train.num_rows(), u, config);
+  std::vector<int> all(train.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  double sum = std::accumulate(result.values.begin(), result.values.end(),
+                               0.0);
+  EXPECT_NEAR(sum, u(all) - u({}), 0.08);
+}
+
+TEST(TmcTest, TruncationSavesUtilityCalls) {
+  Dataset d = MakeBlobs(40, 2, 2, 0.4, 10);
+  auto [train, valid] = d.TrainTestSplit(0.4, 11);
+  UtilityFn u = MakeKnnAccuracyUtility(train, valid, 3);
+  TmcConfig no_trunc, trunc;
+  no_trunc.max_permutations = trunc.max_permutations = 20;
+  no_trunc.truncation_tolerance = 0.0;
+  trunc.truncation_tolerance = 0.05;
+  TmcResult full = TmcDataShapley(train.num_rows(), u, no_trunc);
+  TmcResult truncated = TmcDataShapley(train.num_rows(), u, trunc);
+  EXPECT_LT(truncated.utility_calls, full.utility_calls);
+  EXPECT_GT(truncated.truncation_fraction, 0.0);
+}
+
+TEST(TmcTest, MatchesExactShapleyOnTinyGame) {
+  // 8 points: exact Shapley over the kNN utility is computable; TMC with
+  // many permutations converges to it.
+  Dataset d = MakeBlobs(14, 2, 2, 0.5, 12);
+  auto [valid, train] = d.TrainTestSplit(8.0 / 14, 13);
+  ASSERT_EQ(train.num_rows(), 8);
+  UtilityFn u = MakeKnnAccuracyUtility(train, valid, 1);
+  std::vector<double> exact =
+      ShapleyOfSetFunction(train.num_rows(), [&](uint64_t mask) {
+        std::vector<int> rows;
+        for (int i = 0; i < train.num_rows(); ++i)
+          if (mask & (1ULL << i)) rows.push_back(i);
+        return u(rows);
+      });
+  TmcConfig config;
+  config.max_permutations = 3000;
+  config.truncation_tolerance = 0.0;
+  TmcResult result = TmcDataShapley(train.num_rows(), u, config);
+  for (int i = 0; i < train.num_rows(); ++i)
+    EXPECT_NEAR(result.values[i], exact[i], 0.03);
+}
+
+// The exact game Jia et al.'s recursion solves: the soft kNN utility
+//   v(S) = mean over valid points of
+//          (1/k) * sum_{j in the min(k,|S|) nearest of S} 1[y_j = y_test],
+// with v(empty) = 0.
+double SoftKnnUtility(const Dataset& train, const Dataset& valid, int k,
+                      const std::vector<int>& rows) {
+  if (rows.empty()) return 0.0;
+  double total = 0.0;
+  for (int v = 0; v < valid.num_rows(); ++v) {
+    Vector z = valid.Row(v);
+    std::vector<std::pair<double, int>> by_dist;
+    for (int r : rows) {
+      double acc = 0;
+      for (int j = 0; j < train.num_features(); ++j) {
+        double d = train.At(r, j) - z[j];
+        acc += d * d;
+      }
+      by_dist.emplace_back(acc, r);
+    }
+    std::sort(by_dist.begin(), by_dist.end());
+    int take = std::min<int>(k, static_cast<int>(by_dist.size()));
+    double agree = 0;
+    for (int t = 0; t < take; ++t)
+      if (train.Label(by_dist[t].second) == valid.Label(v)) agree += 1.0;
+    total += agree / k;
+  }
+  return total / valid.num_rows();
+}
+
+TEST(KnnShapleyTest, MatchesBruteForceExactShapley) {
+  Dataset pool = MakeBlobs(18, 2, 2, 0.8, 14);
+  auto [valid, train] = pool.TrainTestSplit(10.0 / 18, 15);
+  ASSERT_EQ(train.num_rows(), 10);
+  int k = 3;
+  Vector knn_shap = KnnShapley(train, valid, k).ValueOrDie();
+
+  std::vector<double> exact =
+      ShapleyOfSetFunction(train.num_rows(), [&](uint64_t mask) {
+        std::vector<int> rows;
+        for (int i = 0; i < train.num_rows(); ++i)
+          if (mask & (1ULL << i)) rows.push_back(i);
+        return SoftKnnUtility(train, valid, k, rows);
+      });
+  for (int i = 0; i < train.num_rows(); ++i)
+    EXPECT_NEAR(knn_shap[i], exact[i], 1e-9) << "point " << i;
+}
+
+TEST(KnnShapleyTest, EfficiencyProperty) {
+  // The recursion's values sum exactly to v(N) - v(empty) = v(N) of the
+  // soft kNN utility game.
+  Dataset d = MakeBlobs(100, 2, 2, 0.4, 16);
+  auto [train, valid] = d.TrainTestSplit(0.3, 17);
+  int k = 5;
+  Vector values = KnnShapley(train, valid, k).ValueOrDie();
+  double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  std::vector<int> all(train.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  EXPECT_NEAR(sum, SoftKnnUtility(train, valid, k, all), 1e-9);
+}
+
+TEST(KnnShapleyTest, FlippedPointsRankLast) {
+  Dataset d = MakeBlobs(200, 2, 2, 0.5, 18);
+  auto [train, valid] = d.TrainTestSplit(0.3, 19);
+  std::vector<int> flipped = FlipBinaryLabels(&train, 0.1, 20);
+  Vector values = KnnShapley(train, valid, 5).ValueOrDie();
+  // Mean rank of flipped points should be clearly below average.
+  std::vector<int> order = ArgSortAscending(values);
+  double mean_pos = 0;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    if (std::find(flipped.begin(), flipped.end(), order[rank]) !=
+        flipped.end())
+      mean_pos += static_cast<double>(rank) / flipped.size();
+  }
+  EXPECT_LT(mean_pos, 0.35 * train.num_rows());
+}
+
+TEST(KnnShapleyTest, RejectsBadInput) {
+  Dataset d = MakeBlobs(20, 2, 2, 0.5, 21);
+  EXPECT_FALSE(KnnShapley(d, d, 0).ok());
+  Dataset empty(d.schema(), Matrix(0, 2), {});
+  EXPECT_FALSE(KnnShapley(empty, d, 3).ok());
+}
+
+TEST(DistributionalShapleyTest, NoisyPointsGetLowerValues) {
+  Dataset d = MakeBlobs(50, 2, 2, 0.5, 22);
+  auto [train, valid] = d.TrainTestSplit(0.4, 23);
+  std::vector<int> flipped = FlipBinaryLabels(&train, 0.2, 24);
+  UtilityFn u = MakeKnnAccuracyUtility(train, valid, 3);
+  DistributionalShapleyConfig config;
+  config.iterations = 40;
+  config.max_cardinality = 16;
+  Vector values = DistributionalShapley(train.num_rows(), u, config);
+  double mean_flipped = 0, mean_clean = 0;
+  int n_clean = 0;
+  for (int i = 0; i < train.num_rows(); ++i) {
+    if (std::find(flipped.begin(), flipped.end(), i) != flipped.end())
+      mean_flipped += values[i] / flipped.size();
+    else {
+      mean_clean += values[i];
+      ++n_clean;
+    }
+  }
+  EXPECT_LT(mean_flipped, mean_clean / n_clean);
+}
+
+}  // namespace
+}  // namespace xai
