@@ -6,6 +6,7 @@
 // stabilizes as the sampling budget grows; fidelity (local R^2) rises.
 
 #include <cstdio>
+#include <utility>
 
 #include "bench_util.h"
 #include "xai/core/timer.h"
@@ -16,7 +17,7 @@
 namespace xai {
 namespace {
 
-void Run() {
+void Run(int threads) {
   bench::Banner(
       "E1: LIME stability vs sampling budget",
       "\"sampling of points near the local neighborhood ... can be "
@@ -54,6 +55,34 @@ void Run() {
                 coef / instances, jac / instances, r2 / instances,
                 total_ms / (instances * kRuns));
   }
+  bench::Section("serial vs parallel scaling (deterministic runtime)");
+  {
+    LimeConfig config;
+    config.num_samples = 2000;
+    LimeExplainer lime(train, config);
+    auto run = [&](int t) {
+      SetNumThreads(t);
+      WallTimer timer;
+      auto stability =
+          EvaluateLimeStability(lime, f, train.Row(57), kRuns, kTopK, 157)
+              .ValueOrDie();
+      return std::pair<LimeStability, double>(stability, timer.Seconds());
+    };
+    auto [serial, s_sec] = run(1);
+    auto [parallel, p_sec] = run(threads);
+    // The runs fan out over the pool and each run's neighborhood scoring
+    // fans out internally; both must match the serial result bit for bit.
+    bool identical = serial.coefficient_stddev == parallel.coefficient_stddev &&
+                     serial.jaccard_top_k == parallel.jaccard_top_k &&
+                     serial.mean_r2 == parallel.mean_r2;
+    double evals = static_cast<double>(kRuns) * (config.num_samples + 1);
+    bench::Throughput("lime-stability", 1, s_sec, evals);
+    bench::Throughput("lime-stability", threads, p_sec, evals);
+    bench::Speedup("LIME stability (10 runs)", s_sec, p_sec, threads,
+                   identical);
+    SetNumThreads(threads);
+  }
+
   std::printf(
       "\nShape check: coef_stddev should fall and jaccard_top3 rise "
       "monotonically with n_samples.\n");
@@ -63,4 +92,8 @@ void Run() {
 }  // namespace
 }  // namespace xai
 
-int main() { xai::Run(); }
+int main(int argc, char** argv) {
+  int threads = xai::bench::ThreadsFlag(argc, argv);
+  xai::SetNumThreads(threads);
+  xai::Run(threads);
+}

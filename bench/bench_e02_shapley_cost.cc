@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "bench_util.h"
 #include "xai/core/timer.h"
@@ -29,7 +30,54 @@ double MaxAbsError(const Vector& a, const Vector& b) {
   return m;
 }
 
-void Run() {
+// Serial-vs-parallel scaling of the Monte-Carlo estimators: the same seeded
+// workload at 1 thread and at `threads`, asserting bit-identical output (the
+// runtime's determinism guarantee) while reporting speedup and throughput.
+void RunScaling(int threads) {
+  bench::Section("serial vs parallel scaling (deterministic runtime)");
+  auto [data, gt] = MakeLogisticData(300, 12, 3);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(data).ValueOrDie();
+  Vector instance = data.Row(5);
+
+  const int kPermutations = 400;
+  auto run_sampling = [&](int t) {
+    SetNumThreads(t);
+    MarginalFeatureGame game(AsPredictFn(model), instance, data.x(), 24);
+    Rng rng(13);
+    WallTimer timer;
+    auto r = SamplingShapley(game, kPermutations, &rng);
+    return std::pair<Vector, double>(r.values, timer.Seconds());
+  };
+  auto [sampling_serial, ss_sec] = run_sampling(1);
+  auto [sampling_parallel, sp_sec] = run_sampling(threads);
+  double sampling_evals = static_cast<double>(kPermutations) * 12;
+  bench::Throughput("sampling-shapley", 1, ss_sec, sampling_evals);
+  bench::Throughput("sampling-shapley", threads, sp_sec, sampling_evals);
+  bench::Speedup("sampling Shapley", ss_sec, sp_sec, threads,
+                 sampling_serial == sampling_parallel);
+
+  const int kBudget = 4096;
+  auto run_kernel = [&](int t) {
+    SetNumThreads(t);
+    MarginalFeatureGame game(AsPredictFn(model), instance, data.x(), 24);
+    Rng rng(11);
+    KernelShapConfig config;
+    config.coalition_budget = kBudget;
+    WallTimer timer;
+    auto r = KernelShap(game, config, &rng).ValueOrDie();
+    return std::pair<Vector, double>(r.attributions, timer.Seconds());
+  };
+  auto [kernel_serial, ks_sec] = run_kernel(1);
+  auto [kernel_parallel, kp_sec] = run_kernel(threads);
+  bench::Throughput("kernel-shap", 1, ks_sec, kBudget);
+  bench::Throughput("kernel-shap", threads, kp_sec, kBudget);
+  bench::Speedup("KernelSHAP", ks_sec, kp_sec, threads,
+                 kernel_serial == kernel_parallel);
+  SetNumThreads(threads);
+}
+
+void Run(int threads) {
   bench::Banner(
       "E2: exact Shapley cost growth and approximation error",
       "\"Computing Shapley values takes exponential time ... existing "
@@ -84,6 +132,8 @@ void Run() {
                   budget, MaxAbsError(ss.values, exact), timer.Millis());
     }
   }
+  RunScaling(threads);
+
   std::printf(
       "\nShape check: exact time roughly x4 per +2 features; estimator "
       "errors fall with budget.\n");
@@ -93,4 +143,8 @@ void Run() {
 }  // namespace
 }  // namespace xai
 
-int main() { xai::Run(); }
+int main(int argc, char** argv) {
+  int threads = xai::bench::ThreadsFlag(argc, argv);
+  xai::SetNumThreads(threads);
+  xai::Run(threads);
+}

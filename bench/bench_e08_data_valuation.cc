@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "bench_util.h"
 #include "xai/core/stats.h"
@@ -38,7 +39,7 @@ double DetectionRate(const Vector& values, const std::vector<int>& flipped) {
   return static_cast<double>(hits) / k;
 }
 
-void Run() {
+void Run(int threads) {
   bench::Banner(
       "E8: data valuation for noisy-label detection",
       "exact Data Shapley \"intractable\"; TMC approximation; KNN-Shapley "
@@ -99,6 +100,28 @@ void Run() {
     std::printf("%12.2f %16d %20.3f\n", tol, result.utility_calls,
                 result.truncation_fraction);
   }
+  bench::Section("serial vs parallel scaling (deterministic runtime)");
+  {
+    auto run = [&](int t) {
+      SetNumThreads(t);
+      TmcConfig config;
+      config.max_permutations = 60;
+      config.truncation_tolerance = 0.02;
+      WallTimer timer;
+      TmcResult result = TmcDataShapley(n, utility, config);
+      return std::pair<TmcResult, double>(result, timer.Seconds());
+    };
+    auto [serial, s_sec] = run(1);
+    auto [parallel, p_sec] = run(threads);
+    bool identical = serial.values == parallel.values &&
+                     serial.utility_calls == parallel.utility_calls;
+    bench::Throughput("tmc-data-shapley", 1, s_sec, serial.utility_calls);
+    bench::Throughput("tmc-data-shapley", threads, p_sec,
+                      parallel.utility_calls);
+    bench::Speedup("TMC Data Shapley", s_sec, p_sec, threads, identical);
+    SetNumThreads(threads);
+  }
+
   std::printf(
       "\nShape check: KNN-Shapley ~100-1000x faster than TMC at similar or "
       "better detection; truncation saves calls as tolerance grows.\n");
@@ -108,4 +131,8 @@ void Run() {
 }  // namespace
 }  // namespace xai
 
-int main() { xai::Run(); }
+int main(int argc, char** argv) {
+  int threads = xai::bench::ThreadsFlag(argc, argv);
+  xai::SetNumThreads(threads);
+  xai::Run(threads);
+}

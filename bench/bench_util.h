@@ -3,9 +3,49 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "xai/core/parallel.h"
+
 namespace xai::bench {
+
+/// Parses `--threads=N` from the command line; anything else is ignored.
+/// Returns the runtime default (XAI_NUM_THREADS env or hardware
+/// concurrency) when the flag is absent or malformed.
+inline int ThreadsFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* prefix = "--threads=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      int n = std::atoi(argv[i] + std::strlen(prefix));
+      if (n >= 1) return n;
+    }
+  }
+  return GetNumThreads();
+}
+
+/// One line of wall-time + throughput for a timed region.
+inline void Throughput(const char* label, int threads, double seconds,
+                       double evals) {
+  std::printf("%-28s threads=%-3d time=%9.2f ms  throughput=%12.0f "
+              "evals/sec\n",
+              label, threads, seconds * 1e3,
+              seconds > 0 ? evals / seconds : 0.0);
+}
+
+/// Serial-vs-parallel speedup summary line; `identical` reports whether the
+/// two runs produced bit-identical results (the runtime's determinism
+/// guarantee).
+inline void Speedup(const char* what, double serial_seconds,
+                    double parallel_seconds, int threads, bool identical) {
+  std::printf("%-28s speedup=%5.2fx at %d threads (serial %.2f ms, parallel "
+              "%.2f ms), bit-identical=%s\n",
+              what,
+              parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0.0,
+              threads, serial_seconds * 1e3, parallel_seconds * 1e3,
+              identical ? "yes" : "NO");
+}
 
 /// Prints the experiment banner: id, the paper claim being reproduced, and
 /// the workload description.

@@ -1,0 +1,200 @@
+#include "xai/core/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "xai/core/check.h"
+
+namespace xai {
+namespace core {
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// Fixed-size pool with a broadcast-style parallel region: Run() publishes a
+/// chunk counter, wakes every worker, and all workers plus the caller drain
+/// chunks from the shared atomic until exhausted. There is no work stealing
+/// and no task queue — one region at a time, which matches the chunked
+/// ParallelFor model and keeps the synchronization easy to reason about.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_workers) {
+    threads_.reserve(num_workers);
+    for (int i = 0; i < num_workers; ++i)
+      threads_.emplace_back([this] { WorkerLoop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  int num_workers() const { return static_cast<int>(threads_.size()); }
+
+  void Run(int64_t num_chunks, const std::function<void(int64_t)>& fn) {
+    // One region at a time; concurrent top-level callers serialize here.
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      task_ = &fn;
+      num_chunks_ = num_chunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      has_error_.store(false, std::memory_order_relaxed);
+      pending_workers_ = static_cast<int>(threads_.size());
+      ++epoch_;
+    }
+    cv_.notify_all();
+
+    // The caller participates as one more worker.
+    t_in_parallel_region = true;
+    DrainChunks();
+    t_in_parallel_region = false;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+    task_ = nullptr;
+    if (first_error_) {
+      std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void WorkerLoop() {
+    t_in_parallel_region = true;
+    uint64_t seen_epoch = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock,
+                 [&] { return stop_ || epoch_ != seen_epoch; });
+        if (stop_) return;
+        seen_epoch = epoch_;
+      }
+      DrainChunks();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_workers_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  void DrainChunks() {
+    for (;;) {
+      const int64_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks_) return;
+      if (has_error_.load(std::memory_order_relaxed)) continue;
+      try {
+        (*task_)(c);
+      } catch (...) {
+        has_error_.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+  }
+
+  std::mutex run_mu_;  // Serializes top-level parallel regions.
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+  int pending_workers_ = 0;
+  const std::function<void(int64_t)>* task_ = nullptr;
+  int64_t num_chunks_ = 0;
+  std::atomic<int64_t> next_chunk_{0};
+  std::atomic<bool> has_error_{false};
+  std::exception_ptr first_error_;
+
+  std::vector<std::thread> threads_;
+};
+
+int InitialNumThreads() {
+  if (const char* env = std::getenv("XAI_NUM_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  return HardwareConcurrency();
+}
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;               // Guarded by g_pool_mu.
+std::atomic<int> g_num_threads{0};                // 0 = not initialized yet.
+
+int NumThreadsInitialized() {
+  int n = g_num_threads.load(std::memory_order_acquire);
+  if (n == 0) {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    n = g_num_threads.load(std::memory_order_acquire);
+    if (n == 0) {
+      n = InitialNumThreads();
+      g_num_threads.store(n, std::memory_order_release);
+    }
+  }
+  return n;
+}
+
+// Returns the pool sized to the current thread count, creating or resizing
+// it lazily. Null when the configured count is 1 (pure inline execution).
+ThreadPool* GetPool() {
+  const int n = NumThreadsInitialized();
+  if (n <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool || g_pool->num_workers() != n - 1)
+    g_pool = std::make_unique<ThreadPool>(n - 1);
+  return g_pool.get();
+}
+
+}  // namespace
+
+int HardwareConcurrency() {
+  unsigned int n = std::thread::hardware_concurrency();
+  return n >= 1 ? static_cast<int>(n) : 1;
+}
+
+void SetNumThreads(int n) {
+  XAI_CHECK(!InParallelRegion());
+  if (n < 1) n = 1;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_num_threads.store(n, std::memory_order_release);
+  // Drop a mis-sized pool now; the next parallel region rebuilds it.
+  if (g_pool && g_pool->num_workers() != n - 1) g_pool.reset();
+}
+
+int GetNumThreads() { return NumThreadsInitialized(); }
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+namespace internal {
+
+void RunChunks(int64_t num_chunks,
+               const std::function<void(int64_t)>& chunk_fn) {
+  if (num_chunks <= 0) return;
+  // Nested regions (and single-chunk or single-thread runs) execute inline:
+  // identical chunk layout, same results, no pool round-trip.
+  if (num_chunks > 1 && !t_in_parallel_region) {
+    if (ThreadPool* pool = GetPool()) {
+      pool->Run(num_chunks, chunk_fn);
+      return;
+    }
+  }
+  for (int64_t c = 0; c < num_chunks; ++c) chunk_fn(c);
+}
+
+}  // namespace internal
+}  // namespace core
+}  // namespace xai

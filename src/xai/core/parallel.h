@@ -1,0 +1,119 @@
+#ifndef XAI_CORE_PARALLEL_H_
+#define XAI_CORE_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace xai {
+namespace core {
+
+/// \brief Deterministic parallel execution runtime.
+///
+/// A fixed-size thread pool plus chunked ParallelFor / ParallelReduce
+/// helpers. Determinism is the design constraint: chunk boundaries depend
+/// only on (n, grain) — never on the thread count — and ParallelReduce
+/// combines per-chunk partials in ascending chunk order on the calling
+/// thread. Together with per-chunk RNG streams (SplitSeed in core/rng.h)
+/// this makes every parallel explainer bit-identical at 1 and N threads.
+///
+/// Callables submitted here run concurrently: anything they touch (models
+/// via Predict/PredictBatch, PredictFn lambdas, CoalitionGame::Value,
+/// UtilityFn) must be const-reentrant. See the threading contract in
+/// model/model.h.
+
+/// Number of hardware threads (always >= 1).
+int HardwareConcurrency();
+
+/// Resizes the global worker pool to `n` threads (clamped to >= 1). With
+/// n == 1 every ParallelFor runs inline on the calling thread and the pool
+/// is bypassed entirely. The initial value comes from the XAI_NUM_THREADS
+/// environment variable, defaulting to HardwareConcurrency(). Must not be
+/// called from inside a parallel region.
+void SetNumThreads(int n);
+
+/// Current pool size (>= 1).
+int GetNumThreads();
+
+/// True on a pool worker thread or on a caller participating in its own
+/// parallel region. Nested ParallelFor calls run inline serially.
+bool InParallelRegion();
+
+namespace internal {
+
+/// Runs chunk_fn(c) for every c in [0, num_chunks), distributing chunks
+/// over the pool. The calling thread participates. The first exception
+/// thrown by any chunk is rethrown on the calling thread after all workers
+/// quiesce; remaining chunks are skipped once an exception is recorded.
+void RunChunks(int64_t num_chunks,
+               const std::function<void(int64_t)>& chunk_fn);
+
+}  // namespace internal
+
+/// Chunked parallel loop over [0, n). `body(begin, end, chunk)` handles the
+/// half-open index range of chunk `chunk` (= [chunk*grain, ...)). Chunk
+/// layout depends only on (n, grain), so writes keyed by index or chunk are
+/// deterministic regardless of the thread count. Bodies touching shared
+/// mutable state must synchronize (and forfeit determinism).
+template <typename Body>
+void ParallelFor(int64_t n, int64_t grain, const Body& body) {
+  // Explainers capture models/games by reference into these bodies; the
+  // callable itself must be invocable from any worker thread.
+  static_assert(std::is_invocable_v<const Body&, int64_t, int64_t, int64_t>,
+                "ParallelFor body must be callable as "
+                "body(int64_t begin, int64_t end, int64_t chunk)");
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const int64_t num_chunks = (n + grain - 1) / grain;
+  internal::RunChunks(num_chunks, [&](int64_t c) {
+    const int64_t begin = c * grain;
+    const int64_t end = std::min(n, begin + grain);
+    body(begin, end, c);
+  });
+}
+
+/// Ordered parallel reduction over [0, n): `map(begin, end, chunk)` produces
+/// one partial per chunk; `combine(acc, partial)` folds the partials in
+/// ascending chunk order on the calling thread. Because both the chunking
+/// and the fold order are independent of the thread count, the result is
+/// bit-identical for any pool size (floating-point summation order
+/// included).
+template <typename T, typename Map, typename Combine>
+T ParallelReduce(int64_t n, int64_t grain, T init, const Map& map,
+                 const Combine& combine) {
+  static_assert(std::is_invocable_r_v<T, const Map&, int64_t, int64_t,
+                                      int64_t>,
+                "ParallelReduce map must be callable as "
+                "T map(int64_t begin, int64_t end, int64_t chunk)");
+  static_assert(std::is_invocable_r_v<T, const Combine&, T, const T&>,
+                "ParallelReduce combine must be callable as "
+                "T combine(T acc, const T& partial)");
+  if (n <= 0) return init;
+  if (grain < 1) grain = 1;
+  const int64_t num_chunks = (n + grain - 1) / grain;
+  std::vector<T> partials(static_cast<size_t>(num_chunks), init);
+  ParallelFor(n, grain, [&](int64_t begin, int64_t end, int64_t chunk) {
+    partials[static_cast<size_t>(chunk)] = map(begin, end, chunk);
+  });
+  T acc = std::move(init);
+  for (T& partial : partials) acc = combine(std::move(acc), partial);
+  return acc;
+}
+
+}  // namespace core
+
+// The runtime lives in xai::core (it is infrastructure, not an explainer),
+// but call sites across the library use the unqualified names.
+using core::GetNumThreads;
+using core::HardwareConcurrency;
+using core::InParallelRegion;
+using core::ParallelFor;
+using core::ParallelReduce;
+using core::SetNumThreads;
+
+}  // namespace xai
+
+#endif  // XAI_CORE_PARALLEL_H_

@@ -127,4 +127,13 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+uint64_t SplitSeed(uint64_t seed, uint64_t stream) {
+  // Two rounds of splitmix64 over the pair; the +1 keeps stream 0 from
+  // collapsing onto the plain seed hash.
+  uint64_t sm = seed;
+  uint64_t mixed = SplitMix64(&sm);
+  sm = mixed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  return SplitMix64(&sm);
+}
+
 }  // namespace xai

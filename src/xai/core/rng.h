@@ -62,6 +62,15 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+/// \brief Stateless seed derivation for deterministic parallel streams.
+///
+/// Hashes (seed, stream) into the seed of an independent child generator:
+/// `Rng(SplitSeed(seed, i))` gives chunk/permutation `i` its own stream
+/// regardless of which thread runs it or in what order, so Monte-Carlo
+/// explainers produce bit-identical output at any thread count (see
+/// core/parallel.h). Unlike Rng::Fork(), this does not advance any state.
+uint64_t SplitSeed(uint64_t seed, uint64_t stream);
+
 }  // namespace xai
 
 #endif  // XAI_CORE_RNG_H_

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "xai/core/linalg.h"
+#include "xai/core/parallel.h"
 #include "xai/core/stats.h"
 
 namespace xai {
@@ -59,28 +60,35 @@ Result<LimeExplanation> LimeExplainer::Explain(const PredictFn& f,
   double width = config_.kernel_width > 0.0
                      ? config_.kernel_width
                      : 0.75 * std::sqrt(static_cast<double>(d));
-  for (int i = 0; i <= n; ++i) {
-    Vector sample = i == 0 ? instance : raw.Row(i - 1);
-    if (discretized) {
-      std::vector<int> zi = perturber_.Interpretable(instance, sample);
-      for (int j = 0; j < d; ++j) z(i, j) = zi[j];
-    } else {
-      for (int j = 0; j < d; ++j) {
-        if (schema_.features[j].is_categorical()) {
-          z(i, j) = static_cast<int>(sample[j]) ==
-                            static_cast<int>(instance[j])
-                        ? 1.0
-                        : 0.0;
-        } else {
-          z(i, j) = (sample[j] - perturber_.means()[j]) /
-                    perturber_.stddevs()[j];
+  // Sampling above consumed the RNG serially; scoring the neighborhood is
+  // RNG-free and dominated by the n+1 black-box calls, so it fans out over
+  // the pool. Every row of z/target/weight is written by exactly one chunk;
+  // f must be const-reentrant (see the Model threading contract).
+  ParallelFor(n + 1, /*grain=*/64, [&](int64_t begin, int64_t end, int64_t) {
+    for (int64_t i = begin; i < end; ++i) {
+      Vector sample = i == 0 ? instance : raw.Row(static_cast<int>(i) - 1);
+      int r = static_cast<int>(i);
+      if (discretized) {
+        std::vector<int> zi = perturber_.Interpretable(instance, sample);
+        for (int j = 0; j < d; ++j) z(r, j) = zi[j];
+      } else {
+        for (int j = 0; j < d; ++j) {
+          if (schema_.features[j].is_categorical()) {
+            z(r, j) = static_cast<int>(sample[j]) ==
+                              static_cast<int>(instance[j])
+                          ? 1.0
+                          : 0.0;
+          } else {
+            z(r, j) = (sample[j] - perturber_.means()[j]) /
+                      perturber_.stddevs()[j];
+          }
         }
       }
+      target[i] = f(sample);
+      double dist = perturber_.Distance(instance, sample);
+      weight[i] = std::exp(-dist * dist / (width * width));
     }
-    target[i] = f(sample);
-    double dist = perturber_.Distance(instance, sample);
-    weight[i] = std::exp(-dist * dist / (width * width));
-  }
+  });
 
   // Optional forward selection of top_k interpretable features.
   std::vector<int> selected;
@@ -88,28 +96,39 @@ Result<LimeExplanation> LimeExplainer::Explain(const PredictFn& f,
     std::set<int> remaining;
     for (int j = 0; j < d; ++j) remaining.insert(j);
     while (static_cast<int>(selected.size()) < config_.top_k) {
+      // Score every remaining candidate independently in parallel, then
+      // pick the winner in candidate order (strict >), which reproduces the
+      // serial scan exactly.
+      std::vector<int> candidates(remaining.begin(), remaining.end());
+      std::vector<double> r2s(candidates.size(), -1e18);
+      ParallelFor(static_cast<int64_t>(candidates.size()), /*grain=*/1,
+                  [&](int64_t begin, int64_t end, int64_t) {
+                    for (int64_t q = begin; q < end; ++q) {
+                      std::vector<int> cand = selected;
+                      cand.push_back(candidates[q]);
+                      Matrix sub(n + 1, static_cast<int>(cand.size()));
+                      for (int i = 0; i <= n; ++i)
+                        for (size_t c = 0; c < cand.size(); ++c)
+                          sub(i, c) = z(i, cand[c]);
+                      auto coef = WeightedRidgeRegression(
+                          sub, target, weight, config_.ridge, true);
+                      if (!coef.ok()) continue;
+                      Vector pred(n + 1);
+                      for (int i = 0; i <= n; ++i) {
+                        double p = coef.ValueUnsafe().back();
+                        for (size_t c = 0; c < cand.size(); ++c)
+                          p += coef.ValueUnsafe()[c] * sub(i, c);
+                        pred[i] = p;
+                      }
+                      r2s[q] = WeightedR2(pred, target, weight);
+                    }
+                  });
       int best = -1;
       double best_r2 = -1e18;
-      for (int j : remaining) {
-        std::vector<int> cand = selected;
-        cand.push_back(j);
-        Matrix sub(n + 1, static_cast<int>(cand.size()));
-        for (int i = 0; i <= n; ++i)
-          for (size_t c = 0; c < cand.size(); ++c) sub(i, c) = z(i, cand[c]);
-        auto coef = WeightedRidgeRegression(sub, target, weight,
-                                            config_.ridge, true);
-        if (!coef.ok()) continue;
-        Vector pred(n + 1);
-        for (int i = 0; i <= n; ++i) {
-          double p = coef.ValueUnsafe().back();
-          for (size_t c = 0; c < cand.size(); ++c)
-            p += coef.ValueUnsafe()[c] * sub(i, c);
-          pred[i] = p;
-        }
-        double r2 = WeightedR2(pred, target, weight);
-        if (r2 > best_r2) {
-          best_r2 = r2;
-          best = j;
+      for (size_t q = 0; q < candidates.size(); ++q) {
+        if (r2s[q] > best_r2) {
+          best_r2 = r2s[q];
+          best = candidates[q];
         }
       }
       if (best < 0) break;
@@ -154,12 +173,26 @@ Result<LimeStability> EvaluateLimeStability(const LimeExplainer& explainer,
                                             const Vector& instance, int runs,
                                             int top_k, uint64_t seed) {
   if (runs < 2) return Status::InvalidArgument("need at least 2 runs");
+  // Each run is an independent Explain call with its own seed; fan the runs
+  // out and fold diagnostics in run order afterwards. Nested parallelism
+  // inside Explain automatically runs inline.
+  std::vector<LimeExplanation> explanations(runs);
+  std::vector<Status> statuses(runs);
+  ParallelFor(runs, /*grain=*/1, [&](int64_t begin, int64_t end, int64_t) {
+    for (int64_t r = begin; r < end; ++r) {
+      auto result = explainer.Explain(f, instance, seed + r);
+      if (result.ok())
+        explanations[r] = std::move(result).ValueUnsafe();
+      else
+        statuses[r] = result.status();
+    }
+  });
   std::vector<Vector> coefs;
   std::vector<std::set<int>> tops;
   LimeStability out;
   for (int r = 0; r < runs; ++r) {
-    XAI_ASSIGN_OR_RETURN(LimeExplanation e,
-                         explainer.Explain(f, instance, seed + r));
+    XAI_RETURN_NOT_OK(statuses[r]);
+    const LimeExplanation& e = explanations[r];
     coefs.push_back(e.attributions);
     std::vector<int> top = e.TopFeatures(top_k);
     tops.emplace_back(top.begin(), top.end());

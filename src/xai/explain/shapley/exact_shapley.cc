@@ -1,30 +1,64 @@
 #include "xai/explain/shapley/exact_shapley.h"
 
+#include <vector>
+
 #include "xai/core/combinatorics.h"
+#include "xai/core/parallel.h"
 
 namespace xai {
+namespace {
+
+// Fixed chunk size over the 2^n coalition space: thread-count independent,
+// so the per-chunk accumulation (and its floating-point order) is too.
+constexpr int64_t kMaskGrain = 2048;
+
+// Evaluates every coalition once into a flat table indexed by mask. Each
+// mask is owned by exactly one chunk, so cached games do no duplicate work
+// and num_evaluations() stays exact.
+std::vector<double> EvaluateAllCoalitions(const CoalitionGame& game,
+                                          uint64_t limit) {
+  std::vector<double> values(limit);
+  ParallelFor(static_cast<int64_t>(limit), kMaskGrain,
+              [&](int64_t begin, int64_t end, int64_t) {
+                for (int64_t mask = begin; mask < end; ++mask)
+                  values[mask] = game.Value(static_cast<uint64_t>(mask));
+              });
+  return values;
+}
+
+}  // namespace
 
 Result<Vector> ExactShapley(const CoalitionGame& game) {
   int n = game.num_players();
   if (n > 24)
     return Status::InvalidArgument(
         "ExactShapley is exponential; refusing n > 24");
-  Vector phi(n, 0.0);
   // Precompute the weights per subset size.
   Vector w(n);
   for (int s = 0; s < n; ++s) w[s] = ShapleyWeight(n, s);
   uint64_t limit = 1ULL << n;
-  for (uint64_t mask = 0; mask < limit; ++mask) {
-    int size = PopCount(mask);
-    if (size == n) continue;
-    double v_s = game.Value(mask);
-    double weight = w[size];
-    for (int i = 0; i < n; ++i) {
-      if (mask & (1ULL << i)) continue;
-      phi[i] += weight * (game.Value(mask | (1ULL << i)) - v_s);
-    }
-  }
-  return phi;
+  std::vector<double> v = EvaluateAllCoalitions(game, limit);
+  return ParallelReduce(
+      static_cast<int64_t>(limit), kMaskGrain, Vector(n, 0.0),
+      [&](int64_t begin, int64_t end, int64_t) {
+        Vector phi(n, 0.0);
+        for (int64_t m = begin; m < end; ++m) {
+          uint64_t mask = static_cast<uint64_t>(m);
+          int size = PopCount(mask);
+          if (size == n) continue;
+          double v_s = v[mask];
+          double weight = w[size];
+          for (int i = 0; i < n; ++i) {
+            if (mask & (1ULL << i)) continue;
+            phi[i] += weight * (v[mask | (1ULL << i)] - v_s);
+          }
+        }
+        return phi;
+      },
+      [n](Vector acc, const Vector& part) {
+        for (int i = 0; i < n; ++i) acc[i] += part[i];
+        return acc;
+      });
 }
 
 Result<Vector> ExactBanzhaf(const CoalitionGame& game) {
@@ -32,18 +66,28 @@ Result<Vector> ExactBanzhaf(const CoalitionGame& game) {
   if (n > 24)
     return Status::InvalidArgument(
         "ExactBanzhaf is exponential; refusing n > 24");
-  Vector phi(n, 0.0);
   uint64_t limit = 1ULL << n;
   double denom = static_cast<double>(limit) / 2.0;
-  for (uint64_t mask = 0; mask < limit; ++mask) {
-    if (PopCount(mask) == n) continue;
-    double v_s = game.Value(mask);
-    for (int i = 0; i < n; ++i) {
-      if (mask & (1ULL << i)) continue;
-      phi[i] += (game.Value(mask | (1ULL << i)) - v_s) / denom;
-    }
-  }
-  return phi;
+  std::vector<double> v = EvaluateAllCoalitions(game, limit);
+  return ParallelReduce(
+      static_cast<int64_t>(limit), kMaskGrain, Vector(n, 0.0),
+      [&](int64_t begin, int64_t end, int64_t) {
+        Vector phi(n, 0.0);
+        for (int64_t m = begin; m < end; ++m) {
+          uint64_t mask = static_cast<uint64_t>(m);
+          if (PopCount(mask) == n) continue;
+          double v_s = v[mask];
+          for (int i = 0; i < n; ++i) {
+            if (mask & (1ULL << i)) continue;
+            phi[i] += (v[mask | (1ULL << i)] - v_s) / denom;
+          }
+        }
+        return phi;
+      },
+      [n](Vector acc, const Vector& part) {
+        for (int i = 0; i < n; ++i) acc[i] += part[i];
+        return acc;
+      });
 }
 
 }  // namespace xai

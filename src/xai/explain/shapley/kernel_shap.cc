@@ -7,6 +7,7 @@
 
 #include "xai/core/combinatorics.h"
 #include "xai/core/linalg.h"
+#include "xai/core/parallel.h"
 
 namespace xai {
 namespace {
@@ -126,13 +127,21 @@ Result<AttributionExplanation> KernelShap(const CoalitionGame& game,
   if (masks.empty())
     return Status::InvalidArgument("coalition budget too small");
 
+  // Coalition evaluations dominate the cost (each one is B model calls).
+  // Farm them out chunk-wise: every design row / target entry is written by
+  // exactly one chunk and the games' memoization is thread-safe, so the
+  // result is identical at any thread count.
   Matrix design(static_cast<int>(masks.size()), d);
   Vector target(masks.size());
-  for (size_t r = 0; r < masks.size(); ++r) {
-    for (int j = 0; j < d; ++j)
-      design(static_cast<int>(r), j) = (masks[r] >> j) & 1ULL ? 1.0 : 0.0;
-    target[r] = game.Value(masks[r]) - v0;
-  }
+  ParallelFor(static_cast<int64_t>(masks.size()), /*grain=*/16,
+              [&](int64_t begin, int64_t end, int64_t) {
+                for (int64_t r = begin; r < end; ++r) {
+                  for (int j = 0; j < d; ++j)
+                    design(static_cast<int>(r), j) =
+                        (masks[r] >> j) & 1ULL ? 1.0 : 0.0;
+                  target[r] = game.Value(masks[r]) - v0;
+                }
+              });
 
   Vector ones(d, 1.0);
   XAI_ASSIGN_OR_RETURN(

@@ -2,35 +2,76 @@
 
 #include <cmath>
 
+#include "xai/core/parallel.h"
+
 namespace xai {
+namespace {
+
+// Per-chunk accumulator: running sums of marginal contributions and their
+// squares, combined across chunks in chunk order (ordered reduction).
+struct MarginalSums {
+  Vector sum;
+  Vector sum_sq;
+};
+
+// Permutations are heavy (n coalition evaluations each), so a small grain
+// keeps all workers busy; it is a fixed constant so the chunk layout — and
+// therefore the floating-point accumulation order — never depends on the
+// thread count.
+constexpr int64_t kPermutationGrain = 4;
+
+}  // namespace
 
 SamplingShapleyResult SamplingShapley(const CoalitionGame& game,
                                       int permutations, Rng* rng) {
   int n = game.num_players();
-  Vector sum(n, 0.0), sum_sq(n, 0.0);
-  for (int p = 0; p < permutations; ++p) {
-    std::vector<int> perm = rng->Permutation(n);
-    uint64_t mask = 0;
-    double prev = game.Value(0);
-    for (int i : perm) {
-      mask |= 1ULL << i;
-      double cur = game.Value(mask);
-      double marginal = cur - prev;
-      sum[i] += marginal;
-      sum_sq[i] += marginal * marginal;
-      prev = cur;
-    }
-  }
+  // Each permutation draws from its own RNG stream derived from a single
+  // base seed, so the estimate is independent of how permutations are
+  // distributed over threads (and the caller's generator advances by
+  // exactly one draw regardless of the permutation count).
+  uint64_t base_seed = rng->NextU64();
+  // Warm the v(empty) cache once before fanning out.
+  double v_empty = game.Value(0);
+
+  MarginalSums total = ParallelReduce(
+      static_cast<int64_t>(permutations), kPermutationGrain,
+      MarginalSums{Vector(n, 0.0), Vector(n, 0.0)},
+      [&](int64_t begin, int64_t end, int64_t) {
+        MarginalSums acc{Vector(n, 0.0), Vector(n, 0.0)};
+        for (int64_t p = begin; p < end; ++p) {
+          Rng perm_rng(SplitSeed(base_seed, static_cast<uint64_t>(p)));
+          std::vector<int> perm = perm_rng.Permutation(n);
+          uint64_t mask = 0;
+          double prev = v_empty;
+          for (int i : perm) {
+            mask |= 1ULL << i;
+            double cur = game.Value(mask);
+            double marginal = cur - prev;
+            acc.sum[i] += marginal;
+            acc.sum_sq[i] += marginal * marginal;
+            prev = cur;
+          }
+        }
+        return acc;
+      },
+      [n](MarginalSums acc, const MarginalSums& part) {
+        for (int i = 0; i < n; ++i) {
+          acc.sum[i] += part.sum[i];
+          acc.sum_sq[i] += part.sum_sq[i];
+        }
+        return acc;
+      });
+
   SamplingShapleyResult result;
   result.permutations_used = permutations;
   result.values.resize(n);
   result.std_errors.resize(n);
   for (int i = 0; i < n; ++i) {
-    double mean = sum[i] / permutations;
+    double mean = total.sum[i] / permutations;
     result.values[i] = mean;
     if (permutations > 1) {
       double var =
-          (sum_sq[i] - permutations * mean * mean) / (permutations - 1);
+          (total.sum_sq[i] - permutations * mean * mean) / (permutations - 1);
       result.std_errors[i] = std::sqrt(std::max(0.0, var) / permutations);
     }
   }

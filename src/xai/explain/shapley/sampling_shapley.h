@@ -18,6 +18,11 @@ struct SamplingShapleyResult {
 /// Permutation-sampling Shapley estimator (Castro et al. style): draws
 /// random permutations, walks each one accumulating marginal contributions.
 /// Unbiased; error shrinks as 1/sqrt(permutations).
+///
+/// Permutations are evaluated in parallel (core/parallel.h): each one draws
+/// from its own RNG stream derived from a single draw off `rng` via
+/// SplitSeed, and partial sums are combined in fixed chunk order, so the
+/// result is bit-identical for any thread count.
 SamplingShapleyResult SamplingShapley(const CoalitionGame& game,
                                       int permutations, Rng* rng);
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "xai/core/check.h"
+#include "xai/core/parallel.h"
 
 namespace xai {
 
@@ -190,11 +191,23 @@ AttributionExplanation TreeShap(const TreeEnsembleView& view,
   AttributionExplanation exp;
   exp.attributions.assign(d, 0.0);
   exp.base_value = view.base;
-  for (int t = 0; t < view.num_trees(); ++t) {
-    Vector phi = TreeShapValues(*view.trees[t], x, d);
+  // Trees are independent: run the per-tree polynomial walk in parallel,
+  // then accumulate in tree order so the sums are bit-identical to a plain
+  // serial loop at any thread count.
+  int num_trees = view.num_trees();
+  std::vector<Vector> per_tree(num_trees);
+  std::vector<double> expected(num_trees);
+  ParallelFor(num_trees, /*grain=*/1,
+              [&](int64_t begin, int64_t end, int64_t) {
+                for (int64_t t = begin; t < end; ++t) {
+                  per_tree[t] = TreeShapValues(*view.trees[t], x, d);
+                  expected[t] = TreeExpectedValue(*view.trees[t]);
+                }
+              });
+  for (int t = 0; t < num_trees; ++t) {
     for (int j = 0; j < d; ++j)
-      exp.attributions[j] += view.scales[t] * phi[j];
-    exp.base_value += view.scales[t] * TreeExpectedValue(*view.trees[t]);
+      exp.attributions[j] += view.scales[t] * per_tree[t][j];
+    exp.base_value += view.scales[t] * expected[t];
   }
   exp.prediction = view.Margin(x);
   return exp;

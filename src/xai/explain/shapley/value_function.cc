@@ -29,9 +29,15 @@ int MarginalFeatureGame::num_players() const {
 }
 
 double MarginalFeatureGame::Value(uint64_t coalition) const {
-  auto it = cache_.find(coalition);
-  if (it != cache_.end()) return it->second;
-  ++evaluations_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(coalition);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock: Value() is deterministic per coalition, so if
+  // two threads race on the same mask they produce the same value and the
+  // duplicate work is the only cost. evaluations_ counts cache insertions,
+  // i.e. distinct coalitions, which stays deterministic.
   int d = num_players();
   double acc = 0.0;
   Vector row(d);
@@ -42,8 +48,10 @@ double MarginalFeatureGame::Value(uint64_t coalition) const {
     acc += f_(row);
   }
   double value = acc / background_.rows();
-  cache_.emplace(coalition, value);
-  return value;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(coalition, value);
+  if (inserted) ++evaluations_;
+  return it->second;
 }
 
 ConditionalFeatureGame::ConditionalFeatureGame(PredictFn f, Vector instance,
@@ -78,8 +86,11 @@ int ConditionalFeatureGame::num_players() const {
 }
 
 double ConditionalFeatureGame::Value(uint64_t coalition) const {
-  auto it = cache_.find(coalition);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(coalition);
+    if (it != cache_.end()) return it->second;
+  }
   int d = num_players();
   int n = background_.rows();
   int k = std::min(k_, n);
@@ -109,8 +120,8 @@ double ConditionalFeatureGame::Value(uint64_t coalition) const {
     acc += f_(row);
   }
   double value = acc / k;
-  cache_.emplace(coalition, value);
-  return value;
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.emplace(coalition, value).first->second;
 }
 
 InterventionalScmGame::InterventionalScmGame(const LinearScm* scm,
@@ -130,8 +141,11 @@ int InterventionalScmGame::num_players() const {
 }
 
 double InterventionalScmGame::Value(uint64_t coalition) const {
-  auto it = cache_.find(coalition);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(coalition);
+    if (it != cache_.end()) return it->second;
+  }
   std::map<int, double> interventions;
   for (int j = 0; j < num_players(); ++j)
     if (coalition & (1ULL << j)) interventions[j] = instance_[j];
@@ -141,8 +155,8 @@ double InterventionalScmGame::Value(uint64_t coalition) const {
   double acc = 0.0;
   for (int i = 0; i < samples.rows(); ++i) acc += f_(samples.Row(i));
   double value = acc / mc_samples_;
-  cache_.emplace(coalition, value);
-  return value;
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.emplace(coalition, value).first->second;
 }
 
 }  // namespace xai

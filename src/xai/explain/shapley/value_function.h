@@ -2,6 +2,7 @@
 #define XAI_EXPLAIN_SHAPLEY_VALUE_FUNCTION_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "xai/causal/scm.h"
@@ -17,6 +18,13 @@ namespace xai {
 /// function: marginal expectations for SHAP, interventional expectations for
 /// causal Shapley values, model-performance for Data Shapley. Implementations
 /// may cache: Value() is expected to be deterministic per coalition.
+///
+/// Threading: the parallel explainers (KernelSHAP, sampling Shapley, exact
+/// enumeration; see core/parallel.h) call Value() concurrently from pool
+/// workers. Implementations must be const-reentrant — the built-in games
+/// below guard their memoization caches with a mutex and only capture
+/// const-reentrant PredictFns (see the Model threading contract in
+/// model/model.h).
 class CoalitionGame {
  public:
   virtual ~CoalitionGame() = default;
@@ -50,6 +58,7 @@ class MarginalFeatureGame : public CoalitionGame {
   PredictFn f_;
   Vector instance_;
   Matrix background_;
+  mutable std::mutex mu_;  // Guards cache_ and evaluations_.
   mutable std::unordered_map<uint64_t, double> cache_;
   mutable int evaluations_ = 0;
 };
@@ -80,6 +89,7 @@ class ConditionalFeatureGame : public CoalitionGame {
   Matrix background_;
   int k_;
   Vector stddevs_;  // Per-feature scale for the conditioning distance.
+  mutable std::mutex mu_;  // Guards cache_.
   mutable std::unordered_map<uint64_t, double> cache_;
 };
 
@@ -104,6 +114,7 @@ class InterventionalScmGame : public CoalitionGame {
   Vector instance_;
   int mc_samples_;
   uint64_t seed_;
+  mutable std::mutex mu_;  // Guards cache_.
   mutable std::unordered_map<uint64_t, double> cache_;
 };
 

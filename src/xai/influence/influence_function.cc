@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "xai/core/linalg.h"
+#include "xai/core/parallel.h"
 
 namespace xai {
 
@@ -62,11 +63,15 @@ Result<Vector> LogisticInfluence::InfluenceOnLossAll(const Vector& x_test,
   XAI_ASSIGN_OR_RETURN(Vector s, SolveHessian(g_test));
   int n = x_train_->rows();
   Vector out(n);
-  for (int i = 0; i < n; ++i) {
-    Vector g_i =
-        model_->ExampleLossGradient(x_train_->Row(i), (*y_train_)[i]);
-    out[i] = Dot(s, g_i) / n;
-  }
+  // Per-row gradient dot products are independent; each slot of `out` is
+  // written by exactly one chunk.
+  ParallelFor(n, /*grain=*/256, [&](int64_t begin, int64_t end, int64_t) {
+    for (int64_t i = begin; i < end; ++i) {
+      Vector g_i = model_->ExampleLossGradient(
+          x_train_->Row(static_cast<int>(i)), (*y_train_)[i]);
+      out[i] = Dot(s, g_i) / n;
+    }
+  });
   return out;
 }
 
@@ -78,11 +83,13 @@ Result<Vector> LogisticInfluence::InfluenceOnMarginAll(
   XAI_ASSIGN_OR_RETURN(Vector s, SolveHessian(g));
   int n = x_train_->rows();
   Vector out(n);
-  for (int i = 0; i < n; ++i) {
-    Vector g_i =
-        model_->ExampleLossGradient(x_train_->Row(i), (*y_train_)[i]);
-    out[i] = Dot(s, g_i) / n;
-  }
+  ParallelFor(n, /*grain=*/256, [&](int64_t begin, int64_t end, int64_t) {
+    for (int64_t i = begin; i < end; ++i) {
+      Vector g_i = model_->ExampleLossGradient(
+          x_train_->Row(static_cast<int>(i)), (*y_train_)[i]);
+      out[i] = Dot(s, g_i) / n;
+    }
+  });
   return out;
 }
 

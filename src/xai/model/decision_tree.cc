@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "xai/core/check.h"
+#include "xai/core/parallel.h"
 
 namespace xai {
 namespace {
@@ -165,6 +166,16 @@ Result<DecisionTreeModel> DecisionTreeModel::Train(const Dataset& dataset,
 
 double DecisionTreeModel::Predict(const Vector& row) const {
   return tree_.PredictRow(row);
+}
+
+Vector DecisionTreeModel::PredictBatch(const Matrix& x) const {
+  Vector out(x.rows());
+  ParallelFor(x.rows(), /*grain=*/1024,
+              [&](int64_t begin, int64_t end, int64_t) {
+                for (int64_t i = begin; i < end; ++i)
+                  out[i] = tree_.PredictRow(x.RowPtr(static_cast<int>(i)));
+              });
+  return out;
 }
 
 DecisionTreeModel DecisionTreeModel::FromTree(Tree tree, TaskType task) {

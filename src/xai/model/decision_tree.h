@@ -48,6 +48,9 @@ class DecisionTreeModel : public Model {
   TaskType task() const override { return task_; }
   std::string name() const override { return "decision_tree"; }
   double Predict(const Vector& row) const override;
+  /// Batched traversal over Matrix rows in place (no per-row copies),
+  /// parallelized over the runtime.
+  Vector PredictBatch(const Matrix& x) const override;
 
   const Tree& tree() const { return tree_; }
   const CartConfig& config() const { return config_; }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "xai/core/parallel.h"
 #include "xai/core/rng.h"
 #include "xai/model/decision_tree.h"
 #include "xai/model/logistic_regression.h"
@@ -107,6 +108,22 @@ double GbdtModel::Margin(const Vector& row) const {
 double GbdtModel::Predict(const Vector& row) const {
   double margin = Margin(row);
   return task_ == TaskType::kClassification ? Sigmoid(margin) : margin;
+}
+
+Vector GbdtModel::PredictBatch(const Matrix& x) const {
+  bool classify = task_ == TaskType::kClassification;
+  Vector out(x.rows());
+  ParallelFor(x.rows(), /*grain=*/64,
+              [&](int64_t begin, int64_t end, int64_t) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const double* row = x.RowPtr(static_cast<int>(i));
+                  double margin = base_score_;
+                  for (const Tree& tree : trees_)
+                    margin += tree.PredictRow(row);
+                  out[i] = classify ? Sigmoid(margin) : margin;
+                }
+              });
+  return out;
 }
 
 }  // namespace xai

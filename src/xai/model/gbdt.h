@@ -40,6 +40,9 @@ class GbdtModel : public Model {
   TaskType task() const override { return task_; }
   std::string name() const override { return "gbdt"; }
   double Predict(const Vector& row) const override;
+  /// Batched traversal over Matrix rows in place (no per-row copies),
+  /// parallelized over the runtime.
+  Vector PredictBatch(const Matrix& x) const override;
 
   /// Raw additive score: base_score + sum of tree outputs.
   double Margin(const Vector& row) const;

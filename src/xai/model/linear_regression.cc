@@ -1,6 +1,7 @@
 #include "xai/model/linear_regression.h"
 
 #include "xai/core/linalg.h"
+#include "xai/core/parallel.h"
 
 namespace xai {
 
@@ -26,6 +27,23 @@ Result<LinearRegressionModel> LinearRegressionModel::Train(
 
 double LinearRegressionModel::Predict(const Vector& row) const {
   return Dot(row, weights_) + bias_;
+}
+
+Vector LinearRegressionModel::PredictBatch(const Matrix& x) const {
+  int d = static_cast<int>(weights_.size());
+  Vector out(x.rows());
+  ParallelFor(x.rows(), /*grain=*/2048,
+              [&](int64_t begin, int64_t end, int64_t) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const double* row = x.RowPtr(static_cast<int>(i));
+                  // Same accumulation order as Predict (dot, then bias) so
+                  // batch output is bit-identical to row-wise calls.
+                  double z = 0.0;
+                  for (int j = 0; j < d; ++j) z += row[j] * weights_[j];
+                  out[i] = z + bias_;
+                }
+              });
+  return out;
 }
 
 LinearRegressionModel LinearRegressionModel::FromCoefficients(

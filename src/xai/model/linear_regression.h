@@ -34,6 +34,8 @@ class LinearRegressionModel : public Model {
   TaskType task() const override { return TaskType::kRegression; }
   std::string name() const override { return "linear_regression"; }
   double Predict(const Vector& row) const override;
+  /// Batched dot products over Matrix rows in place, parallelized.
+  Vector PredictBatch(const Matrix& x) const override;
 
   const Vector& weights() const { return weights_; }
   double bias() const { return bias_; }

@@ -4,6 +4,7 @@
 
 #include "xai/core/check.h"
 #include "xai/core/matrix.h"
+#include "xai/core/parallel.h"
 
 namespace xai {
 
@@ -138,6 +139,23 @@ Result<LogisticRegressionModel> LogisticRegressionModel::Train(
 
 double LogisticRegressionModel::Predict(const Vector& row) const {
   return Sigmoid(Margin(row));
+}
+
+Vector LogisticRegressionModel::PredictBatch(const Matrix& x) const {
+  int d = static_cast<int>(weights_.size());
+  Vector out(x.rows());
+  ParallelFor(x.rows(), /*grain=*/2048,
+              [&](int64_t begin, int64_t end, int64_t) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const double* row = x.RowPtr(static_cast<int>(i));
+                  // Same accumulation order as Margin (dot, then bias) so
+                  // batch output is bit-identical to row-wise calls.
+                  double z = 0.0;
+                  for (int j = 0; j < d; ++j) z += row[j] * weights_[j];
+                  out[i] = Sigmoid(z + bias_);
+                }
+              });
+  return out;
 }
 
 double LogisticRegressionModel::Margin(const Vector& row) const {

@@ -43,6 +43,8 @@ class LogisticRegressionModel : public Model {
   TaskType task() const override { return TaskType::kClassification; }
   std::string name() const override { return "logistic_regression"; }
   double Predict(const Vector& row) const override;
+  /// Batched dot products + sigmoid over Matrix rows in place, parallelized.
+  Vector PredictBatch(const Matrix& x) const override;
 
   /// Decision-function value (log-odds) for a row.
   double Margin(const Vector& row) const;

@@ -1,10 +1,18 @@
 #include "xai/model/model.h"
 
+#include "xai/core/parallel.h"
+
 namespace xai {
 
 Vector Model::PredictBatch(const Matrix& x) const {
   Vector out(x.rows());
-  for (int i = 0; i < x.rows(); ++i) out[i] = Predict(x.Row(i));
+  // Each output slot is written by exactly one chunk; Predict is
+  // const-reentrant per the Model threading contract.
+  ParallelFor(x.rows(), /*grain=*/256,
+              [&](int64_t begin, int64_t end, int64_t) {
+                for (int64_t i = begin; i < end; ++i)
+                  out[i] = Predict(x.Row(static_cast<int>(i)));
+              });
   return out;
 }
 

@@ -16,6 +16,18 @@ namespace xai {
 ///  - regression models: Predict() returns the predicted value;
 ///  - binary classifiers: Predict() returns P(y = 1);
 ///  - multiclass classifiers additionally override PredictClass().
+///
+/// Threading contract
+/// ------------------
+/// Explainers fan black-box evaluations out over the parallel runtime
+/// (core/parallel.h) and capture models by reference across worker
+/// threads. Every Model implementation therefore must keep `Predict` /
+/// `PredictClass` / `PredictBatch` const AND reentrant: concurrent calls
+/// on the same instance may not mutate shared state (no unsynchronized
+/// caches, counters, or scratch buffers behind `mutable`). Training and
+/// other non-const mutation must finish before the model is handed to an
+/// explainer. Implementations that memoize internally must guard the
+/// cache with a mutex (see shapley/value_function.cc for the pattern).
 class Model {
  public:
   virtual ~Model() = default;
@@ -26,9 +38,12 @@ class Model {
   virtual std::string name() const = 0;
 
   /// Predicted value (regression) or P(y=1) (binary classification).
+  /// Must be safe to call concurrently (see the threading contract).
   virtual double Predict(const Vector& row) const = 0;
 
-  /// Batch prediction; the default loops over rows.
+  /// Batch prediction. The default parallelizes row-at-a-time Predict
+  /// calls over the runtime; models with cheaper vectorized paths
+  /// (trees, ensembles, linear models) override it.
   virtual Vector PredictBatch(const Matrix& x) const;
 
   /// Hard class decision; the default thresholds Predict() at 0.5.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "xai/core/parallel.h"
+
 namespace xai {
 
 Result<RandomForestModel> RandomForestModel::Train(const Matrix& x,
@@ -28,17 +30,31 @@ Result<RandomForestModel> RandomForestModel::Train(const Matrix& x,
           ? config.max_features
           : std::max(1, static_cast<int>(std::lround(std::sqrt(x.cols()))));
 
+  // Draw all bootstrap samples and per-tree RNGs serially off the single
+  // seeded generator (same stream as a fully serial loop), then build the
+  // independent trees in parallel. Forest output is bit-identical at any
+  // thread count.
   int n = x.rows();
+  std::vector<std::vector<int>> bootstrap_rows(config.n_trees);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(config.n_trees);
   for (int t = 0; t < config.n_trees; ++t) {
-    std::vector<int> rows(n);
+    bootstrap_rows[t].resize(n);
     if (config.bootstrap) {
-      for (int i = 0; i < n; ++i) rows[i] = rng.UniformInt(n);
+      for (int i = 0; i < n; ++i) bootstrap_rows[t][i] = rng.UniformInt(n);
     } else {
-      std::iota(rows.begin(), rows.end(), 0);
+      std::iota(bootstrap_rows[t].begin(), bootstrap_rows[t].end(), 0);
     }
-    Rng tree_rng = rng.Fork();
-    model.trees_.push_back(BuildCartTree(x, y, rows, cart, &tree_rng));
+    tree_rngs.push_back(rng.Fork());
   }
+  model.trees_.resize(config.n_trees);
+  ParallelFor(config.n_trees, /*grain=*/1,
+              [&](int64_t begin, int64_t end, int64_t) {
+                for (int64_t t = begin; t < end; ++t)
+                  model.trees_[t] =
+                      BuildCartTree(x, y, bootstrap_rows[t], cart,
+                                    &tree_rngs[t]);
+              });
   return model;
 }
 
@@ -61,6 +77,20 @@ double RandomForestModel::Predict(const Vector& row) const {
   double acc = 0.0;
   for (const Tree& tree : trees_) acc += tree.PredictRow(row);
   return trees_.empty() ? 0.0 : acc / trees_.size();
+}
+
+Vector RandomForestModel::PredictBatch(const Matrix& x) const {
+  Vector out(x.rows());
+  ParallelFor(x.rows(), /*grain=*/64,
+              [&](int64_t begin, int64_t end, int64_t) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const double* row = x.RowPtr(static_cast<int>(i));
+                  double acc = 0.0;
+                  for (const Tree& tree : trees_) acc += tree.PredictRow(row);
+                  out[i] = trees_.empty() ? 0.0 : acc / trees_.size();
+                }
+              });
+  return out;
 }
 
 }  // namespace xai

@@ -39,6 +39,9 @@ class RandomForestModel : public Model {
   TaskType task() const override { return task_; }
   std::string name() const override { return "random_forest"; }
   double Predict(const Vector& row) const override;
+  /// Batched traversal over Matrix rows in place (no per-row copies),
+  /// parallelized over the runtime.
+  Vector PredictBatch(const Matrix& x) const override;
 
   const std::vector<Tree>& trees() const { return trees_; }
   const Config& config() const { return config_; }

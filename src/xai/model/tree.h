@@ -38,7 +38,11 @@ class Tree {
   bool empty() const { return nodes_.empty(); }
 
   /// Index of the leaf a row is routed to.
-  int LeafIndexOf(const Vector& row) const {
+  int LeafIndexOf(const Vector& row) const { return LeafIndexOf(row.data()); }
+
+  /// Pointer variant: lets batch predictors walk Matrix rows in place
+  /// (Matrix::RowPtr) without materializing a Vector per row.
+  int LeafIndexOf(const double* row) const {
     XAI_DCHECK(!nodes_.empty());
     int node = 0;
     while (!nodes_[node].IsLeaf()) {
@@ -50,6 +54,11 @@ class Tree {
 
   /// Value of the leaf a row is routed to.
   double PredictRow(const Vector& row) const {
+    return nodes_[LeafIndexOf(row)].value;
+  }
+
+  /// Pointer variant of PredictRow; see LeafIndexOf(const double*).
+  double PredictRow(const double* row) const {
     return nodes_[LeafIndexOf(row)].value;
   }
 

@@ -1,6 +1,23 @@
 #include "xai/model/tree_ensemble_view.h"
 
+#include "xai/core/parallel.h"
+
 namespace xai {
+
+Vector TreeEnsembleView::MarginBatch(const Matrix& x) const {
+  Vector out(x.rows());
+  ParallelFor(x.rows(), /*grain=*/64,
+              [&](int64_t begin, int64_t end, int64_t) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const double* row = x.RowPtr(static_cast<int>(i));
+                  double acc = base;
+                  for (size_t t = 0; t < trees.size(); ++t)
+                    acc += scales[t] * trees[t]->PredictRow(row);
+                  out[i] = acc;
+                }
+              });
+  return out;
+}
 
 TreeEnsembleView TreeEnsembleView::Of(const DecisionTreeModel& model) {
   TreeEnsembleView view;

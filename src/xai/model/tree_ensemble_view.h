@@ -35,6 +35,10 @@ struct TreeEnsembleView {
 
   int num_trees() const { return static_cast<int>(trees.size()); }
 
+  /// Margin for every row of `x`, parallelized over rows (core/parallel.h);
+  /// per-row tree accumulation order matches Margin() exactly.
+  Vector MarginBatch(const Matrix& x) const;
+
   static TreeEnsembleView Of(const DecisionTreeModel& model);
   static TreeEnsembleView Of(const RandomForestModel& model);
   static TreeEnsembleView Of(const GbdtModel& model);

@@ -3,13 +3,25 @@
 #include <cmath>
 #include <numeric>
 
+#include "xai/core/parallel.h"
 #include "xai/core/rng.h"
 
 namespace xai {
+namespace {
+
+// Per-chunk accumulator for the truncated Monte-Carlo sweep, combined in
+// fixed chunk order so the result is bit-identical at any thread count.
+struct TmcPartial {
+  Vector values;
+  int utility_calls = 0;
+  int64_t total_positions = 0;
+  int64_t truncated_positions = 0;
+};
+
+}  // namespace
 
 TmcResult TmcDataShapley(int num_points, const UtilityFn& utility,
                          const TmcConfig& config) {
-  Rng rng(config.seed);
   TmcResult result;
   result.values.assign(num_points, 0.0);
 
@@ -19,34 +31,57 @@ TmcResult TmcDataShapley(int num_points, const UtilityFn& utility,
   double empty_utility = utility({});
   result.utility_calls += 2;
 
-  int total_positions = 0, truncated_positions = 0;
-  for (int p = 0; p < config.max_permutations; ++p) {
-    std::vector<int> perm = rng.Permutation(num_points);
-    std::vector<int> prefix;
-    prefix.reserve(num_points);
-    double prev = empty_utility;
-    bool truncated = false;
-    for (int i : perm) {
-      ++total_positions;
-      if (truncated) {
-        // Remaining marginals treated as zero.
-        ++truncated_positions;
-        continue;
-      }
-      prefix.push_back(i);
-      double cur = utility(prefix);
-      ++result.utility_calls;
-      result.values[i] += cur - prev;
-      prev = cur;
-      if (std::fabs(full_utility - cur) < config.truncation_tolerance)
-        truncated = true;
-    }
-  }
-  for (double& v : result.values) v /= config.max_permutations;
+  // Every permutation gets its own RNG stream derived from the config seed,
+  // so the sweep parallelizes over permutations (model retraining inside
+  // `utility` dominates) without any shared generator state. The utility
+  // must be const-reentrant: the built-in utilities train fresh models per
+  // call and qualify.
+  TmcPartial total = ParallelReduce(
+      static_cast<int64_t>(config.max_permutations), /*grain=*/1,
+      TmcPartial{Vector(num_points, 0.0), 0, 0, 0},
+      [&](int64_t begin, int64_t end, int64_t) {
+        TmcPartial acc{Vector(num_points, 0.0), 0, 0, 0};
+        for (int64_t p = begin; p < end; ++p) {
+          Rng rng(SplitSeed(config.seed, static_cast<uint64_t>(p)));
+          std::vector<int> perm = rng.Permutation(num_points);
+          std::vector<int> prefix;
+          prefix.reserve(num_points);
+          double prev = empty_utility;
+          bool truncated = false;
+          for (int i : perm) {
+            ++acc.total_positions;
+            if (truncated) {
+              // Remaining marginals treated as zero.
+              ++acc.truncated_positions;
+              continue;
+            }
+            prefix.push_back(i);
+            double cur = utility(prefix);
+            ++acc.utility_calls;
+            acc.values[i] += cur - prev;
+            prev = cur;
+            if (std::fabs(full_utility - cur) < config.truncation_tolerance)
+              truncated = true;
+          }
+        }
+        return acc;
+      },
+      [num_points](TmcPartial acc, const TmcPartial& part) {
+        for (int i = 0; i < num_points; ++i) acc.values[i] += part.values[i];
+        acc.utility_calls += part.utility_calls;
+        acc.total_positions += part.total_positions;
+        acc.truncated_positions += part.truncated_positions;
+        return acc;
+      });
+
+  for (int i = 0; i < num_points; ++i)
+    result.values[i] = total.values[i] / config.max_permutations;
+  result.utility_calls += total.utility_calls;
   result.permutations_used = config.max_permutations;
   result.truncation_fraction =
-      total_positions > 0
-          ? static_cast<double>(truncated_positions) / total_positions
+      total.total_positions > 0
+          ? static_cast<double>(total.truncated_positions) /
+                total.total_positions
           : 0.0;
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "xai/core/parallel.h"
 #include "xai/model/metrics.h"
 
 namespace xai {
@@ -59,13 +60,18 @@ Vector LeaveOneOutValues(int num_points, const UtilityFn& utility) {
   std::iota(all.begin(), all.end(), 0);
   double full = utility(all);
   Vector values(num_points);
-  for (int i = 0; i < num_points; ++i) {
-    std::vector<int> rest;
-    rest.reserve(num_points - 1);
-    for (int j = 0; j < num_points; ++j)
-      if (j != i) rest.push_back(j);
-    values[i] = full - utility(rest);
-  }
+  // One retraining per point, all independent; each slot of `values` is
+  // written by exactly one chunk. The utility must be const-reentrant.
+  ParallelFor(num_points, /*grain=*/1,
+              [&](int64_t begin, int64_t end, int64_t) {
+                for (int64_t i = begin; i < end; ++i) {
+                  std::vector<int> rest;
+                  rest.reserve(num_points - 1);
+                  for (int j = 0; j < num_points; ++j)
+                    if (j != i) rest.push_back(j);
+                  values[i] = full - utility(rest);
+                }
+              });
   return values;
 }
 

@@ -1,0 +1,201 @@
+// End-to-end determinism of the parallel runtime: every parallelized
+// explainer, valuation method, and model must produce bit-identical output
+// at 1 thread and at 8 threads for a fixed seed. EXPECT_EQ on double
+// vectors is intentional — these are exact-equality contracts, not
+// tolerance checks.
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xai/core/parallel.h"
+#include "xai/data/synthetic.h"
+#include "xai/explain/lime.h"
+#include "xai/explain/shapley/exact_shapley.h"
+#include "xai/explain/shapley/kernel_shap.h"
+#include "xai/explain/shapley/sampling_shapley.h"
+#include "xai/explain/shapley/tree_shap.h"
+#include "xai/explain/shapley/value_function.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/random_forest.h"
+#include "xai/model/tree_ensemble_view.h"
+#include "xai/valuation/data_shapley.h"
+#include "xai/valuation/loo.h"
+
+namespace xai {
+namespace {
+
+class ThreadsGuard {
+ public:
+  ThreadsGuard() : saved_(GetNumThreads()) {}
+  ~ThreadsGuard() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+// Runs `workload` at 1 and at 8 threads and returns the two results.
+template <typename Fn>
+auto AtOneAndEightThreads(const Fn& workload) {
+  SetNumThreads(1);
+  auto serial = workload();
+  SetNumThreads(8);
+  auto parallel = workload();
+  return std::pair(std::move(serial), std::move(parallel));
+}
+
+TEST(ParallelDeterminismTest, KernelShap) {
+  ThreadsGuard guard;
+  auto [data, gt] = MakeLogisticData(200, 8, 3);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(data).ValueOrDie();
+  auto [serial, parallel] = AtOneAndEightThreads([&] {
+    MarginalFeatureGame game(AsPredictFn(model), data.Row(0), data.x(), 16);
+    Rng rng(7);
+    KernelShapConfig config;
+    config.coalition_budget = 128;
+    return KernelShap(game, config, &rng).ValueOrDie();
+  });
+  EXPECT_EQ(serial.attributions, parallel.attributions);
+  EXPECT_EQ(serial.base_value, parallel.base_value);
+}
+
+TEST(ParallelDeterminismTest, SamplingShapley) {
+  ThreadsGuard guard;
+  auto [data, gt] = MakeLogisticData(200, 8, 3);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(data).ValueOrDie();
+  auto [serial, parallel] = AtOneAndEightThreads([&] {
+    MarginalFeatureGame game(AsPredictFn(model), data.Row(0), data.x(), 16);
+    Rng rng(7);
+    return SamplingShapley(game, /*permutations=*/50, &rng);
+  });
+  EXPECT_EQ(serial.values, parallel.values);
+  EXPECT_EQ(serial.std_errors, parallel.std_errors);
+}
+
+TEST(ParallelDeterminismTest, ExactShapleyAndBanzhaf) {
+  ThreadsGuard guard;
+  auto [data, gt] = MakeLogisticData(200, 10, 3);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(data).ValueOrDie();
+  auto [serial, parallel] = AtOneAndEightThreads([&] {
+    MarginalFeatureGame game(AsPredictFn(model), data.Row(0), data.x(), 8);
+    Vector shapley = ExactShapley(game).ValueOrDie();
+    Vector banzhaf = ExactBanzhaf(game).ValueOrDie();
+    return std::pair(shapley, banzhaf);
+  });
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second);
+}
+
+TEST(ParallelDeterminismTest, TreeShap) {
+  ThreadsGuard guard;
+  Dataset train = MakeLoans(400, 1);
+  GbdtConfig config;
+  config.n_trees = 40;
+  auto model = GbdtModel::Train(train, config).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  auto [serial, parallel] = AtOneAndEightThreads(
+      [&] { return TreeShap(view, train.Row(3)); });
+  EXPECT_EQ(serial.attributions, parallel.attributions);
+  EXPECT_EQ(serial.base_value, parallel.base_value);
+}
+
+TEST(ParallelDeterminismTest, Lime) {
+  ThreadsGuard guard;
+  Dataset train = MakeLoans(500, 1);
+  GbdtConfig mc;
+  mc.n_trees = 20;
+  auto model = GbdtModel::Train(train, mc).ValueOrDie();
+  PredictFn f = AsPredictFn(model);
+  LimeConfig config;
+  config.num_samples = 300;
+  config.top_k = 3;  // Exercises the parallel forward-selection path.
+  LimeExplainer lime(train, config);
+  auto [serial, parallel] = AtOneAndEightThreads(
+      [&] { return lime.Explain(f, train.Row(11), 99).ValueOrDie(); });
+  EXPECT_EQ(serial.attributions, parallel.attributions);
+  EXPECT_EQ(serial.intercept, parallel.intercept);
+  EXPECT_EQ(serial.local_r2, parallel.local_r2);
+}
+
+TEST(ParallelDeterminismTest, LimeStability) {
+  ThreadsGuard guard;
+  Dataset train = MakeLoans(400, 1);
+  GbdtConfig mc;
+  mc.n_trees = 15;
+  auto model = GbdtModel::Train(train, mc).ValueOrDie();
+  PredictFn f = AsPredictFn(model);
+  LimeConfig config;
+  config.num_samples = 200;
+  LimeExplainer lime(train, config);
+  auto [serial, parallel] = AtOneAndEightThreads([&] {
+    return EvaluateLimeStability(lime, f, train.Row(5), /*runs=*/4,
+                                 /*top_k=*/3, 17)
+        .ValueOrDie();
+  });
+  EXPECT_EQ(serial.coefficient_stddev, parallel.coefficient_stddev);
+  EXPECT_EQ(serial.jaccard_top_k, parallel.jaccard_top_k);
+  EXPECT_EQ(serial.mean_r2, parallel.mean_r2);
+}
+
+TEST(ParallelDeterminismTest, TmcDataShapleyAndLoo) {
+  ThreadsGuard guard;
+  Dataset pool = MakeBlobs(160, 4, 2, 0.9, 3);
+  auto [train, valid] = pool.TrainTestSplit(0.5, 4);
+  UtilityFn utility = MakeKnnAccuracyUtility(train, valid, 5);
+  int n = train.num_rows();
+  auto [serial, parallel] = AtOneAndEightThreads([&] {
+    TmcConfig config;
+    config.max_permutations = 8;
+    config.truncation_tolerance = 0.05;
+    TmcResult tmc = TmcDataShapley(n, utility, config);
+    Vector loo = LeaveOneOutValues(n, utility);
+    return std::pair(tmc, loo);
+  });
+  EXPECT_EQ(serial.first.values, parallel.first.values);
+  EXPECT_EQ(serial.first.utility_calls, parallel.first.utility_calls);
+  EXPECT_EQ(serial.first.truncation_fraction,
+            parallel.first.truncation_fraction);
+  EXPECT_EQ(serial.second, parallel.second);
+}
+
+TEST(ParallelDeterminismTest, RandomForestTrainAndPredictBatch) {
+  ThreadsGuard guard;
+  Dataset train = MakeLoans(300, 1);
+  auto [serial, parallel] = AtOneAndEightThreads([&] {
+    RandomForestConfig config;
+    config.n_trees = 30;
+    auto model = RandomForestModel::Train(train, config).ValueOrDie();
+    return model.PredictBatch(train.x());
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, PredictBatchMatchesRowwisePredict) {
+  ThreadsGuard guard;
+  SetNumThreads(8);
+  Dataset train = MakeLoans(300, 1);
+  RandomForestConfig rf_config;
+  rf_config.n_trees = 20;
+  auto rf = RandomForestModel::Train(train, rf_config).ValueOrDie();
+  GbdtConfig gb_config;
+  gb_config.n_trees = 20;
+  auto gb = GbdtModel::Train(train, gb_config).ValueOrDie();
+  Vector rf_batch = rf.PredictBatch(train.x());
+  Vector gb_batch = gb.PredictBatch(train.x());
+  for (int i = 0; i < train.num_rows(); ++i) {
+    EXPECT_EQ(rf_batch[i], rf.Predict(train.Row(i)));
+    EXPECT_EQ(gb_batch[i], gb.Predict(train.Row(i)));
+  }
+  TreeEnsembleView view = TreeEnsembleView::Of(gb);
+  Vector margins = view.MarginBatch(train.x());
+  for (int i = 0; i < train.num_rows(); ++i)
+    EXPECT_EQ(margins[i], view.Margin(train.Row(i)));
+}
+
+}  // namespace
+}  // namespace xai
