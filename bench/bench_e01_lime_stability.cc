@@ -18,11 +18,14 @@ namespace xai {
 namespace {
 
 void Run(int threads) {
-  bench::Banner(
-      "E1: LIME stability vs sampling budget",
+  const char* claim =
       "\"sampling of points near the local neighborhood ... can be "
-      "unreliable\" (S2.1.1)",
-      "loans n=1500, GBDT(60 trees); 10 repeated LIME runs x 3 instances");
+      "unreliable\" (S2.1.1)";
+  bench::Banner("E1: LIME stability vs sampling budget", claim,
+                "loans n=1500, GBDT(60 trees); 10 repeated LIME runs x 3 "
+                "instances");
+  bench::RunReport report("e01", claim);
+  telemetry::Registry::Global().Reset();
 
   Dataset train = MakeLoans(1500, 1);
   GbdtModel::Config mc;
@@ -54,6 +57,12 @@ void Run(int threads) {
     std::printf("%10d %18.5f %16.3f %10.3f %12.2f\n", n_samples,
                 coef / instances, jac / instances, r2 / instances,
                 total_ms / (instances * kRuns));
+    report.Metric("coef_stddev_n" + std::to_string(n_samples),
+                  coef / instances);
+    report.Metric("jaccard_top3_n" + std::to_string(n_samples),
+                  jac / instances);
+    report.Metric("ms_per_explain_n" + std::to_string(n_samples),
+                  total_ms / (instances * kRuns));
   }
   bench::Section("serial vs parallel scaling (deterministic runtime)");
   {
@@ -80,12 +89,15 @@ void Run(int threads) {
     bench::Throughput("lime-stability", threads, p_sec, evals);
     bench::Speedup("LIME stability (10 runs)", s_sec, p_sec, threads,
                    identical);
+    report.Metric("lime_speedup", p_sec > 0 ? s_sec / p_sec : 0.0);
+    report.Metric("lime_bit_identical", identical ? 1.0 : 0.0);
     SetNumThreads(threads);
   }
 
   std::printf(
       "\nShape check: coef_stddev should fall and jaccard_top3 rise "
       "monotonically with n_samples.\n");
+  report.Write();
   bench::Footer();
 }
 

@@ -6,6 +6,9 @@
 // compute some approximation of these values."
 // Expected shape: exact runtime doubles with every added feature; the
 // sampling estimators trade model evaluations for error ~ 1/sqrt(budget).
+//
+// Emits BENCH_e02.json (+ Chrome trace) via bench::RunReport; `--smoke`
+// shrinks the workload for CI.
 
 #include <cmath>
 #include <cstdio>
@@ -33,14 +36,14 @@ double MaxAbsError(const Vector& a, const Vector& b) {
 // Serial-vs-parallel scaling of the Monte-Carlo estimators: the same seeded
 // workload at 1 thread and at `threads`, asserting bit-identical output (the
 // runtime's determinism guarantee) while reporting speedup and throughput.
-void RunScaling(int threads) {
+void RunScaling(int threads, bool smoke, bench::RunReport* report) {
   bench::Section("serial vs parallel scaling (deterministic runtime)");
   auto [data, gt] = MakeLogisticData(300, 12, 3);
   (void)gt;
   auto model = LogisticRegressionModel::Train(data).ValueOrDie();
   Vector instance = data.Row(5);
 
-  const int kPermutations = 400;
+  const int kPermutations = smoke ? 100 : 400;
   auto run_sampling = [&](int t) {
     SetNumThreads(t);
     MarginalFeatureGame game(AsPredictFn(model), instance, data.x(), 24);
@@ -56,8 +59,12 @@ void RunScaling(int threads) {
   bench::Throughput("sampling-shapley", threads, sp_sec, sampling_evals);
   bench::Speedup("sampling Shapley", ss_sec, sp_sec, threads,
                  sampling_serial == sampling_parallel);
+  report->Metric("sampling_speedup",
+                 sp_sec > 0 ? ss_sec / sp_sec : 0.0);
+  report->Metric("sampling_bit_identical",
+                 sampling_serial == sampling_parallel ? 1.0 : 0.0);
 
-  const int kBudget = 4096;
+  const int kBudget = smoke ? 1024 : 4096;
   auto run_kernel = [&](int t) {
     SetNumThreads(t);
     MarginalFeatureGame game(AsPredictFn(model), instance, data.x(), 24);
@@ -74,28 +81,79 @@ void RunScaling(int threads) {
   bench::Throughput("kernel-shap", threads, kp_sec, kBudget);
   bench::Speedup("KernelSHAP", ks_sec, kp_sec, threads,
                  kernel_serial == kernel_parallel);
+  report->Metric("kernel_shap_speedup", kp_sec > 0 ? ks_sec / kp_sec : 0.0);
+  report->Metric("kernel_shap_bit_identical",
+                 kernel_serial == kernel_parallel ? 1.0 : 0.0);
   SetNumThreads(threads);
 }
 
-void Run(int threads) {
-  bench::Banner(
-      "E2: exact Shapley cost growth and approximation error",
+// Measures the cost of enabled telemetry on the e02 hot loop (sampling
+// Shapley over a fresh marginal game) by toggling the runtime switch:
+// enabled vs disabled runs of the identical seeded workload. The budget is
+// <2%; the measured number lands in the report as telemetry_overhead_pct.
+void RunTelemetryOverhead(bool smoke, bench::RunReport* report) {
+  bench::Section("telemetry overhead on the hot loop (runtime toggle)");
+  auto [data, gt] = MakeLogisticData(300, 12, 3);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(data).ValueOrDie();
+  Vector instance = data.Row(5);
+  const int kPermutations = smoke ? 100 : 400;
+  const int kReps = smoke ? 8 : 15;
+
+  auto time_once = [&]() {
+    MarginalFeatureGame game(AsPredictFn(model), instance, data.x(), 24);
+    Rng rng(13);
+    WallTimer timer;
+    auto r = SamplingShapley(game, kPermutations, &rng);
+    (void)r;
+    return timer.Seconds();
+  };
+  time_once();  // Warm-up (pool spin-up, cache warm).
+  // Interleave enabled/disabled reps so clock drift and cache state hit
+  // both modes equally; best-of filters scheduler noise.
+  double on_sec = 1e300, off_sec = 1e300;
+  for (int i = 0; i < kReps; ++i) {
+    telemetry::SetEnabled(true);
+    on_sec = std::min(on_sec, time_once());
+    telemetry::SetEnabled(false);
+    off_sec = std::min(off_sec, time_once());
+  }
+  telemetry::SetEnabled(true);
+  double overhead_pct =
+      off_sec > 0 ? (on_sec - off_sec) / off_sec * 100.0 : 0.0;
+  std::printf("hot loop: enabled %.3f ms, disabled %.3f ms, overhead "
+              "%+.2f%% (budget < 2%%)\n",
+              on_sec * 1e3, off_sec * 1e3, overhead_pct);
+  report->Metric("telemetry_overhead_pct", overhead_pct);
+}
+
+void Run(int threads, bool smoke) {
+  const char* claim =
       "\"Computing Shapley values takes exponential time ... existing "
-      "methods compute some approximation\" (S2.1.2)",
+      "methods compute some approximation\" (S2.1.2)";
+  bench::Banner(
+      "E2: exact Shapley cost growth and approximation error", claim,
       "logistic model on synthetic data; marginal game, 24 background rows");
+  bench::RunReport report("e02", claim);
+  telemetry::Registry::Global().Reset();
 
   bench::Section("exact Shapley runtime vs number of features d");
   std::printf("%4s %14s %16s %12s\n", "d", "coalitions", "evaluations",
               "time_ms");
-  for (int d = 4; d <= 14; d += 2) {
+  int d_max = smoke ? 10 : 14;
+  for (int d = 4; d <= d_max; d += 2) {
     auto [data, gt] = MakeLogisticData(300, d, 7 + d);
     (void)gt;
     auto model = LogisticRegressionModel::Train(data).ValueOrDie();
     MarginalFeatureGame game(AsPredictFn(model), data.Row(0), data.x(), 24);
     WallTimer timer;
     Vector phi = ExactShapley(game).ValueOrDie();
-    std::printf("%4d %14.0f %16d %12.2f\n", d, std::pow(2.0, d),
-                game.num_evaluations(), timer.Millis());
+    double ms = timer.Millis();
+    std::printf("%4d %14.0f %16lld %12.2f\n", d, std::pow(2.0, d),
+                static_cast<long long>(game.num_evaluations()), ms);
+    report.Metric("exact_time_ms_d" + std::to_string(d), ms);
+    report.Metric("exact_evals_d" + std::to_string(d),
+                  static_cast<double>(game.num_evaluations()));
   }
 
   bench::Section(
@@ -112,6 +170,7 @@ void Run(int threads) {
   std::printf("%22s %10s %14s %12s\n", "estimator", "budget", "max_error",
               "time_ms");
   for (int budget : {64, 256, 1024, 4096}) {
+    if (smoke && budget > 1024) continue;
     {
       MarginalFeatureGame game(AsPredictFn(model), instance, data.x(), 24);
       Rng rng(11);
@@ -119,8 +178,10 @@ void Run(int threads) {
       config.coalition_budget = budget;
       WallTimer timer;
       auto ks = KernelShap(game, config, &rng).ValueOrDie();
-      std::printf("%22s %10d %14.5f %12.2f\n", "KernelSHAP", budget,
-                  MaxAbsError(ks.attributions, exact), timer.Millis());
+      double err = MaxAbsError(ks.attributions, exact);
+      std::printf("%22s %10d %14.5f %12.2f\n", "KernelSHAP", budget, err,
+                  timer.Millis());
+      report.Metric("kernel_shap_maxerr_b" + std::to_string(budget), err);
     }
     {
       MarginalFeatureGame game(AsPredictFn(model), instance, data.x(), 24);
@@ -128,15 +189,20 @@ void Run(int threads) {
       int permutations = std::max(1, budget / 12);
       WallTimer timer;
       auto ss = SamplingShapley(game, permutations, &rng);
+      double err = MaxAbsError(ss.values, exact);
       std::printf("%22s %10d %14.5f %12.2f\n", "permutation-sampling",
-                  budget, MaxAbsError(ss.values, exact), timer.Millis());
+                  budget, err, timer.Millis());
+      report.Metric("sampling_maxerr_b" + std::to_string(budget), err);
     }
   }
-  RunScaling(threads);
+  RunScaling(threads, smoke, &report);
+  RunTelemetryOverhead(smoke, &report);
 
   std::printf(
       "\nShape check: exact time roughly x4 per +2 features; estimator "
       "errors fall with budget.\n");
+  report.Note("smoke", smoke ? "true" : "false");
+  report.Write();
   bench::Footer();
 }
 
@@ -145,6 +211,7 @@ void Run(int threads) {
 
 int main(int argc, char** argv) {
   int threads = xai::bench::ThreadsFlag(argc, argv);
+  bool smoke = xai::bench::SmokeFlag(argc, argv);
   xai::SetNumThreads(threads);
-  xai::Run(threads);
+  xai::Run(threads, smoke);
 }

@@ -40,12 +40,14 @@ double DetectionRate(const Vector& values, const std::vector<int>& flipped) {
 }
 
 void Run(int threads) {
-  bench::Banner(
-      "E8: data valuation for noisy-label detection",
+  const char* claim =
       "exact Data Shapley \"intractable\"; TMC approximation; KNN-Shapley "
-      "\"practical\" exact algorithm (S2.3.1)",
-      "blobs n_train=200 (15% labels flipped), n_valid=120, kNN(k=5) "
-      "utility");
+      "\"practical\" exact algorithm (S2.3.1)";
+  bench::Banner("E8: data valuation for noisy-label detection", claim,
+                "blobs n_train=200 (15% labels flipped), n_valid=120, "
+                "kNN(k=5) utility");
+  bench::RunReport report("e08", claim);
+  telemetry::Registry::Global().Reset();
 
   Dataset pool = MakeBlobs(320, 4, 2, 0.9, 3);
   auto [train, valid] = pool.TrainTestSplit(0.375, 4);
@@ -59,8 +61,11 @@ void Run(int threads) {
   {
     WallTimer timer;
     Vector values = LeaveOneOutValues(n, utility);
+    double det = DetectionRate(values, flipped);
     std::printf("%24s %12.1f %16d %16.3f\n", "leave-one-out",
-                timer.Millis(), n + 1, DetectionRate(values, flipped));
+                timer.Millis(), n + 1, det);
+    report.Metric("loo_time_ms", timer.Millis());
+    report.Metric("loo_detection", det);
   }
   {
     WallTimer timer;
@@ -68,15 +73,21 @@ void Run(int threads) {
     config.max_permutations = 60;
     config.truncation_tolerance = 0.02;
     TmcResult result = TmcDataShapley(n, utility, config);
+    double det = DetectionRate(result.values, flipped);
     std::printf("%24s %12.1f %16d %16.3f\n", "TMC Data Shapley",
-                timer.Millis(), result.utility_calls,
-                DetectionRate(result.values, flipped));
+                timer.Millis(), result.utility_calls, det);
+    report.Metric("tmc_time_ms", timer.Millis());
+    report.Metric("tmc_utility_calls", result.utility_calls);
+    report.Metric("tmc_detection", det);
   }
   {
     WallTimer timer;
     Vector values = KnnShapley(train, valid, 5).ValueOrDie();
+    double det = DetectionRate(values, flipped);
     std::printf("%24s %12.1f %16d %16.3f\n", "KNN-Shapley (exact)",
-                timer.Millis(), 0, DetectionRate(values, flipped));
+                timer.Millis(), 0, det);
+    report.Metric("knn_shapley_time_ms", timer.Millis());
+    report.Metric("knn_shapley_detection", det);
   }
   {
     WallTimer timer;
@@ -119,12 +130,15 @@ void Run(int threads) {
     bench::Throughput("tmc-data-shapley", threads, p_sec,
                       parallel.utility_calls);
     bench::Speedup("TMC Data Shapley", s_sec, p_sec, threads, identical);
+    report.Metric("tmc_speedup", p_sec > 0 ? s_sec / p_sec : 0.0);
+    report.Metric("tmc_bit_identical", identical ? 1.0 : 0.0);
     SetNumThreads(threads);
   }
 
   std::printf(
       "\nShape check: KNN-Shapley ~100-1000x faster than TMC at similar or "
       "better detection; truncation saves calls as tolerance grows.\n");
+  report.Write();
   bench::Footer();
 }
 

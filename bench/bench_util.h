@@ -5,9 +5,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "xai/core/parallel.h"
+#include "xai/core/telemetry.h"
 
 namespace xai::bench {
 
@@ -23,6 +29,14 @@ inline int ThreadsFlag(int argc, char** argv) {
     }
   }
   return GetNumThreads();
+}
+
+/// True if argv contains `--smoke`: benches shrink their workloads to a
+/// CI-sized run (same code paths, seconds not minutes).
+inline bool SmokeFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  return false;
 }
 
 /// One line of wall-time + throughput for a timed region.
@@ -67,6 +81,88 @@ inline void Footer() {
   std::printf("==============================================================="
               "=================\n\n");
 }
+
+/// \brief Machine-readable run report: `BENCH_<id>.json` plus a Chrome
+/// trace `BENCH_<id>.trace.json`.
+///
+/// Collects the bench's own measured numbers (Metric/Note) and, at
+/// Write() time, snapshots the telemetry registry — counter values and
+/// histogram p50/p95/p99 — so every EXPERIMENTS.md row has a checkable
+/// artifact instead of only printf output. Schema is validated in CI by
+/// tools/validate_bench_report.py.
+class RunReport {
+ public:
+  /// `id` is the short experiment id, e.g. "e02".
+  RunReport(std::string id, std::string claim)
+      : id_(std::move(id)), claim_(std::move(claim)) {}
+
+  void Metric(const std::string& name, double value) {
+    metrics_[name] = value;
+  }
+  void Note(const std::string& key, const std::string& value) {
+    notes_[key] = value;
+  }
+
+  /// Writes BENCH_<id>.json and BENCH_<id>.trace.json into the current
+  /// directory and prints both paths. Returns the report path.
+  std::string Write() const {
+    const std::string report_path = "BENCH_" + id_ + ".json";
+    const std::string trace_path = "BENCH_" + id_ + ".trace.json";
+    auto& registry = xai::telemetry::Registry::Global();
+    {
+      std::ofstream os(trace_path);
+      registry.WriteChromeTrace(os);
+    }
+    std::ofstream os(report_path);
+    os << "{\"id\":\"" << id_ << "\",\"claim\":";
+    WriteJsonString(os, claim_);
+    os << ",\"threads\":" << GetNumThreads();
+    os << ",\"telemetry_compiled\":" << (XAI_TELEMETRY ? "true" : "false");
+    os << ",\"metrics\":{";
+    bool first = true;
+    for (const auto& [name, value] : metrics_) {
+      if (!first) os << ",";
+      first = false;
+      WriteJsonString(os, name);
+      os << ":" << value;
+    }
+    os << "},\"notes\":{";
+    first = true;
+    for (const auto& [key, value] : notes_) {
+      if (!first) os << ",";
+      first = false;
+      WriteJsonString(os, key);
+      os << ":";
+      WriteJsonString(os, value);
+    }
+    os << "},\"telemetry\":";
+    registry.WriteJsonObject(os);
+    os << ",\"trace_file\":\"" << trace_path << "\"}\n";
+    os.close();
+    std::printf("\nrun report : %s\nchrome trace: %s\n", report_path.c_str(),
+                trace_path.c_str());
+    return report_path;
+  }
+
+ private:
+  static void WriteJsonString(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (char c : s) {
+      if (c == '"' || c == '\\') os << '\\';
+      if (c == '\n') {
+        os << "\\n";
+        continue;
+      }
+      os << c;
+    }
+    os << '"';
+  }
+
+  std::string id_;
+  std::string claim_;
+  std::map<std::string, double> metrics_;
+  std::map<std::string, std::string> notes_;
+};
 
 }  // namespace xai::bench
 

@@ -5,6 +5,7 @@
 //   ./causal_explanations
 
 #include <cstdio>
+#include "xai/core/telemetry.h"
 
 #include "xai/causal/scm.h"
 #include "xai/explain/counterfactual/lewis.h"
@@ -12,7 +13,9 @@
 #include "xai/explain/shapley/causal_shapley.h"
 #include "xai/explain/shapley/shapley_flow.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool show_telemetry = xai::telemetry::TelemetryFlag(argc, argv);
+
   using namespace xai;
 
   // A small causal story: education -> income -> savings; the bank's score
@@ -89,5 +92,7 @@ int main() {
     std::printf(" -> downstream world gives score %.3f\n",
                 score(actions[a].counterfactual_world));
   }
+  if (show_telemetry)
+    std::printf("%s\n", xai::telemetry::SummaryLine().c_str());
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include "xai/core/telemetry.h"
 
 #include "xai/core/stats.h"
 #include "xai/data/synthetic.h"
@@ -14,7 +15,9 @@
 #include "xai/unlearn/incremental_logistic.h"
 #include "xai/valuation/knn_shapley.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool show_telemetry = xai::telemetry::TelemetryFlag(argc, argv);
+
   using namespace xai;
 
   // A clean dataset whose labels we partially corrupt — the ground truth a
@@ -78,5 +81,7 @@ int main() {
   auto repaired = maintained.CurrentModel();
   std::printf("validation accuracy after unlearning %d suspects: %.3f\n",
               k, EvaluateAccuracy(repaired, valid));
+  if (show_telemetry)
+    std::printf("%s\n", xai::telemetry::SummaryLine().c_str());
   return 0;
 }

@@ -6,6 +6,7 @@
 //   ./fairness_audit
 
 #include <cstdio>
+#include "xai/core/telemetry.h"
 
 #include "xai/data/synthetic.h"
 #include "xai/explain/fairness.h"
@@ -13,7 +14,9 @@
 #include "xai/explain/partial_dependence.h"
 #include "xai/model/logistic_regression.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool show_telemetry = xai::telemetry::TelemetryFlag(argc, argv);
+
   using namespace xai;
 
   // COMPAS-like data where race never enters the label mechanism but is
@@ -50,5 +53,7 @@ int main() {
   auto pd = ComputePartialDependence(AsPredictFn(unaware), data, priors)
                 .ValueOrDie();
   std::printf("%s", pd.ToString("priors_count").c_str());
+  if (show_telemetry)
+    std::printf("%s\n", xai::telemetry::SummaryLine().c_str());
   return 0;
 }

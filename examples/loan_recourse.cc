@@ -7,6 +7,7 @@
 //   ./loan_recourse
 
 #include <cstdio>
+#include "xai/core/telemetry.h"
 
 #include "xai/data/synthetic.h"
 #include "xai/explain/counterfactual/counterfactual.h"
@@ -31,7 +32,9 @@ void PrintChanges(const xai::Dataset& data, const xai::Vector& from,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool show_telemetry = xai::telemetry::TelemetryFlag(argc, argv);
+
   using namespace xai;
 
   Dataset train = MakeLoans(2000, 3);
@@ -90,5 +93,7 @@ int main() {
                      MedianAbsoluteDeviation(train.x()))
           .ValueOrDie();
   std::printf("%s", flipset.ToString(train.schema()).c_str());
+  if (show_telemetry)
+    std::printf("%s\n", xai::telemetry::SummaryLine().c_str());
   return 0;
 }

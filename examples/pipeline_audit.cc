@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <memory>
+#include "xai/core/telemetry.h"
 
 #include "xai/data/synthetic.h"
 #include "xai/model/logistic_regression.h"
@@ -14,7 +15,9 @@
 #include "xai/pipeline/pipeline.h"
 #include "xai/pipeline/stage_attribution.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool show_telemetry = xai::telemetry::TelemetryFlag(argc, argv);
+
   using namespace xai;
 
   Dataset data = MakeLoans(1500, 9);
@@ -57,5 +60,7 @@ int main() {
   std::printf("\n=> most harmful stage: %s\n",
               attribution.stage_names[attribution.MostHarmfulStage()]
                   .c_str());
+  if (show_telemetry)
+    std::printf("%s\n", xai::telemetry::SummaryLine().c_str());
   return 0;
 }

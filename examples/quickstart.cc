@@ -5,6 +5,7 @@
 //   ./quickstart
 
 #include <cstdio>
+#include "xai/core/telemetry.h"
 
 #include "xai/data/synthetic.h"
 #include "xai/explain/global_importance.h"
@@ -13,7 +14,9 @@
 #include "xai/model/gbdt.h"
 #include "xai/model/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool show_telemetry = xai::telemetry::TelemetryFlag(argc, argv);
+
   using namespace xai;
 
   // 1. Data: a synthetic credit-lending dataset (schema mirrors the
@@ -67,5 +70,7 @@ int main() {
       "All explainers should surface credit_score / debt_to_income /\n"
       "has_default as the drivers -- the features the generator actually\n"
       "uses -- and gender (not in the mechanism) near zero.\n");
+  if (show_telemetry)
+    std::printf("%s\n", xai::telemetry::SummaryLine().c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 //   ./sql_explanations
 
 #include <cstdio>
+#include "xai/core/telemetry.h"
 
 #include "xai/core/check.h"
 #include "xai/dbx/repair_shapley.h"
@@ -13,7 +14,9 @@
 #include "xai/relational/operators.h"
 #include "xai/relational/relation.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool show_telemetry = xai::telemetry::TelemetryFlag(argc, argv);
+
   using namespace xai;
   using namespace xai::rel;
 
@@ -112,5 +115,7 @@ int main() {
   std::printf("\ngreedy repair deletes:");
   for (int t : repair) std::printf(" t%d", t);
   std::printf("\n");
+  if (show_telemetry)
+    std::printf("%s\n", xai::telemetry::SummaryLine().c_str());
   return 0;
 }

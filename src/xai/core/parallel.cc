@@ -9,6 +9,9 @@
 #include <thread>
 
 #include "xai/core/check.h"
+#include "xai/core/telemetry.h"
+#include "xai/core/timer.h"
+#include "xai/core/trace.h"
 
 namespace xai {
 namespace core {
@@ -52,7 +55,9 @@ class ThreadPool {
       has_error_.store(false, std::memory_order_relaxed);
       pending_workers_ = static_cast<int>(threads_.size());
       ++epoch_;
+      publish_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
     }
+    XAI_COUNTER_INC("parallel/regions");
     cv_.notify_all();
 
     // The caller participates as one more worker.
@@ -83,6 +88,13 @@ class ThreadPool {
         if (stop_) return;
         seen_epoch = epoch_;
       }
+      // Latency between a region being published and this worker picking up
+      // its first chunk — the pool's scheduling overhead, aggregated.
+      if (telemetry::Enabled()) {
+        XAI_COUNTER_ADD(
+            "parallel/queue_wait_ns",
+            MonotonicNanos() - publish_ns_.load(std::memory_order_relaxed));
+      }
       DrainChunks();
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -92,11 +104,18 @@ class ThreadPool {
   }
 
   void DrainChunks() {
+    // One span per worker per region (not per chunk): at fine grains a
+    // per-chunk span costs two clock reads plus a contended histogram
+    // update per chunk, which alone blows the <2% telemetry budget. The
+    // chunk count is batched locally for the same reason.
+    XAI_SPAN("parallel/drain");
+    int64_t drained = 0;
     for (;;) {
       const int64_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
-      if (c >= num_chunks_) return;
+      if (c >= num_chunks_) break;
       if (has_error_.load(std::memory_order_relaxed)) continue;
       try {
+        ++drained;
         (*task_)(c);
       } catch (...) {
         has_error_.store(true, std::memory_order_relaxed);
@@ -104,6 +123,7 @@ class ThreadPool {
         if (!first_error_) first_error_ = std::current_exception();
       }
     }
+    if (drained > 0) XAI_COUNTER_ADD("parallel/chunks", drained);
   }
 
   std::mutex run_mu_;  // Serializes top-level parallel regions.
@@ -117,6 +137,7 @@ class ThreadPool {
   const std::function<void(int64_t)>* task_ = nullptr;
   int64_t num_chunks_ = 0;
   std::atomic<int64_t> next_chunk_{0};
+  std::atomic<int64_t> publish_ns_{0};
   std::atomic<bool> has_error_{false};
   std::exception_ptr first_error_;
 
@@ -192,6 +213,9 @@ void RunChunks(int64_t num_chunks,
       return;
     }
   }
+  // Inline path (single thread, single chunk, or nested region): count the
+  // chunks in one batched add; no per-chunk span, the work is on the caller.
+  XAI_COUNTER_ADD("parallel/chunks", num_chunks);
   for (int64_t c = 0; c < num_chunks; ++c) chunk_fn(c);
 }
 

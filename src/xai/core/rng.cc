@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "xai/core/check.h"
+#include "xai/core/telemetry.h"
 
 namespace xai {
 namespace {
@@ -128,6 +129,7 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
 Rng Rng::Fork() { return Rng(NextU64()); }
 
 uint64_t SplitSeed(uint64_t seed, uint64_t stream) {
+  XAI_COUNTER_INC("rng/streams");
   // Two rounds of splitmix64 over the pair; the +1 keeps stream 0 from
   // collapsing onto the plain seed hash.
   uint64_t sm = seed;

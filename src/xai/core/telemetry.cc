@@ -1,0 +1,283 @@
+#include "xai/core/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "xai/core/timer.h"
+#include "xai/core/trace.h"
+
+namespace xai {
+namespace telemetry {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+// Minimal JSON string escaping (names are `subsystem/op`, but be safe).
+void WriteJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << ' ';
+        else
+          os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+int Counter::ThreadSlot() {
+  // Threads claim slots in first-touch order. The first kSlots-1 threads
+  // own theirs exclusively (plain-store fast path); everyone after shares
+  // the last slot, which stays exact because that path uses fetch-add.
+  static std::atomic<int> next{0};
+  thread_local int index = [] {
+    int n = next.fetch_add(1, std::memory_order_relaxed);
+    return n < kSlots - 1 ? n : kSlots - 1;
+  }();
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  uint64_t u = static_cast<uint64_t>(value);
+  if (u < kSubCount) return static_cast<int>(u);  // Exact small values.
+  int msb = 63 - std::countl_zero(u);
+  int sub = static_cast<int>((u >> (msb - kSubBits)) & (kSubCount - 1));
+  return (msb - kSubBits + 1) * kSubCount + sub;
+}
+
+int64_t Histogram::BucketLowerBound(int index) {
+  if (index < kSubCount) return index;
+  int msb = index / kSubCount + kSubBits - 1;
+  int sub = index % kSubCount;
+  return (int64_t{1} << msb) |
+         (static_cast<int64_t>(sub) << (msb - kSubBits));
+}
+
+void Histogram::Record(int64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value < 0 ? 0 : value, std::memory_order_relaxed);
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  for (int i = 0; i < kNumBuckets; ++i)
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  int64_t total = Count();
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based; walk the cumulative counts.
+  int64_t rank = static_cast<int64_t>(q * (total - 1)) + 1;
+  int64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      int64_t lo = BucketLowerBound(i);
+      int64_t hi = i + 1 < kNumBuckets ? BucketLowerBound(i + 1) : lo + 1;
+      return static_cast<double>(lo) + static_cast<double>(hi - lo) / 2.0;
+    }
+  }
+  return static_cast<double>(BucketLowerBound(kNumBuckets - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry::Registry() { epoch_ns_.store(MonotonicNanos()); }
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // Leaked: outlives all users.
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void Registry::Reset() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, counter] : counters_) counter->Reset();
+    for (auto& [name, histogram] : histograms_) histogram->Reset();
+  }
+  internal::ClearTraceEvents();
+  epoch_ns_.store(MonotonicNanos());
+}
+
+std::map<std::string, int64_t> Registry::CounterSnapshot() const {
+  std::map<std::string, int64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) out[name] = counter->Get();
+  return out;
+}
+
+std::map<std::string, HistogramStats> Registry::HistogramSnapshot() const {
+  std::map<std::string, HistogramStats> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramStats stats;
+    stats.count = histogram->Count();
+    stats.sum = histogram->Sum();
+    stats.p50 = histogram->Quantile(0.50);
+    stats.p95 = histogram->Quantile(0.95);
+    stats.p99 = histogram->Quantile(0.99);
+    out[name] = stats;
+  }
+  return out;
+}
+
+void Registry::WriteJson(std::ostream& os) const {
+  for (const auto& [name, value] : CounterSnapshot()) {
+    os << "{\"type\":\"counter\",\"name\":";
+    WriteJsonString(os, name);
+    os << ",\"value\":" << value << "}\n";
+  }
+  for (const auto& [name, h] : HistogramSnapshot()) {
+    os << "{\"type\":\"histogram\",\"name\":";
+    WriteJsonString(os, name);
+    os << ",\"count\":" << h.count << ",\"sum\":" << h.sum << ",\"p50\":"
+       << h.p50 << ",\"p95\":" << h.p95 << ",\"p99\":" << h.p99 << "}\n";
+  }
+}
+
+void Registry::WriteJsonObject(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : CounterSnapshot()) {
+    if (!first) os << ",";
+    first = false;
+    WriteJsonString(os, name);
+    os << ":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : HistogramSnapshot()) {
+    if (!first) os << ",";
+    first = false;
+    WriteJsonString(os, name);
+    os << ":{\"count\":" << h.count << ",\"sum\":" << h.sum << ",\"p50\":"
+       << h.p50 << ",\"p95\":" << h.p95 << ",\"p99\":" << h.p99 << "}";
+  }
+  os << "}}";
+}
+
+void Registry::WriteChromeTrace(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  internal::CollectTraceEvents(&events);
+  // Chrome sorts by ts; emit in recorded order with ts relative to the
+  // registry epoch so traces start near zero.
+  int64_t epoch = epoch_ns_.load();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":";
+    WriteJsonString(os, e.name);
+    os << ",\"ph\":\"X\",\"cat\":\"xai\",\"pid\":1,\"tid\":" << e.tid
+       << ",\"ts\":" << static_cast<double>(e.start_ns - epoch) / 1e3
+       << ",\"dur\":" << static_cast<double>(e.duration_ns) / 1e3 << "}";
+  }
+  os << "]}";
+}
+
+int64_t Registry::ElapsedNanos() const {
+  return MonotonicNanos() - epoch_ns_.load();
+}
+
+// ---------------------------------------------------------------------------
+// Example-binary helpers
+
+bool TelemetryFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--telemetry") == 0) return true;
+  return false;
+}
+
+std::string SummaryLine() {
+  Registry& registry = Registry::Global();
+  auto counters = registry.CounterSnapshot();
+  auto histograms = registry.HistogramSnapshot();
+  int64_t evals = 0;
+  if (auto it = counters.find("model/evals"); it != counters.end())
+    evals = it->second;
+
+  // Top-3 spans by total recorded time.
+  std::vector<std::pair<std::string, HistogramStats>> spans(
+      histograms.begin(), histograms.end());
+  std::sort(spans.begin(), spans.end(), [](const auto& a, const auto& b) {
+    return a.second.sum > b.second.sum;
+  });
+
+  std::ostringstream os;
+  os << "[telemetry] model evals=" << evals << " wall_ms="
+     << static_cast<double>(registry.ElapsedNanos()) / 1e6 << " top spans:";
+  int shown = 0;
+  for (const auto& [name, stats] : spans) {
+    if (stats.count == 0 || shown == 3) break;
+    os << (shown ? ", " : " ") << name << "="
+       << static_cast<double>(stats.sum) / 1e6 << "ms/" << stats.count
+       << "x";
+    ++shown;
+  }
+  if (shown == 0) os << " (none)";
+  return os.str();
+}
+
+}  // namespace telemetry
+}  // namespace xai

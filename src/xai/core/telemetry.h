@@ -1,0 +1,219 @@
+#ifndef XAI_CORE_TELEMETRY_H_
+#define XAI_CORE_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+/// \file
+/// Process-wide telemetry: named counters, log-bucketed latency histograms,
+/// and (together with core/trace.h) scoped spans, exported as a flat JSONL
+/// metrics dump or a Chrome trace_event file.
+///
+/// Two kill switches:
+///  - compile time: build with XAI_TELEMETRY=0 (cmake -DXAI_TELEMETRY=0) and
+///    every XAI_COUNTER_* / XAI_SPAN macro expands to nothing — zero overhead,
+///    the registry still links but stays empty;
+///  - run time: telemetry::SetEnabled(false) turns the macros into a single
+///    relaxed atomic load + untaken branch, cheap enough to measure the
+///    enabled-mode overhead from inside one binary (bench_e02 does).
+///
+/// Naming convention: `subsystem/op`, e.g. "model/evals",
+/// "shap/cache_hits", "kernel_shap/solve". Span histograms record
+/// nanoseconds under the span's own name.
+
+#ifndef XAI_TELEMETRY
+#define XAI_TELEMETRY 1
+#endif
+
+namespace xai {
+namespace telemetry {
+
+/// Runtime switch read by every macro. Default: enabled.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// \brief Monotonically increasing event count. Thread-safe; writes are
+/// striped across per-thread cache-line-sized slots so concurrent adds
+/// from the pool neither ping-pong a single line nor pay a locked RMW: the
+/// first kSlots-1 threads each own a slot exclusively and bump it with a
+/// plain relaxed load+store (single-writer, so no update is lost); any
+/// later threads share the last slot via fetch-add. A shared fetch-add
+/// design cost ~5% on the sampling-Shapley hot loop at 4 threads; this is
+/// <1%. `Get` sums the slots — exact once writers are quiescent, which is
+/// when snapshots are taken (Reset concurrent with a writer may drop that
+/// writer's in-flight bump; Reset is documented quiescent-only). Hot paths
+/// should still batch (add once per chunk / per cache miss, not per row).
+class Counter {
+ public:
+  static constexpr int kSlots = 64;
+
+  void Add(int64_t n) {
+    const int slot = ThreadSlot();
+    std::atomic<int64_t>& v = slots_[slot].value;
+    if (slot < kSlots - 1) {
+      v.store(v.load(std::memory_order_relaxed) + n,
+              std::memory_order_relaxed);
+    } else {
+      v.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  int64_t Get() const {
+    int64_t total = 0;
+    for (const Slot& s : slots_)
+      total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+  void Reset() {
+    for (Slot& s : slots_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<int64_t> value{0};
+  };
+  /// Index of this thread's slot: the n-th thread to touch any counter gets
+  /// min(n, kSlots - 1). Identical for every Counter instance.
+  static int ThreadSlot();
+
+  Slot slots_[kSlots];
+};
+
+/// \brief Log-bucketed histogram of non-negative int64 samples (nanoseconds
+/// by convention). Each power-of-two octave is split into 4 linear
+/// sub-buckets, so quantile estimates carry at most ~25% relative error;
+/// values below 4 are exact. Thread-safe recording (relaxed atomics),
+/// mergeable across instances, constant 256-slot footprint.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 2;                    // Sub-buckets/octave.
+  static constexpr int kSubCount = 1 << kSubBits;
+  // Non-negative int64 samples have msb in [0, 62], so the highest bucket
+  // is (62 - kSubBits + 1) * kSubCount + (kSubCount - 1).
+  static constexpr int kNumBuckets = (63 - kSubBits + 1) * kSubCount;
+
+  void Record(int64_t value);
+  /// Adds every bucket of `other` into this histogram.
+  void Merge(const Histogram& other);
+  void Reset();
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Approximate value at quantile q in [0, 1] (midpoint of the bucket the
+  /// rank falls into). Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  /// Bucket index for a sample (exposed for tests).
+  static int BucketFor(int64_t value);
+  /// Inclusive lower bound of bucket `index`.
+  static int64_t BucketLowerBound(int index);
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Snapshot of one histogram for reporting.
+struct HistogramStats {
+  int64_t count = 0;
+  int64_t sum = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// \brief Process-wide registry of named counters and histograms.
+///
+/// GetCounter / GetHistogram return stable pointers (entries are never
+/// removed; Reset() only zeroes values), so call sites may cache them —
+/// the XAI_COUNTER_* macros do, via a function-local static, making the
+/// steady-state cost of a counter bump one relaxed load + one relaxed add.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Zeroes every counter and histogram, clears all recorded trace events,
+  /// and restarts the wall clock used by SummaryLine(). Call it between
+  /// measured sections, outside any parallel region.
+  void Reset();
+
+  /// Name -> value snapshots (sorted, for stable output).
+  std::map<std::string, int64_t> CounterSnapshot() const;
+  std::map<std::string, HistogramStats> HistogramSnapshot() const;
+
+  /// Flat JSONL metrics dump: one JSON object per line, either
+  ///   {"type":"counter","name":...,"value":...}
+  /// or
+  ///   {"type":"histogram","name":...,"count":...,"sum":...,
+  ///    "p50":...,"p95":...,"p99":...}
+  void WriteJson(std::ostream& os) const;
+
+  /// One JSON object {"counters":{...},"histograms":{name:{...}}} for
+  /// embedding into a larger report (no trailing newline).
+  void WriteJsonObject(std::ostream& os) const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}) of every span recorded
+  /// since the last Reset(), loadable in chrome://tracing / Perfetto.
+  /// Call outside parallel regions (spans still being written on other
+  /// threads would be racy to read).
+  void WriteChromeTrace(std::ostream& os) const;
+
+  /// Nanoseconds since construction / last Reset() (SummaryLine's wall ms).
+  int64_t ElapsedNanos() const;
+
+ private:
+  Registry();
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::atomic<int64_t> epoch_ns_{0};
+};
+
+/// True if argv contains `--telemetry` (helper for the example binaries).
+bool TelemetryFlag(int argc, char** argv);
+
+/// One human-readable line: total model evals, wall ms since the registry
+/// epoch, and the top-3 spans by total time. For example binaries'
+/// `--telemetry` flag.
+std::string SummaryLine();
+
+}  // namespace telemetry
+}  // namespace xai
+
+#if XAI_TELEMETRY
+
+/// Adds `n` to the named process-wide counter. `name` must be a constant
+/// per call site: the Registry lookup happens once, via a local static.
+#define XAI_COUNTER_ADD(name, n)                                      \
+  do {                                                                \
+    if (::xai::telemetry::Enabled()) {                                \
+      static ::xai::telemetry::Counter* xai_counter_ =                \
+          ::xai::telemetry::Registry::Global().GetCounter(name);      \
+      xai_counter_->Add(n);                                           \
+    }                                                                 \
+  } while (0)
+
+#else  // XAI_TELEMETRY == 0: compile the arguments away entirely.
+
+#define XAI_COUNTER_ADD(name, n) \
+  do {                           \
+    if (false) {                 \
+      (void)(n);                 \
+    }                            \
+  } while (0)
+
+#endif  // XAI_TELEMETRY
+
+#define XAI_COUNTER_INC(name) XAI_COUNTER_ADD(name, 1)
+
+#endif  // XAI_CORE_TELEMETRY_H_

@@ -2,30 +2,46 @@
 #define XAI_CORE_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace xai {
 
-/// \brief Simple wall-clock stopwatch for the benchmark harnesses.
+/// Monotonic clock reading in nanoseconds (steady_clock since an arbitrary
+/// epoch). The telemetry spans (core/trace.h) and WallTimer share this
+/// clock, so span timestamps and stopwatch readings are directly comparable.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// \brief Simple wall-clock stopwatch.
+///
+/// New instrumentation should prefer `XAI_SPAN("subsystem/op")` from
+/// core/trace.h: a span feeds the telemetry registry (histogram quantiles,
+/// Chrome trace) for free, while a WallTimer reading is visible only to the
+/// code that took it. Direct WallTimer use in benches is deprecated except
+/// where the raw reading itself is the published measurement.
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_ns_(MonotonicNanos()) {}
 
   /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ns_ = MonotonicNanos(); }
+
+  /// Elapsed monotonic nanoseconds since construction / last Reset().
+  int64_t Nanos() const { return MonotonicNanos() - start_ns_; }
 
   /// Elapsed seconds since construction / last Reset().
-  double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  double Seconds() const { return static_cast<double>(Nanos()) * 1e-9; }
 
   /// Elapsed milliseconds.
-  double Millis() const { return Seconds() * 1e3; }
+  double Millis() const { return static_cast<double>(Nanos()) * 1e-6; }
   /// Elapsed microseconds.
-  double Micros() const { return Seconds() * 1e6; }
+  double Micros() const { return static_cast<double>(Nanos()) * 1e-3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  int64_t start_ns_;
 };
 
 }  // namespace xai

@@ -1,0 +1,89 @@
+#include "xai/core/trace.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "xai/core/timer.h"
+
+namespace xai {
+namespace telemetry {
+namespace {
+
+/// Per-thread event buffer. Single writer (the owning thread), any reader:
+/// the writer fills slot `size` then publishes `size + 1` with a release
+/// store, so a reader that acquires `size` sees fully written events — no
+/// locks anywhere on the recording path.
+struct ThreadBuffer {
+  static constexpr uint32_t kCapacity = 1 << 14;  // 16K events / thread.
+
+  explicit ThreadBuffer(uint32_t tid) : tid(tid), slots(kCapacity) {}
+
+  const uint32_t tid;
+  std::atomic<uint32_t> size{0};
+  std::vector<TraceEvent> slots;
+};
+
+std::mutex g_buffers_mu;
+// Shared ownership keeps a buffer readable after its thread exits.
+std::vector<std::shared_ptr<ThreadBuffer>>& Buffers() {
+  static auto* buffers = new std::vector<std::shared_ptr<ThreadBuffer>>();
+  return *buffers;
+}
+uint32_t g_next_tid = 0;
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    auto b = std::make_shared<ThreadBuffer>(g_next_tid++);
+    Buffers().push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void AppendEvent(const char* name, int64_t start_ns, int64_t duration_ns) {
+  ThreadBuffer& buffer = LocalBuffer();
+  uint32_t i = buffer.size.load(std::memory_order_relaxed);
+  if (i >= ThreadBuffer::kCapacity) {
+    XAI_COUNTER_INC("trace/dropped_events");
+    return;
+  }
+  buffer.slots[i] = TraceEvent{name, start_ns, duration_ns, buffer.tid};
+  buffer.size.store(i + 1, std::memory_order_release);
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(const char* name)
+    : name_(name), start_ns_(Enabled() ? MonotonicNanos() : -1) {}
+
+ScopedSpan::~ScopedSpan() {
+  if (start_ns_ < 0 || !Enabled()) return;
+  const int64_t duration_ns = MonotonicNanos() - start_ns_;
+  AppendEvent(name_, start_ns_, duration_ns);
+  // One registry lookup per span end; spans sit at explain/chunk
+  // granularity, so this stays far below the overhead budget.
+  Registry::Global().GetHistogram(name_)->Record(duration_ns);
+}
+
+namespace internal {
+
+void CollectTraceEvents(std::vector<TraceEvent>* out) {
+  std::lock_guard<std::mutex> lock(g_buffers_mu);
+  for (const auto& buffer : Buffers()) {
+    uint32_t n = buffer->size.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < n; ++i) out->push_back(buffer->slots[i]);
+  }
+}
+
+void ClearTraceEvents() {
+  std::lock_guard<std::mutex> lock(g_buffers_mu);
+  for (const auto& buffer : Buffers())
+    buffer->size.store(0, std::memory_order_release);
+}
+
+}  // namespace internal
+}  // namespace telemetry
+}  // namespace xai

@@ -1,0 +1,84 @@
+#ifndef XAI_CORE_TRACE_H_
+#define XAI_CORE_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xai/core/telemetry.h"  // For the XAI_TELEMETRY switch.
+
+/// \file
+/// Scoped spans recorded into lock-free thread-local buffers.
+///
+/// `XAI_SPAN("kernel_shap/solve")` times the enclosing scope: on exit it
+/// appends one event to the calling thread's buffer (single-writer, readers
+/// synchronize on a release-published size — no locks on the hot path) and
+/// records the duration into the histogram of the same name in
+/// telemetry::Registry. Buffers are bounded; once a thread's buffer is full
+/// further events still feed the histogram but are dropped from the trace
+/// (counted in "trace/dropped_events").
+///
+/// Span names must be string literals (or otherwise outlive the process):
+/// only the pointer is stored.
+
+namespace xai {
+namespace telemetry {
+
+/// One completed span, in nanoseconds on the shared monotonic clock.
+struct TraceEvent {
+  const char* name;
+  int64_t start_ns;
+  int64_t duration_ns;
+  uint32_t tid;  // Small sequential id assigned per recording thread.
+};
+
+/// \brief RAII span. Construction snapshots the clock; destruction records
+/// the event + histogram sample. Runtime-disabled telemetry makes both ends
+/// a single relaxed load.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_ns_;  // -1 when telemetry was disabled at entry.
+};
+
+namespace internal {
+
+/// Copies every thread's recorded events into `out` (appended). Caller must
+/// be outside parallel regions for a complete snapshot; concurrent writers
+/// only make the snapshot miss their newest events, never tear.
+void CollectTraceEvents(std::vector<TraceEvent>* out);
+
+/// Resets every thread buffer to empty. Quiescence required (no spans
+/// in flight on other threads).
+void ClearTraceEvents();
+
+}  // namespace internal
+}  // namespace telemetry
+}  // namespace xai
+
+#if XAI_TELEMETRY
+
+#define XAI_TRACE_CONCAT_INNER(a, b) a##b
+#define XAI_TRACE_CONCAT(a, b) XAI_TRACE_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope under `name` (a string literal,
+/// `subsystem/op`). Nest freely; events carry start + duration so viewers
+/// reconstruct the stack.
+#define XAI_SPAN(name)                 \
+  ::xai::telemetry::ScopedSpan XAI_TRACE_CONCAT(xai_span_, __LINE__) { name }
+
+#else
+
+#define XAI_SPAN(name) \
+  do {                 \
+  } while (0)
+
+#endif  // XAI_TELEMETRY
+
+#endif  // XAI_CORE_TRACE_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "xai/core/matrix.h"
+#include "xai/core/telemetry.h"
+#include "xai/core/trace.h"
 
 namespace xai {
 namespace {
@@ -36,6 +38,7 @@ Result<DiceResult> DiceCounterfactuals(const PredictFn& f,
                                        const CounterfactualEvaluator& eval,
                                        const ActionabilitySpec& spec,
                                        const DiceConfig& config, Rng* rng) {
+  XAI_SPAN("dice/search");
   int d = static_cast<int>(instance.size());
   if (eval.train().num_features() != d)
     return Status::InvalidArgument("instance width mismatch");

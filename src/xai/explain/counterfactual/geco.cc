@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "xai/core/telemetry.h"
+#include "xai/core/trace.h"
+
 namespace xai {
 namespace {
 
@@ -31,6 +34,7 @@ Result<GecoResult> GecoCounterfactual(
     const PredictFn& f, const Vector& instance, int desired_class,
     const CounterfactualEvaluator& eval, const ActionabilitySpec& spec,
     const std::vector<PlafConstraint>& plaf, const GecoConfig& config) {
+  XAI_SPAN("geco/search");
   int d = static_cast<int>(instance.size());
   const Dataset& train = eval.train();
   if (train.num_features() != d)
@@ -155,6 +159,7 @@ Result<GecoResult> GecoCounterfactual(
       if (result.runners_up.size() >= 4) break;
     }
   }
+  XAI_COUNTER_ADD("model/evals", result.model_calls);
   return result;
 }
 

@@ -7,6 +7,8 @@
 #include "xai/core/linalg.h"
 #include "xai/core/parallel.h"
 #include "xai/core/stats.h"
+#include "xai/core/telemetry.h"
+#include "xai/core/trace.h"
 
 namespace xai {
 
@@ -40,6 +42,7 @@ double WeightedR2(const Vector& pred, const Vector& target, const Vector& w) {
 Result<LimeExplanation> LimeExplainer::Explain(const PredictFn& f,
                                                const Vector& instance,
                                                uint64_t seed) const {
+  XAI_SPAN("lime/explain");
   int d = static_cast<int>(instance.size());
   if (d != schema_.num_features())
     return Status::InvalidArgument("instance width does not match schema");
@@ -64,7 +67,9 @@ Result<LimeExplanation> LimeExplainer::Explain(const PredictFn& f,
   // RNG-free and dominated by the n+1 black-box calls, so it fans out over
   // the pool. Every row of z/target/weight is written by exactly one chunk;
   // f must be const-reentrant (see the Model threading contract).
+  XAI_SPAN("lime/neighborhood");
   ParallelFor(n + 1, /*grain=*/64, [&](int64_t begin, int64_t end, int64_t) {
+    XAI_COUNTER_ADD("model/evals", end - begin);
     for (int64_t i = begin; i < end; ++i) {
       Vector sample = i == 0 ? instance : raw.Row(static_cast<int>(i) - 1);
       int r = static_cast<int>(i);

@@ -4,6 +4,7 @@
 
 #include "xai/core/combinatorics.h"
 #include "xai/core/parallel.h"
+#include "xai/core/trace.h"
 
 namespace xai {
 namespace {
@@ -17,6 +18,7 @@ constexpr int64_t kMaskGrain = 2048;
 // and num_evaluations() stays exact.
 std::vector<double> EvaluateAllCoalitions(const CoalitionGame& game,
                                           uint64_t limit) {
+  XAI_SPAN("exact_shapley/enumerate");
   std::vector<double> values(limit);
   ParallelFor(static_cast<int64_t>(limit), kMaskGrain,
               [&](int64_t begin, int64_t end, int64_t) {
@@ -29,6 +31,7 @@ std::vector<double> EvaluateAllCoalitions(const CoalitionGame& game,
 }  // namespace
 
 Result<Vector> ExactShapley(const CoalitionGame& game) {
+  XAI_SPAN("exact_shapley/explain");
   int n = game.num_players();
   if (n > 24)
     return Status::InvalidArgument(
@@ -62,6 +65,7 @@ Result<Vector> ExactShapley(const CoalitionGame& game) {
 }
 
 Result<Vector> ExactBanzhaf(const CoalitionGame& game) {
+  XAI_SPAN("exact_shapley/banzhaf");
   int n = game.num_players();
   if (n > 24)
     return Status::InvalidArgument(

@@ -8,6 +8,7 @@
 #include "xai/core/combinatorics.h"
 #include "xai/core/linalg.h"
 #include "xai/core/parallel.h"
+#include "xai/core/trace.h"
 
 namespace xai {
 namespace {
@@ -45,6 +46,7 @@ uint64_t RandomMaskOfSize(int d, int size, Rng* rng) {
 Result<AttributionExplanation> KernelShap(const CoalitionGame& game,
                                           const KernelShapConfig& config,
                                           Rng* rng) {
+  XAI_SPAN("kernel_shap/explain");
   int d = game.num_players();
   if (d < 1) return Status::InvalidArgument("game has no players");
   if (d == 1) {
@@ -133,16 +135,20 @@ Result<AttributionExplanation> KernelShap(const CoalitionGame& game,
   // result is identical at any thread count.
   Matrix design(static_cast<int>(masks.size()), d);
   Vector target(masks.size());
-  ParallelFor(static_cast<int64_t>(masks.size()), /*grain=*/16,
-              [&](int64_t begin, int64_t end, int64_t) {
-                for (int64_t r = begin; r < end; ++r) {
-                  for (int j = 0; j < d; ++j)
-                    design(static_cast<int>(r), j) =
-                        (masks[r] >> j) & 1ULL ? 1.0 : 0.0;
-                  target[r] = game.Value(masks[r]) - v0;
-                }
-              });
+  {
+    XAI_SPAN("kernel_shap/eval_coalitions");
+    ParallelFor(static_cast<int64_t>(masks.size()), /*grain=*/16,
+                [&](int64_t begin, int64_t end, int64_t) {
+                  for (int64_t r = begin; r < end; ++r) {
+                    for (int j = 0; j < d; ++j)
+                      design(static_cast<int>(r), j) =
+                          (masks[r] >> j) & 1ULL ? 1.0 : 0.0;
+                    target[r] = game.Value(masks[r]) - v0;
+                  }
+                });
+  }
 
+  XAI_SPAN("kernel_shap/solve");
   Vector ones(d, 1.0);
   XAI_ASSIGN_OR_RETURN(
       Vector phi, ConstrainedWeightedLeastSquares(design, target, weights,

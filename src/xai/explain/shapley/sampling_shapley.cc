@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "xai/core/parallel.h"
+#include "xai/core/trace.h"
 
 namespace xai {
 namespace {
@@ -24,6 +25,7 @@ constexpr int64_t kPermutationGrain = 4;
 
 SamplingShapleyResult SamplingShapley(const CoalitionGame& game,
                                       int permutations, Rng* rng) {
+  XAI_SPAN("sampling_shapley/sweep");
   int n = game.num_players();
   // Each permutation draws from its own RNG stream derived from a single
   // base seed, so the estimate is independent of how permutations are

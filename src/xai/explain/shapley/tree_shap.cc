@@ -4,6 +4,7 @@
 
 #include "xai/core/check.h"
 #include "xai/core/parallel.h"
+#include "xai/core/trace.h"
 
 namespace xai {
 
@@ -187,6 +188,7 @@ Vector TreeShapValues(const Tree& tree, const Vector& x, int num_features) {
 
 AttributionExplanation TreeShap(const TreeEnsembleView& view,
                                 const Vector& x) {
+  XAI_SPAN("tree_shap/explain");
   int d = static_cast<int>(x.size());
   AttributionExplanation exp;
   exp.attributions.assign(d, 0.0);

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "xai/core/check.h"
+#include "xai/core/telemetry.h"
 
 namespace xai {
 
@@ -30,14 +31,24 @@ int MarginalFeatureGame::num_players() const {
 
 double MarginalFeatureGame::Value(uint64_t coalition) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     auto it = cache_.find(coalition);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      // Count after dropping the lock: telemetry must not lengthen the
+      // critical section other threads are waiting on.
+      const double cached = it->second;
+      lock.unlock();
+      XAI_COUNTER_INC("shap/cache_hits");
+      return cached;
+    }
   }
   // Compute outside the lock: Value() is deterministic per coalition, so if
   // two threads race on the same mask they produce the same value and the
   // duplicate work is the only cost. evaluations_ counts cache insertions,
-  // i.e. distinct coalitions, which stays deterministic.
+  // i.e. distinct coalitions, which stays deterministic; the miss counter
+  // counts computed coalitions (race duplicates included), so hits + misses
+  // equals the number of Value() calls exactly.
+  XAI_COUNTER_INC("shap/cache_misses");
   int d = num_players();
   double acc = 0.0;
   Vector row(d);
@@ -47,11 +58,17 @@ double MarginalFeatureGame::Value(uint64_t coalition) const {
       row[j] = (coalition & (1ULL << j)) ? instance_[j] : bg[j];
     acc += f_(row);
   }
+  XAI_COUNTER_ADD("model/evals", background_.rows());
   double value = acc / background_.rows();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   auto [it, inserted] = cache_.emplace(coalition, value);
-  if (inserted) ++evaluations_;
-  return it->second;
+  const double stored = it->second;
+  lock.unlock();
+  if (inserted) {
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
+    XAI_COUNTER_INC("shap/cache_entries");
+  }
+  return stored;
 }
 
 ConditionalFeatureGame::ConditionalFeatureGame(PredictFn f, Vector instance,
@@ -87,10 +104,18 @@ int ConditionalFeatureGame::num_players() const {
 
 double ConditionalFeatureGame::Value(uint64_t coalition) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     auto it = cache_.find(coalition);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      // Count after dropping the lock: telemetry must not lengthen the
+      // critical section other threads are waiting on.
+      const double cached = it->second;
+      lock.unlock();
+      XAI_COUNTER_INC("shap/cache_hits");
+      return cached;
+    }
   }
+  XAI_COUNTER_INC("shap/cache_misses");
   int d = num_players();
   int n = background_.rows();
   int k = std::min(k_, n);
@@ -119,9 +144,14 @@ double ConditionalFeatureGame::Value(uint64_t coalition) const {
                                          : background_(i, j);
     acc += f_(row);
   }
+  XAI_COUNTER_ADD("model/evals", k);
   double value = acc / k;
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_.emplace(coalition, value).first->second;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(coalition, value);
+  const double stored = it->second;
+  lock.unlock();
+  if (inserted) XAI_COUNTER_INC("shap/cache_entries");
+  return stored;
 }
 
 InterventionalScmGame::InterventionalScmGame(const LinearScm* scm,
@@ -142,10 +172,18 @@ int InterventionalScmGame::num_players() const {
 
 double InterventionalScmGame::Value(uint64_t coalition) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     auto it = cache_.find(coalition);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      // Count after dropping the lock: telemetry must not lengthen the
+      // critical section other threads are waiting on.
+      const double cached = it->second;
+      lock.unlock();
+      XAI_COUNTER_INC("shap/cache_hits");
+      return cached;
+    }
   }
+  XAI_COUNTER_INC("shap/cache_misses");
   std::map<int, double> interventions;
   for (int j = 0; j < num_players(); ++j)
     if (coalition & (1ULL << j)) interventions[j] = instance_[j];
@@ -154,9 +192,14 @@ double InterventionalScmGame::Value(uint64_t coalition) const {
   Matrix samples = scm_->SampleInterventional(interventions, mc_samples_, &rng);
   double acc = 0.0;
   for (int i = 0; i < samples.rows(); ++i) acc += f_(samples.Row(i));
+  XAI_COUNTER_ADD("model/evals", samples.rows());
   double value = acc / mc_samples_;
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_.emplace(coalition, value).first->second;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(coalition, value);
+  const double stored = it->second;
+  lock.unlock();
+  if (inserted) XAI_COUNTER_INC("shap/cache_entries");
+  return stored;
 }
 
 }  // namespace xai

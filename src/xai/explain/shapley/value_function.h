@@ -1,6 +1,7 @@
 #ifndef XAI_EXPLAIN_SHAPLEY_VALUE_FUNCTION_H_
 #define XAI_EXPLAIN_SHAPLEY_VALUE_FUNCTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
@@ -52,15 +53,20 @@ class MarginalFeatureGame : public CoalitionGame {
   double Value(uint64_t coalition) const override;
 
   /// Number of distinct coalition evaluations so far (for cost accounting).
-  int num_evaluations() const { return evaluations_; }
+  /// Atomic: exact and safely readable while pool workers are inside
+  /// Value() — the pre-telemetry version read a plain int that concurrent
+  /// inserters were mutating under the cache mutex.
+  int64_t num_evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
 
  private:
   PredictFn f_;
   Vector instance_;
   Matrix background_;
-  mutable std::mutex mu_;  // Guards cache_ and evaluations_.
+  mutable std::mutex mu_;  // Guards cache_.
   mutable std::unordered_map<uint64_t, double> cache_;
-  mutable int evaluations_ = 0;
+  mutable std::atomic<int64_t> evaluations_{0};
 };
 
 /// \brief The *conditional* (on-manifold) SHAP game (Aas et al.'s empirical

@@ -4,6 +4,7 @@
 
 #include "xai/core/linalg.h"
 #include "xai/core/parallel.h"
+#include "xai/core/trace.h"
 
 namespace xai {
 
@@ -59,6 +60,7 @@ double LogisticInfluence::InfluenceOnLoss(const Vector& x_test, double y_test,
 
 Result<Vector> LogisticInfluence::InfluenceOnLossAll(const Vector& x_test,
                                                      double y_test) const {
+  XAI_SPAN("influence/loss_all");
   Vector g_test = model_->ExampleLossGradient(x_test, y_test);
   XAI_ASSIGN_OR_RETURN(Vector s, SolveHessian(g_test));
   int n = x_train_->rows();
@@ -77,6 +79,7 @@ Result<Vector> LogisticInfluence::InfluenceOnLossAll(const Vector& x_test,
 
 Result<Vector> LogisticInfluence::InfluenceOnMarginAll(
     const Vector& x_test) const {
+  XAI_SPAN("influence/margin_all");
   // d margin / d theta = [x_test; 1].
   Vector g(x_test);
   g.push_back(1.0);

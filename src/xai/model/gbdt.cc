@@ -6,6 +6,8 @@
 
 #include "xai/core/parallel.h"
 #include "xai/core/rng.h"
+#include "xai/core/telemetry.h"
+#include "xai/core/trace.h"
 #include "xai/model/decision_tree.h"
 #include "xai/model/logistic_regression.h"
 
@@ -111,6 +113,8 @@ double GbdtModel::Predict(const Vector& row) const {
 }
 
 Vector GbdtModel::PredictBatch(const Matrix& x) const {
+  XAI_SPAN("gbdt/predict_batch");
+  XAI_COUNTER_ADD("model/evals", x.rows());
   bool classify = task_ == TaskType::kClassification;
   Vector out(x.rows());
   ParallelFor(x.rows(), /*grain=*/64,

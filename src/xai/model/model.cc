@@ -1,10 +1,14 @@
 #include "xai/model/model.h"
 
 #include "xai/core/parallel.h"
+#include "xai/core/telemetry.h"
+#include "xai/core/trace.h"
 
 namespace xai {
 
 Vector Model::PredictBatch(const Matrix& x) const {
+  XAI_SPAN("model/predict_batch");
+  XAI_COUNTER_ADD("model/evals", x.rows());
   Vector out(x.rows());
   // Each output slot is written by exactly one chunk; Predict is
   // const-reentrant per the Model threading contract.

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "xai/core/parallel.h"
+#include "xai/core/telemetry.h"
+#include "xai/core/trace.h"
 
 namespace xai {
 
@@ -48,6 +50,7 @@ Result<RandomForestModel> RandomForestModel::Train(const Matrix& x,
     tree_rngs.push_back(rng.Fork());
   }
   model.trees_.resize(config.n_trees);
+  XAI_SPAN("rf/train");
   ParallelFor(config.n_trees, /*grain=*/1,
               [&](int64_t begin, int64_t end, int64_t) {
                 for (int64_t t = begin; t < end; ++t)
@@ -80,6 +83,8 @@ double RandomForestModel::Predict(const Vector& row) const {
 }
 
 Vector RandomForestModel::PredictBatch(const Matrix& x) const {
+  XAI_SPAN("rf/predict_batch");
+  XAI_COUNTER_ADD("model/evals", x.rows());
   Vector out(x.rows());
   ParallelFor(x.rows(), /*grain=*/64,
               [&](int64_t begin, int64_t end, int64_t) {

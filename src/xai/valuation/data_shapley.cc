@@ -5,6 +5,8 @@
 
 #include "xai/core/parallel.h"
 #include "xai/core/rng.h"
+#include "xai/core/telemetry.h"
+#include "xai/core/trace.h"
 
 namespace xai {
 namespace {
@@ -22,6 +24,7 @@ struct TmcPartial {
 
 TmcResult TmcDataShapley(int num_points, const UtilityFn& utility,
                          const TmcConfig& config) {
+  XAI_SPAN("tmc/sweep");
   TmcResult result;
   result.values.assign(num_points, 0.0);
 
@@ -77,6 +80,7 @@ TmcResult TmcDataShapley(int num_points, const UtilityFn& utility,
   for (int i = 0; i < num_points; ++i)
     result.values[i] = total.values[i] / config.max_permutations;
   result.utility_calls += total.utility_calls;
+  XAI_COUNTER_ADD("valuation/utility_calls", result.utility_calls);
   result.permutations_used = config.max_permutations;
   result.truncation_fraction =
       total.total_positions > 0

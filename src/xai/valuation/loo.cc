@@ -3,6 +3,8 @@
 #include <numeric>
 
 #include "xai/core/parallel.h"
+#include "xai/core/telemetry.h"
+#include "xai/core/trace.h"
 #include "xai/model/metrics.h"
 
 namespace xai {
@@ -56,6 +58,8 @@ UtilityFn MakeKnnAccuracyUtility(const Dataset& train, const Dataset& valid,
 }
 
 Vector LeaveOneOutValues(int num_points, const UtilityFn& utility) {
+  XAI_SPAN("loo/sweep");
+  XAI_COUNTER_ADD("valuation/utility_calls", num_points + 1);
   std::vector<int> all(num_points);
   std::iota(all.begin(), all.end(), 0);
   double full = utility(all);

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "xai/core/parallel.h"
+#include "xai/core/telemetry.h"
+#include "xai/core/trace.h"
+#include "xai/data/synthetic.h"
+#include "xai/explain/shapley/kernel_shap.h"
+#include "xai/explain/shapley/sampling_shapley.h"
+#include "xai/explain/shapley/value_function.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+namespace {
+
+using telemetry::Histogram;
+using telemetry::Registry;
+
+// Under -DXAI_TELEMETRY=0 the macros compile away; every expectation that
+// depends on recording collapses to "stays zero".
+constexpr bool kCompiled = XAI_TELEMETRY != 0;
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::SetEnabled(true);
+    Registry::Global().Reset();
+  }
+  void TearDown() override { telemetry::SetEnabled(true); }
+};
+
+TEST_F(TelemetryTest, CounterIsAtomicUnderParallelFor) {
+  SetNumThreads(4);
+  const int64_t kN = 20000;
+  ParallelFor(kN, /*grain=*/7, [&](int64_t begin, int64_t end, int64_t) {
+    for (int64_t i = begin; i < end; ++i)
+      XAI_COUNTER_ADD("test/atomicity", 1);
+  });
+  auto counters = Registry::Global().CounterSnapshot();
+  EXPECT_EQ(counters["test/atomicity"], kCompiled ? kN : 0);
+  SetNumThreads(1);
+}
+
+TEST_F(TelemetryTest, RuntimeDisableStopsRecording) {
+  telemetry::SetEnabled(false);
+  XAI_COUNTER_ADD("test/disabled", 5);
+  { XAI_SPAN("test/disabled_span"); }
+  telemetry::SetEnabled(true);
+  auto counters = Registry::Global().CounterSnapshot();
+  EXPECT_EQ(counters["test/disabled"], 0);
+  auto histograms = Registry::Global().HistogramSnapshot();
+  auto it = histograms.find("test/disabled_span");
+  if (it != histograms.end()) {
+    EXPECT_EQ(it->second.count, 0);
+  }
+}
+
+TEST(HistogramTest, SmallValuesAreExactAndBucketsMonotonic) {
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1), 1);
+  EXPECT_EQ(Histogram::BucketFor(3), 3);
+  int prev = -1;
+  for (int64_t v : std::vector<int64_t>{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100,
+                                        1000, 1 << 20, int64_t{1} << 40}) {
+    int b = Histogram::BucketFor(v);
+    EXPECT_GE(b, prev) << "bucket index must be monotone in the value";
+    EXPECT_LE(Histogram::BucketLowerBound(b), v);
+    prev = b;
+  }
+  // Lower bounds invert the bucket mapping on bucket boundaries.
+  for (int b = 0; b < Histogram::kNumBuckets; ++b)
+    EXPECT_EQ(Histogram::BucketFor(Histogram::BucketLowerBound(b)), b);
+}
+
+TEST(HistogramTest, QuantilesWithinBucketResolution) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(1000);
+  EXPECT_EQ(h.Count(), 1000);
+  EXPECT_EQ(h.Sum(), 1000 * 1000);
+  // Log-bucketing with 4 sub-buckets per octave: <= ~25% relative error.
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_GE(h.Quantile(q), 1000.0 * 0.75);
+    EXPECT_LE(h.Quantile(q), 1000.0 * 1.25);
+  }
+}
+
+TEST(HistogramTest, MergeAddsCountsAndSums) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 900; ++i) b.Record(100000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 1000);
+  EXPECT_EQ(a.Sum(), 100 * 10 + 900 * int64_t{100000});
+  // p50 and p99 both land in the dominant (large) population; p5-ish mass
+  // is the only part in the small population.
+  EXPECT_GE(a.Quantile(0.5), 100000.0 * 0.75);
+  EXPECT_LE(a.Quantile(0.05), 13.0);
+}
+
+TEST_F(TelemetryTest, SpanNestingRecordsBothLevels) {
+  {
+    XAI_SPAN("test/outer");
+    XAI_SPAN("test/inner");
+  }
+  auto histograms = Registry::Global().HistogramSnapshot();
+  if (!kCompiled) {
+    EXPECT_EQ(histograms.count("test/outer"), 0u);
+    return;
+  }
+  ASSERT_EQ(histograms.count("test/outer"), 1u);
+  ASSERT_EQ(histograms.count("test/inner"), 1u);
+  EXPECT_EQ(histograms["test/outer"].count, 1);
+  EXPECT_EQ(histograms["test/inner"].count, 1);
+  // Inner is destroyed first, so its total time fits inside the outer's.
+  EXPECT_LE(histograms["test/inner"].sum, histograms["test/outer"].sum);
+
+  std::ostringstream trace;
+  Registry::Global().WriteChromeTrace(trace);
+  EXPECT_NE(trace.str().find("test/outer"), std::string::npos);
+  EXPECT_NE(trace.str().find("test/inner"), std::string::npos);
+}
+
+// Structural JSON check without a parser: quotes and braces/brackets
+// balance, and the expected keys appear. CI additionally json.load()s the
+// bench reports via tools/validate_bench_report.py.
+void ExpectBalancedJson(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST_F(TelemetryTest, JsonExportRoundTrips) {
+  XAI_COUNTER_ADD("test/json_counter", 42);
+  { XAI_SPAN("test/json_span"); }
+
+  std::ostringstream jsonl;
+  Registry::Global().WriteJson(jsonl);
+  std::ostringstream object;
+  Registry::Global().WriteJsonObject(object);
+  std::ostringstream trace;
+  Registry::Global().WriteChromeTrace(trace);
+
+  ExpectBalancedJson(object.str());
+  ExpectBalancedJson(trace.str());
+  for (const std::string& line : {jsonl.str()}) ExpectBalancedJson(line);
+  EXPECT_NE(trace.str().find("traceEvents"), std::string::npos);
+  if (kCompiled) {
+    EXPECT_NE(jsonl.str().find("\"test/json_counter\",\"value\":42"),
+              std::string::npos);
+    EXPECT_NE(object.str().find("\"test/json_span\""), std::string::npos);
+    // Snapshot values survive the dump (the "round-trip": what the
+    // registry holds is what the JSON carries).
+    auto counters = Registry::Global().CounterSnapshot();
+    EXPECT_EQ(counters["test/json_counter"], 42);
+  }
+}
+
+TEST_F(TelemetryTest, ParallelChunkAccountingMatchesChunkLayout) {
+  SetNumThreads(3);
+  Registry::Global().Reset();
+  const int64_t kN = 1000, kGrain = 32;
+  ParallelFor(kN, kGrain, [&](int64_t, int64_t, int64_t) {});
+  auto counters = Registry::Global().CounterSnapshot();
+  const int64_t expected_chunks = (kN + kGrain - 1) / kGrain;
+  EXPECT_EQ(counters["parallel/chunks"], kCompiled ? expected_chunks : 0);
+  SetNumThreads(1);
+}
+
+// The determinism guard: telemetry on/off must not change explainer output
+// at any thread count. KernelSHAP + sampling Shapley exercise the games,
+// the parallel runtime, and the span/counter call sites.
+TEST_F(TelemetryTest, OnOffDoesNotChangeExplainerOutputs) {
+  auto [data, gt] = MakeLogisticData(120, 8, 3);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(data).ValueOrDie();
+  Vector instance = data.Row(3);
+
+  auto run_once = [&](bool enabled, int threads) {
+    telemetry::SetEnabled(enabled);
+    SetNumThreads(threads);
+    MarginalFeatureGame game(AsPredictFn(model), instance, data.x(), 16);
+    Rng rng(7);
+    KernelShapConfig config;
+    config.coalition_budget = 128;
+    Vector kernel = KernelShap(game, config, &rng).ValueOrDie().attributions;
+    Rng rng2(9);
+    Vector sampled = SamplingShapley(game, 50, &rng2).values;
+    telemetry::SetEnabled(true);
+    return std::pair<Vector, Vector>(kernel, sampled);
+  };
+
+  auto reference = run_once(/*enabled=*/true, /*threads=*/1);
+  for (bool enabled : {true, false}) {
+    for (int threads : {1, 4}) {
+      auto got = run_once(enabled, threads);
+      EXPECT_EQ(got.first, reference.first)
+          << "KernelSHAP changed with telemetry=" << enabled
+          << " threads=" << threads;
+      EXPECT_EQ(got.second, reference.second)
+          << "SamplingShapley changed with telemetry=" << enabled
+          << " threads=" << threads;
+    }
+  }
+  SetNumThreads(1);
+}
+
+TEST_F(TelemetryTest, CoalitionCacheCountersAreExact) {
+  auto [data, gt] = MakeLogisticData(80, 6, 3);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(data).ValueOrDie();
+  MarginalFeatureGame game(AsPredictFn(model), data.Row(0), data.x(), 8);
+
+  Registry::Global().Reset();
+  game.Value(0b101);
+  game.Value(0b101);  // Cached.
+  game.Value(0b011);
+  EXPECT_EQ(game.num_evaluations(), 2);
+  auto counters = Registry::Global().CounterSnapshot();
+  if (kCompiled) {
+    EXPECT_EQ(counters["shap/cache_hits"], 1);
+    EXPECT_EQ(counters["shap/cache_misses"], 2);
+    EXPECT_EQ(counters["shap/cache_entries"], 2);
+    EXPECT_EQ(counters["model/evals"], 2 * 8);  // 8 background rows/miss.
+  } else {
+    EXPECT_EQ(counters["shap/cache_hits"], 0);
+  }
+}
+
+}  // namespace
+}  // namespace xai
