@@ -1,0 +1,274 @@
+// E19 — Explanation serving: cache, batching, and deadline-aware
+// degradation (§3, explanations as query results).
+//
+// Paper claim: explanations "generated in real time" — the serving layer
+// must answer interactive requests within a latency budget, not re-run a
+// Monte-Carlo estimator from scratch per page load.
+// Expected shape: repeated-instance workloads collapse onto the explanation
+// cache (>= 5x p50 latency reduction vs the cold path); deadline-bound
+// requests degrade to an affordable fidelity tier and meet their deadlines;
+// responses stay bit-identical at any thread count.
+//
+// Emits BENCH_e19.json (+ Chrome trace) via bench::RunReport; `--smoke`
+// shrinks the workload for CI.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "xai/core/timer.h"
+#include "xai/data/synthetic.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/serialization.h"
+#include "xai/serve/explain_server.h"
+
+namespace xai {
+namespace {
+
+using serve::ExplainRequest;
+using serve::ExplainServer;
+using serve::ExplainerKind;
+using serve::FidelityTier;
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(p * (values.size() - 1));
+  return values[index];
+}
+
+struct Workbench {
+  Dataset background;
+  std::string gbdt_text;
+  std::string wide_text;
+  Dataset wide_data;
+  std::vector<Vector> instances;
+
+  explicit Workbench(bool smoke)
+      : background(MakeLoans(smoke ? 32 : 64, 4)),
+        wide_data(MakeLoans(1, 1)) {  // Placeholder, replaced below.
+    Dataset train = MakeLoans(300, 3);
+    GbdtModel::Config config;
+    config.n_trees = 10;
+    gbdt_text = SerializeModel(GbdtModel::Train(train, config).ValueOrDie());
+    for (int i = 0; i < 8; ++i) instances.push_back(train.Row(i));
+
+    auto [wide, gt] = MakeLogisticData(300, 12, 5);
+    (void)gt;
+    wide_data = std::move(wide);
+    wide_text = SerializeModel(
+        LogisticRegressionModel::Train(wide_data).ValueOrDie());
+  }
+
+  void Register(ExplainServer* server) const {
+    server->registry().Register("loans", gbdt_text, background).ValueOrDie();
+    Dataset wide_background(wide_data.schema(),
+                            Matrix(wide_data.x()), wide_data.y());
+    server->registry()
+        .Register("wide", wide_text, wide_background)
+        .ValueOrDie();
+  }
+};
+
+// Repeated-instance workload: the same 8 instances requested over and over
+// ("the same loan application explained on every page load"). Pass 1 is the
+// cold path (every request computes); later passes hit the cache.
+void RunCacheLatency(const Workbench& bench, bool smoke,
+                     bench::RunReport* report) {
+  bench::Section("cold vs warm p50 latency (repeated-instance workload)");
+  ExplainServer server;
+  bench.Register(&server);
+
+  const int kPasses = smoke ? 4 : 10;
+  std::vector<double> cold_ms, warm_ms;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (const Vector& instance : bench.instances) {
+      ExplainRequest request;
+      request.model = "loans";
+      request.instance = instance;
+      request.kind = ExplainerKind::kKernelShap;
+      request.fidelity = FidelityTier::kStandard;
+      auto response = server.Explain(request).ValueOrDie();
+      (pass == 0 ? cold_ms : warm_ms).push_back(response.latency_ms);
+      if (pass > 0 && !response.cache_hit)
+        std::printf("  unexpected cache miss on warm pass %d\n", pass);
+    }
+  }
+
+  const double cold_p50 = Percentile(cold_ms, 0.5);
+  const double warm_p50 = Percentile(warm_ms, 0.5);
+  const double speedup = warm_p50 > 0 ? cold_p50 / warm_p50 : 0.0;
+  std::printf("  cold p50 %8.3f ms   warm p50 %8.4f ms   speedup %7.1fx "
+              "(target >= 5x)\n",
+              cold_p50, warm_p50, speedup);
+  auto stats = server.cache().GetStats();
+  std::printf("  cache: %lld hits / %lld misses, %lld entries, %zu bytes\n",
+              static_cast<long long>(stats.hits),
+              static_cast<long long>(stats.misses),
+              static_cast<long long>(stats.entries), stats.bytes);
+  report->Metric("cold_p50_ms", cold_p50);
+  report->Metric("warm_p50_ms", warm_p50);
+  report->Metric("cache_p50_speedup", speedup);
+  report->Metric("cache_speedup_ok", speedup >= 5.0 ? 1.0 : 0.0);
+}
+
+// Concurrent clients against one server: throughput and end-to-end latency
+// percentiles with the batcher coalescing duplicate in-flight requests.
+void RunThroughput(const Workbench& bench, int threads, bool smoke,
+                   bench::RunReport* report) {
+  bench::Section("concurrent-client throughput (batching + coalescing)");
+  SetNumThreads(threads);
+  ExplainServer server;
+  bench.Register(&server);
+
+  const int kClients = smoke ? 4 : 8;
+  const int kPerClient = smoke ? 24 : 100;
+  std::vector<std::vector<double>> latencies(kClients);
+  std::atomic<int> failures{0};
+
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        ExplainRequest request;
+        request.model = "loans";
+        // Clients overlap on a small instance set, so many in-flight
+        // requests carry identical cache keys.
+        request.instance = bench.instances[(c + i) % bench.instances.size()];
+        request.kind = ExplainerKind::kSamplingShapley;
+        request.fidelity = FidelityTier::kReduced;
+        auto result = server.Explain(request);
+        if (!result.ok()) {
+          ++failures;
+          continue;
+        }
+        latencies[c].push_back(result.ValueOrDie().latency_ms);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double seconds = timer.Seconds();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies)
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  const double total = static_cast<double>(kClients) * kPerClient;
+  std::printf("  %d clients x %d requests at %d threads: %8.0f req/s, "
+              "p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, failures %d\n",
+              kClients, kPerClient, threads,
+              seconds > 0 ? total / seconds : 0.0, Percentile(all, 0.5),
+              Percentile(all, 0.95), Percentile(all, 0.99), failures.load());
+  report->Metric("throughput_rps", seconds > 0 ? total / seconds : 0.0);
+  report->Metric("latency_p50_ms", Percentile(all, 0.5));
+  report->Metric("latency_p95_ms", Percentile(all, 0.95));
+  report->Metric("latency_p99_ms", Percentile(all, 0.99));
+  report->Metric("request_failures", failures.load());
+}
+
+// Deadline-bound requests on the 12-feature model: the kHigh KernelSHAP
+// rung costs far more than the deadline funds, so the policy degrades each
+// request to an affordable tier — and the served tier must then actually
+// meet the deadline (zero misses on the smoke config).
+void RunDegradedMode(const Workbench& bench, bool smoke,
+                     bench::RunReport* report) {
+  bench::Section("deadline-aware degradation (zero-miss target)");
+  ExplainServer server;
+  bench.Register(&server);
+
+  const int kRequests = smoke ? 32 : 128;
+  const double kDeadlineMs = 50.0;
+  int degraded = 0, misses = 0;
+  std::map<std::string, int> tiers_served;
+  for (int i = 0; i < kRequests; ++i) {
+    ExplainRequest request;
+    request.model = "wide";
+    request.instance = bench.wide_data.Row(i % 50);
+    request.kind = ExplainerKind::kKernelShap;
+    request.fidelity = FidelityTier::kHigh;
+    request.deadline_ms = kDeadlineMs;
+    request.use_cache = false;  // Every request pays full computation.
+    auto response = server.Explain(request).ValueOrDie();
+    degraded += response.degraded ? 1 : 0;
+    misses += response.deadline_met ? 0 : 1;
+    ++tiers_served[serve::FidelityTierName(response.served_tier)];
+  }
+  std::printf("  %d requests, deadline %.0f ms: %d degraded, %d deadline "
+              "misses\n",
+              kRequests, kDeadlineMs, degraded, misses);
+  for (const auto& [tier, count] : tiers_served)
+    std::printf("    served tier %-10s x%d\n", tier.c_str(), count);
+  report->Metric("degraded_requests", degraded);
+  report->Metric("deadline_misses", misses);
+  report->Metric("deadline_miss_rate",
+                 static_cast<double>(misses) / kRequests);
+}
+
+// The acceptance gate: a fixed request must produce a bit-identical
+// response at 1, 4, and 8 threads (fresh server and cache each time).
+void RunDeterminism(const Workbench& bench, bench::RunReport* report) {
+  bench::Section("response determinism across thread counts");
+  const std::vector<ExplainerKind> kinds = {
+      ExplainerKind::kTreeShap, ExplainerKind::kKernelShap,
+      ExplainerKind::kSamplingShapley, ExplainerKind::kLime};
+
+  bool identical = true;
+  std::map<ExplainerKind, uint64_t> reference;
+  for (int threads : {1, 4, 8}) {
+    SetNumThreads(threads);
+    ExplainServer server;
+    bench.Register(&server);
+    for (ExplainerKind kind : kinds) {
+      ExplainRequest request;
+      request.model = "loans";
+      request.instance = bench.instances[0];
+      request.kind = kind;
+      request.fidelity = FidelityTier::kReduced;
+      const uint64_t hash =
+          serve::PayloadHash(server.Explain(request).ValueOrDie());
+      auto [it, inserted] = reference.emplace(kind, hash);
+      if (it->second != hash) {
+        identical = false;
+        std::printf("  MISMATCH: %s differs at %d threads\n",
+                    serve::ExplainerKindName(kind), threads);
+      }
+    }
+  }
+  std::printf("  responses bit-identical across {1, 4, 8} threads: %s\n",
+              identical ? "yes" : "NO");
+  report->Metric("determinism_bit_identical", identical ? 1.0 : 0.0);
+}
+
+}  // namespace
+}  // namespace xai
+
+int main(int argc, char** argv) {
+  const bool smoke = xai::bench::SmokeFlag(argc, argv);
+  const int threads = xai::bench::ThreadsFlag(argc, argv);
+  xai::SetNumThreads(threads);
+
+  xai::bench::Banner(
+      "E19 — explanation serving: cache, batching, degradation",
+      "explanations generated in real time",
+      "GBDT + logistic snapshots served via registry/cache/batcher under "
+      "repeated-instance, concurrent, and deadline-bound workloads");
+
+  xai::bench::RunReport report("e19",
+                               "explanations generated in real time");
+  xai::Workbench bench(smoke);
+  xai::RunCacheLatency(bench, smoke, &report);
+  xai::RunThroughput(bench, threads, smoke, &report);
+  xai::RunDegradedMode(bench, smoke, &report);
+  xai::RunDeterminism(bench, &report);
+
+  report.Note("smoke", smoke ? "true" : "false");
+  report.Write();
+  xai::bench::Footer();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "xai/core/json.h"
 #include "xai/core/parallel.h"
 #include "xai/core/telemetry.h"
 
@@ -145,17 +146,10 @@ class RunReport {
   }
 
  private:
+  // One escaping implementation for the whole tree (core/json.h); this
+  // header used to carry its own slightly-wrong copy.
   static void WriteJsonString(std::ostream& os, const std::string& s) {
-    os << '"';
-    for (char c : s) {
-      if (c == '"' || c == '\\') os << '\\';
-      if (c == '\n') {
-        os << "\\n";
-        continue;
-      }
-      os << c;
-    }
-    os << '"';
+    json::WriteString(os, s);
   }
 
   std::string id_;

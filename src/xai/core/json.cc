@@ -1,0 +1,33 @@
+#include "xai/core/json.h"
+
+namespace xai {
+namespace json {
+
+void WriteString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << ' ';
+        else
+          os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace json
+}  // namespace xai

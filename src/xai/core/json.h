@@ -1,0 +1,24 @@
+#ifndef XAI_CORE_JSON_H_
+#define XAI_CORE_JSON_H_
+
+#include <ostream>
+#include <string_view>
+
+namespace xai {
+namespace json {
+
+/// \brief Minimal JSON writing helpers shared by every emitter in the tree
+/// (telemetry registry dumps, Chrome traces, bench run reports). One
+/// definition of string escaping instead of a per-caller copy-paste: the
+/// telemetry and bench writers previously each carried their own — and they
+/// had already drifted (one dropped \t and control characters).
+
+/// Writes `s` as a JSON string literal: surrounding quotes, with `"`, `\`,
+/// newline and tab escaped and other control characters replaced by a space
+/// (names here are short identifiers; lossless \u escapes are not needed).
+void WriteString(std::ostream& os, std::string_view s);
+
+}  // namespace json
+}  // namespace xai
+
+#endif  // XAI_CORE_JSON_H_

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "xai/core/json.h"
 #include "xai/core/timer.h"
 #include "xai/core/trace.h"
 
@@ -15,31 +16,9 @@ namespace {
 
 std::atomic<bool> g_enabled{true};
 
-// Minimal JSON string escaping (names are `subsystem/op`, but be safe).
+// Escaping lives in core/json.h, shared with the bench report writer.
 void WriteJsonString(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20)
-          os << ' ';
-        else
-          os << c;
-    }
-  }
-  os << '"';
+  json::WriteString(os, s);
 }
 
 }  // namespace
@@ -276,6 +255,23 @@ std::string SummaryLine() {
     ++shown;
   }
   if (shown == 0) os << " (none)";
+
+  // Serving-layer line, only when the process actually served requests
+  // (examples that never touch xai_serve keep the one-line summary).
+  auto counter = [&](const char* name) -> int64_t {
+    auto it = counters.find(name);
+    return it != counters.end() ? it->second : 0;
+  };
+  if (int64_t requests = counter("serve/requests"); requests > 0) {
+    os << "\n[telemetry] serve: requests=" << requests
+       << " cache_hits=" << counter("serve/cache_hits")
+       << " cache_misses=" << counter("serve/cache_misses")
+       << " degraded=" << counter("serve/degraded_requests")
+       << " deadline_misses=" << counter("serve/deadline_misses");
+    if (auto it = histograms.find("serve/queue_depth");
+        it != histograms.end() && it->second.count > 0)
+      os << " queue_depth_p95=" << it->second.p95;
+  }
   return os.str();
 }
 

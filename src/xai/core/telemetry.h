@@ -203,6 +203,19 @@ std::string SummaryLine();
     }                                                                 \
   } while (0)
 
+/// Records `value` into the named process-wide histogram (log-bucketed;
+/// nanoseconds by span convention, but any non-negative quantity works —
+/// the serving layer records batch sizes and queue depths). Same cached
+/// registry-lookup pattern as XAI_COUNTER_ADD.
+#define XAI_HISTOGRAM_RECORD(name, value)                              \
+  do {                                                                 \
+    if (::xai::telemetry::Enabled()) {                                 \
+      static ::xai::telemetry::Histogram* xai_histogram_ =             \
+          ::xai::telemetry::Registry::Global().GetHistogram(name);     \
+      xai_histogram_->Record(value);                                   \
+    }                                                                  \
+  } while (0)
+
 #else  // XAI_TELEMETRY == 0: compile the arguments away entirely.
 
 #define XAI_COUNTER_ADD(name, n) \
@@ -210,6 +223,13 @@ std::string SummaryLine();
     if (false) {                 \
       (void)(n);                 \
     }                            \
+  } while (0)
+
+#define XAI_HISTOGRAM_RECORD(name, value) \
+  do {                                    \
+    if (false) {                          \
+      (void)(value);                      \
+    }                                     \
   } while (0)
 
 #endif  // XAI_TELEMETRY

@@ -126,4 +126,30 @@ Result<DiceResult> DiceCounterfactuals(const PredictFn& f,
   return result;
 }
 
+int64_t DicePlannedModelCalls(const DiceConfig& config) {
+  int64_t steps = std::max(1, config.max_steps_per_restart);
+  int64_t walk = static_cast<int64_t>(std::max(1, config.max_restarts)) *
+                 steps;
+  int64_t revert = static_cast<int64_t>(std::max(1, config.pool_size)) *
+                   steps;
+  return walk + revert;
+}
+
+DiceConfig DiceForBudget(DiceConfig config, int64_t max_calls) {
+  const int k = std::max(1, config.k);
+  while (DicePlannedModelCalls(config) > max_calls) {
+    if (config.max_restarts > 4 * k) {
+      config.max_restarts = std::max(4 * k, config.max_restarts / 2);
+    } else if (config.pool_size > k) {
+      config.pool_size = std::max(k, config.pool_size / 2);
+    } else if (config.max_steps_per_restart > 10) {
+      config.max_steps_per_restart =
+          std::max(10, config.max_steps_per_restart / 2);
+    } else {
+      break;  // Floors reached; serve the cheapest search we have.
+    }
+  }
+  return config;
+}
+
 }  // namespace xai

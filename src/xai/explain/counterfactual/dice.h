@@ -48,6 +48,18 @@ Result<DiceResult> DiceCounterfactuals(const PredictFn& f,
                                        const ActionabilitySpec& spec,
                                        const DiceConfig& config, Rng* rng);
 
+/// \name Serving budget hooks (see serve/degradation.h)
+/// @{
+/// Deterministic planning cost: the random-walk pool construction dominates
+/// (restarts * steps model calls, plus the sparsity-revert pass per pooled
+/// candidate, bounded by pool_size * steps).
+int64_t DicePlannedModelCalls(const DiceConfig& config);
+
+/// Shrinks max_restarts (floor 4*k) and pool_size (floor k) until the
+/// planned cost fits `max_calls`.
+DiceConfig DiceForBudget(DiceConfig config, int64_t max_calls);
+/// @}
+
 }  // namespace xai
 
 #endif  // XAI_EXPLAIN_COUNTERFACTUAL_DICE_H_

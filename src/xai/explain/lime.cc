@@ -230,4 +230,15 @@ Result<LimeStability> EvaluateLimeStability(const LimeExplainer& explainer,
   return out;
 }
 
+int64_t LimePlannedEvals(const LimeConfig& config) {
+  return std::max(0, config.num_samples);
+}
+
+LimeConfig LimeForBudget(LimeConfig config, int64_t max_evals) {
+  constexpr int kFloor = 50;
+  config.num_samples = static_cast<int>(std::clamp<int64_t>(
+      max_evals, kFloor, std::max(kFloor, config.num_samples)));
+  return config;
+}
+
 }  // namespace xai

@@ -77,6 +77,16 @@ Result<LimeStability> EvaluateLimeStability(const LimeExplainer& explainer,
                                             const Vector& instance, int runs,
                                             int top_k, uint64_t seed);
 
+/// \name Serving budget hooks (see serve/degradation.h)
+/// @{
+/// Deterministic planning cost: one model call per neighborhood sample.
+int64_t LimePlannedEvals(const LimeConfig& config);
+
+/// Shrinks `config.num_samples` to fit `max_evals` (floor 50 — below that
+/// the ridge fit is too noisy to be worth serving).
+LimeConfig LimeForBudget(LimeConfig config, int64_t max_evals);
+/// @}
+
 }  // namespace xai
 
 #endif  // XAI_EXPLAIN_LIME_H_

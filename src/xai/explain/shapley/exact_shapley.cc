@@ -94,4 +94,13 @@ Result<Vector> ExactBanzhaf(const CoalitionGame& game) {
       });
 }
 
+int64_t ExactShapleyPlannedEvals(int num_features, int background_rows) {
+  if (num_features < 1 || background_rows < 1) return 0;
+  constexpr int64_t kSaturated = 4000000000000000000;
+  if (num_features >= 60) return kSaturated;
+  int64_t coalitions = int64_t{1} << num_features;
+  if (coalitions > kSaturated / background_rows) return kSaturated;
+  return coalitions * background_rows;
+}
+
 }  // namespace xai

@@ -16,6 +16,12 @@ Result<Vector> ExactShapley(const CoalitionGame& game);
 /// Exact Banzhaf indices (uniform coalition weights) for comparison.
 Result<Vector> ExactBanzhaf(const CoalitionGame& game);
 
+/// Serving budget hook: planned model evaluations of a full enumeration —
+/// 2^num_features coalitions, `background_rows` model calls each. Saturates
+/// (instead of overflowing) for large d, so callers can compare it against
+/// any deadline-derived budget.
+int64_t ExactShapleyPlannedEvals(int num_features, int background_rows);
+
 }  // namespace xai
 
 #endif  // XAI_EXPLAIN_SHAPLEY_EXACT_SHAPLEY_H_

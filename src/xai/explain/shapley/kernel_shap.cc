@@ -161,4 +161,27 @@ Result<AttributionExplanation> KernelShap(const CoalitionGame& game,
   return exp;
 }
 
+int64_t KernelShapPlannedEvals(const KernelShapConfig& config,
+                               int num_features, int background_rows) {
+  if (num_features < 1 || background_rows < 1) return 0;
+  // Full enumeration caps the budget: 2^d - 2 proper coalitions exist.
+  double full = num_features < 62 ? std::pow(2.0, num_features) - 2.0 : 4e18;
+  double coalitions =
+      std::min(static_cast<double>(config.coalition_budget), full) + 2.0;
+  double evals = coalitions * background_rows;
+  return evals > 4e18 ? int64_t{4000000000000000000}
+                      : static_cast<int64_t>(evals);
+}
+
+KernelShapConfig KernelShapForBudget(KernelShapConfig config,
+                                     int64_t max_evals, int num_features,
+                                     int background_rows) {
+  const int floor_budget = 2 * std::max(1, num_features) + 2;
+  if (background_rows < 1) background_rows = 1;
+  int64_t affordable = max_evals / background_rows - 2;
+  config.coalition_budget = static_cast<int>(
+      std::clamp<int64_t>(affordable, floor_budget, config.coalition_budget));
+  return config;
+}
+
 }  // namespace xai

@@ -26,6 +26,21 @@ struct SamplingShapleyResult {
 SamplingShapleyResult SamplingShapley(const CoalitionGame& game,
                                       int permutations, Rng* rng);
 
+/// \name Serving budget hooks (see serve/degradation.h)
+/// @{
+/// Deterministic planning cost: each permutation walks num_features
+/// coalition steps, each charged `background_rows` model calls (memoization
+/// makes the real cost lower; planning uses the bound).
+int64_t SamplingShapleyPlannedEvals(int permutations, int num_features,
+                                    int background_rows);
+
+/// Largest permutation count (>= 1, <= `permutations`) whose planned cost
+/// fits `max_evals`.
+int SamplingShapleyPermutationsForBudget(int permutations, int64_t max_evals,
+                                         int num_features,
+                                         int background_rows);
+/// @}
+
 }  // namespace xai
 
 #endif  // XAI_EXPLAIN_SHAPLEY_SAMPLING_SHAPLEY_H_

@@ -248,6 +248,48 @@ Result<GbdtModel> DeserializeGbdt(const std::string& text) {
                               TagToTask(task), config);
 }
 
+uint64_t ContentHash64(const void* data, size_t len, uint64_t seed) {
+  // FNV-1a, 64-bit: hash = (hash ^ byte) * prime, byte-at-a-time. Simple,
+  // allocation-free, and stable by construction.
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
+  uint64_t hash = seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+uint64_t ContentHash64(const std::string& s, uint64_t seed) {
+  return ContentHash64(s.data(), s.size(), seed);
+}
+
+uint64_t ContentHash64(const Vector& v, uint64_t seed) {
+  return v.empty() ? seed
+                   : ContentHash64(v.data(), v.size() * sizeof(double), seed);
+}
+
+uint64_t Fingerprint(const std::string& serialized) {
+  return ContentHash64(serialized);
+}
+
+uint64_t Fingerprint(const LinearRegressionModel& model) {
+  return Fingerprint(SerializeModel(model));
+}
+uint64_t Fingerprint(const LogisticRegressionModel& model) {
+  return Fingerprint(SerializeModel(model));
+}
+uint64_t Fingerprint(const DecisionTreeModel& model) {
+  return Fingerprint(SerializeModel(model));
+}
+uint64_t Fingerprint(const RandomForestModel& model) {
+  return Fingerprint(SerializeModel(model));
+}
+uint64_t Fingerprint(const GbdtModel& model) {
+  return Fingerprint(SerializeModel(model));
+}
+
 Result<std::string> PeekModelKind(const std::string& text) {
   Reader r(text);
   XAI_RETURN_NOT_OK(r.Expect(kMagic));

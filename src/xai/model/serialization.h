@@ -1,8 +1,11 @@
 #ifndef XAI_MODEL_SERIALIZATION_H_
 #define XAI_MODEL_SERIALIZATION_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
+#include "xai/core/matrix.h"
 #include "xai/core/status.h"
 #include "xai/model/decision_tree.h"
 #include "xai/model/gbdt.h"
@@ -33,6 +36,38 @@ Result<GbdtModel> DeserializeGbdt(const std::string& text);
 /// Kind tag on the header line ("linear_regression", "gbdt", ...), so
 /// callers can dispatch before deserializing. NotFound on malformed input.
 Result<std::string> PeekModelKind(const std::string& text);
+
+/// \name Content hashing
+/// Stable 64-bit FNV-1a content hash. The serving layer keys its
+/// explanation cache on these: a model's fingerprint is the hash of its
+/// serialized text, so re-registering the same snapshot after a process
+/// restart (or a registry reload) lands on the same cache entries. The
+/// function is defined by the FNV-1a recurrence — it never changes across
+/// platforms or library versions, unlike std::hash.
+/// @{
+
+inline constexpr uint64_t kContentHashSeed = 0xcbf29ce484222325ULL;
+
+/// FNV-1a over a byte range; chain calls by passing the previous hash as
+/// `seed`.
+uint64_t ContentHash64(const void* data, size_t len,
+                       uint64_t seed = kContentHashSeed);
+uint64_t ContentHash64(const std::string& s,
+                       uint64_t seed = kContentHashSeed);
+/// Hash of a vector's raw double bytes (bit-exact, so two instances hash
+/// equal iff every coordinate is bit-identical).
+uint64_t ContentHash64(const Vector& v, uint64_t seed = kContentHashSeed);
+
+/// Fingerprint of a serialized model snapshot (= ContentHash64 of the
+/// text). Overloads serialize first, so fingerprints are stable across
+/// save/load round trips of the same model.
+uint64_t Fingerprint(const std::string& serialized);
+uint64_t Fingerprint(const LinearRegressionModel& model);
+uint64_t Fingerprint(const LogisticRegressionModel& model);
+uint64_t Fingerprint(const DecisionTreeModel& model);
+uint64_t Fingerprint(const RandomForestModel& model);
+uint64_t Fingerprint(const GbdtModel& model);
+/// @}
 
 /// File helpers.
 Status SaveModelToFile(const std::string& serialized,

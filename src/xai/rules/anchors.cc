@@ -229,4 +229,27 @@ Result<AnchorRule> AnchorsExplainer::Explain(const PredictFn& f,
   return make_result(best_so_far);
 }
 
+int64_t AnchorsPlannedEvals(const AnchorsConfig& config) {
+  int64_t rounds = std::max(1, config.max_anchor_size);
+  int64_t beam = std::max(1, config.beam_width);
+  int64_t per_candidate = std::max(config.batch_size,
+                                   config.max_samples_per_candidate);
+  return rounds * beam * per_candidate;
+}
+
+AnchorsConfig AnchorsForBudget(AnchorsConfig config, int64_t max_evals) {
+  const int floor_samples = 4 * std::max(1, config.batch_size);
+  while (AnchorsPlannedEvals(config) > max_evals) {
+    if (config.max_samples_per_candidate > floor_samples) {
+      config.max_samples_per_candidate =
+          std::max(floor_samples, config.max_samples_per_candidate / 2);
+    } else if (config.beam_width > 1) {
+      --config.beam_width;
+    } else {
+      break;  // Already at the floor; serve the cheapest search we have.
+    }
+  }
+  return config;
+}
+
 }  // namespace xai

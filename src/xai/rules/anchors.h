@@ -74,6 +74,20 @@ class AnchorsExplainer {
   Perturber perturber_;
 };
 
+/// \name Serving budget hooks (see serve/degradation.h)
+/// @{
+/// Deterministic planning cost of an Anchors search: per search round
+/// (up to max_anchor_size), each beam slot may spend up to
+/// max_samples_per_candidate model calls. A planning bound, not the true
+/// worst case (candidate generation also depends on feature count), but
+/// monotone in every knob the degradation ladder turns.
+int64_t AnchorsPlannedEvals(const AnchorsConfig& config);
+
+/// Shrinks max_samples_per_candidate (floor: 4 bandit batches) and then
+/// beam_width (floor 1) until the planned cost fits `max_evals`.
+AnchorsConfig AnchorsForBudget(AnchorsConfig config, int64_t max_evals);
+/// @}
+
 /// \name KL (Bernoulli) confidence bounds used by the bandit.
 /// @{
 /// KL divergence of Bernoulli(p) from Bernoulli(q).

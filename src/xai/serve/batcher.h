@@ -1,0 +1,116 @@
+#ifndef XAI_SERVE_BATCHER_H_
+#define XAI_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/serve/degradation.h"
+#include "xai/serve/explanation_cache.h"
+#include "xai/serve/model_registry.h"
+#include "xai/serve/request.h"
+
+namespace xai {
+namespace serve {
+
+/// \brief One admitted request, resolved against the registry (the snapshot
+/// it runs on), priced by the degradation policy (the tier plan it will
+/// execute), and keyed for the cache (intra-batch coalescing identity).
+struct BatchJob {
+  ExplainRequest request;
+  std::shared_ptr<const ModelEntry> entry;
+  TierPlan plan;
+  bool degraded = false;
+  CacheKey key;
+  /// Whether duplicate keys inside a batch may share one execution. The
+  /// server sets this from `request.use_cache`: a caller opting out of the
+  /// cache also opts out of result sharing.
+  bool coalescable = true;
+};
+
+/// \brief Coalescing batch scheduler in front of the explainer executor.
+///
+/// Concurrent requests queue here instead of each grabbing the thread pool
+/// for itself. A single worker drains up to `max_batch` queued jobs for one
+/// model at a time, deduplicates jobs with identical cache keys (N users
+/// refreshing the same explanation cost one computation), and fans the
+/// unique executions out over core/parallel's ParallelFor — each job's
+/// inner explainer parallelism then runs inline in its chunk, so responses
+/// are bit-identical to unbatched execution at any thread count.
+///
+/// Backpressure: the queue is bounded at `max_queue`. `Submit` either
+/// blocks until there is room (default) or fails with OutOfRange when
+/// `block_when_full` is false — load sheds at admission, not mid-flight.
+///
+/// Telemetry: serve/batches, serve/batched_requests,
+/// serve/coalesced_requests; histograms serve/batch_size,
+/// serve/queue_depth.
+class RequestBatcher {
+ public:
+  struct Config {
+    /// Most jobs drained into one batch.
+    int max_batch = 8;
+    /// Queue bound; admission control beyond it.
+    int max_queue = 256;
+    /// Block submitters when the queue is full (false: fail fast with
+    /// OutOfRange).
+    bool block_when_full = true;
+  };
+
+  /// Executes one unique job (the server's explainer dispatch). Called from
+  /// pool workers; must be const-reentrant.
+  using Executor = std::function<Result<ExplainResponse>(const BatchJob&)>;
+
+  RequestBatcher(const Config& config, Executor executor);
+  /// Fails queued jobs and joins the worker.
+  ~RequestBatcher();
+
+  /// Enqueues a job; the future resolves with the response (or the
+  /// executor's error). OutOfRange if the queue is full and
+  /// `block_when_full` is off.
+  Result<std::future<Result<ExplainResponse>>> Submit(BatchJob job);
+
+  /// Holds the worker between batches so tests can pile up concurrent
+  /// submissions and observe them coalesce into one batch.
+  void Pause();
+  void Resume();
+
+  /// Blocks until the queue is empty and no batch is in flight.
+  void Flush();
+
+  int queue_depth() const;
+
+ private:
+  struct Pending {
+    BatchJob job;
+    std::shared_ptr<std::promise<Result<ExplainResponse>>> promise;
+  };
+
+  void WorkerLoop();
+  void ExecuteBatch(std::vector<Pending> batch);
+
+  const Config config_;
+  const Executor executor_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // Queue non-empty / stop / resume.
+  std::condition_variable space_cv_;  // Queue has room again.
+  std::condition_variable idle_cv_;   // Queue drained and worker idle.
+  std::deque<Pending> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool in_flight_ = false;
+
+  std::thread worker_;
+};
+
+}  // namespace serve
+}  // namespace xai
+
+#endif  // XAI_SERVE_BATCHER_H_

@@ -1,0 +1,142 @@
+#include "xai/serve/degradation.h"
+
+#include <algorithm>
+
+#include "xai/explain/shapley/exact_shapley.h"
+#include "xai/explain/shapley/sampling_shapley.h"
+
+namespace xai {
+namespace serve {
+namespace {
+
+constexpr int64_t kSaturatedEvals = 4000000000000000000;
+
+bool IsShapleyFamily(ExplainerKind kind) {
+  return kind == ExplainerKind::kKernelShap ||
+         kind == ExplainerKind::kSamplingShapley ||
+         kind == ExplainerKind::kExactShapley;
+}
+
+/// The best rung a kind can meaningfully serve: asking for "exact" LIME or
+/// an exact tier on a sampling-Shapley request silently starts at the
+/// kind's natural top instead of switching the caller to a different
+/// algorithm *upward* (degradation only ever moves down the ladder).
+FidelityTier NaturalTop(ExplainerKind kind) {
+  switch (kind) {
+    case ExplainerKind::kExactShapley:
+      return FidelityTier::kExact;
+    case ExplainerKind::kSamplingShapley:
+      return FidelityTier::kReduced;
+    default:
+      return FidelityTier::kHigh;
+  }
+}
+
+}  // namespace
+
+int64_t CostModel::EvalBudget(double deadline_ms) const {
+  if (deadline_ms <= overhead_ms) return 0;
+  double evals = (deadline_ms - overhead_ms) * evals_per_ms;
+  if (evals >= static_cast<double>(kSaturatedEvals)) return kSaturatedEvals;
+  return static_cast<int64_t>(evals);
+}
+
+DegradationPolicy::DegradationPolicy(const CostModel& cost_model)
+    : cost_model_(cost_model) {}
+
+TierPlan DegradationPolicy::PlanForTier(ExplainerKind kind, FidelityTier tier,
+                                        int num_features,
+                                        int background_rows) const {
+  TierPlan plan;
+  plan.tier = tier;
+
+  if (kind == ExplainerKind::kTreeShap) {
+    // The polynomial tree algorithm is exact and milliseconds-cheap: it is
+    // its own best tier and has no knob to turn.
+    plan.tier = FidelityTier::kExact;
+    plan.algorithm = ExplainerKind::kTreeShap;
+    plan.planned_evals = 0;
+    return plan;
+  }
+
+  if (IsShapleyFamily(kind)) {
+    switch (tier) {
+      case FidelityTier::kExact:
+        plan.algorithm = ExplainerKind::kExactShapley;
+        plan.planned_evals =
+            ExactShapleyPlannedEvals(num_features, background_rows);
+        return plan;
+      case FidelityTier::kHigh:
+      case FidelityTier::kStandard:
+        plan.algorithm = ExplainerKind::kKernelShap;
+        plan.kernel_config.coalition_budget =
+            tier == FidelityTier::kHigh ? 2048 : 512;
+        plan.planned_evals = KernelShapPlannedEvals(
+            plan.kernel_config, num_features, background_rows);
+        return plan;
+      case FidelityTier::kReduced:
+      case FidelityTier::kMinimal:
+        plan.algorithm = ExplainerKind::kSamplingShapley;
+        plan.sampling_permutations = tier == FidelityTier::kReduced ? 32 : 8;
+        plan.planned_evals = SamplingShapleyPlannedEvals(
+            plan.sampling_permutations, num_features, background_rows);
+        return plan;
+    }
+  }
+
+  if (kind == ExplainerKind::kLime) {
+    static constexpr int kSamples[] = {4000, 2000, 1000, 400, 100};
+    plan.algorithm = ExplainerKind::kLime;
+    LimeConfig base;
+    base.num_samples = kSamples[0];
+    plan.lime_config =
+        LimeForBudget(base, kSamples[static_cast<int>(tier)]);
+    plan.planned_evals = LimePlannedEvals(plan.lime_config);
+    return plan;
+  }
+
+  if (kind == ExplainerKind::kAnchors) {
+    static constexpr int64_t kEvalBudget[] = {96000, 48000, 24000, 9600,
+                                              4800};
+    plan.algorithm = ExplainerKind::kAnchors;
+    plan.anchors_config =
+        AnchorsForBudget(AnchorsConfig{}, kEvalBudget[static_cast<int>(tier)]);
+    plan.planned_evals = AnchorsPlannedEvals(plan.anchors_config);
+    return plan;
+  }
+
+  // kCounterfactual.
+  static constexpr int64_t kCallBudget[] = {26400, 16000, 8000, 4000, 2000};
+  plan.algorithm = ExplainerKind::kCounterfactual;
+  plan.dice_config =
+      DiceForBudget(DiceConfig{}, kCallBudget[static_cast<int>(tier)]);
+  plan.planned_evals = DicePlannedModelCalls(plan.dice_config);
+  return plan;
+}
+
+TierPlan DegradationPolicy::Choose(ExplainerKind kind, FidelityTier requested,
+                                   int num_features, int background_rows,
+                                   double deadline_ms) const {
+  FidelityTier start =
+      std::max(requested, NaturalTop(kind),
+               [](FidelityTier a, FidelityTier b) {
+                 return static_cast<int>(a) < static_cast<int>(b);
+               });
+  if (kind == ExplainerKind::kTreeShap || deadline_ms <= 0)
+    return PlanForTier(kind, start, num_features, background_rows);
+
+  const int64_t budget = cost_model_.EvalBudget(deadline_ms);
+  TierPlan plan;
+  for (int t = static_cast<int>(start);
+       t <= static_cast<int>(FidelityTier::kMinimal); ++t) {
+    plan = PlanForTier(kind, static_cast<FidelityTier>(t), num_features,
+                       background_rows);
+    if (plan.planned_evals <= budget) return plan;
+  }
+  // Nothing fits: serve the cheapest rung anyway (the caller records the
+  // deadline risk; refusing to answer helps nobody).
+  return plan;
+}
+
+}  // namespace serve
+}  // namespace xai

@@ -1,0 +1,246 @@
+#include "xai/serve/explain_server.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "xai/core/telemetry.h"
+#include "xai/core/trace.h"
+#include "xai/explain/counterfactual/counterfactual.h"
+#include "xai/explain/counterfactual/dice.h"
+#include "xai/explain/lime.h"
+#include "xai/explain/shapley/exact_shapley.h"
+#include "xai/explain/shapley/kernel_shap.h"
+#include "xai/explain/shapley/sampling_shapley.h"
+#include "xai/explain/shapley/tree_shap.h"
+#include "xai/explain/shapley/value_function.h"
+#include "xai/model/serialization.h"
+#include "xai/rules/anchors.h"
+
+namespace xai {
+namespace serve {
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::vector<std::string> FeatureNames(const Dataset& background) {
+  std::vector<std::string> names;
+  names.reserve(background.schema().features.size());
+  for (const auto& feature : background.schema().features)
+    names.push_back(feature.name);
+  return names;
+}
+
+/// `count_miss` is set only at the end-to-end (queue wait included) layer,
+/// so a synchronous request never counts a miss twice.
+void FinalizeTiming(const ExplainRequest& request,
+                    std::chrono::steady_clock::time_point start,
+                    ExplainResponse* response, bool count_miss) {
+  response->latency_ms = ElapsedMs(start);
+  response->deadline_met =
+      request.deadline_ms <= 0.0 || response->latency_ms <= request.deadline_ms;
+  if (count_miss && !response->deadline_met)
+    XAI_COUNTER_INC("serve/deadline_misses");
+}
+
+}  // namespace
+
+ExplainServer::ExplainServer(const Config& config)
+    : cache_(config.cache), policy_(config.cost_model) {
+  if (config.enable_batching) {
+    batcher_ = std::make_unique<RequestBatcher>(
+        config.batcher,
+        [this](const BatchJob& job) { return Execute(job); });
+  }
+}
+
+Result<BatchJob> ExplainServer::Admit(const ExplainRequest& request) const {
+  BatchJob job;
+  job.entry = registry_.Find(request.model);
+  if (job.entry == nullptr)
+    return Status::NotFound("no registered model named " + request.model);
+  const int num_features = job.entry->num_features();
+  if (static_cast<int>(request.instance.size()) != num_features)
+    return Status::InvalidArgument(
+        "instance has " + std::to_string(request.instance.size()) +
+        " features; model " + request.model + " expects " +
+        std::to_string(num_features));
+
+  const int background_rows = job.entry->background->num_rows();
+  job.plan = policy_.Choose(request.kind, request.fidelity, num_features,
+                            background_rows, request.deadline_ms);
+  // The undegraded reference is what Choose picks with no deadline (the
+  // requested tier clamped to the kind's natural top).
+  const FidelityTier reference =
+      policy_
+          .Choose(request.kind, request.fidelity, num_features,
+                  background_rows, /*deadline_ms=*/0.0)
+          .tier;
+  job.degraded = job.plan.tier != reference;
+  if (job.degraded && !request.allow_degradation)
+    return Status::OutOfRange(
+        "deadline of " + std::to_string(request.deadline_ms) +
+        " ms cannot fund tier " + FidelityTierName(reference) +
+        " and the request forbids degradation");
+  if (job.degraded) XAI_COUNTER_INC("serve/degraded_requests");
+
+  job.request = request;
+  job.coalescable = request.use_cache;
+  job.key.model_fingerprint = job.entry->fingerprint;
+  job.key.instance_hash = ContentHash64(request.instance);
+  const uint64_t config_fields[] = {
+      static_cast<uint64_t>(request.kind),
+      static_cast<uint64_t>(job.plan.tier),
+      request.seed,
+      job.entry->background_fingerprint,
+      static_cast<uint64_t>(static_cast<int64_t>(request.desired_class)),
+  };
+  job.key.config_hash = ContentHash64(config_fields, sizeof(config_fields));
+  return job;
+}
+
+Result<ExplainResponse> ExplainServer::Explain(const ExplainRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  XAI_COUNTER_INC("serve/requests");
+  XAI_ASSIGN_OR_RETURN(BatchJob job, Admit(request));
+
+  if (request.use_cache) {
+    if (auto hit = cache_.Get(job.key)) {
+      ExplainResponse response = *hit;
+      response.cache_hit = true;
+      FinalizeTiming(request, start, &response, /*count_miss=*/true);
+      return response;
+    }
+  }
+
+  Result<ExplainResponse> result =
+      batcher_ != nullptr
+          ? [&]() -> Result<ExplainResponse> {
+              XAI_ASSIGN_OR_RETURN(auto future,
+                                   batcher_->Submit(std::move(job)));
+              return future.get();
+            }()
+          : Execute(job);
+  if (!result.ok()) return result.status();
+
+  ExplainResponse response = std::move(result).ValueOrDie();
+  FinalizeTiming(request, start, &response, /*count_miss=*/true);
+  return response;
+}
+
+Result<std::future<Result<ExplainResponse>>> ExplainServer::SubmitAsync(
+    const ExplainRequest& request) {
+  XAI_COUNTER_INC("serve/requests");
+  XAI_ASSIGN_OR_RETURN(BatchJob job, Admit(request));
+
+  if (request.use_cache) {
+    if (auto hit = cache_.Get(job.key)) {
+      ExplainResponse response = *hit;
+      response.cache_hit = true;
+      std::promise<Result<ExplainResponse>> ready;
+      ready.set_value(std::move(response));
+      return ready.get_future();
+    }
+  }
+  if (batcher_ == nullptr) {
+    std::promise<Result<ExplainResponse>> ready;
+    ready.set_value(Execute(job));
+    return ready.get_future();
+  }
+  return batcher_->Submit(std::move(job));
+}
+
+Result<ExplainResponse> ExplainServer::Execute(const BatchJob& job) {
+  XAI_SPAN("serve/execute");
+  const auto start = std::chrono::steady_clock::now();
+  const ExplainRequest& request = job.request;
+  const ModelEntry& entry = *job.entry;
+  const TierPlan& plan = job.plan;
+
+  ExplainResponse response;
+  response.kind = request.kind;
+  response.served_tier = plan.tier;
+  response.degraded = job.degraded;
+  response.model_fingerprint = entry.fingerprint;
+  response.planned_evals = plan.planned_evals;
+
+  Rng rng(request.seed);
+  const PredictFn predict = AsPredictFn(*entry.model);
+
+  switch (plan.algorithm) {
+    case ExplainerKind::kTreeShap: {
+      if (entry.tree_view == nullptr)
+        return Status::InvalidArgument(
+            "tree_shap requires a tree model; " + entry.name + " is " +
+            entry.kind);
+      response.attribution = TreeShap(*entry.tree_view, request.instance);
+      break;
+    }
+    case ExplainerKind::kExactShapley: {
+      MarginalFeatureGame game(predict, request.instance,
+                               entry.background->x());
+      XAI_ASSIGN_OR_RETURN(Vector values, ExactShapley(game));
+      response.attribution.attributions = std::move(values);
+      response.attribution.base_value = game.Value(0);
+      response.attribution.prediction = predict(request.instance);
+      response.attribution.feature_names = FeatureNames(*entry.background);
+      break;
+    }
+    case ExplainerKind::kKernelShap: {
+      MarginalFeatureGame game(predict, request.instance,
+                               entry.background->x());
+      XAI_ASSIGN_OR_RETURN(response.attribution,
+                           KernelShap(game, plan.kernel_config, &rng));
+      break;
+    }
+    case ExplainerKind::kSamplingShapley: {
+      MarginalFeatureGame game(predict, request.instance,
+                               entry.background->x());
+      SamplingShapleyResult sampled =
+          SamplingShapley(game, plan.sampling_permutations, &rng);
+      response.attribution.attributions = std::move(sampled.values);
+      response.attribution.base_value = game.Value(0);
+      response.attribution.prediction = predict(request.instance);
+      response.attribution.feature_names = FeatureNames(*entry.background);
+      break;
+    }
+    case ExplainerKind::kLime: {
+      LimeExplainer lime(*entry.background, plan.lime_config);
+      XAI_ASSIGN_OR_RETURN(LimeExplanation explanation,
+                           lime.Explain(predict, request.instance,
+                                        request.seed));
+      response.attribution = std::move(explanation);
+      break;
+    }
+    case ExplainerKind::kAnchors: {
+      AnchorsExplainer anchors(*entry.background, plan.anchors_config);
+      XAI_ASSIGN_OR_RETURN(response.anchor,
+                           anchors.Explain(predict, request.instance,
+                                           request.seed));
+      break;
+    }
+    case ExplainerKind::kCounterfactual: {
+      CounterfactualEvaluator evaluator(*entry.background);
+      ActionabilitySpec spec = ActionabilitySpec::AllFree(*entry.background);
+      XAI_ASSIGN_OR_RETURN(
+          DiceResult dice,
+          DiceCounterfactuals(predict, request.instance,
+                              request.desired_class, evaluator, spec,
+                              plan.dice_config, &rng));
+      response.counterfactuals = std::move(dice.counterfactuals);
+      break;
+    }
+  }
+
+  FinalizeTiming(request, start, &response, /*count_miss=*/false);
+  if (request.use_cache)
+    cache_.Put(job.key, std::make_shared<const ExplainResponse>(response));
+  return response;
+}
+
+}  // namespace serve
+}  // namespace xai

@@ -1,0 +1,86 @@
+#ifndef XAI_SERVE_EXPLAIN_SERVER_H_
+#define XAI_SERVE_EXPLAIN_SERVER_H_
+
+#include <future>
+#include <memory>
+
+#include "xai/core/status.h"
+#include "xai/serve/batcher.h"
+#include "xai/serve/degradation.h"
+#include "xai/serve/explanation_cache.h"
+#include "xai/serve/model_registry.h"
+#include "xai/serve/request.h"
+
+namespace xai {
+namespace serve {
+
+/// \brief The explanation serving layer: registry -> cache -> batcher ->
+/// explainer, in that order per request.
+///
+/// The tutorial's data-management reading of XAI is that explanations are
+/// query results: they can be cached (same model, same instance, same
+/// config => same bytes), batched (concurrent requests share work), and
+/// answered approximately under a latency budget (degradation ladder). This
+/// class is that pipeline:
+///
+///   1. resolve the model name against the registry (snapshot + fingerprint);
+///   2. price the requested fidelity against the deadline with the
+///      deterministic DegradationPolicy, possibly picking a lower tier;
+///   3. look up (fingerprint, instance hash, config hash) in the sharded
+///      LRU cache — a hit skips all computation;
+///   4. on a miss, enqueue on the batching scheduler, which coalesces
+///      same-key requests and fans unique work out over the thread pool;
+///   5. record the served tier, planned cost, and wall-clock in the
+///      response. Responses are bit-identical for a fixed request at any
+///      thread count; only `latency_ms` / `deadline_met` / `cache_hit`
+///      vary (and PayloadHash excludes them).
+class ExplainServer {
+ public:
+  struct Config {
+    ExplanationCache::Config cache;
+    RequestBatcher::Config batcher;
+    CostModel cost_model;
+    /// When false, requests execute inline on the calling thread (no
+    /// worker, no coalescing) — handy for tests and single-client tools.
+    bool enable_batching = true;
+  };
+
+  ExplainServer() : ExplainServer(Config()) {}
+  explicit ExplainServer(const Config& config);
+
+  /// Serves one request synchronously: cache hit, or batched execution.
+  /// NotFound for an unknown model name; InvalidArgument on a schema
+  /// mismatch; OutOfRange when the deadline cannot fund the requested
+  /// fidelity and the request forbids degradation.
+  Result<ExplainResponse> Explain(const ExplainRequest& request);
+
+  /// Asynchronous variant: admission (registry lookup, tier pricing, cache
+  /// probe) happens now, the returned future resolves when the batch runs.
+  /// Cache hits resolve immediately.
+  Result<std::future<Result<ExplainResponse>>> SubmitAsync(
+      const ExplainRequest& request);
+
+  ModelRegistry& registry() { return registry_; }
+  const ModelRegistry& registry() const { return registry_; }
+  ExplanationCache& cache() { return cache_; }
+  const ExplanationCache& cache() const { return cache_; }
+  const DegradationPolicy& policy() const { return policy_; }
+  /// Null when batching is disabled.
+  RequestBatcher* batcher() { return batcher_.get(); }
+
+ private:
+  /// Registry lookup, validation, tier choice, cache-key construction.
+  Result<BatchJob> Admit(const ExplainRequest& request) const;
+  /// Runs the chosen plan. Called from pool workers via the batcher.
+  Result<ExplainResponse> Execute(const BatchJob& job);
+
+  ModelRegistry registry_;
+  ExplanationCache cache_;
+  DegradationPolicy policy_;
+  std::unique_ptr<RequestBatcher> batcher_;  // Last member: dies first.
+};
+
+}  // namespace serve
+}  // namespace xai
+
+#endif  // XAI_SERVE_EXPLAIN_SERVER_H_

@@ -1,0 +1,112 @@
+#include "xai/serve/explanation_cache.h"
+
+#include <bit>
+#include <utility>
+
+#include "xai/core/telemetry.h"
+
+namespace xai {
+namespace serve {
+
+uint64_t CacheKey::Mix() const {
+  // splitmix64-style finalization over the three components; cheap and
+  // disperses the FNV outputs well enough for shard selection.
+  auto mix = [](uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  return mix(model_fingerprint ^ mix(instance_hash ^ mix(config_hash)));
+}
+
+ExplanationCache::ExplanationCache(const Config& config) {
+  int shards = config.num_shards < 1 ? 1 : config.num_shards;
+  shards = static_cast<int>(std::bit_ceil(static_cast<unsigned>(shards)));
+  shards_.reserve(shards);
+  for (int i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  shard_budget_ = config.max_bytes / shards;
+  // Shard index = top bits of the mixed hash (the low bits feed the
+  // in-shard hash table; using disjoint bits avoids correlated placement).
+  shard_shift_ = 64 - std::bit_width(static_cast<unsigned>(shards)) + 1;
+}
+
+ExplanationCache::Shard& ExplanationCache::ShardFor(const CacheKey& key) {
+  const size_t index =
+      shards_.size() == 1
+          ? 0
+          : static_cast<size_t>(key.Mix() >> shard_shift_) % shards_.size();
+  return *shards_[index];
+}
+
+std::shared_ptr<const ExplainResponse> ExplanationCache::Get(
+    const CacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    XAI_COUNTER_INC("serve/cache_misses");
+    return nullptr;
+  }
+  // Refresh recency: move the entry to the hot end.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  XAI_COUNTER_INC("serve/cache_hits");
+  return it->second->value;
+}
+
+void ExplanationCache::Put(const CacheKey& key,
+                           std::shared_ptr<const ExplainResponse> value) {
+  if (value == nullptr) return;
+  const size_t bytes = ApproxResponseBytes(*value);
+  if (bytes > shard_budget_) return;  // Would evict a whole shard for naught.
+
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (auto it = shard.index.find(key); it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.lru.push_front(Entry{key, std::move(value), bytes});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += bytes;
+
+  while (shard.bytes > shard_budget_) {
+    Entry& cold = shard.lru.back();
+    shard.bytes -= cold.bytes;
+    XAI_COUNTER_INC("serve/cache_evictions");
+    XAI_COUNTER_ADD("serve/cache_bytes_evicted",
+                    static_cast<int64_t>(cold.bytes));
+    ++shard.evictions;
+    shard.index.erase(cold.key);
+    shard.lru.pop_back();
+  }
+}
+
+ExplanationCache::Stats ExplanationCache::GetStats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += static_cast<int64_t>(shard->lru.size());
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+void ExplanationCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace serve
+}  // namespace xai

@@ -1,0 +1,121 @@
+#ifndef XAI_SERVE_EXPLANATION_CACHE_H_
+#define XAI_SERVE_EXPLANATION_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "xai/serve/request.h"
+
+namespace xai {
+namespace serve {
+
+/// \brief Identity of a cached explanation: which snapshot, which instance,
+/// which explainer configuration. All three components are stable content
+/// hashes (model/serialization's ContentHash64), so keys survive process
+/// restarts and registry reloads of identical snapshots.
+struct CacheKey {
+  uint64_t model_fingerprint = 0;
+  uint64_t instance_hash = 0;
+  /// Hash of everything else that selects the computation: explainer kind,
+  /// served tier, seed, background fingerprint, desired class.
+  uint64_t config_hash = 0;
+
+  bool operator==(const CacheKey& o) const {
+    return model_fingerprint == o.model_fingerprint &&
+           instance_hash == o.instance_hash && config_hash == o.config_hash;
+  }
+
+  /// Mixed 64-bit hash (also selects the shard).
+  uint64_t Mix() const;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const {
+    return static_cast<size_t>(k.Mix());
+  }
+};
+
+/// \brief Sharded LRU explanation cache with byte-budget eviction.
+///
+/// Requests for hot instances ("the same loan application explained on
+/// every page load") should cost a hash lookup, not a Monte-Carlo run —
+/// the materialization opportunity the tutorial's Section 3 maps out.
+/// Shard count is rounded up to a power of two; a key's shard is a bit
+/// slice of its mixed hash, so concurrent lookups contend only within a
+/// shard. Each shard holds an LRU list under its own mutex with a byte
+/// budget of total_bytes / num_shards; inserting past the budget evicts
+/// from the cold end. Entries are shared_ptr<const ExplainResponse>, so a
+/// hit never copies the payload and eviction never invalidates a response
+/// a caller still holds.
+///
+/// Telemetry: serve/cache_hits, serve/cache_misses, serve/cache_evictions,
+/// serve/cache_bytes_evicted.
+class ExplanationCache {
+ public:
+  struct Config {
+    /// Total byte budget across shards.
+    size_t max_bytes = size_t{64} << 20;
+    /// Rounded up to a power of two (1 is valid and makes global LRU order
+    /// exact, which the eviction tests rely on).
+    int num_shards = 16;
+  };
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t entries = 0;
+    size_t bytes = 0;
+  };
+
+  explicit ExplanationCache(const Config& config);
+
+  /// The cached response, refreshing its recency; nullptr on miss.
+  std::shared_ptr<const ExplainResponse> Get(const CacheKey& key);
+
+  /// Inserts (or replaces) the entry and evicts cold entries until the
+  /// shard fits its budget again. Responses larger than a whole shard's
+  /// budget are not cached (they would evict everything and still not fit).
+  void Put(const CacheKey& key, std::shared_ptr<const ExplainResponse> value);
+
+  Stats GetStats() const;
+  void Clear();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  size_t shard_budget_bytes() const { return shard_budget_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const ExplainResponse> value;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    /// Front = hottest. Iterators stay valid across splice, so the map can
+    /// point straight into the list.
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        index;
+    size_t bytes = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_budget_ = 0;
+  int shard_shift_ = 0;
+};
+
+}  // namespace serve
+}  // namespace xai
+
+#endif  // XAI_SERVE_EXPLANATION_CACHE_H_

@@ -1,0 +1,193 @@
+#include "xai/serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace xai {
+namespace serve {
+namespace {
+
+BatchJob JobFor(const std::string& model, uint64_t instance_hash,
+                bool coalescable = true) {
+  BatchJob job;
+  job.request.model = model;
+  job.key = CacheKey{1, instance_hash, 2};
+  job.coalescable = coalescable;
+  return job;
+}
+
+/// Executor that stamps the instance hash into the response so tests can
+/// check which execution a future was served from.
+class CountingExecutor {
+ public:
+  RequestBatcher::Executor AsFn() {
+    return [this](const BatchJob& job) -> Result<ExplainResponse> {
+      ++calls_;
+      ExplainResponse response;
+      response.model_fingerprint = job.key.instance_hash;
+      return response;
+    };
+  }
+  int calls() const { return calls_.load(); }
+
+ private:
+  std::atomic<int> calls_{0};
+};
+
+TEST(RequestBatcherTest, ExecutesAndResolvesFutures) {
+  CountingExecutor executor;
+  RequestBatcher batcher(RequestBatcher::Config{}, executor.AsFn());
+  auto future = batcher.Submit(JobFor("m", 42)).ValueOrDie();
+  auto result = future.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().model_fingerprint, 42u);
+  EXPECT_EQ(executor.calls(), 1);
+}
+
+TEST(RequestBatcherTest, CoalescesIdenticalKeysIntoOneExecution) {
+  CountingExecutor executor;
+  RequestBatcher::Config config;
+  config.max_batch = 8;
+  RequestBatcher batcher(config, executor.AsFn());
+
+  // Hold the worker so all submissions land in one batch.
+  batcher.Pause();
+  std::vector<std::future<Result<ExplainResponse>>> futures;
+  for (int i = 0; i < 4; ++i)
+    futures.push_back(batcher.Submit(JobFor("m", 7)).ValueOrDie());
+  futures.push_back(batcher.Submit(JobFor("m", 9)).ValueOrDie());
+  EXPECT_EQ(batcher.queue_depth(), 5);
+  batcher.Resume();
+
+  for (int i = 0; i < 4; ++i) {
+    auto result = futures[i].get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.ValueOrDie().model_fingerprint, 7u);
+  }
+  EXPECT_EQ(futures[4].get().ValueOrDie().model_fingerprint, 9u);
+  EXPECT_EQ(executor.calls(), 2) << "4 duplicates + 1 distinct => 2 runs";
+}
+
+TEST(RequestBatcherTest, NonCoalescableJobsAlwaysRun) {
+  CountingExecutor executor;
+  RequestBatcher batcher(RequestBatcher::Config{}, executor.AsFn());
+  batcher.Pause();
+  std::vector<std::future<Result<ExplainResponse>>> futures;
+  for (int i = 0; i < 3; ++i)
+    futures.push_back(
+        batcher.Submit(JobFor("m", 7, /*coalescable=*/false)).ValueOrDie());
+  batcher.Resume();
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+  EXPECT_EQ(executor.calls(), 3);
+}
+
+TEST(RequestBatcherTest, FailsFastWhenQueueFullAndNonBlocking) {
+  CountingExecutor executor;
+  RequestBatcher::Config config;
+  config.max_queue = 2;
+  config.block_when_full = false;
+  RequestBatcher batcher(config, executor.AsFn());
+
+  batcher.Pause();
+  auto f1 = batcher.Submit(JobFor("m", 1));
+  auto f2 = batcher.Submit(JobFor("m", 2));
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  auto rejected = batcher.Submit(JobFor("m", 3));
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOutOfRange);
+  batcher.Resume();
+  EXPECT_TRUE(f1.ValueOrDie().get().ok());
+  EXPECT_TRUE(f2.ValueOrDie().get().ok());
+}
+
+TEST(RequestBatcherTest, BlocksSubmittersUntilSpaceWhenConfigured) {
+  CountingExecutor executor;
+  RequestBatcher::Config config;
+  config.max_queue = 1;
+  config.block_when_full = true;
+  RequestBatcher batcher(config, executor.AsFn());
+
+  batcher.Pause();
+  auto f1 = batcher.Submit(JobFor("m", 1)).ValueOrDie();
+
+  std::atomic<bool> submitted{false};
+  std::thread blocked([&] {
+    auto f2 = batcher.Submit(JobFor("m", 2)).ValueOrDie();
+    submitted = true;
+    EXPECT_TRUE(f2.get().ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(submitted) << "second submit must block on the full queue";
+
+  batcher.Resume();
+  blocked.join();
+  EXPECT_TRUE(submitted);
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_EQ(executor.calls(), 2);
+}
+
+TEST(RequestBatcherTest, BatchesDrainOneModelAtATime) {
+  CountingExecutor executor;
+  RequestBatcher batcher(RequestBatcher::Config{}, executor.AsFn());
+  batcher.Pause();
+  std::vector<std::future<Result<ExplainResponse>>> futures;
+  for (uint64_t i = 0; i < 3; ++i)
+    futures.push_back(batcher.Submit(JobFor("a", 10 + i)).ValueOrDie());
+  for (uint64_t i = 0; i < 3; ++i)
+    futures.push_back(batcher.Submit(JobFor("b", 20 + i)).ValueOrDie());
+  batcher.Resume();
+  batcher.Flush();
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+  EXPECT_EQ(executor.calls(), 6);
+  EXPECT_EQ(batcher.queue_depth(), 0);
+}
+
+TEST(RequestBatcherTest, ConcurrentSubmittersAllGetAnswers) {
+  CountingExecutor executor;
+  RequestBatcher::Config config;
+  config.max_batch = 4;
+  RequestBatcher batcher(config, executor.AsFn());
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 16;
+  std::vector<std::thread> clients;
+  std::atomic<int> answered{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        auto future =
+            batcher.Submit(JobFor("m", static_cast<uint64_t>(c * 100 + i)))
+                .ValueOrDie();
+        auto result = future.get();
+        if (result.ok() &&
+            result.ValueOrDie().model_fingerprint ==
+                static_cast<uint64_t>(c * 100 + i))
+          ++answered;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(answered, kClients * kPerClient);
+}
+
+TEST(RequestBatcherTest, ShutdownFailsQueuedJobs) {
+  CountingExecutor executor;
+  std::future<Result<ExplainResponse>> orphan;
+  {
+    RequestBatcher batcher(RequestBatcher::Config{}, executor.AsFn());
+    batcher.Pause();
+    orphan = batcher.Submit(JobFor("m", 1)).ValueOrDie();
+  }
+  auto result = orphan.get();
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace xai

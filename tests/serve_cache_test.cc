@@ -1,0 +1,155 @@
+#include "xai/serve/explanation_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace xai {
+namespace serve {
+namespace {
+
+std::shared_ptr<const ExplainResponse> MakeResponse(int num_attributions,
+                                                    double fill = 1.0) {
+  auto response = std::make_shared<ExplainResponse>();
+  response->attribution.attributions.assign(num_attributions, fill);
+  return response;
+}
+
+CacheKey Key(uint64_t model, uint64_t instance, uint64_t config = 7) {
+  return CacheKey{model, instance, config};
+}
+
+TEST(CacheKeyTest, MixIsDeterministicAndSeparatesComponents) {
+  EXPECT_EQ(Key(1, 2, 3).Mix(), Key(1, 2, 3).Mix());
+  std::set<uint64_t> mixes;
+  mixes.insert(Key(1, 2, 3).Mix());
+  mixes.insert(Key(3, 2, 1).Mix());
+  mixes.insert(Key(2, 1, 3).Mix());
+  mixes.insert(Key(1, 2, 4).Mix());
+  EXPECT_EQ(mixes.size(), 4u) << "component order must matter";
+}
+
+TEST(ExplanationCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  ExplanationCache::Config config;
+  config.num_shards = 5;
+  ExplanationCache cache(config);
+  EXPECT_EQ(cache.num_shards(), 8);
+
+  config.num_shards = 0;
+  ExplanationCache zero(config);
+  EXPECT_EQ(zero.num_shards(), 1);
+}
+
+TEST(ExplanationCacheTest, HitRefreshesRecencyAndEvictionIsLru) {
+  auto entry = MakeResponse(100);
+  const size_t entry_bytes = ApproxResponseBytes(*entry);
+
+  ExplanationCache::Config config;
+  config.num_shards = 1;  // Exact global LRU order.
+  config.max_bytes = 3 * entry_bytes;
+  ExplanationCache cache(config);
+
+  cache.Put(Key(1, 1), MakeResponse(100));
+  cache.Put(Key(1, 2), MakeResponse(100));
+  cache.Put(Key(1, 3), MakeResponse(100));
+  // Touch key 1: key 2 becomes the coldest.
+  EXPECT_NE(cache.Get(Key(1, 1)), nullptr);
+  cache.Put(Key(1, 4), MakeResponse(100));
+
+  EXPECT_EQ(cache.Get(Key(1, 2)), nullptr) << "coldest entry must go first";
+  EXPECT_NE(cache.Get(Key(1, 1)), nullptr);
+  EXPECT_NE(cache.Get(Key(1, 3)), nullptr);
+  EXPECT_NE(cache.Get(Key(1, 4)), nullptr);
+
+  auto stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 3);
+}
+
+TEST(ExplanationCacheTest, ByteBudgetIsNeverExceeded) {
+  auto probe = MakeResponse(50);
+  const size_t entry_bytes = ApproxResponseBytes(*probe);
+
+  ExplanationCache::Config config;
+  config.num_shards = 4;
+  config.max_bytes = 10 * entry_bytes;
+  ExplanationCache cache(config);
+
+  for (uint64_t i = 0; i < 200; ++i)
+    cache.Put(Key(1, i), MakeResponse(50));
+
+  auto stats = cache.GetStats();
+  EXPECT_LE(stats.bytes, config.max_bytes);
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_EQ(stats.entries + stats.evictions, 200);
+}
+
+TEST(ExplanationCacheTest, OversizedEntryIsNotCached) {
+  ExplanationCache::Config config;
+  config.num_shards = 1;
+  config.max_bytes = ApproxResponseBytes(*MakeResponse(10));
+  ExplanationCache cache(config);
+
+  cache.Put(Key(1, 1), MakeResponse(10000));
+  EXPECT_EQ(cache.Get(Key(1, 1)), nullptr);
+  EXPECT_EQ(cache.GetStats().entries, 0);
+}
+
+TEST(ExplanationCacheTest, PutReplacesExistingKey) {
+  ExplanationCache::Config config;
+  config.num_shards = 1;
+  ExplanationCache cache(config);
+
+  cache.Put(Key(1, 1), MakeResponse(10, /*fill=*/1.0));
+  cache.Put(Key(1, 1), MakeResponse(10, /*fill=*/2.0));
+  auto hit = cache.Get(Key(1, 1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->attribution.attributions[0], 2.0);
+  EXPECT_EQ(cache.GetStats().entries, 1);
+}
+
+TEST(ExplanationCacheTest, StatsCountHitsAndMisses) {
+  ExplanationCache cache(ExplanationCache::Config{});
+  EXPECT_EQ(cache.Get(Key(1, 1)), nullptr);
+  cache.Put(Key(1, 1), MakeResponse(5));
+  EXPECT_NE(cache.Get(Key(1, 1)), nullptr);
+  EXPECT_NE(cache.Get(Key(1, 1)), nullptr);
+  EXPECT_EQ(cache.Get(Key(1, 2)), nullptr);
+
+  auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 2);
+}
+
+TEST(ExplanationCacheTest, ClearEmptiesEveryShard) {
+  ExplanationCache cache(ExplanationCache::Config{});
+  for (uint64_t i = 0; i < 32; ++i) cache.Put(Key(i, i), MakeResponse(5));
+  EXPECT_GT(cache.GetStats().entries, 0);
+  cache.Clear();
+  auto stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(ExplanationCacheTest, SharedPtrSurvivesEviction) {
+  auto entry = MakeResponse(100, /*fill=*/42.0);
+  const size_t entry_bytes = ApproxResponseBytes(*entry);
+
+  ExplanationCache::Config config;
+  config.num_shards = 1;
+  config.max_bytes = entry_bytes;  // Room for exactly one entry.
+  ExplanationCache cache(config);
+
+  cache.Put(Key(1, 1), entry);
+  auto held = cache.Get(Key(1, 1));
+  cache.Put(Key(1, 2), MakeResponse(100));  // Evicts key (1, 1).
+  EXPECT_EQ(cache.Get(Key(1, 1)), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->attribution.attributions[0], 42.0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace xai

@@ -1,0 +1,139 @@
+#include "xai/serve/model_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xai/data/synthetic.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/serialization.h"
+
+namespace xai {
+namespace serve {
+namespace {
+
+TEST(ContentHashTest, MatchesFnv1aReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(ContentHash64(std::string("")), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(ContentHash64(std::string("a")), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(ContentHash64(std::string("foobar")), 0x85944171f73967e8ULL);
+}
+
+TEST(ContentHashTest, VectorHashCoversEveryByte) {
+  Vector a = {1.0, 2.0, 3.0};
+  Vector b = {1.0, 2.0, 3.0};
+  Vector c = {1.0, 2.0, 3.0000000001};
+  EXPECT_EQ(ContentHash64(a), ContentHash64(b));
+  EXPECT_NE(ContentHash64(a), ContentHash64(c));
+}
+
+class ModelRegistryTest : public ::testing::Test {
+ protected:
+  ModelRegistryTest()
+      : train_(MakeLoans(300, 3)), background_(MakeLoans(64, 4)) {}
+
+  std::string SerializedGbdt() {
+    GbdtModel::Config config;
+    config.n_trees = 10;
+    auto model = GbdtModel::Train(train_, config).ValueOrDie();
+    return SerializeModel(model);
+  }
+
+  Dataset train_;
+  Dataset background_;
+};
+
+TEST_F(ModelRegistryTest, RegisterExposesSnapshotAndFingerprint) {
+  ModelRegistry registry;
+  const std::string text = SerializedGbdt();
+  uint64_t fp = registry.Register("loans", text, background_).ValueOrDie();
+  EXPECT_EQ(fp, Fingerprint(text));
+
+  auto entry = registry.Find("loans");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->name, "loans");
+  EXPECT_EQ(entry->kind, "gbdt");
+  EXPECT_EQ(entry->fingerprint, fp);
+  EXPECT_NE(entry->background_fingerprint, 0u);
+  EXPECT_NE(entry->model, nullptr);
+  EXPECT_NE(entry->tree_view, nullptr) << "gbdt must expose a tree view";
+  EXPECT_EQ(entry->num_features(), background_.num_features());
+}
+
+TEST_F(ModelRegistryTest, ReloadOfIdenticalSnapshotKeepsFingerprint) {
+  ModelRegistry registry;
+  const std::string text = SerializedGbdt();
+  uint64_t fp1 = registry.Register("loans", text, background_).ValueOrDie();
+  uint64_t fp2 = registry.Register("loans", text, background_).ValueOrDie();
+  EXPECT_EQ(fp1, fp2);
+
+  // A second registry (fresh process, conceptually) agrees.
+  ModelRegistry other;
+  EXPECT_EQ(other.Register("loans", text, background_).ValueOrDie(), fp1);
+
+  // Deserialize/re-serialize round trip is canonical, so a snapshot that
+  // travels through a model store re-fingerprints identically.
+  auto loaded = DeserializeGbdt(text).ValueOrDie();
+  EXPECT_EQ(Fingerprint(SerializeModel(loaded)), fp1);
+}
+
+TEST_F(ModelRegistryTest, DifferentSnapshotsGetDifferentFingerprints) {
+  GbdtModel::Config small;
+  small.n_trees = 5;
+  GbdtModel::Config large;
+  large.n_trees = 12;
+  auto a = GbdtModel::Train(train_, small).ValueOrDie();
+  auto b = GbdtModel::Train(train_, large).ValueOrDie();
+  EXPECT_NE(Fingerprint(a), Fingerprint(b));
+}
+
+TEST_F(ModelRegistryTest, ReRegisterSwapsWhileOldEntrySurvives) {
+  ModelRegistry registry;
+  const std::string text = SerializedGbdt();
+  registry.Register("m", text, background_).ValueOrDie();
+  auto old_entry = registry.Find("m");
+
+  auto logistic = LogisticRegressionModel::Train(train_).ValueOrDie();
+  registry.Register("m", SerializeModel(logistic), background_).ValueOrDie();
+  auto new_entry = registry.Find("m");
+
+  EXPECT_EQ(new_entry->kind, "logistic_regression");
+  EXPECT_EQ(new_entry->tree_view, nullptr);
+  // In-flight requests holding the old snapshot still work.
+  EXPECT_EQ(old_entry->kind, "gbdt");
+  EXPECT_NE(old_entry->model, nullptr);
+  EXPECT_EQ(registry.size(), 1);
+}
+
+TEST_F(ModelRegistryTest, UnregisterAndNames) {
+  ModelRegistry registry;
+  const std::string text = SerializedGbdt();
+  registry.Register("b", text, background_).ValueOrDie();
+  registry.Register("a", text, background_).ValueOrDie();
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{"a", "b"}));
+
+  EXPECT_TRUE(registry.Unregister("a").ok());
+  EXPECT_EQ(registry.Unregister("a").code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Find("a"), nullptr);
+  EXPECT_EQ(registry.size(), 1);
+}
+
+TEST_F(ModelRegistryTest, RejectsBadInput) {
+  ModelRegistry registry;
+  const std::string text = SerializedGbdt();
+  EXPECT_EQ(registry.Register("", text, background_).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      registry.Register("m", "not a model", background_).status().code(),
+      StatusCode::kInvalidArgument);
+
+  Dataset empty(background_.schema(), Matrix(0, background_.num_features()),
+                Vector{});
+  EXPECT_EQ(registry.Register("m", text, empty).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace xai

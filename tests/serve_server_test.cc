@@ -1,0 +1,310 @@
+#include "xai/serve/explain_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "xai/core/parallel.h"
+#include "xai/core/rng.h"
+#include "xai/data/synthetic.h"
+#include "xai/explain/shapley/kernel_shap.h"
+#include "xai/explain/shapley/tree_shap.h"
+#include "xai/explain/shapley/value_function.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/serialization.h"
+
+namespace xai {
+namespace serve {
+namespace {
+
+class ExplainServerTest : public ::testing::Test {
+ protected:
+  ExplainServerTest()
+      : train_(MakeLoans(300, 3)), background_(MakeLoans(48, 4)) {
+    GbdtModel::Config config;
+    config.n_trees = 10;
+    gbdt_text_ =
+        SerializeModel(GbdtModel::Train(train_, config).ValueOrDie());
+    instance_ = train_.Row(0);
+  }
+
+  void TearDown() override { SetNumThreads(1); }
+
+  void RegisterGbdt(ExplainServer* server, const std::string& name = "loans") {
+    server->registry().Register(name, gbdt_text_, background_).ValueOrDie();
+  }
+
+  ExplainRequest Request(ExplainerKind kind) const {
+    ExplainRequest request;
+    request.model = "loans";
+    request.instance = instance_;
+    request.kind = kind;
+    request.seed = 17;
+    return request;
+  }
+
+  Dataset train_;
+  Dataset background_;
+  std::string gbdt_text_;
+  Vector instance_;
+};
+
+TEST_F(ExplainServerTest, TreeShapMatchesDirectCall) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  auto response = server.Explain(Request(ExplainerKind::kTreeShap))
+                      .ValueOrDie();
+
+  auto entry = server.registry().Find("loans");
+  AttributionExplanation direct = TreeShap(*entry->tree_view, instance_);
+  ASSERT_EQ(response.attribution.attributions.size(),
+            direct.attributions.size());
+  for (size_t i = 0; i < direct.attributions.size(); ++i)
+    EXPECT_DOUBLE_EQ(response.attribution.attributions[i],
+                     direct.attributions[i]);
+  EXPECT_EQ(response.served_tier, FidelityTier::kExact);
+  EXPECT_FALSE(response.degraded);
+}
+
+TEST_F(ExplainServerTest, KernelShapMatchesDirectCall) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  auto response = server.Explain(Request(ExplainerKind::kKernelShap))
+                      .ValueOrDie();
+
+  auto entry = server.registry().Find("loans");
+  MarginalFeatureGame game(AsPredictFn(*entry->model), instance_,
+                           background_.x());
+  KernelShapConfig config;
+  config.coalition_budget = 2048;  // The kHigh rung.
+  Rng rng(17);
+  auto direct = KernelShap(game, config, &rng).ValueOrDie();
+  ASSERT_EQ(response.attribution.attributions.size(),
+            direct.attributions.size());
+  for (size_t i = 0; i < direct.attributions.size(); ++i)
+    EXPECT_DOUBLE_EQ(response.attribution.attributions[i],
+                     direct.attributions[i]);
+}
+
+TEST_F(ExplainServerTest, RepeatRequestHitsCacheWithIdenticalPayload) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  auto request = Request(ExplainerKind::kKernelShap);
+
+  auto first = server.Explain(request).ValueOrDie();
+  EXPECT_FALSE(first.cache_hit);
+  auto second = server.Explain(request).ValueOrDie();
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(PayloadHash(first), PayloadHash(second));
+  EXPECT_GE(server.cache().GetStats().hits, 1);
+}
+
+TEST_F(ExplainServerTest, CacheSeparatesSeedInstanceAndKind) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+
+  auto request = Request(ExplainerKind::kKernelShap);
+  server.Explain(request).ValueOrDie();
+
+  auto other_seed = request;
+  other_seed.seed = 18;
+  EXPECT_FALSE(server.Explain(other_seed).ValueOrDie().cache_hit);
+
+  auto other_instance = request;
+  other_instance.instance = train_.Row(1);
+  EXPECT_FALSE(server.Explain(other_instance).ValueOrDie().cache_hit);
+
+  auto other_kind = request;
+  other_kind.kind = ExplainerKind::kSamplingShapley;
+  EXPECT_FALSE(server.Explain(other_kind).ValueOrDie().cache_hit);
+}
+
+TEST_F(ExplainServerTest, CacheOptOutNeverHits) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  auto request = Request(ExplainerKind::kKernelShap);
+  request.use_cache = false;
+  server.Explain(request).ValueOrDie();
+  auto again = server.Explain(request).ValueOrDie();
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_EQ(server.cache().GetStats().entries, 0);
+}
+
+TEST_F(ExplainServerTest, RegistryReloadKeepsCacheWarm) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  auto request = Request(ExplainerKind::kKernelShap);
+  server.Explain(request).ValueOrDie();
+
+  // Reload the identical snapshot: same fingerprint, so the cache stays hot.
+  RegisterGbdt(&server);
+  EXPECT_TRUE(server.Explain(request).ValueOrDie().cache_hit);
+}
+
+TEST_F(ExplainServerTest, TightDeadlineDegradesDeterministically) {
+  // 12 features so the Shapley rungs are well separated (2^12 - 2 > 2048).
+  auto [data, gt] = MakeLogisticData(400, 12, 5);
+  (void)gt;
+  auto model = LogisticRegressionModel::Train(data).ValueOrDie();
+
+  ExplainServer server;
+  server.registry()
+      .Register("wide", SerializeModel(model),
+                Dataset(data.schema(),
+                        Matrix(data.x()),  // full copy as background
+                        data.y()))
+      .ValueOrDie();
+
+  ExplainRequest request;
+  request.model = "wide";
+  request.instance = data.Row(0);
+  request.kind = ExplainerKind::kKernelShap;
+  request.fidelity = FidelityTier::kHigh;
+  request.deadline_ms = 40.0;
+
+  auto response = server.Explain(request).ValueOrDie();
+  EXPECT_TRUE(response.degraded);
+  EXPECT_GT(static_cast<int>(response.served_tier),
+            static_cast<int>(FidelityTier::kHigh));
+  // The tier decision is pure arithmetic: the same request always lands on
+  // the same rung.
+  auto repeat = server.Explain(request).ValueOrDie();
+  EXPECT_EQ(repeat.served_tier, response.served_tier);
+  EXPECT_EQ(PayloadHash(repeat), PayloadHash(response));
+
+  // Without a deadline the requested tier is served.
+  request.deadline_ms = 0.0;
+  auto full = server.Explain(request).ValueOrDie();
+  EXPECT_FALSE(full.degraded);
+  EXPECT_EQ(full.served_tier, FidelityTier::kHigh);
+  EXPECT_GT(full.planned_evals, response.planned_evals);
+}
+
+TEST_F(ExplainServerTest, DegradationRefusedFailsTheRequest) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  auto request = Request(ExplainerKind::kKernelShap);
+  request.deadline_ms = 0.1;  // Below the cost model's fixed overhead.
+  request.allow_degradation = false;
+  auto result = server.Explain(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ExplainServerTest, UnknownModelAndSchemaMismatchAreErrors) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+
+  auto request = Request(ExplainerKind::kKernelShap);
+  request.model = "nope";
+  EXPECT_EQ(server.Explain(request).status().code(), StatusCode::kNotFound);
+
+  request = Request(ExplainerKind::kKernelShap);
+  request.instance = {1.0};
+  EXPECT_EQ(server.Explain(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExplainServerTest, TreeShapOnNonTreeModelIsInvalid) {
+  ExplainServer server;
+  auto logistic = LogisticRegressionModel::Train(train_).ValueOrDie();
+  server.registry()
+      .Register("logit", SerializeModel(logistic), background_)
+      .ValueOrDie();
+  auto request = Request(ExplainerKind::kTreeShap);
+  request.model = "logit";
+  EXPECT_EQ(server.Explain(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExplainServerTest, AsyncPathMatchesSync) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  auto request = Request(ExplainerKind::kSamplingShapley);
+  request.use_cache = false;
+
+  auto sync = server.Explain(request).ValueOrDie();
+  auto future = server.SubmitAsync(request).ValueOrDie();
+  auto async = future.get().ValueOrDie();
+  EXPECT_EQ(PayloadHash(sync), PayloadHash(async));
+}
+
+TEST_F(ExplainServerTest, EveryExplainerKindServes) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  for (ExplainerKind kind :
+       {ExplainerKind::kTreeShap, ExplainerKind::kKernelShap,
+        ExplainerKind::kSamplingShapley, ExplainerKind::kExactShapley,
+        ExplainerKind::kLime, ExplainerKind::kAnchors,
+        ExplainerKind::kCounterfactual}) {
+    auto request = Request(kind);
+    request.fidelity = FidelityTier::kMinimal;  // Keep the test fast.
+    auto result = server.Explain(request);
+    ASSERT_TRUE(result.ok()) << ExplainerKindName(kind) << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result.ValueOrDie().kind, kind);
+  }
+}
+
+TEST_F(ExplainServerTest, ResponsesAreBitIdenticalAcrossThreadCounts) {
+  const std::vector<ExplainerKind> kinds = {
+      ExplainerKind::kTreeShap, ExplainerKind::kKernelShap,
+      ExplainerKind::kSamplingShapley, ExplainerKind::kLime};
+
+  std::map<ExplainerKind, uint64_t> reference;
+  for (int threads : {1, 4, 8}) {
+    SetNumThreads(threads);
+    ExplainServer server;  // Fresh cache per thread count.
+    RegisterGbdt(&server);
+    for (ExplainerKind kind : kinds) {
+      auto request = Request(kind);
+      request.fidelity = FidelityTier::kReduced;
+      uint64_t hash =
+          PayloadHash(server.Explain(request).ValueOrDie());
+      auto [it, inserted] = reference.emplace(kind, hash);
+      EXPECT_EQ(it->second, hash)
+          << ExplainerKindName(kind) << " differs at " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST_F(ExplainServerTest, ConcurrentClientsGetConsistentAnswers) {
+  SetNumThreads(4);
+  ExplainServer server;
+  RegisterGbdt(&server);
+
+  auto request = Request(ExplainerKind::kSamplingShapley);
+  request.fidelity = FidelityTier::kMinimal;
+  const uint64_t expected =
+      PayloadHash(server.Explain(request).ValueOrDie());
+  server.cache().Clear();
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> consistent{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 4; ++i) {
+        auto result = server.Explain(request);
+        if (result.ok() &&
+            PayloadHash(result.ValueOrDie()) == expected)
+          ++consistent;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(consistent, kClients * 4);
+  // Coalescing + caching: far fewer executions than requests.
+  auto stats = server.cache().GetStats();
+  EXPECT_GE(stats.hits, 1);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace xai
