@@ -49,6 +49,44 @@ void BM_TreeShapPerInstance(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeShapPerInstance)->Arg(10)->Arg(100);
 
+void BM_EnsembleMarginScalar(benchmark::State& state) {
+  // Single-row latency of the AoS pointer-walking path: per tree this pays
+  // a 48-byte TreeNode chase; the view's Margin hoists the scales/trees
+  // array bases but still walks the original node layout.
+  int n_trees = static_cast<int>(state.range(0));
+  Dataset train = MakeLoans(1000, 5);
+  GbdtModel::Config config;
+  config.n_trees = n_trees;
+  auto model = GbdtModel::Train(train, config).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  int row = 0;
+  for (auto _ : state) {
+    double margin = view.Margin(train.Row(row));
+    benchmark::DoNotOptimize(margin);
+    row = (row + 1) % train.num_rows();
+  }
+}
+BENCHMARK(BM_EnsembleMarginScalar)->Arg(10)->Arg(100);
+
+void BM_EnsembleMarginFlat(benchmark::State& state) {
+  // Same workload through the compiled SoA kernel (flat_ensemble.h):
+  // branch-reduced stepping over 16-byte effective nodes.
+  int n_trees = static_cast<int>(state.range(0));
+  Dataset train = MakeLoans(1000, 5);
+  GbdtModel::Config config;
+  config.n_trees = n_trees;
+  auto model = GbdtModel::Train(train, config).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  auto flat = view.flat();
+  int row = 0;
+  for (auto _ : state) {
+    double margin = flat->MarginRow(train.x().RowPtr(row));
+    benchmark::DoNotOptimize(margin);
+    row = (row + 1) % train.num_rows();
+  }
+}
+BENCHMARK(BM_EnsembleMarginFlat)->Arg(10)->Arg(100);
+
 void BM_FpGrowth(benchmark::State& state) {
   auto db = MakeTransactions(1000, 80, 8, 6, 3, 3);
   int min_support = static_cast<int>(state.range(0));

@@ -8,11 +8,24 @@
 #include "xai/core/telemetry.h"
 
 namespace xai {
+namespace {
+
+/// Coalition masks are uint64_t: a 65th feature would silently fall off the
+/// mask and every explainer built on the game would mis-attribute it. Fail
+/// loudly at construction instead.
+void CheckCoalitionWidth(const Vector& instance) {
+  XAI_CHECK_MSG(instance.size() <= 64,
+                "coalition games key on a 64-bit mask; instances with more "
+                "than 64 features are not representable");
+}
+
+}  // namespace
 
 MarginalFeatureGame::MarginalFeatureGame(PredictFn f, Vector instance,
                                          Matrix background,
                                          int max_background)
     : f_(std::move(f)), instance_(std::move(instance)) {
+  CheckCoalitionWidth(instance_);
   XAI_CHECK_GT(background.rows(), 0);
   XAI_CHECK_EQ(background.cols(), static_cast<int>(instance_.size()));
   if (max_background > 0 && max_background < background.rows()) {
@@ -23,6 +36,14 @@ MarginalFeatureGame::MarginalFeatureGame(PredictFn f, Vector instance,
   } else {
     background_ = std::move(background);
   }
+}
+
+MarginalFeatureGame::MarginalFeatureGame(const Model& model, Vector instance,
+                                         Matrix background,
+                                         int max_background)
+    : MarginalFeatureGame(AsPredictFn(model), std::move(instance),
+                          std::move(background), max_background) {
+  batch_f_ = AsBatchPredictFn(model);
 }
 
 int MarginalFeatureGame::num_players() const {
@@ -51,14 +72,30 @@ double MarginalFeatureGame::Value(uint64_t coalition) const {
   XAI_COUNTER_INC("shap/cache_misses");
   int d = num_players();
   double acc = 0.0;
-  Vector row(d);
-  for (int b = 0; b < background_.rows(); ++b) {
-    const double* bg = background_.RowPtr(b);
-    for (int j = 0; j < d; ++j)
-      row[j] = (coalition & (1ULL << j)) ? instance_[j] : bg[j];
-    acc += f_(row);
+  if (batch_f_) {
+    // One batched model call for the whole background sweep. Rows are
+    // filled in the same order as the scalar path and the predictions are
+    // summed serially in row order, so the value is bit-identical; the
+    // model's PredictBatch owns the model/evals accounting on this path.
+    Matrix rows(background_.rows(), d);
+    for (int b = 0; b < background_.rows(); ++b) {
+      const double* bg = background_.RowPtr(b);
+      double* out = rows.RowPtr(b);
+      for (int j = 0; j < d; ++j)
+        out[j] = (coalition & (1ULL << j)) ? instance_[j] : bg[j];
+    }
+    const Vector preds = batch_f_(rows);
+    for (double p : preds) acc += p;
+  } else {
+    Vector row(d);
+    for (int b = 0; b < background_.rows(); ++b) {
+      const double* bg = background_.RowPtr(b);
+      for (int j = 0; j < d; ++j)
+        row[j] = (coalition & (1ULL << j)) ? instance_[j] : bg[j];
+      acc += f_(row);
+    }
+    XAI_COUNTER_ADD("model/evals", background_.rows());
   }
-  XAI_COUNTER_ADD("model/evals", background_.rows());
   double value = acc / background_.rows();
   std::unique_lock<std::mutex> lock(mu_);
   auto [it, inserted] = cache_.emplace(coalition, value);
@@ -78,6 +115,7 @@ ConditionalFeatureGame::ConditionalFeatureGame(PredictFn f, Vector instance,
       instance_(std::move(instance)),
       background_(std::move(background)),
       k_(k_neighbors) {
+  CheckCoalitionWidth(instance_);
   XAI_CHECK_GT(background_.rows(), 0);
   XAI_CHECK_EQ(background_.cols(), static_cast<int>(instance_.size()));
   XAI_CHECK_GT(k_, 0);
@@ -96,6 +134,15 @@ ConditionalFeatureGame::ConditionalFeatureGame(PredictFn f, Vector instance,
     var /= std::max(1, background_.rows() - 1);
     stddevs_[j] = var > 1e-12 ? std::sqrt(var) : 1.0;
   }
+}
+
+ConditionalFeatureGame::ConditionalFeatureGame(const Model& model,
+                                               Vector instance,
+                                               Matrix background,
+                                               int k_neighbors)
+    : ConditionalFeatureGame(AsPredictFn(model), std::move(instance),
+                             std::move(background), k_neighbors) {
+  batch_f_ = AsBatchPredictFn(model);
 }
 
 int ConditionalFeatureGame::num_players() const {
@@ -136,15 +183,30 @@ double ConditionalFeatureGame::Value(uint64_t coalition) const {
                    by_dist.end());
 
   double acc = 0.0;
-  Vector row(d);
-  for (int q = 0; q < k; ++q) {
-    int i = by_dist[q].second;
-    for (int j = 0; j < d; ++j)
-      row[j] = (coalition & (1ULL << j)) ? instance_[j]
-                                         : background_(i, j);
-    acc += f_(row);
+  if (batch_f_) {
+    // Batched: same k rows in the same neighbor order, summed serially
+    // (bit-identical to the scalar loop); PredictBatch counts model/evals.
+    Matrix rows(k, d);
+    for (int q = 0; q < k; ++q) {
+      int i = by_dist[q].second;
+      double* out = rows.RowPtr(q);
+      for (int j = 0; j < d; ++j)
+        out[j] = (coalition & (1ULL << j)) ? instance_[j]
+                                           : background_(i, j);
+    }
+    const Vector preds = batch_f_(rows);
+    for (double p : preds) acc += p;
+  } else {
+    Vector row(d);
+    for (int q = 0; q < k; ++q) {
+      int i = by_dist[q].second;
+      for (int j = 0; j < d; ++j)
+        row[j] = (coalition & (1ULL << j)) ? instance_[j]
+                                           : background_(i, j);
+      acc += f_(row);
+    }
+    XAI_COUNTER_ADD("model/evals", k);
   }
-  XAI_COUNTER_ADD("model/evals", k);
   double value = acc / k;
   std::unique_lock<std::mutex> lock(mu_);
   auto [it, inserted] = cache_.emplace(coalition, value);
@@ -162,8 +224,18 @@ InterventionalScmGame::InterventionalScmGame(const LinearScm* scm,
       instance_(std::move(instance)),
       mc_samples_(mc_samples),
       seed_(seed) {
+  CheckCoalitionWidth(instance_);
   XAI_CHECK(scm != nullptr);
   XAI_CHECK_EQ(scm->num_nodes(), static_cast<int>(instance_.size()));
+}
+
+InterventionalScmGame::InterventionalScmGame(const LinearScm* scm,
+                                             const Model& model,
+                                             Vector instance, int mc_samples,
+                                             uint64_t seed)
+    : InterventionalScmGame(scm, AsPredictFn(model), std::move(instance),
+                            mc_samples, seed) {
+  batch_f_ = AsBatchPredictFn(model);
 }
 
 int InterventionalScmGame::num_players() const {
@@ -191,8 +263,16 @@ double InterventionalScmGame::Value(uint64_t coalition) const {
   Rng rng(seed_);
   Matrix samples = scm_->SampleInterventional(interventions, mc_samples_, &rng);
   double acc = 0.0;
-  for (int i = 0; i < samples.rows(); ++i) acc += f_(samples.Row(i));
-  XAI_COUNTER_ADD("model/evals", samples.rows());
+  if (batch_f_) {
+    // The sampled matrix is already materialized: score it in one batched
+    // model call and sum serially in sample order (bit-identical to the
+    // scalar loop); PredictBatch counts model/evals.
+    const Vector preds = batch_f_(samples);
+    for (double p : preds) acc += p;
+  } else {
+    for (int i = 0; i < samples.rows(); ++i) acc += f_(samples.Row(i));
+    XAI_COUNTER_ADD("model/evals", samples.rows());
+  }
   double value = acc / mc_samples_;
   std::unique_lock<std::mutex> lock(mu_);
   auto [it, inserted] = cache_.emplace(coalition, value);

@@ -29,7 +29,10 @@ namespace xai {
 class CoalitionGame {
  public:
   virtual ~CoalitionGame() = default;
-  /// Number of players n (coalitions are bitmasks over n bits; n < 63).
+  /// Number of players n. Coalitions are bitmasks over n bits in a
+  /// uint64_t, so n <= 64 is a hard structural limit — the built-in games
+  /// XAI_CHECK it at construction (silent mask truncation would
+  /// mis-attribute every feature past the 64th).
   virtual int num_players() const = 0;
   /// Worth of a coalition.
   virtual double Value(uint64_t coalition) const = 0;
@@ -49,6 +52,16 @@ class MarginalFeatureGame : public CoalitionGame {
   MarginalFeatureGame(PredictFn f, Vector instance, Matrix background,
                       int max_background = 0);
 
+  /// Model-aware overload: coalition evaluations go through the model's
+  /// batched path (one PredictBatch call per background sweep instead of a
+  /// std::function + virtual call per row), which for tree models runs the
+  /// compiled SoA kernel (model/flat_ensemble.h). Values are bit-identical
+  /// to the PredictFn constructor: the perturbed rows are built in the same
+  /// order and summed serially in row order. The model must outlive the
+  /// game.
+  MarginalFeatureGame(const Model& model, Vector instance, Matrix background,
+                      int max_background = 0);
+
   int num_players() const override;
   double Value(uint64_t coalition) const override;
 
@@ -62,6 +75,9 @@ class MarginalFeatureGame : public CoalitionGame {
 
  private:
   PredictFn f_;
+  /// Non-null only for the Model overload; the miss path then batches the
+  /// whole background sweep into one model call.
+  BatchPredictFn batch_f_;
   Vector instance_;
   Matrix background_;
   mutable std::mutex mu_;  // Guards cache_.
@@ -86,11 +102,18 @@ class ConditionalFeatureGame : public CoalitionGame {
   ConditionalFeatureGame(PredictFn f, Vector instance, Matrix background,
                          int k_neighbors = 20);
 
+  /// Model-aware overload: the k matched-neighbor evaluations per coalition
+  /// go through one batched model call (see MarginalFeatureGame). The model
+  /// must outlive the game.
+  ConditionalFeatureGame(const Model& model, Vector instance,
+                         Matrix background, int k_neighbors = 20);
+
   int num_players() const override;
   double Value(uint64_t coalition) const override;
 
  private:
   PredictFn f_;
+  BatchPredictFn batch_f_;  // Non-null only for the Model overload.
   Vector instance_;
   Matrix background_;
   int k_;
@@ -111,12 +134,19 @@ class InterventionalScmGame : public CoalitionGame {
   InterventionalScmGame(const LinearScm* scm, PredictFn f, Vector instance,
                         int mc_samples, uint64_t seed);
 
+  /// Model-aware overload: the sampled interventional matrix is scored with
+  /// one batched model call (see MarginalFeatureGame). The model must
+  /// outlive the game.
+  InterventionalScmGame(const LinearScm* scm, const Model& model,
+                        Vector instance, int mc_samples, uint64_t seed);
+
   int num_players() const override;
   double Value(uint64_t coalition) const override;
 
  private:
   const LinearScm* scm_;
   PredictFn f_;
+  BatchPredictFn batch_f_;  // Non-null only for the Model overload.
   Vector instance_;
   int mc_samples_;
   uint64_t seed_;

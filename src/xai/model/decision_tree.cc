@@ -6,6 +6,7 @@
 
 #include "xai/core/check.h"
 #include "xai/core/parallel.h"
+#include "xai/core/telemetry.h"
 
 namespace xai {
 namespace {
@@ -168,14 +169,14 @@ double DecisionTreeModel::Predict(const Vector& row) const {
   return tree_.PredictRow(row);
 }
 
+std::shared_ptr<const FlatEnsemble> DecisionTreeModel::shared_flat() const {
+  return flat_.GetOrBuild(
+      [this] { return FlatEnsemble::Build({&tree_}, {}); });
+}
+
 Vector DecisionTreeModel::PredictBatch(const Matrix& x) const {
-  Vector out(x.rows());
-  ParallelFor(x.rows(), /*grain=*/1024,
-              [&](int64_t begin, int64_t end, int64_t) {
-                for (int64_t i = begin; i < end; ++i)
-                  out[i] = tree_.PredictRow(x.RowPtr(static_cast<int>(i)));
-              });
-  return out;
+  XAI_COUNTER_ADD("model/evals", x.rows());
+  return shared_flat()->PredictBatch(x);
 }
 
 DecisionTreeModel DecisionTreeModel::FromTree(Tree tree, TaskType task) {

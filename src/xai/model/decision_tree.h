@@ -1,11 +1,13 @@
 #ifndef XAI_MODEL_DECISION_TREE_H_
 #define XAI_MODEL_DECISION_TREE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "xai/core/rng.h"
 #include "xai/core/status.h"
+#include "xai/model/flat_ensemble.h"
 #include "xai/model/model.h"
 #include "xai/model/tree.h"
 
@@ -55,6 +57,10 @@ class DecisionTreeModel : public Model {
   const Tree& tree() const { return tree_; }
   const CartConfig& config() const { return config_; }
 
+  /// Compiled SoA kernel over the tree (model/flat_ensemble.h), built once
+  /// on first use (thread-safe); bit-identical to Predict/PredictBatch.
+  std::shared_ptr<const FlatEnsemble> shared_flat() const;
+
   /// Wraps an existing tree (used in tests and by the unlearning module).
   static DecisionTreeModel FromTree(Tree tree, TaskType task);
 
@@ -62,6 +68,7 @@ class DecisionTreeModel : public Model {
   Tree tree_;
   TaskType task_ = TaskType::kClassification;
   CartConfig config_;
+  LazyFlatEnsemble flat_;
 };
 
 }  // namespace xai

@@ -1,0 +1,164 @@
+#include "xai/model/flat_ensemble.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "xai/core/check.h"
+#include "xai/core/parallel.h"
+#include "xai/core/telemetry.h"
+#include "xai/core/timer.h"
+#include "xai/core/trace.h"
+#include "xai/model/logistic_regression.h"
+
+namespace xai {
+
+FlatEnsemble FlatEnsemble::Build(const std::vector<const Tree*>& trees,
+                                 Options options) {
+  WallTimer timer;
+  FlatEnsemble flat;
+  flat.base_ = options.base;
+  flat.divisor_ = options.divisor;
+  flat.sigmoid_ = options.sigmoid;
+
+  if (options.scales.empty()) {
+    flat.scales_.assign(trees.size(), 1.0);
+  } else {
+    XAI_CHECK_EQ(options.scales.size(), trees.size());
+    flat.scales_ = std::move(options.scales);
+  }
+
+  int64_t total_nodes = 0;
+  for (const Tree* tree : trees) {
+    XAI_CHECK(tree != nullptr);
+    XAI_CHECK_MSG(!tree->empty(), "cannot flatten an empty tree");
+    total_nodes += tree->num_nodes();
+  }
+  XAI_CHECK_LE(total_nodes, std::numeric_limits<int32_t>::max());
+
+  flat.feature_.resize(total_nodes);
+  flat.bits_.resize(total_nodes);
+  flat.left_.resize(total_nodes);
+  flat.roots_.reserve(trees.size());
+
+  // Re-lay each tree breadth-first with sibling pairs adjacent: the right
+  // child always sits at left + 1, which is what makes the traversal step
+  // `left + !(x <= t)` valid, and keeps the hot top levels of the tree in
+  // a handful of consecutive cache lines.
+  int32_t next = 0;
+  for (const Tree* tree : trees) {
+    const std::vector<TreeNode>& nodes = tree->nodes();
+    const int32_t root = next++;
+    flat.roots_.push_back(root);
+    // (original node index, flattened slot) pairs still to emit.
+    std::deque<std::pair<int, int32_t>> pending;
+    pending.emplace_back(0, root);
+    while (!pending.empty()) {
+      auto [orig, slot] = pending.front();
+      pending.pop_front();
+      const TreeNode& n = nodes[orig];
+      if (n.IsLeaf()) {
+        flat.feature_[slot] = -1;
+        flat.bits_[slot] = n.value;
+        flat.left_[slot] = 0;
+      } else {
+        flat.feature_[slot] = n.feature;
+        flat.bits_[slot] = n.threshold;
+        flat.left_[slot] = next;
+        pending.emplace_back(n.left, next);
+        pending.emplace_back(n.right, next + 1);
+        next += 2;
+      }
+    }
+  }
+  XAI_CHECK_EQ(static_cast<int64_t>(next), total_nodes);
+
+  XAI_HISTOGRAM_RECORD("model/flat_build_us", timer.Nanos() / 1000);
+  return flat;
+}
+
+double FlatEnsemble::Finish(double acc) const {
+  if (divisor_ > 0.0) acc /= divisor_;
+  if (sigmoid_) acc = Sigmoid(acc);
+  return acc;
+}
+
+double FlatEnsemble::PredictRow(const double* row) const {
+  const double margin = MarginRow(row);
+  return sigmoid_ ? Sigmoid(margin) : margin;
+}
+
+double FlatEnsemble::MarginRow(const double* row) const {
+  XAI_COUNTER_INC("model/flat_predict_rows");
+  const int32_t* feature = feature_.data();
+  const double* bits = bits_.data();
+  const int32_t* left = left_.data();
+  double acc = base_;
+  const int num_trees = static_cast<int>(roots_.size());
+  for (int t = 0; t < num_trees; ++t) {
+    int32_t node = roots_[t];
+    int32_t f = feature[node];
+    while (f >= 0) {
+      node = left[node] + static_cast<int32_t>(!(row[f] <= bits[node]));
+      f = feature[node];
+    }
+    acc += scales_[t] * bits[node];
+  }
+  return divisor_ > 0.0 ? acc / divisor_ : acc;
+}
+
+void FlatEnsemble::ScoreRows(const Matrix& x, int64_t begin, int64_t end,
+                             double* out) const {
+  const int32_t* feature = feature_.data();
+  const double* bits = bits_.data();
+  const int32_t* left = left_.data();
+  const int32_t* roots = roots_.data();
+  const double* scales = scales_.data();
+  const int num_trees = static_cast<int>(roots_.size());
+
+  double acc[kRowBlock];
+  const double* rows[kRowBlock];
+  for (int64_t block = begin; block < end; block += kRowBlock) {
+    const int bn = static_cast<int>(std::min<int64_t>(kRowBlock, end - block));
+    for (int i = 0; i < bn; ++i) {
+      acc[i] = base_;
+      rows[i] = x.RowPtr(static_cast<int>(block + i));
+    }
+    // Rows x trees tile: one tree's node block services the whole row tile
+    // from L1 before the next tree's block is touched. Per-tree scale and
+    // root are hoisted out of the row loop (the AoS path re-read
+    // scales[t] / trees[t] through two indirections per tree per row).
+    for (int t = 0; t < num_trees; ++t) {
+      const double scale = scales[t];
+      const int32_t root = roots[t];
+      for (int i = 0; i < bn; ++i) {
+        const double* row = rows[i];
+        int32_t node = root;
+        int32_t f = feature[node];
+        while (f >= 0) {
+          node = left[node] + static_cast<int32_t>(!(row[f] <= bits[node]));
+          f = feature[node];
+        }
+        acc[i] += scale * bits[node];
+      }
+    }
+    for (int i = 0; i < bn; ++i) out[block + i] = Finish(acc[i]);
+  }
+}
+
+Vector FlatEnsemble::PredictBatch(const Matrix& x) const {
+  XAI_SPAN("model/flat_predict_batch");
+  XAI_COUNTER_ADD("model/flat_predict_rows", x.rows());
+  Vector out(x.rows());
+  // Chunk grain is a multiple of kRowBlock so every chunk tiles cleanly;
+  // per-row results are independent of both the tiling and the chunking,
+  // so output is bit-identical at any thread count.
+  ParallelFor(x.rows(), /*grain=*/4 * kRowBlock,
+              [&](int64_t begin, int64_t end, int64_t) {
+                ScoreRows(x, begin, end, out.data());
+              });
+  return out;
+}
+
+}  // namespace xai

@@ -1,0 +1,155 @@
+#ifndef XAI_MODEL_FLAT_ENSEMBLE_H_
+#define XAI_MODEL_FLAT_ENSEMBLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "xai/core/matrix.h"
+#include "xai/model/tree.h"
+
+namespace xai {
+
+/// \brief Compiled inference kernel over a tree ensemble.
+///
+/// Every perturbation-based explainer (KernelSHAP, sampling Shapley, LIME,
+/// Anchors, PDP, data valuation) bottlenecks on batch prediction over tree
+/// ensembles, yet the pointer-walking path steps 48-byte AoS `TreeNode`
+/// structs through a dispatch per row. A FlatEnsemble is built once from the
+/// trees and stores all nodes in one contiguous structure-of-arrays block:
+///
+///   feature[n]  int32   split feature, or -1 for a leaf
+///   bits[n]     double  split threshold for internal nodes, the leaf value
+///                       for leaves (one payload slot, QuickScorer-style)
+///   left[n]     int32   absolute index of the left child; the right child
+///                       is always left[n] + 1 (children are re-laid
+///                       adjacently during flattening)
+///
+/// which shrinks a node to 16 effective bytes and makes the step
+///
+///   node = left[node] + !(row[feature[node]] <= bits[node])
+///
+/// branch-reduced (a setcc, not a mispredictable jump; `!(a <= b)` rather
+/// than `a > b` so NaN routes right exactly like the scalar path). Batch
+/// prediction tiles rows x trees: a block of kRowBlock rows is pushed
+/// through one tree before moving to the next, so each tree's node arrays
+/// stay L1/L2-resident across the whole row tile instead of being re-read
+/// per row.
+///
+/// Output convention. One kernel serves single trees, random forests and
+/// GBDTs via a scale/base fold plus two post-ops:
+///
+///   raw(x)   = base + sum_t scales[t] * leaf_t(x)
+///   score(x) = raw(x) / divisor            (when divisor > 0)
+///   out(x)   = sigmoid(score(x))           (when sigmoid is set)
+///
+/// The fold is chosen at build time so results are BIT-IDENTICAL to the
+/// scalar path being replaced (same per-tree accumulation order, same
+/// operations): forests keep scales = 1 and divide by T at the end, because
+/// (v0 + v1 + ...) / T is not bitwise (1/T)*v0 + (1/T)*v1 + ...; GBDTs fold
+/// base_score into `base`; TreeEnsembleView folds its scales directly.
+/// Multiplication by a scale of exactly 1.0 is exact in IEEE arithmetic, so
+/// the fold never perturbs the forest/GBDT sums.
+///
+/// Thread safety: immutable after Build; PredictRow / PredictBatch are
+/// const-reentrant (the Model threading contract). PredictBatch partitions
+/// rows over core/parallel.h and is bit-identical at any thread count.
+class FlatEnsemble {
+ public:
+  /// Rows per tile of the blocked batch traversal. 64 rows x 8 bytes of
+  /// accumulator fits comfortably in L1 next to one tree's node block.
+  static constexpr int kRowBlock = 64;
+
+  struct Options {
+    /// Additive offset the accumulator starts from (GBDT base_score).
+    double base = 0.0;
+    /// Per-tree output multipliers; empty means all 1.0. Must otherwise
+    /// match the number of trees.
+    std::vector<double> scales;
+    /// When > 0 the accumulated sum is divided by this after the tree loop
+    /// (random forests average AFTER summation).
+    double divisor = 0.0;
+    /// Apply the logistic link to the final score (GBDT classifiers).
+    bool sigmoid = false;
+  };
+
+  FlatEnsemble() = default;
+
+  /// Flattens `trees` (all non-empty, pointers non-null) into one SoA
+  /// block. Records build time in the `model/flat_build_us` histogram.
+  static FlatEnsemble Build(const std::vector<const Tree*>& trees,
+                            Options options);
+
+  int num_trees() const { return static_cast<int>(roots_.size()); }
+  int num_nodes() const { return static_cast<int>(feature_.size()); }
+  double base() const { return base_; }
+  double divisor() const { return divisor_; }
+  bool sigmoid() const { return sigmoid_; }
+
+  /// Prediction for one row (pointer to num-features contiguous doubles).
+  /// Bit-identical to the scalar path the build options encode.
+  double PredictRow(const double* row) const;
+  double PredictRow(const Vector& row) const { return PredictRow(row.data()); }
+
+  /// Raw additive score for one row: divisor applied, sigmoid skipped
+  /// (GBDT margin; equals PredictRow for non-sigmoid ensembles).
+  double MarginRow(const double* row) const;
+
+  /// Blocked batch prediction over every row of `x`, parallelized over the
+  /// runtime (grain 256 rows). Bumps `model/flat_predict_rows`.
+  Vector PredictBatch(const Matrix& x) const;
+
+  /// Serial building block of PredictBatch: scores rows [begin, end) of
+  /// `x` into out[begin..end). Exposed for benches that want the kernel
+  /// without the ParallelFor wrapper.
+  void ScoreRows(const Matrix& x, int64_t begin, int64_t end,
+                 double* out) const;
+
+ private:
+  double Finish(double acc) const;
+
+  // One contiguous SoA block over all trees; see the class comment.
+  std::vector<int32_t> feature_;
+  std::vector<double> bits_;
+  std::vector<int32_t> left_;
+  /// Index of tree t's root inside the block.
+  std::vector<int32_t> roots_;
+  std::vector<double> scales_;
+  double base_ = 0.0;
+  double divisor_ = 0.0;
+  bool sigmoid_ = false;
+};
+
+/// \brief Thread-safe lazily built FlatEnsemble cache for model classes.
+///
+/// Models are copied freely (Result<Model> returns by value), so the guard
+/// mutex is shared; the cached kernel pointer itself is per-copy state that
+/// copies shallowly (copies have equal trees, so sharing the snapshot is
+/// sound). Invalidate() drops this copy's snapshot — call it from any
+/// non-const accessor that exposes the trees for mutation.
+class LazyFlatEnsemble {
+ public:
+  /// Returns the cached kernel, building it via `build` on first use.
+  std::shared_ptr<const FlatEnsemble> GetOrBuild(
+      const std::function<FlatEnsemble()>& build) const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    if (flat_ == nullptr)
+      flat_ = std::make_shared<const FlatEnsemble>(build());
+    return flat_;
+  }
+
+  void Invalidate() {
+    std::lock_guard<std::mutex> lock(*mu_);
+    flat_.reset();
+  }
+
+ private:
+  std::shared_ptr<std::mutex> mu_ = std::make_shared<std::mutex>();
+  mutable std::shared_ptr<const FlatEnsemble> flat_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_MODEL_FLAT_ENSEMBLE_H_

@@ -112,22 +112,22 @@ double GbdtModel::Predict(const Vector& row) const {
   return task_ == TaskType::kClassification ? Sigmoid(margin) : margin;
 }
 
+std::shared_ptr<const FlatEnsemble> GbdtModel::shared_flat() const {
+  return flat_.GetOrBuild([this] {
+    std::vector<const Tree*> trees;
+    trees.reserve(trees_.size());
+    for (const Tree& tree : trees_) trees.push_back(&tree);
+    FlatEnsemble::Options options;
+    options.base = base_score_;
+    options.sigmoid = task_ == TaskType::kClassification;
+    return FlatEnsemble::Build(trees, std::move(options));
+  });
+}
+
 Vector GbdtModel::PredictBatch(const Matrix& x) const {
   XAI_SPAN("gbdt/predict_batch");
   XAI_COUNTER_ADD("model/evals", x.rows());
-  bool classify = task_ == TaskType::kClassification;
-  Vector out(x.rows());
-  ParallelFor(x.rows(), /*grain=*/64,
-              [&](int64_t begin, int64_t end, int64_t) {
-                for (int64_t i = begin; i < end; ++i) {
-                  const double* row = x.RowPtr(static_cast<int>(i));
-                  double margin = base_score_;
-                  for (const Tree& tree : trees_)
-                    margin += tree.PredictRow(row);
-                  out[i] = classify ? Sigmoid(margin) : margin;
-                }
-              });
-  return out;
+  return shared_flat()->PredictBatch(x);
 }
 
 }  // namespace xai

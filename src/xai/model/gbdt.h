@@ -1,10 +1,12 @@
 #ifndef XAI_MODEL_GBDT_H_
 #define XAI_MODEL_GBDT_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "xai/core/status.h"
+#include "xai/model/flat_ensemble.h"
 #include "xai/model/model.h"
 #include "xai/model/tree.h"
 
@@ -51,9 +53,20 @@ class GbdtModel : public Model {
   double base_score() const { return base_score_; }
   const Config& config() const { return config_; }
 
+  /// Compiled SoA inference kernel over the trees (model/flat_ensemble.h),
+  /// built once on first use (thread-safe) and bit-identical to
+  /// Predict/PredictBatch (the sigmoid link is folded in for classifiers).
+  /// PredictBatch and AsPredictFn route through it.
+  std::shared_ptr<const FlatEnsemble> shared_flat() const;
+
   /// Mutable access for the LeafInfluence-style tree-influence estimator,
-  /// which re-derives leaf values under reweighted training data.
-  std::vector<Tree>* mutable_trees() { return &trees_; }
+  /// which re-derives leaf values under reweighted training data. Drops the
+  /// cached flat kernel — mutation must finish before the model is handed
+  /// back to predictors (the Model threading contract).
+  std::vector<Tree>* mutable_trees() {
+    flat_.Invalidate();
+    return &trees_;
+  }
 
   /// Reassembles a model from its parts (deserialization).
   static GbdtModel FromParts(std::vector<Tree> trees, double base_score,
@@ -64,6 +77,7 @@ class GbdtModel : public Model {
   double base_score_ = 0.0;
   TaskType task_ = TaskType::kClassification;
   Config config_;
+  LazyFlatEnsemble flat_;
 };
 
 }  // namespace xai

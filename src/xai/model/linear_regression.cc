@@ -2,6 +2,7 @@
 
 #include "xai/core/linalg.h"
 #include "xai/core/parallel.h"
+#include "xai/core/telemetry.h"
 
 namespace xai {
 
@@ -30,6 +31,7 @@ double LinearRegressionModel::Predict(const Vector& row) const {
 }
 
 Vector LinearRegressionModel::PredictBatch(const Matrix& x) const {
+  XAI_COUNTER_ADD("model/evals", x.rows());
   int d = static_cast<int>(weights_.size());
   Vector out(x.rows());
   ParallelFor(x.rows(), /*grain=*/2048,

@@ -5,6 +5,7 @@
 #include "xai/core/check.h"
 #include "xai/core/matrix.h"
 #include "xai/core/parallel.h"
+#include "xai/core/telemetry.h"
 
 namespace xai {
 
@@ -142,6 +143,7 @@ double LogisticRegressionModel::Predict(const Vector& row) const {
 }
 
 Vector LogisticRegressionModel::PredictBatch(const Matrix& x) const {
+  XAI_COUNTER_ADD("model/evals", x.rows());
   int d = static_cast<int>(weights_.size());
   Vector out(x.rows());
   ParallelFor(x.rows(), /*grain=*/2048,

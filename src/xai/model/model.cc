@@ -1,8 +1,14 @@
 #include "xai/model/model.h"
 
+#include <memory>
+
 #include "xai/core/parallel.h"
 #include "xai/core/telemetry.h"
 #include "xai/core/trace.h"
+#include "xai/model/decision_tree.h"
+#include "xai/model/flat_ensemble.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/random_forest.h"
 
 namespace xai {
 
@@ -25,7 +31,28 @@ int Model::PredictClass(const Vector& row) const {
 }
 
 PredictFn AsPredictFn(const Model& model) {
+  // Tree-based models get a zero-virtual fast path: the closure owns a
+  // shared_ptr snapshot of the compiled SoA kernel and steps it directly,
+  // skipping the virtual Predict call and the pointer-chasing AoS traversal
+  // on every perturbation an explainer throws at the black box. Each kernel
+  // is bit-identical to the model's own Predict.
+  if (const auto* rf = dynamic_cast<const RandomForestModel*>(&model)) {
+    std::shared_ptr<const FlatEnsemble> flat = rf->shared_flat();
+    return [flat](const Vector& row) { return flat->PredictRow(row); };
+  }
+  if (const auto* gbdt = dynamic_cast<const GbdtModel*>(&model)) {
+    std::shared_ptr<const FlatEnsemble> flat = gbdt->shared_flat();
+    return [flat](const Vector& row) { return flat->PredictRow(row); };
+  }
+  if (const auto* tree = dynamic_cast<const DecisionTreeModel*>(&model)) {
+    std::shared_ptr<const FlatEnsemble> flat = tree->shared_flat();
+    return [flat](const Vector& row) { return flat->PredictRow(row); };
+  }
   return [&model](const Vector& row) { return model.Predict(row); };
+}
+
+BatchPredictFn AsBatchPredictFn(const Model& model) {
+  return [&model](const Matrix& x) { return model.PredictBatch(x); };
 }
 
 }  // namespace xai

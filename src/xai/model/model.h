@@ -54,8 +54,22 @@ class Model {
 /// accept only this function type and can never peek inside.
 using PredictFn = std::function<double(const Vector&)>;
 
+/// \brief Batched black-box view: one call scores a whole perturbation
+/// matrix. Coalition games prefer this over per-row PredictFn calls — it
+/// amortizes the std::function + virtual dispatch to one indirection per
+/// background sweep and lets tree models run their compiled SoA kernel
+/// (model/flat_ensemble.h) over the batch.
+using BatchPredictFn = std::function<Vector(const Matrix&)>;
+
 /// Adapts a model to the black-box view. The model must outlive the result.
+/// Tree-based models (decision tree, random forest, GBDT) return a
+/// zero-virtual closure over their compiled flat kernel: the shared_ptr
+/// snapshot keeps the kernel alive independent of later model mutation.
 PredictFn AsPredictFn(const Model& model);
+
+/// Adapts a model to the batched view via its PredictBatch override (which
+/// also owns the model/evals accounting). The model must outlive the result.
+BatchPredictFn AsBatchPredictFn(const Model& model);
 
 }  // namespace xai
 

@@ -82,20 +82,23 @@ double RandomForestModel::Predict(const Vector& row) const {
   return trees_.empty() ? 0.0 : acc / trees_.size();
 }
 
+std::shared_ptr<const FlatEnsemble> RandomForestModel::shared_flat() const {
+  return flat_.GetOrBuild([this] {
+    // Scales stay 1 and the tree sum is divided by T at the end, exactly
+    // like Predict: (v0 + v1 + ...) / T is not bitwise (1/T)*v0 + ...
+    std::vector<const Tree*> trees;
+    trees.reserve(trees_.size());
+    for (const Tree& tree : trees_) trees.push_back(&tree);
+    FlatEnsemble::Options options;
+    options.divisor = trees_.empty() ? 1.0 : static_cast<double>(trees_.size());
+    return FlatEnsemble::Build(trees, std::move(options));
+  });
+}
+
 Vector RandomForestModel::PredictBatch(const Matrix& x) const {
   XAI_SPAN("rf/predict_batch");
   XAI_COUNTER_ADD("model/evals", x.rows());
-  Vector out(x.rows());
-  ParallelFor(x.rows(), /*grain=*/64,
-              [&](int64_t begin, int64_t end, int64_t) {
-                for (int64_t i = begin; i < end; ++i) {
-                  const double* row = x.RowPtr(static_cast<int>(i));
-                  double acc = 0.0;
-                  for (const Tree& tree : trees_) acc += tree.PredictRow(row);
-                  out[i] = trees_.empty() ? 0.0 : acc / trees_.size();
-                }
-              });
-  return out;
+  return shared_flat()->PredictBatch(x);
 }
 
 }  // namespace xai

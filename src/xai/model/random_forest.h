@@ -4,9 +4,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "xai/core/rng.h"
 #include "xai/core/status.h"
 #include "xai/model/decision_tree.h"
+#include "xai/model/flat_ensemble.h"
 #include "xai/model/model.h"
 #include "xai/model/tree.h"
 
@@ -46,6 +49,11 @@ class RandomForestModel : public Model {
   const std::vector<Tree>& trees() const { return trees_; }
   const Config& config() const { return config_; }
 
+  /// Compiled SoA inference kernel over the forest (model/flat_ensemble.h),
+  /// built once on first use (thread-safe) and bit-identical to
+  /// Predict/PredictBatch. PredictBatch and AsPredictFn route through it.
+  std::shared_ptr<const FlatEnsemble> shared_flat() const;
+
   /// Reassembles a forest from its trees (deserialization).
   static RandomForestModel FromTrees(std::vector<Tree> trees, TaskType task,
                                      const Config& config = {});
@@ -54,6 +62,7 @@ class RandomForestModel : public Model {
   std::vector<Tree> trees_;
   TaskType task_ = TaskType::kClassification;
   Config config_;
+  LazyFlatEnsemble flat_;
 };
 
 }  // namespace xai

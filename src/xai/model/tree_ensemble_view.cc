@@ -1,22 +1,20 @@
 #include "xai/model/tree_ensemble_view.h"
 
-#include "xai/core/parallel.h"
+#include <utility>
 
 namespace xai {
 
 Vector TreeEnsembleView::MarginBatch(const Matrix& x) const {
-  Vector out(x.rows());
-  ParallelFor(x.rows(), /*grain=*/64,
-              [&](int64_t begin, int64_t end, int64_t) {
-                for (int64_t i = begin; i < end; ++i) {
-                  const double* row = x.RowPtr(static_cast<int>(i));
-                  double acc = base;
-                  for (size_t t = 0; t < trees.size(); ++t)
-                    acc += scales[t] * trees[t]->PredictRow(row);
-                  out[i] = acc;
-                }
-              });
-  return out;
+  return flat()->PredictBatch(x);
+}
+
+std::shared_ptr<const FlatEnsemble> TreeEnsembleView::flat() const {
+  return flat_.GetOrBuild([this] {
+    FlatEnsemble::Options options;
+    options.base = base;
+    options.scales = scales;
+    return FlatEnsemble::Build(trees, std::move(options));
+  });
 }
 
 TreeEnsembleView TreeEnsembleView::Of(const DecisionTreeModel& model) {

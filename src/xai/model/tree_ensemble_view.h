@@ -1,9 +1,11 @@
 #ifndef XAI_MODEL_TREE_ENSEMBLE_VIEW_H_
 #define XAI_MODEL_TREE_ENSEMBLE_VIEW_H_
 
+#include <memory>
 #include <vector>
 
 #include "xai/model/decision_tree.h"
+#include "xai/model/flat_ensemble.h"
 #include "xai/model/gbdt.h"
 #include "xai/model/random_forest.h"
 #include "xai/model/tree.h"
@@ -26,22 +28,40 @@ struct TreeEnsembleView {
   /// The additive raw score this view explains. Note for classifiers this
   /// is the probability for single trees/forests but the log-odds margin for
   /// GBDTs (TreeSHAP explains the additive output; see GbdtModel docs).
+  ///
+  /// The array bases are hoisted out of the loop: the previous version
+  /// re-read `scales[t]` and `trees[t]` through the two vector
+  /// indirections (data pointer, then element) on every tree of the hot
+  /// single-row path.
   double Margin(const Vector& row) const {
     double acc = base;
-    for (size_t t = 0; t < trees.size(); ++t)
-      acc += scales[t] * trees[t]->PredictRow(row);
+    const double* scale = scales.data();
+    const Tree* const* tree = trees.data();
+    const size_t n = trees.size();
+    for (size_t t = 0; t < n; ++t) acc += scale[t] * tree[t]->PredictRow(row);
     return acc;
   }
 
   int num_trees() const { return static_cast<int>(trees.size()); }
 
-  /// Margin for every row of `x`, parallelized over rows (core/parallel.h);
-  /// per-row tree accumulation order matches Margin() exactly.
+  /// Margin for every row of `x` via the compiled flat kernel (blocked SoA
+  /// traversal, parallelized over rows); per-row tree accumulation order
+  /// matches Margin() exactly, so the output is bit-identical to a serial
+  /// Margin() loop at any thread count.
   Vector MarginBatch(const Matrix& x) const;
+
+  /// Compiled SoA kernel over this view with `scales` and `base` folded in
+  /// (model/flat_ensemble.h): built on first use, thread-safe, bit-identical
+  /// to Margin(). Assemble the view fully before first use — the kernel is
+  /// cached and does not observe later edits to trees/scales/base.
+  std::shared_ptr<const FlatEnsemble> flat() const;
 
   static TreeEnsembleView Of(const DecisionTreeModel& model);
   static TreeEnsembleView Of(const RandomForestModel& model);
   static TreeEnsembleView Of(const GbdtModel& model);
+
+  /// Backs flat(); internal.
+  LazyFlatEnsemble flat_;
 };
 
 }  // namespace xai

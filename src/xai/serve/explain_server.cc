@@ -181,7 +181,9 @@ Result<ExplainResponse> ExplainServer::Execute(const BatchJob& job) {
       break;
     }
     case ExplainerKind::kExactShapley: {
-      MarginalFeatureGame game(predict, request.instance,
+      // Model-aware game: coalition sweeps run one batched call through the
+      // entry's compiled flat kernel instead of a PredictFn call per row.
+      MarginalFeatureGame game(*entry.model, request.instance,
                                entry.background->x());
       XAI_ASSIGN_OR_RETURN(Vector values, ExactShapley(game));
       response.attribution.attributions = std::move(values);
@@ -191,14 +193,14 @@ Result<ExplainResponse> ExplainServer::Execute(const BatchJob& job) {
       break;
     }
     case ExplainerKind::kKernelShap: {
-      MarginalFeatureGame game(predict, request.instance,
+      MarginalFeatureGame game(*entry.model, request.instance,
                                entry.background->x());
       XAI_ASSIGN_OR_RETURN(response.attribution,
                            KernelShap(game, plan.kernel_config, &rng));
       break;
     }
     case ExplainerKind::kSamplingShapley: {
-      MarginalFeatureGame game(predict, request.instance,
+      MarginalFeatureGame game(*entry.model, request.instance,
                                entry.background->x());
       SamplingShapleyResult sampled =
           SamplingShapley(game, plan.sampling_permutations, &rng);

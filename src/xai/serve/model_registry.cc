@@ -16,6 +16,7 @@ namespace {
 struct Loaded {
   std::shared_ptr<const Model> model;
   std::shared_ptr<const TreeEnsembleView> tree_view;
+  std::shared_ptr<const FlatEnsemble> flat;
 };
 
 template <typename M>
@@ -30,6 +31,10 @@ Loaded Hold(M model) {
     // shared_ptr in `model` keeps them alive for the view's lifetime.
     loaded.tree_view =
         std::make_shared<TreeEnsembleView>(TreeEnsembleView::Of(*owned));
+    // Compile the flat kernel now, while registration already owns the
+    // snapshot: Execute-time PredictBatch/AsPredictFn hit the warm cache
+    // and the first explanation request never pays the flatten.
+    loaded.flat = owned->shared_flat();
   }
   return loaded;
 }
@@ -87,6 +92,7 @@ Result<uint64_t> ModelRegistry::Register(const std::string& name,
                         background.num_features() * sizeof(double));
   entry->model = std::move(loaded.model);
   entry->tree_view = std::move(loaded.tree_view);
+  entry->flat = std::move(loaded.flat);
   entry->background = std::make_shared<Dataset>(std::move(background));
 
   {

@@ -10,6 +10,7 @@
 
 #include "xai/core/status.h"
 #include "xai/data/dataset.h"
+#include "xai/model/flat_ensemble.h"
 #include "xai/model/model.h"
 #include "xai/model/tree_ensemble_view.h"
 
@@ -35,6 +36,11 @@ struct ModelEntry {
   /// Non-null for tree-based snapshots (decision_tree / random_forest /
   /// gbdt); borrows from `model`, which this entry keeps alive.
   std::shared_ptr<const TreeEnsembleView> tree_view;
+  /// Non-null for tree-based snapshots: the compiled SoA inference kernel
+  /// (model/flat_ensemble.h), built eagerly at Register so the first
+  /// request never pays the flatten. One kernel per fingerprinted snapshot —
+  /// every explainer run against this entry shares it.
+  std::shared_ptr<const FlatEnsemble> flat;
   /// Training-distribution sample: SHAP background rows, LIME/Anchors
   /// perturbation statistics, counterfactual plausibility reference.
   std::shared_ptr<const Dataset> background;

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compares two BENCH_<id>.json run reports and flags metric regressions.
+
+Usage: compare_bench_reports.py BASELINE.json CURRENT.json [--tolerance=0.3]
+
+For every metric present in both reports, a direction is inferred from the
+metric name (stdlib only, no config file):
+
+  * higher-is-better: speedup, throughput, accuracy, r2, identical,
+    cache_hits, coverage, precision;
+  * lower-is-better : time, latency, ms, error/err, overhead, misses;
+  * boolean gates   : *_identical / *_bit_identical* metrics regress the
+    moment they leave 1.0, tolerance notwithstanding — losing bit-identity
+    is a correctness bug, not noise;
+  * unknown names are printed for information and never fail the run.
+
+A directional metric regresses when it is worse than the baseline by more
+than --tolerance (default 0.30, i.e. 30% — wide because CI runners are
+noisy; wall-clock ratios like speedups are more portable than absolute
+times). Metrics only in one report are listed but never fatal, so adding or
+renaming metrics does not break the comparison gate.
+
+Exit code 0 when no metric regressed, 1 otherwise (the CI step running this
+is non-fatal: it annotates the build rather than failing it).
+"""
+
+import json
+import sys
+
+HIGHER_IS_BETTER = ("speedup", "throughput", "accuracy", "r2", "identical",
+                    "cache_hits", "coverage", "precision")
+LOWER_IS_BETTER = ("time", "latency", "ms", "error", "err", "overhead",
+                   "misses")
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+    if not isinstance(report.get("metrics"), dict):
+        fail(f"{path} has no metrics object")
+    return report
+
+
+def direction(name):
+    lowered = name.lower()
+    if "identical" in lowered:
+        return "boolean"
+    for needle in HIGHER_IS_BETTER:
+        if needle in lowered:
+            return "higher"
+    for needle in LOWER_IS_BETTER:
+        if needle in lowered:
+            return "lower"
+    return "unknown"
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    tolerance = 0.30
+    for arg in sys.argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+    if len(args) != 2:
+        fail(f"usage: {sys.argv[0]} BASELINE.json CURRENT.json "
+             f"[--tolerance=0.3]")
+    baseline_path, current_path = args
+    baseline = load(baseline_path)
+    current = load(current_path)
+    if baseline.get("id") != current.get("id"):
+        print(f"note: comparing different ids "
+              f"{baseline.get('id')!r} vs {current.get('id')!r}")
+
+    base_metrics = baseline["metrics"]
+    curr_metrics = current["metrics"]
+    regressions = []
+    compared = 0
+
+    for name in sorted(set(base_metrics) & set(curr_metrics)):
+        base, curr = base_metrics[name], curr_metrics[name]
+        if not all(isinstance(v, (int, float)) for v in (base, curr)):
+            continue
+        compared += 1
+        kind = direction(name)
+        verdict = "ok"
+        if kind == "boolean":
+            if base == 1.0 and curr != 1.0:
+                verdict = "REGRESSION"
+        elif kind == "higher":
+            if curr < base * (1.0 - tolerance):
+                verdict = "REGRESSION"
+        elif kind == "lower":
+            # Guard against a zero/near-zero baseline blowing up the ratio
+            # (e.g. a sub-noise overhead percentage).
+            if curr > base * (1.0 + tolerance) and curr - base > 1e-9:
+                verdict = "REGRESSION"
+        else:
+            verdict = "info"
+        delta = curr - base
+        print(f"{verdict:>10}  {name:<44} base={base:<12.6g} "
+              f"curr={curr:<12.6g} delta={delta:+.6g} [{kind}]")
+        if verdict == "REGRESSION":
+            regressions.append(name)
+
+    for name in sorted(set(base_metrics) - set(curr_metrics)):
+        print(f"{'gone':>10}  {name} (only in baseline)")
+    for name in sorted(set(curr_metrics) - set(base_metrics)):
+        print(f"{'new':>10}  {name} (only in current)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{tolerance:.0%} tolerance: {', '.join(regressions)}",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"\nOK: {compared} shared metrics within {tolerance:.0%} "
+          f"tolerance")
+
+
+if __name__ == "__main__":
+    main()
