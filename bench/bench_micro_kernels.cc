@@ -6,6 +6,7 @@
 
 #include "xai/core/matrix.h"
 #include "xai/core/rng.h"
+#include "xai/core/simd.h"
 #include "xai/data/synthetic.h"
 #include "xai/dbx/tuple_shapley.h"
 #include "xai/explain/lime.h"
@@ -15,6 +16,81 @@
 
 namespace xai {
 namespace {
+
+// range(0) is the problem size, range(1) selects the simd backend
+// (0 = scalar, 1 = dispatched best). The pairs of rows quantify what the
+// kernel layer buys at each size; results are bit-identical by contract.
+simd::Backend BenchBackend(int64_t selector) {
+  return selector == 0 ? simd::Backend::kScalar : simd::MaxSupported();
+}
+
+void BM_DotKernel(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  simd::Backend prev = simd::SetBackend(BenchBackend(state.range(1)));
+  Rng rng(1);
+  Vector a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+  }
+  for (auto _ : state) {
+    double d = simd::Dot(a.data(), b.data(), n);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  simd::SetBackend(prev);
+}
+BENCHMARK(BM_DotKernel)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
+void BM_AxpyKernel(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  simd::Backend prev = simd::SetBackend(BenchBackend(state.range(1)));
+  Rng rng(1);
+  Vector x(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  for (auto _ : state) {
+    simd::Axpy(1e-9, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  simd::SetBackend(prev);
+}
+BENCHMARK(BM_AxpyKernel)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
+void BM_GemmKernel(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  simd::Backend prev = simd::SetBackend(BenchBackend(state.range(1)));
+  Rng rng(1);
+  Matrix a(n, n), b(n, n), c(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      a(i, j) = rng.Normal();
+      b(i, j) = rng.Normal();
+    }
+  for (auto _ : state) {
+    simd::Gemm(n, n, n, a.RowPtr(0), n, b.RowPtr(0), n, c.RowPtr(0), n);
+    benchmark::DoNotOptimize(c.RowPtr(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<int64_t>(n) *
+                          n * n);
+  simd::SetBackend(prev);
+}
+BENCHMARK(BM_GemmKernel)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({192, 0})
+    ->Args({192, 1});
 
 void BM_CholeskySolve(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));

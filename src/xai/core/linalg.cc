@@ -1,6 +1,11 @@
 #include "xai/core/linalg.h"
 
 #include <cmath>
+#include <cstring>
+
+#include "xai/core/simd.h"
+#include "xai/core/telemetry.h"
+#include "xai/core/timer.h"
 
 namespace xai {
 namespace {
@@ -8,8 +13,10 @@ namespace {
 Matrix AppendOnesColumn(const Matrix& x) {
   Matrix out(x.rows(), x.cols() + 1);
   for (int i = 0; i < x.rows(); ++i) {
-    for (int j = 0; j < x.cols(); ++j) out(i, j) = x(i, j);
-    out(i, x.cols()) = 1.0;
+    double* dst = out.RowPtr(i);
+    if (x.cols() > 0)
+      std::memcpy(dst, x.RowPtr(i), sizeof(double) * x.cols());
+    dst[x.cols()] = 1.0;
   }
   return out;
 }
@@ -29,7 +36,10 @@ Result<Vector> WeightedRidgeRegression(const Matrix& x, const Vector& y,
       x.rows() != static_cast<int>(sample_weights.size())) {
     return Status::InvalidArgument("row count mismatch in ridge regression");
   }
+  WallTimer timer;
   Matrix xx = fit_intercept ? AppendOnesColumn(x) : x;
+  // Normal-equation assembly: X^T diag(s) X via the blocked rank-1 kernel
+  // and X^T (s .* y) via axpy — both simd-dispatched.
   Matrix gram = xx.WeightedGram(sample_weights);
   // Regularize all but the intercept coefficient.
   int d = gram.rows();
@@ -40,7 +50,9 @@ Result<Vector> WeightedRidgeRegression(const Matrix& x, const Vector& y,
   Vector wy(y.size());
   for (size_t i = 0; i < y.size(); ++i) wy[i] = sample_weights[i] * y[i];
   Vector rhs = xx.TransposeMatVec(wy);
-  return CholeskySolve(gram, rhs);
+  auto solution = CholeskySolve(gram, rhs);
+  XAI_HISTOGRAM_RECORD("linalg/wls_solve_us", timer.Nanos() / 1000);
+  return solution;
 }
 
 Result<Vector> ConstrainedWeightedLeastSquares(const Matrix& x,
@@ -65,14 +77,20 @@ Result<Vector> ConstrainedWeightedLeastSquares(const Matrix& x,
 
   // Reduced design: for each row i,
   //   pred_i = sum_{j != k} w_j (x_ij - x_ik c_j / c_k) + x_ik d / c_k.
+  // Hoist the per-column constraint ratios so the row loop is a contiguous
+  // gather-subtract over raw spans.
+  Vector ratio(dim);
+  for (int j = 0; j < dim; ++j) ratio[j] = c[j] / c[k];
   Matrix xr(x.rows(), dim - 1);
   Vector yr(y.size());
   for (int i = 0; i < x.rows(); ++i) {
-    double xik = x(i, k);
+    const double* src = x.RowPtr(i);
+    double* dst = xr.RowPtr(i);
+    double xik = src[k];
     int jj = 0;
     for (int j = 0; j < dim; ++j) {
       if (j == k) continue;
-      xr(i, jj++) = x(i, j) - xik * c[j] / c[k];
+      dst[jj++] = src[j] - xik * ratio[j];
     }
     yr[i] = y[i] - xik * d / c[k];
   }
@@ -98,7 +116,12 @@ Result<Vector> ConjugateGradient(
   Vector p = r;
   double rs_old = Dot(r, r);
   double b_norm = std::sqrt(Dot(b, b));
-  if (b_norm == 0.0) return x;
+  // Stopping rule: relative residual against ||b||, falling back to the
+  // absolute residual when ||b|| == 0 (otherwise the relative test would
+  // divide by zero). For b == 0 the initial residual already passes and the
+  // exact solution x = 0 is returned without touching apply_a.
+  const double threshold = tol * (b_norm > 0.0 ? b_norm : 1.0);
+  if (std::sqrt(rs_old) <= threshold) return x;
   for (int it = 0; it < max_iter; ++it) {
     Vector ap = apply_a(p);
     double p_ap = Dot(p, ap);
@@ -109,7 +132,7 @@ Result<Vector> ConjugateGradient(
     Axpy(alpha, p, &x);
     Axpy(-alpha, ap, &r);
     double rs_new = Dot(r, r);
-    if (std::sqrt(rs_new) / b_norm < tol) break;
+    if (std::sqrt(rs_new) <= threshold) break;
     double beta = rs_new / rs_old;
     for (size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
     rs_old = rs_new;

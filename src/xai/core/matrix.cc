@@ -2,7 +2,16 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
+
+#include "xai/core/simd.h"
+#include "xai/core/telemetry.h"
+
+// Kernel-style loops in this file work on raw row spans (RowPtr) instead of
+// the checked operator(): the per-element XAI_DCHECK bounds test is hoisted
+// to one shape check per call, which is what lets the simd kernels see
+// plain contiguous doubles. The checked accessor remains the public API.
 
 namespace xai {
 
@@ -18,14 +27,14 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
 
 Matrix Matrix::Identity(int n) {
   Matrix m(n, n);
-  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  for (int i = 0; i < n; ++i) m.RowPtr(i)[i] = 1.0;
   return m;
 }
 
 Matrix Matrix::Diagonal(const Vector& diag) {
   int n = static_cast<int>(diag.size());
   Matrix m(n, n);
-  for (int i = 0; i < n; ++i) m(i, i) = diag[i];
+  for (int i = 0; i < n; ++i) m.RowPtr(i)[i] = diag[i];
   return m;
 }
 
@@ -35,32 +44,36 @@ Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
   Matrix m(r, c);
   for (int i = 0; i < r; ++i) {
     XAI_CHECK_EQ(static_cast<int>(rows[i].size()), c);
-    for (int j = 0; j < c; ++j) m(i, j) = rows[i][j];
+    if (c > 0) std::memcpy(m.RowPtr(i), rows[i].data(), sizeof(double) * c);
   }
   return m;
 }
 
 Vector Matrix::Row(int r) const {
-  Vector v(cols_);
-  for (int j = 0; j < cols_; ++j) v[j] = (*this)(r, j);
-  return v;
+  XAI_DCHECK(r >= 0 && r < rows_);
+  const double* src = RowPtr(r);
+  return Vector(src, src + cols_);
 }
 
 Vector Matrix::Col(int c) const {
+  XAI_DCHECK(c >= 0 && c < cols_);
   Vector v(rows_);
-  for (int i = 0; i < rows_; ++i) v[i] = (*this)(i, c);
+  for (int i = 0; i < rows_; ++i) v[i] = RowPtr(i)[c];
   return v;
 }
 
 void Matrix::SetRow(int r, const Vector& v) {
   XAI_CHECK_EQ(static_cast<int>(v.size()), cols_);
-  for (int j = 0; j < cols_; ++j) (*this)(r, j) = v[j];
+  XAI_DCHECK(r >= 0 && r < rows_);
+  if (cols_ > 0) std::memcpy(RowPtr(r), v.data(), sizeof(double) * cols_);
 }
 
 Matrix Matrix::Transpose() const {
   Matrix t(cols_, rows_);
-  for (int i = 0; i < rows_; ++i)
-    for (int j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  for (int i = 0; i < rows_; ++i) {
+    const double* src = RowPtr(i);
+    for (int j = 0; j < cols_; ++j) t.RowPtr(j)[i] = src[j];
+  }
   return t;
 }
 
@@ -87,81 +100,56 @@ Matrix Matrix::operator*(double s) const {
 Matrix Matrix::MatMul(const Matrix& other) const {
   XAI_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
-  for (int i = 0; i < rows_; ++i) {
-    const double* arow = RowPtr(i);
-    double* orow = out.RowPtr(i);
-    for (int k = 0; k < cols_; ++k) {
-      double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = other.RowPtr(k);
-      for (int j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
-    }
-  }
+  XAI_COUNTER_ADD("linalg/gemm_flops",
+                  2LL * rows_ * cols_ * other.cols_);
+  simd::Gemm(rows_, other.cols_, cols_, data_.data(), cols_,
+             other.data_.data(), other.cols_, out.data_.data(), out.cols_);
   return out;
 }
 
 Vector Matrix::MatVec(const Vector& v) const {
   XAI_CHECK_EQ(static_cast<int>(v.size()), cols_);
   Vector out(rows_, 0.0);
-  for (int i = 0; i < rows_; ++i) {
-    const double* row = RowPtr(i);
-    double acc = 0.0;
-    for (int j = 0; j < cols_; ++j) acc += row[j] * v[j];
-    out[i] = acc;
-  }
+  for (int i = 0; i < rows_; ++i) out[i] = simd::Dot(RowPtr(i), v.data(), cols_);
   return out;
 }
 
 Vector Matrix::TransposeMatVec(const Vector& v) const {
   XAI_CHECK_EQ(static_cast<int>(v.size()), rows_);
   Vector out(cols_, 0.0);
-  for (int i = 0; i < rows_; ++i) {
-    const double* row = RowPtr(i);
-    double vi = v[i];
-    if (vi == 0.0) continue;
-    for (int j = 0; j < cols_; ++j) out[j] += row[j] * vi;
-  }
+  for (int i = 0; i < rows_; ++i) simd::Axpy(v[i], RowPtr(i), out.data(), cols_);
   return out;
 }
 
 Matrix Matrix::Gram() const {
   Matrix g(cols_, cols_);
-  for (int i = 0; i < rows_; ++i) {
-    const double* row = RowPtr(i);
-    for (int a = 0; a < cols_; ++a) {
-      double ra = row[a];
-      if (ra == 0.0) continue;
-      double* grow = g.RowPtr(a);
-      for (int b = a; b < cols_; ++b) grow[b] += ra * row[b];
-    }
-  }
+  XAI_COUNTER_ADD("linalg/gemm_flops", 1LL * rows_ * cols_ * cols_);
+  for (int i = 0; i < rows_; ++i)
+    simd::WeightedOuterAccumulate(1.0, RowPtr(i), cols_, g.data_.data(),
+                                  cols_);
+  // Mirror upper triangle into the lower one.
   for (int a = 0; a < cols_; ++a)
-    for (int b = 0; b < a; ++b) g(a, b) = g(b, a);
+    for (int b = 0; b < a; ++b) g.RowPtr(a)[b] = g.RowPtr(b)[a];
   return g;
 }
 
 Matrix Matrix::WeightedGram(const Vector& w) const {
   XAI_CHECK_EQ(static_cast<int>(w.size()), rows_);
   Matrix g(cols_, cols_);
+  XAI_COUNTER_ADD("linalg/gemm_flops", 1LL * rows_ * cols_ * cols_);
   for (int i = 0; i < rows_; ++i) {
-    const double* row = RowPtr(i);
-    double wi = w[i];
-    if (wi == 0.0) continue;
-    for (int a = 0; a < cols_; ++a) {
-      double ra = wi * row[a];
-      if (ra == 0.0) continue;
-      double* grow = g.RowPtr(a);
-      for (int b = a; b < cols_; ++b) grow[b] += ra * row[b];
-    }
+    if (w[i] == 0.0) continue;
+    simd::WeightedOuterAccumulate(w[i], RowPtr(i), cols_, g.data_.data(),
+                                  cols_);
   }
   for (int a = 0; a < cols_; ++a)
-    for (int b = 0; b < a; ++b) g(a, b) = g(b, a);
+    for (int b = 0; b < a; ++b) g.RowPtr(a)[b] = g.RowPtr(b)[a];
   return g;
 }
 
 void Matrix::AddScaledIdentity(double s) {
   XAI_CHECK_EQ(rows_, cols_);
-  for (int i = 0; i < rows_; ++i) (*this)(i, i) += s;
+  for (int i = 0; i < rows_; ++i) RowPtr(i)[i] += s;
 }
 
 double Matrix::FrobeniusNorm() const {
@@ -196,9 +184,7 @@ std::string Matrix::ToString(int max_rows) const {
 
 double Dot(const Vector& a, const Vector& b) {
   XAI_CHECK_EQ(a.size(), b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::Dot(a.data(), b.data(), a.size());
 }
 
 double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
@@ -225,7 +211,7 @@ Vector Scale(const Vector& a, double s) {
 
 void Axpy(double s, const Vector& b, Vector* a) {
   XAI_CHECK_EQ(a->size(), b.size());
-  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += s * b[i];
+  simd::Axpy(s, b.data(), a->data(), b.size());
 }
 
 Result<Matrix> CholeskyFactor(const Matrix& a) {
@@ -234,15 +220,16 @@ Result<Matrix> CholeskyFactor(const Matrix& a) {
   int n = a.rows();
   Matrix l(n, n);
   for (int j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (int k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    // Row-major lower-triangular L keeps l(j, 0..j) contiguous, so the
+    // triangular inner products are striped dots over row prefixes.
+    double* lj = l.RowPtr(j);
+    double diag = a(j, j) - simd::Dot(lj, lj, j);
     if (diag <= 0.0 || !std::isfinite(diag))
       return Status::InvalidArgument("matrix is not positive definite");
-    l(j, j) = std::sqrt(diag);
+    lj[j] = std::sqrt(diag);
     for (int i = j + 1; i < n; ++i) {
-      double v = a(i, j);
-      for (int k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
-      l(i, j) = v / l(j, j);
+      double* li = l.RowPtr(i);
+      li[j] = (a(i, j) - simd::Dot(li, lj, j)) / lj[j];
     }
   }
   return l;
@@ -255,15 +242,16 @@ Vector CholeskyBackSubstitute(const Matrix& l, const Vector& b) {
   int n = l.rows();
   Vector y(n);
   for (int i = 0; i < n; ++i) {
-    double v = b[i];
-    for (int k = 0; k < i; ++k) v -= l(i, k) * y[k];
-    y[i] = v / l(i, i);
+    const double* li = l.RowPtr(i);
+    y[i] = (b[i] - simd::Dot(li, y.data(), i)) / li[i];
   }
-  Vector x(n);
+  // L^T solve in axpy form so the inner loop runs over the contiguous row
+  // l(i, 0..i) instead of a strided column.
+  Vector x = std::move(y);
   for (int i = n - 1; i >= 0; --i) {
-    double v = y[i];
-    for (int k = i + 1; k < n; ++k) v -= l(k, i) * x[k];
-    x[i] = v / l(i, i);
+    const double* li = l.RowPtr(i);
+    x[i] /= li[i];
+    simd::Axpy(-x[i], li, x.data(), i);
   }
   return x;
 }
@@ -307,20 +295,26 @@ Result<Vector> LuSolve(const Matrix& a, const Vector& b) {
     if (std::fabs(lu(best, col)) < 1e-14)
       return Status::InvalidArgument("matrix is singular");
     if (best != col) {
-      for (int j = 0; j < n; ++j) std::swap(lu(col, j), lu(best, j));
+      double* rc = lu.RowPtr(col);
+      double* rb = lu.RowPtr(best);
+      for (int j = 0; j < n; ++j) std::swap(rc[j], rb[j]);
       std::swap(x[col], x[best]);
     }
+    const double* pivot_row = lu.RowPtr(col);
+    const double pivot = pivot_row[col];
     for (int r = col + 1; r < n; ++r) {
-      double f = lu(r, col) / lu(col, col);
-      lu(r, col) = f;
-      for (int j = col + 1; j < n; ++j) lu(r, j) -= f * lu(col, j);
+      double* row = lu.RowPtr(r);
+      double f = row[col] / pivot;
+      row[col] = f;
+      // Rank-1 elimination over the trailing row suffix.
+      simd::Axpy(-f, pivot_row + col + 1, row + col + 1, n - col - 1);
       x[r] -= f * x[col];
     }
   }
   for (int i = n - 1; i >= 0; --i) {
-    double v = x[i];
-    for (int j = i + 1; j < n; ++j) v -= lu(i, j) * x[j];
-    x[i] = v / lu(i, i);
+    const double* row = lu.RowPtr(i);
+    x[i] = (x[i] - simd::Dot(row + i + 1, x.data() + i + 1, n - i - 1)) /
+           row[i];
   }
   return x;
 }

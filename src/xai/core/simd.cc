@@ -1,0 +1,616 @@
+#include "xai/core/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define XAI_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define XAI_SIMD_X86 0
+#endif
+
+namespace xai {
+namespace simd {
+
+// ---------------------------------------------------------------------------
+// Backend selection.
+// ---------------------------------------------------------------------------
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+Backend MaxSupported() {
+#if XAI_SIMD_X86
+  // SSE2 is architectural on x86-64; AVX2 needs a CPUID probe.
+  if (__builtin_cpu_supports("avx2")) return Backend::kAvx2;
+  return Backend::kSse2;
+#else
+  return Backend::kScalar;
+#endif
+}
+
+namespace {
+
+Backend ClampToSupported(Backend backend) {
+  Backend max = MaxSupported();
+  return static_cast<int>(backend) > static_cast<int>(max) ? max : backend;
+}
+
+Backend InitialBackend() {
+  if (const char* env = std::getenv("XAI_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) return Backend::kScalar;
+    if (std::strcmp(env, "sse2") == 0) return ClampToSupported(Backend::kSse2);
+    if (std::strcmp(env, "avx2") == 0) return ClampToSupported(Backend::kAvx2);
+    // Unrecognized values fall through to auto-detection.
+  }
+  return MaxSupported();
+}
+
+// Relaxed atomic so TSan-clean to read from worker threads; written only at
+// startup and from SetBackend (documented non-concurrent with kernels).
+std::atomic<Backend>& ActiveSlot() {
+  static std::atomic<Backend> active{InitialBackend()};
+  return active;
+}
+
+}  // namespace
+
+Backend Active() { return ActiveSlot().load(std::memory_order_relaxed); }
+
+Backend SetBackend(Backend backend) {
+  Backend applied = ClampToSupported(backend);
+  ActiveSlot().store(applied, std::memory_order_relaxed);
+  return applied;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar backend: the reference for the 4-wide stripe contract. Every other
+// backend must reproduce these exact per-lane IEEE operation chains.
+//
+// Auto-vectorization is disabled on these functions: the stripe layout is
+// exactly what the compiler's vectorizer looks for, and letting it fire
+// would silently turn the "scalar" backend into an unlabeled SSE2 backend —
+// the XAI_SIMD=scalar CI job and the scalar-vs-dispatched A/B in bench_e21
+// both need a genuinely scalar baseline. Results are unaffected either way
+// (same IEEE operations in the same order).
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define XAI_SIMD_NOVEC \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define XAI_SIMD_NOVEC
+#endif
+
+namespace {
+
+XAI_SIMD_NOVEC double DotScalar(const double* a, const double* b, size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  // Tail lanes r = 0..n-i-1 extend stripe lane r, as in the contract.
+  if (i < n) acc0 += a[i] * b[i];
+  if (i + 1 < n) acc1 += a[i + 1] * b[i + 1];
+  if (i + 2 < n) acc2 += a[i + 2] * b[i + 2];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+XAI_SIMD_NOVEC void AxpyScalar(double s, const double* x, double* y,
+                               size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += s * x[i];
+}
+
+XAI_SIMD_NOVEC double SsdScalar(const double* a, const double* b, size_t n,
+                                const double* w) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  if (w == nullptr) {
+    for (; i + 4 <= n; i += 4) {
+      double d0 = a[i] - b[i];
+      double d1 = a[i + 1] - b[i + 1];
+      double d2 = a[i + 2] - b[i + 2];
+      double d3 = a[i + 3] - b[i + 3];
+      acc0 += d0 * d0;
+      acc1 += d1 * d1;
+      acc2 += d2 * d2;
+      acc3 += d3 * d3;
+    }
+    for (size_t r = 0; i + r < n; ++r) {
+      double d = a[i + r] - b[i + r];
+      double sq = d * d;
+      if (r == 0) acc0 += sq;
+      if (r == 1) acc1 += sq;
+      if (r == 2) acc2 += sq;
+    }
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      double d0 = a[i] - b[i];
+      double d1 = a[i + 1] - b[i + 1];
+      double d2 = a[i + 2] - b[i + 2];
+      double d3 = a[i + 3] - b[i + 3];
+      acc0 += (d0 * d0) * w[i];
+      acc1 += (d1 * d1) * w[i + 1];
+      acc2 += (d2 * d2) * w[i + 2];
+      acc3 += (d3 * d3) * w[i + 3];
+    }
+    for (size_t r = 0; i + r < n; ++r) {
+      double d = a[i + r] - b[i + r];
+      double sq = (d * d) * w[i + r];
+      if (r == 0) acc0 += sq;
+      if (r == 1) acc1 += sq;
+      if (r == 2) acc2 += sq;
+    }
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+// Shared i/j edge handling for Gemm: plain per-element loops with the same
+// ascending-k accumulation chain as the blocked kernels.
+XAI_SIMD_NOVEC void GemmEdgeScalar(int i_begin, int i_end, int j_begin,
+                                   int j_end, int k, const double* a, int lda,
+                                   const double* b, int ldb, double* c,
+                                   int ldc) {
+  for (int i = i_begin; i < i_end; ++i) {
+    const double* arow = a + static_cast<size_t>(i) * lda;
+    double* crow = c + static_cast<size_t>(i) * ldc;
+    for (int p = 0; p < k; ++p) {
+      double aik = arow[p];
+      const double* brow = b + static_cast<size_t>(p) * ldb;
+      for (int j = j_begin; j < j_end; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+XAI_SIMD_NOVEC void GemmScalar(int m, int n, int k, const double* a, int lda,
+                               const double* b, int ldb, double* c, int ldc) {
+  GemmEdgeScalar(0, m, 0, n, k, a, lda, b, ldb, c, ldc);
+}
+
+XAI_SIMD_NOVEC void GemmTNScalar(int m, int n, int k, const double* a,
+                                 int lda, const double* b, int ldb, double* c,
+                                 int ldc) {
+  for (int p = 0; p < k; ++p) {
+    const double* arow = a + static_cast<size_t>(p) * lda;
+    const double* brow = b + static_cast<size_t>(p) * ldb;
+    for (int i = 0; i < m; ++i) {
+      AxpyScalar(arow[i], brow, c + static_cast<size_t>(i) * ldc, n);
+    }
+  }
+}
+
+XAI_SIMD_NOVEC void WeightedOuterScalar(double w, const double* row, int d,
+                                        double* g, int stride) {
+  for (int a = 0; a < d; ++a) {
+    double s = w * row[a];
+    AxpyScalar(s, row + a, g + static_cast<size_t>(a) * stride + a, d - a);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SSE2 backend: the 4-wide stripe as two 2-lane halves. SSE2 is baseline on
+// x86-64, so these functions need no target attribute.
+// ---------------------------------------------------------------------------
+
+#if XAI_SIMD_X86
+namespace {
+
+double DotSse2(const double* a, const double* b, size_t n) {
+  __m128d acc01 = _mm_setzero_pd();  // Stripe lanes 0, 1.
+  __m128d acc23 = _mm_setzero_pd();  // Stripe lanes 2, 3.
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = _mm_add_pd(acc01, _mm_mul_pd(_mm_loadu_pd(a + i),
+                                         _mm_loadu_pd(b + i)));
+    acc23 = _mm_add_pd(acc23, _mm_mul_pd(_mm_loadu_pd(a + i + 2),
+                                         _mm_loadu_pd(b + i + 2)));
+  }
+  double acc[4];
+  _mm_storeu_pd(acc, acc01);
+  _mm_storeu_pd(acc + 2, acc23);
+  for (size_t r = 0; i + r < n; ++r) acc[r] += a[i + r] * b[i + r];
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+void AxpySse2(double s, const double* x, double* y, size_t n) {
+  __m128d vs = _mm_set1_pd(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_pd(y + i, _mm_add_pd(_mm_loadu_pd(y + i),
+                                    _mm_mul_pd(vs, _mm_loadu_pd(x + i))));
+    _mm_storeu_pd(
+        y + i + 2,
+        _mm_add_pd(_mm_loadu_pd(y + i + 2),
+                   _mm_mul_pd(vs, _mm_loadu_pd(x + i + 2))));
+  }
+  for (; i < n; ++i) y[i] += s * x[i];
+}
+
+double SsdSse2(const double* a, const double* b, size_t n, const double* w) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  size_t i = 0;
+  if (w == nullptr) {
+    for (; i + 4 <= n; i += 4) {
+      __m128d d01 = _mm_sub_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i));
+      __m128d d23 =
+          _mm_sub_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2));
+      acc01 = _mm_add_pd(acc01, _mm_mul_pd(d01, d01));
+      acc23 = _mm_add_pd(acc23, _mm_mul_pd(d23, d23));
+    }
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      __m128d d01 = _mm_sub_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i));
+      __m128d d23 =
+          _mm_sub_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2));
+      acc01 = _mm_add_pd(
+          acc01, _mm_mul_pd(_mm_mul_pd(d01, d01), _mm_loadu_pd(w + i)));
+      acc23 = _mm_add_pd(
+          acc23, _mm_mul_pd(_mm_mul_pd(d23, d23), _mm_loadu_pd(w + i + 2)));
+    }
+  }
+  double acc[4];
+  _mm_storeu_pd(acc, acc01);
+  _mm_storeu_pd(acc + 2, acc23);
+  for (size_t r = 0; i + r < n; ++r) {
+    double d = a[i + r] - b[i + r];
+    double sq = d * d;
+    acc[r] += w == nullptr ? sq : sq * w[i + r];
+  }
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+void GemmSse2(int m, int n, int k, const double* a, int lda, const double* b,
+              int ldb, double* c, int ldc) {
+  // 2 rows x 4 cols register tile; k ascending per C element.
+  const int m2 = m & ~1;
+  const int n4 = n & ~3;
+  for (int i = 0; i < m2; i += 2) {
+    const double* a0 = a + static_cast<size_t>(i) * lda;
+    const double* a1 = a0 + lda;
+    double* c0 = c + static_cast<size_t>(i) * ldc;
+    double* c1 = c0 + ldc;
+    for (int j = 0; j < n4; j += 4) {
+      __m128d c00 = _mm_loadu_pd(c0 + j);
+      __m128d c01 = _mm_loadu_pd(c0 + j + 2);
+      __m128d c10 = _mm_loadu_pd(c1 + j);
+      __m128d c11 = _mm_loadu_pd(c1 + j + 2);
+      for (int p = 0; p < k; ++p) {
+        const double* brow = b + static_cast<size_t>(p) * ldb + j;
+        __m128d b0 = _mm_loadu_pd(brow);
+        __m128d b1 = _mm_loadu_pd(brow + 2);
+        __m128d va0 = _mm_set1_pd(a0[p]);
+        __m128d va1 = _mm_set1_pd(a1[p]);
+        c00 = _mm_add_pd(c00, _mm_mul_pd(va0, b0));
+        c01 = _mm_add_pd(c01, _mm_mul_pd(va0, b1));
+        c10 = _mm_add_pd(c10, _mm_mul_pd(va1, b0));
+        c11 = _mm_add_pd(c11, _mm_mul_pd(va1, b1));
+      }
+      _mm_storeu_pd(c0 + j, c00);
+      _mm_storeu_pd(c0 + j + 2, c01);
+      _mm_storeu_pd(c1 + j, c10);
+      _mm_storeu_pd(c1 + j + 2, c11);
+    }
+  }
+  // Edges: leftover columns for the blocked rows, then leftover rows.
+  if (n4 < n) GemmEdgeScalar(0, m2, n4, n, k, a, lda, b, ldb, c, ldc);
+  if (m2 < m) GemmEdgeScalar(m2, m, 0, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void GemmTNSse2(int m, int n, int k, const double* a, int lda,
+                const double* b, int ldb, double* c, int ldc) {
+  for (int p = 0; p < k; ++p) {
+    const double* arow = a + static_cast<size_t>(p) * lda;
+    const double* brow = b + static_cast<size_t>(p) * ldb;
+    for (int i = 0; i < m; ++i) {
+      AxpySse2(arow[i], brow, c + static_cast<size_t>(i) * ldc, n);
+    }
+  }
+}
+
+void WeightedOuterSse2(double w, const double* row, int d, double* g,
+                       int stride) {
+  for (int a = 0; a < d; ++a) {
+    double s = w * row[a];
+    AxpySse2(s, row + a, g + static_cast<size_t>(a) * stride + a, d - a);
+  }
+}
+
+}  // namespace
+#endif  // XAI_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 backend. Per-function target attribute so the rest of the binary
+// stays baseline-compatible. FMA is intentionally absent from the target:
+// the contract is mul-then-add (two roundings), and without FMA in the ISA
+// set the compiler cannot contract the intrinsics either.
+// ---------------------------------------------------------------------------
+
+#if XAI_SIMD_X86
+namespace {
+
+__attribute__((target("avx2"))) double DotAvx2(const double* a,
+                                               const double* b, size_t n) {
+  __m256d vacc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vacc = _mm256_add_pd(
+        vacc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  double acc[4];
+  _mm256_storeu_pd(acc, vacc);
+  for (size_t r = 0; i + r < n; ++r) acc[r] += a[i + r] * b[i + r];
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+__attribute__((target("avx2"))) void AxpyAvx2(double s, const double* x,
+                                              double* y, size_t n) {
+  __m256d vs = _mm256_set1_pd(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(vs, _mm256_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += s * x[i];
+}
+
+__attribute__((target("avx2"))) double SsdAvx2(const double* a,
+                                               const double* b, size_t n,
+                                               const double* w) {
+  __m256d vacc = _mm256_setzero_pd();
+  size_t i = 0;
+  if (w == nullptr) {
+    for (; i + 4 <= n; i += 4) {
+      __m256d d = _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                _mm256_loadu_pd(b + i));
+      vacc = _mm256_add_pd(vacc, _mm256_mul_pd(d, d));
+    }
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      __m256d d = _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                _mm256_loadu_pd(b + i));
+      vacc = _mm256_add_pd(
+          vacc, _mm256_mul_pd(_mm256_mul_pd(d, d), _mm256_loadu_pd(w + i)));
+    }
+  }
+  double acc[4];
+  _mm256_storeu_pd(acc, vacc);
+  for (size_t r = 0; i + r < n; ++r) {
+    double d = a[i + r] - b[i + r];
+    double sq = d * d;
+    acc[r] += w == nullptr ? sq : sq * w[i + r];
+  }
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+__attribute__((target("avx2"))) void GemmAvx2(int m, int n, int k,
+                                              const double* a, int lda,
+                                              const double* b, int ldb,
+                                              double* c, int ldc) {
+  // 2 rows x 8 cols register tile (4 ymm accumulators live across the full
+  // k loop); k ascending per C element, so any tile shape is bit-equal.
+  const int m2 = m & ~1;
+  const int n8 = n & ~7;
+  for (int i = 0; i < m2; i += 2) {
+    const double* a0 = a + static_cast<size_t>(i) * lda;
+    const double* a1 = a0 + lda;
+    double* c0 = c + static_cast<size_t>(i) * ldc;
+    double* c1 = c0 + ldc;
+    for (int j = 0; j < n8; j += 8) {
+      __m256d c00 = _mm256_loadu_pd(c0 + j);
+      __m256d c01 = _mm256_loadu_pd(c0 + j + 4);
+      __m256d c10 = _mm256_loadu_pd(c1 + j);
+      __m256d c11 = _mm256_loadu_pd(c1 + j + 4);
+      for (int p = 0; p < k; ++p) {
+        const double* brow = b + static_cast<size_t>(p) * ldb + j;
+        __m256d b0 = _mm256_loadu_pd(brow);
+        __m256d b1 = _mm256_loadu_pd(brow + 4);
+        __m256d va0 = _mm256_set1_pd(a0[p]);
+        __m256d va1 = _mm256_set1_pd(a1[p]);
+        c00 = _mm256_add_pd(c00, _mm256_mul_pd(va0, b0));
+        c01 = _mm256_add_pd(c01, _mm256_mul_pd(va0, b1));
+        c10 = _mm256_add_pd(c10, _mm256_mul_pd(va1, b0));
+        c11 = _mm256_add_pd(c11, _mm256_mul_pd(va1, b1));
+      }
+      _mm256_storeu_pd(c0 + j, c00);
+      _mm256_storeu_pd(c0 + j + 4, c01);
+      _mm256_storeu_pd(c1 + j, c10);
+      _mm256_storeu_pd(c1 + j + 4, c11);
+    }
+    // Column edge for this row pair with 4-wide tiles, then scalar.
+    int j = n8;
+    for (; j + 4 <= n; j += 4) {
+      __m256d c00 = _mm256_loadu_pd(c0 + j);
+      __m256d c10 = _mm256_loadu_pd(c1 + j);
+      for (int p = 0; p < k; ++p) {
+        __m256d bv = _mm256_loadu_pd(b + static_cast<size_t>(p) * ldb + j);
+        c00 = _mm256_add_pd(c00, _mm256_mul_pd(_mm256_set1_pd(a0[p]), bv));
+        c10 = _mm256_add_pd(c10, _mm256_mul_pd(_mm256_set1_pd(a1[p]), bv));
+      }
+      _mm256_storeu_pd(c0 + j, c00);
+      _mm256_storeu_pd(c1 + j, c10);
+    }
+    if (j < n) GemmEdgeScalar(i, i + 2, j, n, k, a, lda, b, ldb, c, ldc);
+  }
+  if (m2 < m) GemmEdgeScalar(m2, m, 0, n, k, a, lda, b, ldb, c, ldc);
+}
+
+__attribute__((target("avx2"))) void GemmTNAvx2(int m, int n, int k,
+                                                const double* a, int lda,
+                                                const double* b, int ldb,
+                                                double* c, int ldc) {
+  for (int p = 0; p < k; ++p) {
+    const double* arow = a + static_cast<size_t>(p) * lda;
+    const double* brow = b + static_cast<size_t>(p) * ldb;
+    for (int i = 0; i < m; ++i) {
+      AxpyAvx2(arow[i], brow, c + static_cast<size_t>(i) * ldc, n);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void WeightedOuterAvx2(double w,
+                                                       const double* row,
+                                                       int d, double* g,
+                                                       int stride) {
+  // Two triangle rows per pass so each row[b] vector load feeds both rows a
+  // and a+1. Every output element still receives exactly one multiply-add
+  // per call — no reduction is involved — so blocking cannot perturb the
+  // per-element accumulation chain and results stay bit-identical to the
+  // other backends.
+  int a = 0;
+  for (; a + 1 < d; a += 2) {
+    double s0 = w * row[a];
+    double s1 = w * row[a + 1];
+    double* g0 = g + static_cast<size_t>(a) * stride;
+    double* g1 = g + static_cast<size_t>(a + 1) * stride;
+    g0[a] += s0 * row[a];
+    g0[a + 1] += s0 * row[a + 1];
+    g1[a + 1] += s1 * row[a + 1];
+    int b = a + 2;
+    __m256d vs0 = _mm256_set1_pd(s0);
+    __m256d vs1 = _mm256_set1_pd(s1);
+    for (; b + 4 <= d; b += 4) {
+      __m256d vb = _mm256_loadu_pd(row + b);
+      _mm256_storeu_pd(
+          g0 + b, _mm256_add_pd(_mm256_loadu_pd(g0 + b), _mm256_mul_pd(vs0, vb)));
+      _mm256_storeu_pd(
+          g1 + b, _mm256_add_pd(_mm256_loadu_pd(g1 + b), _mm256_mul_pd(vs1, vb)));
+    }
+    for (; b < d; ++b) {
+      double rb = row[b];
+      g0[b] += s0 * rb;
+      g1[b] += s1 * rb;
+    }
+  }
+  if (a < d) {
+    double s = w * row[a];
+    g[static_cast<size_t>(a) * stride + a] += s * row[a];
+  }
+}
+
+}  // namespace
+#endif  // XAI_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch. One branch on a relaxed atomic per kernel call; the kernels are
+// large enough that the branch is noise.
+// ---------------------------------------------------------------------------
+
+double Dot(const double* a, const double* b, size_t n) {
+#if XAI_SIMD_X86
+  switch (Active()) {
+    case Backend::kAvx2:
+      return DotAvx2(a, b, n);
+    case Backend::kSse2:
+      return DotSse2(a, b, n);
+    case Backend::kScalar:
+      break;
+  }
+#endif
+  return DotScalar(a, b, n);
+}
+
+void Axpy(double s, const double* x, double* y, size_t n) {
+#if XAI_SIMD_X86
+  switch (Active()) {
+    case Backend::kAvx2:
+      AxpyAvx2(s, x, y, n);
+      return;
+    case Backend::kSse2:
+      AxpySse2(s, x, y, n);
+      return;
+    case Backend::kScalar:
+      break;
+  }
+#endif
+  AxpyScalar(s, x, y, n);
+}
+
+double ScaledSquaredDistance(const double* a, const double* b, size_t n,
+                             const double* w) {
+#if XAI_SIMD_X86
+  switch (Active()) {
+    case Backend::kAvx2:
+      return SsdAvx2(a, b, n, w);
+    case Backend::kSse2:
+      return SsdSse2(a, b, n, w);
+    case Backend::kScalar:
+      break;
+  }
+#endif
+  return SsdScalar(a, b, n, w);
+}
+
+void WeightedOuterAccumulate(double w, const double* row, int d, double* g,
+                             int stride) {
+#if XAI_SIMD_X86
+  switch (Active()) {
+    case Backend::kAvx2:
+      WeightedOuterAvx2(w, row, d, g, stride);
+      return;
+    case Backend::kSse2:
+      WeightedOuterSse2(w, row, d, g, stride);
+      return;
+    case Backend::kScalar:
+      break;
+  }
+#endif
+  WeightedOuterScalar(w, row, d, g, stride);
+}
+
+void Gemm(int m, int n, int k, const double* a, int lda, const double* b,
+          int ldb, double* c, int ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+#if XAI_SIMD_X86
+  switch (Active()) {
+    case Backend::kAvx2:
+      GemmAvx2(m, n, k, a, lda, b, ldb, c, ldc);
+      return;
+    case Backend::kSse2:
+      GemmSse2(m, n, k, a, lda, b, ldb, c, ldc);
+      return;
+    case Backend::kScalar:
+      break;
+  }
+#endif
+  GemmScalar(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void GemmTN(int m, int n, int k, const double* a, int lda, const double* b,
+            int ldb, double* c, int ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+#if XAI_SIMD_X86
+  switch (Active()) {
+    case Backend::kAvx2:
+      GemmTNAvx2(m, n, k, a, lda, b, ldb, c, ldc);
+      return;
+    case Backend::kSse2:
+      GemmTNSse2(m, n, k, a, lda, b, ldb, c, ldc);
+      return;
+    case Backend::kScalar:
+      break;
+  }
+#endif
+  GemmTNScalar(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+}  // namespace simd
+}  // namespace xai

@@ -1,0 +1,97 @@
+#ifndef XAI_CORE_SIMD_H_
+#define XAI_CORE_SIMD_H_
+
+#include <cstddef>
+
+/// \file
+/// Portable vectorized math kernels — the dense-linear-algebra core under
+/// Matrix, the WLS solvers, Newton steps, and batch prediction.
+///
+/// Three backends are compiled into every binary and selected behind one
+/// dispatch point:
+///   - kAvx2:   4-wide AVX2 (+FMA-capable hardware, but see below),
+///   - kSse2:   2x 2-wide SSE2 (baseline on x86-64),
+///   - kScalar: plain doubles.
+/// The active backend is chosen at startup from CPUID, overridable with the
+/// environment variable `XAI_SIMD=avx2|sse2|scalar` (for A/B testing and the
+/// scalar CI job) and at runtime with SetBackend (tests and benches only —
+/// not thread-safe against concurrent kernel calls).
+///
+/// Determinism contract (the analogue of the parallel runtime's fixed
+/// chunking, §6 of DESIGN.md): every reduction uses a fixed 4-wide striped
+/// accumulator layout —
+///
+///   acc[l] += a[4*i + l] * b[4*i + l]      l = 0..3, i ascending
+///   tail elements r go into acc[r]
+///   result = (acc[0] + acc[1]) + (acc[2] + acc[3])
+///
+/// — which the SSE2 backend executes as two 2-lane halves and the scalar
+/// backend emulates with four named doubles. Elementwise kernels (Axpy,
+/// WeightedOuterAccumulate, Gemm) carry one independent accumulation chain
+/// per output element, ordered by the contraction index. Because each IEEE
+/// lane operation is identical across widths, every kernel is bit-identical
+/// across all three backends and any thread count. FMA is deliberately NOT
+/// used inside the contract: a fused multiply-add rounds once where SSE2 and
+/// scalar code round twice, which would break cross-backend bit-equality.
+/// (Results differ from the pre-kernel textbook loops only by summation
+/// order, i.e. within documented tolerance — bench_e21 pins the deltas.)
+namespace xai {
+namespace simd {
+
+enum class Backend { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Name for logs/benches: "scalar", "sse2", "avx2".
+const char* BackendName(Backend backend);
+
+/// Best backend this CPU can execute (compile-time capped on non-x86).
+Backend MaxSupported();
+
+/// The backend all kernels currently dispatch to. Initialized on first use
+/// from XAI_SIMD (clamped to MaxSupported()), defaulting to MaxSupported().
+Backend Active();
+
+/// Forces the active backend (clamped to MaxSupported(); returns what was
+/// actually applied). For tests and benches; do not call concurrently with
+/// running kernels.
+Backend SetBackend(Backend backend);
+
+/// \name Kernels
+/// All pointers may alias only where noted; n == 0 is always valid.
+/// @{
+
+/// Striped dot product sum_i a[i] * b[i].
+double Dot(const double* a, const double* b, size_t n);
+
+/// y[i] += s * x[i] (elementwise; x and y must not alias).
+void Axpy(double s, const double* x, double* y, size_t n);
+
+/// Striped sum_i w[i] * (a[i] - b[i])^2; pass w == nullptr for the
+/// unweighted distance. The per-lane term is ((a-b)*(a-b)) * w.
+double ScaledSquaredDistance(const double* a, const double* b, size_t n,
+                             const double* w = nullptr);
+
+/// Rank-1 upper-triangle update for X^T diag(s) X assembly:
+///   g[a * stride + b] += (w * row[a]) * row[b]   for 0 <= a <= b < d.
+/// Only the upper triangle is written; callers mirror it once at the end.
+void WeightedOuterAccumulate(double w, const double* row, int d, double* g,
+                             int stride);
+
+/// Register-blocked C += A * B for row-major operands:
+///   A is m x k (leading dimension lda), B is k x n (ldb), C is m x n (ldc).
+/// Each C element accumulates over the contraction index in ascending
+/// order, so the result is independent of the blocking and backend.
+void Gemm(int m, int n, int k, const double* a, int lda, const double* b,
+          int ldb, double* c, int ldc);
+
+/// C += A^T * B for row-major operands: A is k x m (lda), B is k x n (ldb),
+/// C is m x n (ldc). This is the normal-equation / Gram building block
+/// (B == A and unit weights give X^T X).
+void GemmTN(int m, int n, int k, const double* a, int lda, const double* b,
+            int ldb, double* c, int ldc);
+
+/// @}
+
+}  // namespace simd
+}  // namespace xai
+
+#endif  // XAI_CORE_SIMD_H_

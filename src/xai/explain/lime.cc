@@ -6,6 +6,7 @@
 
 #include "xai/core/linalg.h"
 #include "xai/core/parallel.h"
+#include "xai/core/simd.h"
 #include "xai/core/stats.h"
 #include "xai/core/telemetry.h"
 #include "xai/core/trace.h"
@@ -112,19 +113,21 @@ Result<LimeExplanation> LimeExplainer::Explain(const PredictFn& f,
                       std::vector<int> cand = selected;
                       cand.push_back(candidates[q]);
                       Matrix sub(n + 1, static_cast<int>(cand.size()));
-                      for (int i = 0; i <= n; ++i)
+                      for (int i = 0; i <= n; ++i) {
+                        const double* zr = z.RowPtr(i);
+                        double* sr = sub.RowPtr(i);
                         for (size_t c = 0; c < cand.size(); ++c)
-                          sub(i, c) = z(i, cand[c]);
+                          sr[c] = zr[cand[c]];
+                      }
                       auto coef = WeightedRidgeRegression(
                           sub, target, weight, config_.ridge, true);
                       if (!coef.ok()) continue;
+                      const Vector& cf = coef.ValueUnsafe();
                       Vector pred(n + 1);
-                      for (int i = 0; i <= n; ++i) {
-                        double p = coef.ValueUnsafe().back();
-                        for (size_t c = 0; c < cand.size(); ++c)
-                          p += coef.ValueUnsafe()[c] * sub(i, c);
-                        pred[i] = p;
-                      }
+                      for (int i = 0; i <= n; ++i)
+                        pred[i] = cf.back() + simd::Dot(cf.data(),
+                                                        sub.RowPtr(i),
+                                                        cand.size());
                       r2s[q] = WeightedR2(pred, target, weight);
                     }
                   });
@@ -145,9 +148,11 @@ Result<LimeExplanation> LimeExplainer::Explain(const PredictFn& f,
   }
 
   Matrix design(n + 1, static_cast<int>(selected.size()));
-  for (int i = 0; i <= n; ++i)
-    for (size_t c = 0; c < selected.size(); ++c)
-      design(i, c) = z(i, selected[c]);
+  for (int i = 0; i <= n; ++i) {
+    const double* zr = z.RowPtr(i);
+    double* dr = design.RowPtr(i);
+    for (size_t c = 0; c < selected.size(); ++c) dr[c] = zr[selected[c]];
+  }
   XAI_ASSIGN_OR_RETURN(Vector coef,
                        WeightedRidgeRegression(design, target, weight,
                                                config_.ridge, true));
@@ -163,12 +168,10 @@ Result<LimeExplanation> LimeExplainer::Explain(const PredictFn& f,
     exp.feature_names.push_back(schema_.features[j].name);
 
   Vector pred(n + 1);
-  for (int i = 0; i <= n; ++i) {
-    double p = exp.intercept;
-    for (size_t c = 0; c < selected.size(); ++c)
-      p += coef[c] * design(i, c);
-    pred[i] = p;
-  }
+  for (int i = 0; i <= n; ++i)
+    pred[i] =
+        exp.intercept + simd::Dot(coef.data(), design.RowPtr(i),
+                                  selected.size());
   exp.local_r2 = WeightedR2(pred, target, weight);
   return exp;
 }

@@ -3,29 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "xai/core/simd.h"
 #include "xai/core/stats.h"
 
 namespace xai {
 
 double RbfKernel(const Vector& a, const Vector& b, double bandwidth) {
-  double acc = 0.0;
-  for (size_t j = 0; j < a.size(); ++j) {
-    double d = a[j] - b[j];
-    acc += d * d;
-  }
+  double acc = simd::ScaledSquaredDistance(a.data(), b.data(), a.size());
   return std::exp(-acc / (2.0 * bandwidth * bandwidth));
 }
 
 double MedianHeuristicBandwidth(const Dataset& data, int max_rows) {
   int n = std::min(max_rows, data.num_rows());
+  std::vector<Vector> rows(n);
+  for (int i = 0; i < n; ++i) rows[i] = data.Row(i);
   std::vector<double> dists;
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      double acc = 0.0;
-      for (int f = 0; f < data.num_features(); ++f) {
-        double d = data.At(i, f) - data.At(j, f);
-        acc += d * d;
-      }
+      double acc = simd::ScaledSquaredDistance(
+          rows[i].data(), rows[j].data(), rows[i].size());
       dists.push_back(std::sqrt(acc));
     }
   }

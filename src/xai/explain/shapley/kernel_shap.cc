@@ -140,9 +140,9 @@ Result<AttributionExplanation> KernelShap(const CoalitionGame& game,
     ParallelFor(static_cast<int64_t>(masks.size()), /*grain=*/16,
                 [&](int64_t begin, int64_t end, int64_t) {
                   for (int64_t r = begin; r < end; ++r) {
+                    double* row = design.RowPtr(static_cast<int>(r));
                     for (int j = 0; j < d; ++j)
-                      design(static_cast<int>(r), j) =
-                          (masks[r] >> j) & 1ULL ? 1.0 : 0.0;
+                      row[j] = (masks[r] >> j) & 1ULL ? 1.0 : 0.0;
                     target[r] = game.Value(masks[r]) - v0;
                   }
                 });

@@ -5,6 +5,8 @@
 #include <map>
 #include <numeric>
 
+#include "xai/core/simd.h"
+
 namespace xai {
 
 Result<KnnModel> KnnModel::Train(const Matrix& x, const Vector& y,
@@ -29,15 +31,9 @@ Result<KnnModel> KnnModel::Train(const Dataset& dataset,
 std::vector<int> KnnModel::NeighborsSortedByDistance(const Vector& row) const {
   int n = x_.rows();
   std::vector<double> dist(n);
-  for (int i = 0; i < n; ++i) {
-    const double* rp = x_.RowPtr(i);
-    double acc = 0.0;
-    for (int j = 0; j < x_.cols(); ++j) {
-      double d = rp[j] - row[j];
-      acc += d * d;
-    }
-    dist[i] = acc;
-  }
+  for (int i = 0; i < n; ++i)
+    dist[i] =
+        simd::ScaledSquaredDistance(x_.RowPtr(i), row.data(), x_.cols());
   std::vector<int> idx(n);
   std::iota(idx.begin(), idx.end(), 0);
   std::stable_sort(idx.begin(), idx.end(),

@@ -2,6 +2,7 @@
 
 #include "xai/core/linalg.h"
 #include "xai/core/parallel.h"
+#include "xai/core/simd.h"
 #include "xai/core/telemetry.h"
 
 namespace xai {
@@ -38,11 +39,9 @@ Vector LinearRegressionModel::PredictBatch(const Matrix& x) const {
               [&](int64_t begin, int64_t end, int64_t) {
                 for (int64_t i = begin; i < end; ++i) {
                   const double* row = x.RowPtr(static_cast<int>(i));
-                  // Same accumulation order as Predict (dot, then bias) so
+                  // Same striped-dot kernel as Predict (dot, then bias) so
                   // batch output is bit-identical to row-wise calls.
-                  double z = 0.0;
-                  for (int j = 0; j < d; ++j) z += row[j] * weights_[j];
-                  out[i] = z + bias_;
+                  out[i] = simd::Dot(row, weights_.data(), d) + bias_;
                 }
               });
   return out;

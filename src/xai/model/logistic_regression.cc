@@ -5,6 +5,7 @@
 #include "xai/core/check.h"
 #include "xai/core/matrix.h"
 #include "xai/core/parallel.h"
+#include "xai/core/simd.h"
 #include "xai/core/telemetry.h"
 
 namespace xai {
@@ -26,14 +27,12 @@ Vector Gradient(const Matrix& x, const Vector& y, const Vector& s,
                 const Vector& theta, double l2, double total_weight) {
   int d = x.cols();
   Vector g(d + 1, 0.0);
-  Vector row(d);
   for (int i = 0; i < x.rows(); ++i) {
     if (s[i] == 0.0) continue;
     const double* rp = x.RowPtr(i);
-    double z = theta[d];
-    for (int j = 0; j < d; ++j) z += theta[j] * rp[j];
+    double z = simd::Dot(theta.data(), rp, d) + theta[d];
     double err = s[i] * (Sigmoid(z) - y[i]);
-    for (int j = 0; j < d; ++j) g[j] += err * rp[j];
+    simd::Axpy(err, rp, g.data(), d);
     g[d] += err;
   }
   for (int j = 0; j <= d; ++j) g[j] /= total_weight;
@@ -45,19 +44,17 @@ Matrix Hessian(const Matrix& x, const Vector& s, const Vector& theta,
                double l2, double total_weight) {
   int d = x.cols();
   Matrix h(d + 1, d + 1);
+  double* h_base = h.RowPtr(0);
   for (int i = 0; i < x.rows(); ++i) {
     if (s[i] == 0.0) continue;
     const double* rp = x.RowPtr(i);
-    double z = theta[d];
-    for (int j = 0; j < d; ++j) z += theta[j] * rp[j];
+    double z = simd::Dot(theta.data(), rp, d) + theta[d];
     double p = Sigmoid(z);
     double w = s[i] * p * (1.0 - p);
     if (w == 0.0) continue;
-    for (int a = 0; a < d; ++a) {
-      double wa = w * rp[a];
-      for (int b = a; b < d; ++b) h(a, b) += wa * rp[b];
-      h(a, d) += wa;
-    }
+    // d x d block as a blocked rank-1 update; bias column separately.
+    simd::WeightedOuterAccumulate(w, rp, d, h_base, d + 1);
+    for (int a = 0; a < d; ++a) h(a, d) += w * rp[a];
     h(d, d) += w;
   }
   for (int a = 0; a <= d; ++a)
@@ -150,11 +147,9 @@ Vector LogisticRegressionModel::PredictBatch(const Matrix& x) const {
               [&](int64_t begin, int64_t end, int64_t) {
                 for (int64_t i = begin; i < end; ++i) {
                   const double* row = x.RowPtr(static_cast<int>(i));
-                  // Same accumulation order as Margin (dot, then bias) so
+                  // Same striped-dot kernel as Margin (dot, then bias) so
                   // batch output is bit-identical to row-wise calls.
-                  double z = 0.0;
-                  for (int j = 0; j < d; ++j) z += row[j] * weights_[j];
-                  out[i] = Sigmoid(z + bias_);
+                  out[i] = Sigmoid(simd::Dot(row, weights_.data(), d) + bias_);
                 }
               });
   return out;

@@ -1,7 +1,11 @@
 #include "xai/model/mlp.h"
 
 #include <cmath>
+#include <cstring>
 
+#include "xai/core/parallel.h"
+#include "xai/core/simd.h"
+#include "xai/core/telemetry.h"
 #include "xai/model/logistic_regression.h"
 
 namespace xai {
@@ -124,5 +128,58 @@ Result<MlpModel> MlpModel::Train(const Dataset& dataset,
 }
 
 double MlpModel::Predict(const Vector& row) const { return Forward(row); }
+
+Vector MlpModel::PredictBatch(const Matrix& x) const {
+  XAI_COUNTER_ADD("model/evals", x.rows());
+  int n = x.rows();
+  Vector out(n);
+  if (n == 0) return out;
+  // Per-layer transposed weights (bias column dropped). With B = W^T the
+  // GEMM broadcast chain c[r][o] += a[r][k] * b[k][o], k ascending, is
+  // exactly Forward's per-output accumulation starting from the bias, so
+  // batch outputs are bit-identical to row-wise Forward calls regardless
+  // of backend or row blocking.
+  std::vector<Matrix> wt;
+  wt.reserve(weights_.size());
+  for (const Matrix& w : weights_) {
+    Matrix t(w.cols() - 1, w.rows());
+    for (int o = 0; o < w.rows(); ++o) {
+      const double* wr = w.RowPtr(o);
+      for (int i = 0; i < w.cols() - 1; ++i) t.RowPtr(i)[o] = wr[i];
+    }
+    wt.push_back(std::move(t));
+  }
+  ParallelFor(n, /*grain=*/256, [&](int64_t begin, int64_t end, int64_t) {
+    int m = static_cast<int>(end - begin);
+    Matrix cur(m, x.cols());
+    for (int r = 0; r < m; ++r)
+      std::memcpy(cur.RowPtr(r), x.RowPtr(static_cast<int>(begin) + r),
+                  sizeof(double) * x.cols());
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      const Matrix& w = weights_[l];
+      int in = w.cols() - 1;
+      int outs = w.rows();
+      Matrix next(m, outs);
+      for (int r = 0; r < m; ++r) {
+        double* nr = next.RowPtr(r);
+        for (int o = 0; o < outs; ++o) nr[o] = w.RowPtr(o)[in];  // Bias.
+      }
+      simd::Gemm(m, outs, in, cur.RowPtr(0), cur.cols(), wt[l].RowPtr(0),
+                 wt[l].cols(), next.RowPtr(0), next.cols());
+      if (l + 1 < weights_.size()) {
+        for (int r = 0; r < m; ++r) {
+          double* nr = next.RowPtr(r);
+          for (int o = 0; o < outs; ++o) nr[o] = std::tanh(nr[o]);
+        }
+      }
+      cur = std::move(next);
+    }
+    for (int r = 0; r < m; ++r) {
+      double z = cur.RowPtr(r)[0];
+      out[begin + r] = task_ == TaskType::kClassification ? Sigmoid(z) : z;
+    }
+  });
+  return out;
+}
 
 }  // namespace xai

@@ -39,6 +39,9 @@ class MlpModel : public Model {
   TaskType task() const override { return task_; }
   std::string name() const override { return "mlp"; }
   double Predict(const Vector& row) const override;
+  /// Batched forward pass as one GEMM per layer over row blocks.
+  /// Bit-identical to row-wise Predict calls (see mlp.cc).
+  Vector PredictBatch(const Matrix& x) const override;
 
  private:
   /// weights_[l] has shape (out_l, in_l + 1); the last column is the bias.

@@ -1,6 +1,9 @@
 #include "xai/unlearn/incremental_linear.h"
 
 #include <cmath>
+#include <cstring>
+
+#include "xai/core/simd.h"
 
 namespace xai {
 
@@ -15,8 +18,9 @@ Result<MaintainedLinearRegression> MaintainedLinearRegression::Fit(
   int n = x.rows(), d = x.cols();
   m.x_ = Matrix(n, d + 1);
   for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < d; ++j) m.x_(i, j) = x(i, j);
-    m.x_(i, d) = 1.0;
+    double* dst = m.x_.RowPtr(i);
+    if (d > 0) std::memcpy(dst, x.RowPtr(i), sizeof(double) * d);
+    dst[d] = 1.0;
   }
   m.y_ = y;
   m.removed_.assign(n, false);
@@ -49,7 +53,7 @@ Status MaintainedLinearRegression::RankOneUpdate(const Vector& u,
   double factor = sign / denom;
   int k = inv_.rows();
   for (int a = 0; a < k; ++a)
-    for (int b = 0; b < k; ++b) inv_(a, b) -= factor * iu[a] * iu[b];
+    simd::Axpy(-factor * iu[a], iu.data(), inv_.RowPtr(a), k);
   return Status::OK();
 }
 
@@ -61,7 +65,7 @@ Status MaintainedLinearRegression::RemoveRow(int row) {
     return Status::InvalidArgument("too few rows would remain");
   Vector u = x_.Row(row);
   XAI_RETURN_NOT_OK(RankOneUpdate(u, -1.0));
-  for (size_t j = 0; j < xty_.size(); ++j) xty_[j] -= y_[row] * u[j];
+  simd::Axpy(-y_[row], u.data(), xty_.data(), xty_.size());
   removed_[row] = true;
   --active_rows_;
   RefreshTheta();
@@ -80,11 +84,12 @@ Status MaintainedLinearRegression::AddRow(const Vector& features,
   Vector u = features;
   u.push_back(1.0);
   XAI_RETURN_NOT_OK(RankOneUpdate(u, +1.0));
-  for (size_t j = 0; j < xty_.size(); ++j) xty_[j] += label * u[j];
+  simd::Axpy(label, u.data(), xty_.data(), xty_.size());
   // Record the row so it can be removed later.
   Matrix nx(x_.rows() + 1, x_.cols());
-  for (int i = 0; i < x_.rows(); ++i)
-    for (int j = 0; j < x_.cols(); ++j) nx(i, j) = x_(i, j);
+  if (x_.rows() > 0)
+    std::memcpy(nx.RowPtr(0), x_.RowPtr(0),
+                sizeof(double) * x_.rows() * x_.cols());
   nx.SetRow(x_.rows(), u);
   x_ = std::move(nx);
   y_.push_back(label);

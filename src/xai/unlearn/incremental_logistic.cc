@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "xai/core/simd.h"
+
 namespace xai {
 namespace {
 
@@ -9,11 +11,9 @@ namespace {
 void AddExampleHessian(const Vector& row, double p, Matrix* h) {
   int d = static_cast<int>(row.size());
   double w = p * (1.0 - p);
-  for (int a = 0; a < d; ++a) {
-    double wa = w * row[a];
-    for (int b = a; b < d; ++b) (*h)(a, b) += wa * row[b];
-    (*h)(a, d) += wa;
-  }
+  // d x d block as one blocked rank-1 update; bias column separately.
+  simd::WeightedOuterAccumulate(w, row.data(), d, h->RowPtr(0), d + 1);
+  for (int a = 0; a < d; ++a) (*h)(a, d) += w * row[a];
   (*h)(d, d) += w;
 }
 
@@ -49,7 +49,7 @@ void MaintainedLogisticRegression::CacheAggregates() {
     if (removed_[i]) continue;
     Vector row = x_.Row(i);
     Vector g = model.ExampleLossGradient(row, y_[i]);
-    for (int j = 0; j <= d; ++j) grad_sum_[j] += g[j];
+    simd::Axpy(1.0, g.data(), grad_sum_.data(), d + 1);
     AddExampleHessian(row, Sigmoid(model.Margin(row)), &hessian_sum_);
   }
   Symmetrize(&hessian_sum_);
@@ -76,7 +76,7 @@ Status MaintainedLogisticRegression::AddRows(const Matrix& new_x,
     removed_.push_back(false);
     ++active_rows_;
     Vector g = model.ExampleLossGradient(row, new_y[i]);
-    for (int j = 0; j <= d; ++j) grad_sum_[j] += g[j];
+    simd::Axpy(1.0, g.data(), grad_sum_.data(), d + 1);
     AddExampleHessian(row, Sigmoid(model.Margin(row)), &hessian_sum_);
   }
   Symmetrize(&hessian_sum_);
@@ -95,7 +95,7 @@ Status MaintainedLogisticRegression::RemoveRows(const std::vector<int>& rows,
     if (removed_[r]) return Status::InvalidArgument("row already removed");
     Vector row = x_.Row(r);
     Vector g = model.ExampleLossGradient(row, y_[r]);
-    for (int j = 0; j <= d; ++j) grad_sum_[j] -= g[j];
+    simd::Axpy(-1.0, g.data(), grad_sum_.data(), d + 1);
     Matrix neg(d + 1, d + 1);
     AddExampleHessian(row, Sigmoid(model.Margin(row)), &neg);
     Symmetrize(&neg);

@@ -118,6 +118,51 @@ TEST(ConstrainedWlsTest, MatchesUnconstrainedWhenConstraintInactive) {
   for (int j = 0; j < 3; ++j) EXPECT_NEAR(sol[j], w_true[j], 1e-6);
 }
 
+TEST(ConstrainedWlsTest, AllZeroSampleWeightsStillSatisfiesConstraint) {
+  // With every sample weight zero the data term vanishes; the reduced ridge
+  // problem returns the zero vector and the eliminated coefficient absorbs
+  // the whole constraint: w = (0, d / c_k).
+  Matrix x = {{1, 2}, {3, 4}, {5, 6}};
+  Vector y = {1, 2, 3};
+  Vector w(3, 0.0);
+  Vector sol =
+      ConstrainedWeightedLeastSquares(x, y, w, {1, 1}, 2.0).ValueOrDie();
+  ASSERT_EQ(sol.size(), 2u);
+  EXPECT_NEAR(sol[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol[1], 2.0, 1e-9);
+}
+
+TEST(ConstrainedWlsTest, RankDeficientDuplicateColumns) {
+  // Duplicate columns with the constraint w0 - w1 = 0 pin the split: the
+  // model (w0 + w1) x = y with y = x has the unique constrained solution
+  // w0 = w1 = 0.5 even though X^T X is singular.
+  Rng rng(31);
+  Matrix x(50, 2);
+  Vector y(50), sw(50, 1.0);
+  for (int i = 0; i < 50; ++i) {
+    double v = rng.Normal();
+    x(i, 0) = x(i, 1) = v;
+    y[i] = v;
+  }
+  Vector sol =
+      ConstrainedWeightedLeastSquares(x, y, sw, {1, -1}, 0.0).ValueOrDie();
+  ASSERT_EQ(sol.size(), 2u);
+  EXPECT_NEAR(sol[0], 0.5, 1e-6);
+  EXPECT_NEAR(sol[1], 0.5, 1e-6);
+}
+
+TEST(ConstrainedWlsTest, SingleColumnSolvesZeroDimensionalReduction) {
+  // dim == 1 eliminates the only variable: the reduced design has zero
+  // columns and the answer is exactly d / c_0 independent of the data.
+  Matrix x = {{1}, {2}, {3}};
+  Vector y = {5, -1, 4};
+  Vector sw(3, 1.0);
+  Vector sol =
+      ConstrainedWeightedLeastSquares(x, y, sw, {2}, 3.0).ValueOrDie();
+  ASSERT_EQ(sol.size(), 1u);
+  EXPECT_DOUBLE_EQ(sol[0], 1.5);
+}
+
 TEST(ConstrainedWlsTest, RejectsZeroConstraint) {
   Matrix x(4, 2);
   Vector y(4), w(4, 1.0);
@@ -149,6 +194,22 @@ TEST(ConjugateGradientTest, ZeroRhsGivesZero) {
                         {0, 0, 0})
           .ValueOrDie();
   EXPECT_EQ(cg, (Vector{0, 0, 0}));
+}
+
+TEST(ConjugateGradientTest, ZeroRhsNeverCallsOperator) {
+  // Regression: with ||b|| == 0 the relative stopping rule degenerates; the
+  // solver must fall back to the absolute residual, return x = 0 exactly,
+  // and never touch the operator (which could otherwise divide by zero).
+  int calls = 0;
+  Vector cg = ConjugateGradient(
+                  [&calls](const Vector& v) {
+                    ++calls;
+                    return v;
+                  },
+                  {0, 0, 0, 0})
+                  .ValueOrDie();
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(cg, (Vector{0, 0, 0, 0}));
 }
 
 TEST(ConjugateGradientTest, RejectsIndefiniteOperator) {

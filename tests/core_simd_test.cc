@@ -1,0 +1,356 @@
+#include "xai/core/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "xai/core/linalg.h"
+#include "xai/core/matrix.h"
+#include "xai/core/parallel.h"
+#include "xai/core/rng.h"
+#include "xai/model/logistic_regression.h"
+#include "xai/model/mlp.h"
+
+namespace xai {
+namespace {
+
+// The kernel determinism contract (simd.h): every kernel produces
+// bit-identical results on every compiled backend and at every thread
+// count. These tests pin that contract for all kernels, odd sizes
+// included, and for the solver / batch-predict paths built on top.
+
+std::vector<simd::Backend> AvailableBackends() {
+  std::vector<simd::Backend> out = {simd::Backend::kScalar};
+  if (simd::MaxSupported() >= simd::Backend::kSse2)
+    out.push_back(simd::Backend::kSse2);
+  if (simd::MaxSupported() >= simd::Backend::kAvx2)
+    out.push_back(simd::Backend::kAvx2);
+  return out;
+}
+
+class BackendGuard {
+ public:
+  explicit BackendGuard(simd::Backend b) : prev_(simd::Active()) {
+    simd::SetBackend(b);
+  }
+  ~BackendGuard() { simd::SetBackend(prev_); }
+
+ private:
+  simd::Backend prev_;
+};
+
+class ThreadsGuard {
+ public:
+  explicit ThreadsGuard(int n) : saved_(GetNumThreads()) {
+    SetNumThreads(n);
+  }
+  ~ThreadsGuard() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+// Exact bit comparison (EXPECT_EQ on doubles would conflate +0.0/-0.0).
+::testing::AssertionResult BitEqual(const double* a, const double* b,
+                                    size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << a[i] << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult BitEqual(const Vector& a, const Vector& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "size mismatch";
+  return BitEqual(a.data(), b.data(), a.size());
+}
+
+Vector RandomVector(size_t n, Rng* rng) {
+  Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng->Uniform(-3.0, 3.0);
+  return v;
+}
+
+const std::vector<size_t> kSizes = {0, 1, 2, 3, 4, 5, 7, 8, 13, 31, 100};
+
+// The CI `XAI_SIMD=scalar` job relies on the env var actually steering the
+// dispatch point. Every BackendGuard in this file restores the env-resolved
+// backend on destruction, so Active() outside a guard reflects XAI_SIMD no
+// matter where gtest schedules this test.
+TEST(SimdKernelTest, EnvVariableSteersDispatch) {
+  const char* env = std::getenv("XAI_SIMD");
+  if (env == nullptr) GTEST_SKIP() << "XAI_SIMD not set";
+  std::string want(env);
+  if (want == "scalar") EXPECT_EQ(simd::Active(), simd::Backend::kScalar);
+  if (want == "sse2" && simd::MaxSupported() >= simd::Backend::kSse2)
+    EXPECT_EQ(simd::Active(), simd::Backend::kSse2);
+  if (want == "avx2" && simd::MaxSupported() >= simd::Backend::kAvx2)
+    EXPECT_EQ(simd::Active(), simd::Backend::kAvx2);
+}
+
+TEST(SimdKernelTest, DotBitIdenticalAcrossBackends) {
+  Rng rng(11);
+  for (size_t n : kSizes) {
+    Vector a = RandomVector(n, &rng), b = RandomVector(n, &rng);
+    BackendGuard scalar(simd::Backend::kScalar);
+    double ref = simd::Dot(a.data(), b.data(), n);
+    for (simd::Backend be : AvailableBackends()) {
+      BackendGuard g(be);
+      double got = simd::Dot(a.data(), b.data(), n);
+      EXPECT_TRUE(BitEqual(&ref, &got, 1))
+          << "n=" << n << " backend=" << simd::BackendName(be);
+    }
+  }
+}
+
+TEST(SimdKernelTest, DotMatchesLongDoubleReference) {
+  Rng rng(12);
+  Vector a = RandomVector(257, &rng), b = RandomVector(257, &rng);
+  long double acc = 0.0L;
+  for (size_t i = 0; i < a.size(); ++i)
+    acc += static_cast<long double>(a[i]) * b[i];
+  double got = simd::Dot(a.data(), b.data(), a.size());
+  EXPECT_NEAR(got, static_cast<double>(acc), 1e-10);
+}
+
+TEST(SimdKernelTest, AxpyBitIdenticalAcrossBackends) {
+  Rng rng(13);
+  for (size_t n : kSizes) {
+    Vector x = RandomVector(n, &rng), y0 = RandomVector(n, &rng);
+    Vector ref = y0;
+    {
+      BackendGuard scalar(simd::Backend::kScalar);
+      simd::Axpy(0.7, x.data(), ref.data(), n);
+    }
+    for (simd::Backend be : AvailableBackends()) {
+      BackendGuard g(be);
+      Vector y = y0;
+      simd::Axpy(0.7, x.data(), y.data(), n);
+      EXPECT_TRUE(BitEqual(ref, y))
+          << "n=" << n << " backend=" << simd::BackendName(be);
+    }
+  }
+}
+
+TEST(SimdKernelTest, ScaledSquaredDistanceBitIdenticalAcrossBackends) {
+  Rng rng(14);
+  for (size_t n : kSizes) {
+    Vector a = RandomVector(n, &rng), b = RandomVector(n, &rng);
+    Vector w(n);
+    for (size_t i = 0; i < n; ++i) w[i] = rng.Uniform(0.0, 2.0);
+    for (const double* wp :
+         {static_cast<const double*>(nullptr),
+          static_cast<const double*>(w.data())}) {
+      BackendGuard scalar(simd::Backend::kScalar);
+      double ref = simd::ScaledSquaredDistance(a.data(), b.data(), n, wp);
+      for (simd::Backend be : AvailableBackends()) {
+        BackendGuard g(be);
+        double got = simd::ScaledSquaredDistance(a.data(), b.data(), n, wp);
+        EXPECT_TRUE(BitEqual(&ref, &got, 1))
+            << "n=" << n << " weighted=" << (wp != nullptr)
+            << " backend=" << simd::BackendName(be);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, WeightedOuterAccumulateBitIdenticalAcrossBackends) {
+  Rng rng(15);
+  for (int d : {1, 2, 3, 5, 8, 17}) {
+    int stride = d + 2;  // Sub-block update, like the Hessian bias column.
+    Vector row = RandomVector(d, &rng);
+    Vector g0 = RandomVector(static_cast<size_t>(d) * stride, &rng);
+    Vector ref = g0;
+    {
+      BackendGuard scalar(simd::Backend::kScalar);
+      simd::WeightedOuterAccumulate(1.3, row.data(), d, ref.data(), stride);
+    }
+    for (simd::Backend be : AvailableBackends()) {
+      BackendGuard bg(be);
+      Vector g = g0;
+      simd::WeightedOuterAccumulate(1.3, row.data(), d, g.data(), stride);
+      EXPECT_TRUE(BitEqual(ref, g))
+          << "d=" << d << " backend=" << simd::BackendName(be);
+    }
+  }
+}
+
+struct GemmShape {
+  int m, n, k;
+};
+
+const std::vector<GemmShape> kGemmShapes = {
+    {1, 1, 1}, {2, 8, 4},  {3, 9, 5},   {1, 17, 3},
+    {7, 5, 13}, {8, 16, 8}, {13, 31, 7}, {16, 24, 32}};
+
+TEST(SimdKernelTest, GemmBitIdenticalAcrossBackends) {
+  Rng rng(16);
+  for (const GemmShape& s : kGemmShapes) {
+    int lda = s.k + 1, ldb = s.n + 2, ldc = s.n + 1;  // Padded strides.
+    Vector a = RandomVector(static_cast<size_t>(s.m) * lda, &rng);
+    Vector b = RandomVector(static_cast<size_t>(s.k) * ldb, &rng);
+    Vector c0 = RandomVector(static_cast<size_t>(s.m) * ldc, &rng);
+    Vector ref = c0;
+    {
+      BackendGuard scalar(simd::Backend::kScalar);
+      simd::Gemm(s.m, s.n, s.k, a.data(), lda, b.data(), ldb, ref.data(),
+                 ldc);
+    }
+    for (simd::Backend be : AvailableBackends()) {
+      BackendGuard g(be);
+      Vector c = c0;
+      simd::Gemm(s.m, s.n, s.k, a.data(), lda, b.data(), ldb, c.data(), ldc);
+      EXPECT_TRUE(BitEqual(ref, c))
+          << "m=" << s.m << " n=" << s.n << " k=" << s.k
+          << " backend=" << simd::BackendName(be);
+    }
+  }
+}
+
+TEST(SimdKernelTest, GemmTNBitIdenticalAcrossBackends) {
+  Rng rng(17);
+  for (const GemmShape& s : kGemmShapes) {
+    int lda = s.m + 1, ldb = s.n + 2, ldc = s.n + 1;  // A is k x m here.
+    Vector a = RandomVector(static_cast<size_t>(s.k) * lda, &rng);
+    Vector b = RandomVector(static_cast<size_t>(s.k) * ldb, &rng);
+    Vector c0 = RandomVector(static_cast<size_t>(s.m) * ldc, &rng);
+    Vector ref = c0;
+    {
+      BackendGuard scalar(simd::Backend::kScalar);
+      simd::GemmTN(s.m, s.n, s.k, a.data(), lda, b.data(), ldb, ref.data(),
+                   ldc);
+    }
+    for (simd::Backend be : AvailableBackends()) {
+      BackendGuard g(be);
+      Vector c = c0;
+      simd::GemmTN(s.m, s.n, s.k, a.data(), lda, b.data(), ldb, c.data(),
+                   ldc);
+      EXPECT_TRUE(BitEqual(ref, c))
+          << "m=" << s.m << " n=" << s.n << " k=" << s.k
+          << " backend=" << simd::BackendName(be);
+    }
+  }
+}
+
+TEST(SimdKernelTest, GemmMatchesNaiveTripleLoop) {
+  Rng rng(18);
+  int m = 9, n = 14, k = 11;
+  Matrix a(m, k), b(k, n);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < k; ++j) a(i, j) = rng.Normal();
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < n; ++j) b(i, j) = rng.Normal();
+  Matrix c(m, n);
+  simd::Gemm(m, n, k, a.RowPtr(0), k, b.RowPtr(0), n, c.RowPtr(0), n);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) acc += a(i, p) * b(p, j);
+      EXPECT_NEAR(c(i, j), acc, 1e-12) << i << "," << j;
+    }
+}
+
+TEST(SimdKernelTest, SetBackendClampsToMaxSupported) {
+  BackendGuard g(simd::Active());
+  simd::Backend applied = simd::SetBackend(simd::Backend::kAvx2);
+  EXPECT_LE(applied, simd::MaxSupported());
+  EXPECT_EQ(applied, simd::Active());
+  EXPECT_EQ(simd::SetBackend(simd::Backend::kScalar),
+            simd::Backend::kScalar);
+}
+
+// --- Composite paths: solver and batch prediction built on the kernels. ---
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j) m(i, j) = rng->Normal();
+  return m;
+}
+
+TEST(SimdCompositeTest, WlsSolveBitIdenticalAcrossBackendsAndThreads) {
+  Rng rng(21);
+  Matrix x = RandomMatrix(120, 7, &rng);
+  Vector y = RandomVector(120, &rng);
+  Vector w(120);
+  for (int i = 0; i < 120; ++i) w[i] = rng.Uniform(0.1, 2.0);
+
+  Vector ref;
+  {
+    BackendGuard g(simd::Backend::kScalar);
+    ThreadsGuard t(1);
+    ref = WeightedRidgeRegression(x, y, w, 0.01, true).ValueOrDie();
+  }
+  for (simd::Backend be : AvailableBackends()) {
+    for (int threads : {1, 4, 8}) {
+      BackendGuard g(be);
+      ThreadsGuard t(threads);
+      Vector got = WeightedRidgeRegression(x, y, w, 0.01, true).ValueOrDie();
+      EXPECT_TRUE(BitEqual(ref, got))
+          << "backend=" << simd::BackendName(be) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(SimdCompositeTest, LogisticBatchBitIdenticalAcrossBackendsAndThreads) {
+  Rng rng(22);
+  Matrix x = RandomMatrix(300, 6, &rng);
+  Vector y(300);
+  for (int i = 0; i < 300; ++i) y[i] = x(i, 0) + x(i, 1) > 0 ? 1.0 : 0.0;
+  LogisticRegressionModel model =
+      LogisticRegressionModel::Train(x, y, {}).ValueOrDie();
+
+  Vector ref;
+  {
+    BackendGuard g(simd::Backend::kScalar);
+    ThreadsGuard t(1);
+    ref = model.PredictBatch(x);
+  }
+  // Batch must equal row-wise Predict bitwise.
+  for (int i = 0; i < x.rows(); ++i) {
+    double p = model.Predict(x.Row(i));
+    ASSERT_TRUE(BitEqual(&ref[i], &p, 1)) << "row " << i;
+  }
+  for (simd::Backend be : AvailableBackends()) {
+    for (int threads : {1, 4, 8}) {
+      BackendGuard g(be);
+      ThreadsGuard t(threads);
+      Vector got = model.PredictBatch(x);
+      EXPECT_TRUE(BitEqual(ref, got))
+          << "backend=" << simd::BackendName(be) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(SimdCompositeTest, MlpBatchBitIdenticalToForwardAcrossBackends) {
+  Rng rng(23);
+  Matrix x = RandomMatrix(90, 5, &rng);
+  Vector y(90);
+  for (int i = 0; i < 90; ++i) y[i] = x(i, 0) - x(i, 2) > 0 ? 1.0 : 0.0;
+  MlpConfig cfg;
+  cfg.hidden = {9, 4};
+  cfg.epochs = 5;
+  MlpModel model =
+      MlpModel::Train(x, y, TaskType::kClassification, cfg).ValueOrDie();
+
+  Vector ref(x.rows());
+  for (int i = 0; i < x.rows(); ++i) ref[i] = model.Predict(x.Row(i));
+  for (simd::Backend be : AvailableBackends()) {
+    for (int threads : {1, 4, 8}) {
+      BackendGuard g(be);
+      ThreadsGuard t(threads);
+      Vector got = model.PredictBatch(x);
+      EXPECT_TRUE(BitEqual(ref, got))
+          << "backend=" << simd::BackendName(be) << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xai
