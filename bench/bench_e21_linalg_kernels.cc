@@ -201,13 +201,17 @@ void Run(int argc, char** argv) {
       "batch predict)",
       "dispatched kernels give >= 2x serial GEMM / WLS-assembly speedup "
       "with bit-identical results across scalar/sse2/avx2 backends and "
-      "< 1e-9 drift vs the pre-kernel loops",
-      "GEMM 256^3; WLS 6000x64; LIME d=128 n=4000 and KernelSHAP d=64 "
-      "end-to-end A/B between scalar and dispatched backends");
+      "< 1e-9 drift vs the pre-kernel loops; the packed/tiled GEMM adds "
+      ">= 2x over the direct kernel at 512^3 and the fused LIME/KernelSHAP "
+      "pipelines beat the materialized paths bit-identically",
+      "GEMM 256^3 + packed 512^3 (+ opt-in fma tier); WLS 6000x64; LIME "
+      "d=128 n=4000 and KernelSHAP d=64 end-to-end A/B between scalar and "
+      "dispatched backends and fused vs materialized pipelines");
   bench::RunReport report(
       "e21",
       "SIMD kernel layer: >=2x serial GEMM/WLS-assembly speedup, "
-      "bit-identical across backends, <1e-9 vs pre-kernel loops");
+      "bit-identical across backends, <1e-9 vs pre-kernel loops; packed "
+      "GEMM >=2x over direct; fused explainer pipelines bit-identical");
   report.Note("simd_best_backend", simd::BackendName(best));
   report.Note("mode", smoke ? "smoke" : "full");
   report.Metric("threads", threads);
@@ -254,6 +258,89 @@ void Run(int argc, char** argv) {
     report.Metric("gemm_speedup_serial", scalar_sec / simd_sec);
     report.Metric("gemm_bit_identical_backends", identical ? 1 : 0);
     report.Metric("gemm_max_delta_vs_pre", delta);
+  }
+
+  // -- Packed GEMM vs PR5 direct path ---------------------------------------
+  {
+    bench::Section(
+        "packed GEMM vs direct (cache-blocked + register-tiled + threaded)");
+    const int n = smoke ? 256 : 512;
+    Matrix a = RandomMatrix(n, n, &rng), b = RandomMatrix(n, n, &rng);
+    const double flops = 2.0 * n * n * n;
+
+    simd::SetBackend(best);
+    SetNumThreads(1);
+    Matrix c_direct(n, n), c_packed(n, n);
+    simd::GemmDirect(n, n, n, a.RowPtr(0), n, b.RowPtr(0), n,
+                     c_direct.RowPtr(0), n);
+    simd::GemmPacked(n, n, n, a.RowPtr(0), n, b.RowPtr(0), n,
+                     c_packed.RowPtr(0), n);
+    bool identical = BitIdentical(c_direct, c_packed);
+
+    double direct_sec = BestOf(kReps, [&] {
+      Matrix c(n, n);
+      simd::GemmDirect(n, n, n, a.RowPtr(0), n, b.RowPtr(0), n, c.RowPtr(0),
+                       n);
+    });
+    double packed1_sec = BestOf(kReps, [&] {
+      Matrix c(n, n);
+      simd::GemmPacked(n, n, n, a.RowPtr(0), n, b.RowPtr(0), n, c.RowPtr(0),
+                       n);
+    });
+    SetNumThreads(8);
+    double packed8_sec = BestOf(kReps, [&] {
+      Matrix c(n, n);
+      simd::GemmPacked(n, n, n, a.RowPtr(0), n, b.RowPtr(0), n, c.RowPtr(0),
+                       n);
+    });
+    SetNumThreads(threads);
+
+    std::printf("n=%d  direct=%.2f ms  packed(t1)=%.2f ms  "
+                "packed(t8)=%.2f ms  speedup(t1)=%.2fx  speedup(t8)=%.2fx  "
+                "%.2f GFLOP/s(t8)  bit-identical=%s\n",
+                n, direct_sec * 1e3, packed1_sec * 1e3, packed8_sec * 1e3,
+                direct_sec / packed1_sec, direct_sec / packed8_sec,
+                flops / packed8_sec * 1e-9, identical ? "yes" : "NO");
+    report.Metric("gemm_packed_n", n);
+    report.Metric("gemm_direct_ms", direct_sec * 1e3);
+    report.Metric("gemm_packed_t1_ms", packed1_sec * 1e3);
+    report.Metric("gemm_packed_t8_ms", packed8_sec * 1e3);
+    report.Metric("gemm_packed_speedup_vs_direct_serial",
+                  direct_sec / packed1_sec);
+    report.Metric("gemm_packed_speedup_vs_direct",
+                  direct_sec / packed8_sec);
+    report.Metric("gemm_packed_gflops", flops / packed8_sec * 1e-9);
+    report.Metric("gemm_packed_bit_identical", identical ? 1 : 0);
+
+    // -- Opt-in FMA tier: flop rate plus drift vs the default tier. --------
+    if (simd::FmaSupported()) {
+      SetNumThreads(1);
+      simd::SetBackend(simd::Backend::kFma);
+      Matrix c_fma(n, n);
+      simd::GemmPacked(n, n, n, a.RowPtr(0), n, b.RowPtr(0), n,
+                       c_fma.RowPtr(0), n);
+      double fma_sec = BestOf(kReps, [&] {
+        Matrix c(n, n);
+        simd::GemmPacked(n, n, n, a.RowPtr(0), n, b.RowPtr(0), n,
+                         c.RowPtr(0), n);
+      });
+      double rel = 0.0;
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) {
+          double scale = std::max(1.0, std::fabs(c_packed(i, j)));
+          rel = std::max(rel, std::fabs(c_fma(i, j) - c_packed(i, j)) /
+                                  scale);
+        }
+      simd::SetBackend(best);
+      SetNumThreads(threads);
+      std::printf("fma : packed=%.2f ms  %.2f GFLOP/s  "
+                  "max rel drift vs %s=%.3g\n",
+                  fma_sec * 1e3, flops / fma_sec * 1e-9,
+                  simd::BackendName(best), rel);
+      report.Metric("gemm_fma_ms", fma_sec * 1e3);
+      report.Metric("gemm_fma_gflops", flops / fma_sec * 1e-9);
+      report.Metric("gemm_fma_max_rel_drift", rel);
+    }
   }
 
   // -- WLS assembly + solve --------------------------------------------------
@@ -404,6 +491,30 @@ void Run(int argc, char** argv) {
     double checksum = 0.0;
     for (double v : e_simd.attributions) checksum += v;
     report.Metric("lime_attribution_checksum", checksum);
+
+    // Fused streaming pipeline vs the materialized design-matrix path
+    // (both on the dispatched backend, serial — the PR5 baseline is the
+    // materialized path).
+    LimeConfig mat_config = config;
+    mat_config.fused = false;
+    LimeExplainer lime_mat(train, mat_config);
+    SetNumThreads(1);
+    simd::SetBackend(best);
+    LimeExplanation e_mat = lime_mat.Explain(f, train.Row(0), 1).ValueOrDie();
+    double mat_sec = BestOf(kReps, [&] {
+      auto e = lime_mat.Explain(f, train.Row(0), 1);
+      (void)e;
+    });
+    SetNumThreads(threads);
+    bool fused_identical =
+        BitIdentical(e_mat.attributions, e_simd.attributions);
+    std::printf("fused=%.2f ms  materialized=%.2f ms  speedup=%.2fx  "
+                "attributions bit-identical=%s\n",
+                simd_sec * 1e3, mat_sec * 1e3, mat_sec / simd_sec,
+                fused_identical ? "yes" : "NO");
+    report.Metric("lime_materialized_ms", mat_sec * 1e3);
+    report.Metric("lime_fused_speedup", mat_sec / simd_sec);
+    report.Metric("lime_fused_bit_identical", fused_identical ? 1 : 0);
   }
 
   // -- End-to-end: KernelSHAP ------------------------------------------------
@@ -450,6 +561,34 @@ void Run(int argc, char** argv) {
     double checksum = 0.0;
     for (double v : ks_simd.attributions) checksum += v;
     report.Metric("kernelshap_attribution_checksum", checksum);
+
+    // Fused streaming pipeline vs the materialized design + constrained
+    // solve (both dispatched backend, serial).
+    KernelShapConfig mat_config = config;
+    mat_config.fused = false;
+    SetNumThreads(1);
+    simd::SetBackend(best);
+    auto run_mat = [&] {
+      MarginalFeatureGame game(AsPredictFn(model), instance, data.x(),
+                               /*background_rows=*/16);
+      Rng r(99);
+      return KernelShap(game, mat_config, &r).ValueOrDie();
+    };
+    AttributionExplanation ks_mat = run_mat();
+    double mat_sec = BestOf(kReps, [&] {
+      auto e = run_mat();
+      (void)e;
+    });
+    SetNumThreads(threads);
+    bool fused_identical =
+        BitIdentical(ks_mat.attributions, ks_simd.attributions);
+    std::printf("fused=%.2f ms  materialized=%.2f ms  speedup=%.2fx  "
+                "attributions bit-identical=%s\n",
+                simd_sec * 1e3, mat_sec * 1e3, mat_sec / simd_sec,
+                fused_identical ? "yes" : "NO");
+    report.Metric("kernelshap_materialized_ms", mat_sec * 1e3);
+    report.Metric("kernelshap_fused_speedup", mat_sec / simd_sec);
+    report.Metric("kernelshap_fused_bit_identical", fused_identical ? 1 : 0);
   }
 
   simd::SetBackend(best);

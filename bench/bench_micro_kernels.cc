@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "xai/core/matrix.h"
+#include "xai/core/parallel.h"
 #include "xai/core/rng.h"
 #include "xai/core/simd.h"
 #include "xai/data/synthetic.h"
@@ -91,6 +92,45 @@ BENCHMARK(BM_GemmKernel)
     ->Args({64, 1})
     ->Args({192, 0})
     ->Args({192, 1});
+
+// Packed GEMM flop-rate sweep: range(0) = n (C += A*B at n^3), range(1) =
+// the Backend enum value (0 scalar, 1 sse2, 2 avx2, 3 fma — fma is opt-in
+// and skipped when the host lacks it), range(2) = thread count.
+// items_per_second == FLOP/s (2 n^3 per iteration).
+void BM_GemmPackedFlopRate(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto want = static_cast<simd::Backend>(state.range(1));
+  simd::Backend prev = simd::Active();
+  if (simd::SetBackend(want) != want) {
+    simd::SetBackend(prev);
+    state.SkipWithError("backend not supported on this host");
+    return;
+  }
+  int prev_threads = GetNumThreads();
+  SetNumThreads(static_cast<int>(state.range(2)));
+  Rng rng(1);
+  Matrix a(n, n), b(n, n), c(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      a(i, j) = rng.Normal();
+      b(i, j) = rng.Normal();
+    }
+  for (auto _ : state) {
+    simd::GemmPacked(n, n, n, a.RowPtr(0), n, b.RowPtr(0), n, c.RowPtr(0),
+                     n);
+    benchmark::DoNotOptimize(c.RowPtr(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<int64_t>(n) *
+                          n * n);
+  SetNumThreads(prev_threads);
+  simd::SetBackend(prev);
+}
+void GemmPackedSweepArgs(benchmark::internal::Benchmark* bench) {
+  for (int size : {64, 128, 256, 512, 1024})
+    for (int backend : {0, 1, 2, 3})
+      for (int threads : {1, 4, 8}) bench->Args({size, backend, threads});
+}
+BENCHMARK(BM_GemmPackedFlopRate)->Apply(GemmPackedSweepArgs);
 
 void BM_CholeskySolve(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));

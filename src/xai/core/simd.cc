@@ -1,8 +1,16 @@
 #include "xai/core/simd.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
+
+#include "xai/core/check.h"
+#include "xai/core/parallel.h"
+#include "xai/core/telemetry.h"
+#include "xai/core/timer.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #define XAI_SIMD_X86 1
@@ -15,11 +23,13 @@ namespace xai {
 namespace simd {
 
 // ---------------------------------------------------------------------------
-// Backend selection.
+// Backend probing and name parsing.
 // ---------------------------------------------------------------------------
 
 const char* BackendName(Backend backend) {
   switch (backend) {
+    case Backend::kFma:
+      return "fma";
     case Backend::kAvx2:
       return "avx2";
     case Backend::kSse2:
@@ -32,7 +42,9 @@ const char* BackendName(Backend backend) {
 
 Backend MaxSupported() {
 #if XAI_SIMD_X86
-  // SSE2 is architectural on x86-64; AVX2 needs a CPUID probe.
+  // SSE2 is architectural on x86-64; AVX2 needs a CPUID probe. kFma is
+  // opt-in only, so the auto-detected ceiling stops at the bit-identical
+  // tiers even on FMA-capable hardware.
   if (__builtin_cpu_supports("avx2")) return Backend::kAvx2;
   return Backend::kSse2;
 #else
@@ -40,43 +52,47 @@ Backend MaxSupported() {
 #endif
 }
 
+bool FmaSupported() {
+#if XAI_SIMD_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Backend ParseBackendName(const char* name) {
+  XAI_CHECK_MSG(name != nullptr, "XAI_SIMD backend name is null");
+  if (std::strcmp(name, "scalar") == 0) return Backend::kScalar;
+  if (std::strcmp(name, "sse2") == 0) return Backend::kSse2;
+  if (std::strcmp(name, "avx2") == 0) return Backend::kAvx2;
+  if (std::strcmp(name, "fma") == 0) return Backend::kFma;
+  // A typo must not silently fall back to auto-detection: whoever set
+  // XAI_SIMD is running an A/B experiment and needs to know it didn't apply.
+  XAI_CHECK_MSG(false, name);
+  return Backend::kScalar;  // Unreachable.
+}
+
 namespace {
 
 Backend ClampToSupported(Backend backend) {
+  if (backend == Backend::kFma)
+    return FmaSupported() ? Backend::kFma : MaxSupported();
   Backend max = MaxSupported();
   return static_cast<int>(backend) > static_cast<int>(max) ? max : backend;
 }
 
 Backend InitialBackend() {
-  if (const char* env = std::getenv("XAI_SIMD")) {
-    if (std::strcmp(env, "scalar") == 0) return Backend::kScalar;
-    if (std::strcmp(env, "sse2") == 0) return ClampToSupported(Backend::kSse2);
-    if (std::strcmp(env, "avx2") == 0) return ClampToSupported(Backend::kAvx2);
-    // Unrecognized values fall through to auto-detection.
-  }
+  if (const char* env = std::getenv("XAI_SIMD"))
+    return ClampToSupported(ParseBackendName(env));
   return MaxSupported();
-}
-
-// Relaxed atomic so TSan-clean to read from worker threads; written only at
-// startup and from SetBackend (documented non-concurrent with kernels).
-std::atomic<Backend>& ActiveSlot() {
-  static std::atomic<Backend> active{InitialBackend()};
-  return active;
 }
 
 }  // namespace
 
-Backend Active() { return ActiveSlot().load(std::memory_order_relaxed); }
-
-Backend SetBackend(Backend backend) {
-  Backend applied = ClampToSupported(backend);
-  ActiveSlot().store(applied, std::memory_order_relaxed);
-  return applied;
-}
-
 // ---------------------------------------------------------------------------
 // Scalar backend: the reference for the 4-wide stripe contract. Every other
-// backend must reproduce these exact per-lane IEEE operation chains.
+// backend (except the opt-in FMA tier) must reproduce these exact per-lane
+// IEEE operation chains.
 //
 // Auto-vectorization is disabled on these functions: the stripe layout is
 // exactly what the compiler's vectorizer looks for, and letting it fire
@@ -160,8 +176,8 @@ XAI_SIMD_NOVEC double SsdScalar(const double* a, const double* b, size_t n,
   return (acc0 + acc1) + (acc2 + acc3);
 }
 
-// Shared i/j edge handling for Gemm: plain per-element loops with the same
-// ascending-k accumulation chain as the blocked kernels.
+// Shared i/j edge handling for the direct Gemm path: plain per-element loops
+// with the same ascending-k accumulation chain as the blocked kernels.
 XAI_SIMD_NOVEC void GemmEdgeScalar(int i_begin, int i_end, int j_begin,
                                    int j_end, int k, const double* a, int lda,
                                    const double* b, int ldb, double* c,
@@ -199,6 +215,46 @@ XAI_SIMD_NOVEC void WeightedOuterScalar(double w, const double* row, int d,
   for (int a = 0; a < d; ++a) {
     double s = w * row[a];
     AxpyScalar(s, row + a, g + static_cast<size_t>(a) * stride + a, d - a);
+  }
+}
+
+// Packed micro-kernel, scalar flavor: one full MR x NR tile of C over a
+// KC-long contraction, reading unit-stride panels. Accumulators live in a
+// local array across the whole kc loop, so each C element carries exactly
+// one ascending-p chain — the same chain as the direct path.
+XAI_SIMD_NOVEC void GemmMicroScalar(int kc, const double* ap,
+                                    const double* bp, double* c, int ldc) {
+  double acc[kGemmMR][kGemmNR];
+  for (int r = 0; r < kGemmMR; ++r)
+    for (int j = 0; j < kGemmNR; ++j)
+      acc[r][j] = c[static_cast<size_t>(r) * ldc + j];
+  for (int p = 0; p < kc; ++p) {
+    const double* brow = bp + static_cast<size_t>(p) * kGemmNR;
+    const double* acol = ap + static_cast<size_t>(p) * kGemmMR;
+    for (int r = 0; r < kGemmMR; ++r) {
+      double av = acol[r];
+      for (int j = 0; j < kGemmNR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int r = 0; r < kGemmMR; ++r)
+    for (int j = 0; j < kGemmNR; ++j)
+      c[static_cast<size_t>(r) * ldc + j] = acc[r][j];
+}
+
+// Packed edge micro-kernel (mr < MR and/or nr < NR), shared by every
+// backend: loops only over the valid panel lanes so the zero padding in the
+// packed buffers is never accumulated (adding a * 0.0 could flip a -0.0
+// result to +0.0 and break bit-equality with the direct path).
+XAI_SIMD_NOVEC void GemmMicroEdgeScalar(int kc, int mr, int nr,
+                                        const double* ap, const double* bp,
+                                        double* c, int ldc) {
+  for (int r = 0; r < mr; ++r) {
+    double* crow = c + static_cast<size_t>(r) * ldc;
+    for (int p = 0; p < kc; ++p) {
+      double av = ap[static_cast<size_t>(p) * kGemmMR + r];
+      const double* brow = bp + static_cast<size_t>(p) * kGemmNR;
+      for (int j = 0; j < nr; ++j) crow[j] += av * brow[j];
+    }
   }
 }
 
@@ -330,6 +386,53 @@ void WeightedOuterSse2(double w, const double* row, int d, double* g,
   for (int a = 0; a < d; ++a) {
     double s = w * row[a];
     AxpySse2(s, row + a, g + static_cast<size_t>(a) * stride + a, d - a);
+  }
+}
+
+// Packed 4x8 micro-kernel as two sequential 4x4 halves (8 xmm accumulators
+// each — the full tile would need 16 and spill). Each half runs the whole
+// kc loop, so every C element still carries one ascending-p chain.
+void GemmMicroSse2(int kc, const double* ap, const double* bp, double* c,
+                   int ldc) {
+  double* c0 = c;
+  double* c1 = c0 + ldc;
+  double* c2 = c1 + ldc;
+  double* c3 = c2 + ldc;
+  for (int h = 0; h < kGemmNR; h += 4) {
+    __m128d c00 = _mm_loadu_pd(c0 + h);
+    __m128d c01 = _mm_loadu_pd(c0 + h + 2);
+    __m128d c10 = _mm_loadu_pd(c1 + h);
+    __m128d c11 = _mm_loadu_pd(c1 + h + 2);
+    __m128d c20 = _mm_loadu_pd(c2 + h);
+    __m128d c21 = _mm_loadu_pd(c2 + h + 2);
+    __m128d c30 = _mm_loadu_pd(c3 + h);
+    __m128d c31 = _mm_loadu_pd(c3 + h + 2);
+    for (int p = 0; p < kc; ++p) {
+      const double* brow = bp + static_cast<size_t>(p) * kGemmNR + h;
+      const double* acol = ap + static_cast<size_t>(p) * kGemmMR;
+      __m128d b0 = _mm_loadu_pd(brow);
+      __m128d b1 = _mm_loadu_pd(brow + 2);
+      __m128d va = _mm_set1_pd(acol[0]);
+      c00 = _mm_add_pd(c00, _mm_mul_pd(va, b0));
+      c01 = _mm_add_pd(c01, _mm_mul_pd(va, b1));
+      va = _mm_set1_pd(acol[1]);
+      c10 = _mm_add_pd(c10, _mm_mul_pd(va, b0));
+      c11 = _mm_add_pd(c11, _mm_mul_pd(va, b1));
+      va = _mm_set1_pd(acol[2]);
+      c20 = _mm_add_pd(c20, _mm_mul_pd(va, b0));
+      c21 = _mm_add_pd(c21, _mm_mul_pd(va, b1));
+      va = _mm_set1_pd(acol[3]);
+      c30 = _mm_add_pd(c30, _mm_mul_pd(va, b0));
+      c31 = _mm_add_pd(c31, _mm_mul_pd(va, b1));
+    }
+    _mm_storeu_pd(c0 + h, c00);
+    _mm_storeu_pd(c0 + h + 2, c01);
+    _mm_storeu_pd(c1 + h, c10);
+    _mm_storeu_pd(c1 + h + 2, c11);
+    _mm_storeu_pd(c2 + h, c20);
+    _mm_storeu_pd(c2 + h + 2, c21);
+    _mm_storeu_pd(c3 + h, c30);
+    _mm_storeu_pd(c3 + h + 2, c31);
   }
 }
 
@@ -506,110 +609,554 @@ __attribute__((target("avx2"))) void WeightedOuterAvx2(double w,
   }
 }
 
+// Packed 4x8 micro-kernel: 8 ymm accumulators + 2 B vectors + 1 broadcast
+// register — fits the 16-register file with room for addressing. The panels
+// are unit-stride, so the only loads in the loop are two contiguous ymm
+// reads of B and four scalar broadcasts of A.
+__attribute__((target("avx2"))) void GemmMicroAvx2(int kc, const double* ap,
+                                                   const double* bp,
+                                                   double* c, int ldc) {
+  double* c0 = c;
+  double* c1 = c0 + ldc;
+  double* c2 = c1 + ldc;
+  double* c3 = c2 + ldc;
+  __m256d acc00 = _mm256_loadu_pd(c0);
+  __m256d acc01 = _mm256_loadu_pd(c0 + 4);
+  __m256d acc10 = _mm256_loadu_pd(c1);
+  __m256d acc11 = _mm256_loadu_pd(c1 + 4);
+  __m256d acc20 = _mm256_loadu_pd(c2);
+  __m256d acc21 = _mm256_loadu_pd(c2 + 4);
+  __m256d acc30 = _mm256_loadu_pd(c3);
+  __m256d acc31 = _mm256_loadu_pd(c3 + 4);
+  for (int p = 0; p < kc; ++p) {
+    const double* brow = bp + static_cast<size_t>(p) * kGemmNR;
+    const double* acol = ap + static_cast<size_t>(p) * kGemmMR;
+    __m256d b0 = _mm256_loadu_pd(brow);
+    __m256d b1 = _mm256_loadu_pd(brow + 4);
+    __m256d va = _mm256_set1_pd(acol[0]);
+    acc00 = _mm256_add_pd(acc00, _mm256_mul_pd(va, b0));
+    acc01 = _mm256_add_pd(acc01, _mm256_mul_pd(va, b1));
+    va = _mm256_set1_pd(acol[1]);
+    acc10 = _mm256_add_pd(acc10, _mm256_mul_pd(va, b0));
+    acc11 = _mm256_add_pd(acc11, _mm256_mul_pd(va, b1));
+    va = _mm256_set1_pd(acol[2]);
+    acc20 = _mm256_add_pd(acc20, _mm256_mul_pd(va, b0));
+    acc21 = _mm256_add_pd(acc21, _mm256_mul_pd(va, b1));
+    va = _mm256_set1_pd(acol[3]);
+    acc30 = _mm256_add_pd(acc30, _mm256_mul_pd(va, b0));
+    acc31 = _mm256_add_pd(acc31, _mm256_mul_pd(va, b1));
+  }
+  _mm256_storeu_pd(c0, acc00);
+  _mm256_storeu_pd(c0 + 4, acc01);
+  _mm256_storeu_pd(c1, acc10);
+  _mm256_storeu_pd(c1 + 4, acc11);
+  _mm256_storeu_pd(c2, acc20);
+  _mm256_storeu_pd(c2 + 4, acc21);
+  _mm256_storeu_pd(c3, acc30);
+  _mm256_storeu_pd(c3 + 4, acc31);
+}
+
 }  // namespace
 #endif  // XAI_SIMD_X86
 
 // ---------------------------------------------------------------------------
-// Dispatch. One branch on a relaxed atomic per kernel call; the kernels are
-// large enough that the branch is noise.
+// FMA tier: AVX2 + fused multiply-add. OUTSIDE the bit-identity contract —
+// one rounding per multiply-add instead of two — so these are only reachable
+// through the explicit XAI_SIMD=fma / SetBackend(kFma) opt-in and are
+// validated against a long-double reference by tolerance, never bitwise.
+// ScaledSquaredDistance reuses the AVX2 kernel (its (a-b)^2 * w shape gains
+// nothing from contraction worth a third variant).
+// ---------------------------------------------------------------------------
+
+#if XAI_SIMD_X86
+namespace {
+
+__attribute__((target("avx2,fma"))) double DotFma(const double* a,
+                                                  const double* b, size_t n) {
+  __m256d vacc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vacc = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           vacc);
+  }
+  double acc[4];
+  _mm256_storeu_pd(acc, vacc);
+  for (size_t r = 0; i + r < n; ++r) acc[r] += a[i + r] * b[i + r];
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+__attribute__((target("avx2,fma"))) void AxpyFma(double s, const double* x,
+                                                 double* y, size_t n) {
+  __m256d vs = _mm256_set1_pd(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_fmadd_pd(vs, _mm256_loadu_pd(x + i),
+                                            _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] += s * x[i];
+}
+
+__attribute__((target("avx2,fma"))) void GemmFma(int m, int n, int k,
+                                                 const double* a, int lda,
+                                                 const double* b, int ldb,
+                                                 double* c, int ldc) {
+  const int m2 = m & ~1;
+  const int n8 = n & ~7;
+  for (int i = 0; i < m2; i += 2) {
+    const double* a0 = a + static_cast<size_t>(i) * lda;
+    const double* a1 = a0 + lda;
+    double* c0 = c + static_cast<size_t>(i) * ldc;
+    double* c1 = c0 + ldc;
+    for (int j = 0; j < n8; j += 8) {
+      __m256d c00 = _mm256_loadu_pd(c0 + j);
+      __m256d c01 = _mm256_loadu_pd(c0 + j + 4);
+      __m256d c10 = _mm256_loadu_pd(c1 + j);
+      __m256d c11 = _mm256_loadu_pd(c1 + j + 4);
+      for (int p = 0; p < k; ++p) {
+        const double* brow = b + static_cast<size_t>(p) * ldb + j;
+        __m256d b0 = _mm256_loadu_pd(brow);
+        __m256d b1 = _mm256_loadu_pd(brow + 4);
+        __m256d va0 = _mm256_set1_pd(a0[p]);
+        __m256d va1 = _mm256_set1_pd(a1[p]);
+        c00 = _mm256_fmadd_pd(va0, b0, c00);
+        c01 = _mm256_fmadd_pd(va0, b1, c01);
+        c10 = _mm256_fmadd_pd(va1, b0, c10);
+        c11 = _mm256_fmadd_pd(va1, b1, c11);
+      }
+      _mm256_storeu_pd(c0 + j, c00);
+      _mm256_storeu_pd(c0 + j + 4, c01);
+      _mm256_storeu_pd(c1 + j, c10);
+      _mm256_storeu_pd(c1 + j + 4, c11);
+    }
+    int j = n8;
+    for (; j + 4 <= n; j += 4) {
+      __m256d c00 = _mm256_loadu_pd(c0 + j);
+      __m256d c10 = _mm256_loadu_pd(c1 + j);
+      for (int p = 0; p < k; ++p) {
+        __m256d bv = _mm256_loadu_pd(b + static_cast<size_t>(p) * ldb + j);
+        c00 = _mm256_fmadd_pd(_mm256_set1_pd(a0[p]), bv, c00);
+        c10 = _mm256_fmadd_pd(_mm256_set1_pd(a1[p]), bv, c10);
+      }
+      _mm256_storeu_pd(c0 + j, c00);
+      _mm256_storeu_pd(c1 + j, c10);
+    }
+    if (j < n) GemmEdgeScalar(i, i + 2, j, n, k, a, lda, b, ldb, c, ldc);
+  }
+  if (m2 < m) GemmEdgeScalar(m2, m, 0, n, k, a, lda, b, ldb, c, ldc);
+}
+
+__attribute__((target("avx2,fma"))) void GemmTNFma(int m, int n, int k,
+                                                   const double* a, int lda,
+                                                   const double* b, int ldb,
+                                                   double* c, int ldc) {
+  for (int p = 0; p < k; ++p) {
+    const double* arow = a + static_cast<size_t>(p) * lda;
+    const double* brow = b + static_cast<size_t>(p) * ldb;
+    for (int i = 0; i < m; ++i) {
+      AxpyFma(arow[i], brow, c + static_cast<size_t>(i) * ldc, n);
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void WeightedOuterFma(double w,
+                                                          const double* row,
+                                                          int d, double* g,
+                                                          int stride) {
+  int a = 0;
+  for (; a + 1 < d; a += 2) {
+    double s0 = w * row[a];
+    double s1 = w * row[a + 1];
+    double* g0 = g + static_cast<size_t>(a) * stride;
+    double* g1 = g + static_cast<size_t>(a + 1) * stride;
+    g0[a] += s0 * row[a];
+    g0[a + 1] += s0 * row[a + 1];
+    g1[a + 1] += s1 * row[a + 1];
+    int b = a + 2;
+    __m256d vs0 = _mm256_set1_pd(s0);
+    __m256d vs1 = _mm256_set1_pd(s1);
+    for (; b + 4 <= d; b += 4) {
+      __m256d vb = _mm256_loadu_pd(row + b);
+      _mm256_storeu_pd(g0 + b,
+                       _mm256_fmadd_pd(vs0, vb, _mm256_loadu_pd(g0 + b)));
+      _mm256_storeu_pd(g1 + b,
+                       _mm256_fmadd_pd(vs1, vb, _mm256_loadu_pd(g1 + b)));
+    }
+    for (; b < d; ++b) {
+      double rb = row[b];
+      g0[b] += s0 * rb;
+      g1[b] += s1 * rb;
+    }
+  }
+  if (a < d) {
+    double s = w * row[a];
+    g[static_cast<size_t>(a) * stride + a] += s * row[a];
+  }
+}
+
+__attribute__((target("avx2,fma"))) void GemmMicroFma(int kc,
+                                                      const double* ap,
+                                                      const double* bp,
+                                                      double* c, int ldc) {
+  double* c0 = c;
+  double* c1 = c0 + ldc;
+  double* c2 = c1 + ldc;
+  double* c3 = c2 + ldc;
+  __m256d acc00 = _mm256_loadu_pd(c0);
+  __m256d acc01 = _mm256_loadu_pd(c0 + 4);
+  __m256d acc10 = _mm256_loadu_pd(c1);
+  __m256d acc11 = _mm256_loadu_pd(c1 + 4);
+  __m256d acc20 = _mm256_loadu_pd(c2);
+  __m256d acc21 = _mm256_loadu_pd(c2 + 4);
+  __m256d acc30 = _mm256_loadu_pd(c3);
+  __m256d acc31 = _mm256_loadu_pd(c3 + 4);
+  for (int p = 0; p < kc; ++p) {
+    const double* brow = bp + static_cast<size_t>(p) * kGemmNR;
+    const double* acol = ap + static_cast<size_t>(p) * kGemmMR;
+    __m256d b0 = _mm256_loadu_pd(brow);
+    __m256d b1 = _mm256_loadu_pd(brow + 4);
+    __m256d va = _mm256_set1_pd(acol[0]);
+    acc00 = _mm256_fmadd_pd(va, b0, acc00);
+    acc01 = _mm256_fmadd_pd(va, b1, acc01);
+    va = _mm256_set1_pd(acol[1]);
+    acc10 = _mm256_fmadd_pd(va, b0, acc10);
+    acc11 = _mm256_fmadd_pd(va, b1, acc11);
+    va = _mm256_set1_pd(acol[2]);
+    acc20 = _mm256_fmadd_pd(va, b0, acc20);
+    acc21 = _mm256_fmadd_pd(va, b1, acc21);
+    va = _mm256_set1_pd(acol[3]);
+    acc30 = _mm256_fmadd_pd(va, b0, acc30);
+    acc31 = _mm256_fmadd_pd(va, b1, acc31);
+  }
+  _mm256_storeu_pd(c0, acc00);
+  _mm256_storeu_pd(c0 + 4, acc01);
+  _mm256_storeu_pd(c1, acc10);
+  _mm256_storeu_pd(c1 + 4, acc11);
+  _mm256_storeu_pd(c2, acc20);
+  _mm256_storeu_pd(c2 + 4, acc21);
+  _mm256_storeu_pd(c3, acc30);
+  _mm256_storeu_pd(c3 + 4, acc31);
+}
+
+}  // namespace
+#endif  // XAI_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch: one function-pointer table per backend, resolved once per
+// SetBackend() / XAI_SIMD read and published through a single relaxed
+// atomic. Kernel entry points are one indirect call — no per-call backend
+// branch survives into the GEMM inner loops.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using DotFn = double (*)(const double*, const double*, size_t);
+using AxpyFn = void (*)(double, const double*, double*, size_t);
+using SsdFn = double (*)(const double*, const double*, size_t,
+                         const double*);
+using WouterFn = void (*)(double, const double*, int, double*, int);
+using GemmFn = void (*)(int, int, int, const double*, int, const double*,
+                        int, double*, int);
+using MicroFn = void (*)(int, const double*, const double*, double*, int);
+
+struct KernelTable {
+  Backend backend;
+  DotFn dot;
+  AxpyFn axpy;
+  SsdFn ssd;
+  WouterFn wouter;
+  GemmFn gemm_direct;
+  GemmFn gemm_tn_direct;
+  MicroFn micro;
+};
+
+constexpr KernelTable kScalarTable = {
+    Backend::kScalar, DotScalar,    AxpyScalar,   SsdScalar,
+    WeightedOuterScalar, GemmScalar, GemmTNScalar, GemmMicroScalar};
+
+#if XAI_SIMD_X86
+constexpr KernelTable kSse2Table = {
+    Backend::kSse2,     DotSse2,  AxpySse2,   SsdSse2,
+    WeightedOuterSse2, GemmSse2, GemmTNSse2, GemmMicroSse2};
+
+constexpr KernelTable kAvx2Table = {
+    Backend::kAvx2,     DotAvx2,  AxpyAvx2,   SsdAvx2,
+    WeightedOuterAvx2, GemmAvx2, GemmTNAvx2, GemmMicroAvx2};
+
+constexpr KernelTable kFmaTable = {
+    Backend::kFma,     DotFma,  AxpyFma,   SsdAvx2,
+    WeightedOuterFma, GemmFma, GemmTNFma, GemmMicroFma};
+#endif
+
+const KernelTable* TableFor(Backend backend) {
+#if XAI_SIMD_X86
+  switch (backend) {
+    case Backend::kFma:
+      return &kFmaTable;
+    case Backend::kAvx2:
+      return &kAvx2Table;
+    case Backend::kSse2:
+      return &kSse2Table;
+    case Backend::kScalar:
+      return &kScalarTable;
+  }
+#endif
+  return &kScalarTable;
+}
+
+// Relaxed atomic so TSan-clean to read from worker threads; written only at
+// startup and from SetBackend (documented non-concurrent with kernels).
+std::atomic<const KernelTable*>& ActiveSlot() {
+  static std::atomic<const KernelTable*> active{TableFor(InitialBackend())};
+  return active;
+}
+
+const KernelTable& ActiveTable() {
+  return *ActiveSlot().load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Backend Active() { return ActiveTable().backend; }
+
+Backend SetBackend(Backend backend) {
+  Backend applied = ClampToSupported(backend);
+  ActiveSlot().store(TableFor(applied), std::memory_order_relaxed);
+  return applied;
+}
+
+// ---------------------------------------------------------------------------
+// Packed / cache-blocked / multithreaded GEMM driver, shared by the NN and
+// TN orientations (they differ only in how A panels are gathered).
+//
+// Blocking (BLIS-style): the contraction dimension is cut into KC slices
+// processed serially in ascending order — this is what keeps every C
+// element's accumulation chain in ascending-k order and therefore bit-equal
+// to the direct kernels on the default tiers. Within a KC slice, B columns
+// are cut into NC blocks packed once into KC x NR panels, and C rows into MC
+// blocks distributed over ParallelFor. Row blocks are disjoint in C, so the
+// parallel partitioning is race-free and the result is independent of the
+// thread count by construction.
+//
+// Footprints: one A panel (MR x KC = 8 KB) stays hot in L1 across the jp
+// sweep; a packed A block (MC x KC = 256 KB) sits in L2; a packed B block
+// (KC x NC <= 4 MB) streams from L3, one 16 KB KC x NR panel at a time.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kBlockKC = 256;
+constexpr int kBlockMC = 128;
+constexpr int kBlockNC = 2048;
+
+// `upper_only` (valid for square outputs) skips every register tile that
+// lies entirely below the diagonal — the syrk-style mode WlsAccumulator
+// uses for Gram updates, where only C[a][b] with b >= a is ever read.
+// Tiles straddling the diagonal are computed in full; their below-diagonal
+// elements carry ordinary GemmTN chains that callers must not read.
+void GemmPackedImpl(bool transpose_a, bool upper_only, int m, int n, int k,
+                    const double* a, int lda, const double* b, int ldb,
+                    double* c, int ldc) {
+  const KernelTable& table = ActiveTable();
+  std::vector<double> bpack;
+  std::atomic<int64_t> pack_ns{0};
+  for (int p0 = 0; p0 < k; p0 += kBlockKC) {
+    const int kc = std::min(kBlockKC, k - p0);
+    for (int j0 = 0; j0 < n; j0 += kBlockNC) {
+      const int nc = std::min(kBlockNC, n - j0);
+      const int jpanels = (nc + kGemmNR - 1) / kGemmNR;
+      WallTimer bpack_timer;
+      // Zero-filled so the padding lanes of a partial panel hold defined
+      // values; the edge micro-kernel never reads them (see above).
+      bpack.assign(static_cast<size_t>(jpanels) * kc * kGemmNR, 0.0);
+      for (int jp = 0; jp < jpanels; ++jp) {
+        const int jj = jp * kGemmNR;
+        const int nr = std::min(kGemmNR, nc - jj);
+        double* dst = bpack.data() + static_cast<size_t>(jp) * kc * kGemmNR;
+        const double* src = b + static_cast<size_t>(p0) * ldb + j0 + jj;
+        for (int p = 0; p < kc; ++p) {
+          const double* srow = src + static_cast<size_t>(p) * ldb;
+          double* drow = dst + static_cast<size_t>(p) * kGemmNR;
+          for (int l = 0; l < nr; ++l) drow[l] = srow[l];
+        }
+      }
+      pack_ns.fetch_add(bpack_timer.Nanos(), std::memory_order_relaxed);
+      const int num_mblocks = (m + kBlockMC - 1) / kBlockMC;
+      ParallelFor(num_mblocks, 1, [&](int64_t begin, int64_t end, int64_t) {
+        std::vector<double> apack;
+        for (int64_t mb = begin; mb < end; ++mb) {
+          const int i0 = static_cast<int>(mb) * kBlockMC;
+          const int mc = std::min(kBlockMC, m - i0);
+          const int ipanels = (mc + kGemmMR - 1) / kGemmMR;
+          WallTimer apack_timer;
+          apack.assign(static_cast<size_t>(ipanels) * kc * kGemmMR, 0.0);
+          for (int ip = 0; ip < ipanels; ++ip) {
+            const int ii = ip * kGemmMR;
+            const int mr = std::min(kGemmMR, mc - ii);
+            double* dst =
+                apack.data() + static_cast<size_t>(ip) * kc * kGemmMR;
+            if (transpose_a) {
+              // A is k x m: panel rows are contiguous within each A row.
+              const double* src =
+                  a + static_cast<size_t>(p0) * lda + i0 + ii;
+              for (int p = 0; p < kc; ++p) {
+                const double* srow = src + static_cast<size_t>(p) * lda;
+                double* drow = dst + static_cast<size_t>(p) * kGemmMR;
+                for (int r = 0; r < mr; ++r) drow[r] = srow[r];
+              }
+            } else {
+              // A is m x k: gather column p0+p of each panel row.
+              for (int r = 0; r < mr; ++r) {
+                const double* srow =
+                    a + static_cast<size_t>(i0 + ii + r) * lda + p0;
+                for (int p = 0; p < kc; ++p)
+                  dst[static_cast<size_t>(p) * kGemmMR + r] = srow[p];
+              }
+            }
+          }
+          pack_ns.fetch_add(apack_timer.Nanos(), std::memory_order_relaxed);
+          for (int ip = 0; ip < ipanels; ++ip) {
+            const int ii = ip * kGemmMR;
+            const int mr = std::min(kGemmMR, mc - ii);
+            const double* ap =
+                apack.data() + static_cast<size_t>(ip) * kc * kGemmMR;
+            double* crow = c + static_cast<size_t>(i0 + ii) * ldc + j0;
+            for (int jp = 0; jp < jpanels; ++jp) {
+              const int jj = jp * kGemmNR;
+              const int nr = std::min(kGemmNR, nc - jj);
+              if (upper_only && j0 + jj + nr <= i0 + ii) continue;
+              const double* bp =
+                  bpack.data() + static_cast<size_t>(jp) * kc * kGemmNR;
+              if (mr == kGemmMR && nr == kGemmNR)
+                table.micro(kc, ap, bp, crow + jj, ldc);
+              else
+                GemmMicroEdgeScalar(kc, mr, nr, ap, bp, crow + jj, ldc);
+            }
+          }
+        }
+      });
+    }
+  }
+  XAI_HISTOGRAM_RECORD("linalg/gemm_pack_us",
+                       pack_ns.load(std::memory_order_relaxed) / 1000);
+}
+
+// Per-backend flop counters: the telemetry names are compile-time literals,
+// hence one macro site per tier. Divided by a span's wall time these give
+// the flop-rate-vs-peak gap bench_micro_kernels tracks.
+void CountGemmFlops(Backend backend, int m, int n, int k) {
+  const long long flops = 2LL * m * n * k;
+  switch (backend) {
+    case Backend::kFma:
+      XAI_COUNTER_ADD("linalg/gemm_flops_fma", flops);
+      break;
+    case Backend::kAvx2:
+      XAI_COUNTER_ADD("linalg/gemm_flops_avx2", flops);
+      break;
+    case Backend::kSse2:
+      XAI_COUNTER_ADD("linalg/gemm_flops_sse2", flops);
+      break;
+    case Backend::kScalar:
+      XAI_COUNTER_ADD("linalg/gemm_flops_scalar", flops);
+      break;
+  }
+}
+
+// Packing pays for itself once the contraction is deep enough to reuse each
+// packed panel and the output is at least a few tiles; below that the
+// direct kernels win on pure overhead. Both sides of the split are
+// bit-identical on the default tiers, so the threshold is a pure
+// performance knob.
+bool UsePacked(int m, int n, int k) {
+  if (m < 2 * kGemmMR || n < kGemmNR || k < 32) return false;
+  return 2.0 * m * n * k >= 2.5e5;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public kernel entry points.
 // ---------------------------------------------------------------------------
 
 double Dot(const double* a, const double* b, size_t n) {
-#if XAI_SIMD_X86
-  switch (Active()) {
-    case Backend::kAvx2:
-      return DotAvx2(a, b, n);
-    case Backend::kSse2:
-      return DotSse2(a, b, n);
-    case Backend::kScalar:
-      break;
-  }
-#endif
-  return DotScalar(a, b, n);
+  return ActiveTable().dot(a, b, n);
 }
 
 void Axpy(double s, const double* x, double* y, size_t n) {
-#if XAI_SIMD_X86
-  switch (Active()) {
-    case Backend::kAvx2:
-      AxpyAvx2(s, x, y, n);
-      return;
-    case Backend::kSse2:
-      AxpySse2(s, x, y, n);
-      return;
-    case Backend::kScalar:
-      break;
-  }
-#endif
-  AxpyScalar(s, x, y, n);
+  ActiveTable().axpy(s, x, y, n);
 }
 
 double ScaledSquaredDistance(const double* a, const double* b, size_t n,
                              const double* w) {
-#if XAI_SIMD_X86
-  switch (Active()) {
-    case Backend::kAvx2:
-      return SsdAvx2(a, b, n, w);
-    case Backend::kSse2:
-      return SsdSse2(a, b, n, w);
-    case Backend::kScalar:
-      break;
-  }
-#endif
-  return SsdScalar(a, b, n, w);
+  return ActiveTable().ssd(a, b, n, w);
 }
 
 void WeightedOuterAccumulate(double w, const double* row, int d, double* g,
                              int stride) {
-#if XAI_SIMD_X86
-  switch (Active()) {
-    case Backend::kAvx2:
-      WeightedOuterAvx2(w, row, d, g, stride);
-      return;
-    case Backend::kSse2:
-      WeightedOuterSse2(w, row, d, g, stride);
-      return;
-    case Backend::kScalar:
-      break;
+  ActiveTable().wouter(w, row, d, g, stride);
+}
+
+void GemmDirect(int m, int n, int k, const double* a, int lda,
+                const double* b, int ldb, double* c, int ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  const KernelTable& table = ActiveTable();
+  CountGemmFlops(table.backend, m, n, k);
+  table.gemm_direct(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void GemmTNDirect(int m, int n, int k, const double* a, int lda,
+                  const double* b, int ldb, double* c, int ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  const KernelTable& table = ActiveTable();
+  CountGemmFlops(table.backend, m, n, k);
+  table.gemm_tn_direct(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void GemmPacked(int m, int n, int k, const double* a, int lda,
+                const double* b, int ldb, double* c, int ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  CountGemmFlops(Active(), m, n, k);
+  GemmPackedImpl(/*transpose_a=*/false, /*upper_only=*/false, m, n, k, a,
+                 lda, b, ldb, c, ldc);
+}
+
+void GemmTNPacked(int m, int n, int k, const double* a, int lda,
+                  const double* b, int ldb, double* c, int ldc) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  CountGemmFlops(Active(), m, n, k);
+  GemmPackedImpl(/*transpose_a=*/true, /*upper_only=*/false, m, n, k, a, lda,
+                 b, ldb, c, ldc);
+}
+
+void GemmTNUpper(int dim, int k, const double* a, int lda, const double* b,
+                 int ldb, double* c, int ldc) {
+  if (dim <= 0 || k <= 0) return;
+  if (UsePacked(dim, dim, k)) {
+    // Roughly half the flops of the full product reach the micro-kernels.
+    CountGemmFlops(Active(), dim, (dim + 1) / 2, k);
+    GemmPackedImpl(/*transpose_a=*/true, /*upper_only=*/true, dim, dim, k, a,
+                   lda, b, ldb, c, ldc);
+  } else {
+    // The direct kernel computes the full product; the upper triangle
+    // carries the same chains, the rest is wasted work that only matters
+    // above the packing threshold.
+    GemmTNDirect(dim, dim, k, a, lda, b, ldb, c, ldc);
   }
-#endif
-  WeightedOuterScalar(w, row, d, g, stride);
 }
 
 void Gemm(int m, int n, int k, const double* a, int lda, const double* b,
           int ldb, double* c, int ldc) {
-  if (m <= 0 || n <= 0 || k <= 0) return;
-#if XAI_SIMD_X86
-  switch (Active()) {
-    case Backend::kAvx2:
-      GemmAvx2(m, n, k, a, lda, b, ldb, c, ldc);
-      return;
-    case Backend::kSse2:
-      GemmSse2(m, n, k, a, lda, b, ldb, c, ldc);
-      return;
-    case Backend::kScalar:
-      break;
-  }
-#endif
-  GemmScalar(m, n, k, a, lda, b, ldb, c, ldc);
+  if (UsePacked(m, n, k))
+    GemmPacked(m, n, k, a, lda, b, ldb, c, ldc);
+  else
+    GemmDirect(m, n, k, a, lda, b, ldb, c, ldc);
 }
 
 void GemmTN(int m, int n, int k, const double* a, int lda, const double* b,
             int ldb, double* c, int ldc) {
-  if (m <= 0 || n <= 0 || k <= 0) return;
-#if XAI_SIMD_X86
-  switch (Active()) {
-    case Backend::kAvx2:
-      GemmTNAvx2(m, n, k, a, lda, b, ldb, c, ldc);
-      return;
-    case Backend::kSse2:
-      GemmTNSse2(m, n, k, a, lda, b, ldb, c, ldc);
-      return;
-    case Backend::kScalar:
-      break;
-  }
-#endif
-  GemmTNScalar(m, n, k, a, lda, b, ldb, c, ldc);
+  if (UsePacked(m, n, k))
+    GemmTNPacked(m, n, k, a, lda, b, ldb, c, ldc);
+  else
+    GemmTNDirect(m, n, k, a, lda, b, ldb, c, ldc);
 }
 
 }  // namespace simd

@@ -7,15 +7,19 @@
 /// Portable vectorized math kernels — the dense-linear-algebra core under
 /// Matrix, the WLS solvers, Newton steps, and batch prediction.
 ///
-/// Three backends are compiled into every binary and selected behind one
-/// dispatch point:
-///   - kAvx2:   4-wide AVX2 (+FMA-capable hardware, but see below),
+/// Four backends are compiled into every binary and selected behind one
+/// dispatch point (a function-pointer table resolved per SetBackend() /
+/// environment read — kernels never branch on the backend internally):
+///   - kFma:    4-wide AVX2 with fused multiply-add (OPT-IN, see below),
+///   - kAvx2:   4-wide AVX2 (+FMA-capable hardware, but FMA unused),
 ///   - kSse2:   2x 2-wide SSE2 (baseline on x86-64),
 ///   - kScalar: plain doubles.
 /// The active backend is chosen at startup from CPUID, overridable with the
-/// environment variable `XAI_SIMD=avx2|sse2|scalar` (for A/B testing and the
-/// scalar CI job) and at runtime with SetBackend (tests and benches only —
-/// not thread-safe against concurrent kernel calls).
+/// environment variable `XAI_SIMD=fma|avx2|sse2|scalar` (for A/B testing and
+/// the scalar/fma CI jobs) and at runtime with SetBackend (tests and benches
+/// only — not thread-safe against concurrent kernel calls). Unknown XAI_SIMD
+/// values abort: a typo silently falling back to auto-detection would
+/// invalidate whatever A/B experiment the variable was set for.
 ///
 /// Determinism contract (the analogue of the parallel runtime's fixed
 /// chunking, §6 of DESIGN.md): every reduction uses a fixed 4-wide striped
@@ -30,29 +34,59 @@
 /// WeightedOuterAccumulate, Gemm) carry one independent accumulation chain
 /// per output element, ordered by the contraction index. Because each IEEE
 /// lane operation is identical across widths, every kernel is bit-identical
-/// across all three backends and any thread count. FMA is deliberately NOT
-/// used inside the contract: a fused multiply-add rounds once where SSE2 and
-/// scalar code round twice, which would break cross-backend bit-equality.
-/// (Results differ from the pre-kernel textbook loops only by summation
-/// order, i.e. within documented tolerance — bench_e21 pins the deltas.)
+/// across the scalar/sse2/avx2 backends and any thread count — including
+/// the packed, cache-blocked, multithreaded GEMM path: KC blocks are
+/// processed serially in ascending contraction order, row panels partition C
+/// disjointly across threads, and edge micro-kernels only touch valid panel
+/// lanes (never zero padding, which could flip -0.0 to +0.0).
+///
+/// The FMA tier is deliberately OUTSIDE this contract: a fused multiply-add
+/// rounds once where the other backends round twice, so kFma results agree
+/// with the default tiers only to tolerance (~1e-15 relative per operation;
+/// usually closer to the true value). It is therefore never auto-selected —
+/// MaxSupported() tops out at kAvx2 — and must be requested explicitly via
+/// XAI_SIMD=fma or SetBackend(Backend::kFma). Tests validate it against a
+/// long-double reference, not bitwise. Within the fma tier itself, the
+/// packed and direct GEMM paths agree bitwise on full register tiles but
+/// may differ in the last ulp on edge rows/columns (the two paths draw
+/// their fused/scalar region boundaries at different granularities); both
+/// stay inside the long-double tolerance.
 namespace xai {
 namespace simd {
 
-enum class Backend { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+enum class Backend { kScalar = 0, kSse2 = 1, kAvx2 = 2, kFma = 3 };
 
-/// Name for logs/benches: "scalar", "sse2", "avx2".
+/// Register-tile shape of the packed GEMM micro-kernel: each call updates an
+/// MR x NR block of C over a KC-long contraction. Exposed so tests can probe
+/// the edge shapes (m, n in {1, MR-1, MR, MR+1, ...}) deliberately.
+inline constexpr int kGemmMR = 4;
+inline constexpr int kGemmNR = 8;
+
+/// Name for logs/benches: "scalar", "sse2", "avx2", "fma".
 const char* BackendName(Backend backend);
 
-/// Best backend this CPU can execute (compile-time capped on non-x86).
+/// Best *bit-identical* backend this CPU can execute (compile-time capped on
+/// non-x86). Never returns kFma — the FMA tier is opt-in only.
 Backend MaxSupported();
 
+/// True when the CPU can execute the opt-in FMA tier (AVX2 + FMA3).
+bool FmaSupported();
+
+/// Parses an XAI_SIMD value ("scalar" | "sse2" | "avx2" | "fma") into a
+/// Backend. Aborts via XAI_CHECK on nullptr or any other string — a typo'd
+/// backend name must not silently fall back to auto-detection.
+Backend ParseBackendName(const char* name);
+
 /// The backend all kernels currently dispatch to. Initialized on first use
-/// from XAI_SIMD (clamped to MaxSupported()), defaulting to MaxSupported().
+/// from XAI_SIMD (clamped to what the hardware supports), defaulting to
+/// MaxSupported().
 Backend Active();
 
-/// Forces the active backend (clamped to MaxSupported(); returns what was
-/// actually applied). For tests and benches; do not call concurrently with
-/// running kernels.
+/// Forces the active backend and re-resolves the kernel dispatch table
+/// (returns what was actually applied: kScalar..kAvx2 clamp to
+/// MaxSupported(); kFma falls back to MaxSupported() when the CPU lacks
+/// FMA). For tests and benches; do not call concurrently with running
+/// kernels.
 Backend SetBackend(Backend backend);
 
 /// \name Kernels
@@ -79,15 +113,52 @@ void WeightedOuterAccumulate(double w, const double* row, int d, double* g,
 /// Register-blocked C += A * B for row-major operands:
 ///   A is m x k (leading dimension lda), B is k x n (ldb), C is m x n (ldc).
 /// Each C element accumulates over the contraction index in ascending
-/// order, so the result is independent of the blocking and backend.
+/// order, so the result is independent of the blocking, backend, and thread
+/// count. Routes to GemmPacked above a size threshold and GemmDirect below
+/// it; both produce identical bits on the default tiers.
 void Gemm(int m, int n, int k, const double* a, int lda, const double* b,
           int ldb, double* c, int ldc);
 
 /// C += A^T * B for row-major operands: A is k x m (lda), B is k x n (ldb),
 /// C is m x n (ldc). This is the normal-equation / Gram building block
-/// (B == A and unit weights give X^T X).
+/// (B == A and unit weights give X^T X). Same packed/direct routing and
+/// chain guarantees as Gemm.
 void GemmTN(int m, int n, int k, const double* a, int lda, const double* b,
             int ldb, double* c, int ldc);
+
+/// The unpacked register-tiled GEMM (the pre-packing code path): streams B
+/// rows straight from memory with no copy. Wins below the packing threshold
+/// and serves as the A/B baseline for bench_e21's packed-vs-direct row.
+void GemmDirect(int m, int n, int k, const double* a, int lda,
+                const double* b, int ldb, double* c, int ldc);
+
+/// Direct (unpacked) C += A^T * B; see GemmDirect.
+void GemmTNDirect(int m, int n, int k, const double* a, int lda,
+                  const double* b, int ldb, double* c, int ldc);
+
+/// Packed, cache-blocked, multithreaded GEMM: A is repacked into contiguous
+/// MR x KC panels and B into KC x NR panels so the micro-kernel streams at
+/// unit stride regardless of the leading dimensions; KC x NC blocks of B are
+/// shared across a ParallelFor over MC-row blocks of C (disjoint C rows per
+/// chunk — deterministic and race-free at any thread count). Bit-identical
+/// to GemmDirect on the scalar/sse2/avx2 tiers.
+void GemmPacked(int m, int n, int k, const double* a, int lda,
+                const double* b, int ldb, double* c, int ldc);
+
+/// Packed C += A^T * B; see GemmPacked.
+void GemmTNPacked(int m, int n, int k, const double* a, int lda,
+                  const double* b, int ldb, double* c, int ldc);
+
+/// Syrk-style Gram update C += A^T * B restricted to the upper triangle:
+/// A and B are k x dim (lda/ldb), C is dim x dim (ldc). Register tiles
+/// entirely below the diagonal are skipped — about half the flops of the
+/// full product — and tiles straddling the diagonal are computed in full,
+/// so entries with b < a are UNDEFINED (partially updated); read only
+/// C[a][b] with b >= a. Upper-triangle chains are identical to GemmTN's
+/// (and to WeightedOuterAccumulate replay), so the bit-identity contract
+/// holds wherever reads are allowed. This is WlsAccumulator's Gram kernel.
+void GemmTNUpper(int dim, int k, const double* a, int lda, const double* b,
+                 int ldb, double* c, int ldc);
 
 /// @}
 

@@ -49,21 +49,110 @@ Result<LimeExplanation> LimeExplainer::Explain(const PredictFn& f,
     return Status::InvalidArgument("instance width does not match schema");
   Rng rng(seed);
   int n = config_.num_samples;
-  Matrix raw = perturber_.Sample(instance, n, &rng);
 
-  // Design matrix over the interpretable representation; row 0 is the
-  // instance itself, as in the reference implementation. In discretized
-  // mode the representation is binary same-bin indicators; in Gaussian mode
-  // numeric features enter as standardized raw values (the reference
-  // discretize_continuous=False behavior) and categoricals as match
-  // indicators.
+  // Interpretable representation of one neighborhood sample; row 0 of the
+  // design is the instance itself, as in the reference implementation. In
+  // discretized mode the representation is binary same-bin indicators; in
+  // Gaussian mode numeric features enter as standardized raw values (the
+  // reference discretize_continuous=False behavior) and categoricals as
+  // match indicators.
   bool discretized = config_.strategy == Perturber::Strategy::kDiscretized;
-  Matrix z(n + 1, d);
-  Vector target(n + 1);
-  Vector weight(n + 1);
   double width = config_.kernel_width > 0.0
                      ? config_.kernel_width
                      : 0.75 * std::sqrt(static_cast<double>(d));
+  auto fill_row = [&](const Vector& sample, double* zr) {
+    if (discretized) {
+      std::vector<int> zi = perturber_.Interpretable(instance, sample);
+      for (int j = 0; j < d; ++j) zr[j] = zi[j];
+    } else {
+      for (int j = 0; j < d; ++j) {
+        if (schema_.features[j].is_categorical()) {
+          zr[j] = static_cast<int>(sample[j]) == static_cast<int>(instance[j])
+                      ? 1.0
+                      : 0.0;
+        } else {
+          zr[j] =
+              (sample[j] - perturber_.means()[j]) / perturber_.stddevs()[j];
+        }
+      }
+    }
+  };
+
+  const bool forward_selection = config_.top_k > 0 && config_.top_k < d;
+  if (config_.fused && !forward_selection) {
+    // Fused pipeline: sample→predict→weight→accumulate per row block, so
+    // the (n+1) x d design is never materialized and WLS assembly streams
+    // through cache. Block-wise Sample calls reproduce the one-shot RNG
+    // stream exactly (Sample consumes the shared Rng strictly row-major),
+    // model evaluations fan out within each block, and blocks fold into
+    // the accumulator serially in ascending row order — so attributions
+    // and intercept match the materialized path bit-for-bit on the default
+    // SIMD tiers.
+    WlsAccumulator acc(d + 1, /*fit_intercept=*/true);
+    constexpr int kBlockRows = 1024;
+    std::vector<double> zblock(static_cast<size_t>(kBlockRows) * (d + 1));
+    Vector target(kBlockRows);
+    Vector weight(kBlockRows);
+    double instance_pred = 0.0;
+    {
+      XAI_SPAN("lime/neighborhood");
+      for (int base = 0; base < n + 1; base += kBlockRows) {
+        const int bn = std::min(kBlockRows, n + 1 - base);
+        // Row 0 is the instance itself, so the first block draws one fewer
+        // perturbed sample.
+        Matrix raw = perturber_.Sample(instance, base == 0 ? bn - 1 : bn,
+                                       &rng);
+        ParallelFor(bn, /*grain=*/64,
+                    [&](int64_t begin, int64_t end, int64_t) {
+                      XAI_COUNTER_ADD("model/evals", end - begin);
+                      for (int64_t i = begin; i < end; ++i) {
+                        const bool is_instance = base == 0 && i == 0;
+                        Vector sample =
+                            is_instance
+                                ? instance
+                                : raw.Row(static_cast<int>(i) -
+                                          (base == 0 ? 1 : 0));
+                        double* zr =
+                            zblock.data() + static_cast<size_t>(i) * (d + 1);
+                        fill_row(sample, zr);
+                        zr[d] = 1.0;
+                        target[i] = f(sample);
+                        double dist = perturber_.Distance(instance, sample);
+                        weight[i] = std::exp(-dist * dist / (width * width));
+                      }
+                    });
+        if (base == 0) instance_pred = target[0];
+        acc.AddBlock(zblock.data(), target.data(), weight.data(), bn);
+      }
+    }
+    XAI_ASSIGN_OR_RETURN(Vector coef, acc.Solve(config_.ridge));
+
+    LimeExplanation exp;
+    exp.attributions.assign(coef.begin(), coef.begin() + d);
+    exp.intercept = coef.back();
+    exp.base_value = coef.back();
+    exp.prediction = instance_pred;
+    for (int j = 0; j < d; ++j)
+      exp.feature_names.push_back(schema_.features[j].name);
+    // Weighted R^2 from the accumulated moments: identical up to summation
+    // order to the materialized row-by-row pass (documented tolerance
+    // carve-out — the coefficients above are still bitwise).
+    double wsum = acc.weight_sum();
+    if (wsum <= 0.0) {
+      exp.local_r2 = 0.0;
+      return exp;
+    }
+    double ss_res = acc.ResidualSumOfSquares(coef);
+    double ss_tot = acc.weighted_yy_sum() -
+                    acc.weighted_y_sum() * acc.weighted_y_sum() / wsum;
+    exp.local_r2 = ss_tot <= 1e-12 ? 1.0 : 1.0 - ss_res / ss_tot;
+    return exp;
+  }
+
+  Matrix raw = perturber_.Sample(instance, n, &rng);
+  Matrix z(n + 1, d);
+  Vector target(n + 1);
+  Vector weight(n + 1);
   // Sampling above consumed the RNG serially; scoring the neighborhood is
   // RNG-free and dominated by the n+1 black-box calls, so it fans out over
   // the pool. Every row of z/target/weight is written by exactly one chunk;
@@ -73,23 +162,7 @@ Result<LimeExplanation> LimeExplainer::Explain(const PredictFn& f,
     XAI_COUNTER_ADD("model/evals", end - begin);
     for (int64_t i = begin; i < end; ++i) {
       Vector sample = i == 0 ? instance : raw.Row(static_cast<int>(i) - 1);
-      int r = static_cast<int>(i);
-      if (discretized) {
-        std::vector<int> zi = perturber_.Interpretable(instance, sample);
-        for (int j = 0; j < d; ++j) z(r, j) = zi[j];
-      } else {
-        for (int j = 0; j < d; ++j) {
-          if (schema_.features[j].is_categorical()) {
-            z(r, j) = static_cast<int>(sample[j]) ==
-                              static_cast<int>(instance[j])
-                          ? 1.0
-                          : 0.0;
-          } else {
-            z(r, j) = (sample[j] - perturber_.means()[j]) /
-                      perturber_.stddevs()[j];
-          }
-        }
-      }
+      fill_row(sample, z.RowPtr(static_cast<int>(i)));
       target[i] = f(sample);
       double dist = perturber_.Distance(instance, sample);
       weight[i] = std::exp(-dist * dist / (width * width));

@@ -26,6 +26,14 @@ struct LimeConfig {
   /// Neighborhood sampling strategy.
   Perturber::Strategy strategy = Perturber::Strategy::kDiscretized;
   int discretizer_bins = 4;
+  /// Stream sample→predict→weight→accumulate through a WlsAccumulator in
+  /// row blocks instead of materializing the num_samples x d design matrix.
+  /// Attributions and intercept are bit-identical to the materialized path
+  /// on the default SIMD tiers; local_r2 is computed algebraically from the
+  /// accumulated moments and may differ in the last ulps. Ignored (the
+  /// materialized path runs) when top_k forward selection is active, which
+  /// needs the full design for its candidate refits.
+  bool fused = true;
 };
 
 /// \brief LIME explanation: surrogate coefficients plus fit diagnostics.

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "xai/core/rng.h"
 
@@ -210,6 +213,149 @@ TEST(ConjugateGradientTest, ZeroRhsNeverCallsOperator) {
                   .ValueOrDie();
   EXPECT_EQ(calls, 0);
   EXPECT_EQ(cg, (Vector{0, 0, 0, 0}));
+}
+
+// --- Streaming accumulators: the fused-pipeline building blocks must be
+// bit-identical to the materialized solvers they replace, for any split of
+// the rows into blocks (chains concatenate in ascending row order). ---
+
+::testing::AssertionResult BitEqualVec(const Vector& a, const Vector& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "size mismatch";
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << a[i] << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Random weighted problem with a sprinkling of exactly-zero weights (the
+// accumulator compacts those out of the Gram operands but must keep them in
+// the rhs chain, exactly like the materialized path).
+void MakeWeightedProblem(int n, int d, uint64_t seed, Matrix* x, Vector* y,
+                         Vector* w) {
+  Rng rng(seed);
+  *x = Matrix(n, d);
+  y->resize(n);
+  w->resize(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) (*x)(i, j) = rng.Normal();
+    (*y)[i] = rng.Normal();
+    (*w)[i] = i % 7 == 0 ? 0.0 : rng.Uniform(0.0, 2.0);
+  }
+}
+
+const std::vector<std::vector<int>> kBlockSplits = {
+    {150}, {64, 64, 22}, {1, 149}, {37, 50, 37, 26}};
+
+TEST(WlsAccumulatorTest, BitIdenticalToWeightedRidgeAcrossBlockSplits) {
+  const int n = 150, d = 6;
+  Matrix x;
+  Vector y, w;
+  MakeWeightedProblem(n, d, 101, &x, &y, &w);
+  Vector ref = WeightedRidgeRegression(x, y, w, 0.5, true).ValueOrDie();
+
+  // The accumulator takes caller-augmented rows; append the intercept
+  // column exactly as AppendOnesColumn does.
+  std::vector<double> aug(static_cast<size_t>(n) * (d + 1));
+  for (int i = 0; i < n; ++i) {
+    std::memcpy(&aug[static_cast<size_t>(i) * (d + 1)], x.RowPtr(i),
+                sizeof(double) * d);
+    aug[static_cast<size_t>(i) * (d + 1) + d] = 1.0;
+  }
+  for (const std::vector<int>& split : kBlockSplits) {
+    WlsAccumulator acc(d + 1, /*fit_intercept=*/true);
+    int base = 0;
+    for (int bn : split) {
+      acc.AddBlock(&aug[static_cast<size_t>(base) * (d + 1)], y.data() + base,
+                   w.data() + base, bn);
+      base += bn;
+    }
+    ASSERT_EQ(base, n);
+    EXPECT_EQ(acc.rows_seen(), n);
+    Vector got = acc.Solve(0.5).ValueOrDie();
+    EXPECT_TRUE(BitEqualVec(ref, got)) << "split[0]=" << split[0];
+  }
+}
+
+TEST(WlsAccumulatorTest, NoInterceptBitIdenticalToWeightedRidge) {
+  const int n = 90, d = 4;
+  Matrix x;
+  Vector y, w;
+  MakeWeightedProblem(n, d, 102, &x, &y, &w);
+  Vector ref = WeightedRidgeRegression(x, y, w, 0.01, false).ValueOrDie();
+  WlsAccumulator acc(d, /*fit_intercept=*/false);
+  acc.AddBlock(x.RowPtr(0), y.data(), w.data(), n);
+  Vector got = acc.Solve(0.01).ValueOrDie();
+  EXPECT_TRUE(BitEqualVec(ref, got));
+}
+
+TEST(WlsAccumulatorTest, ResidualSumOfSquaresMatchesDirectEvaluation) {
+  const int n = 120, d = 5;
+  Matrix x;
+  Vector y, w;
+  MakeWeightedProblem(n, d, 103, &x, &y, &w);
+  WlsAccumulator acc(d, /*fit_intercept=*/false);
+  acc.AddBlock(x.RowPtr(0), y.data(), w.data(), n);
+  Vector coef = acc.Solve(0.1).ValueOrDie();
+  double direct = 0.0, wsum = 0.0, wysum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double pred = 0.0;
+    for (int j = 0; j < d; ++j) pred += coef[j] * x(i, j);
+    direct += w[i] * (y[i] - pred) * (y[i] - pred);
+    wsum += w[i];
+    wysum += w[i] * y[i];
+  }
+  double got = acc.ResidualSumOfSquares(coef);
+  EXPECT_NEAR(got, direct, 1e-8 * std::max(1.0, direct));
+  EXPECT_NEAR(acc.weight_sum(), wsum, 1e-12);
+  EXPECT_NEAR(acc.weighted_y_sum(), wysum, 1e-10);
+}
+
+TEST(CwlsAccumulatorTest, BitIdenticalToConstrainedWlsAcrossBlockSplits) {
+  const int n = 150, d = 5;
+  Matrix x;
+  Vector y, w;
+  MakeWeightedProblem(n, d, 104, &x, &y, &w);
+  // Mixed constraint with a zero coefficient: the pivot is the LAST
+  // non-zero entry, matching the materialized elimination.
+  Vector c = {2.0, 0.0, 1.0, -1.0, 3.0};
+  const double dval = 2.5, l2 = 1e-9;
+  Vector ref =
+      ConstrainedWeightedLeastSquares(x, y, w, c, dval, l2).ValueOrDie();
+  for (const std::vector<int>& split : kBlockSplits) {
+    CwlsAccumulator acc(d, c, dval);
+    int base = 0;
+    for (int bn : split) {
+      acc.AddBlock(x.RowPtr(base), y.data() + base, w.data() + base, bn);
+      base += bn;
+    }
+    ASSERT_EQ(base, n);
+    Vector got = acc.Solve(l2).ValueOrDie();
+    EXPECT_TRUE(BitEqualVec(ref, got)) << "split[0]=" << split[0];
+    EXPECT_NEAR(Dot(c, got), dval, 1e-8);
+  }
+}
+
+TEST(CwlsAccumulatorTest, AllZeroWeightsMatchMaterialized) {
+  Matrix x = {{1, 2}, {3, 4}, {5, 6}};
+  Vector y = {1, 2, 3};
+  Vector w(3, 0.0);
+  Vector ones = {1.0, 1.0};
+  Vector ref =
+      ConstrainedWeightedLeastSquares(x, y, w, ones, 2.0).ValueOrDie();
+  CwlsAccumulator acc(2, ones, 2.0);
+  acc.AddBlock(x.RowPtr(0), y.data(), w.data(), 3);
+  Vector got = acc.Solve(1e-9).ValueOrDie();
+  EXPECT_TRUE(BitEqualVec(ref, got));
+}
+
+TEST(CwlsAccumulatorTest, RejectsZeroConstraint) {
+  Vector zeros(3, 0.0);
+  CwlsAccumulator acc(3, zeros, 1.0);
+  EXPECT_FALSE(acc.Solve(1e-9).ok());
 }
 
 TEST(ConjugateGradientTest, RejectsIndefiniteOperator) {

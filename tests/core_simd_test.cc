@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -92,6 +94,30 @@ TEST(SimdKernelTest, EnvVariableSteersDispatch) {
     EXPECT_EQ(simd::Active(), simd::Backend::kSse2);
   if (want == "avx2" && simd::MaxSupported() >= simd::Backend::kAvx2)
     EXPECT_EQ(simd::Active(), simd::Backend::kAvx2);
+  if (want == "fma" && simd::FmaSupported())
+    EXPECT_EQ(simd::Active(), simd::Backend::kFma);
+}
+
+TEST(SimdKernelTest, ParseBackendNameRoundTrips) {
+  EXPECT_EQ(simd::ParseBackendName("scalar"), simd::Backend::kScalar);
+  EXPECT_EQ(simd::ParseBackendName("sse2"), simd::Backend::kSse2);
+  EXPECT_EQ(simd::ParseBackendName("avx2"), simd::Backend::kAvx2);
+  EXPECT_EQ(simd::ParseBackendName("fma"), simd::Backend::kFma);
+  for (simd::Backend be :
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2,
+        simd::Backend::kFma}) {
+    EXPECT_EQ(simd::ParseBackendName(simd::BackendName(be)), be);
+  }
+}
+
+TEST(SimdKernelDeathTest, UnknownBackendNameAborts) {
+  // A typo'd XAI_SIMD value must abort rather than silently fall back to
+  // auto-detection (it would invalidate the A/B run the variable was set
+  // for). The env parsing itself runs once per process inside a function-
+  // local static, so the death test exercises the parse function directly.
+  EXPECT_DEATH(simd::ParseBackendName("turbo"), "XAI_CHECK failed");
+  EXPECT_DEATH(simd::ParseBackendName(""), "XAI_CHECK failed");
+  EXPECT_DEATH(simd::ParseBackendName(nullptr), "XAI_CHECK failed");
 }
 
 TEST(SimdKernelTest, DotBitIdenticalAcrossBackends) {
@@ -265,6 +291,210 @@ TEST(SimdKernelTest, SetBackendClampsToMaxSupported) {
             simd::Backend::kScalar);
 }
 
+// --- Packed GEMM: the blocked/tiled path must be bit-identical to the
+// direct path (same single accumulation chain per output, ascending k) on
+// every backend and thread count, including every edge-tile shape. ---
+
+TEST(SimdKernelTest, PackedGemmEdgeShapesBitIdenticalToDirect) {
+  Rng rng(31);
+  // Sweep shapes straddling the micro-tile (kGemmMR x kGemmNR = 4x8):
+  // partial row panels, partial column panels, and the k=0 no-op.
+  for (int m : {1, 3, 4, 5, 8, 9}) {
+    for (int n : {1, 7, 8, 9, 16, 17}) {
+      for (int k : {0, 1, 3, 5, 32, 257}) {
+        int lda = k + 1, ldb = n + 2, ldc = n + 1;
+        Vector a = RandomVector(static_cast<size_t>(m) * lda, &rng);
+        Vector b =
+            RandomVector(static_cast<size_t>(std::max(k, 1)) * ldb, &rng);
+        Vector c0 = RandomVector(static_cast<size_t>(m) * ldc, &rng);
+        for (simd::Backend be : AvailableBackends()) {
+          BackendGuard g(be);
+          Vector direct = c0, packed = c0;
+          simd::GemmDirect(m, n, k, a.data(), lda, b.data(), ldb,
+                           direct.data(), ldc);
+          simd::GemmPacked(m, n, k, a.data(), lda, b.data(), ldb,
+                           packed.data(), ldc);
+          EXPECT_TRUE(BitEqual(direct, packed))
+              << "m=" << m << " n=" << n << " k=" << k
+              << " backend=" << simd::BackendName(be);
+          if (k == 0) {  // Degenerate contraction: C must be untouched.
+            EXPECT_TRUE(BitEqual(c0, packed));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, PackedGemmTNEdgeShapesBitIdenticalToDirect) {
+  Rng rng(32);
+  for (int m : {1, 4, 5, 9}) {
+    for (int n : {1, 8, 9, 17}) {
+      for (int k : {0, 1, 5, 257}) {
+        int lda = m + 1, ldb = n + 2, ldc = n + 1;  // A is k x m.
+        Vector a =
+            RandomVector(static_cast<size_t>(std::max(k, 1)) * lda, &rng);
+        Vector b =
+            RandomVector(static_cast<size_t>(std::max(k, 1)) * ldb, &rng);
+        Vector c0 = RandomVector(static_cast<size_t>(m) * ldc, &rng);
+        for (simd::Backend be : AvailableBackends()) {
+          BackendGuard g(be);
+          Vector direct = c0, packed = c0;
+          simd::GemmTNDirect(m, n, k, a.data(), lda, b.data(), ldb,
+                             direct.data(), ldc);
+          simd::GemmTNPacked(m, n, k, a.data(), lda, b.data(), ldb,
+                             packed.data(), ldc);
+          EXPECT_TRUE(BitEqual(direct, packed))
+              << "m=" << m << " n=" << n << " k=" << k
+              << " backend=" << simd::BackendName(be);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, PackedGemmBitIdenticalAcrossBackendsAndThreads) {
+  Rng rng(33);
+  // Crosses the KC (256) and MC (128) block boundaries so multiple packed
+  // panels, multiple k-blocks, and the ParallelFor row partition all engage.
+  const int m = 200, n = 96, k = 300;
+  Vector a = RandomVector(static_cast<size_t>(m) * k, &rng);
+  Vector b = RandomVector(static_cast<size_t>(k) * n, &rng);
+  Vector c0 = RandomVector(static_cast<size_t>(m) * n, &rng);
+  Vector ref = c0;
+  {
+    BackendGuard g(simd::Backend::kScalar);
+    ThreadsGuard t(1);
+    simd::GemmDirect(m, n, k, a.data(), k, b.data(), n, ref.data(), n);
+  }
+  for (simd::Backend be : AvailableBackends()) {
+    for (int threads : {1, 4, 8}) {
+      BackendGuard g(be);
+      ThreadsGuard t(threads);
+      Vector c = c0;
+      simd::GemmPacked(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+      EXPECT_TRUE(BitEqual(ref, c))
+          << "backend=" << simd::BackendName(be) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(SimdKernelTest, PackedGemmTNBitIdenticalAcrossBackendsAndThreads) {
+  Rng rng(34);
+  const int m = 140, n = 72, k = 300;  // A is k x m.
+  Vector a = RandomVector(static_cast<size_t>(k) * m, &rng);
+  Vector b = RandomVector(static_cast<size_t>(k) * n, &rng);
+  Vector c0 = RandomVector(static_cast<size_t>(m) * n, &rng);
+  Vector ref = c0;
+  {
+    BackendGuard g(simd::Backend::kScalar);
+    ThreadsGuard t(1);
+    simd::GemmTNDirect(m, n, k, a.data(), m, b.data(), n, ref.data(), n);
+  }
+  for (simd::Backend be : AvailableBackends()) {
+    for (int threads : {1, 4, 8}) {
+      BackendGuard g(be);
+      ThreadsGuard t(threads);
+      Vector c = c0;
+      simd::GemmTNPacked(m, n, k, a.data(), m, b.data(), n, c.data(), n);
+      EXPECT_TRUE(BitEqual(ref, c))
+          << "backend=" << simd::BackendName(be) << " threads=" << threads;
+    }
+  }
+}
+
+// --- FMA tier: opt-in only, outside the bit-identity contract, validated
+// against a long-double reference by tolerance instead. ---
+
+TEST(SimdFmaTest, FmaIsOptInOnly) {
+  // Auto-detection must never pick fma — it rounds once per multiply-add
+  // and so breaks cross-tier bit identity.
+  EXPECT_LT(simd::MaxSupported(), simd::Backend::kFma);
+  for (simd::Backend be : AvailableBackends())
+    EXPECT_NE(be, simd::Backend::kFma);
+  if (!simd::FmaSupported()) GTEST_SKIP() << "fma not supported";
+  BackendGuard g(simd::Active());
+  EXPECT_EQ(simd::SetBackend(simd::Backend::kFma), simd::Backend::kFma);
+  EXPECT_EQ(simd::Active(), simd::Backend::kFma);
+}
+
+TEST(SimdFmaTest, FmaDotWithinToleranceOfLongDouble) {
+  if (!simd::FmaSupported()) GTEST_SKIP() << "fma not supported";
+  Rng rng(41);
+  BackendGuard g(simd::Backend::kFma);
+  for (size_t n : kSizes) {
+    Vector a = RandomVector(n, &rng), b = RandomVector(n, &rng);
+    long double acc = 0.0L;
+    for (size_t i = 0; i < n; ++i)
+      acc += static_cast<long double>(a[i]) * b[i];
+    double got = simd::Dot(a.data(), b.data(), n);
+    double ref = static_cast<double>(acc);
+    double scale = std::max(1.0, std::abs(ref));
+    EXPECT_NEAR(got, ref, 1e-10 * scale) << "n=" << n;
+  }
+}
+
+TEST(SimdFmaTest, FmaGemmWithinToleranceOfLongDouble) {
+  if (!simd::FmaSupported()) GTEST_SKIP() << "fma not supported";
+  Rng rng(42);
+  BackendGuard g(simd::Backend::kFma);
+  const int m = 33, n = 29, k = 77;
+  Vector a = RandomVector(static_cast<size_t>(m) * k, &rng);
+  Vector b = RandomVector(static_cast<size_t>(k) * n, &rng);
+  Vector c(static_cast<size_t>(m) * n, 0.0);
+  simd::Gemm(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      long double acc = 0.0L;
+      for (int p = 0; p < k; ++p)
+        acc += static_cast<long double>(a[i * k + p]) * b[p * n + j];
+      double ref = static_cast<double>(acc);
+      double scale = std::max(1.0, std::abs(ref));
+      EXPECT_NEAR(c[i * n + j], ref, 1e-10 * scale) << i << "," << j;
+    }
+}
+
+TEST(SimdFmaTest, FmaPackedGemmBitIdenticalToFmaDirectOnFullTiles) {
+  if (!simd::FmaSupported()) GTEST_SKIP() << "fma not supported";
+  // On full register tiles (m % MR == 0, n % NR == 0) packing reorders
+  // memory, not arithmetic: packed and direct run the same fused chain per
+  // element and must agree bitwise even on the fma tier. (Edge rows and
+  // columns are only tolerance-equal — the two paths draw their
+  // fused/scalar boundaries at different granularities; see simd.h.)
+  Rng rng(43);
+  BackendGuard g(simd::Backend::kFma);
+  const int m = 152, n = 80, k = 280;  // Crosses KC; m % 4 == n % 8 == 0.
+  ASSERT_EQ(m % simd::kGemmMR, 0);
+  ASSERT_EQ(n % simd::kGemmNR, 0);
+  Vector a = RandomVector(static_cast<size_t>(m) * k, &rng);
+  Vector b = RandomVector(static_cast<size_t>(k) * n, &rng);
+  Vector c0 = RandomVector(static_cast<size_t>(m) * n, &rng);
+  Vector direct = c0, packed = c0;
+  simd::GemmDirect(m, n, k, a.data(), k, b.data(), n, direct.data(), n);
+  simd::GemmPacked(m, n, k, a.data(), k, b.data(), n, packed.data(), n);
+  EXPECT_TRUE(BitEqual(direct, packed));
+}
+
+TEST(SimdFmaTest, FmaPackedGemmEdgeShapesWithinToleranceOfLongDouble) {
+  if (!simd::FmaSupported()) GTEST_SKIP() << "fma not supported";
+  Rng rng(44);
+  BackendGuard g(simd::Backend::kFma);
+  const int m = 150, n = 77, k = 280;  // Partial tiles on both axes.
+  Vector a = RandomVector(static_cast<size_t>(m) * k, &rng);
+  Vector b = RandomVector(static_cast<size_t>(k) * n, &rng);
+  Vector c(static_cast<size_t>(m) * n, 0.0);
+  simd::GemmPacked(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  for (int i = 0; i < m; i += 29)  // Spot-check a grid incl. edge lanes.
+    for (int j = 0; j < n; ++j) {
+      long double acc = 0.0L;
+      for (int p = 0; p < k; ++p)
+        acc += static_cast<long double>(a[i * k + p]) * b[p * n + j];
+      double ref = static_cast<double>(acc);
+      double scale = std::max(1.0, std::abs(ref));
+      ASSERT_NEAR(c[i * n + j], ref, 1e-10 * scale) << i << "," << j;
+    }
+}
+
 // --- Composite paths: solver and batch prediction built on the kernels. ---
 
 Matrix RandomMatrix(int rows, int cols, Rng* rng) {
@@ -312,10 +542,15 @@ TEST(SimdCompositeTest, LogisticBatchBitIdenticalAcrossBackendsAndThreads) {
     ThreadsGuard t(1);
     ref = model.PredictBatch(x);
   }
-  // Batch must equal row-wise Predict bitwise.
-  for (int i = 0; i < x.rows(); ++i) {
-    double p = model.Predict(x.Row(i));
-    ASSERT_TRUE(BitEqual(&ref[i], &p, 1)) << "row " << i;
+  // Batch must equal row-wise Predict bitwise (pinned to the scalar tier:
+  // under XAI_SIMD=fma the ambient backend is outside the bit contract).
+  {
+    BackendGuard g(simd::Backend::kScalar);
+    ThreadsGuard t(1);
+    for (int i = 0; i < x.rows(); ++i) {
+      double p = model.Predict(x.Row(i));
+      ASSERT_TRUE(BitEqual(&ref[i], &p, 1)) << "row " << i;
+    }
   }
   for (simd::Backend be : AvailableBackends()) {
     for (int threads : {1, 4, 8}) {
@@ -340,7 +575,11 @@ TEST(SimdCompositeTest, MlpBatchBitIdenticalToForwardAcrossBackends) {
       MlpModel::Train(x, y, TaskType::kClassification, cfg).ValueOrDie();
 
   Vector ref(x.rows());
-  for (int i = 0; i < x.rows(); ++i) ref[i] = model.Predict(x.Row(i));
+  {
+    BackendGuard g(simd::Backend::kScalar);
+    ThreadsGuard t(1);
+    for (int i = 0; i < x.rows(); ++i) ref[i] = model.Predict(x.Row(i));
+  }
   for (simd::Backend be : AvailableBackends()) {
     for (int threads : {1, 4, 8}) {
       BackendGuard g(be);

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
+#include "xai/core/parallel.h"
+#include "xai/core/simd.h"
 #include "xai/data/synthetic.h"
 #include "xai/model/gbdt.h"
 #include "xai/model/linear_regression.h"
@@ -165,6 +168,89 @@ TEST(LimeStabilityTest, RejectsSingleRun) {
   EXPECT_FALSE(
       EvaluateLimeStability(lime, AsPredictFn(model), d.Row(0), 1, 3, 1)
           .ok());
+}
+
+// --- Fused pipeline: the streaming sample→predict→weight→accumulate path
+// must reproduce the materialized design-matrix path bit-for-bit on the
+// default SIMD tiers, at any thread count. ---
+
+::testing::AssertionResult SameBits(const Vector& a, const Vector& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "size mismatch";
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << a[i] << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<simd::Backend> DefaultBackends() {
+  std::vector<simd::Backend> out = {simd::Backend::kScalar};
+  if (simd::MaxSupported() >= simd::Backend::kSse2)
+    out.push_back(simd::Backend::kSse2);
+  if (simd::MaxSupported() >= simd::Backend::kAvx2)
+    out.push_back(simd::Backend::kAvx2);
+  return out;
+}
+
+TEST(LimeFusedTest, BitIdenticalToMaterializedAcrossBackendsAndThreads) {
+  for (auto strategy : {Perturber::Strategy::kDiscretized,
+                        Perturber::Strategy::kGaussian}) {
+    Dataset d = MakeLoans(400, 14);
+    auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+    LimeConfig materialized_cfg;
+    materialized_cfg.strategy = strategy;
+    materialized_cfg.num_samples = 600;
+    materialized_cfg.fused = false;
+    LimeConfig fused_cfg = materialized_cfg;
+    fused_cfg.fused = true;
+    LimeExplainer materialized(d, materialized_cfg), fused(d, fused_cfg);
+    Vector instance = d.Row(2);
+
+    simd::Backend prev = simd::Active();
+    int prev_threads = GetNumThreads();
+    simd::SetBackend(simd::Backend::kScalar);
+    SetNumThreads(1);
+    LimeExplanation ref =
+        materialized.Explain(AsPredictFn(model), instance, 7).ValueOrDie();
+    for (simd::Backend be : DefaultBackends()) {
+      for (int threads : {1, 4, 8}) {
+        simd::SetBackend(be);
+        SetNumThreads(threads);
+        LimeExplanation got =
+            fused.Explain(AsPredictFn(model), instance, 7).ValueOrDie();
+        EXPECT_TRUE(SameBits(ref.attributions, got.attributions))
+            << "backend=" << simd::BackendName(be) << " threads=" << threads;
+        EXPECT_TRUE(SameBits({ref.intercept, ref.base_value, ref.prediction},
+                             {got.intercept, got.base_value, got.prediction}))
+            << "backend=" << simd::BackendName(be) << " threads=" << threads;
+        // local_r2 is computed algebraically from the accumulated moments
+        // in the fused path — tolerance, not bitwise.
+        EXPECT_NEAR(got.local_r2, ref.local_r2, 1e-9);
+      }
+    }
+    simd::SetBackend(prev);
+    SetNumThreads(prev_threads);
+  }
+}
+
+TEST(LimeFusedTest, TopKForwardSelectionFallsBackToMaterialized) {
+  // top_k forward selection needs the full design; the fused flag must not
+  // change its output.
+  Dataset d = MakeLoans(300, 15);
+  auto model = LogisticRegressionModel::Train(d).ValueOrDie();
+  LimeConfig a_cfg;
+  a_cfg.top_k = 3;
+  a_cfg.num_samples = 300;
+  a_cfg.fused = true;
+  LimeConfig b_cfg = a_cfg;
+  b_cfg.fused = false;
+  LimeExplainer a(d, a_cfg), b(d, b_cfg);
+  auto ea = a.Explain(AsPredictFn(model), d.Row(1), 5).ValueOrDie();
+  auto eb = b.Explain(AsPredictFn(model), d.Row(1), 5).ValueOrDie();
+  EXPECT_TRUE(SameBits(ea.attributions, eb.attributions));
 }
 
 TEST(MedianAbsoluteDeviationTest, KnownValues) {

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "xai/core/parallel.h"
+#include "xai/core/simd.h"
 
 #include "xai/causal/scm.h"
 #include "xai/data/synthetic.h"
@@ -179,6 +183,63 @@ TEST(KernelShapTest, SampledCloseToExact) {
   AttributionExplanation ks = KernelShap(game, config, &rng).ValueOrDie();
   for (int j = 0; j < 10; ++j)
     EXPECT_NEAR(ks.attributions[j], exact[j], 0.05);
+}
+
+TEST(KernelShapTest, FusedBitIdenticalToMaterializedAcrossBackendsAndThreads) {
+  // A game with pairwise interactions so the regression is non-trivial.
+  auto value_fn = [](uint64_t mask) {
+    double vals[] = {1.0, -2.0, 0.5, 3.0, -0.7, 1.3, 0.2, -1.1, 2.4, -0.3,
+                     0.9};
+    double acc = 0;
+    for (int i = 0; i < 11; ++i)
+      if (mask & (1ULL << i)) acc += vals[i];
+    if ((mask & 3ULL) == 3ULL) acc += 1.7;
+    if ((mask & 12ULL) == 12ULL) acc -= 0.9;
+    return acc;
+  };
+  // Exercise both the fully-enumerated regime and the sampled regime
+  // (2^11 - 2 = 2046 coalitions vs a budget of 700).
+  for (int budget : {2048, 700}) {
+    FunctionGame game(11, value_fn);
+    KernelShapConfig materialized_cfg;
+    materialized_cfg.coalition_budget = budget;
+    materialized_cfg.fused = false;
+    KernelShapConfig fused_cfg = materialized_cfg;
+    fused_cfg.fused = true;
+
+    simd::Backend prev = simd::Active();
+    int prev_threads = GetNumThreads();
+    simd::SetBackend(simd::Backend::kScalar);
+    SetNumThreads(1);
+    Rng ref_rng(77);
+    auto ref = KernelShap(game, materialized_cfg, &ref_rng).ValueOrDie();
+    std::vector<simd::Backend> backends = {simd::Backend::kScalar};
+    if (simd::MaxSupported() >= simd::Backend::kSse2)
+      backends.push_back(simd::Backend::kSse2);
+    if (simd::MaxSupported() >= simd::Backend::kAvx2)
+      backends.push_back(simd::Backend::kAvx2);
+    for (simd::Backend be : backends) {
+      for (int threads : {1, 4, 8}) {
+        simd::SetBackend(be);
+        SetNumThreads(threads);
+        Rng rng(77);  // Coalition sampling precedes the solve branch.
+        auto got = KernelShap(game, fused_cfg, &rng).ValueOrDie();
+        ASSERT_EQ(got.attributions.size(), ref.attributions.size());
+        for (size_t j = 0; j < ref.attributions.size(); ++j) {
+          EXPECT_EQ(std::memcmp(&ref.attributions[j], &got.attributions[j],
+                                sizeof(double)),
+                    0)
+              << "budget=" << budget << " phi[" << j
+              << "] backend=" << simd::BackendName(be)
+              << " threads=" << threads;
+        }
+        EXPECT_DOUBLE_EQ(got.base_value, ref.base_value);
+        EXPECT_DOUBLE_EQ(got.prediction, ref.prediction);
+      }
+    }
+    simd::SetBackend(prev);
+    SetNumThreads(prev_threads);
+  }
 }
 
 TEST(KernelShapTest, SinglePlayerGame) {
