@@ -54,6 +54,12 @@ class ThreadPool {
       next_chunk_.store(0, std::memory_order_relaxed);
       has_error_.store(false, std::memory_order_relaxed);
       pending_workers_ = static_cast<int>(threads_.size());
+#if XAI_TELEMETRY
+      // Capture the caller's request context so spans inside chunks stay
+      // attached to the request that spawned the region (published under
+      // mu_ before the epoch bump; workers copy it under the same lock).
+      region_ctx_ = telemetry::CurrentTraceContext();
+#endif
       ++epoch_;
       publish_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
     }
@@ -81,13 +87,25 @@ class ThreadPool {
     t_in_parallel_region = true;
     uint64_t seen_epoch = 0;
     for (;;) {
+#if XAI_TELEMETRY
+      telemetry::TraceContext region_ctx;
+#endif
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock,
                  [&] { return stop_ || epoch_ != seen_epoch; });
         if (stop_) return;
         seen_epoch = epoch_;
+#if XAI_TELEMETRY
+        region_ctx = region_ctx_;
+#endif
       }
+#if XAI_TELEMETRY
+      // Adopt the region caller's request context for the duration of this
+      // region: spans recorded inside chunks carry its trace_id and
+      // parent-link to the span that opened the ParallelFor.
+      telemetry::ScopedTraceContext ctx_scope(region_ctx);
+#endif
       // Latency between a region being published and this worker picking up
       // its first chunk — the pool's scheduling overhead, aggregated.
       if (telemetry::Enabled()) {
@@ -136,6 +154,9 @@ class ThreadPool {
   int pending_workers_ = 0;
   const std::function<void(int64_t)>* task_ = nullptr;
   int64_t num_chunks_ = 0;
+#if XAI_TELEMETRY
+  telemetry::TraceContext region_ctx_;  // Guarded by mu_.
+#endif
   std::atomic<int64_t> next_chunk_{0};
   std::atomic<int64_t> publish_ns_{0};
   std::atomic<bool> has_error_{false};

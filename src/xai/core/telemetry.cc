@@ -32,16 +32,22 @@ void SetEnabled(bool enabled) {
 // ---------------------------------------------------------------------------
 // Counter
 
+namespace internal {
+
+int ThreadIndex() {
+  static std::atomic<int> next{0};
+  thread_local int index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace internal
+
 int Counter::ThreadSlot() {
   // Threads claim slots in first-touch order. The first kSlots-1 threads
   // own theirs exclusively (plain-store fast path); everyone after shares
   // the last slot, which stays exact because that path uses fetch-add.
-  static std::atomic<int> next{0};
-  thread_local int index = [] {
-    int n = next.fetch_add(1, std::memory_order_relaxed);
-    return n < kSlots - 1 ? n : kSlots - 1;
-  }();
-  return index;
+  const int n = internal::ThreadIndex();
+  return n < kSlots - 1 ? n : kSlots - 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -65,25 +71,35 @@ int64_t Histogram::BucketLowerBound(int index) {
 }
 
 void Histogram::Record(int64_t value) {
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(value < 0 ? 0 : value, std::memory_order_relaxed);
-  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  // The recording thread owns its stripe in practice (pool sizes rarely
+  // exceed kStripes); fetch_add keeps overlapping threads exact.
+  Stripe& s = stripes_[internal::ThreadIndex() & (kStripes - 1)];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value < 0 ? 0 : value, std::memory_order_relaxed);
+  s.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
 }
 
 void Histogram::Merge(const Histogram& other) {
-  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
-                   std::memory_order_relaxed);
-  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
-                 std::memory_order_relaxed);
-  for (int i = 0; i < kNumBuckets; ++i)
-    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
-                          std::memory_order_relaxed);
+  for (int s = 0; s < kStripes; ++s) {
+    stripes_[s].count.fetch_add(
+        other.stripes_[s].count.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    stripes_[s].sum.fetch_add(
+        other.stripes_[s].sum.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    for (int i = 0; i < kNumBuckets; ++i)
+      stripes_[s].buckets[i].fetch_add(
+          other.stripes_[s].buckets[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+  }
 }
 
 void Histogram::Reset() {
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0, std::memory_order_relaxed);
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (Stripe& s : stripes_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
 }
 
 double Histogram::Quantile(double q) const {
@@ -94,7 +110,7 @@ double Histogram::Quantile(double q) const {
   int64_t rank = static_cast<int64_t>(q * (total - 1)) + 1;
   int64_t cum = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    cum += buckets_[i].load(std::memory_order_relaxed);
+    cum += BucketTotal(i);
     if (cum >= rank) {
       int64_t lo = BucketLowerBound(i);
       int64_t hi = i + 1 < kNumBuckets ? BucketLowerBound(i + 1) : lo + 1;
@@ -195,13 +211,48 @@ void Registry::WriteJsonObject(std::ostream& os) const {
   os << "}}";
 }
 
+void Registry::WritePrometheus(std::ostream& os) const {
+  // Prometheus metric names allow [a-zA-Z0-9_:]; map everything else (the
+  // '/' in our subsystem/op convention, mostly) to '_'.
+  auto sanitize = [](const std::string& name) {
+    std::string out = "xai_";
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      out.push_back(ok ? c : '_');
+    }
+    return out;
+  };
+  for (const auto& [name, value] : CounterSnapshot()) {
+    const std::string metric = sanitize(name) + "_total";
+    os << "# TYPE " << metric << " counter\n"
+       << metric << " " << value << "\n";
+  }
+  for (const auto& [name, h] : HistogramSnapshot()) {
+    const std::string metric = sanitize(name);
+    os << "# TYPE " << metric << " summary\n"
+       << metric << "{quantile=\"0.5\"} " << h.p50 << "\n"
+       << metric << "{quantile=\"0.95\"} " << h.p95 << "\n"
+       << metric << "{quantile=\"0.99\"} " << h.p99 << "\n"
+       << metric << "_sum " << h.sum << "\n"
+       << metric << "_count " << h.count << "\n";
+  }
+}
+
 void Registry::WriteChromeTrace(std::ostream& os) const {
   std::vector<TraceEvent> events;
   internal::CollectTraceEvents(&events);
+  const TraceStats stats = internal::GetTraceStats();
   // Chrome sorts by ts; emit in recorded order with ts relative to the
   // registry epoch so traces start near zero.
   int64_t epoch = epoch_ns_.load();
-  os << "{\"traceEvents\":[";
+  os << "{\"otherData\":{\"dropped_events\":" << stats.dropped_events
+     << ",\"retained_dropped\":" << stats.retained_dropped
+     << ",\"buffer_capacity_per_thread\":" << stats.buffer_capacity
+     << ",\"retained_capacity\":" << stats.retained_capacity
+     << ",\"num_thread_buffers\":" << stats.num_thread_buffers
+     << ",\"clear_epoch\":" << stats.clear_epoch
+     << ",\"sample_rate\":" << TraceSampleRate() << "},\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& e : events) {
     if (!first) os << ",";
@@ -210,7 +261,15 @@ void Registry::WriteChromeTrace(std::ostream& os) const {
     WriteJsonString(os, e.name);
     os << ",\"ph\":\"X\",\"cat\":\"xai\",\"pid\":1,\"tid\":" << e.tid
        << ",\"ts\":" << static_cast<double>(e.start_ns - epoch) / 1e3
-       << ",\"dur\":" << static_cast<double>(e.duration_ns) / 1e3 << "}";
+       << ",\"dur\":" << static_cast<double>(e.duration_ns) / 1e3;
+    if (e.trace_id != 0) {
+      // 64-bit ids as decimal strings: JSON numbers are doubles and would
+      // silently round ids above 2^53.
+      os << ",\"args\":{\"trace_id\":\"" << e.trace_id << "\",\"span_id\":\""
+         << e.span_id << "\",\"parent_span_id\":\"" << e.parent_span_id
+         << "\"}";
+    }
+    os << "}";
   }
   os << "]}";
 }
@@ -271,6 +330,19 @@ std::string SummaryLine() {
     if (auto it = histograms.find("serve/queue_depth");
         it != histograms.end() && it->second.count > 0)
       os << " queue_depth_p95=" << it->second.p95;
+  }
+
+  // Truncated traces must be visible, not silent: surface buffer drops the
+  // same way the Chrome-trace otherData header does.
+  const TraceStats trace_stats = internal::GetTraceStats();
+  if (trace_stats.dropped_events > 0 || trace_stats.retained_dropped > 0) {
+    os << "\n[telemetry] trace: dropped_events="
+       << trace_stats.dropped_events
+       << " retained_dropped=" << trace_stats.retained_dropped
+       << " (buffer capacity " << trace_stats.buffer_capacity
+       << " events/thread x " << trace_stats.num_thread_buffers
+       << " threads; raise XAI_TRACE_SAMPLE granularity or export more "
+          "often)";
   }
   return os.str();
 }

@@ -38,6 +38,14 @@ namespace telemetry {
 bool Enabled();
 void SetEnabled(bool enabled);
 
+namespace internal {
+/// First-touch thread index shared by the striped primitives (Counter
+/// slots, Histogram stripes): the n-th thread to record anything gets n,
+/// cached thread-locally. Monotone and process-wide, so a thread maps to
+/// the same stripe in every instance.
+int ThreadIndex();
+}  // namespace internal
+
 /// \brief Monotonically increasing event count. Thread-safe; writes are
 /// striped across per-thread cache-line-sized slots so concurrent adds
 /// from the pool neither ping-pong a single line nor pay a locked RMW: the
@@ -87,8 +95,15 @@ class Counter {
 /// \brief Log-bucketed histogram of non-negative int64 samples (nanoseconds
 /// by convention). Each power-of-two octave is split into 4 linear
 /// sub-buckets, so quantile estimates carry at most ~25% relative error;
-/// values below 4 are exact. Thread-safe recording (relaxed atomics),
-/// mergeable across instances, constant 256-slot footprint.
+/// values below 4 are exact. Thread-safe recording, mergeable across
+/// instances.
+///
+/// Recording is striped: samples land in the stripe owned by the calling
+/// thread's ThreadIndex() (mod kStripes), so the pool's workers recording
+/// into one hot span histogram bump disjoint cache lines instead of
+/// ping-ponging a shared count/sum pair — span-end cost stays flat with
+/// thread count. Readers sum the stripes; exact once writers are
+/// quiescent, same contract as Counter.
 class Histogram {
  public:
   static constexpr int kSubBits = 2;                    // Sub-buckets/octave.
@@ -96,14 +111,25 @@ class Histogram {
   // Non-negative int64 samples have msb in [0, 62], so the highest bucket
   // is (62 - kSubBits + 1) * kSubCount + (kSubCount - 1).
   static constexpr int kNumBuckets = (63 - kSubBits + 1) * kSubCount;
+  static constexpr int kStripes = 8;  // Power of two (stripe = index & mask).
 
   void Record(int64_t value);
   /// Adds every bucket of `other` into this histogram.
   void Merge(const Histogram& other);
   void Reset();
 
-  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
-  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t Count() const {
+    int64_t total = 0;
+    for (const Stripe& s : stripes_)
+      total += s.count.load(std::memory_order_relaxed);
+    return total;
+  }
+  int64_t Sum() const {
+    int64_t total = 0;
+    for (const Stripe& s : stripes_)
+      total += s.sum.load(std::memory_order_relaxed);
+    return total;
+  }
   /// Approximate value at quantile q in [0, 1] (midpoint of the bucket the
   /// rank falls into). Returns 0 for an empty histogram.
   double Quantile(double q) const;
@@ -114,9 +140,20 @@ class Histogram {
   static int64_t BucketLowerBound(int index);
 
  private:
-  std::atomic<int64_t> count_{0};
-  std::atomic<int64_t> sum_{0};
-  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  struct alignas(64) Stripe {
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> buckets[kNumBuckets] = {};
+  };
+
+  int64_t BucketTotal(int index) const {
+    int64_t total = 0;
+    for (const Stripe& s : stripes_)
+      total += s.buckets[index].load(std::memory_order_relaxed);
+    return total;
+  }
+
+  Stripe stripes_[kStripes];
 };
 
 /// Snapshot of one histogram for reporting.
@@ -161,8 +198,18 @@ class Registry {
   /// embedding into a larger report (no trailing newline).
   void WriteJsonObject(std::ostream& os) const;
 
-  /// Chrome trace_event JSON ({"traceEvents":[...]}) of every span recorded
-  /// since the last Reset(), loadable in chrome://tracing / Perfetto.
+  /// Prometheus text exposition format: counters as `xai_<name>_total`,
+  /// histograms as summaries (p50/p95/p99 quantile samples plus _sum and
+  /// _count). Non-[a-zA-Z0-9_] characters in names map to '_'.
+  void WritePrometheus(std::ostream& os) const;
+
+  /// Chrome trace_event JSON ({"otherData":{...},"traceEvents":[...]}) of
+  /// every span recorded since the last Reset(), loadable in
+  /// chrome://tracing / Perfetto. The otherData header carries buffer
+  /// health (dropped_events, buffer capacity, sample rate) so truncated or
+  /// sampled traces are detectable; events recorded under a TraceContext
+  /// carry args.trace_id / span_id / parent_span_id (decimal strings — JSON
+  /// numbers lose 64-bit precision) for per-request reconstruction.
   /// Call outside parallel regions (spans still being written on other
   /// threads would be racy to read).
   void WriteChromeTrace(std::ostream& os) const;

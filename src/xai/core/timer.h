@@ -9,6 +9,12 @@ namespace xai {
 /// Monotonic clock reading in nanoseconds (steady_clock since an arbitrary
 /// epoch). The telemetry spans (core/trace.h) and WallTimer share this
 /// clock, so span timestamps and stopwatch readings are directly comparable.
+/// Spans rely on this never going backwards — wall-clock adjustments (NTP,
+/// suspend/resume) must not produce negative durations or misordered trace
+/// timestamps.
+static_assert(std::chrono::steady_clock::is_steady,
+              "span timing requires a monotonic clock");
+
 inline int64_t MonotonicNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())

@@ -1,10 +1,13 @@
 #include "xai/core/trace.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "xai/core/check.h"
+#include "xai/core/parallel.h"
 #include "xai/core/timer.h"
 
 namespace xai {
@@ -33,6 +36,34 @@ std::vector<std::shared_ptr<ThreadBuffer>>& Buffers() {
 }
 uint32_t g_next_tid = 0;
 
+// Tail-retention buffer: request-root spans of slow / degraded / error
+// requests land here even when head sampling skipped the trace. Mutex-only —
+// it sees one append per retained *request*, not per span, so contention is
+// irrelevant.
+constexpr uint32_t kRetainedCapacity = 1 << 15;
+std::mutex g_retained_mu;
+std::vector<TraceEvent>& Retained() {
+  static auto* retained = new std::vector<TraceEvent>();
+  return *retained;
+}
+
+std::atomic<int64_t> g_dropped_events{0};
+std::atomic<int64_t> g_retained_dropped{0};
+std::atomic<uint64_t> g_clear_epoch{0};
+// Set when ClearTraceEvents discarded a nonempty trace and nothing has been
+// recorded since: a CollectTraceEvents in that state is a double export and
+// dies instead of silently emitting an empty trace.
+std::atomic<bool> g_cleared_nonempty{false};
+
+std::atomic<uint64_t> g_next_span_id{1};
+
+thread_local TraceContext t_current_ctx;
+
+void NoteEventRecorded() {
+  if (g_cleared_nonempty.load(std::memory_order_relaxed))
+    g_cleared_nonempty.store(false, std::memory_order_relaxed);
+}
+
 ThreadBuffer& LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     std::lock_guard<std::mutex> lock(g_buffers_mu);
@@ -43,45 +74,212 @@ ThreadBuffer& LocalBuffer() {
   return *buffer;
 }
 
-void AppendEvent(const char* name, int64_t start_ns, int64_t duration_ns) {
+void AppendEvent(const char* name, int64_t start_ns, int64_t duration_ns,
+                 const TraceContext& ctx, uint64_t span_id,
+                 uint64_t parent_span_id) {
   ThreadBuffer& buffer = LocalBuffer();
   uint32_t i = buffer.size.load(std::memory_order_relaxed);
   if (i >= ThreadBuffer::kCapacity) {
+    g_dropped_events.fetch_add(1, std::memory_order_relaxed);
     XAI_COUNTER_INC("trace/dropped_events");
     return;
   }
-  buffer.slots[i] = TraceEvent{name, start_ns, duration_ns, buffer.tid};
+  buffer.slots[i] = TraceEvent{name,          start_ns, duration_ns,
+                               buffer.tid,    ctx.trace_id, span_id,
+                               parent_span_id};
   buffer.size.store(i + 1, std::memory_order_release);
+  NoteEventRecorded();
+}
+
+// XAI_TRACE_SAMPLE stored as parts-per-2^32 so the atomic stays integral.
+std::atomic<uint64_t> g_sample_threshold{[] {
+  double rate = 1.0;
+  if (const char* env = std::getenv("XAI_TRACE_SAMPLE")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end != env) rate = parsed;
+  }
+  if (rate < 0.0) rate = 0.0;
+  if (rate > 1.0) rate = 1.0;
+  return static_cast<uint64_t>(rate * 4294967296.0);
+}()};
+
+// splitmix64 finalizer: decorrelates sequentially assigned trace ids so a
+// fixed-rate threshold on the low bits samples uniformly.
+uint64_t MixTraceId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
 
-ScopedSpan::ScopedSpan(const char* name)
-    : name_(name), start_ns_(Enabled() ? MonotonicNanos() : -1) {}
+const TraceContext& CurrentTraceContext() { return t_current_ctx; }
+
+uint64_t NextSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+double TraceSampleRate() {
+  return static_cast<double>(
+             g_sample_threshold.load(std::memory_order_relaxed)) /
+         4294967296.0;
+}
+
+void SetTraceSampleRate(double rate) {
+  if (rate < 0.0) rate = 0.0;
+  if (rate > 1.0) rate = 1.0;
+  g_sample_threshold.store(static_cast<uint64_t>(rate * 4294967296.0),
+                           std::memory_order_relaxed);
+}
+
+bool SampleTrace(uint64_t trace_id) {
+  const uint64_t threshold =
+      g_sample_threshold.load(std::memory_order_relaxed);
+  if (threshold >= (1ULL << 32)) return true;
+  return (MixTraceId(trace_id) >> 32) < threshold;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : prev_(t_current_ctx) {
+  t_current_ctx = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current_ctx = prev_; }
+
+ScopedSpan::ScopedSpan(const char* name) : ScopedSpan(name, nullptr) {}
+
+ScopedSpan::ScopedSpan(const char* name, Histogram* histogram)
+    : name_(name),
+      histogram_(histogram),
+      start_ns_(Enabled() ? MonotonicNanos() : -1) {
+  if (start_ns_ < 0) return;
+  prev_ = t_current_ctx;
+  if (prev_.trace_id != 0) {
+    // Become the innermost span of the active request: spans opened inside
+    // this scope parent-link to us.
+    span_id_ = NextSpanId();
+    t_current_ctx = TraceContext{prev_.trace_id, span_id_, prev_.sampled};
+    installed_ = true;
+  }
+}
 
 ScopedSpan::~ScopedSpan() {
-  if (start_ns_ < 0 || !Enabled()) return;
-  const int64_t duration_ns = MonotonicNanos() - start_ns_;
-  AppendEvent(name_, start_ns_, duration_ns);
-  // One registry lookup per span end; spans sit at explain/chunk
-  // granularity, so this stays far below the overhead budget.
-  Registry::Global().GetHistogram(name_)->Record(duration_ns);
+  if (start_ns_ < 0) return;
+  if (installed_) t_current_ctx = prev_;
+  if (!Enabled()) return;
+  // MonotonicNanos is steady by static_assert, but clamp anyway so an event
+  // can never carry a negative duration.
+  int64_t duration_ns = MonotonicNanos() - start_ns_;
+  if (duration_ns < 0) duration_ns = 0;
+  if (!installed_ || prev_.sampled) {
+    AppendEvent(name_, start_ns_, duration_ns, prev_, span_id_,
+                installed_ ? prev_.span_id : 0);
+  }
+  // Histograms record even for head-sampled-out traces: sampling thins the
+  // event stream, never the metrics. XAI_SPAN call sites pass the resolved
+  // histogram; the lookup fallback only serves direct ScopedSpan users.
+  if (histogram_ == nullptr)
+    histogram_ = Registry::Global().GetHistogram(name_);
+  histogram_->Record(duration_ns);
 }
+
+#if XAI_TELEMETRY
+
+void RecordRequestSpan(const char* name, const TraceContext& ctx,
+                       uint64_t span_id, uint64_t parent_span_id,
+                       int64_t start_ns, int64_t duration_ns,
+                       bool force_retain) {
+  if (!Enabled()) return;
+  if (duration_ns < 0) duration_ns = 0;
+  Registry::Global().GetHistogram(name)->Record(duration_ns);
+  if (ctx.sampled) {
+    AppendEvent(name, start_ns, duration_ns, ctx, span_id, parent_span_id);
+    return;
+  }
+  if (!force_retain) return;
+  std::lock_guard<std::mutex> lock(g_retained_mu);
+  std::vector<TraceEvent>& retained = Retained();
+  if (retained.size() >= kRetainedCapacity) {
+    g_retained_dropped.fetch_add(1, std::memory_order_relaxed);
+    XAI_COUNTER_INC("trace/retained_dropped");
+    return;
+  }
+  retained.push_back(TraceEvent{name, start_ns, duration_ns,
+                                LocalBuffer().tid, ctx.trace_id, span_id,
+                                parent_span_id});
+  NoteEventRecorded();
+}
+
+#endif  // XAI_TELEMETRY
 
 namespace internal {
 
 void CollectTraceEvents(std::vector<TraceEvent>* out) {
-  std::lock_guard<std::mutex> lock(g_buffers_mu);
-  for (const auto& buffer : Buffers()) {
-    uint32_t n = buffer->size.load(std::memory_order_acquire);
-    for (uint32_t i = 0; i < n; ++i) out->push_back(buffer->slots[i]);
+  XAI_CHECK_MSG(!InParallelRegion(),
+                "CollectTraceEvents inside a parallel region");
+  const size_t before = out->size();
+  {
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    for (const auto& buffer : Buffers()) {
+      uint32_t n = buffer->size.load(std::memory_order_acquire);
+      for (uint32_t i = 0; i < n; ++i) out->push_back(buffer->slots[i]);
+    }
   }
+  {
+    std::lock_guard<std::mutex> lock(g_retained_mu);
+    for (const TraceEvent& e : Retained()) out->push_back(e);
+  }
+  XAI_CHECK_MSG(
+      out->size() != before ||
+          !g_cleared_nonempty.load(std::memory_order_relaxed),
+      "double export: CollectTraceEvents after ClearTraceEvents discarded "
+      "the trace and nothing was recorded since");
 }
 
 void ClearTraceEvents() {
-  std::lock_guard<std::mutex> lock(g_buffers_mu);
-  for (const auto& buffer : Buffers())
-    buffer->size.store(0, std::memory_order_release);
+  XAI_CHECK_MSG(!InParallelRegion(),
+                "ClearTraceEvents inside a parallel region");
+  int64_t cleared = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    for (const auto& buffer : Buffers()) {
+      cleared += buffer->size.load(std::memory_order_acquire);
+      buffer->size.store(0, std::memory_order_release);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(g_retained_mu);
+    cleared += static_cast<int64_t>(Retained().size());
+    Retained().clear();
+  }
+  g_dropped_events.store(0, std::memory_order_relaxed);
+  g_retained_dropped.store(0, std::memory_order_relaxed);
+  g_clear_epoch.fetch_add(1, std::memory_order_relaxed);
+  if (cleared > 0) g_cleared_nonempty.store(true, std::memory_order_relaxed);
+}
+
+TraceStats GetTraceStats() {
+  TraceStats stats;
+  stats.buffer_capacity = ThreadBuffer::kCapacity;
+  stats.retained_capacity = kRetainedCapacity;
+  stats.dropped_events = g_dropped_events.load(std::memory_order_relaxed);
+  stats.retained_dropped =
+      g_retained_dropped.load(std::memory_order_relaxed);
+  stats.clear_epoch = g_clear_epoch.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    stats.num_thread_buffers = static_cast<int>(Buffers().size());
+    for (const auto& buffer : Buffers())
+      stats.buffered_events +=
+          buffer->size.load(std::memory_order_acquire);
+  }
+  {
+    std::lock_guard<std::mutex> lock(g_retained_mu);
+    stats.buffered_events += static_cast<int64_t>(Retained().size());
+  }
+  return stats;
 }
 
 }  // namespace internal

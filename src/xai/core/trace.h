@@ -2,12 +2,14 @@
 #define XAI_CORE_TRACE_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "xai/core/telemetry.h"  // For the XAI_TELEMETRY switch.
 
 /// \file
-/// Scoped spans recorded into lock-free thread-local buffers.
+/// Scoped spans recorded into lock-free thread-local buffers, with
+/// request-scoped causal linkage.
 ///
 /// `XAI_SPAN("kernel_shap/solve")` times the enclosing scope: on exit it
 /// appends one event to the calling thread's buffer (single-writer, readers
@@ -15,28 +17,113 @@
 /// records the duration into the histogram of the same name in
 /// telemetry::Registry. Buffers are bounded; once a thread's buffer is full
 /// further events still feed the histogram but are dropped from the trace
-/// (counted in "trace/dropped_events").
+/// (counted in "trace/dropped_events" and surfaced in the export header).
 ///
 /// Span names must be string literals (or otherwise outlive the process):
 /// only the pointer is stored.
+///
+/// Request scoping: a TraceContext (trace_id + active span id) installed on
+/// the current thread makes every span opened underneath it a *child* of
+/// that context — events then carry (trace_id, span_id, parent_span_id), so
+/// an exported trace can be regrouped per request and its critical path
+/// reconstructed (tools/analyze_trace.py). The parallel runtime propagates
+/// the caller's context onto pool workers for the duration of a region, so
+/// spans inside ParallelFor chunks stay attached to the request that
+/// spawned them.
+///
+/// Sampling: XAI_TRACE_SAMPLE in [0,1] (default 1) head-samples which
+/// *requests* record span events — an unsampled context still feeds every
+/// histogram, it only skips the per-event buffers. Tail retention is the
+/// serving layer's job: RecordRequestSpan(..., force_retain=true) lands the
+/// request's root span in a dedicated retained buffer even when the context
+/// was sampled out, so slow/degraded/error requests never vanish from the
+/// trace.
 
 namespace xai {
 namespace telemetry {
 
+/// \brief Identity of the request (trace) the current thread is working
+/// for. `trace_id == 0` means "no request context": spans then record with
+/// zeroed ids, exactly like the pre-context flat spans.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  /// The innermost open span — new spans underneath parent-link to it.
+  uint64_t span_id = 0;
+  /// Head-sampling decision for this trace (see SampleTrace). Unsampled
+  /// contexts skip the event buffers but still feed histograms.
+  bool sampled = true;
+};
+
+/// The calling thread's current context (zero-initialized when none).
+const TraceContext& CurrentTraceContext();
+
+/// Process-unique span id (never 0). Cheap: one relaxed fetch-add.
+uint64_t NextSpanId();
+
+/// Head-sampling rate in [0, 1]: the fraction of traces whose span events
+/// are recorded. Initialized from the XAI_TRACE_SAMPLE environment variable
+/// (default 1.0 — trace everything; the measured overhead budget makes that
+/// affordable).
+double TraceSampleRate();
+void SetTraceSampleRate(double rate);
+
+/// Deterministic per-trace sampling decision: the same trace_id always
+/// samples the same way at a fixed rate.
+bool SampleTrace(uint64_t trace_id);
+
+/// \brief RAII: installs `ctx` as the calling thread's context, restoring
+/// the previous one on destruction. The serving layer wraps request
+/// execution in one of these; ParallelFor workers get one per region.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
 /// One completed span, in nanoseconds on the shared monotonic clock.
+/// trace_id / span_id / parent_span_id are zero for spans recorded outside
+/// any request context.
 struct TraceEvent {
   const char* name;
   int64_t start_ns;
   int64_t duration_ns;
   uint32_t tid;  // Small sequential id assigned per recording thread.
+  uint64_t trace_id;
+  uint64_t span_id;
+  uint64_t parent_span_id;
 };
 
-/// \brief RAII span. Construction snapshots the clock; destruction records
-/// the event + histogram sample. Runtime-disabled telemetry makes both ends
-/// a single relaxed load.
+/// Buffer health for the export header and `--telemetry` summaries:
+/// truncated traces must be detectable, not silent.
+struct TraceStats {
+  int64_t dropped_events = 0;   ///< Thread-buffer drops since last clear.
+  int64_t retained_dropped = 0; ///< Retained-buffer drops since last clear.
+  int64_t buffered_events = 0;  ///< Currently collectable events.
+  uint32_t buffer_capacity = 0; ///< Per-thread buffer capacity (events).
+  uint32_t retained_capacity = 0;
+  int num_thread_buffers = 0;
+  uint64_t clear_epoch = 0;     ///< Count of ClearTraceEvents calls.
+};
+
+/// \brief RAII span. Construction snapshots the monotonic clock (the only
+/// clock spans ever read; negative deltas are clamped to zero); destruction
+/// records the event + histogram sample. Runtime-disabled telemetry makes
+/// both ends a single relaxed load. Under a TraceContext the span allocates
+/// its own span id, parent-links to the innermost open span, and becomes
+/// the context for spans nested inside it.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
+  /// `histogram` is the registry entry for `name`, resolved once per call
+  /// site by XAI_SPAN (registry pointers are stable) — span end then skips
+  /// the name lookup entirely.
+  ScopedSpan(const char* name, Histogram* histogram);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -44,39 +131,113 @@ class ScopedSpan {
 
  private:
   const char* name_;
+  Histogram* histogram_ = nullptr;
   int64_t start_ns_;  // -1 when telemetry was disabled at entry.
+  TraceContext prev_;
+  uint64_t span_id_ = 0;
+  bool installed_ = false;
 };
+
+#if XAI_TELEMETRY
+
+/// Records a synthesized span (the serving layer's per-request root: the
+/// span covering enqueue -> completion) under `ctx` without the RAII scope.
+/// Feeds the `name` histogram always; appends the event to the thread
+/// buffer when `ctx.sampled`, or to the retained buffer when
+/// `force_retain` — the tail-sampling hook that keeps slow / degraded /
+/// error requests in the trace at any head-sampling rate.
+void RecordRequestSpan(const char* name, const TraceContext& ctx,
+                       uint64_t span_id, uint64_t parent_span_id,
+                       int64_t start_ns, int64_t duration_ns,
+                       bool force_retain);
+
+#else
+
+inline void RecordRequestSpan(const char*, const TraceContext&, uint64_t,
+                              uint64_t, int64_t, int64_t, bool) {}
+
+#endif  // XAI_TELEMETRY
 
 namespace internal {
 
-/// Copies every thread's recorded events into `out` (appended). Caller must
-/// be outside parallel regions for a complete snapshot; concurrent writers
-/// only make the snapshot miss their newest events, never tear.
+/// Copies every thread's recorded events (and the retained tail buffer)
+/// into `out` (appended). Caller must be outside parallel regions for a
+/// complete snapshot; concurrent writers only make the snapshot miss their
+/// newest events, never tear. XAI_CHECK-fails when called after
+/// ClearTraceEvents discarded events and nothing was recorded since — a
+/// double export would otherwise produce silently empty output.
 void CollectTraceEvents(std::vector<TraceEvent>* out);
 
-/// Resets every thread buffer to empty. Quiescence required (no spans
-/// in flight on other threads).
+/// Resets every thread buffer (and the retained buffer) to empty.
+/// Quiescence required (no spans in flight on other threads;
+/// XAI_CHECK-enforced against being called from inside a parallel region).
 void ClearTraceEvents();
+
+/// Buffer/drop accounting for the export header.
+TraceStats GetTraceStats();
 
 }  // namespace internal
 }  // namespace telemetry
 }  // namespace xai
 
-#if XAI_TELEMETRY
-
 #define XAI_TRACE_CONCAT_INNER(a, b) a##b
 #define XAI_TRACE_CONCAT(a, b) XAI_TRACE_CONCAT_INNER(a, b)
 
+#if XAI_TELEMETRY
+
 /// Times the enclosing scope under `name` (a string literal,
-/// `subsystem/op`). Nest freely; events carry start + duration so viewers
-/// reconstruct the stack.
-#define XAI_SPAN(name)                 \
-  ::xai::telemetry::ScopedSpan XAI_TRACE_CONCAT(xai_span_, __LINE__) { name }
+/// `subsystem/op`). Nest freely; events carry start + duration + causal
+/// ids so viewers reconstruct the stack per request. The histogram behind
+/// `name` resolves once per call site (function-local static, same pattern
+/// as XAI_COUNTER_ADD), so span end costs no registry lookup even on
+/// per-coalition hot paths.
+#define XAI_SPAN(name)                                                   \
+  ::xai::telemetry::ScopedSpan XAI_TRACE_CONCAT(xai_span_, __LINE__) {   \
+    name, [] {                                                           \
+      static ::xai::telemetry::Histogram* const xai_span_hist =          \
+          ::xai::telemetry::Registry::Global().GetHistogram(name);       \
+      return xai_span_hist;                                              \
+    }()                                                                  \
+  }
+
+/// XAI_SPAN gated on a condition evaluated at scope entry: span only when
+/// the work is span-scale. Call sites on fine-grained hot paths (e.g. the
+/// per-coalition batch-predict calls) use this to keep sub-microsecond
+/// calls out of the trace — and out of the overhead budget — while
+/// batch-scale calls through the same function stay visible.
+#define XAI_SPAN_IF(cond, name)                                          \
+  std::optional<::xai::telemetry::ScopedSpan> XAI_TRACE_CONCAT(          \
+      xai_span_, __LINE__);                                              \
+  if (cond)                                                              \
+  XAI_TRACE_CONCAT(xai_span_, __LINE__).emplace(name, [] {               \
+    static ::xai::telemetry::Histogram* const xai_span_hist =            \
+        ::xai::telemetry::Registry::Global().GetHistogram(name);         \
+    return xai_span_hist;                                                \
+  }())
+
+/// Installs a TraceContext for the enclosing scope (RAII). Compiles away
+/// with telemetry, so the serving hot path carries zero context-switching
+/// cost in an XAI_TELEMETRY=0 build.
+#define XAI_TRACE_CONTEXT(...)                                     \
+  ::xai::telemetry::ScopedTraceContext XAI_TRACE_CONCAT(           \
+      xai_trace_ctx_, __LINE__)(__VA_ARGS__)
 
 #else
 
 #define XAI_SPAN(name) \
   do {                 \
+  } while (0)
+
+#define XAI_SPAN_IF(cond, name) \
+  do {                          \
+    if (false) {                \
+      (void)(cond);             \
+    }                           \
+  } while (0)
+
+#define XAI_TRACE_CONTEXT(...)        \
+  do {                                \
+    (void)sizeof((__VA_ARGS__));      \
   } while (0)
 
 #endif  // XAI_TELEMETRY

@@ -10,6 +10,7 @@
 #include "xai/core/telemetry.h"
 #include "xai/core/timer.h"
 #include "xai/core/trace.h"
+#include "xai/model/model.h"  // kPredictSpanMinRows.
 #include "xai/model/logistic_regression.h"
 
 namespace xai {
@@ -148,7 +149,7 @@ void FlatEnsemble::ScoreRows(const Matrix& x, int64_t begin, int64_t end,
 }
 
 Vector FlatEnsemble::PredictBatch(const Matrix& x) const {
-  XAI_SPAN("model/flat_predict_batch");
+  XAI_SPAN_IF(x.rows() >= kPredictSpanMinRows, "model/flat_predict_batch");
   XAI_COUNTER_ADD("model/flat_predict_rows", x.rows());
   Vector out(x.rows());
   // Chunk grain is a multiple of kRowBlock so every chunk tiles cleanly;

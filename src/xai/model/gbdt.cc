@@ -125,7 +125,7 @@ std::shared_ptr<const FlatEnsemble> GbdtModel::shared_flat() const {
 }
 
 Vector GbdtModel::PredictBatch(const Matrix& x) const {
-  XAI_SPAN("gbdt/predict_batch");
+  XAI_SPAN_IF(x.rows() >= kPredictSpanMinRows, "gbdt/predict_batch");
   XAI_COUNTER_ADD("model/evals", x.rows());
   return shared_flat()->PredictBatch(x);
 }

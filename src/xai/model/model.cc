@@ -13,7 +13,7 @@
 namespace xai {
 
 Vector Model::PredictBatch(const Matrix& x) const {
-  XAI_SPAN("model/predict_batch");
+  XAI_SPAN_IF(x.rows() >= kPredictSpanMinRows, "model/predict_batch");
   XAI_COUNTER_ADD("model/evals", x.rows());
   Vector out(x.rows());
   // Each output slot is written by exactly one chunk; Predict is

@@ -10,6 +10,15 @@
 
 namespace xai {
 
+/// Row threshold below which the batch-predict paths skip their trace
+/// span (XAI_SPAN_IF): explainer coalition sweeps call PredictBatch
+/// hundreds of times per request with background-sized batches, and a
+/// span per ~1 us call would dominate both the tracing overhead budget
+/// and the per-thread trace buffers. Batch-scale calls (the inference
+/// benches, LIME neighborhoods) stay spanned; counters and model/evals
+/// record regardless of batch size.
+inline constexpr int64_t kPredictSpanMinRows = 1024;
+
 /// \brief Base interface of all predictive models in libxai.
 ///
 /// The unified output convention keeps explainers model-agnostic:

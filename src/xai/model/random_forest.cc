@@ -96,7 +96,7 @@ std::shared_ptr<const FlatEnsemble> RandomForestModel::shared_flat() const {
 }
 
 Vector RandomForestModel::PredictBatch(const Matrix& x) const {
-  XAI_SPAN("rf/predict_batch");
+  XAI_SPAN_IF(x.rows() >= kPredictSpanMinRows, "rf/predict_batch");
   XAI_COUNTER_ADD("model/evals", x.rows());
   return shared_flat()->PredictBatch(x);
 }

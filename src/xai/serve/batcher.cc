@@ -6,12 +6,16 @@
 
 #include "xai/core/parallel.h"
 #include "xai/core/telemetry.h"
+#include "xai/core/timer.h"
 
 namespace xai {
 namespace serve {
 
-RequestBatcher::RequestBatcher(const Config& config, Executor executor)
-    : config_(config), executor_(std::move(executor)) {
+RequestBatcher::RequestBatcher(const Config& config, Executor executor,
+                               Completion on_complete)
+    : config_(config),
+      executor_(std::move(executor)),
+      on_complete_(std::move(on_complete)) {
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -31,6 +35,7 @@ Result<std::future<Result<ExplainResponse>>> RequestBatcher::Submit(
   pending.job = std::move(job);
   pending.promise =
       std::make_shared<std::promise<Result<ExplainResponse>>>();
+  pending.enqueue_ns = MonotonicNanos();
   auto future = pending.promise->get_future();
 
   {
@@ -144,6 +149,7 @@ void RequestBatcher::ExecuteBatch(std::vector<Pending> batch) {
   // Unique executions fan out over the pool; each job's own explainer-level
   // ParallelFor then runs inline inside its chunk (nested regions
   // serialize), so batching never changes a response.
+  const int64_t batch_start_ns = MonotonicNanos();
   std::vector<std::optional<Result<ExplainResponse>>> results(n);
   ParallelFor(static_cast<int64_t>(leaders.size()), 1,
               [&](int64_t begin, int64_t end, int64_t /*chunk*/) {
@@ -152,9 +158,27 @@ void RequestBatcher::ExecuteBatch(std::vector<Pending> batch) {
                   results[i] = executor_(batch[i].job);
                 }
               });
+  const int64_t done_ns = MonotonicNanos();
 
-  for (int i = 0; i < n; ++i)
-    batch[i].promise->set_value(*results[leader_of[i]]);
+  for (int i = 0; i < n; ++i) {
+    // Followers get a copy of the leader's result; the completion hook then
+    // rewrites the copy's per-request metadata (own trace ids, coalesced
+    // linkage, queue timing) without touching the shared payload.
+    Result<ExplainResponse> result = *results[leader_of[i]];
+    if (on_complete_) {
+      CompletionInfo info;
+      info.enqueue_ns = batch[i].enqueue_ns;
+      info.batch_start_ns = batch_start_ns;
+      info.done_ns = done_ns;
+      info.batch_size = n;
+      info.coalesced = leader_of[i] != i;
+      const BatchJob& leader = batch[leader_of[i]].job;
+      info.leader_trace_id = leader.request.trace.trace_id;
+      info.leader_span_id = leader.root_span_id;
+      on_complete_(batch[i].job, info, &result);
+    }
+    batch[i].promise->set_value(std::move(result));
+  }
 }
 
 }  // namespace serve

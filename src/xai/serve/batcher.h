@@ -32,6 +32,9 @@ struct BatchJob {
   /// server sets this from `request.use_cache`: a caller opting out of the
   /// cache also opts out of result sharing.
   bool coalescable = true;
+  /// Root span of this request's trace (assigned at admission); coalesced
+  /// followers parent-link their root to the leader's.
+  uint64_t root_span_id = 0;
 };
 
 /// \brief Coalescing batch scheduler in front of the explainer executor.
@@ -67,7 +70,30 @@ class RequestBatcher {
   /// pool workers; must be const-reentrant.
   using Executor = std::function<Result<ExplainResponse>(const BatchJob&)>;
 
-  RequestBatcher(const Config& config, Executor executor);
+  /// Queue/batch timing of one completed job, monotonic nanoseconds. For
+  /// coalesced followers the leader fields identify whose execution
+  /// produced the shared payload (equal to the job's own ids for leaders
+  /// and non-coalescable jobs).
+  struct CompletionInfo {
+    int64_t enqueue_ns = 0;      ///< Submit() accepted the job.
+    int64_t batch_start_ns = 0;  ///< Its batch began executing.
+    int64_t done_ns = 0;         ///< Its batch finished.
+    int batch_size = 0;
+    bool coalesced = false;
+    uint64_t leader_trace_id = 0;
+    uint64_t leader_span_id = 0;
+  };
+
+  /// Runs on the batch worker for every job, after its result is known and
+  /// before its future resolves — the server's hook for stamping
+  /// per-request provenance (queue/batch breakdown, coalesced-onto
+  /// linkage) and SLO accounting. May mutate the result. Must not call
+  /// back into the batcher.
+  using Completion = std::function<void(
+      const BatchJob&, const CompletionInfo&, Result<ExplainResponse>*)>;
+
+  RequestBatcher(const Config& config, Executor executor,
+                 Completion on_complete = nullptr);
   /// Fails queued jobs and joins the worker.
   ~RequestBatcher();
 
@@ -90,6 +116,7 @@ class RequestBatcher {
   struct Pending {
     BatchJob job;
     std::shared_ptr<std::promise<Result<ExplainResponse>>> promise;
+    int64_t enqueue_ns = 0;
   };
 
   void WorkerLoop();
@@ -97,6 +124,7 @@ class RequestBatcher {
 
   const Config config_;
   const Executor executor_;
+  const Completion on_complete_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // Queue non-empty / stop / resume.

@@ -1,10 +1,14 @@
 #include "xai/serve/explain_server.h"
 
 #include <chrono>
+#include <sstream>
 #include <string>
 #include <utility>
 
+#include "xai/core/rng.h"
+#include "xai/core/simd.h"
 #include "xai/core/telemetry.h"
+#include "xai/core/timer.h"
 #include "xai/core/trace.h"
 #include "xai/explain/counterfactual/counterfactual.h"
 #include "xai/explain/counterfactual/dice.h"
@@ -35,8 +39,16 @@ std::vector<std::string> FeatureNames(const Dataset& background) {
   return names;
 }
 
+const std::string& TenantOf(const ExplainRequest& request) {
+  static const std::string kDefault = "default";
+  return request.tenant.empty() ? kDefault : request.tenant;
+}
+
 /// `count_miss` is set only at the end-to-end (queue wait included) layer,
-/// so a synchronous request never counts a miss twice.
+/// so a synchronous request never counts a miss twice. Also finalizes the
+/// provenance fields that depend on total latency: every exit from the
+/// serving path funnels through here, which is what makes provenance
+/// coverage a structural property instead of a per-path checklist.
 void FinalizeTiming(const ExplainRequest& request,
                     std::chrono::steady_clock::time_point start,
                     ExplainResponse* response, bool count_miss) {
@@ -45,17 +57,45 @@ void FinalizeTiming(const ExplainRequest& request,
       request.deadline_ms <= 0.0 || response->latency_ms <= request.deadline_ms;
   if (count_miss && !response->deadline_met)
     XAI_COUNTER_INC("serve/deadline_misses");
+  response->provenance.total_ms = response->latency_ms;
+  response->provenance.deadline_met = response->deadline_met;
+  response->provenance.complete = true;
 }
 
 }  // namespace
 
 ExplainServer::ExplainServer(const Config& config)
-    : cache_(config.cache), policy_(config.cost_model) {
+    : cache_(config.cache),
+      policy_(config.cost_model),
+      slo_(config.slo),
+      trace_stream_seed_(
+          Rng(ContentHash64("xai.serve/trace_ids") ^ config.trace_seed)
+              .NextU64()) {
   if (config.enable_batching) {
     batcher_ = std::make_unique<RequestBatcher>(
-        config.batcher,
-        [this](const BatchJob& job) { return Execute(job); });
+        config.batcher, [this](const BatchJob& job) { return Execute(job); },
+        [this](const BatchJob& job,
+               const RequestBatcher::CompletionInfo& info,
+               Result<ExplainResponse>* result) {
+          OnBatchComplete(job, info, result);
+        });
   }
+}
+
+void ExplainServer::AssignTrace(ExplainRequest* request) const {
+  if (request->trace.trace_id == 0) {
+    // Deterministic id stream: ContentHash64 over a per-server sequence.
+    // Reproducible for a fixed trace_seed, well-spread for sampling.
+    const uint64_t seq = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t id = ContentHash64(&seq, sizeof(seq), trace_stream_seed_);
+    if (id == 0) id = 1;  // 0 means "unassigned" everywhere.
+    request->trace.trace_id = id;
+  }
+  request->trace.sampled = telemetry::SampleTrace(request->trace.trace_id);
+  // The request's root span: children (serve/execute, explainer spans,
+  // ParallelFor chunks) parent-link to it; the span event itself is emitted
+  // at completion, covering admission -> response.
+  request->trace.span_id = telemetry::NextSpanId();
 }
 
 Result<BatchJob> ExplainServer::Admit(const ExplainRequest& request) const {
@@ -90,6 +130,7 @@ Result<BatchJob> ExplainServer::Admit(const ExplainRequest& request) const {
 
   job.request = request;
   job.coalescable = request.use_cache;
+  job.root_span_id = request.trace.span_id;
   job.key.model_fingerprint = job.entry->fingerprint;
   job.key.instance_hash = ContentHash64(request.instance);
   const uint64_t config_fields[] = {
@@ -103,16 +144,46 @@ Result<BatchJob> ExplainServer::Admit(const ExplainRequest& request) const {
   return job;
 }
 
+void ExplainServer::RecordCompletion(const ExplainRequest& request,
+                                     const ExplainResponse& response,
+                                     int64_t start_ns) {
+  slo_.Record(TenantOf(request), request.model, response.latency_ms,
+              response.deadline_met, response.degraded, response.cache_hit,
+              /*coalesced=*/false);
+  // Tail retention: the root span of a deadline-missed or degraded request
+  // survives any head-sampling rate.
+  telemetry::RecordRequestSpan(
+      "serve/request", request.trace, request.trace.span_id,
+      /*parent_span_id=*/0, start_ns,
+      static_cast<int64_t>(response.latency_ms * 1e6),
+      /*force_retain=*/!response.deadline_met || response.degraded);
+}
+
 Result<ExplainResponse> ExplainServer::Explain(const ExplainRequest& request) {
   const auto start = std::chrono::steady_clock::now();
+  const int64_t start_ns = MonotonicNanos();
   XAI_COUNTER_INC("serve/requests");
-  XAI_ASSIGN_OR_RETURN(BatchJob job, Admit(request));
+  ExplainRequest req = request;
+  AssignTrace(&req);
 
-  if (request.use_cache) {
+  Result<BatchJob> admitted = Admit(req);
+  if (!admitted.ok()) {
+    slo_.RecordError(TenantOf(req), req.model);
+    telemetry::RecordRequestSpan("serve/request_error", req.trace,
+                                 req.trace.span_id, /*parent_span_id=*/0,
+                                 start_ns, MonotonicNanos() - start_ns,
+                                 /*force_retain=*/true);
+    return admitted.status();
+  }
+  BatchJob job = std::move(admitted).ValueOrDie();
+
+  if (req.use_cache) {
     if (auto hit = cache_.Get(job.key)) {
       ExplainResponse response = *hit;
       response.cache_hit = true;
-      FinalizeTiming(request, start, &response, /*count_miss=*/true);
+      StampCacheHit(req, job, &response);
+      FinalizeTiming(req, start, &response, /*count_miss=*/true);
+      RecordCompletion(req, response, start_ns);
       return response;
     }
   }
@@ -125,36 +196,174 @@ Result<ExplainResponse> ExplainServer::Explain(const ExplainRequest& request) {
               return future.get();
             }()
           : Execute(job);
-  if (!result.ok()) return result.status();
+  if (!result.ok()) {
+    if (batcher_ == nullptr) {
+      // The batcher completion hook records errors for batched jobs;
+      // inline execution accounts for itself.
+      slo_.RecordError(TenantOf(req), req.model);
+      telemetry::RecordRequestSpan("serve/request_error", req.trace,
+                                   req.trace.span_id, /*parent_span_id=*/0,
+                                   start_ns, MonotonicNanos() - start_ns,
+                                   /*force_retain=*/true);
+    }
+    return result.status();
+  }
 
   ExplainResponse response = std::move(result).ValueOrDie();
-  FinalizeTiming(request, start, &response, /*count_miss=*/true);
+  FinalizeTiming(req, start, &response, /*count_miss=*/true);
+  if (batcher_ == nullptr) RecordCompletion(req, response, start_ns);
   return response;
 }
 
 Result<std::future<Result<ExplainResponse>>> ExplainServer::SubmitAsync(
     const ExplainRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  const int64_t start_ns = MonotonicNanos();
   XAI_COUNTER_INC("serve/requests");
-  XAI_ASSIGN_OR_RETURN(BatchJob job, Admit(request));
+  ExplainRequest req = request;
+  AssignTrace(&req);
 
-  if (request.use_cache) {
+  Result<BatchJob> admitted = Admit(req);
+  if (!admitted.ok()) {
+    slo_.RecordError(TenantOf(req), req.model);
+    telemetry::RecordRequestSpan("serve/request_error", req.trace,
+                                 req.trace.span_id, /*parent_span_id=*/0,
+                                 start_ns, MonotonicNanos() - start_ns,
+                                 /*force_retain=*/true);
+    return admitted.status();
+  }
+  BatchJob job = std::move(admitted).ValueOrDie();
+
+  if (req.use_cache) {
     if (auto hit = cache_.Get(job.key)) {
       ExplainResponse response = *hit;
       response.cache_hit = true;
+      StampCacheHit(req, job, &response);
+      FinalizeTiming(req, start, &response, /*count_miss=*/false);
+      RecordCompletion(req, response, start_ns);
       std::promise<Result<ExplainResponse>> ready;
       ready.set_value(std::move(response));
       return ready.get_future();
     }
   }
   if (batcher_ == nullptr) {
+    Result<ExplainResponse> result = Execute(job);
+    if (result.ok()) {
+      RecordCompletion(req, result.ValueOrDie(), start_ns);
+    } else {
+      slo_.RecordError(TenantOf(req), req.model);
+      telemetry::RecordRequestSpan("serve/request_error", req.trace,
+                                   req.trace.span_id, /*parent_span_id=*/0,
+                                   start_ns, MonotonicNanos() - start_ns,
+                                   /*force_retain=*/true);
+    }
     std::promise<Result<ExplainResponse>> ready;
-    ready.set_value(Execute(job));
+    ready.set_value(std::move(result));
     return ready.get_future();
   }
   return batcher_->Submit(std::move(job));
 }
 
+void ExplainServer::StampCacheHit(const ExplainRequest& request,
+                                  const BatchJob& job,
+                                  ExplainResponse* response) const {
+  // The cached payload (and its producing-execution facts: served tier,
+  // algorithm, simd backend) is shared; everything request-scoped is
+  // rewritten for *this* request. used_evals/compute are zero — a hit
+  // spends nothing.
+  ExplanationProvenance& prov = response->provenance;
+  prov.trace_id = request.trace.trace_id;
+  prov.root_span_id = request.trace.span_id;
+  prov.tenant = TenantOf(request);
+  prov.model = request.model;
+  prov.kind = ExplainerKindName(request.kind);
+  prov.requested_tier = FidelityTierName(request.fidelity);
+  prov.served_tier = FidelityTierName(job.plan.tier);
+  prov.algorithm = ExplainerKindName(job.plan.algorithm);
+  prov.degraded = job.degraded;
+  prov.cache_hit = true;
+  prov.coalesced = false;
+  prov.coalesced_onto = 0;
+  prov.planned_evals = job.plan.planned_evals;
+  prov.used_evals = 0;
+  prov.batch_size = 0;
+  prov.queue_ms = 0.0;
+  prov.compute_ms = 0.0;
+}
+
+void ExplainServer::OnBatchComplete(
+    const BatchJob& job, const RequestBatcher::CompletionInfo& info,
+    Result<ExplainResponse>* result) {
+  const ExplainRequest& req = job.request;
+  const int64_t total_ns = info.done_ns - info.enqueue_ns;
+  if (!result->ok()) {
+    slo_.RecordError(TenantOf(req), req.model);
+    telemetry::RecordRequestSpan("serve/request_error", req.trace,
+                                 job.root_span_id, /*parent_span_id=*/0,
+                                 info.enqueue_ns, total_ns,
+                                 /*force_retain=*/true);
+    return;
+  }
+
+  ExplainResponse& response = result->ValueOrDie();
+  const double total_ms = static_cast<double>(total_ns) / 1e6;
+  response.latency_ms = total_ms;
+  response.deadline_met =
+      req.deadline_ms <= 0.0 || total_ms <= req.deadline_ms;
+
+  // Followers hold a copy of the leader's response: re-stamp everything
+  // request-scoped (their own ids, tier ask, queue timing) and link the
+  // payload back to the execution that produced it.
+  ExplanationProvenance& prov = response.provenance;
+  prov.trace_id = req.trace.trace_id;
+  prov.root_span_id = job.root_span_id;
+  prov.tenant = TenantOf(req);
+  prov.model = req.model;
+  prov.kind = ExplainerKindName(req.kind);
+  prov.requested_tier = FidelityTierName(req.fidelity);
+  prov.degraded = job.degraded;
+  prov.coalesced = info.coalesced;
+  prov.coalesced_onto = info.coalesced ? info.leader_trace_id : 0;
+  if (info.coalesced) {
+    prov.used_evals = 0;     // This request ran nothing...
+    prov.compute_ms = 0.0;   // ...the leader's execution is billed once.
+  }
+  prov.queue_ms =
+      static_cast<double>(info.batch_start_ns - info.enqueue_ns) / 1e6;
+  prov.batch_size = info.batch_size;
+  prov.total_ms = total_ms;
+  prov.deadline_met = response.deadline_met;
+  prov.complete = true;
+
+  slo_.Record(TenantOf(req), req.model, total_ms, response.deadline_met,
+              job.degraded, /*cache_hit=*/false, info.coalesced);
+  // The request root span. A coalesced follower parent-links to the
+  // leader's root, so the trace shows N requests hanging off one
+  // execution. Tail retention keeps every missed/degraded request.
+  telemetry::RecordRequestSpan(
+      "serve/request", req.trace, job.root_span_id,
+      /*parent_span_id=*/info.coalesced ? info.leader_span_id : 0,
+      info.enqueue_ns, total_ns,
+      /*force_retain=*/!response.deadline_met || job.degraded);
+}
+
+std::string ExplainServer::MetricsSnapshot(MetricsFormat format) const {
+  std::ostringstream os;
+  if (format == MetricsFormat::kPrometheus) {
+    telemetry::Registry::Global().WritePrometheus(os);
+    slo_.WritePrometheus(os);
+  } else {
+    telemetry::Registry::Global().WriteJson(os);
+    slo_.WriteJsonl(os);
+  }
+  return os.str();
+}
+
 Result<ExplainResponse> ExplainServer::Execute(const BatchJob& job) {
+  // Adopt the request's trace identity for everything below — explainer
+  // spans, cache writes, and every ParallelFor chunk record against this
+  // request's trace_id with the root span as ancestor.
+  XAI_TRACE_CONTEXT(job.request.trace);
   XAI_SPAN("serve/execute");
   const auto start = std::chrono::steady_clock::now();
   const ExplainRequest& request = job.request;
@@ -168,8 +377,23 @@ Result<ExplainResponse> ExplainServer::Execute(const BatchJob& job) {
   response.model_fingerprint = entry.fingerprint;
   response.planned_evals = plan.planned_evals;
 
+  ExplanationProvenance& prov = response.provenance;
+  prov.trace_id = request.trace.trace_id;
+  prov.root_span_id = job.root_span_id;
+  prov.tenant = TenantOf(request);
+  prov.model = request.model;
+  prov.kind = ExplainerKindName(request.kind);
+  prov.requested_tier = FidelityTierName(request.fidelity);
+  prov.served_tier = FidelityTierName(plan.tier);
+  prov.algorithm = ExplainerKindName(plan.algorithm);
+  prov.degraded = job.degraded;
+  prov.planned_evals = plan.planned_evals;
+  prov.simd_backend = simd::BackendName(simd::Active());
+  prov.batch_size = 1;  // Overwritten by the batch completion hook.
+
   Rng rng(request.seed);
   const PredictFn predict = AsPredictFn(*entry.model);
+  const int64_t background_rows = entry.background->num_rows();
 
   switch (plan.algorithm) {
     case ExplainerKind::kTreeShap: {
@@ -178,6 +402,8 @@ Result<ExplainResponse> ExplainServer::Execute(const BatchJob& job) {
             "tree_shap requires a tree model; " + entry.name + " is " +
             entry.kind);
       response.attribution = TreeShap(*entry.tree_view, request.instance);
+      // Structural tree walk: no model-row evaluations to meter.
+      prov.used_evals = 0;
       break;
     }
     case ExplainerKind::kExactShapley: {
@@ -190,6 +416,7 @@ Result<ExplainResponse> ExplainServer::Execute(const BatchJob& job) {
       response.attribution.base_value = game.Value(0);
       response.attribution.prediction = predict(request.instance);
       response.attribution.feature_names = FeatureNames(*entry.background);
+      prov.used_evals = game.num_evaluations() * background_rows;
       break;
     }
     case ExplainerKind::kKernelShap: {
@@ -197,6 +424,7 @@ Result<ExplainResponse> ExplainServer::Execute(const BatchJob& job) {
                                entry.background->x());
       XAI_ASSIGN_OR_RETURN(response.attribution,
                            KernelShap(game, plan.kernel_config, &rng));
+      prov.used_evals = game.num_evaluations() * background_rows;
       break;
     }
     case ExplainerKind::kSamplingShapley: {
@@ -208,6 +436,7 @@ Result<ExplainResponse> ExplainServer::Execute(const BatchJob& job) {
       response.attribution.base_value = game.Value(0);
       response.attribution.prediction = predict(request.instance);
       response.attribution.feature_names = FeatureNames(*entry.background);
+      prov.used_evals = game.num_evaluations() * background_rows;
       break;
     }
     case ExplainerKind::kLime: {
@@ -216,6 +445,8 @@ Result<ExplainResponse> ExplainServer::Execute(const BatchJob& job) {
                            lime.Explain(predict, request.instance,
                                         request.seed));
       response.attribution = std::move(explanation);
+      // LIME's sampling loop runs exactly its configured budget.
+      prov.used_evals = plan.planned_evals;
       break;
     }
     case ExplainerKind::kAnchors: {
@@ -223,6 +454,10 @@ Result<ExplainResponse> ExplainServer::Execute(const BatchJob& job) {
       XAI_ASSIGN_OR_RETURN(response.anchor,
                            anchors.Explain(predict, request.instance,
                                            request.seed));
+      prov.used_evals =
+          response.anchor.samples_used > 0
+              ? static_cast<int64_t>(response.anchor.samples_used)
+              : plan.planned_evals;
       break;
     }
     case ExplainerKind::kCounterfactual: {
@@ -234,10 +469,12 @@ Result<ExplainResponse> ExplainServer::Execute(const BatchJob& job) {
                               request.desired_class, evaluator, spec,
                               plan.dice_config, &rng));
       response.counterfactuals = std::move(dice.counterfactuals);
+      prov.used_evals = plan.planned_evals;
       break;
     }
   }
 
+  prov.compute_ms = ElapsedMs(start);
   FinalizeTiming(request, start, &response, /*count_miss=*/false);
   if (request.use_cache)
     cache_.Put(job.key, std::make_shared<const ExplainResponse>(response));

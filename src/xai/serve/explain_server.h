@@ -1,8 +1,11 @@
 #ifndef XAI_SERVE_EXPLAIN_SERVER_H_
 #define XAI_SERVE_EXPLAIN_SERVER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <future>
 #include <memory>
+#include <string>
 
 #include "xai/core/status.h"
 #include "xai/serve/batcher.h"
@@ -10,6 +13,7 @@
 #include "xai/serve/explanation_cache.h"
 #include "xai/serve/model_registry.h"
 #include "xai/serve/request.h"
+#include "xai/serve/slo.h"
 
 namespace xai {
 namespace serve {
@@ -32,17 +36,31 @@ namespace serve {
 ///      same-key requests and fans unique work out over the thread pool;
 ///   5. record the served tier, planned cost, and wall-clock in the
 ///      response. Responses are bit-identical for a fixed request at any
-///      thread count; only `latency_ms` / `deadline_met` / `cache_hit`
-///      vary (and PayloadHash excludes them).
+///      thread count; only `latency_ms` / `deadline_met` / `cache_hit` /
+///      `provenance` vary (and PayloadHash excludes them).
+///
+/// Observability: every request gets a trace_id (caller-provided, or drawn
+/// from a deterministic ContentHash64-seeded stream) and a root span; the
+/// TraceContext rides the request through the cache, the batcher, the
+/// explainer spans, and — via core/parallel's per-region context capture —
+/// every chunk a ParallelFor fans out. Responses carry a full
+/// ExplanationProvenance record, per-(tenant, model) standing accumulates
+/// in the SloTracker, and MetricsSnapshot() renders both plus the registry
+/// as Prometheus text or JSONL.
 class ExplainServer {
  public:
   struct Config {
     ExplanationCache::Config cache;
     RequestBatcher::Config batcher;
     CostModel cost_model;
+    SloTracker::Config slo;
     /// When false, requests execute inline on the calling thread (no
     /// worker, no coalescing) — handy for tests and single-client tools.
     bool enable_batching = true;
+    /// Seed of the server-assigned trace_id stream (ids are ContentHash64
+    /// over a per-server sequence — deterministic for a fixed seed,
+    /// distinct across servers with different seeds).
+    uint64_t trace_seed = 0;
   };
 
   ExplainServer() : ExplainServer(Config()) {}
@@ -68,15 +86,46 @@ class ExplainServer {
   /// Null when batching is disabled.
   RequestBatcher* batcher() { return batcher_.get(); }
 
+  SloTracker& slo() { return slo_; }
+  const SloTracker& slo() const { return slo_; }
+
+  /// The metrics export surface: the global telemetry registry (counters,
+  /// span histograms) plus this server's per-tenant SLO standings, rendered
+  /// for scraping (Prometheus text exposition) or log shipping (JSONL).
+  enum class MetricsFormat { kPrometheus, kJsonl };
+  std::string MetricsSnapshot(MetricsFormat format) const;
+
  private:
   /// Registry lookup, validation, tier choice, cache-key construction.
   Result<BatchJob> Admit(const ExplainRequest& request) const;
   /// Runs the chosen plan. Called from pool workers via the batcher.
   Result<ExplainResponse> Execute(const BatchJob& job);
 
+  /// Fills in request.trace when the caller left trace_id == 0 and stamps
+  /// the head-sampling decision.
+  void AssignTrace(ExplainRequest* request) const;
+  /// Rewrites the request-scoped provenance fields on a cached response
+  /// copy (the payload and its producing-execution facts are shared).
+  void StampCacheHit(const ExplainRequest& request, const BatchJob& job,
+                     ExplainResponse* response) const;
+  /// SLO accounting + root-span emission for requests completed on the
+  /// synchronous / cache-hit / inline paths (batched jobs go through the
+  /// batcher completion hook instead).
+  void RecordCompletion(const ExplainRequest& request,
+                        const ExplainResponse& response, int64_t start_ns);
+  /// The RequestBatcher completion hook: rewrites follower provenance
+  /// (own ids, coalesced-onto linkage), stamps the queue/batch breakdown,
+  /// records SLO standing, and emits the request root span.
+  void OnBatchComplete(const BatchJob& job,
+                       const RequestBatcher::CompletionInfo& info,
+                       Result<ExplainResponse>* result);
+
   ModelRegistry registry_;
   ExplanationCache cache_;
   DegradationPolicy policy_;
+  SloTracker slo_;
+  uint64_t trace_stream_seed_ = 0;
+  mutable std::atomic<uint64_t> trace_seq_{0};
   std::unique_ptr<RequestBatcher> batcher_;  // Last member: dies first.
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "xai/core/telemetry.h"
+#include "xai/core/trace.h"
 
 namespace xai {
 namespace serve {
@@ -42,6 +43,9 @@ ExplanationCache::Shard& ExplanationCache::ShardFor(const CacheKey& key) {
 
 std::shared_ptr<const ExplainResponse> ExplanationCache::Get(
     const CacheKey& key) {
+  // Under the server's request context: traces show per-request lookup cost
+  // (shard-lock wait included) alongside the execute span it gates.
+  XAI_SPAN("serve/cache_lookup");
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);

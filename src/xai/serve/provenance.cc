@@ -1,0 +1,37 @@
+#include "xai/serve/provenance.h"
+
+#include "xai/core/json.h"
+
+namespace xai {
+namespace serve {
+
+void WriteProvenanceJsonl(std::ostream& os,
+                          const ExplanationProvenance& p) {
+  os << "{\"trace_id\":\"" << p.trace_id << "\",\"root_span_id\":\""
+     << p.root_span_id << "\",\"tenant\":";
+  json::WriteString(os, p.tenant);
+  os << ",\"model\":";
+  json::WriteString(os, p.model);
+  os << ",\"kind\":";
+  json::WriteString(os, p.kind);
+  os << ",\"requested_tier\":";
+  json::WriteString(os, p.requested_tier);
+  os << ",\"served_tier\":";
+  json::WriteString(os, p.served_tier);
+  os << ",\"algorithm\":";
+  json::WriteString(os, p.algorithm);
+  os << ",\"degraded\":" << (p.degraded ? "true" : "false")
+     << ",\"cache_hit\":" << (p.cache_hit ? "true" : "false")
+     << ",\"coalesced\":" << (p.coalesced ? "true" : "false")
+     << ",\"coalesced_onto\":\"" << p.coalesced_onto
+     << "\",\"planned_evals\":" << p.planned_evals
+     << ",\"used_evals\":" << p.used_evals << ",\"simd_backend\":";
+  json::WriteString(os, p.simd_backend);
+  os << ",\"batch_size\":" << p.batch_size << ",\"queue_ms\":" << p.queue_ms
+     << ",\"compute_ms\":" << p.compute_ms << ",\"total_ms\":" << p.total_ms
+     << ",\"deadline_met\":" << (p.deadline_met ? "true" : "false")
+     << ",\"complete\":" << (p.complete ? "true" : "false") << "}\n";
+}
+
+}  // namespace serve
+}  // namespace xai

@@ -96,6 +96,7 @@ uint64_t PayloadHash(const ExplainResponse& r) {
 
 size_t ApproxResponseBytes(const ExplainResponse& r) {
   size_t bytes = sizeof(ExplainResponse);
+  bytes += r.provenance.tenant.size() + r.provenance.model.size();
   bytes += r.attribution.attributions.size() * sizeof(double);
   for (const std::string& s : r.attribution.feature_names)
     bytes += sizeof(std::string) + s.size();

@@ -6,9 +6,11 @@
 #include <vector>
 
 #include "xai/core/matrix.h"
+#include "xai/core/trace.h"
 #include "xai/explain/counterfactual/counterfactual.h"
 #include "xai/explain/explanation.h"
 #include "xai/rules/anchors.h"
+#include "xai/serve/provenance.h"
 
 namespace xai {
 namespace serve {
@@ -66,6 +68,14 @@ struct ExplainRequest {
   bool use_cache = true;
   /// Counterfactual requests only: the class to reach.
   int desired_class = 1;
+  /// Tenant this request bills against in the SLO tracker; empty maps to
+  /// "default". Not part of the cache key — tenants asking the same
+  /// question share the cached answer.
+  std::string tenant;
+  /// Request-scoped trace identity. trace_id == 0 (the default) lets the
+  /// server assign one from its deterministic ContentHash64-seeded stream;
+  /// a caller propagating an upstream trace sets it explicitly.
+  telemetry::TraceContext trace;
 };
 
 /// \brief The served explanation plus serving metadata. Exactly one payload
@@ -92,6 +102,12 @@ struct ExplainResponse {
   /// excluded from PayloadHash() and from cached entries' identity.
   double latency_ms = 0.0;
   bool deadline_met = true;
+
+  /// Per-request audit record (see serve/provenance.h). Like the latency
+  /// fields, excluded from PayloadHash(): provenance describes *how* the
+  /// answer was produced, and must not perturb the bit-identical payload
+  /// contract across cache hits, coalescing, or thread counts.
+  ExplanationProvenance provenance;
 };
 
 /// Stable 64-bit digest of a response's deterministic content (payload,

@@ -1,0 +1,169 @@
+#include "xai/serve/slo.h"
+
+#include "xai/core/json.h"
+
+namespace xai {
+namespace serve {
+namespace {
+
+const char kDefaultTenant[] = "default";
+
+double BudgetUsed(int64_t violations, int64_t requests, double target) {
+  if (requests <= 0) return 0.0;
+  const double budget = 1.0 - target;
+  if (budget <= 0.0)
+    return violations > 0 ? static_cast<double>(violations) : 0.0;
+  const double rate =
+      static_cast<double>(violations) / static_cast<double>(requests);
+  return rate / budget;
+}
+
+}  // namespace
+
+SloTracker::Cell* SloTracker::GetCell(const std::string& tenant,
+                                      const std::string& model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = cells_[{tenant.empty() ? kDefaultTenant : tenant, model}];
+  if (!slot) slot = std::make_unique<Cell>();
+  return slot.get();
+}
+
+void SloTracker::Record(const std::string& tenant, const std::string& model,
+                        double latency_ms, bool deadline_met, bool degraded,
+                        bool cache_hit, bool coalesced) {
+  Cell* cell = GetCell(tenant, model);
+  cell->requests.Add(1);
+  if (!deadline_met) cell->deadline_misses.Add(1);
+  if (degraded) cell->degraded.Add(1);
+  if (cache_hit) cell->cache_hits.Add(1);
+  if (coalesced) cell->coalesced.Add(1);
+  cell->latency_ns.Record(
+      latency_ms <= 0.0 ? 0 : static_cast<int64_t>(latency_ms * 1e6));
+}
+
+void SloTracker::RecordError(const std::string& tenant,
+                             const std::string& model) {
+  Cell* cell = GetCell(tenant, model);
+  cell->requests.Add(1);
+  cell->errors.Add(1);
+}
+
+TenantSloStats SloTracker::StatsFor(const std::string& tenant,
+                                    const std::string& model,
+                                    const Cell& cell) const {
+  TenantSloStats s;
+  s.tenant = tenant;
+  s.model = model;
+  s.requests = cell.requests.Get();
+  s.deadline_misses = cell.deadline_misses.Get();
+  s.degraded = cell.degraded.Get();
+  s.errors = cell.errors.Get();
+  s.cache_hits = cell.cache_hits.Get();
+  s.coalesced = cell.coalesced.Get();
+  s.latency_p50_ms = cell.latency_ns.Quantile(0.50) / 1e6;
+  s.latency_p95_ms = cell.latency_ns.Quantile(0.95) / 1e6;
+  s.latency_p99_ms = cell.latency_ns.Quantile(0.99) / 1e6;
+  s.deadline_budget_used = BudgetUsed(s.deadline_misses + s.errors,
+                                      s.requests,
+                                      config_.deadline_hit_target);
+  s.degradation_budget_used =
+      BudgetUsed(s.degraded, s.requests, config_.full_fidelity_target);
+  return s;
+}
+
+std::vector<TenantSloStats> SloTracker::Snapshot() const {
+  std::vector<TenantSloStats> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_)
+    out.push_back(StatsFor(key.first, key.second, *cell));
+  return out;
+}
+
+void SloTracker::WritePrometheus(std::ostream& os) const {
+  const std::vector<TenantSloStats> stats = Snapshot();
+  auto labels = [&os](const TenantSloStats& s, const char* extra = nullptr) {
+    os << "{tenant=";
+    json::WriteString(os, s.tenant);
+    os << ",model=";
+    json::WriteString(os, s.model);
+    if (extra) os << "," << extra;
+    os << "}";
+  };
+  auto counter = [&](const char* metric, auto value_of) {
+    os << "# TYPE xai_slo_" << metric << "_total counter\n";
+    for (const TenantSloStats& s : stats) {
+      os << "xai_slo_" << metric << "_total";
+      labels(s);
+      os << " " << value_of(s) << "\n";
+    }
+  };
+  counter("requests", [](const auto& s) { return s.requests; });
+  counter("deadline_misses",
+          [](const auto& s) { return s.deadline_misses; });
+  counter("degraded", [](const auto& s) { return s.degraded; });
+  counter("errors", [](const auto& s) { return s.errors; });
+  counter("cache_hits", [](const auto& s) { return s.cache_hits; });
+  counter("coalesced", [](const auto& s) { return s.coalesced; });
+
+  os << "# TYPE xai_slo_deadline_budget_used gauge\n";
+  for (const TenantSloStats& s : stats) {
+    os << "xai_slo_deadline_budget_used";
+    labels(s);
+    os << " " << s.deadline_budget_used << "\n";
+  }
+  os << "# TYPE xai_slo_degradation_budget_used gauge\n";
+  for (const TenantSloStats& s : stats) {
+    os << "xai_slo_degradation_budget_used";
+    labels(s);
+    os << " " << s.degradation_budget_used << "\n";
+  }
+  os << "# TYPE xai_slo_latency_ms summary\n";
+  for (const TenantSloStats& s : stats) {
+    os << "xai_slo_latency_ms";
+    labels(s, "quantile=\"0.5\"");
+    os << " " << s.latency_p50_ms << "\n";
+    os << "xai_slo_latency_ms";
+    labels(s, "quantile=\"0.95\"");
+    os << " " << s.latency_p95_ms << "\n";
+    os << "xai_slo_latency_ms";
+    labels(s, "quantile=\"0.99\"");
+    os << " " << s.latency_p99_ms << "\n";
+  }
+}
+
+void SloTracker::WriteJsonl(std::ostream& os) const {
+  for (const TenantSloStats& s : Snapshot()) {
+    os << "{\"type\":\"slo\",\"tenant\":";
+    json::WriteString(os, s.tenant);
+    os << ",\"model\":";
+    json::WriteString(os, s.model);
+    os << ",\"requests\":" << s.requests
+       << ",\"deadline_misses\":" << s.deadline_misses
+       << ",\"degraded\":" << s.degraded << ",\"errors\":" << s.errors
+       << ",\"cache_hits\":" << s.cache_hits
+       << ",\"coalesced\":" << s.coalesced
+       << ",\"latency_p50_ms\":" << s.latency_p50_ms
+       << ",\"latency_p95_ms\":" << s.latency_p95_ms
+       << ",\"latency_p99_ms\":" << s.latency_p99_ms
+       << ",\"deadline_budget_used\":" << s.deadline_budget_used
+       << ",\"degradation_budget_used\":" << s.degradation_budget_used
+       << "}\n";
+  }
+}
+
+void SloTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, cell] : cells_) {
+    cell->requests.Reset();
+    cell->deadline_misses.Reset();
+    cell->degraded.Reset();
+    cell->errors.Reset();
+    cell->cache_hits.Reset();
+    cell->coalesced.Reset();
+    cell->latency_ns.Reset();
+  }
+}
+
+}  // namespace serve
+}  // namespace xai

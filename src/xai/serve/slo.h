@@ -1,0 +1,123 @@
+#ifndef XAI_SERVE_SLO_H_
+#define XAI_SERVE_SLO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xai/core/telemetry.h"
+
+/// \file
+/// Per-tenant / per-model SLO accounting for the serving path.
+///
+/// Two objectives, each with an error budget (the fraction of requests
+/// allowed to violate it over the accounting window — here, since the last
+/// Reset()):
+///   - deadline objective: requests must meet their deadline
+///     (deadline_hit_target, default 99.9%);
+///   - fidelity objective: requests must be served at their requested tier
+///     (full_fidelity_target, default 99% — degradation is a feature, but a
+///     budgeted one: a tenant degraded on every request is being silently
+///     short-changed).
+/// budget_used = violation_rate / (1 - target): 1.0 means the budget is
+/// exactly exhausted, >1 means the objective is being missed.
+///
+/// Counters and latency histograms reuse the striped telemetry primitives,
+/// so recording costs the same as any XAI_COUNTER_ADD. The registry map is
+/// mutex-guarded but each (tenant, model) cell is looked up once per
+/// request, and cells are stable pointers — never removed (Reset() zeroes
+/// values only), matching telemetry::Registry semantics.
+
+namespace xai {
+namespace serve {
+
+/// Accumulated standing of one (tenant, model) pair.
+struct TenantSloStats {
+  std::string tenant;
+  std::string model;
+  int64_t requests = 0;
+  int64_t deadline_misses = 0;
+  int64_t degraded = 0;
+  int64_t errors = 0;
+  int64_t cache_hits = 0;
+  int64_t coalesced = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  /// Fraction of the error budget consumed (see file comment). Errors
+  /// count against the deadline budget: a failed request met no deadline.
+  double deadline_budget_used = 0.0;
+  double degradation_budget_used = 0.0;
+};
+
+class SloTracker {
+ public:
+  struct Config {
+    double deadline_hit_target = 0.999;
+    double full_fidelity_target = 0.99;
+  };
+
+  SloTracker() : SloTracker(Config()) {}
+  explicit SloTracker(const Config& config) : config_(config) {}
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  /// Records one completed request. Thread-safe; one map lookup plus
+  /// striped counter bumps.
+  void Record(const std::string& tenant, const std::string& model,
+              double latency_ms, bool deadline_met, bool degraded,
+              bool cache_hit, bool coalesced);
+
+  /// Records one failed request (admission rejection, execution error).
+  void RecordError(const std::string& tenant, const std::string& model);
+
+  /// Sorted per-(tenant, model) standings. Quiescent-exact, like every
+  /// telemetry snapshot.
+  std::vector<TenantSloStats> Snapshot() const;
+
+  /// Prometheus text format, one labelled sample set per (tenant, model):
+  /// xai_slo_requests_total{tenant=...,model=...}, deadline misses,
+  /// degraded, errors, cache hits, coalesced, budget gauges, and a latency
+  /// summary.
+  void WritePrometheus(std::ostream& os) const;
+
+  /// One JSON object per (tenant, model) per line.
+  void WriteJsonl(std::ostream& os) const;
+
+  /// Zeroes every cell (cells themselves persist — stable pointers).
+  void Reset();
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct Cell {
+    telemetry::Counter requests;
+    telemetry::Counter deadline_misses;
+    telemetry::Counter degraded;
+    telemetry::Counter errors;
+    telemetry::Counter cache_hits;
+    telemetry::Counter coalesced;
+    telemetry::Histogram latency_ns;  // Nanoseconds, per convention.
+  };
+
+  Cell* GetCell(const std::string& tenant, const std::string& model);
+  TenantSloStats StatsFor(const std::string& tenant,
+                          const std::string& model, const Cell& cell) const;
+
+  const Config config_;
+  mutable std::mutex mu_;
+  // std::map: snapshots come out sorted without a per-snapshot sort.
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Cell>>
+      cells_;
+};
+
+}  // namespace serve
+}  // namespace xai
+
+#endif  // XAI_SERVE_SLO_H_

@@ -305,6 +305,178 @@ TEST_F(ExplainServerTest, ConcurrentClientsGetConsistentAnswers) {
   EXPECT_GE(stats.hits, 1);
 }
 
+TEST_F(ExplainServerTest, ProvenanceIsCompleteOnMissAndHit) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  auto request = Request(ExplainerKind::kKernelShap);
+
+  auto miss = server.Explain(request).ValueOrDie();
+  const ExplanationProvenance& mp = miss.provenance;
+  EXPECT_TRUE(mp.complete);
+  EXPECT_NE(mp.trace_id, 0u);
+  EXPECT_NE(mp.root_span_id, 0u);
+  EXPECT_FALSE(mp.cache_hit);
+  EXPECT_FALSE(mp.coalesced);
+  EXPECT_EQ(mp.tenant, "default");
+  EXPECT_EQ(mp.model, "loans");
+  EXPECT_STREQ(mp.kind, ExplainerKindName(ExplainerKind::kKernelShap));
+  EXPECT_STREQ(mp.served_tier, FidelityTierName(miss.served_tier));
+  EXPECT_GT(mp.planned_evals, 0);
+  EXPECT_GT(mp.used_evals, 0);
+  EXPECT_STRNE(mp.simd_backend, "");
+  EXPECT_GE(mp.batch_size, 1);
+  EXPECT_GT(mp.compute_ms, 0.0);
+  EXPECT_GE(mp.total_ms, mp.compute_ms);
+
+  auto hit = server.Explain(request).ValueOrDie();
+  ASSERT_TRUE(hit.cache_hit);
+  const ExplanationProvenance& hp = hit.provenance;
+  EXPECT_TRUE(hp.complete);
+  EXPECT_TRUE(hp.cache_hit);
+  // The hit is a new request: its own trace identity, but the payload and
+  // its producing-execution facts are shared with the miss.
+  EXPECT_NE(hp.trace_id, 0u);
+  EXPECT_NE(hp.trace_id, mp.trace_id);
+  EXPECT_NE(hp.root_span_id, mp.root_span_id);
+  EXPECT_EQ(hp.used_evals, 0);
+  EXPECT_EQ(hp.compute_ms, 0.0);
+  EXPECT_EQ(hp.queue_ms, 0.0);
+  EXPECT_STREQ(hp.algorithm, mp.algorithm);
+  EXPECT_EQ(PayloadHash(hit), PayloadHash(miss));
+}
+
+TEST_F(ExplainServerTest, CallerTraceIdPropagatesToProvenance) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  auto request = Request(ExplainerKind::kTreeShap);
+  request.trace.trace_id = 1234;
+  auto response = server.Explain(request).ValueOrDie();
+  EXPECT_EQ(response.provenance.trace_id, 1234u);
+  EXPECT_NE(response.provenance.root_span_id, 0u);
+
+  // Server-assigned ids come from a seeded deterministic stream: two
+  // servers with the same seed assign the same first id.
+  ExplainServer::Config config;
+  config.trace_seed = 99;
+  ExplainServer a(config);
+  ExplainServer b(config);
+  RegisterGbdt(&a);
+  RegisterGbdt(&b);
+  auto from_a = a.Explain(Request(ExplainerKind::kTreeShap)).ValueOrDie();
+  auto from_b = b.Explain(Request(ExplainerKind::kTreeShap)).ValueOrDie();
+  EXPECT_EQ(from_a.provenance.trace_id, from_b.provenance.trace_id);
+  EXPECT_NE(from_a.provenance.trace_id, 0u);
+}
+
+TEST_F(ExplainServerTest, TenantSloAccountsMissesDegradationAndErrors) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+
+  // Unmeetable deadline: degrades to a cheaper rung and still misses.
+  auto slow = Request(ExplainerKind::kKernelShap);
+  slow.tenant = "acme";
+  slow.deadline_ms = 1e-4;
+  auto degraded = server.Explain(slow).ValueOrDie();
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_FALSE(degraded.deadline_met);
+  EXPECT_FALSE(degraded.provenance.deadline_met);
+
+  auto ok = Request(ExplainerKind::kTreeShap);
+  ok.tenant = "acme";
+  (void)server.Explain(ok).ValueOrDie();
+
+  auto bad = Request(ExplainerKind::kTreeShap);
+  bad.tenant = "acme";
+  bad.model = "missing";
+  EXPECT_FALSE(server.Explain(bad).ok());
+
+  std::map<std::pair<std::string, std::string>, TenantSloStats> by_key;
+  for (const auto& s : server.slo().Snapshot())
+    by_key[{s.tenant, s.model}] = s;
+
+  ASSERT_TRUE(by_key.count({"acme", "loans"}));
+  const TenantSloStats& loans = by_key[{"acme", "loans"}];
+  EXPECT_EQ(loans.requests, 2);
+  EXPECT_EQ(loans.deadline_misses, 1);
+  EXPECT_EQ(loans.degraded, 1);
+  EXPECT_EQ(loans.errors, 0);
+  EXPECT_GT(loans.latency_p99_ms, 0.0);
+  // 1 miss in 2 requests against a 99.9% target: budget blown many times
+  // over.
+  EXPECT_GT(loans.deadline_budget_used, 1.0);
+  EXPECT_GT(loans.degradation_budget_used, 1.0);
+
+  ASSERT_TRUE(by_key.count({"acme", "missing"}));
+  const TenantSloStats& missing = by_key[{"acme", "missing"}];
+  EXPECT_EQ(missing.requests, 1);
+  EXPECT_EQ(missing.errors, 1);
+  // Errors count against the deadline budget.
+  EXPECT_GT(missing.deadline_budget_used, 1.0);
+}
+
+TEST_F(ExplainServerTest, CoalescedFollowersLinkToLeaderTrace) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  auto request = Request(ExplainerKind::kKernelShap);
+  request.fidelity = FidelityTier::kMinimal;
+
+  // Hold the batch worker so identical submissions pile up and coalesce
+  // into one batch (and one execution).
+  constexpr int kDuplicates = 3;
+  server.batcher()->Pause();
+  std::vector<std::future<Result<ExplainResponse>>> futures;
+  for (int i = 0; i < kDuplicates; ++i)
+    futures.push_back(server.SubmitAsync(request).ValueOrDie());
+  server.batcher()->Resume();
+
+  std::vector<ExplainResponse> responses;
+  for (auto& f : futures) responses.push_back(f.get().ValueOrDie());
+
+  int leaders = 0;
+  uint64_t leader_trace = 0;
+  for (const auto& r : responses) {
+    EXPECT_TRUE(r.provenance.complete);
+    EXPECT_EQ(r.provenance.batch_size, kDuplicates);
+    if (!r.provenance.coalesced) {
+      ++leaders;
+      leader_trace = r.provenance.trace_id;
+    }
+  }
+  ASSERT_EQ(leaders, 1);
+  for (const auto& r : responses) {
+    if (r.provenance.coalesced) {
+      EXPECT_EQ(r.provenance.coalesced_onto, leader_trace);
+      EXPECT_NE(r.provenance.trace_id, leader_trace);
+      // A follower ran nothing: the leader's execution is billed once.
+      EXPECT_EQ(r.provenance.used_evals, 0);
+      EXPECT_EQ(r.provenance.compute_ms, 0.0);
+    } else {
+      EXPECT_GT(r.provenance.used_evals, 0);
+    }
+    EXPECT_EQ(PayloadHash(r), PayloadHash(responses[0]));
+  }
+}
+
+TEST_F(ExplainServerTest, MetricsSnapshotRendersSloStandings) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  auto request = Request(ExplainerKind::kTreeShap);
+  request.tenant = "acme";
+  (void)server.Explain(request).ValueOrDie();
+
+  const std::string prom =
+      server.MetricsSnapshot(ExplainServer::MetricsFormat::kPrometheus);
+  EXPECT_NE(prom.find("xai_slo_requests_total{tenant=\"acme\""),
+            std::string::npos);
+  EXPECT_NE(prom.find("xai_slo_deadline_budget_used"), std::string::npos);
+  EXPECT_NE(prom.find("xai_slo_latency_ms"), std::string::npos);
+
+  const std::string jsonl =
+      server.MetricsSnapshot(ExplainServer::MetricsFormat::kJsonl);
+  EXPECT_NE(jsonl.find("\"type\":\"slo\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"tenant\":\"acme\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace xai

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Reconstructs per-request causal trees from an exported Chrome trace.
+
+Usage: analyze_trace.py BENCH_<id>.trace.json [--require-traces N]
+                        [--provenance BENCH_<id>.provenance.jsonl] [--top K]
+
+The serving layer stamps every sampled span with decimal-string
+args.trace_id / span_id / parent_span_id (see src/xai/core/telemetry.cc,
+WriteChromeTrace). This tool groups events by trace_id, rebuilds each
+request's span tree via parent_span_id, and prints the critical path —
+the chain of longest-duration children from the root — for the slowest
+requests. Spans whose parent is absent from the export (gated out by
+XAI_SPAN_IF, head-sampled away, or dropped on buffer overflow) are
+treated as roots of their own subtree rather than discarded.
+
+With --provenance, each reconstructed trace is joined against the
+provenance JSONL on trace_id and annotated with tenant/model/tier.
+With --require-traces N, exits 1 unless at least N distinct non-zero
+trace_ids are present (the CI hook that keeps the causal stamping from
+silently regressing). Buffer drops recorded in the export header are
+always surfaced, as a warning when non-zero.
+
+Stdlib only; exit 0 on success, 1 on any violation.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_trace(path):
+    try:
+        with open(path) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load chrome trace {path}: {e}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail("chrome trace missing traceEvents list")
+    return trace.get("otherData", {}), events
+
+
+def load_provenance(path):
+    by_trace = {}
+    try:
+        with open(path) as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{line_no}: bad JSON: {e}")
+                by_trace[record.get("trace_id", "0")] = record
+    except OSError as e:
+        fail(f"cannot load provenance {path}: {e}")
+    return by_trace
+
+
+def group_traces(events):
+    """trace_id -> list of spans with causal ids, plus count of flat spans."""
+    traces = defaultdict(list)
+    flat = 0
+    for e in events:
+        args = e.get("args")
+        tid = args.get("trace_id", "0") if isinstance(args, dict) else "0"
+        if tid == "0":
+            flat += 1
+            continue
+        traces[tid].append({
+            "name": e.get("name", "?"),
+            "ts": e.get("ts", 0.0),
+            "dur": e.get("dur", 0.0),
+            "span_id": args.get("span_id", "0"),
+            "parent": args.get("parent_span_id", "0"),
+        })
+    return traces, flat
+
+
+def critical_path(spans):
+    """Longest-child chain from each root; returns the slowest one."""
+    by_id = {s["span_id"]: s for s in spans}
+    children = defaultdict(list)
+    roots = []
+    for s in spans:
+        # An absent parent (gated, unsampled, or dropped) orphans the span;
+        # it then anchors its own subtree instead of vanishing.
+        if s["parent"] != "0" and s["parent"] in by_id:
+            children[s["parent"]].append(s)
+        else:
+            roots.append(s)
+    best = []
+    for root in roots:
+        path = [root]
+        node = root
+        while children[node["span_id"]]:
+            node = max(children[node["span_id"]], key=lambda c: c["dur"])
+            path.append(node)
+        if not best or path[0]["dur"] > best[0]["dur"]:
+            best = path
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace")
+    parser.add_argument("--require-traces", type=int, default=0,
+                        metavar="N")
+    parser.add_argument("--provenance", metavar="FILE")
+    parser.add_argument("--top", type=int, default=5, metavar="K")
+    opts = parser.parse_args()
+
+    header, events = load_trace(opts.trace)
+    traces, flat = group_traces(events)
+    provenance = load_provenance(opts.provenance) if opts.provenance else {}
+
+    dropped = header.get("dropped_events", 0)
+    retained_dropped = header.get("retained_dropped", 0)
+    print(f"{opts.trace}: {len(events)} events, {len(traces)} traces, "
+          f"{flat} flat spans (no request context)")
+    print(f"buffers: capacity/thread={header.get('buffer_capacity_per_thread')}"
+          f" retained={header.get('retained_capacity')}"
+          f" sample_rate={header.get('sample_rate')}")
+    if dropped or retained_dropped:
+        print(f"WARNING: trace is truncated — {dropped} thread-buffer drops, "
+              f"{retained_dropped} retained-buffer drops", file=sys.stderr)
+
+    ranked = sorted(traces.items(),
+                    key=lambda kv: max(s["dur"] for s in kv[1]),
+                    reverse=True)
+    for trace_id, spans in ranked[:opts.top]:
+        path = critical_path(spans)
+        label = ""
+        record = provenance.get(trace_id)
+        if record:
+            label = (f"  [{record.get('tenant')}/{record.get('model')} "
+                     f"{record.get('kind')} tier={record.get('served_tier')}]")
+        total = path[0]["dur"] if path else 0.0
+        print(f"\ntrace {trace_id}: {len(spans)} spans, "
+              f"root {total:.1f} us{label}")
+        for depth, span in enumerate(path):
+            share = 100.0 * span["dur"] / total if total > 0 else 0.0
+            print(f"  {'  ' * depth}{span['name']:<32} "
+                  f"{span['dur']:9.1f} us  ({share:5.1f}% of root)")
+
+    if opts.provenance:
+        matched = sum(1 for tid in traces if tid in provenance)
+        print(f"\nprovenance join: {matched}/{len(traces)} traces matched")
+
+    if opts.require_traces and len(traces) < opts.require_traces:
+        fail(f"only {len(traces)} distinct traces, "
+             f"require {opts.require_traces}")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,7 @@
 """Validates a BENCH_<id>.json run report against the expected schema.
 
 Usage: validate_bench_report.py BENCH_e02.json [--require-telemetry]
+           [--require-empty-trace] [--provenance BENCH_<id>.provenance.jsonl]
 
 Checks (stdlib only, no jsonschema dependency):
   * the report parses as JSON and carries id/claim/threads/metrics/notes/
@@ -10,7 +11,14 @@ Checks (stdlib only, no jsonschema dependency):
     (an XAI_TELEMETRY=1 build) the counter snapshot must include a positive
     "model/evals" and every histogram must expose count/sum/p50/p95/p99;
   * the referenced Chrome trace file loads as JSON with a traceEvents list
-    (non-empty when telemetry is required).
+    (non-empty when telemetry is required); --require-empty-trace instead
+    asserts zero events — the XAI_TELEMETRY=0 job's proof that span
+    recording compiles out entirely;
+  * with --provenance, every line of the provenance JSONL carries the full
+    per-request schema (typed fields, complete=true, non-zero decimal
+    trace_id, non-negative timings, coalesced implies coalesced_onto).
+    Provenance is a product feature, so this check runs in telemetry-off
+    jobs too.
 
 Exit code 0 on success; prints the first violation and exits 1 otherwise.
 """
@@ -19,18 +27,95 @@ import json
 import os
 import sys
 
+PROVENANCE_SCHEMA = {
+    "trace_id": str, "root_span_id": str, "tenant": str, "model": str,
+    "kind": str, "requested_tier": str, "served_tier": str,
+    "algorithm": str, "degraded": bool, "cache_hit": bool,
+    "coalesced": bool, "coalesced_onto": str, "planned_evals": int,
+    "used_evals": int, "simd_backend": str, "batch_size": int,
+    "queue_ms": (int, float), "compute_ms": (int, float),
+    "total_ms": (int, float), "deadline_met": bool, "complete": bool,
+}
+
 
 def fail(msg):
     print(f"FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
+def check_provenance(path):
+    records = 0
+    try:
+        with open(path) as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                where = f"{path}:{line_no}"
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"{where}: bad JSON: {e}")
+                for key, typ in PROVENANCE_SCHEMA.items():
+                    if key not in record:
+                        fail(f"{where}: missing {key!r}")
+                    value = record[key]
+                    # bool is an int subclass; keep int fields strictly int.
+                    if isinstance(value, bool) and typ is not bool:
+                        fail(f"{where}: {key!r} is bool, want {typ}")
+                    if not isinstance(value, typ):
+                        fail(f"{where}: {key!r} is "
+                             f"{type(value).__name__}")
+                if not record["complete"]:
+                    fail(f"{where}: provenance record not complete")
+                if not record["trace_id"].isdigit() \
+                        or int(record["trace_id"]) == 0:
+                    fail(f"{where}: trace_id {record['trace_id']!r} is not "
+                         "a non-zero decimal string")
+                for key in ("queue_ms", "compute_ms", "total_ms",
+                            "planned_evals", "used_evals", "batch_size"):
+                    if record[key] < 0:
+                        fail(f"{where}: {key} is negative")
+                if record["coalesced"] and record["coalesced_onto"] == "0":
+                    fail(f"{where}: coalesced record has no leader trace")
+                records += 1
+    except OSError as e:
+        fail(f"cannot load provenance {path}: {e}")
+    if records == 0:
+        fail(f"{path}: no provenance records")
+    return records
+
+
 def main():
-    args = [a for a in sys.argv[1:] if not a.startswith("--")]
-    require_telemetry = "--require-telemetry" in sys.argv
-    if len(args) != 1:
-        fail(f"usage: {sys.argv[0]} BENCH_<id>.json [--require-telemetry]")
-    report_path = args[0]
+    usage = (f"usage: {sys.argv[0]} BENCH_<id>.json [--require-telemetry] "
+             "[--require-empty-trace] [--provenance FILE]")
+    require_telemetry = False
+    require_empty_trace = False
+    provenance_path = None
+    positional = []
+    argv = sys.argv[1:]
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+        if a == "--require-telemetry":
+            require_telemetry = True
+        elif a == "--require-empty-trace":
+            require_empty_trace = True
+        elif a == "--provenance":
+            if i + 1 >= len(argv):
+                fail(usage)
+            i += 1
+            provenance_path = argv[i]
+        elif a.startswith("--"):
+            fail(f"unknown flag {a!r}\n{usage}")
+        else:
+            positional.append(a)
+        i += 1
+    if require_telemetry and require_empty_trace:
+        fail("--require-telemetry and --require-empty-trace conflict")
+    if len(positional) != 1:
+        fail(usage)
+    report_path = positional[0]
 
     try:
         with open(report_path) as f:
@@ -92,10 +177,17 @@ def main():
         fail("chrome trace missing traceEvents list")
     if require_telemetry and not events:
         fail("chrome trace has no events in a telemetry-enabled build")
+    if require_empty_trace and events:
+        fail(f"chrome trace has {len(events)} events but the build claims "
+             "telemetry compiled out")
     for e in events[:100]:
         for key in ("name", "ph", "ts", "dur", "pid", "tid"):
             if key not in e:
                 fail(f"trace event missing {key!r}: {e}")
+
+    provenance_records = 0
+    if provenance_path is not None:
+        provenance_records = check_provenance(provenance_path)
 
     overhead = report["metrics"].get("telemetry_overhead_pct")
     if overhead is not None:
@@ -104,7 +196,9 @@ def main():
     print(f"OK: {report_path} ({len(report['metrics'])} metrics, "
           f"{len(telemetry['counters'])} counters, "
           f"{len(telemetry['histograms'])} histograms, "
-          f"{len(events)} trace events)")
+          f"{len(events)} trace events"
+          + (f", {provenance_records} provenance records"
+             if provenance_path else "") + ")")
 
 
 if __name__ == "__main__":
