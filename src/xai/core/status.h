@@ -18,6 +18,10 @@ enum class StatusCode {
   kUnimplemented,
   kIOError,
   kInternal,
+  /// The serving layer cannot take more work right now (admission shed,
+  /// full batcher queue). Distinct from kOutOfRange so callers can tell
+  /// "retry later / degrade" apart from "the request itself is unfundable".
+  kOverloaded,
 };
 
 /// \brief Human-readable name of a status code ("InvalidArgument", ...).
@@ -55,6 +59,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -148,6 +148,18 @@ ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
 
 ScopedTraceContext::~ScopedTraceContext() { t_current_ctx = prev_; }
 
+std::function<void()> BindTraceContext(std::function<void()> fn) {
+  return BindTraceContext(t_current_ctx, std::move(fn));
+}
+
+std::function<void()> BindTraceContext(const TraceContext& ctx,
+                                       std::function<void()> fn) {
+  return [ctx, fn = std::move(fn)] {
+    ScopedTraceContext scope(ctx);
+    fn();
+  };
+}
+
 ScopedSpan::ScopedSpan(const char* name) : ScopedSpan(name, nullptr) {}
 
 ScopedSpan::ScopedSpan(const char* name, Histogram* histogram)

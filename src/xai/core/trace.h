@@ -2,7 +2,9 @@
 #define XAI_CORE_TRACE_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "xai/core/telemetry.h"  // For the XAI_TELEMETRY switch.
@@ -70,6 +72,20 @@ void SetTraceSampleRate(double rate);
 /// Deterministic per-trace sampling decision: the same trace_id always
 /// samples the same way at a fixed rate.
 bool SampleTrace(uint64_t trace_id);
+
+/// Wraps `fn` so that it runs under the trace context that was current when
+/// BindTraceContext was called — the capture half of ScopedTraceContext,
+/// packaged for deferred execution. The async serving layer binds every
+/// event-loop task and future continuation with this, so spans opened on an
+/// executor thread parent-link to the submitting request's trace instead of
+/// recording as flat context-free events. Capturing a zero context is fine
+/// (the wrapper then installs "no request", exactly like the caller had).
+std::function<void()> BindTraceContext(std::function<void()> fn);
+
+/// Same capture, but binding an explicit context instead of the caller's
+/// current one (e.g. the request's own TraceContext held in a job struct).
+std::function<void()> BindTraceContext(const TraceContext& ctx,
+                                       std::function<void()> fn);
 
 /// \brief RAII: installs `ctx` as the calling thread's context, restoring
 /// the previous one on destruction. The serving layer wraps request

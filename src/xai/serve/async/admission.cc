@@ -1,0 +1,106 @@
+#include "xai/serve/async/admission.h"
+
+#include "xai/core/check.h"
+#include "xai/core/telemetry.h"
+
+namespace xai {
+namespace serve {
+namespace async {
+
+bool TokenBucket::TryAcquire(int64_t now_ns, double rate_per_sec,
+                             double burst) {
+  if (now_ns > last_refill_ns) {
+    const double elapsed_s =
+        static_cast<double>(now_ns - last_refill_ns) * 1e-9;
+    tokens += elapsed_s * rate_per_sec;
+    if (tokens > burst) tokens = burst;
+    last_refill_ns = now_ns;
+  }
+  if (tokens < 1.0) return false;
+  tokens -= 1.0;
+  return true;
+}
+
+AdmissionController::AdmissionController(const Config& config)
+    : config_(config) {}
+
+AdmissionController::Outcome AdmissionController::Admit(
+    const std::string& tenant, int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cell& cell = cells_[tenant];
+  if (!cell.seeded) {
+    // First touch: a full bucket anchored at the first request's time.
+    // Deterministic because the anchor is schedule time, not wall time.
+    cell.bucket.tokens = config_.burst;
+    cell.bucket.last_refill_ns = now_ns;
+    cell.seeded = true;
+  }
+  // Pending bound first: a tenant at its concurrency cap should not also
+  // drain its token bucket for requests that were never going to run.
+  if (config_.max_pending_per_tenant > 0 &&
+      cell.pending >= config_.max_pending_per_tenant) {
+    ++cell.shed_pending_full;
+    XAI_COUNTER_INC("serve/admission_shed_pending");
+    return Outcome::kShedPendingFull;
+  }
+  if (config_.tokens_per_sec > 0.0 &&
+      !cell.bucket.TryAcquire(now_ns, config_.tokens_per_sec,
+                              config_.burst)) {
+    ++cell.shed_rate_limited;
+    XAI_COUNTER_INC("serve/admission_shed_rate");
+    return Outcome::kShedRateLimited;
+  }
+  ++cell.admitted;
+  ++cell.pending;
+  XAI_COUNTER_INC("serve/admission_admitted");
+  return Outcome::kAdmitted;
+}
+
+void AdmissionController::OnComplete(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cells_.find(tenant);
+  XAI_CHECK_MSG(it != cells_.end() && it->second.pending > 0,
+                "OnComplete without a matching Admit");
+  --it->second.pending;
+}
+
+std::vector<std::pair<std::string, AdmissionController::TenantStats>>
+AdmissionController::Snapshot() const {
+  std::vector<std::pair<std::string, TenantStats>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(cells_.size());
+  for (const auto& [tenant, cell] : cells_) {
+    TenantStats stats;
+    stats.tokens_available = cell.bucket.tokens;
+    stats.pending = cell.pending;
+    stats.admitted = cell.admitted;
+    stats.shed_rate_limited = cell.shed_rate_limited;
+    stats.shed_pending_full = cell.shed_pending_full;
+    out.emplace_back(tenant, stats);
+  }
+  return out;
+}
+
+int64_t AdmissionController::TotalShed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [tenant, cell] : cells_)
+    total += cell.shed_rate_limited + cell.shed_pending_full;
+  return total;
+}
+
+const char* AdmissionOutcomeName(AdmissionController::Outcome outcome) {
+  switch (outcome) {
+    case AdmissionController::Outcome::kAdmitted:
+      return "admitted";
+    case AdmissionController::Outcome::kShedRateLimited:
+      return "shed_rate_limited";
+    case AdmissionController::Outcome::kShedPendingFull:
+      return "shed_pending_full";
+  }
+  return "unknown";
+}
+
+}  // namespace async
+}  // namespace serve
+}  // namespace xai

@@ -1,0 +1,114 @@
+#ifndef XAI_SERVE_ASYNC_ADMISSION_H_
+#define XAI_SERVE_ASYNC_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Per-tenant admission control for the async front end.
+///
+/// Two independent gates, checked in order at submission time:
+///  1. A bounded in-flight count (`max_pending_per_tenant`): one tenant
+///     flooding slow exact-Shapley requests cannot occupy the whole
+///     batcher queue while others starve.
+///  2. A token bucket (`tokens_per_sec` refill, `burst` capacity): smooths
+///     sustained arrival rate while letting short bursts through.
+///
+/// A shed is a first-class outcome, not an exception: the front end
+/// records it in ExplanationProvenance (shed=true, complete=false),
+/// charges it to the tenant's SloTracker error budget, and answers with a
+/// typed Overloaded wire frame — §7's position that an explanation service
+/// must degrade and account, not silently drop.
+///
+/// Determinism: all state transitions are pure functions of (previous
+/// state, now_ns). Time comes in as an argument — the caller reads its
+/// Clock (virtual under test) — so a fixed per-tenant schedule of
+/// (now_ns, op) pairs replays to bit-identical admit/shed sequences at any
+/// thread count; tests assert exactly that at 1/4/8 threads.
+
+namespace xai {
+namespace serve {
+namespace async {
+
+/// \brief Classic token bucket over int64 nanosecond timestamps and
+/// fractional tokens. Not thread-safe on its own; the controller
+/// serializes access per tenant.
+struct TokenBucket {
+  double tokens = 0.0;
+  int64_t last_refill_ns = 0;
+
+  /// Refills for elapsed time at `rate_per_sec` (capped at `burst`), then
+  /// takes one token if available. Monotonic `now_ns` required.
+  bool TryAcquire(int64_t now_ns, double rate_per_sec, double burst);
+};
+
+class AdmissionController {
+ public:
+  struct Config {
+    /// Steady-state per-tenant request rate. <= 0 disables the bucket gate
+    /// (pending bound still applies).
+    double tokens_per_sec = 200.0;
+    /// Bucket capacity: how far a tenant may burst above steady state.
+    double burst = 50.0;
+    /// In-flight requests per tenant before queue-full sheds. <= 0
+    /// disables the bound.
+    int max_pending_per_tenant = 64;
+  };
+
+  enum class Outcome {
+    kAdmitted,
+    kShedRateLimited,  ///< Token bucket empty.
+    kShedPendingFull,  ///< Tenant's in-flight bound reached.
+  };
+
+  explicit AdmissionController(const Config& config);
+
+  /// One admission decision for `tenant` at time `now_ns` (the caller's
+  /// Clock). Admitted requests occupy a pending slot until OnComplete.
+  Outcome Admit(const std::string& tenant, int64_t now_ns);
+
+  /// Releases the pending slot taken by an admitted request (call on
+  /// delivery of its response or error).
+  void OnComplete(const std::string& tenant);
+
+  struct TenantStats {
+    double tokens_available = 0.0;
+    int pending = 0;
+    int64_t admitted = 0;
+    int64_t shed_rate_limited = 0;
+    int64_t shed_pending_full = 0;
+  };
+
+  /// Per-tenant snapshot, tenant-sorted (std::map iteration order) so
+  /// metrics renderings are stable.
+  std::vector<std::pair<std::string, TenantStats>> Snapshot() const;
+
+  /// Total sheds across tenants (both gates).
+  int64_t TotalShed() const;
+
+ private:
+  struct Cell {
+    TokenBucket bucket;
+    bool seeded = false;  ///< Bucket starts full at first touch.
+    int pending = 0;
+    int64_t admitted = 0;
+    int64_t shed_rate_limited = 0;
+    int64_t shed_pending_full = 0;
+  };
+
+  const Config config_;
+  mutable std::mutex mu_;
+  std::map<std::string, Cell> cells_;
+};
+
+const char* AdmissionOutcomeName(AdmissionController::Outcome outcome);
+
+}  // namespace async
+}  // namespace serve
+}  // namespace xai
+
+#endif  // XAI_SERVE_ASYNC_ADMISSION_H_

@@ -1,0 +1,292 @@
+#include "xai/serve/async/frontend.h"
+
+#include <utility>
+
+#include "xai/core/check.h"
+#include "xai/core/telemetry.h"
+
+namespace xai {
+namespace serve {
+namespace async {
+
+namespace {
+
+/// Mirrors ExplainServer's tenant normalization: SLO and admission cells
+/// must agree on the key for unlabeled traffic.
+std::string TenantKey(const std::string& tenant) {
+  return tenant.empty() ? "default" : tenant;
+}
+
+}  // namespace
+
+AsyncFrontEnd::AsyncFrontEnd(ExplainServer* server, const Config& config)
+    : server_(server),
+      config_(config),
+      clock_(config.clock != nullptr ? config.clock : &real_clock_),
+      admission_(config.admission),
+      sessions_(server, config.sessions),
+      loop_(std::make_unique<EventLoop>(clock_)),
+      session_lane_(std::make_unique<EventLoop>(clock_)) {
+  XAI_CHECK_MSG(server != nullptr, "AsyncFrontEnd requires a server");
+  server_->AttachAdmission(&admission_);
+  server_->AttachSessions(&sessions_);
+}
+
+AsyncFrontEnd::~AsyncFrontEnd() {
+  // Stop the control planes first (queued immediate tasks still run), then
+  // wait out every admitted request: its completion callback may be parked
+  // in the batcher, and it touches admission state on delivery.
+  loop_->Shutdown();
+  session_lane_->Shutdown();
+  {
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    inflight_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+  server_->AttachAdmission(nullptr);
+  server_->AttachSessions(nullptr);
+}
+
+void AsyncFrontEnd::Drain() {
+  loop_->Drain();
+  session_lane_->Drain();
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+Status AsyncFrontEnd::AdmitOrShed(const std::string& tenant,
+                                  const std::string& model,
+                                  ExplainerKind kind, FidelityTier fidelity,
+                                  uint64_t trace_id) {
+  AdmissionController::Outcome outcome =
+      admission_.Admit(tenant, clock_->NowNanos());
+  if (outcome == AdmissionController::Outcome::kAdmitted) {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++in_flight_;
+    return Status::OK();
+  }
+  RecordShed(tenant, model, kind, fidelity, trace_id);
+  return Status::Overloaded(std::string("shed (") +
+                            AdmissionOutcomeName(outcome) + ") for tenant '" +
+                            tenant + "'");
+}
+
+void AsyncFrontEnd::RecordShed(const std::string& tenant,
+                               const std::string& model, ExplainerKind kind,
+                               FidelityTier fidelity, uint64_t trace_id) {
+  XAI_COUNTER_INC("serve/frontend_shed");
+  server_->slo().RecordShed(tenant, model);
+  ExplanationProvenance p;
+  p.trace_id = trace_id;
+  p.tenant = tenant;
+  p.model = model;
+  p.kind = ExplainerKindName(kind);
+  p.requested_tier = FidelityTierName(fidelity);
+  p.shed = true;  // complete stays false: nothing executed.
+  std::lock_guard<std::mutex> lock(shed_mu_);
+  while (shed_records_.size() >= config_.max_shed_records) {
+    shed_records_.pop_front();
+    ++shed_records_dropped_;
+  }
+  shed_records_.push_back(std::move(p));
+}
+
+void AsyncFrontEnd::Complete(const std::string& tenant) {
+  admission_.OnComplete(tenant);
+  // Notify under the lock: once a waiter observes zero and returns, no
+  // thread is still inside the condition variable.
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  --in_flight_;
+  XAI_CHECK_MSG(in_flight_ >= 0, "Complete() without a matching admit");
+  inflight_cv_.notify_all();
+}
+
+std::vector<ExplanationProvenance> AsyncFrontEnd::DrainShedRecords() {
+  std::lock_guard<std::mutex> lock(shed_mu_);
+  std::vector<ExplanationProvenance> out(shed_records_.begin(),
+                                         shed_records_.end());
+  shed_records_.clear();
+  return out;
+}
+
+Result<uint64_t> AsyncFrontEnd::OpenSession() {
+  const int64_t now_ns = clock_->NowNanos();
+  sessions_.ExpireIdle(now_ns);
+  return sessions_.OpenSession(now_ns);
+}
+
+Status AsyncFrontEnd::CloseSession(uint64_t session_id) {
+  return sessions_.CloseSession(session_id);
+}
+
+FrameFuture AsyncFrontEnd::SubmitWire(std::string frame) {
+  // Header decode and admission on the submitting thread: a malformed or
+  // shed request never costs a loop hop (and never decodes its instance).
+  Result<WireRequestHeader> header_or = DecodeRequestHeader(frame);
+  if (!header_or.ok()) {
+    return FrameFuture::Ready(EncodeError(header_or.status(), 0));
+  }
+  WireRequestHeader header = std::move(header_or).ValueUnsafe();
+  const std::string tenant = TenantKey(header.tenant);
+
+  Status admitted = AdmitOrShed(tenant, header.model, header.kind,
+                                header.fidelity, header.trace_id);
+  if (!admitted.ok()) {
+    return FrameFuture::Ready(EncodeError(admitted, header.trace_id));
+  }
+
+  FramePromise promise;
+  FrameFuture future = promise.GetFuture();
+  auto shared = std::make_shared<const std::string>(std::move(frame));
+  EventLoop* lane = header.session_id != 0 ? session_lane_.get() : loop_.get();
+  const bool session_turn = header.session_id != 0;
+  Status posted = lane->Post(
+      [this, shared, header, promise, session_turn]() mutable {
+        if (session_turn) {
+          RunSessionTurn(shared, std::move(header), std::move(promise));
+        } else {
+          RunStateless(shared, std::move(header), std::move(promise));
+        }
+      });
+  if (!posted.ok()) {
+    Complete(tenant);
+    return FrameFuture::Ready(EncodeError(posted, header.trace_id));
+  }
+  return future;
+}
+
+void AsyncFrontEnd::RunStateless(std::shared_ptr<const std::string> frame,
+                                 WireRequestHeader header,
+                                 FramePromise promise) {
+  const std::string tenant = TenantKey(header.tenant);
+  const uint64_t trace_id = header.trace_id;
+
+  // Request skeleton from the header alone — the instance stays encoded
+  // until the server proves it needs the bytes (cache miss).
+  ExplainRequest request;
+  request.model = header.model;
+  request.kind = header.kind;
+  request.fidelity = header.fidelity;
+  request.deadline_ms = header.deadline_ms;
+  request.seed = header.seed;
+  request.allow_degradation = header.allow_degradation;
+  request.use_cache = header.use_cache;
+  request.desired_class = header.desired_class;
+  request.tenant = header.tenant;
+  request.trace.trace_id = header.trace_id;
+
+  ExplainServer::AsyncHints hints;
+  hints.instance_hash = header.instance_hash;
+  hints.deferred_count = static_cast<int64_t>(header.instance_count);
+  hints.materialize = [frame, header](Vector* out) -> Status {
+    auto decoded = DecodeRequestBody(*frame, header);
+    XAI_RETURN_NOT_OK(decoded.status());
+    *out = std::move(decoded.ValueUnsafe().instance);
+    return Status::OK();
+  };
+
+  const ExplainerKind kind = header.kind;
+  const FidelityTier fidelity = header.fidelity;
+  const std::string model = header.model;
+  Status submitted = server_->ExplainAsync(
+      std::move(request),
+      [this, promise, tenant, trace_id](Result<ExplainResponse> result) {
+        std::string out = result.ok()
+                              ? EncodeResponse(result.ValueUnsafe())
+                              : EncodeError(result.status(), trace_id);
+        Complete(tenant);
+        promise.Set(std::move(out));
+      },
+      std::move(hints));
+  if (!submitted.ok()) {
+    // `done` never ran. A full batcher queue is a shed like any other —
+    // record and charge it; other codes (NotFound, InvalidArgument,
+    // OutOfRange) are the client's error to see.
+    if (submitted.code() == StatusCode::kOverloaded) {
+      RecordShed(tenant, model, kind, fidelity, trace_id);
+    }
+    Complete(tenant);
+    promise.Set(EncodeError(submitted, trace_id));
+  }
+}
+
+void AsyncFrontEnd::RunSessionTurn(std::shared_ptr<const std::string> frame,
+                                   WireRequestHeader header,
+                                   FramePromise promise) {
+  const std::string tenant = TenantKey(header.tenant);
+  // Session turns consult per-session state keyed on the instance, so the
+  // payload is materialized (and integrity-checked) up front.
+  Result<ExplainRequest> request_or = DecodeRequestBody(*frame, header);
+  if (!request_or.ok()) {
+    Complete(tenant);
+    promise.Set(EncodeError(request_or.status(), header.trace_id));
+    return;
+  }
+  const int64_t now_ns = clock_->NowNanos();
+  sessions_.ExpireIdle(now_ns);
+  Result<ExplainResponse> result = sessions_.Explain(
+      header.session_id, request_or.ValueUnsafe(), now_ns);
+  std::string out = result.ok()
+                        ? EncodeResponse(result.ValueUnsafe())
+                        : EncodeError(result.status(), header.trace_id);
+  Complete(tenant);
+  promise.Set(std::move(out));
+}
+
+ResponseFuture AsyncFrontEnd::Submit(ExplainRequest request,
+                                     uint64_t session_id) {
+  const std::string tenant = TenantKey(request.tenant);
+  Status admitted = AdmitOrShed(tenant, request.model, request.kind,
+                                request.fidelity, request.trace.trace_id);
+  if (!admitted.ok()) {
+    return ResponseFuture::Ready(Result<ExplainResponse>(admitted));
+  }
+
+  ResponsePromise promise;
+  ResponseFuture future = promise.GetFuture();
+
+  if (session_id != 0) {
+    Status posted = session_lane_->Post([this, request, session_id, promise,
+                                         tenant]() mutable {
+      const int64_t now_ns = clock_->NowNanos();
+      sessions_.ExpireIdle(now_ns);
+      Result<ExplainResponse> result =
+          sessions_.Explain(session_id, request, now_ns);
+      Complete(tenant);
+      promise.Set(std::move(result));
+    });
+    if (!posted.ok()) {
+      Complete(tenant);
+      return ResponseFuture::Ready(Result<ExplainResponse>(posted));
+    }
+    return future;
+  }
+
+  Status posted = loop_->Post([this, request, promise, tenant]() mutable {
+    const ExplainerKind kind = request.kind;
+    const FidelityTier fidelity = request.fidelity;
+    const uint64_t trace_id = request.trace.trace_id;
+    const std::string model = request.model;
+    Status submitted = server_->ExplainAsync(
+        std::move(request),
+        [this, promise, tenant](Result<ExplainResponse> result) {
+          Complete(tenant);
+          promise.Set(std::move(result));
+        });
+    if (!submitted.ok()) {
+      if (submitted.code() == StatusCode::kOverloaded) {
+        RecordShed(tenant, model, kind, fidelity, trace_id);
+      }
+      Complete(tenant);
+      promise.Set(Result<ExplainResponse>(submitted));
+    }
+  });
+  if (!posted.ok()) {
+    Complete(tenant);
+    return ResponseFuture::Ready(Result<ExplainResponse>(posted));
+  }
+  return future;
+}
+
+}  // namespace async
+}  // namespace serve
+}  // namespace xai

@@ -1,0 +1,463 @@
+#include "xai/serve/async/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "xai/core/check.h"
+#include "xai/core/rng.h"
+#include "xai/core/simd.h"
+#include "xai/core/telemetry.h"
+#include "xai/explain/counterfactual/counterfactual.h"
+#include "xai/explain/counterfactual/dice.h"
+#include "xai/explain/shapley/exact_shapley.h"
+#include "xai/explain/shapley/kernel_shap.h"
+#include "xai/explain/shapley/sampling_shapley.h"
+#include "xai/explain/shapley/value_function.h"
+#include "xai/model/serialization.h"
+
+namespace xai {
+namespace serve {
+namespace async {
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::vector<std::string> FeatureNames(const Dataset& background) {
+  std::vector<std::string> names;
+  names.reserve(background.schema().features.size());
+  for (const auto& feature : background.schema().features)
+    names.push_back(feature.name);
+  return names;
+}
+
+const std::string& TenantOf(const ExplainRequest& request) {
+  static const std::string kDefault = "default";
+  return request.tenant.empty() ? kDefault : request.tenant;
+}
+
+/// \brief Cross-instance coalition memo around any CoalitionGame.
+///
+/// Correctness rests on MarginalFeatureGame's structure: v_x(S) reads the
+/// instance only at coordinates in S (everything else comes from the
+/// background), so the key (model_fp, background_fp, S, x|S) fully
+/// determines the value. Two instances that agree on S share the entry and
+/// the reused value is bit-identical to recomputation — the memo changes
+/// cost, never content.
+class SessionMemoGame : public CoalitionGame {
+ public:
+  SessionMemoGame(const CoalitionGame* inner, uint64_t model_fp,
+                  uint64_t background_fp, const Vector& instance,
+                  std::unordered_map<uint64_t, double>* memo,
+                  std::mutex* memo_mu, size_t max_entries, int64_t* hits,
+                  int64_t* misses)
+      : inner_(inner),
+        model_fp_(model_fp),
+        background_fp_(background_fp),
+        instance_(instance),
+        memo_(memo),
+        memo_mu_(memo_mu),
+        max_entries_(max_entries),
+        hits_(hits),
+        misses_(misses) {}
+
+  int num_players() const override { return inner_->num_players(); }
+
+  double Value(uint64_t coalition) const override {
+    const uint64_t key = KeyFor(coalition);
+    {
+      std::lock_guard<std::mutex> lock(*memo_mu_);
+      auto it = memo_->find(key);
+      if (it != memo_->end()) {
+        ++*hits_;
+        XAI_COUNTER_INC("serve/session_memo_hits");
+        return it->second;
+      }
+    }
+    const double value = inner_->Value(coalition);
+    {
+      std::lock_guard<std::mutex> lock(*memo_mu_);
+      ++*misses_;
+      XAI_COUNTER_INC("serve/session_memo_misses");
+      // Bounded: past the cap the memo stops growing but stays readable.
+      if (memo_->size() < max_entries_) memo_->emplace(key, value);
+    }
+    return value;
+  }
+
+ private:
+  uint64_t KeyFor(uint64_t coalition) const {
+    // (model_fp, background_fp, S, x restricted to S), hashed over raw
+    // little-endian words. At most 3 + 64 words on the stack.
+    uint64_t words[67];
+    size_t n = 0;
+    words[n++] = model_fp_;
+    words[n++] = background_fp_;
+    words[n++] = coalition;
+    for (int i = 0; i < num_players(); ++i) {
+      if ((coalition >> i) & 1ull) {
+        uint64_t bits;
+        std::memcpy(&bits, &instance_[i], sizeof(bits));
+        words[n++] = bits;
+      }
+    }
+    return ContentHash64(words, n * sizeof(uint64_t));
+  }
+
+  const CoalitionGame* inner_;
+  const uint64_t model_fp_;
+  const uint64_t background_fp_;
+  const Vector& instance_;
+  std::unordered_map<uint64_t, double>* memo_;
+  std::mutex* memo_mu_;
+  const size_t max_entries_;
+  int64_t* hits_;
+  int64_t* misses_;
+};
+
+/// Same (key, config) identity the server's cache uses, mixed to one word
+/// for the session's exact-repeat response memo.
+uint64_t ResponseMemoKey(const ExplainRequest& request,
+                         const ModelEntry& entry, FidelityTier tier) {
+  const uint64_t fields[] = {
+      entry.fingerprint,
+      ContentHash64(request.instance),
+      static_cast<uint64_t>(request.kind),
+      static_cast<uint64_t>(tier),
+      request.seed,
+      entry.background_fingerprint,
+      static_cast<uint64_t>(static_cast<int64_t>(request.desired_class)),
+  };
+  return ContentHash64(fields, sizeof(fields));
+}
+
+void StampProvenance(const ExplainRequest& request, const TierPlan& plan,
+                     bool degraded, ExplainResponse* response) {
+  ExplanationProvenance& prov = response->provenance;
+  prov.trace_id = request.trace.trace_id;
+  prov.root_span_id = request.trace.span_id;
+  prov.tenant = TenantOf(request);
+  prov.model = request.model;
+  prov.kind = ExplainerKindName(request.kind);
+  prov.requested_tier = FidelityTierName(request.fidelity);
+  prov.served_tier = FidelityTierName(plan.tier);
+  prov.algorithm = ExplainerKindName(plan.algorithm);
+  prov.degraded = degraded;
+  prov.planned_evals = plan.planned_evals;
+  prov.simd_backend = simd::BackendName(simd::Active());
+  prov.batch_size = 1;
+}
+
+void FinalizeTiming(const ExplainRequest& request,
+                    std::chrono::steady_clock::time_point start,
+                    ExplainResponse* response) {
+  response->latency_ms = ElapsedMs(start);
+  response->deadline_met = request.deadline_ms <= 0.0 ||
+                           response->latency_ms <= request.deadline_ms;
+  response->provenance.total_ms = response->latency_ms;
+  response->provenance.deadline_met = response->deadline_met;
+  response->provenance.complete = true;
+}
+
+}  // namespace
+
+SessionManager::SessionManager(ExplainServer* server, const Config& config)
+    : server_(server), config_(config) {
+  XAI_CHECK_MSG(server_ != nullptr, "SessionManager needs a server");
+}
+
+Result<uint64_t> SessionManager::OpenSession(int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.max_sessions > 0 &&
+      static_cast<int>(sessions_.size()) >= config_.max_sessions)
+    return Status::Overloaded("session table full");
+  auto session = std::make_unique<Session>();
+  session->id = next_id_++;
+  session->last_used_ns = now_ns;
+  const uint64_t id = session->id;
+  sessions_.emplace(id, std::move(session));
+  ++opened_;
+  XAI_COUNTER_INC("serve/sessions_opened");
+  return id;
+}
+
+Status SessionManager::CloseSession(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end())
+    return Status::NotFound("no session " + std::to_string(session_id));
+  RetireLocked(*it->second);
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+void SessionManager::ExpireIdle(int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now_ns - it->second->last_used_ns > config_.session_ttl_ns) {
+      RetireLocked(*it->second);
+      it = sessions_.erase(it);
+      ++expired_;
+      XAI_COUNTER_INC("serve/sessions_expired");
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SessionManager::RetireLocked(Session& session) {
+  // No turn is in flight for a session being closed (the front end
+  // serializes turns with close/expire), so the plain reads are safe.
+  retired_memo_hits_ += session.memo_hits;
+  retired_memo_misses_ += session.memo_misses;
+}
+
+Result<ExplainResponse> SessionManager::Explain(
+    uint64_t session_id, const ExplainRequest& request, int64_t now_ns) {
+  Session* session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end())
+      return Status::NotFound("no session " +
+                              std::to_string(session_id));
+    it->second->last_used_ns = now_ns;
+    // Stable pointer: sessions are only erased by CloseSession/ExpireIdle,
+    // which the front end serializes with Explain on its session lane.
+    session = it->second.get();
+  }
+
+  auto entry = server_->registry().Find(request.model);
+  if (entry == nullptr)
+    return Status::NotFound("no registered model named " + request.model);
+  const int num_features = entry->num_features();
+  if (static_cast<int>(request.instance.size()) != num_features)
+    return Status::InvalidArgument(
+        "instance has " + std::to_string(request.instance.size()) +
+        " features; model " + request.model + " expects " +
+        std::to_string(num_features));
+
+  const DegradationPolicy& policy = server_->policy();
+  const int background_rows = entry->background->num_rows();
+  const TierPlan plan =
+      policy.Choose(request.kind, request.fidelity, num_features,
+                    background_rows, request.deadline_ms);
+  const FidelityTier reference =
+      policy
+          .Choose(request.kind, request.fidelity, num_features,
+                  background_rows, /*deadline_ms=*/0.0)
+          .tier;
+  const bool degraded = plan.tier != reference;
+  if (degraded && !request.allow_degradation)
+    return Status::OutOfRange(
+        "deadline of " + std::to_string(request.deadline_ms) +
+        " ms cannot fund tier " + FidelityTierName(reference) +
+        " and the request forbids degradation");
+
+  // Exact repeat within the dialogue: answer from the session's own
+  // response memo (the global cache is deliberately not consulted).
+  const uint64_t memo_key = ResponseMemoKey(request, *entry, plan.tier);
+  if (request.use_cache) {
+    auto it = session->responses.find(memo_key);
+    if (it != session->responses.end()) {
+      ExplainResponse response = *it->second;
+      response.cache_hit = true;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++reuse_answers_;
+      }
+      XAI_COUNTER_INC("serve/session_reuse_answers");
+      return response;
+    }
+  }
+
+  Result<ExplainResponse> result = Status::Internal("unreachable");
+  switch (plan.algorithm) {
+    case ExplainerKind::kKernelShap:
+    case ExplainerKind::kSamplingShapley:
+    case ExplainerKind::kExactShapley:
+      result = ExplainShapley(session, request, plan, degraded, *entry);
+      break;
+    case ExplainerKind::kCounterfactual:
+      result = ExplainCounterfactual(session, request, plan, degraded,
+                                     *entry);
+      break;
+    default:
+      // TreeSHAP / LIME / Anchors have no cross-turn state worth keeping;
+      // the stateless pipeline (with its global cache) serves them.
+      return server_->Explain(request);
+  }
+  if (!result.ok()) return result.status();
+
+  ExplainResponse response = std::move(result).ValueOrDie();
+  if (request.use_cache)
+    session->responses.emplace(
+        memo_key, std::make_shared<const ExplainResponse>(response));
+  return response;
+}
+
+Result<ExplainResponse> SessionManager::ExplainShapley(
+    Session* session, const ExplainRequest& request, const TierPlan& plan,
+    bool degraded, const ModelEntry& entry) {
+  const auto start = std::chrono::steady_clock::now();
+  ExplainResponse response;
+  response.kind = request.kind;
+  response.served_tier = plan.tier;
+  response.degraded = degraded;
+  response.model_fingerprint = entry.fingerprint;
+  response.planned_evals = plan.planned_evals;
+  StampProvenance(request, plan, degraded, &response);
+
+  const PredictFn predict = AsPredictFn(*entry.model);
+  const int64_t background_rows = entry.background->num_rows();
+  MarginalFeatureGame inner(*entry.model, request.instance,
+                            entry.background->x());
+  SessionMemoGame game(&inner, entry.fingerprint,
+                       entry.background_fingerprint, request.instance,
+                       &session->memo, &session->memo_mu,
+                       config_.max_memo_entries, &session->memo_hits,
+                       &session->memo_misses);
+  Rng rng(request.seed);
+
+  switch (plan.algorithm) {
+    case ExplainerKind::kExactShapley: {
+      XAI_ASSIGN_OR_RETURN(Vector values, ExactShapley(game));
+      response.attribution.attributions = std::move(values);
+      response.attribution.base_value = game.Value(0);
+      response.attribution.prediction = predict(request.instance);
+      response.attribution.feature_names = FeatureNames(*entry.background);
+      break;
+    }
+    case ExplainerKind::kKernelShap: {
+      XAI_ASSIGN_OR_RETURN(response.attribution,
+                           KernelShap(game, plan.kernel_config, &rng));
+      break;
+    }
+    case ExplainerKind::kSamplingShapley: {
+      SamplingShapleyResult sampled =
+          SamplingShapley(game, plan.sampling_permutations, &rng);
+      response.attribution.attributions = std::move(sampled.values);
+      response.attribution.base_value = game.Value(0);
+      response.attribution.prediction = predict(request.instance);
+      response.attribution.feature_names = FeatureNames(*entry.background);
+      break;
+    }
+    default:
+      return Status::Internal("non-Shapley plan in ExplainShapley");
+  }
+
+  // Only coalitions the memo could not answer touched the model.
+  response.provenance.used_evals =
+      inner.num_evaluations() * background_rows;
+  response.provenance.compute_ms = ElapsedMs(start);
+  FinalizeTiming(request, start, &response);
+  return response;
+}
+
+Result<ExplainResponse> SessionManager::ExplainCounterfactual(
+    Session* session, const ExplainRequest& request, const TierPlan& plan,
+    bool degraded, const ModelEntry& entry) {
+  const auto start = std::chrono::steady_clock::now();
+  ExplainResponse response;
+  response.kind = request.kind;
+  response.served_tier = plan.tier;
+  response.degraded = degraded;
+  response.model_fingerprint = entry.fingerprint;
+  response.planned_evals = plan.planned_evals;
+  StampProvenance(request, plan, degraded, &response);
+
+  const PredictFn predict = AsPredictFn(*entry.model);
+  CounterfactualEvaluator evaluator(*entry.background);
+  std::vector<PooledCandidate>& pool = session->pool[entry.fingerprint];
+
+  // Why-not / what-if fast path: re-validate the dialogue's previous
+  // counterfactuals against *this* turn's instance and target class. A
+  // pooled candidate costs one model call to check vs. a full random-walk
+  // search to rediscover.
+  std::vector<Counterfactual> valid;
+  for (const PooledCandidate& candidate : pool) {
+    Counterfactual cf =
+        evaluator.Evaluate(predict, request.instance, candidate.x,
+                           request.desired_class, plan.dice_config.threshold);
+    if (cf.valid) valid.push_back(std::move(cf));
+  }
+  const int64_t pool_calls = static_cast<int64_t>(pool.size());
+
+  if (static_cast<int>(valid.size()) >= plan.dice_config.k) {
+    // Deterministic selection: proximity, then content hash as tiebreak.
+    std::sort(valid.begin(), valid.end(),
+              [](const Counterfactual& a, const Counterfactual& b) {
+                if (a.proximity != b.proximity)
+                  return a.proximity < b.proximity;
+                return ContentHash64(a.x) < ContentHash64(b.x);
+              });
+    valid.resize(plan.dice_config.k);
+    response.counterfactuals = std::move(valid);
+    response.provenance.used_evals = pool_calls;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++reuse_answers_;
+    }
+    XAI_COUNTER_INC("serve/session_reuse_answers");
+    response.provenance.compute_ms = ElapsedMs(start);
+    FinalizeTiming(request, start, &response);
+    return response;
+  }
+
+  // Pool cannot fund k candidates: fresh search, then bank every valid
+  // counterfactual for the next turn (deduplicated by content).
+  ActionabilitySpec spec = ActionabilitySpec::AllFree(*entry.background);
+  Rng rng(request.seed);
+  XAI_ASSIGN_OR_RETURN(
+      DiceResult dice,
+      DiceCounterfactuals(predict, request.instance, request.desired_class,
+                          evaluator, spec, plan.dice_config, &rng));
+  for (const Counterfactual& cf : dice.counterfactuals) {
+    if (!cf.valid) continue;
+    if (pool.size() >= config_.max_pool_candidates) break;
+    const uint64_t hash = ContentHash64(cf.x);
+    bool known = false;
+    for (const PooledCandidate& candidate : pool)
+      if (candidate.content_hash == hash) {
+        known = true;
+        break;
+      }
+    if (!known) pool.push_back(PooledCandidate{cf.x, hash});
+  }
+  response.counterfactuals = std::move(dice.counterfactuals);
+  response.provenance.used_evals = pool_calls + plan.planned_evals;
+  response.provenance.compute_ms = ElapsedMs(start);
+  FinalizeTiming(request, start, &response);
+  return response;
+}
+
+SessionManager::Stats SessionManager::GetStats() const {
+  Stats stats;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.active_sessions = static_cast<int>(sessions_.size());
+  stats.opened = opened_;
+  stats.expired = expired_;
+  stats.reuse_answers = reuse_answers_;
+  stats.memo_hits = retired_memo_hits_;
+  stats.memo_misses = retired_memo_misses_;
+  for (const auto& [id, session] : sessions_) {
+    std::lock_guard<std::mutex> memo_lock(session->memo_mu);
+    stats.memo_hits += session->memo_hits;
+    stats.memo_misses += session->memo_misses;
+  }
+  const int64_t total = stats.memo_hits + stats.memo_misses;
+  stats.memo_hit_rate =
+      total > 0 ? static_cast<double>(stats.memo_hits) /
+                      static_cast<double>(total)
+                : 0.0;
+  return stats;
+}
+
+}  // namespace async
+}  // namespace serve
+}  // namespace xai

@@ -7,6 +7,7 @@
 #include "xai/core/parallel.h"
 #include "xai/core/telemetry.h"
 #include "xai/core/timer.h"
+#include "xai/core/trace.h"
 
 namespace xai {
 namespace serve {
@@ -41,8 +42,10 @@ Result<std::future<Result<ExplainResponse>>> RequestBatcher::Submit(
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (static_cast<int>(queue_.size()) >= config_.max_queue) {
-      if (!config_.block_when_full)
-        return Status::OutOfRange("serving queue full");
+      if (!config_.block_when_full) {
+        XAI_COUNTER_INC("serve/batcher_overloaded");
+        return Status::Overloaded("serving queue full");
+      }
       space_cv_.wait(lock, [this] {
         return stopping_ ||
                static_cast<int>(queue_.size()) < config_.max_queue;
@@ -55,6 +58,42 @@ Result<std::future<Result<ExplainResponse>>> RequestBatcher::Submit(
   }
   work_cv_.notify_one();
   return future;
+}
+
+Status RequestBatcher::SubmitCallback(BatchJob job, Callback done) {
+  Pending pending;
+  pending.job = std::move(job);
+  pending.done = std::move(done);
+  pending.enqueue_ns = MonotonicNanos();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Try-enqueue only: an event loop must shed here, never park. The
+    // blocking branch of Submit() is deliberately unreachable from this
+    // entry point.
+    if (static_cast<int>(queue_.size()) >= config_.max_queue) {
+      XAI_COUNTER_INC("serve/batcher_overloaded");
+      return Status::Overloaded("serving queue full");
+    }
+    if (stopping_) return Status::Internal("batcher is shutting down");
+    queue_.push_back(std::move(pending));
+    XAI_HISTOGRAM_RECORD("serve/queue_depth",
+                         static_cast<int64_t>(queue_.size()));
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+void RequestBatcher::Deliver(Pending* pending,
+                             Result<ExplainResponse> result) {
+  if (pending->done) {
+    // The callback continues the request on this worker thread: install the
+    // request's trace identity so any spans it opens stay causally linked.
+    telemetry::ScopedTraceContext scope(pending->job.request.trace);
+    pending->done(std::move(result));
+  } else {
+    pending->promise->set_value(std::move(result));
+  }
 }
 
 void RequestBatcher::Pause() {
@@ -115,7 +154,7 @@ void RequestBatcher::WorkerLoop() {
   }
   // Shutdown: fail whatever never ran.
   for (auto& pending : queue_)
-    pending.promise->set_value(Status::Internal("batcher stopped"));
+    Deliver(&pending, Status::Internal("batcher stopped"));
   queue_.clear();
   idle_cv_.notify_all();
 }
@@ -177,7 +216,7 @@ void RequestBatcher::ExecuteBatch(std::vector<Pending> batch) {
       info.leader_span_id = leader.root_span_id;
       on_complete_(batch[i].job, info, &result);
     }
-    batch[i].promise->set_value(std::move(result));
+    Deliver(&batch[i], std::move(result));
   }
 }
 

@@ -48,8 +48,12 @@ struct BatchJob {
 /// are bit-identical to unbatched execution at any thread count.
 ///
 /// Backpressure: the queue is bounded at `max_queue`. `Submit` either
-/// blocks until there is room (default) or fails with OutOfRange when
-/// `block_when_full` is false — load sheds at admission, not mid-flight.
+/// blocks until there is room (default) or fails fast with a typed
+/// Overloaded status when `block_when_full` is false. Async callers must
+/// never block an event loop on queue space, so `SubmitCallback` is always
+/// try-enqueue: it returns Overloaded immediately and the admission layer
+/// converts that into a shed (or degrade-and-retry) decision — load sheds
+/// at admission, not mid-flight.
 ///
 /// Telemetry: serve/batches, serve/batched_requests,
 /// serve/coalesced_requests; histograms serve/batch_size,
@@ -62,7 +66,7 @@ class RequestBatcher {
     /// Queue bound; admission control beyond it.
     int max_queue = 256;
     /// Block submitters when the queue is full (false: fail fast with
-    /// OutOfRange).
+    /// Overloaded).
     bool block_when_full = true;
   };
 
@@ -98,9 +102,22 @@ class RequestBatcher {
   ~RequestBatcher();
 
   /// Enqueues a job; the future resolves with the response (or the
-  /// executor's error). OutOfRange if the queue is full and
+  /// executor's error). Overloaded if the queue is full and
   /// `block_when_full` is off.
   Result<std::future<Result<ExplainResponse>>> Submit(BatchJob job);
+
+  /// Completion-callback delivery for one job. `done` runs on the batch
+  /// worker after the completion hook, under the job's TraceContext (spans
+  /// opened inside the callback parent-link to the request's trace).
+  using Callback = std::function<void(Result<ExplainResponse>)>;
+
+  /// Try-enqueue variant for asynchronous callers: never blocks, regardless
+  /// of `block_when_full`. Returns Overloaded when the queue is full (the
+  /// job was NOT accepted; `done` will never run) and Internal during
+  /// shutdown. On OK, `done` is guaranteed to run exactly once — with the
+  /// response, the executor's error, or an Internal status if the batcher
+  /// stops first.
+  Status SubmitCallback(BatchJob job, Callback done);
 
   /// Holds the worker between batches so tests can pile up concurrent
   /// submissions and observe them coalesce into one batch.
@@ -115,9 +132,15 @@ class RequestBatcher {
  private:
   struct Pending {
     BatchJob job;
+    /// Exactly one of the two delivery channels is set: a promise for
+    /// Submit(), a callback for SubmitCallback().
     std::shared_ptr<std::promise<Result<ExplainResponse>>> promise;
+    Callback done;
     int64_t enqueue_ns = 0;
   };
+
+  /// Delivers `result` through whichever channel `pending` carries.
+  static void Deliver(Pending* pending, Result<ExplainResponse> result);
 
   void WorkerLoop();
   void ExecuteBatch(std::vector<Pending> batch);

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "xai/core/json.h"
 #include "xai/core/rng.h"
 #include "xai/core/simd.h"
 #include "xai/core/telemetry.h"
@@ -20,6 +21,8 @@
 #include "xai/explain/shapley/value_function.h"
 #include "xai/model/serialization.h"
 #include "xai/rules/anchors.h"
+#include "xai/serve/async/admission.h"
+#include "xai/serve/async/session.h"
 
 namespace xai {
 namespace serve {
@@ -98,15 +101,23 @@ void ExplainServer::AssignTrace(ExplainRequest* request) const {
   request->trace.span_id = telemetry::NextSpanId();
 }
 
-Result<BatchJob> ExplainServer::Admit(const ExplainRequest& request) const {
+Result<BatchJob> ExplainServer::Admit(const ExplainRequest& request,
+                                      const AsyncHints* hints) const {
   BatchJob job;
   job.entry = registry_.Find(request.model);
   if (job.entry == nullptr)
     return Status::NotFound("no registered model named " + request.model);
   const int num_features = job.entry->num_features();
-  if (static_cast<int>(request.instance.size()) != num_features)
+  // A deferred instance is schema-checked against the count its wire
+  // header promised; the bytes themselves are only decoded on a cache
+  // miss (and verified against the carried hash there).
+  const int64_t instance_count =
+      (hints != nullptr && hints->deferred_count >= 0)
+          ? hints->deferred_count
+          : static_cast<int64_t>(request.instance.size());
+  if (instance_count != num_features)
     return Status::InvalidArgument(
-        "instance has " + std::to_string(request.instance.size()) +
+        "instance has " + std::to_string(instance_count) +
         " features; model " + request.model + " expects " +
         std::to_string(num_features));
 
@@ -132,7 +143,9 @@ Result<BatchJob> ExplainServer::Admit(const ExplainRequest& request) const {
   job.coalescable = request.use_cache;
   job.root_span_id = request.trace.span_id;
   job.key.model_fingerprint = job.entry->fingerprint;
-  job.key.instance_hash = ContentHash64(request.instance);
+  job.key.instance_hash = (hints != nullptr && hints->instance_hash != 0)
+                              ? hints->instance_hash
+                              : ContentHash64(request.instance);
   const uint64_t config_fields[] = {
       static_cast<uint64_t>(request.kind),
       static_cast<uint64_t>(job.plan.tier),
@@ -264,6 +277,72 @@ Result<std::future<Result<ExplainResponse>>> ExplainServer::SubmitAsync(
   return batcher_->Submit(std::move(job));
 }
 
+Status ExplainServer::ExplainAsync(ExplainRequest request,
+                                   RequestBatcher::Callback done,
+                                   AsyncHints hints) {
+  const auto start = std::chrono::steady_clock::now();
+  const int64_t start_ns = MonotonicNanos();
+  XAI_COUNTER_INC("serve/requests");
+  AssignTrace(&request);
+
+  Result<BatchJob> admitted = Admit(request, &hints);
+  if (!admitted.ok()) {
+    slo_.RecordError(TenantOf(request), request.model);
+    telemetry::RecordRequestSpan("serve/request_error", request.trace,
+                                 request.trace.span_id,
+                                 /*parent_span_id=*/0, start_ns,
+                                 MonotonicNanos() - start_ns,
+                                 /*force_retain=*/true);
+    return admitted.status();
+  }
+  BatchJob job = std::move(admitted).ValueOrDie();
+
+  if (request.use_cache) {
+    if (auto hit = cache_.Get(job.key)) {
+      // The wire-format payoff: for a deferred instance this path never
+      // materialized the feature vector at all.
+      ExplainResponse response = *hit;
+      response.cache_hit = true;
+      StampCacheHit(request, job, &response);
+      FinalizeTiming(request, start, &response, /*count_miss=*/false);
+      RecordCompletion(request, response, start_ns);
+      done(std::move(response));
+      return Status::OK();
+    }
+  }
+
+  if (hints.materialize != nullptr) {
+    Status materialized = hints.materialize(&job.request.instance);
+    if (!materialized.ok()) {
+      slo_.RecordError(TenantOf(request), request.model);
+      telemetry::RecordRequestSpan("serve/request_error", request.trace,
+                                   request.trace.span_id,
+                                   /*parent_span_id=*/0, start_ns,
+                                   MonotonicNanos() - start_ns,
+                                   /*force_retain=*/true);
+      return materialized;
+    }
+  }
+
+  if (batcher_ != nullptr)
+    // Try-enqueue only: Overloaded propagates to the caller, which sheds.
+    return batcher_->SubmitCallback(std::move(job), std::move(done));
+
+  Result<ExplainResponse> result = Execute(job);
+  if (result.ok()) {
+    RecordCompletion(request, result.ValueOrDie(), start_ns);
+  } else {
+    slo_.RecordError(TenantOf(request), request.model);
+    telemetry::RecordRequestSpan("serve/request_error", request.trace,
+                                 request.trace.span_id,
+                                 /*parent_span_id=*/0, start_ns,
+                                 MonotonicNanos() - start_ns,
+                                 /*force_retain=*/true);
+  }
+  done(std::move(result));
+  return Status::OK();
+}
+
 void ExplainServer::StampCacheHit(const ExplainRequest& request,
                                   const BatchJob& job,
                                   ExplainResponse* response) const {
@@ -347,6 +426,76 @@ void ExplainServer::OnBatchComplete(
       /*force_retain=*/!response.deadline_met || job.degraded);
 }
 
+namespace {
+
+void WriteAdmissionMetrics(std::ostream& os,
+                           const async::AdmissionController& admission,
+                           ExplainServer::MetricsFormat format) {
+  const auto snapshot = admission.Snapshot();
+  if (format == ExplainServer::MetricsFormat::kPrometheus) {
+    auto series = [&](const char* metric, const char* type, auto value_of) {
+      os << "# TYPE xai_admission_" << metric << " " << type << "\n";
+      for (const auto& [tenant, stats] : snapshot) {
+        os << "xai_admission_" << metric << "{tenant=";
+        json::WriteString(os, tenant);
+        os << "} " << value_of(stats) << "\n";
+      }
+    };
+    series("tokens_available", "gauge",
+           [](const auto& s) { return s.tokens_available; });
+    series("pending", "gauge", [](const auto& s) { return s.pending; });
+    series("admitted_total", "counter",
+           [](const auto& s) { return s.admitted; });
+    series("shed_rate_limited_total", "counter",
+           [](const auto& s) { return s.shed_rate_limited; });
+    series("shed_pending_total", "counter",
+           [](const auto& s) { return s.shed_pending_full; });
+  } else {
+    for (const auto& [tenant, stats] : snapshot) {
+      os << "{\"type\":\"admission\",\"tenant\":";
+      json::WriteString(os, tenant);
+      os << ",\"tokens_available\":" << stats.tokens_available
+         << ",\"pending\":" << stats.pending
+         << ",\"admitted\":" << stats.admitted
+         << ",\"shed_rate_limited\":" << stats.shed_rate_limited
+         << ",\"shed_pending_full\":" << stats.shed_pending_full << "}\n";
+    }
+  }
+}
+
+void WriteSessionMetrics(std::ostream& os,
+                         const async::SessionManager& sessions,
+                         ExplainServer::MetricsFormat format) {
+  const auto stats = sessions.GetStats();
+  if (format == ExplainServer::MetricsFormat::kPrometheus) {
+    os << "# TYPE xai_sessions_active gauge\n"
+       << "xai_sessions_active " << stats.active_sessions << "\n"
+       << "# TYPE xai_sessions_opened_total counter\n"
+       << "xai_sessions_opened_total " << stats.opened << "\n"
+       << "# TYPE xai_sessions_expired_total counter\n"
+       << "xai_sessions_expired_total " << stats.expired << "\n"
+       << "# TYPE xai_sessions_memo_hits_total counter\n"
+       << "xai_sessions_memo_hits_total " << stats.memo_hits << "\n"
+       << "# TYPE xai_sessions_memo_misses_total counter\n"
+       << "xai_sessions_memo_misses_total " << stats.memo_misses << "\n"
+       << "# TYPE xai_sessions_reuse_answers_total counter\n"
+       << "xai_sessions_reuse_answers_total " << stats.reuse_answers
+       << "\n"
+       << "# TYPE xai_sessions_memo_hit_rate gauge\n"
+       << "xai_sessions_memo_hit_rate " << stats.memo_hit_rate << "\n";
+  } else {
+    os << "{\"type\":\"sessions\",\"active\":" << stats.active_sessions
+       << ",\"opened\":" << stats.opened
+       << ",\"expired\":" << stats.expired
+       << ",\"memo_hits\":" << stats.memo_hits
+       << ",\"memo_misses\":" << stats.memo_misses
+       << ",\"reuse_answers\":" << stats.reuse_answers
+       << ",\"memo_hit_rate\":" << stats.memo_hit_rate << "}\n";
+  }
+}
+
+}  // namespace
+
 std::string ExplainServer::MetricsSnapshot(MetricsFormat format) const {
   std::ostringstream os;
   if (format == MetricsFormat::kPrometheus) {
@@ -356,6 +505,8 @@ std::string ExplainServer::MetricsSnapshot(MetricsFormat format) const {
     telemetry::Registry::Global().WriteJson(os);
     slo_.WriteJsonl(os);
   }
+  if (admission_ != nullptr) WriteAdmissionMetrics(os, *admission_, format);
+  if (sessions_ != nullptr) WriteSessionMetrics(os, *sessions_, format);
   return os.str();
 }
 

@@ -18,6 +18,11 @@
 namespace xai {
 namespace serve {
 
+namespace async {
+class AdmissionController;
+class SessionManager;
+}  // namespace async
+
 /// \brief The explanation serving layer: registry -> cache -> batcher ->
 /// explainer, in that order per request.
 ///
@@ -78,6 +83,34 @@ class ExplainServer {
   Result<std::future<Result<ExplainResponse>>> SubmitAsync(
       const ExplainRequest& request);
 
+  /// \brief Wire-layer hooks for ExplainAsync: a precomputed instance hash
+  /// and an optional deferred instance payload.
+  ///
+  /// The async front end probes the cache from a request frame's *header*
+  /// — the instance vector stays encoded. `instance_hash` is the hash the
+  /// frame carries (0 = compute from request.instance); `deferred_count`
+  /// >= 0 promises the instance has that many features without decoding
+  /// it, and `materialize` fills it in only when a cache miss makes the
+  /// bytes necessary (returning InvalidArgument for a corrupt payload).
+  struct AsyncHints {
+    uint64_t instance_hash = 0;
+    int64_t deferred_count = -1;
+    std::function<Status(Vector*)> materialize;
+  };
+
+  /// Completion-callback serving path for the event-loop front end. Never
+  /// blocks: cache hits invoke `done` inline on the calling thread;
+  /// misses go through the batcher's try-enqueue (`done` then runs on the
+  /// batch worker under the request's TraceContext). A non-OK return
+  /// (NotFound / InvalidArgument / OutOfRange at admission, Overloaded
+  /// from a full queue) means `done` will never run — the caller answers
+  /// the client itself (e.g. converts Overloaded into a shed).
+  Status ExplainAsync(ExplainRequest request, RequestBatcher::Callback done,
+                      AsyncHints hints);
+  Status ExplainAsync(ExplainRequest request, RequestBatcher::Callback done) {
+    return ExplainAsync(std::move(request), std::move(done), AsyncHints());
+  }
+
   ModelRegistry& registry() { return registry_; }
   const ModelRegistry& registry() const { return registry_; }
   ExplanationCache& cache() { return cache_; }
@@ -90,14 +123,34 @@ class ExplainServer {
   const SloTracker& slo() const { return slo_; }
 
   /// The metrics export surface: the global telemetry registry (counters,
-  /// span histograms) plus this server's per-tenant SLO standings, rendered
-  /// for scraping (Prometheus text exposition) or log shipping (JSONL).
+  /// span histograms) plus this server's per-tenant SLO standings — and,
+  /// when an async front end attached its admission controller / session
+  /// manager, per-tenant token/shed gauges and session reuse rates —
+  /// rendered for scraping (Prometheus text exposition) or log shipping
+  /// (JSONL).
   enum class MetricsFormat { kPrometheus, kJsonl };
   std::string MetricsSnapshot(MetricsFormat format) const;
 
+  /// Registers the async front end's admission controller / session
+  /// manager as metrics sources. Observers only — the server never calls
+  /// into them on the serving path. Pass nullptr to detach; the attached
+  /// object must outlive the server or be detached first.
+  void AttachAdmission(const async::AdmissionController* admission) {
+    admission_ = admission;
+  }
+  void AttachSessions(const async::SessionManager* sessions) {
+    sessions_ = sessions;
+  }
+
  private:
   /// Registry lookup, validation, tier choice, cache-key construction.
-  Result<BatchJob> Admit(const ExplainRequest& request) const;
+  /// `hints` (nullable) supplies the wire layer's precomputed instance
+  /// hash and deferred-payload promise.
+  Result<BatchJob> Admit(const ExplainRequest& request,
+                         const AsyncHints* hints) const;
+  Result<BatchJob> Admit(const ExplainRequest& request) const {
+    return Admit(request, nullptr);
+  }
   /// Runs the chosen plan. Called from pool workers via the batcher.
   Result<ExplainResponse> Execute(const BatchJob& job);
 
@@ -124,6 +177,8 @@ class ExplainServer {
   ExplanationCache cache_;
   DegradationPolicy policy_;
   SloTracker slo_;
+  const async::AdmissionController* admission_ = nullptr;
+  const async::SessionManager* sessions_ = nullptr;
   uint64_t trace_stream_seed_ = 0;
   mutable std::atomic<uint64_t> trace_seq_{0};
   std::unique_ptr<RequestBatcher> batcher_;  // Last member: dies first.

@@ -30,6 +30,7 @@ void WriteProvenanceJsonl(std::ostream& os,
   os << ",\"batch_size\":" << p.batch_size << ",\"queue_ms\":" << p.queue_ms
      << ",\"compute_ms\":" << p.compute_ms << ",\"total_ms\":" << p.total_ms
      << ",\"deadline_met\":" << (p.deadline_met ? "true" : "false")
+     << ",\"shed\":" << (p.shed ? "true" : "false")
      << ",\"complete\":" << (p.complete ? "true" : "false") << "}\n";
 }
 

@@ -69,6 +69,12 @@ struct ExplanationProvenance {
   double total_ms = 0.0;
 
   bool deadline_met = true;
+  /// True when admission control refused this request (rate limit, pending
+  /// bound, or a full batcher queue): nothing executed, the tenant got a
+  /// typed Overloaded answer, and the shed is charged against their SLO
+  /// error budget. Shed records carry complete = false by construction —
+  /// there was no execution to account for.
+  bool shed = false;
   /// Set last, once every field above is final: the coverage bit bench_e22
   /// and the validator count. A response with complete == false means the
   /// serving path lost provenance somewhere — a bug.

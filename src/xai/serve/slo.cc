@@ -48,6 +48,13 @@ void SloTracker::RecordError(const std::string& tenant,
   cell->errors.Add(1);
 }
 
+void SloTracker::RecordShed(const std::string& tenant,
+                            const std::string& model) {
+  Cell* cell = GetCell(tenant, model);
+  cell->requests.Add(1);
+  cell->shed.Add(1);
+}
+
 TenantSloStats SloTracker::StatsFor(const std::string& tenant,
                                     const std::string& model,
                                     const Cell& cell) const {
@@ -58,12 +65,13 @@ TenantSloStats SloTracker::StatsFor(const std::string& tenant,
   s.deadline_misses = cell.deadline_misses.Get();
   s.degraded = cell.degraded.Get();
   s.errors = cell.errors.Get();
+  s.shed = cell.shed.Get();
   s.cache_hits = cell.cache_hits.Get();
   s.coalesced = cell.coalesced.Get();
   s.latency_p50_ms = cell.latency_ns.Quantile(0.50) / 1e6;
   s.latency_p95_ms = cell.latency_ns.Quantile(0.95) / 1e6;
   s.latency_p99_ms = cell.latency_ns.Quantile(0.99) / 1e6;
-  s.deadline_budget_used = BudgetUsed(s.deadline_misses + s.errors,
+  s.deadline_budget_used = BudgetUsed(s.deadline_misses + s.errors + s.shed,
                                       s.requests,
                                       config_.deadline_hit_target);
   s.degradation_budget_used =
@@ -103,6 +111,7 @@ void SloTracker::WritePrometheus(std::ostream& os) const {
           [](const auto& s) { return s.deadline_misses; });
   counter("degraded", [](const auto& s) { return s.degraded; });
   counter("errors", [](const auto& s) { return s.errors; });
+  counter("shed", [](const auto& s) { return s.shed; });
   counter("cache_hits", [](const auto& s) { return s.cache_hits; });
   counter("coalesced", [](const auto& s) { return s.coalesced; });
 
@@ -141,6 +150,7 @@ void SloTracker::WriteJsonl(std::ostream& os) const {
     os << ",\"requests\":" << s.requests
        << ",\"deadline_misses\":" << s.deadline_misses
        << ",\"degraded\":" << s.degraded << ",\"errors\":" << s.errors
+       << ",\"shed\":" << s.shed
        << ",\"cache_hits\":" << s.cache_hits
        << ",\"coalesced\":" << s.coalesced
        << ",\"latency_p50_ms\":" << s.latency_p50_ms
@@ -159,6 +169,7 @@ void SloTracker::Reset() {
     cell->deadline_misses.Reset();
     cell->degraded.Reset();
     cell->errors.Reset();
+    cell->shed.Reset();
     cell->cache_hits.Reset();
     cell->coalesced.Reset();
     cell->latency_ns.Reset();

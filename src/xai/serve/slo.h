@@ -44,6 +44,10 @@ struct TenantSloStats {
   int64_t deadline_misses = 0;
   int64_t degraded = 0;
   int64_t errors = 0;
+  /// Admission-control sheds (rate limit / pending bound / queue full).
+  /// Counted against the deadline budget like errors: a shed request met
+  /// no deadline.
+  int64_t shed = 0;
   int64_t cache_hits = 0;
   int64_t coalesced = 0;
   double latency_p50_ms = 0.0;
@@ -77,6 +81,11 @@ class SloTracker {
   /// Records one failed request (admission rejection, execution error).
   void RecordError(const std::string& tenant, const std::string& model);
 
+  /// Records one load-shed request (admission control or batcher
+  /// backpressure). Sheds charge the deadline error budget — §7's framing:
+  /// refusing to answer is an SLO event, not a free action.
+  void RecordShed(const std::string& tenant, const std::string& model);
+
   /// Sorted per-(tenant, model) standings. Quiescent-exact, like every
   /// telemetry snapshot.
   std::vector<TenantSloStats> Snapshot() const;
@@ -101,6 +110,7 @@ class SloTracker {
     telemetry::Counter deadline_misses;
     telemetry::Counter degraded;
     telemetry::Counter errors;
+    telemetry::Counter shed;
     telemetry::Counter cache_hits;
     telemetry::Counter coalesced;
     telemetry::Histogram latency_ns;  // Nanoseconds, per convention.

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "xai/core/parallel.h"
@@ -56,6 +58,36 @@ TEST_F(TraceTest, ContextInstallAndRestoreNests) {
     EXPECT_EQ(CurrentTraceContext().trace_id, 7u);
     EXPECT_EQ(CurrentTraceContext().span_id, 70u);
   }
+  EXPECT_EQ(CurrentTraceContext().trace_id, 0u);
+}
+
+TEST_F(TraceTest, BindTraceContextCarriesContextToAForeignThread) {
+  std::function<void()> bound;
+  uint64_t seen_on_thread = 1;
+  {
+    ScopedTraceContext scope(TraceContext{1234, 12, true});
+    bound = BindTraceContext(
+        [&] { seen_on_thread = CurrentTraceContext().trace_id; });
+  }
+  // The capturing scope is gone; run the bound task on a thread that never
+  // had any context installed — the deferred-execution contract the async
+  // serving layer depends on.
+  std::thread runner([&] {
+    EXPECT_EQ(CurrentTraceContext().trace_id, 0u);
+    bound();
+    // The wrapper restores the thread's previous (empty) context.
+    EXPECT_EQ(CurrentTraceContext().trace_id, 0u);
+  });
+  runner.join();
+  EXPECT_EQ(seen_on_thread, 1234u);
+
+  // The explicit-context overload binds a context the caller never
+  // installed (e.g. one riding in a job struct).
+  uint64_t seen_explicit = 0;
+  BindTraceContext(TraceContext{77, 7, false}, [&] {
+    seen_explicit = CurrentTraceContext().trace_id;
+  })();
+  EXPECT_EQ(seen_explicit, 77u);
   EXPECT_EQ(CurrentTraceContext().trace_id, 0u);
 }
 

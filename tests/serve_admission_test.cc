@@ -1,0 +1,206 @@
+#include "xai/serve/async/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace xai {
+namespace serve {
+namespace async {
+namespace {
+
+constexpr int64_t kSecond = 1000LL * 1000 * 1000;
+
+using Outcome = AdmissionController::Outcome;
+
+TEST(TokenBucketTest, RefillsAtConfiguredRateUpToBurst) {
+  TokenBucket bucket;
+  bucket.tokens = 2.0;
+  bucket.last_refill_ns = 0;
+
+  EXPECT_TRUE(bucket.TryAcquire(0, /*rate_per_sec=*/1.0, /*burst=*/2.0));
+  EXPECT_TRUE(bucket.TryAcquire(0, 1.0, 2.0));
+  EXPECT_FALSE(bucket.TryAcquire(0, 1.0, 2.0));
+  // Half a second buys half a token — still short.
+  EXPECT_FALSE(bucket.TryAcquire(kSecond / 2, 1.0, 2.0));
+  // By t=1.5s the bucket holds a full token again.
+  EXPECT_TRUE(bucket.TryAcquire(kSecond + kSecond / 2, 1.0, 2.0));
+  // A long idle period caps at burst, not elapsed * rate.
+  EXPECT_TRUE(bucket.TryAcquire(100 * kSecond, 1.0, 2.0));
+  EXPECT_TRUE(bucket.TryAcquire(100 * kSecond, 1.0, 2.0));
+  EXPECT_FALSE(bucket.TryAcquire(100 * kSecond, 1.0, 2.0));
+}
+
+TEST(AdmissionTest, FirstTouchSeedsAFullBucket) {
+  AdmissionController::Config config;
+  config.tokens_per_sec = 1.0;
+  config.burst = 2.0;
+  config.max_pending_per_tenant = 0;  // Bucket gate only.
+  AdmissionController admission(config);
+
+  // The bucket is seeded full at the tenant's first request time, so a
+  // tenant arriving late gets its burst, not burst + elapsed credit.
+  const int64_t t0 = 50 * kSecond;
+  EXPECT_EQ(admission.Admit("acme", t0), Outcome::kAdmitted);
+  EXPECT_EQ(admission.Admit("acme", t0), Outcome::kAdmitted);
+  EXPECT_EQ(admission.Admit("acme", t0), Outcome::kShedRateLimited);
+  EXPECT_EQ(admission.Admit("acme", t0 + kSecond), Outcome::kAdmitted);
+  EXPECT_EQ(admission.Admit("acme", t0 + kSecond), Outcome::kShedRateLimited);
+}
+
+TEST(AdmissionTest, PendingBoundShedsWithoutDrainingTheBucket) {
+  AdmissionController::Config config;
+  config.tokens_per_sec = 1.0;
+  config.burst = 10.0;
+  config.max_pending_per_tenant = 2;
+  AdmissionController admission(config);
+
+  EXPECT_EQ(admission.Admit("acme", 0), Outcome::kAdmitted);
+  EXPECT_EQ(admission.Admit("acme", 0), Outcome::kAdmitted);
+  EXPECT_EQ(admission.Admit("acme", 0), Outcome::kShedPendingFull);
+
+  auto snapshot = admission.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].first, "acme");
+  EXPECT_EQ(snapshot[0].second.pending, 2);
+  EXPECT_EQ(snapshot[0].second.shed_pending_full, 1);
+  // The pending-full shed did not touch the bucket: 10 - 2 tokens remain.
+  EXPECT_DOUBLE_EQ(snapshot[0].second.tokens_available, 8.0);
+
+  admission.OnComplete("acme");
+  EXPECT_EQ(admission.Admit("acme", 0), Outcome::kAdmitted);
+  EXPECT_EQ(admission.TotalShed(), 1);
+}
+
+TEST(AdmissionTest, TenantsAreIsolated) {
+  AdmissionController::Config config;
+  config.tokens_per_sec = 1.0;
+  config.burst = 1.0;
+  config.max_pending_per_tenant = 64;
+  AdmissionController admission(config);
+
+  EXPECT_EQ(admission.Admit("noisy", 0), Outcome::kAdmitted);
+  EXPECT_EQ(admission.Admit("noisy", 0), Outcome::kShedRateLimited);
+  // A different tenant's bucket is untouched by the noisy neighbor.
+  EXPECT_EQ(admission.Admit("quiet", 0), Outcome::kAdmitted);
+}
+
+TEST(AdmissionTest, NonPositiveLimitsDisableTheirGate) {
+  AdmissionController::Config config;
+  config.tokens_per_sec = 0.0;
+  config.max_pending_per_tenant = 0;
+  AdmissionController admission(config);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(admission.Admit("acme", 0), Outcome::kAdmitted);
+  }
+  EXPECT_EQ(admission.TotalShed(), 0);
+}
+
+/// One tenant's scripted arrivals: monotonic timestamps plus completions
+/// (negative entries release a pending slot before the next arrival).
+struct Lane {
+  std::string tenant;
+  std::vector<int64_t> schedule;  // >= 0: Admit at that time; -1: OnComplete.
+};
+
+std::vector<Lane> MakeLanes() {
+  std::vector<Lane> lanes;
+  for (int t = 0; t < 8; ++t) {
+    Lane lane;
+    lane.tenant = "tenant-" + std::to_string(t);
+    int64_t now = t * 1000;  // Staggered start, nanosecond offsets.
+    for (int i = 0; i < 200; ++i) {
+      // A mix of bursts (same timestamp), steady arrivals, and completions,
+      // all deterministic functions of (t, i).
+      now += ((i * 7 + t) % 5) * (kSecond / 100);
+      lane.schedule.push_back(now);
+      if ((i + t) % 3 == 0) lane.schedule.push_back(-1);
+    }
+    lanes.push_back(lane);
+  }
+  return lanes;
+}
+
+AdmissionController::Config TightConfig() {
+  AdmissionController::Config config;
+  config.tokens_per_sec = 40.0;
+  config.burst = 5.0;
+  config.max_pending_per_tenant = 3;
+  return config;
+}
+
+/// Replays one lane against `admission`, recording each Admit outcome.
+std::vector<Outcome> ReplayLane(AdmissionController* admission,
+                                const Lane& lane) {
+  std::vector<Outcome> outcomes;
+  int pending = 0;
+  for (int64_t entry : lane.schedule) {
+    if (entry < 0) {
+      if (pending > 0) {
+        admission->OnComplete(lane.tenant);
+        --pending;
+      }
+      continue;
+    }
+    Outcome outcome = admission->Admit(lane.tenant, entry);
+    if (outcome == Outcome::kAdmitted) ++pending;
+    outcomes.push_back(outcome);
+  }
+  while (pending-- > 0) admission->OnComplete(lane.tenant);
+  return outcomes;
+}
+
+TEST(AdmissionTest, FixedScheduleIsBitIdenticalAcrossThreadCounts) {
+  const std::vector<Lane> lanes = MakeLanes();
+
+  // Reference: sequential replay on a fresh controller.
+  std::vector<std::vector<Outcome>> reference(lanes.size());
+  {
+    AdmissionController admission(TightConfig());
+    for (size_t i = 0; i < lanes.size(); ++i) {
+      reference[i] = ReplayLane(&admission, lanes[i]);
+    }
+    // The schedule must exercise both decisions, or this test is vacuous.
+    int64_t sheds = admission.TotalShed();
+    EXPECT_GT(sheds, 0);
+    bool any_admitted = false;
+    for (const auto& lane : reference) {
+      for (Outcome o : lane) any_admitted |= (o == Outcome::kAdmitted);
+    }
+    EXPECT_TRUE(any_admitted);
+  }
+
+  // Each tenant's lane replays wholly inside one thread (per-tenant
+  // timestamps must stay monotonic); lanes race against each other freely.
+  for (int threads : {1, 4, 8}) {
+    AdmissionController admission(TightConfig());
+    std::vector<std::vector<Outcome>> observed(lanes.size());
+    std::vector<std::thread> workers;
+    for (int w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        for (size_t i = w; i < lanes.size();
+             i += static_cast<size_t>(threads)) {
+          observed[i] = ReplayLane(&admission, lanes[i]);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (size_t i = 0; i < lanes.size(); ++i) {
+      EXPECT_EQ(observed[i], reference[i])
+          << "lane " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(AdmissionDeathTest, OnCompleteWithoutAdmitAborts) {
+  AdmissionController admission(AdmissionController::Config{});
+  EXPECT_DEATH(admission.OnComplete("ghost"), "");
+}
+
+}  // namespace
+}  // namespace async
+}  // namespace serve
+}  // namespace xai

@@ -1,0 +1,428 @@
+#include "xai/serve/async/frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "xai/core/parallel.h"
+#include "xai/core/trace.h"
+#include "xai/data/synthetic.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/serialization.h"
+#include "xai/serve/async/event_loop.h"
+#include "xai/serve/async/future.h"
+#include "xai/serve/async/wire.h"
+
+namespace xai {
+namespace serve {
+namespace async {
+namespace {
+
+// ---- Event loop ----------------------------------------------------------
+
+TEST(EventLoopTest, RunsPostedTasksInFifoOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(loop.Post([&order, i] { order.push_back(i); }).ok());
+  }
+  loop.Drain();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoopTest, PostPropagatesTraceContextAcrossTheHop) {
+  EventLoop loop;
+  uint64_t seen_inside = 0;
+  uint64_t seen_after = 1;  // Anything non-zero.
+  {
+    telemetry::ScopedTraceContext scope(
+        telemetry::TraceContext{424242, 7, true});
+    ASSERT_TRUE(loop.Post([&] {
+                      seen_inside = telemetry::CurrentTraceContext().trace_id;
+                    })
+                    .ok());
+  }
+  // The submitter's context is gone by the time the task runs; the loop
+  // must have captured it at Post time.
+  ASSERT_TRUE(
+      loop.Post([&] { seen_after = telemetry::CurrentTraceContext().trace_id; })
+          .ok());
+  loop.Drain();
+  EXPECT_EQ(seen_inside, 424242u);
+  EXPECT_EQ(seen_after, 0u);
+}
+
+TEST(EventLoopTest, VirtualClockTimersFireInDeadlineOrderUnderDrain) {
+  VirtualClock clock;
+  EventLoop loop(&clock);
+  std::vector<std::pair<int, int64_t>> fired;  // (label, loop time).
+  ASSERT_TRUE(loop.PostAt(300, [&] { fired.push_back({3, loop.Now()}); }).ok());
+  ASSERT_TRUE(loop.PostAt(100, [&] { fired.push_back({1, loop.Now()}); }).ok());
+  // Ties run in registration order.
+  ASSERT_TRUE(loop.PostAt(200, [&] { fired.push_back({20, loop.Now()}); }).ok());
+  ASSERT_TRUE(loop.PostAt(200, [&] { fired.push_back({21, loop.Now()}); }).ok());
+  // Drain auto-advances the virtual clock through every deadline — no
+  // wall-clock waiting.
+  loop.Drain();
+  ASSERT_EQ(fired.size(), 4u);
+  EXPECT_EQ(fired[0].first, 1);
+  EXPECT_EQ(fired[1].first, 20);
+  EXPECT_EQ(fired[2].first, 21);
+  EXPECT_EQ(fired[3].first, 3);
+  EXPECT_GE(fired[0].second, 100);
+  EXPECT_GE(fired[3].second, 300);
+  EXPECT_GE(loop.Now(), 300);
+}
+
+TEST(EventLoopTest, PostAfterShutdownIsRefused) {
+  EventLoop loop;
+  loop.Shutdown();
+  EXPECT_FALSE(loop.Post([] {}).ok());
+  EXPECT_FALSE(loop.PostAfter(10, [] {}).ok());
+}
+
+// ---- Futures -------------------------------------------------------------
+
+TEST(FutureTest, ThenRunsAfterFulfillmentAndInlineWhenReady) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  int seen = 0;
+  future.Then([&](const int& v) { seen = v; });
+  EXPECT_EQ(seen, 0);
+  promise.Set(41);
+  EXPECT_EQ(seen, 41);
+
+  // Registration after completion runs inline.
+  int late = 0;
+  future.Then([&](const int& v) { late = v + 1; });
+  EXPECT_EQ(late, 42);
+
+  Future<int> ready = Future<int>::Ready(7);
+  EXPECT_TRUE(ready.Ready());
+  EXPECT_EQ(ready.Get(), 7);
+}
+
+TEST(FutureTest, ThenCarriesTheRegistrantsTraceContext) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  uint64_t seen = 0;
+  {
+    telemetry::ScopedTraceContext scope(telemetry::TraceContext{99, 1, true});
+    future.Then(
+        [&](const int&) { seen = telemetry::CurrentTraceContext().trace_id; });
+  }
+  // Fulfilled outside any trace context: the continuation still runs under
+  // the context captured at registration.
+  promise.Set(1);
+  EXPECT_EQ(seen, 99u);
+}
+
+TEST(FutureDeathTest, DoubleFulfillAborts) {
+  Promise<int> promise;
+  promise.Set(1);
+  EXPECT_DEATH(promise.Set(2), "fulfilled twice");
+}
+
+// ---- Front end against a real server -------------------------------------
+
+class AsyncFrontEndTest : public ::testing::Test {
+ protected:
+  AsyncFrontEndTest()
+      : train_(MakeLoans(160, 3)), background_(MakeLoans(24, 4)) {
+    GbdtModel::Config config;
+    config.n_trees = 5;
+    gbdt_text_ = SerializeModel(GbdtModel::Train(train_, config).ValueOrDie());
+    instance_ = train_.Row(0);
+  }
+
+  void TearDown() override { SetNumThreads(1); }
+
+  void RegisterLoans(ExplainServer* server) {
+    server->registry().Register("loans", gbdt_text_, background_).ValueOrDie();
+  }
+
+  ExplainRequest Request(ExplainerKind kind) const {
+    ExplainRequest request;
+    request.model = "loans";
+    request.instance = instance_;
+    request.kind = kind;
+    request.seed = 17;
+    request.tenant = "acme";
+    return request;
+  }
+
+  Dataset train_;
+  Dataset background_;
+  std::string gbdt_text_;
+  Vector instance_;
+};
+
+TEST_F(AsyncFrontEndTest, WireRoundTripMatchesSynchronousExplain) {
+  ExplainServer server;
+  RegisterLoans(&server);
+  AsyncFrontEnd frontend(&server);
+  for (ExplainerKind kind :
+       {ExplainerKind::kTreeShap, ExplainerKind::kKernelShap,
+        ExplainerKind::kLime}) {
+    const ExplainRequest request = Request(kind);
+    const ExplainResponse expected = server.Explain(request).ValueOrDie();
+
+    FrameFuture future = frontend.SubmitWire(EncodeRequest(request));
+    const std::string& frame = future.Get();
+    ASSERT_EQ(PeekFrameType(frame).ValueOrDie(), FrameType::kResponse)
+        << ExplainerKindName(kind);
+    const WireResponse wire = DecodeResponse(frame).ValueOrDie();
+    // Un-torn: embedded hash matches a recomputation over the decoded
+    // payload, and the payload matches the synchronous pipeline's.
+    EXPECT_EQ(PayloadHash(wire.response), wire.payload_hash);
+    EXPECT_EQ(PayloadHash(wire.response), PayloadHash(expected));
+  }
+  frontend.Drain();
+  // Every admitted request released its slot on delivery.
+  for (const auto& [tenant, stats] : frontend.admission().Snapshot()) {
+    EXPECT_EQ(stats.pending, 0) << tenant;
+  }
+}
+
+TEST_F(AsyncFrontEndTest, CacheHitIsServedWithoutDecodingTheInstance) {
+  ExplainServer server;
+  RegisterLoans(&server);
+  AsyncFrontEnd frontend(&server);
+  const ExplainRequest request = Request(ExplainerKind::kKernelShap);
+
+  // Warm the cache through the wire path.
+  const std::string warm = frontend.SubmitWire(EncodeRequest(request)).Get();
+  const WireResponse first = DecodeResponse(warm).ValueOrDie();
+
+  // Same request again, but with the instance payload corrupted after the
+  // header (header + carried hash intact). On a cache hit the payload is
+  // never deserialized, so the corruption must be invisible.
+  std::string frame = EncodeRequest(request);
+  const WireRequestHeader header = DecodeRequestHeader(frame).ValueOrDie();
+  frame[header.instance_offset + 1] ^= 0x7F;
+  const std::string hit_frame = frontend.SubmitWire(frame).Get();
+  ASSERT_EQ(PeekFrameType(hit_frame).ValueOrDie(), FrameType::kResponse);
+  const WireResponse hit = DecodeResponse(hit_frame).ValueOrDie();
+  EXPECT_TRUE(hit.response.cache_hit);
+  EXPECT_EQ(PayloadHash(hit.response), PayloadHash(first.response));
+
+  // Against a cold server the same corrupt frame must be refused at
+  // materialization: the carried hash no longer matches the bytes — the
+  // integrity gate that keeps a corrupt payload out of the cache.
+  ExplainServer cold;
+  RegisterLoans(&cold);
+  AsyncFrontEnd cold_frontend(&cold);
+  const std::string rejected = cold_frontend.SubmitWire(frame).Get();
+  ASSERT_EQ(PeekFrameType(rejected).ValueOrDie(), FrameType::kError);
+  const WireError error = DecodeError(rejected).ValueOrDie();
+  EXPECT_EQ(error.code, StatusCode::kInvalidArgument);
+}
+
+TEST_F(AsyncFrontEndTest, AdmissionShedsAreTypedRecordedAndCharged) {
+  ExplainServer server;
+  RegisterLoans(&server);
+  AsyncFrontEnd::Config config;
+  config.admission.tokens_per_sec = 1e-9;  // Effectively no refill.
+  config.admission.burst = 1.0;
+  VirtualClock clock;  // Frozen at zero: decisions are a pure function.
+  config.clock = &clock;
+  AsyncFrontEnd frontend(&server, config);
+
+  const ExplainRequest request = Request(ExplainerKind::kTreeShap);
+  FrameFuture admitted = frontend.SubmitWire(EncodeRequest(request));
+  FrameFuture shed = frontend.SubmitWire(EncodeRequest(request));
+
+  // The shed resolves immediately on the submitting thread, with a typed
+  // Overloaded error frame.
+  ASSERT_TRUE(shed.Ready());
+  const WireError error = DecodeError(shed.Get()).ValueOrDie();
+  EXPECT_EQ(error.code, StatusCode::kOverloaded);
+  EXPECT_NE(error.message.find("rate_limited"), std::string::npos);
+
+  EXPECT_EQ(PeekFrameType(admitted.Get()).ValueOrDie(), FrameType::kResponse);
+  frontend.Drain();
+
+  // Shed provenance: shed=true, complete=false, tenant attributed.
+  const auto records = frontend.DrainShedRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].shed);
+  EXPECT_FALSE(records[0].complete);
+  EXPECT_EQ(records[0].tenant, "acme");
+  EXPECT_EQ(records[0].model, "loans");
+  EXPECT_TRUE(frontend.DrainShedRecords().empty());
+
+  // Charged to the tenant's SLO standing and visible in the metrics
+  // surface the front end attached.
+  EXPECT_EQ(frontend.admission().TotalShed(), 1);
+  const std::string jsonl =
+      server.MetricsSnapshot(ExplainServer::MetricsFormat::kJsonl);
+  EXPECT_NE(jsonl.find("\"shed\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"admission\""), std::string::npos);
+}
+
+TEST_F(AsyncFrontEndTest, AdmissionErrorsDoNotLeakPendingSlots) {
+  ExplainServer server;
+  RegisterLoans(&server);
+  AsyncFrontEnd frontend(&server);
+  ExplainRequest request = Request(ExplainerKind::kTreeShap);
+  request.model = "nonexistent";
+  Result<ExplainResponse> result = frontend.Submit(request).Get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  frontend.Drain();
+  for (const auto& [tenant, stats] : frontend.admission().Snapshot()) {
+    EXPECT_EQ(stats.pending, 0) << tenant;
+  }
+}
+
+TEST_F(AsyncFrontEndTest, SessionFollowUpsReuseCoalitionsBitIdentically) {
+  ExplainServer server;
+  RegisterLoans(&server);
+  AsyncFrontEnd frontend(&server);
+  const uint64_t session = frontend.OpenSession().ValueOrDie();
+
+  ExplainRequest first = Request(ExplainerKind::kKernelShap);
+  const ExplainResponse cold =
+      frontend.Submit(first, session).Get().ValueOrDie();
+  EXPECT_EQ(PayloadHash(cold),
+            PayloadHash(server.Explain(first).ValueOrDie()));
+  const auto after_first = frontend.sessions().GetStats();
+  EXPECT_GT(after_first.memo_misses, 0);
+
+  // What-if follow-up: one feature changes. Coalitions excluding that
+  // feature replay from the memo; the answer must be bit-identical to a
+  // from-scratch stateless run (the memo trades cost, never content).
+  ExplainRequest what_if = first;
+  what_if.instance[0] += 1.0;
+  const ExplainResponse warm =
+      frontend.Submit(what_if, session).Get().ValueOrDie();
+  // Fetch the stateless baseline exactly once: a second server.Explain of
+  // the same request would hit the server's explanation cache and report
+  // zero evaluations.
+  const ExplainResponse stateless = server.Explain(what_if).ValueOrDie();
+  EXPECT_EQ(PayloadHash(warm), PayloadHash(stateless));
+
+  const auto after_second = frontend.sessions().GetStats();
+  EXPECT_GT(after_second.memo_hits, 0);
+  // The follow-up touched the model strictly less than the stateless run.
+  EXPECT_LT(warm.provenance.used_evals, stateless.provenance.used_evals);
+  EXPECT_GT(warm.provenance.used_evals, 0);
+
+  // An exact repeat is answered from the session's response memo.
+  const ExplainResponse repeat =
+      frontend.Submit(what_if, session).Get().ValueOrDie();
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_EQ(PayloadHash(repeat), PayloadHash(warm));
+  EXPECT_GT(frontend.sessions().GetStats().reuse_answers, 0);
+
+  ASSERT_TRUE(frontend.CloseSession(session).ok());
+  EXPECT_EQ(frontend.Submit(what_if, session).Get().status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(AsyncFrontEndTest, SessionCounterfactualPoolAnswersFollowUps) {
+  ExplainServer server;
+  RegisterLoans(&server);
+  AsyncFrontEnd frontend(&server);
+  const uint64_t session = frontend.OpenSession().ValueOrDie();
+
+  ExplainRequest request = Request(ExplainerKind::kCounterfactual);
+  request.use_cache = false;  // Force past the response memo: exercise the
+                              // candidate pool itself.
+  // Ask for the class the instance does NOT currently have — otherwise the
+  // search returns k copies of the trivial zero-mutation point, which
+  // dedup collapses to a single pooled candidate.
+  request.desired_class = 0;
+  const ExplainResponse first =
+      frontend.Submit(request, session).Get().ValueOrDie();
+  // Pool reuse can only fund k follow-up candidates if the first search
+  // produced at least k DISTINCT valid points (the pool dedups by content).
+  std::set<uint64_t> distinct;
+  for (const auto& cf : first.counterfactuals) {
+    if (cf.valid) distinct.insert(ContentHash64(cf.x));
+  }
+  const int valid = static_cast<int>(distinct.size());
+
+  const auto before = frontend.sessions().GetStats();
+  const ExplainResponse second =
+      frontend.Submit(request, session).Get().ValueOrDie();
+  const auto after = frontend.sessions().GetStats();
+
+  const TierPlan plan = server.policy().Choose(
+      ExplainerKind::kCounterfactual, request.fidelity,
+      static_cast<int>(instance_.size()), background_.num_rows(),
+      request.deadline_ms);
+  if (valid >= plan.dice_config.k) {
+    // The pool could fund the follow-up: answered by re-validation, far
+    // cheaper than a fresh search.
+    EXPECT_GT(after.reuse_answers, before.reuse_answers);
+    EXPECT_LT(second.provenance.used_evals, first.provenance.used_evals);
+    for (const auto& cf : second.counterfactuals) EXPECT_TRUE(cf.valid);
+  } else {
+    EXPECT_FALSE(second.counterfactuals.empty());
+  }
+}
+
+TEST_F(AsyncFrontEndTest, SessionTableBoundsAndExpiry) {
+  ExplainServer server;
+  RegisterLoans(&server);
+  AsyncFrontEnd::Config config;
+  config.sessions.max_sessions = 2;
+  config.sessions.session_ttl_ns = 1000;
+  VirtualClock clock;
+  config.clock = &clock;
+  AsyncFrontEnd frontend(&server, config);
+
+  const uint64_t a = frontend.OpenSession().ValueOrDie();
+  const uint64_t b = frontend.OpenSession().ValueOrDie();
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(frontend.OpenSession().status().code(), StatusCode::kOverloaded);
+
+  // Past the TTL both sessions expire, making room again.
+  clock.Advance(2000);
+  const uint64_t c = frontend.OpenSession().ValueOrDie();
+  EXPECT_EQ(c, 3u);
+  const auto stats = frontend.sessions().GetStats();
+  EXPECT_EQ(stats.expired, 2);
+  EXPECT_EQ(stats.active_sessions, 1);
+}
+
+TEST_F(AsyncFrontEndTest, WirePayloadsAreBitIdenticalAcrossThreadCounts) {
+  const ExplainerKind kinds[] = {ExplainerKind::kTreeShap,
+                                 ExplainerKind::kKernelShap,
+                                 ExplainerKind::kSamplingShapley,
+                                 ExplainerKind::kLime};
+  std::vector<uint64_t> reference;
+  for (int threads : {1, 4, 8}) {
+    SetNumThreads(threads);
+    ExplainServer server;
+  RegisterLoans(&server);
+    AsyncFrontEnd frontend(&server);
+    std::vector<FrameFuture> futures;
+    for (ExplainerKind kind : kinds) {
+      ExplainRequest request = Request(kind);
+      request.instance = train_.Row(1);
+      futures.push_back(frontend.SubmitWire(EncodeRequest(request)));
+    }
+    std::vector<uint64_t> hashes;
+    for (auto& future : futures) {
+      const WireResponse wire = DecodeResponse(future.Get()).ValueOrDie();
+      EXPECT_EQ(PayloadHash(wire.response), wire.payload_hash);
+      hashes.push_back(wire.payload_hash);
+    }
+    if (reference.empty()) {
+      reference = hashes;
+    } else {
+      EXPECT_EQ(hashes, reference) << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace async
+}  // namespace serve
+}  // namespace xai

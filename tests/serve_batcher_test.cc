@@ -100,7 +100,7 @@ TEST(RequestBatcherTest, FailsFastWhenQueueFullAndNonBlocking) {
   ASSERT_TRUE(f2.ok());
   auto rejected = batcher.Submit(JobFor("m", 3));
   EXPECT_FALSE(rejected.ok());
-  EXPECT_EQ(rejected.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOverloaded);
   batcher.Resume();
   EXPECT_TRUE(f1.ValueOrDie().get().ok());
   EXPECT_TRUE(f2.ValueOrDie().get().ok());
@@ -174,6 +174,62 @@ TEST(RequestBatcherTest, ConcurrentSubmittersAllGetAnswers) {
   }
   for (auto& t : clients) t.join();
   EXPECT_EQ(answered, kClients * kPerClient);
+}
+
+TEST(RequestBatcherTest, SubmitCallbackDeliversOnWorker) {
+  CountingExecutor executor;
+  RequestBatcher batcher(RequestBatcher::Config{}, executor.AsFn());
+  std::promise<Result<ExplainResponse>> delivered;
+  auto future = delivered.get_future();
+  ASSERT_TRUE(batcher
+                  .SubmitCallback(JobFor("m", 42),
+                                  [&](Result<ExplainResponse> result) {
+                                    delivered.set_value(std::move(result));
+                                  })
+                  .ok());
+  auto result = future.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().model_fingerprint, 42u);
+}
+
+TEST(RequestBatcherTest, SubmitCallbackNeverBlocksOnFullQueue) {
+  CountingExecutor executor;
+  RequestBatcher::Config config;
+  config.max_queue = 1;
+  config.block_when_full = true;  // SubmitCallback must ignore this.
+  RequestBatcher batcher(config, executor.AsFn());
+
+  batcher.Pause();
+  ASSERT_TRUE(
+      batcher.SubmitCallback(JobFor("m", 1), [](Result<ExplainResponse>) {})
+          .ok());
+  std::atomic<bool> ran{false};
+  Status rejected = batcher.SubmitCallback(
+      JobFor("m", 2), [&](Result<ExplainResponse>) { ran = true; });
+  EXPECT_EQ(rejected.code(), StatusCode::kOverloaded);
+  batcher.Resume();
+  batcher.Flush();
+  EXPECT_FALSE(ran) << "rejected callback must never run";
+  EXPECT_EQ(executor.calls(), 1);
+}
+
+TEST(RequestBatcherTest, ShutdownFailsQueuedCallbacks) {
+  std::promise<Result<ExplainResponse>> delivered;
+  auto future = delivered.get_future();
+  {
+    CountingExecutor executor;
+    RequestBatcher batcher(RequestBatcher::Config{}, executor.AsFn());
+    batcher.Pause();
+    ASSERT_TRUE(batcher
+                    .SubmitCallback(JobFor("m", 1),
+                                    [&](Result<ExplainResponse> result) {
+                                      delivered.set_value(std::move(result));
+                                    })
+                    .ok());
+  }
+  auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
 }
 
 TEST(RequestBatcherTest, ShutdownFailsQueuedJobs) {

@@ -17,6 +17,8 @@
 #include "xai/model/gbdt.h"
 #include "xai/model/logistic_regression.h"
 #include "xai/model/serialization.h"
+#include "xai/serve/async/admission.h"
+#include "xai/serve/async/session.h"
 
 namespace xai {
 namespace serve {
@@ -475,6 +477,44 @@ TEST_F(ExplainServerTest, MetricsSnapshotRendersSloStandings) {
       server.MetricsSnapshot(ExplainServer::MetricsFormat::kJsonl);
   EXPECT_NE(jsonl.find("\"type\":\"slo\""), std::string::npos);
   EXPECT_NE(jsonl.find("\"tenant\":\"acme\""), std::string::npos);
+}
+
+TEST_F(ExplainServerTest, MetricsSnapshotRendersAttachedAdmissionAndSessions) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  async::AdmissionController admission(async::AdmissionController::Config{});
+  async::SessionManager sessions(&server);
+  server.AttachAdmission(&admission);
+  server.AttachSessions(&sessions);
+
+  ASSERT_EQ(admission.Admit("acme", 0),
+            async::AdmissionController::Outcome::kAdmitted);
+  admission.OnComplete("acme");
+  const uint64_t session = sessions.OpenSession(0).ValueOrDie();
+  auto request = Request(ExplainerKind::kKernelShap);
+  (void)sessions.Explain(session, request, 0).ValueOrDie();
+
+  const std::string prom =
+      server.MetricsSnapshot(ExplainServer::MetricsFormat::kPrometheus);
+  EXPECT_NE(prom.find("xai_admission_admitted_total{tenant=\"acme\""),
+            std::string::npos);
+  EXPECT_NE(prom.find("xai_admission_tokens_available"), std::string::npos);
+  EXPECT_NE(prom.find("xai_sessions_active 1"), std::string::npos);
+  EXPECT_NE(prom.find("xai_sessions_memo_misses_total"), std::string::npos);
+
+  const std::string jsonl =
+      server.MetricsSnapshot(ExplainServer::MetricsFormat::kJsonl);
+  EXPECT_NE(jsonl.find("\"type\":\"admission\""), std::string::npos);
+  EXPECT_NE(jsonl.find("{\"type\":\"sessions\",\"active\":1"),
+            std::string::npos);
+
+  // Detached, the sections disappear (and dangling reads are impossible).
+  server.AttachAdmission(nullptr);
+  server.AttachSessions(nullptr);
+  const std::string detached =
+      server.MetricsSnapshot(ExplainServer::MetricsFormat::kPrometheus);
+  EXPECT_EQ(detached.find("xai_admission_"), std::string::npos);
+  EXPECT_EQ(detached.find("xai_sessions_"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,286 @@
+#include "xai/serve/async/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "xai/model/serialization.h"
+#include "xai/serve/request.h"
+
+namespace xai {
+namespace serve {
+namespace async {
+namespace {
+
+constexpr ExplainerKind kAllKinds[] = {
+    ExplainerKind::kTreeShap,       ExplainerKind::kKernelShap,
+    ExplainerKind::kSamplingShapley, ExplainerKind::kExactShapley,
+    ExplainerKind::kLime,           ExplainerKind::kAnchors,
+    ExplainerKind::kCounterfactual,
+};
+
+ExplainRequest MakeRequest(ExplainerKind kind) {
+  ExplainRequest request;
+  request.model = "loans";
+  request.instance = {1.5, -2.25, 0.0, 1e300, -0.0, 42.0};
+  request.kind = kind;
+  request.fidelity = FidelityTier::kStandard;
+  request.deadline_ms = 12.5;
+  request.seed = 9001;
+  request.allow_degradation = false;
+  request.use_cache = true;
+  request.desired_class = 0;
+  request.tenant = "acme";
+  request.trace.trace_id = 0xDEADBEEFCAFEF00Dull;
+  return request;
+}
+
+/// A synthetic response with every payload field exercised for `kind`.
+ExplainResponse MakeResponse(ExplainerKind kind) {
+  ExplainResponse response;
+  response.kind = kind;
+  response.served_tier = FidelityTier::kReduced;
+  response.degraded = true;
+  response.cache_hit = true;
+  response.deadline_met = false;
+  response.model_fingerprint = 0x1234567890ABCDEFull;
+  response.planned_evals = 1 << 20;
+  response.latency_ms = 3.75;
+  if (kind == ExplainerKind::kAnchors) {
+    response.anchor.features = {2, 0, 5};
+    response.anchor.precision = 0.97;
+    response.anchor.precision_lb = 0.91;
+    response.anchor.coverage = 0.25;
+    response.anchor.samples_used = 4200;
+    response.anchor.description = {"28 < age <= 45", "purpose = car"};
+  } else if (kind == ExplainerKind::kCounterfactual) {
+    Counterfactual cf;
+    cf.x = {0.5, 1.5, -3.0};
+    cf.prediction = 0.8;
+    cf.valid = true;
+    cf.proximity = 1.25;
+    cf.sparsity = 2;
+    cf.plausibility_distance = 0.4;
+    response.counterfactuals = {cf, cf};
+    response.counterfactuals[1].valid = false;
+    response.counterfactuals[1].x = {9.0};
+  } else {
+    response.attribution.attributions = {0.25, -1.5, 3.0, 0.0};
+    response.attribution.base_value = 0.5;
+    response.attribution.prediction = 2.25;
+    response.attribution.feature_names = {"age", "income", "debt", "term"};
+  }
+  return response;
+}
+
+TEST(WireRequestTest, RoundTripsEveryKind) {
+  for (ExplainerKind kind : kAllKinds) {
+    const ExplainRequest request = MakeRequest(kind);
+    const std::string frame = EncodeRequest(request, /*session_id=*/77);
+    ASSERT_EQ(PeekFrameType(frame).ValueOrDie(), FrameType::kRequest);
+
+    uint64_t session_id = 0;
+    const ExplainRequest decoded =
+        DecodeRequest(frame, &session_id).ValueOrDie();
+    EXPECT_EQ(session_id, 77u);
+    EXPECT_EQ(decoded.model, request.model);
+    EXPECT_EQ(decoded.instance, request.instance);
+    EXPECT_EQ(decoded.kind, request.kind);
+    EXPECT_EQ(decoded.fidelity, request.fidelity);
+    EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
+    EXPECT_EQ(decoded.seed, request.seed);
+    EXPECT_EQ(decoded.allow_degradation, request.allow_degradation);
+    EXPECT_EQ(decoded.use_cache, request.use_cache);
+    EXPECT_EQ(decoded.desired_class, request.desired_class);
+    EXPECT_EQ(decoded.tenant, request.tenant);
+    EXPECT_EQ(decoded.trace.trace_id, request.trace.trace_id);
+  }
+}
+
+TEST(WireRequestTest, HeaderAgreesWithFullDecodeWithoutTouchingInstance) {
+  const ExplainRequest request = MakeRequest(ExplainerKind::kKernelShap);
+  const std::string frame = EncodeRequest(request);
+  const WireRequestHeader header = DecodeRequestHeader(frame).ValueOrDie();
+
+  EXPECT_EQ(header.model, request.model);
+  EXPECT_EQ(header.tenant, request.tenant);
+  EXPECT_EQ(header.kind, request.kind);
+  EXPECT_EQ(header.fidelity, request.fidelity);
+  EXPECT_EQ(header.session_id, 0u);
+  EXPECT_EQ(header.instance_hash, ContentHash64(request.instance));
+  EXPECT_EQ(header.instance_count, request.instance.size());
+  // The instance occupies exactly the frame's tail.
+  EXPECT_EQ(header.instance_offset + header.instance_count * 8, frame.size());
+
+  const ExplainRequest body = DecodeRequestBody(frame, header).ValueOrDie();
+  EXPECT_EQ(body.instance, request.instance);
+}
+
+TEST(WireRequestTest, InstanceHashMismatchIsRejected) {
+  const ExplainRequest request = MakeRequest(ExplainerKind::kLime);
+  std::string frame = EncodeRequest(request);
+  const WireRequestHeader header = DecodeRequestHeader(frame).ValueOrDie();
+  // Corrupt one instance byte: the header (and its hash) still parse, but
+  // materialization must refuse — this is the cache-poisoning gate.
+  frame[header.instance_offset + 3] ^= 0x40;
+  ASSERT_TRUE(DecodeRequestHeader(frame).ok());
+  const auto body = DecodeRequestBody(frame, header);
+  ASSERT_FALSE(body.ok());
+  EXPECT_EQ(body.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireRequestTest, TruncationAtEveryLengthIsRejected) {
+  const std::string frame = EncodeRequest(MakeRequest(ExplainerKind::kLime));
+  for (size_t len = 0; len < frame.size(); ++len) {
+    const std::string prefix = frame.substr(0, len);
+    EXPECT_FALSE(DecodeRequest(prefix).ok()) << "prefix length " << len;
+  }
+  EXPECT_TRUE(DecodeRequest(frame).ok());
+}
+
+TEST(WireRequestTest, BadMagicVersionAndTypeAreRejected) {
+  const std::string good = EncodeRequest(MakeRequest(ExplainerKind::kLime));
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'Y';
+  EXPECT_FALSE(PeekFrameType(bad_magic).ok());
+  EXPECT_FALSE(DecodeRequest(bad_magic).ok());
+
+  std::string bad_version = good;
+  bad_version[4] = static_cast<char>(kWireVersion + 1);
+  EXPECT_FALSE(PeekFrameType(bad_version).ok());
+  EXPECT_FALSE(DecodeRequest(bad_version).ok());
+
+  std::string bad_type = good;
+  bad_type[5] = 9;
+  EXPECT_FALSE(PeekFrameType(bad_type).ok());
+  EXPECT_FALSE(DecodeRequest(bad_type).ok());
+
+  // A response decoder refuses a (valid) request frame: type mismatch.
+  EXPECT_FALSE(DecodeResponse(good).ok());
+  EXPECT_FALSE(DecodeError(good).ok());
+}
+
+TEST(WireRequestTest, UnknownEnumBytesAreRejected) {
+  std::string frame = EncodeRequest(MakeRequest(ExplainerKind::kLime));
+  // Byte layout after the 6-byte header: flags, kind, fidelity.
+  std::string bad_kind = frame;
+  bad_kind[7] = 99;
+  EXPECT_FALSE(DecodeRequestHeader(bad_kind).ok());
+  std::string bad_tier = frame;
+  bad_tier[8] = static_cast<char>(200);
+  EXPECT_FALSE(DecodeRequestHeader(bad_tier).ok());
+}
+
+TEST(WireResponseTest, RoundTripsEveryKindUnTorn) {
+  for (ExplainerKind kind : kAllKinds) {
+    const ExplainResponse response = MakeResponse(kind);
+    const std::string frame = EncodeResponse(response);
+    ASSERT_EQ(PeekFrameType(frame).ValueOrDie(), FrameType::kResponse);
+
+    const WireResponse decoded = DecodeResponse(frame).ValueOrDie();
+    // The torn-response check the bench runs on every response: the
+    // embedded hash must match a recomputation over the decoded payload,
+    // and both must match the sender's payload.
+    EXPECT_EQ(decoded.payload_hash, PayloadHash(response));
+    EXPECT_EQ(PayloadHash(decoded.response), PayloadHash(response));
+
+    EXPECT_EQ(decoded.response.kind, response.kind);
+    EXPECT_EQ(decoded.response.served_tier, response.served_tier);
+    EXPECT_EQ(decoded.response.degraded, response.degraded);
+    EXPECT_EQ(decoded.response.cache_hit, response.cache_hit);
+    EXPECT_EQ(decoded.response.deadline_met, response.deadline_met);
+    EXPECT_EQ(decoded.response.model_fingerprint,
+              response.model_fingerprint);
+    EXPECT_EQ(decoded.response.planned_evals, response.planned_evals);
+    EXPECT_EQ(decoded.response.latency_ms, response.latency_ms);
+    if (kind == ExplainerKind::kAnchors) {
+      EXPECT_EQ(decoded.response.anchor.features, response.anchor.features);
+      EXPECT_EQ(decoded.response.anchor.description,
+                response.anchor.description);
+      EXPECT_EQ(decoded.response.anchor.samples_used,
+                response.anchor.samples_used);
+    } else if (kind == ExplainerKind::kCounterfactual) {
+      ASSERT_EQ(decoded.response.counterfactuals.size(),
+                response.counterfactuals.size());
+      EXPECT_EQ(decoded.response.counterfactuals[0].x,
+                response.counterfactuals[0].x);
+      EXPECT_EQ(decoded.response.counterfactuals[1].valid,
+                response.counterfactuals[1].valid);
+    } else {
+      EXPECT_EQ(decoded.response.attribution.attributions,
+                response.attribution.attributions);
+      EXPECT_EQ(decoded.response.attribution.feature_names,
+                response.attribution.feature_names);
+    }
+  }
+}
+
+TEST(WireResponseTest, PayloadCorruptionIsDetectedByTheEmbeddedHash) {
+  const ExplainResponse response = MakeResponse(ExplainerKind::kKernelShap);
+  std::string frame = EncodeResponse(response);
+  // Flip a bit inside base_value: first payload field after the fixed
+  // 41-byte prefix (6 header + kind/tier/flags + fingerprint + planned +
+  // latency + hash).
+  frame[45] ^= 0x01;
+  const auto decoded = DecodeResponse(frame);
+  // The frame still parses structurally...
+  ASSERT_TRUE(decoded.ok());
+  // ...but recomputing the payload hash exposes the tear.
+  EXPECT_NE(PayloadHash(decoded->response), decoded->payload_hash);
+}
+
+TEST(WireResponseTest, TruncationAtEveryLengthIsRejected) {
+  for (ExplainerKind kind :
+       {ExplainerKind::kKernelShap, ExplainerKind::kAnchors,
+        ExplainerKind::kCounterfactual}) {
+    const std::string frame = EncodeResponse(MakeResponse(kind));
+    for (size_t len = 0; len < frame.size(); ++len) {
+      EXPECT_FALSE(DecodeResponse(frame.substr(0, len)).ok())
+          << ExplainerKindName(kind) << " prefix length " << len;
+    }
+    EXPECT_TRUE(DecodeResponse(frame).ok());
+  }
+}
+
+TEST(WireErrorTest, RoundTripsEveryStatusCode) {
+  const Status statuses[] = {
+      Status::InvalidArgument("bad frame"),
+      Status::NotFound("no such model"),
+      Status::OutOfRange("deadline cannot fund tier"),
+      Status::Internal("executor failure"),
+      Status::Overloaded("shed (rate_limited) for tenant 'acme'"),
+  };
+  for (const Status& status : statuses) {
+    const std::string frame = EncodeError(status, 0xABCDull);
+    ASSERT_EQ(PeekFrameType(frame).ValueOrDie(), FrameType::kError);
+    const WireError error = DecodeError(frame).ValueOrDie();
+    EXPECT_EQ(error.code, status.code());
+    EXPECT_EQ(error.message, status.message());
+    EXPECT_EQ(error.trace_id, 0xABCDull);
+  }
+}
+
+TEST(WireErrorTest, UnknownCodeAndTruncationAreRejected) {
+  std::string frame = EncodeError(Status::Internal("x"), 1);
+  std::string bad_code = frame;
+  bad_code[6] = 0;  // kOk is not a valid error code on the wire.
+  EXPECT_FALSE(DecodeError(bad_code).ok());
+  bad_code[6] = static_cast<char>(250);
+  EXPECT_FALSE(DecodeError(bad_code).ok());
+  for (size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_FALSE(DecodeError(frame.substr(0, len)).ok());
+  }
+}
+
+TEST(WireDeathTest, OversizeTenantAborts) {
+  ExplainRequest request = MakeRequest(ExplainerKind::kLime);
+  request.tenant.assign(0x10000, 't');
+  EXPECT_DEATH(EncodeRequest(request), "u16 length prefix");
+}
+
+}  // namespace
+}  // namespace async
+}  // namespace serve
+}  // namespace xai

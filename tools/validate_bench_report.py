@@ -34,7 +34,20 @@ PROVENANCE_SCHEMA = {
     "coalesced": bool, "coalesced_onto": str, "planned_evals": int,
     "used_evals": int, "simd_backend": str, "batch_size": int,
     "queue_ms": (int, float), "compute_ms": (int, float),
-    "total_ms": (int, float), "deadline_met": bool, "complete": bool,
+    "total_ms": (int, float), "deadline_met": bool, "shed": bool,
+    "complete": bool,
+}
+
+# bench_e23's acceptance gates: *_ok metrics are computed by the bench
+# itself (1.0 = the gate held); the two absolutes are restated here so a
+# bench bug that stops computing them fails loudly.
+E23_GATES = {
+    "arrival_rate_ok": 1.0,
+    "shed_rate_bounded_ok": 1.0,
+    "torn_responses": 0.0,
+    "session_speedup_ok": 1.0,
+    "session_identical_to_stateless": 1.0,
+    "determinism_bit_identical": 1.0,
 }
 
 
@@ -66,12 +79,17 @@ def check_provenance(path):
                     if not isinstance(value, typ):
                         fail(f"{where}: {key!r} is "
                              f"{type(value).__name__}")
-                if not record["complete"]:
+                # Shed records never executed, so they are (by design) not
+                # complete; anything that did execute must be.
+                if not record["complete"] and not record["shed"]:
                     fail(f"{where}: provenance record not complete")
-                if not record["trace_id"].isdigit() \
-                        or int(record["trace_id"]) == 0:
+                if record["complete"] and record["shed"]:
+                    fail(f"{where}: record is both complete and shed")
+                if not record["trace_id"].isdigit():
                     fail(f"{where}: trace_id {record['trace_id']!r} is not "
-                         "a non-zero decimal string")
+                         "a decimal string")
+                if int(record["trace_id"]) == 0 and not record["shed"]:
+                    fail(f"{where}: trace_id is zero on a non-shed record")
                 for key in ("queue_ms", "compute_ms", "total_ms",
                             "planned_evals", "used_evals", "batch_size"):
                     if record[key] < 0:
@@ -88,9 +106,10 @@ def check_provenance(path):
 
 def main():
     usage = (f"usage: {sys.argv[0]} BENCH_<id>.json [--require-telemetry] "
-             "[--require-empty-trace] [--provenance FILE]")
+             "[--require-empty-trace] [--provenance FILE] [--e23]")
     require_telemetry = False
     require_empty_trace = False
+    check_e23 = False
     provenance_path = None
     positional = []
     argv = sys.argv[1:]
@@ -101,6 +120,8 @@ def main():
             require_telemetry = True
         elif a == "--require-empty-trace":
             require_empty_trace = True
+        elif a == "--e23":
+            check_e23 = True
         elif a == "--provenance":
             if i + 1 >= len(argv):
                 fail(usage)
@@ -184,6 +205,18 @@ def main():
         for key in ("name", "ph", "ts", "dur", "pid", "tid"):
             if key not in e:
                 fail(f"trace event missing {key!r}: {e}")
+
+    if check_e23:
+        if report["id"] != "e23":
+            fail(f"--e23 against report id {report['id']!r}")
+        for name, want in E23_GATES.items():
+            got = report["metrics"].get(name)
+            if got is None:
+                fail(f"e23 gate metric {name!r} missing")
+            if got != want:
+                fail(f"e23 gate {name} = {got}, want {want}")
+        if report["metrics"].get("open_loop_shed", 0) <= 0:
+            fail("e23 ran without exercising the shed path")
 
     provenance_records = 0
     if provenance_path is not None:
