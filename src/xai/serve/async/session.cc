@@ -176,7 +176,7 @@ Result<uint64_t> SessionManager::OpenSession(int64_t now_ns) {
   if (config_.max_sessions > 0 &&
       static_cast<int>(sessions_.size()) >= config_.max_sessions)
     return Status::Overloaded("session table full");
-  auto session = std::make_unique<Session>();
+  auto session = std::make_shared<Session>();
   session->id = next_id_++;
   session->last_used_ns = now_ns;
   const uint64_t id = session->id;
@@ -211,15 +211,19 @@ void SessionManager::ExpireIdle(int64_t now_ns) {
 }
 
 void SessionManager::RetireLocked(Session& session) {
-  // No turn is in flight for a session being closed (the front end
-  // serializes turns with close/expire), so the plain reads are safe.
+  // A turn may still be running against this session — it holds its own
+  // shared_ptr, and close/expire can arrive from the front end's caller
+  // threads. The counters are only ever mutated under memo_mu, so lock it
+  // for the fold; increments landing after the fold are dropped from the
+  // lifetime totals (stats drift on a closed session, never corruption).
+  std::lock_guard<std::mutex> memo_lock(session.memo_mu);
   retired_memo_hits_ += session.memo_hits;
   retired_memo_misses_ += session.memo_misses;
 }
 
 Result<ExplainResponse> SessionManager::Explain(
     uint64_t session_id, const ExplainRequest& request, int64_t now_ns) {
-  Session* session = nullptr;
+  std::shared_ptr<Session> session_ref;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = sessions_.find(session_id);
@@ -227,10 +231,12 @@ Result<ExplainResponse> SessionManager::Explain(
       return Status::NotFound("no session " +
                               std::to_string(session_id));
     it->second->last_used_ns = now_ns;
-    // Stable pointer: sessions are only erased by CloseSession/ExpireIdle,
-    // which the front end serializes with Explain on its session lane.
-    session = it->second.get();
+    // The turn owns a reference: CloseSession/ExpireIdle may erase the map
+    // entry concurrently (front-end caller threads), but the session
+    // outlives the turn and is freed when this reference drops.
+    session_ref = it->second;
   }
+  Session* session = session_ref.get();
 
   auto entry = server_->registry().Find(request.model);
   if (entry == nullptr)

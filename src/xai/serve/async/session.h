@@ -49,7 +49,12 @@
 ///
 /// Threading: one session is one dialogue — calls for the same session are
 /// expected to be sequential (the front end serializes them on its session
-/// lane). The manager itself is thread-safe across sessions; the memo is
+/// lane). The manager itself is thread-safe across sessions, and sessions
+/// are held by shared_ptr: a turn keeps its session alive even if
+/// CloseSession/ExpireIdle runs concurrently from another thread (the front
+/// end's caller-side entry points), so close never frees a session
+/// mid-turn — the turn finishes against the detached session and the
+/// memory is released when the last reference drops. The memo is
 /// additionally mutex-guarded because ParallelFor workers consult it
 /// concurrently during one explanation.
 
@@ -136,14 +141,16 @@ class SessionManager {
       Session* session, const ExplainRequest& request, const TierPlan& plan,
       bool degraded, const ModelEntry& entry);
   /// Folds a dying session's memo counters into the lifetime totals.
-  /// Caller holds mu_.
+  /// Caller holds mu_; takes session.memo_mu for the counter reads.
   void RetireLocked(Session& session);
 
   ExplainServer* const server_;
   const Config config_;
 
   mutable std::mutex mu_;
-  std::map<uint64_t, std::unique_ptr<Session>> sessions_;
+  /// shared_ptr, not unique_ptr: Explain holds a reference for the whole
+  /// turn, so erasing here never destroys a session that is mid-turn.
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
   uint64_t next_id_ = 1;
   int64_t opened_ = 0;
   int64_t expired_ = 0;

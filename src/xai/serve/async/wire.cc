@@ -78,6 +78,15 @@ class Cursor {
     return Status::OK();
   }
 
+  /// Rejects a frame whose remaining bytes cannot hold `n` more — used to
+  /// validate wire-carried element counts before sizing any allocation, so
+  /// a crafted count can never force an allocation larger than the frame.
+  Status Require(size_t n) const {
+    if (data_.size() - offset_ < n)
+      return Status::InvalidArgument("wire: truncated frame");
+    return Status::OK();
+  }
+
   Result<uint8_t> U8() {
     if (offset_ >= data_.size())
       return Status::InvalidArgument("wire: truncated frame");
@@ -385,6 +394,7 @@ Result<WireResponse> DecodeResponse(const std::string& frame) {
     XAI_ASSIGN_OR_RETURN(a.base_value, cursor.F64());
     XAI_ASSIGN_OR_RETURN(a.prediction, cursor.F64());
     XAI_ASSIGN_OR_RETURN(uint32_t n, cursor.U32());
+    XAI_RETURN_NOT_OK(cursor.Require(static_cast<size_t>(n) * 8));
     a.attributions.resize(n);
     for (uint32_t i = 0; i < n; ++i) {
       XAI_ASSIGN_OR_RETURN(a.attributions[i], cursor.F64());
@@ -422,6 +432,7 @@ Result<WireResponse> DecodeResponse(const std::string& frame) {
       XAI_ASSIGN_OR_RETURN(cf.sparsity, cursor.I32());
       XAI_ASSIGN_OR_RETURN(cf.plausibility_distance, cursor.F64());
       XAI_ASSIGN_OR_RETURN(uint32_t n, cursor.U32());
+      XAI_RETURN_NOT_OK(cursor.Require(static_cast<size_t>(n) * 8));
       cf.x.resize(n);
       for (uint32_t j = 0; j < n; ++j) {
         XAI_ASSIGN_OR_RETURN(cf.x[j], cursor.F64());
@@ -437,7 +448,14 @@ std::string EncodeError(const Status& status, uint64_t trace_id) {
   PutHeader(&out, FrameType::kError);
   PutU8(&out, static_cast<uint8_t>(status.code()));
   PutU64(&out, trace_id);
-  PutShortString(&out, status.message());
+  // Unlike the request/response fields (built from our own state, where
+  // overflow is a caller bug), error text embeds client-supplied strings —
+  // tenant and model names up to 64 KiB arrive legally off the wire — so
+  // truncate to the u16 prefix instead of CHECK-aborting the server.
+  const std::string& message = status.message();
+  const size_t len = message.size() < 0xFFFF ? message.size() : 0xFFFF;
+  PutU16(&out, static_cast<uint16_t>(len));
+  out.append(message.data(), len);
   return out;
 }
 

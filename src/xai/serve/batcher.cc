@@ -152,11 +152,17 @@ void RequestBatcher::WorkerLoop() {
     in_flight_ = false;
     if (queue_.empty()) idle_cv_.notify_all();
   }
-  // Shutdown: fail whatever never ran.
-  for (auto& pending : queue_)
-    Deliver(&pending, Status::Internal("batcher stopped"));
+  // Shutdown: fail whatever never ran. Move the entries out and deliver
+  // after unlocking, mirroring ExecuteBatch — Deliver runs callbacks and
+  // future continuations that may re-enter the batcher (Submit,
+  // queue_depth, Flush), which would deadlock under mu_.
+  std::vector<Pending> orphans(std::make_move_iterator(queue_.begin()),
+                               std::make_move_iterator(queue_.end()));
   queue_.clear();
   idle_cv_.notify_all();
+  lock.unlock();
+  for (auto& pending : orphans)
+    Deliver(&pending, Status::Internal("batcher stopped"));
 }
 
 void RequestBatcher::ExecuteBatch(std::vector<Pending> batch) {

@@ -152,6 +152,12 @@ Result<BatchJob> ExplainServer::Admit(const ExplainRequest& request,
       request.seed,
       job.entry->background_fingerprint,
       static_cast<uint64_t>(static_cast<int64_t>(request.desired_class)),
+      // Tenant scoping: on the deferred wire path the instance_hash is
+      // client-supplied and a hit is served without materializing the
+      // payload, so a guessed/replayed hash must only ever reach entries
+      // the same tenant produced. Cross-tenant sharing is deliberately
+      // given up for that isolation.
+      ContentHash64(TenantOf(request)),
   };
   job.key.config_hash = ContentHash64(config_fields, sizeof(config_fields));
   return job;

@@ -391,6 +391,34 @@ TEST_F(AsyncFrontEndTest, SessionTableBoundsAndExpiry) {
   EXPECT_EQ(stats.active_sessions, 1);
 }
 
+TEST_F(AsyncFrontEndTest, CloseDuringInFlightTurnIsSafe) {
+  // CloseSession arrives from the caller thread while turns run on the
+  // session lane. The session is shared_ptr-held for the duration of a
+  // turn, so the close must never free it mid-use: every submitted turn
+  // resolves (with the explanation or NotFound, depending on ordering)
+  // and nothing crashes or races (TSan covers the latter).
+  ExplainServer server;
+  RegisterLoans(&server);
+  AsyncFrontEnd frontend(&server);
+  const uint64_t session = frontend.OpenSession().ValueOrDie();
+
+  std::vector<ResponseFuture> futures;
+  for (int i = 0; i < 4; ++i)
+    futures.push_back(
+        frontend.Submit(Request(ExplainerKind::kKernelShap), session));
+  ASSERT_TRUE(frontend.CloseSession(session).ok());
+
+  for (auto& future : futures) {
+    const Result<ExplainResponse> result = future.Get();
+    if (!result.ok())
+      EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  }
+  frontend.Drain();
+  for (const auto& [tenant, stats] : frontend.admission().Snapshot()) {
+    EXPECT_EQ(stats.pending, 0) << tenant;
+  }
+}
+
 TEST_F(AsyncFrontEndTest, WirePayloadsAreBitIdenticalAcrossThreadCounts) {
   const ExplainerKind kinds[] = {ExplainerKind::kTreeShap,
                                  ExplainerKind::kKernelShap,

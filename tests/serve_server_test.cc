@@ -126,6 +126,32 @@ TEST_F(ExplainServerTest, CacheSeparatesSeedInstanceAndKind) {
   EXPECT_FALSE(server.Explain(other_kind).ValueOrDie().cache_hit);
 }
 
+TEST_F(ExplainServerTest, CacheIsTenantScoped) {
+  ExplainServer server;
+  RegisterGbdt(&server);
+  auto request = Request(ExplainerKind::kKernelShap);
+  request.tenant = "acme";
+  EXPECT_FALSE(server.Explain(request).ValueOrDie().cache_hit);
+
+  // Identical request from a different tenant must miss: on the deferred
+  // wire path a hit is served from the client-supplied instance hash alone,
+  // so cross-tenant hits would let one tenant read another's explanations.
+  auto other_tenant = request;
+  other_tenant.tenant = "globex";
+  EXPECT_FALSE(server.Explain(other_tenant).ValueOrDie().cache_hit);
+
+  // Same tenant keeps its own warm path.
+  EXPECT_TRUE(server.Explain(request).ValueOrDie().cache_hit);
+
+  // Empty tenant and its normalized form share one cell.
+  auto unlabeled = request;
+  unlabeled.tenant = "";
+  EXPECT_FALSE(server.Explain(unlabeled).ValueOrDie().cache_hit);
+  auto normalized = request;
+  normalized.tenant = "default";
+  EXPECT_TRUE(server.Explain(normalized).ValueOrDie().cache_hit);
+}
+
 TEST_F(ExplainServerTest, CacheOptOutNeverHits) {
   ExplainServer server;
   RegisterGbdt(&server);

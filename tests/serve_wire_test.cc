@@ -244,6 +244,28 @@ TEST(WireResponseTest, TruncationAtEveryLengthIsRejected) {
   }
 }
 
+TEST(WireResponseTest, LyingElementCountIsRejectedWithoutAllocating) {
+  // Attribution count u32 lives at offset 57 (41-byte fixed prefix +
+  // base_value + prediction). Claim 0xFFFFFFFF doubles in a ~100-byte
+  // frame: the decoder must reject on the frame's actual size before
+  // sizing any allocation (a ~32 GiB resize is an OOM DoS vector).
+  std::string frame = EncodeResponse(MakeResponse(ExplainerKind::kKernelShap));
+  for (size_t i = 0; i < 4; ++i) frame[57 + i] = static_cast<char>(0xFF);
+  const auto decoded = DecodeResponse(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+
+  // Same for a counterfactual's x vector: cf count u16 at 41, then
+  // prediction(8) + valid(1) + proximity(8) + sparsity(4) +
+  // plausibility(8) puts the first x count at offset 72.
+  std::string cf_frame =
+      EncodeResponse(MakeResponse(ExplainerKind::kCounterfactual));
+  for (size_t i = 0; i < 4; ++i) cf_frame[72 + i] = static_cast<char>(0xFF);
+  const auto cf_decoded = DecodeResponse(cf_frame);
+  ASSERT_FALSE(cf_decoded.ok());
+  EXPECT_EQ(cf_decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(WireErrorTest, RoundTripsEveryStatusCode) {
   const Status statuses[] = {
       Status::InvalidArgument("bad frame"),
@@ -272,6 +294,19 @@ TEST(WireErrorTest, UnknownCodeAndTruncationAreRejected) {
   for (size_t len = 0; len < frame.size(); ++len) {
     EXPECT_FALSE(DecodeError(frame.substr(0, len)).ok());
   }
+}
+
+TEST(WireErrorTest, OversizeMessageIsTruncatedNotFatal) {
+  // Error text embeds client-controlled strings (tenant/model names up to
+  // 64 KiB arrive legally off the wire), so EncodeError must truncate to
+  // the u16 prefix rather than CHECK-abort the server.
+  const std::string huge(0x18000, 'm');
+  const std::string frame = EncodeError(Status::Overloaded(huge), 7);
+  const WireError error = DecodeError(frame).ValueOrDie();
+  EXPECT_EQ(error.code, StatusCode::kOverloaded);
+  EXPECT_EQ(error.trace_id, 7u);
+  EXPECT_EQ(error.message.size(), 0xFFFFu);
+  EXPECT_EQ(error.message, huge.substr(0, 0xFFFF));
 }
 
 TEST(WireDeathTest, OversizeTenantAborts) {
