@@ -1,0 +1,323 @@
+// E24 — Flat batched TreeSHAP: allocation-free iterative polynomial kernel
+// on the SoA ensemble vs the recursive AoS walk, plus the batch API and
+// the serving wire-in.
+//
+// Systems claim (§3 of the paper: explanation workloads are data-management
+// workloads): exact TreeSHAP is the workhorse attribution for tree models,
+// and its inner loop deserves the same compiled treatment inference got in
+// E20 — SoA node layout plus a lazily built cover side-table, an explicit
+// node stack with a preallocated path arena instead of recursion with a
+// heap-allocated path copy per node, and a rows-by-trees blocked batch API
+// for global importance and batch serving.
+// Expected shape: the flat kernel beats the recursive walk on serial
+// single-instance latency and per-node cost, the batch API beats a per-row
+// loop of the recursive walk, every attribution stays bitwise identical to
+// the reference at 1/4/8 threads, and the serving path runs TreeSHAP on
+// the registry's prebuilt kernel with zero steady-state arena growth.
+// (Headroom note: ~80% of the walk is the Algorithm 2 path arithmetic —
+// divides in EXTEND/UNWIND — which bit-identity pins in place, so the
+// structural win is bounded; on multi-core hosts the batch API additionally
+// scales across row tiles, which a 1-CPU CI container cannot show.)
+//
+// Emits BENCH_e24.json (+ Chrome trace) via bench::RunReport; `--smoke`
+// shrinks the workload for CI.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+#include "xai/core/timer.h"
+#include "xai/data/synthetic.h"
+#include "xai/explain/shapley/flat_tree_shap.h"
+#include "xai/explain/shapley/tree_shap.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/random_forest.h"
+#include "xai/model/serialization.h"
+#include "xai/model/tree_ensemble_view.h"
+#include "xai/serve/explain_server.h"
+
+namespace xai {
+namespace {
+
+// Best-of-k wall time of `fn` (first call also serves as warm-up).
+template <typename Fn>
+double BestOf(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int i = 0; i <= reps; ++i) {
+    WallTimer timer;
+    fn();
+    if (i > 0) best = std::min(best, timer.Seconds());
+  }
+  return best;
+}
+
+bool BitIdentical(const AttributionExplanation& a,
+                  const AttributionExplanation& b) {
+  return a.attributions == b.attributions && a.base_value == b.base_value &&
+         a.prediction == b.prediction;
+}
+
+int64_t CounterValue(const std::map<std::string, int64_t>& snapshot,
+                     const std::string& name) {
+  auto it = snapshot.find(name);
+  return it != snapshot.end() ? it->second : 0;
+}
+
+// Single-instance latency: recursive AoS reference vs the flat iterative
+// kernel, both serial (SetNumThreads(1) makes the reference's per-tree
+// ParallelFor run inline). TreeShap() is the real API cost including the
+// per-call FlatTreeShap::Build against warm caches.
+void RunSingleInstance(int threads, bool smoke, bench::RunReport* report) {
+  bench::Section("single instance: recursive AoS walk vs flat kernel");
+  Dataset train = MakeLoans(smoke ? 600 : 1200, 30);
+  const int kInstances = 20;
+  const int kReps = smoke ? 5 : 10;
+
+  RandomForestConfig rf_config;
+  rf_config.n_trees = smoke ? 50 : 100;
+  auto rf = RandomForestModel::Train(train, rf_config).ValueOrDie();
+  GbdtConfig gb_config;
+  gb_config.n_trees = smoke ? 100 : 200;
+  gb_config.max_depth = 6;
+  auto gb = GbdtModel::Train(train, gb_config).ValueOrDie();
+
+  struct Case {
+    const char* name;
+    TreeEnsembleView view;
+  };
+  Case cases[] = {{"rf", TreeEnsembleView::Of(rf)},
+                  {"gbdt", TreeEnsembleView::Of(gb)}};
+
+  std::printf("%8s %12s %14s %14s %9s %6s\n", "model", "kernel",
+              "us/instance", "speedup", "threads", "biteq");
+  SetNumThreads(1);
+  for (Case& c : cases) {
+    double sink = 0.0;
+    const double legacy_sec = BestOf(kReps, [&] {
+      for (int i = 0; i < kInstances; ++i)
+        sink += TreeShapLegacy(c.view, train.Row(i)).base_value;
+    });
+    const double flat_sec = BestOf(kReps, [&] {
+      for (int i = 0; i < kInstances; ++i)
+        sink += TreeShap(c.view, train.Row(i)).base_value;
+    });
+    bool identical = true;
+    for (int i = 0; i < kInstances; ++i)
+      identical = identical && BitIdentical(TreeShap(c.view, train.Row(i)),
+                                            TreeShapLegacy(c.view,
+                                                           train.Row(i)));
+    const double speedup = flat_sec > 0 ? legacy_sec / flat_sec : 0.0;
+    std::printf("%8s %12s %14.1f %14s %9d %6s\n", c.name, "recursive",
+                legacy_sec / kInstances * 1e6, "ref", 1, "ref");
+    std::printf("%8s %12s %14.1f %13.2fx %9d %6s\n", c.name, "flat",
+                flat_sec / kInstances * 1e6, speedup, 1,
+                identical ? "yes" : "NO");
+    report->Metric(std::string(c.name) + "_single_speedup_serial", speedup);
+    report->Metric(std::string(c.name) + "_single_bit_identical",
+                   identical ? 1.0 : 0.0);
+    (void)sink;
+  }
+  SetNumThreads(threads);
+}
+
+// Global-importance shape: explain every row of a matrix. Reference is the
+// pre-batch path — a serial per-row loop over the recursive walk — against
+// TreeShapBatch at 1/4/8 threads.
+void RunBatch(int threads, bool smoke, bench::RunReport* report) {
+  bench::Section("batched rows: per-row recursive loop vs TreeShapBatch");
+  Dataset train = MakeLoans(smoke ? 600 : 1200, 31);
+  const int kRows = smoke ? 192 : 768;
+  const int kReps = smoke ? 3 : 5;
+
+  GbdtConfig config;
+  config.n_trees = smoke ? 100 : 200;
+  config.max_depth = 6;
+  auto model = GbdtModel::Train(train, config).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+
+  Matrix rows(kRows, train.num_features());
+  for (int i = 0; i < kRows; ++i) {
+    const double* src = train.x().RowPtr(i % train.num_rows());
+    std::copy(src, src + train.num_features(), rows.RowPtr(i));
+  }
+
+  SetNumThreads(1);
+  std::vector<AttributionExplanation> reference(kRows);
+  const double legacy_sec = BestOf(kReps, [&] {
+    for (int i = 0; i < kRows; ++i)
+      reference[i] = TreeShapLegacy(view, rows.Row(i));
+  });
+  std::printf("%10s %12d rows %12.1f ms %10.1f rows/s (reference)\n",
+              "recursive", kRows, legacy_sec * 1e3, kRows / legacy_sec);
+
+  double best_speedup = 0.0;
+  for (int t : {1, 4, 8}) {
+    SetNumThreads(t);
+    TreeShapBatchResult batch;
+    const double flat_sec =
+        BestOf(kReps, [&] { batch = TreeShapBatch(view, rows); });
+    bool identical = batch.attributions.rows() == kRows;
+    for (int i = 0; identical && i < kRows; ++i) {
+      identical = batch.base_value == reference[i].base_value &&
+                  batch.predictions[i] == reference[i].prediction;
+      for (int j = 0; identical && j < rows.cols(); ++j)
+        identical = batch.attributions(i, j) == reference[i].attributions[j];
+    }
+    const double speedup = flat_sec > 0 ? legacy_sec / flat_sec : 0.0;
+    best_speedup = std::max(best_speedup, speedup);
+    std::printf("%10s %2d thread(s) %12.1f ms %10.1f rows/s %8.2fx %s\n",
+                "flat-batch", t, flat_sec * 1e3, kRows / flat_sec, speedup,
+                identical ? "biteq" : "MISMATCH");
+    report->Metric("global_speedup_t" + std::to_string(t), speedup);
+    report->Metric("global_bit_identical_t" + std::to_string(t),
+                   identical ? 1.0 : 0.0);
+  }
+  report->Metric("global_speedup_max", best_speedup);
+  SetNumThreads(threads);
+}
+
+// Depth / tree-count sweep: serial per-node retire rate of both kernels.
+void RunSweep(bool smoke, bench::RunReport* report) {
+  bench::Section("depth x tree-count sweep (serial, ns per node visit)");
+  Dataset train = MakeLoans(smoke ? 400 : 800, 32);
+  const int kReps = smoke ? 3 : 5;
+  const int kInstances = 10;
+  std::printf("%8s %8s %10s %14s %14s %10s\n", "trees", "depth", "nodes",
+              "recursive", "flat", "speedup");
+  SetNumThreads(1);
+  for (int n_trees : smoke ? std::vector<int>{30, 60}
+                           : std::vector<int>{50, 200}) {
+    for (int depth : {4, 8}) {
+      GbdtConfig config;
+      config.n_trees = n_trees;
+      config.max_depth = depth;
+      auto model = GbdtModel::Train(train, config).ValueOrDie();
+      TreeEnsembleView view = TreeEnsembleView::Of(model);
+      FlatTreeShap kernel = FlatTreeShap::Build(view);
+      const double nodes = static_cast<double>(kernel.num_nodes());
+      double sink = 0.0;
+      const double legacy_sec = BestOf(kReps, [&] {
+        for (int i = 0; i < kInstances; ++i)
+          sink += TreeShapLegacy(view, train.Row(i)).base_value;
+      });
+      const double flat_sec = BestOf(kReps, [&] {
+        for (int i = 0; i < kInstances; ++i)
+          sink += kernel.Shap(train.Row(i)).base_value;
+      });
+      (void)sink;
+      const double legacy_ns = legacy_sec / kInstances / nodes * 1e9;
+      const double flat_ns = flat_sec / kInstances / nodes * 1e9;
+      std::printf("%8d %8d %10.0f %11.2f ns %11.2f ns %9.2fx\n", n_trees,
+                  depth, nodes, legacy_ns, flat_ns,
+                  flat_ns > 0 ? legacy_ns / flat_ns : 0.0);
+      report->Metric("sweep_t" + std::to_string(n_trees) + "_d" +
+                         std::to_string(depth) + "_flat_ns_per_node",
+                     flat_ns);
+    }
+  }
+}
+
+// Serving wire-in: a kTreeShap request through ExplainServer runs on the
+// registry's prebuilt flat kernel. Steady state must not grow any arena:
+// after warm-up, `tree_shap/arena_grow` stays flat while
+// `tree_shap/arena_reuse` advances once per request.
+void RunServing(int threads, bool smoke, bench::RunReport* report) {
+  bench::Section("serving e2e: kTreeShap request on the prebuilt kernel");
+  Dataset train = MakeLoans(600, 33);
+  Dataset background = MakeLoans(64, 34);
+  GbdtConfig config;
+  config.n_trees = smoke ? 100 : 200;
+  config.max_depth = 6;
+  auto model = GbdtModel::Train(train, config).ValueOrDie();
+
+  SetNumThreads(threads);
+  serve::ExplainServer server;
+  server.registry()
+      .Register("loans", SerializeModel(model), background)
+      .ValueOrDie();
+
+  serve::ExplainRequest request;
+  request.model = "loans";
+  request.kind = serve::ExplainerKind::kTreeShap;
+  request.use_cache = false;  // Measure execution, not the response cache.
+
+  const int kWarm = 32;
+  const int kRequests = smoke ? 200 : 1000;
+  for (int i = 0; i < kWarm; ++i) {
+    request.instance = train.Row(i % train.num_rows());
+    server.Explain(request).ValueOrDie();
+  }
+
+  auto& registry = telemetry::Registry::Global();
+  const auto before = registry.CounterSnapshot();
+  WallTimer timer;
+  for (int i = 0; i < kRequests; ++i) {
+    request.instance = train.Row(i % train.num_rows());
+    server.Explain(request).ValueOrDie();
+  }
+  const double total_sec = timer.Seconds();
+  const auto after = registry.CounterSnapshot();
+
+  const int64_t grew = CounterValue(after, "tree_shap/arena_grow") -
+                       CounterValue(before, "tree_shap/arena_grow");
+  const int64_t reused = CounterValue(after, "tree_shap/arena_reuse") -
+                         CounterValue(before, "tree_shap/arena_reuse");
+  const bool steady = grew == 0 && reused >= kRequests;
+  std::printf("%d requests in %.1f ms (%.0f req/s, %.3f ms/req)\n",
+              kRequests, total_sec * 1e3, kRequests / total_sec,
+              total_sec / kRequests * 1e3);
+#if XAI_TELEMETRY
+  std::printf("arena after warm-up: grow +%lld, reuse +%lld -> steady "
+              "state %s\n",
+              static_cast<long long>(grew), static_cast<long long>(reused),
+              steady ? "allocation-free" : "STILL ALLOCATING");
+  report->Metric("serving_arena_steady_ok", steady ? 1.0 : 0.0);
+#else
+  // The arena counters are compiled out with the rest of telemetry, so
+  // steady state is unobservable here; only the telemetry-on CI job runs
+  // the --e24 gates. Emitting a fake 0/1 either way would be dishonest.
+  (void)grew;
+  (void)reused;
+  (void)steady;
+  std::printf("arena counters compiled out (XAI_TELEMETRY=0) — steady "
+              "state not observable in this build\n");
+#endif
+  report->Metric("serving_treeshap_ms", total_sec / kRequests * 1e3);
+}
+
+void Run(int threads, bool smoke) {
+  const char* claim =
+      "exact TreeSHAP is a batch data-management workload: an iterative "
+      "allocation-free kernel on the SoA ensemble beats the recursive "
+      "per-instance walk without changing a single output bit (S3)";
+  bench::Banner("E24: flat batched TreeSHAP kernel", claim,
+                "loans RF/GBDT; single-instance, batched rows, depth/tree "
+                "sweep, serving e2e");
+  bench::RunReport report("e24", claim);
+  telemetry::Registry::Global().Reset();
+
+  RunSingleInstance(threads, smoke, &report);
+  RunBatch(threads, smoke, &report);
+  RunSweep(smoke, &report);
+  RunServing(threads, smoke, &report);
+
+  std::printf("\nShape check: flat kernel faster serially and per-node, "
+              "batch faster than a per-row recursive loop, everything "
+              "bit-identical, serving arena allocation-free in steady "
+              "state.\n");
+  report.Note("smoke", smoke ? "true" : "false");
+  report.Write();
+  bench::Footer();
+}
+
+}  // namespace
+}  // namespace xai
+
+int main(int argc, char** argv) {
+  int threads = xai::bench::ThreadsFlag(argc, argv);
+  bool smoke = xai::bench::SmokeFlag(argc, argv);
+  xai::SetNumThreads(threads);
+  xai::Run(threads, smoke);
+}

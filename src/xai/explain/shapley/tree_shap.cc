@@ -1,10 +1,13 @@
 #include "xai/explain/shapley/tree_shap.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "xai/core/check.h"
 #include "xai/core/parallel.h"
 #include "xai/core/trace.h"
+#include "xai/explain/shapley/flat_tree_shap.h"
+#include "xai/explain/shapley/tree_shap_path.h"
 
 namespace xai {
 
@@ -47,89 +50,29 @@ double TreeConditionalExpectation(const Tree& tree, const Vector& x,
 
 namespace {
 
-// Path bookkeeping of the polynomial TreeSHAP algorithm (Lundberg et al.,
-// Algorithm 2). `pweight` holds the proportion of subsets of a given
-// cardinality flowing down the path.
-struct PathElement {
-  int feature_index = -1;
-  double zero_fraction = 0.0;  // Fraction of paths when the feature is absent.
-  double one_fraction = 0.0;   // 1 if x follows this split, else 0.
-  double pweight = 0.0;
-};
+using treeshap::ExtendPath;
+using treeshap::PathElement;
+using treeshap::UnwindPath;
+using treeshap::UnwoundPathSum;
 
-void ExtendPath(std::vector<PathElement>* path, int unique_depth,
-                double zero_fraction, double one_fraction,
-                int feature_index) {
-  auto& p = *path;
-  p[unique_depth].feature_index = feature_index;
-  p[unique_depth].zero_fraction = zero_fraction;
-  p[unique_depth].one_fraction = one_fraction;
-  p[unique_depth].pweight = unique_depth == 0 ? 1.0 : 0.0;
-  for (int i = unique_depth - 1; i >= 0; --i) {
-    p[i + 1].pweight +=
-        one_fraction * p[i].pweight * (i + 1) / (unique_depth + 1.0);
-    p[i].pweight =
-        zero_fraction * p[i].pweight * (unique_depth - i) /
-        (unique_depth + 1.0);
-  }
-}
-
-void UnwindPath(std::vector<PathElement>* path, int unique_depth,
-                int path_index) {
-  auto& p = *path;
-  const double one_fraction = p[path_index].one_fraction;
-  const double zero_fraction = p[path_index].zero_fraction;
-  double next_one_portion = p[unique_depth].pweight;
-  for (int i = unique_depth - 1; i >= 0; --i) {
-    if (one_fraction != 0.0) {
-      const double tmp = p[i].pweight;
-      p[i].pweight =
-          next_one_portion * (unique_depth + 1.0) / ((i + 1) * one_fraction);
-      next_one_portion = tmp - p[i].pweight * zero_fraction *
-                                   (unique_depth - i) / (unique_depth + 1.0);
-    } else {
-      p[i].pweight = p[i].pweight * (unique_depth + 1.0) /
-                     (zero_fraction * (unique_depth - i));
-    }
-  }
-  for (int i = path_index; i < unique_depth; ++i) {
-    p[i].feature_index = p[i + 1].feature_index;
-    p[i].zero_fraction = p[i + 1].zero_fraction;
-    p[i].one_fraction = p[i + 1].one_fraction;
-  }
-}
-
-double UnwoundPathSum(const std::vector<PathElement>& p, int unique_depth,
-                      int path_index) {
-  const double one_fraction = p[path_index].one_fraction;
-  const double zero_fraction = p[path_index].zero_fraction;
-  double next_one_portion = p[unique_depth].pweight;
-  double total = 0.0;
-  for (int i = unique_depth - 1; i >= 0; --i) {
-    if (one_fraction != 0.0) {
-      const double tmp =
-          next_one_portion * (unique_depth + 1.0) / ((i + 1) * one_fraction);
-      total += tmp;
-      next_one_portion =
-          p[i].pweight -
-          tmp * zero_fraction * (unique_depth - i) / (unique_depth + 1.0);
-    } else if (zero_fraction != 0.0) {
-      total += (p[i].pweight / zero_fraction) /
-               ((unique_depth - i) / (unique_depth + 1.0));
-    }
-  }
-  return total;
-}
-
+// Recursive reference walk over the AoS tree (Lundberg et al. Algorithm 2).
+// The path is threaded by pointer: the hot child (the one the instance
+// follows) extends the parent's buffer in place — Algorithm 2 never reads
+// the parent's weights again once the child has extended past them — and
+// only the cold branch, which must restart from the parent's post-unwind
+// state after the hot subtree scribbled over it, snapshots the live prefix.
+// (An earlier version passed the path by value, copying — and heap-
+// allocating — it once per node visit.)
 struct TreeShapWalker {
   const Tree& tree;
   const Vector& x;
   Vector* phi;
+  int capacity;  // Path elements per buffer: tree depth + 2.
 
-  void Recurse(int node_index, std::vector<PathElement> path,
+  void Recurse(int node_index, PathElement* path,
                double parent_zero_fraction, double parent_one_fraction,
                int parent_feature_index, int unique_depth) {
-    ExtendPath(&path, unique_depth, parent_zero_fraction,
+    ExtendPath(path, unique_depth, parent_zero_fraction,
                parent_one_fraction, parent_feature_index);
     const TreeNode& node = tree.nodes()[node_index];
     if (node.IsLeaf()) {
@@ -163,14 +106,17 @@ struct TreeShapWalker {
     if (path_index <= unique_depth) {
       incoming_zero_fraction = path[path_index].zero_fraction;
       incoming_one_fraction = path[path_index].one_fraction;
-      UnwindPath(&path, unique_depth, path_index);
+      UnwindPath(path, unique_depth, path_index);
       unique_depth -= 1;
     }
 
+    std::vector<PathElement> cold_path(capacity);
+    std::copy(path, path + unique_depth + 1, cold_path.data());
     Recurse(hot, path, hot_zero_fraction * incoming_zero_fraction,
             incoming_one_fraction, node.feature, unique_depth + 1);
-    Recurse(cold, path, cold_zero_fraction * incoming_zero_fraction, 0.0,
-            node.feature, unique_depth + 1);
+    Recurse(cold, cold_path.data(),
+            cold_zero_fraction * incoming_zero_fraction, 0.0, node.feature,
+            unique_depth + 1);
   }
 };
 
@@ -180,15 +126,15 @@ Vector TreeShapValues(const Tree& tree, const Vector& x, int num_features) {
   Vector phi(num_features, 0.0);
   if (tree.empty()) return phi;
   if (tree.nodes()[0].IsLeaf()) return phi;  // Constant tree: all zero.
-  std::vector<PathElement> path(tree.Depth() + 2);
-  TreeShapWalker walker{tree, x, &phi};
-  walker.Recurse(0, path, 1.0, 1.0, -1, 0);
+  const int capacity = tree.Depth() + 2;
+  std::vector<PathElement> path(capacity);
+  TreeShapWalker walker{tree, x, &phi, capacity};
+  walker.Recurse(0, path.data(), 1.0, 1.0, -1, 0);
   return phi;
 }
 
-AttributionExplanation TreeShap(const TreeEnsembleView& view,
-                                const Vector& x) {
-  XAI_SPAN("tree_shap/explain");
+AttributionExplanation TreeShapLegacy(const TreeEnsembleView& view,
+                                      const Vector& x) {
   int d = static_cast<int>(x.size());
   AttributionExplanation exp;
   exp.attributions.assign(d, 0.0);
@@ -213,6 +159,23 @@ AttributionExplanation TreeShap(const TreeEnsembleView& view,
   }
   exp.prediction = view.Margin(x);
   return exp;
+}
+
+AttributionExplanation TreeShap(const TreeEnsembleView& view,
+                                const Vector& x) {
+  XAI_SPAN("tree_shap/explain");
+  return FlatTreeShap::Build(view).Shap(x);
+}
+
+TreeShapBatchResult TreeShapBatch(const TreeEnsembleView& view,
+                                  const Matrix& x) {
+  XAI_SPAN("tree_shap/explain_batch");
+  TreeShapBatchResult result;
+  FlatTreeShap kernel = FlatTreeShap::Build(view);
+  result.attributions = kernel.ShapBatch(x);
+  result.predictions = view.MarginBatch(x);
+  result.base_value = kernel.base_value();
+  return result;
 }
 
 }  // namespace xai

@@ -33,8 +33,37 @@ Vector TreeShapValues(const Tree& tree, const Vector& x, int num_features);
 
 /// TreeSHAP over an additive tree ensemble view: attributions sum over
 /// trees (scaled); base value = view.base + sum of scaled tree expectations;
-/// prediction = view.Margin(x).
+/// prediction = view.Margin(x). Runs on the flat iterative kernel
+/// (explain/shapley/flat_tree_shap.h) — bit-identical to TreeShapLegacy.
+/// Every tree in the view must be non-empty (views over zero trees are
+/// fine); same effective contract as before, since Margin() never
+/// supported empty trees either, but now enforced by a clear CHECK in
+/// FlatEnsemble::Build instead of undefined behavior.
 AttributionExplanation TreeShap(const TreeEnsembleView& view, const Vector& x);
+
+/// The recursive AoS reference walk TreeShap is validated against. Same
+/// contract and bitwise-identical output; kept as the independent
+/// cross-check for tests and benches.
+AttributionExplanation TreeShapLegacy(const TreeEnsembleView& view,
+                                      const Vector& x);
+
+/// TreeSHAP for every row of a matrix in one call.
+struct TreeShapBatchResult {
+  /// Row i holds the attributions of x row i (rows x features); each row is
+  /// bit-identical to TreeShap(view, x.Row(i)).attributions at any thread
+  /// count.
+  Matrix attributions;
+  /// view.Margin per row (via the flat batch kernel).
+  Vector predictions;
+  /// Shared base value: view.base + sum of scaled tree expectations.
+  double base_value = 0.0;
+};
+
+/// Batched TreeSHAP over the flat kernel, blocked rows-by-trees and
+/// parallelized over row tiles — the throughput path behind
+/// GlobalShapImportance and batch serving.
+TreeShapBatchResult TreeShapBatch(const TreeEnsembleView& view,
+                                  const Matrix& x);
 
 }  // namespace xai
 

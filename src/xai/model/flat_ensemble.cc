@@ -14,6 +14,43 @@
 #include "xai/model/logistic_regression.h"
 
 namespace xai {
+namespace {
+
+/// Replays the BFS sibling-adjacent re-layout over `trees`, invoking
+/// `emit(tree_index, original_node, slot, left_child_slot)` for every node
+/// in slot order (left_child_slot is 0 for leaves; the right child always
+/// sits at left_child_slot + 1). Both the inference arrays (Build) and the
+/// TreeSHAP cover side-table (EnsureTreeShapData) are laid out through this
+/// one walk, so their slot numbering can never diverge. Returns the total
+/// slot count.
+template <typename Emit>
+int32_t ForEachFlatSlot(const std::vector<const Tree*>& trees,
+                        const Emit& emit) {
+  int32_t next = 0;
+  for (int t = 0; t < static_cast<int>(trees.size()); ++t) {
+    const std::vector<TreeNode>& nodes = trees[t]->nodes();
+    const int32_t root = next++;
+    // (original node index, flattened slot) pairs still to emit.
+    std::deque<std::pair<int, int32_t>> pending;
+    pending.emplace_back(0, root);
+    while (!pending.empty()) {
+      auto [orig, slot] = pending.front();
+      pending.pop_front();
+      const TreeNode& n = nodes[orig];
+      if (n.IsLeaf()) {
+        emit(t, orig, slot, 0);
+      } else {
+        emit(t, orig, slot, next);
+        pending.emplace_back(n.left, next);
+        pending.emplace_back(n.right, next + 1);
+        next += 2;
+      }
+    }
+  }
+  return next;
+}
+
+}  // namespace
 
 FlatEnsemble FlatEnsemble::Build(const std::vector<const Tree*>& trees,
                                  Options options) {
@@ -47,32 +84,20 @@ FlatEnsemble FlatEnsemble::Build(const std::vector<const Tree*>& trees,
   // child always sits at left + 1, which is what makes the traversal step
   // `left + !(x <= t)` valid, and keeps the hot top levels of the tree in
   // a handful of consecutive cache lines.
-  int32_t next = 0;
-  for (const Tree* tree : trees) {
-    const std::vector<TreeNode>& nodes = tree->nodes();
-    const int32_t root = next++;
-    flat.roots_.push_back(root);
-    // (original node index, flattened slot) pairs still to emit.
-    std::deque<std::pair<int, int32_t>> pending;
-    pending.emplace_back(0, root);
-    while (!pending.empty()) {
-      auto [orig, slot] = pending.front();
-      pending.pop_front();
-      const TreeNode& n = nodes[orig];
-      if (n.IsLeaf()) {
-        flat.feature_[slot] = -1;
-        flat.bits_[slot] = n.value;
-        flat.left_[slot] = 0;
-      } else {
-        flat.feature_[slot] = n.feature;
-        flat.bits_[slot] = n.threshold;
-        flat.left_[slot] = next;
-        pending.emplace_back(n.left, next);
-        pending.emplace_back(n.right, next + 1);
-        next += 2;
-      }
-    }
-  }
+  int32_t next = ForEachFlatSlot(
+      trees, [&](int t, int orig, int32_t slot, int32_t children) {
+        const TreeNode& n = trees[t]->nodes()[orig];
+        if (orig == 0) flat.roots_.push_back(slot);
+        if (n.IsLeaf()) {
+          flat.feature_[slot] = -1;
+          flat.bits_[slot] = n.value;
+          flat.left_[slot] = 0;
+        } else {
+          flat.feature_[slot] = n.feature;
+          flat.bits_[slot] = n.threshold;
+          flat.left_[slot] = children;
+        }
+      });
   XAI_CHECK_EQ(static_cast<int64_t>(next), total_nodes);
 
   XAI_HISTOGRAM_RECORD("model/flat_build_us", timer.Nanos() / 1000);
@@ -146,6 +171,51 @@ void FlatEnsemble::ScoreRows(const Matrix& x, int64_t begin, int64_t end,
     }
     for (int i = 0; i < bn; ++i) out[block + i] = Finish(acc[i]);
   }
+}
+
+const FlatEnsemble::TreeShapData& FlatEnsemble::EnsureTreeShapData(
+    const std::vector<const Tree*>& trees) const {
+  std::lock_guard<std::mutex> lock(*shap_mu_);
+  if (shap_ != nullptr) return *shap_;
+  WallTimer timer;
+  XAI_CHECK_EQ(trees.size(), roots_.size());
+
+  auto data = std::make_shared<TreeShapData>();
+  data->cover.resize(feature_.size());
+  data->expected.reserve(trees.size());
+  data->depth.reserve(trees.size());
+  // Covers ride the exact BFS walk the inference arrays were laid with.
+  int32_t next = ForEachFlatSlot(
+      trees, [&](int t, int orig, int32_t slot, int32_t) {
+        data->cover[slot] = trees[t]->nodes()[orig].cover;
+      });
+  XAI_CHECK_EQ(static_cast<size_t>(next), feature_.size());
+
+  for (const Tree* tree : trees) {
+    // Cover-weighted leaf mean, accumulated in the original node order —
+    // the same float operations TreeExpectedValue performs, so the cached
+    // value is bit-identical to what the legacy per-call scan returned.
+    double num = 0.0, den = 0.0;
+    for (const TreeNode& node : tree->nodes()) {
+      if (node.IsLeaf()) {
+        num += node.cover * node.value;
+        den += node.cover;
+      }
+    }
+    data->expected.push_back(den > 0.0 ? num / den : 0.0);
+    const int depth = tree->Depth();
+    data->depth.push_back(depth);
+    data->max_depth = std::max(data->max_depth, depth);
+  }
+
+  shap_ = std::move(data);
+  XAI_HISTOGRAM_RECORD("model/flat_shap_build_us", timer.Nanos() / 1000);
+  return *shap_;
+}
+
+const FlatEnsemble::TreeShapData* FlatEnsemble::tree_shap_data() const {
+  std::lock_guard<std::mutex> lock(*shap_mu_);
+  return shap_.get();
 }
 
 Vector FlatEnsemble::PredictBatch(const Matrix& x) const {

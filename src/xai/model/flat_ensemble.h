@@ -53,9 +53,20 @@ namespace xai {
 /// Multiplication by a scale of exactly 1.0 is exact in IEEE arithmetic, so
 /// the fold never perturbs the forest/GBDT sums.
 ///
+/// TreeSHAP side-table. The inference arrays above deliberately drop the
+/// node covers (16 effective bytes/node is the whole point), but the exact
+/// TreeSHAP kernel needs them — plus each tree's expected value and depth.
+/// Those live in an optional side-table built lazily by EnsureTreeShapData
+/// the first time TreeSHAP is requested, so pure-inference ensembles never
+/// pay for it. The side-table is keyed by the same BFS sibling-adjacent
+/// slot layout as the inference arrays (the flatten walk is shared), so
+/// `cover[left[n]]` / `cover[left[n] + 1]` are the child covers of `n`.
+///
 /// Thread safety: immutable after Build; PredictRow / PredictBatch are
 /// const-reentrant (the Model threading contract). PredictBatch partitions
 /// rows over core/parallel.h and is bit-identical at any thread count.
+/// EnsureTreeShapData is guarded by a shared mutex (copies of the ensemble
+/// share the snapshot like LazyFlatEnsemble does) and is idempotent.
 class FlatEnsemble {
  public:
   /// Rows per tile of the blocked batch traversal. 64 rows x 8 bytes of
@@ -107,6 +118,48 @@ class FlatEnsemble {
   void ScoreRows(const Matrix& x, int64_t begin, int64_t end,
                  double* out) const;
 
+  /// Per-node covers + per-tree expectations for the exact TreeSHAP kernel
+  /// (explain/shapley/flat_tree_shap.h). Built by EnsureTreeShapData.
+  struct TreeShapData {
+    /// Training weight that reached each flat slot (TreeNode::cover laid
+    /// out in the inference arrays' BFS slot order).
+    std::vector<double> cover;
+    /// Cover-weighted leaf mean per tree, accumulated in the original
+    /// tree's node order so it is bit-identical to TreeExpectedValue.
+    std::vector<double> expected;
+    /// Max root-to-leaf depth per tree (arena sizing).
+    std::vector<int32_t> depth;
+    /// Max of `depth` over all trees.
+    int max_depth = 0;
+  };
+
+  /// Builds (first call) and returns the TreeSHAP side-table. `trees` must
+  /// be the same trees, in the same order, that Build flattened — the
+  /// covers are re-laid with the identical BFS walk so slots line up.
+  /// Thread-safe; the returned reference lives as long as any copy of this
+  /// ensemble. Records build time in `model/flat_shap_build_us`.
+  const TreeShapData& EnsureTreeShapData(
+      const std::vector<const Tree*>& trees) const;
+
+  /// The side-table if EnsureTreeShapData already ran, else nullptr.
+  const TreeShapData* tree_shap_data() const;
+
+  /// Read-only raw view over the SoA block for external kernels (the
+  /// TreeSHAP walk); pointers are valid as long as this ensemble.
+  struct NodeView {
+    const int32_t* feature = nullptr;
+    const double* bits = nullptr;
+    const int32_t* left = nullptr;
+    const int32_t* roots = nullptr;
+    const double* scales = nullptr;
+    int num_trees = 0;
+    double base = 0.0;
+  };
+  NodeView nodes() const {
+    return {feature_.data(), bits_.data(),   left_.data(), roots_.data(),
+            scales_.data(),  num_trees(),    base_};
+  }
+
  private:
   double Finish(double acc) const;
 
@@ -120,6 +173,12 @@ class FlatEnsemble {
   double base_ = 0.0;
   double divisor_ = 0.0;
   bool sigmoid_ = false;
+
+  // Lazy TreeSHAP side-table; shared across copies (copies flatten equal
+  // trees, so sharing the snapshot is sound — same reasoning as
+  // LazyFlatEnsemble below).
+  std::shared_ptr<std::mutex> shap_mu_ = std::make_shared<std::mutex>();
+  mutable std::shared_ptr<const TreeShapData> shap_;
 };
 
 /// \brief Thread-safe lazily built FlatEnsemble cache for model classes.

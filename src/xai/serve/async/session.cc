@@ -250,13 +250,15 @@ Result<ExplainResponse> SessionManager::Explain(
 
   const DegradationPolicy& policy = server_->policy();
   const int background_rows = entry->background->num_rows();
+  const int64_t tree_nodes =
+      entry->flat != nullptr ? entry->flat->num_nodes() : 0;
   const TierPlan plan =
       policy.Choose(request.kind, request.fidelity, num_features,
-                    background_rows, request.deadline_ms);
+                    background_rows, request.deadline_ms, tree_nodes);
   const FidelityTier reference =
       policy
           .Choose(request.kind, request.fidelity, num_features,
-                  background_rows, /*deadline_ms=*/0.0)
+                  background_rows, /*deadline_ms=*/0.0, tree_nodes)
           .tier;
   const bool degraded = plan.tier != reference;
   if (degraded && !request.allow_degradation)

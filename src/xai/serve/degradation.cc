@@ -41,21 +41,32 @@ int64_t CostModel::EvalBudget(double deadline_ms) const {
   return static_cast<int64_t>(evals);
 }
 
+int64_t CostModel::TreeShapEvalEquivalents(int64_t tree_nodes) const {
+  if (tree_nodes <= 0 || tree_shap_nodes_per_ms <= 0.0) return 0;
+  const double evals = static_cast<double>(tree_nodes) /
+                       tree_shap_nodes_per_ms * evals_per_ms;
+  if (evals >= static_cast<double>(kSaturatedEvals)) return kSaturatedEvals;
+  const int64_t rounded = static_cast<int64_t>(evals);
+  return rounded < evals ? rounded + 1 : rounded;
+}
+
 DegradationPolicy::DegradationPolicy(const CostModel& cost_model)
     : cost_model_(cost_model) {}
 
 TierPlan DegradationPolicy::PlanForTier(ExplainerKind kind, FidelityTier tier,
-                                        int num_features,
-                                        int background_rows) const {
+                                        int num_features, int background_rows,
+                                        int64_t tree_nodes) const {
   TierPlan plan;
   plan.tier = tier;
 
   if (kind == ExplainerKind::kTreeShap) {
-    // The polynomial tree algorithm is exact and milliseconds-cheap: it is
-    // its own best tier and has no knob to turn.
+    // The polynomial tree algorithm is exact and has no fidelity knob: it
+    // is its own best (and only) tier. It is not free, though — the flat
+    // kernel visits every node of the ensemble once — so price it in
+    // eval-equivalents for the deadline-risk accounting.
     plan.tier = FidelityTier::kExact;
     plan.algorithm = ExplainerKind::kTreeShap;
-    plan.planned_evals = 0;
+    plan.planned_evals = cost_model_.TreeShapEvalEquivalents(tree_nodes);
     return plan;
   }
 
@@ -116,14 +127,16 @@ TierPlan DegradationPolicy::PlanForTier(ExplainerKind kind, FidelityTier tier,
 
 TierPlan DegradationPolicy::Choose(ExplainerKind kind, FidelityTier requested,
                                    int num_features, int background_rows,
-                                   double deadline_ms) const {
+                                   double deadline_ms,
+                                   int64_t tree_nodes) const {
   FidelityTier start =
       std::max(requested, NaturalTop(kind),
                [](FidelityTier a, FidelityTier b) {
                  return static_cast<int>(a) < static_cast<int>(b);
                });
   if (kind == ExplainerKind::kTreeShap || deadline_ms <= 0)
-    return PlanForTier(kind, start, num_features, background_rows);
+    return PlanForTier(kind, start, num_features, background_rows,
+                       tree_nodes);
 
   const int64_t budget = cost_model_.EvalBudget(deadline_ms);
   TierPlan plan;

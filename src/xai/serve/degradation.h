@@ -27,10 +27,22 @@ struct CostModel {
   double evals_per_ms = 300.0;
   /// Fixed per-request cost (queueing, dispatch, regression solve).
   double overhead_ms = 2.0;
+  /// TreeSHAP node visits the flat kernel retires per millisecond.
+  /// Conservative against bench_e24's measured rate (tens of thousands per
+  /// ms) for the same reason evals_per_ms is: "fits on paper" must mean
+  /// "meets the deadline" on the machine.
+  double tree_shap_nodes_per_ms = 5000.0;
 
   /// The evaluation budget a deadline funds (0 when the overhead alone
   /// exceeds it).
   int64_t EvalBudget(double deadline_ms) const;
+
+  /// Prices a TreeSHAP request (one pass over every node of the ensemble)
+  /// in model-evaluation equivalents, so the single eval-denominated budget
+  /// can gate it honestly: equivalents = nodes / tree_shap_nodes_per_ms *
+  /// evals_per_ms, rounded up. Previously TreeSHAP was priced at 0 — free
+  /// on paper, a deadline miss on a large ensemble.
+  int64_t TreeShapEvalEquivalents(int64_t tree_nodes) const;
 };
 
 /// \brief What one rung of the ladder resolves to for a given request:
@@ -71,18 +83,23 @@ class DegradationPolicy {
   explicit DegradationPolicy(const CostModel& cost_model = {});
 
   /// The plan for a specific rung (independent of any deadline). Useful for
-  /// tests and for replaying a served tier offline.
+  /// tests and for replaying a served tier offline. `tree_nodes` (total
+  /// nodes of the served ensemble) only matters for kTreeShap, where it
+  /// prices the single exact rung in eval-equivalents.
   TierPlan PlanForTier(ExplainerKind kind, FidelityTier tier,
-                       int num_features, int background_rows) const;
+                       int num_features, int background_rows,
+                       int64_t tree_nodes = 0) const;
 
   /// Walks the ladder from the requested tier down to the cheapest rung
   /// whose planned cost fits the deadline's evaluation budget. Returns the
   /// first affordable rung, or the cheapest rung if none is (the server
   /// then reports deadline risk rather than refusing). `deadline_ms <= 0`
   /// means no deadline: the requested tier is returned unchanged.
+  /// kTreeShap has no cheaper rung, but its (now honest, node-count-based)
+  /// planned_evals still feed the caller's deadline-risk accounting.
   TierPlan Choose(ExplainerKind kind, FidelityTier requested,
                   int num_features, int background_rows,
-                  double deadline_ms) const;
+                  double deadline_ms, int64_t tree_nodes = 0) const;
 
   const CostModel& cost_model() const { return cost_model_; }
 

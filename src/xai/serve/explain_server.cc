@@ -122,14 +122,18 @@ Result<BatchJob> ExplainServer::Admit(const ExplainRequest& request,
         std::to_string(num_features));
 
   const int background_rows = job.entry->background->num_rows();
+  // Tree-based snapshots carry their compiled kernel; its node count prices
+  // a TreeSHAP request in eval-equivalents (ignored for other kinds).
+  const int64_t tree_nodes =
+      job.entry->flat != nullptr ? job.entry->flat->num_nodes() : 0;
   job.plan = policy_.Choose(request.kind, request.fidelity, num_features,
-                            background_rows, request.deadline_ms);
+                            background_rows, request.deadline_ms, tree_nodes);
   // The undegraded reference is what Choose picks with no deadline (the
   // requested tier clamped to the kind's natural top).
   const FidelityTier reference =
       policy_
           .Choose(request.kind, request.fidelity, num_features,
-                  background_rows, /*deadline_ms=*/0.0)
+                  background_rows, /*deadline_ms=*/0.0, tree_nodes)
           .tier;
   job.degraded = job.plan.tier != reference;
   if (job.degraded && !request.allow_degradation)

@@ -35,6 +35,11 @@ Loaded Hold(M model) {
     // snapshot: Execute-time PredictBatch/AsPredictFn hit the warm cache
     // and the first explanation request never pays the flatten.
     loaded.flat = owned->shared_flat();
+    // Likewise prebuild the view's own flat kernel (scales/base folded, no
+    // post-ops — the one TreeSHAP walks) and its cover side-table, so the
+    // first kTreeShap request constructs its kernel for two shared_ptr
+    // copies and allocates nothing beyond its thread's arena.
+    loaded.tree_view->flat()->EnsureTreeShapData(loaded.tree_view->trees);
   }
   return loaded;
 }

@@ -1,0 +1,288 @@
+// Tests for the flat iterative TreeSHAP kernel
+// (explain/shapley/flat_tree_shap.h): bitwise identity against the
+// recursive AoS reference across model kinds and thread counts, the lazily
+// built cover side-table, batch-vs-loop equality, and the structural edge
+// cases (duplicate features on a path, NaN routing, constant / empty /
+// deep-degenerate trees, >64-feature models).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "xai/core/combinatorics.h"
+#include "xai/core/parallel.h"
+#include "xai/data/synthetic.h"
+#include "xai/explain/shapley/flat_tree_shap.h"
+#include "xai/explain/shapley/tree_shap.h"
+#include "xai/model/decision_tree.h"
+#include "xai/model/gbdt.h"
+#include "xai/model/random_forest.h"
+#include "xai/model/tree_ensemble_view.h"
+
+namespace xai {
+namespace {
+
+class ThreadsGuard {
+ public:
+  ThreadsGuard() : saved_(GetNumThreads()) {}
+  ~ThreadsGuard() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+// EXPECT_EQ on doubles is deliberate throughout: the flat kernel's contract
+// is BITWISE identity with the recursive reference, not closeness.
+void ExpectBitIdentical(const AttributionExplanation& a,
+                        const AttributionExplanation& b) {
+  ASSERT_EQ(a.attributions.size(), b.attributions.size());
+  for (size_t j = 0; j < a.attributions.size(); ++j)
+    EXPECT_EQ(a.attributions[j], b.attributions[j]) << "feature " << j;
+  EXPECT_EQ(a.base_value, b.base_value);
+  EXPECT_EQ(a.prediction, b.prediction);
+}
+
+// Flat TreeShap vs the recursive reference on every row, at 1, 4 and 8
+// threads (the reference parallelizes over trees, the flat kernel is
+// serial per instance — both must be thread-count-invariant).
+void CheckViewAgainstLegacy(const TreeEnsembleView& view, const Dataset& d,
+                            int rows) {
+  ThreadsGuard guard;
+  for (int threads : {1, 4, 8}) {
+    SetNumThreads(threads);
+    for (int i = 0; i < rows; ++i) {
+      Vector row = d.Row(i);
+      ExpectBitIdentical(TreeShap(view, row), TreeShapLegacy(view, row));
+    }
+  }
+}
+
+TEST(FlatTreeShapTest, ForestBitIdenticalToLegacyAcrossThreadCounts) {
+  Dataset d = MakeLoans(200, 21);
+  RandomForestConfig config;
+  config.n_trees = 12;
+  auto model = RandomForestModel::Train(d, config).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  CheckViewAgainstLegacy(view, d, 40);
+}
+
+TEST(FlatTreeShapTest, GbdtBitIdenticalToLegacyAcrossThreadCounts) {
+  Dataset d = MakeLoans(200, 22);
+  GbdtConfig config;
+  config.n_trees = 20;
+  auto model = GbdtModel::Train(d, config).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  CheckViewAgainstLegacy(view, d, 40);
+}
+
+TEST(FlatTreeShapTest, SingleTreeBitIdenticalToLegacy) {
+  Dataset d = MakeLoans(200, 23);
+  auto model = DecisionTreeModel::Train(d).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  CheckViewAgainstLegacy(view, d, 40);
+}
+
+TEST(FlatTreeShapTest, BatchMatchesPerRowCallsAtAnyThreadCount) {
+  Dataset d = MakeLoans(150, 24);
+  GbdtConfig config;
+  config.n_trees = 15;
+  auto model = GbdtModel::Train(d, config).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+
+  // Per-row references computed serially once.
+  ThreadsGuard guard;
+  SetNumThreads(1);
+  std::vector<AttributionExplanation> per_row;
+  for (int i = 0; i < d.num_rows(); ++i)
+    per_row.push_back(TreeShap(view, d.Row(i)));
+
+  for (int threads : {1, 4, 8}) {
+    SetNumThreads(threads);
+    TreeShapBatchResult batch = TreeShapBatch(view, d.x());
+    ASSERT_EQ(batch.attributions.rows(), d.num_rows());
+    ASSERT_EQ(batch.attributions.cols(), d.num_features());
+    ASSERT_EQ(static_cast<int>(batch.predictions.size()), d.num_rows());
+    for (int i = 0; i < d.num_rows(); ++i) {
+      for (int j = 0; j < d.num_features(); ++j)
+        EXPECT_EQ(batch.attributions(i, j), per_row[i].attributions[j])
+            << "row " << i << " feature " << j << " threads " << threads;
+      EXPECT_EQ(batch.predictions[i], per_row[i].prediction);
+      EXPECT_EQ(batch.base_value, per_row[i].base_value);
+    }
+  }
+}
+
+// Root and a grandchild split the same feature: the walk must unwind the
+// earlier occurrence (each feature appears on a path once). Checked both
+// against the reference and against brute-force exact Shapley values.
+TEST(FlatTreeShapTest, DuplicateFeatureAlongPath) {
+  std::vector<TreeNode> nodes(7);
+  nodes[0] = {0, 0.0, 1, 2, 0.0, 16.0};
+  nodes[1] = {-1, 0.0, -1, -1, 1.0, 6.0};
+  nodes[2] = {1, 3.0, 3, 4, 0.0, 10.0};
+  nodes[3] = {0, -2.0, 5, 6, 0.0, 7.0};  // Splits feature 0 again.
+  nodes[4] = {-1, 0.0, -1, -1, 9.0, 3.0};
+  nodes[5] = {-1, 0.0, -1, -1, 4.0, 2.0};
+  nodes[6] = {-1, 0.0, -1, -1, 6.0, 5.0};
+  Tree tree(std::move(nodes));
+
+  TreeEnsembleView view;
+  view.trees.push_back(&tree);
+  view.scales.push_back(1.0);
+
+  for (Vector x : {Vector{1.0, 2.0}, Vector{1.0, 4.0}, Vector{-1.0, 0.0}}) {
+    AttributionExplanation flat = TreeShap(view, x);
+    ExpectBitIdentical(flat, TreeShapLegacy(view, x));
+    std::vector<double> exact = ShapleyOfSetFunction(2, [&](uint64_t mask) {
+      return TreeConditionalExpectation(tree, x, mask);
+    });
+    EXPECT_NEAR(flat.attributions[0], exact[0], 1e-9);
+    EXPECT_NEAR(flat.attributions[1], exact[1], 1e-9);
+  }
+}
+
+TEST(FlatTreeShapTest, NanRoutesRightLikeTheReference) {
+  Dataset d = MakeLoans(100, 25);
+  GbdtConfig config;
+  config.n_trees = 8;
+  auto model = GbdtModel::Train(d, config).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < 10; ++i) {
+    Vector row = d.Row(i);
+    row[i % d.num_features()] = nan;
+    ExpectBitIdentical(TreeShap(view, row), TreeShapLegacy(view, row));
+  }
+}
+
+TEST(FlatTreeShapTest, ConstantTreeGivesZeroAttributions) {
+  std::vector<TreeNode> nodes(1);
+  nodes[0] = {-1, 0.0, -1, -1, 4.2, 10.0};
+  Tree tree(std::move(nodes));
+  TreeEnsembleView view;
+  view.trees.push_back(&tree);
+  view.scales.push_back(2.0);
+
+  Vector x = {1.0, 2.0};
+  AttributionExplanation exp = TreeShap(view, x);
+  ExpectBitIdentical(exp, TreeShapLegacy(view, x));
+  EXPECT_EQ(exp.attributions[0], 0.0);
+  EXPECT_EQ(exp.attributions[1], 0.0);
+  EXPECT_EQ(exp.base_value, 2.0 * 4.2);
+  EXPECT_EQ(exp.prediction, 2.0 * 4.2);
+}
+
+// The degenerate empty ensemble: a view over zero trees. Attributions are
+// all zero, the base value and prediction collapse to view.base.
+TEST(FlatTreeShapTest, EmptyEnsembleGivesBaseOnly) {
+  TreeEnsembleView view;
+  view.base = 0.75;
+
+  Vector x = {1.0, -2.0};
+  AttributionExplanation exp = TreeShap(view, x);
+  ExpectBitIdentical(exp, TreeShapLegacy(view, x));
+  EXPECT_EQ(exp.attributions[0], 0.0);
+  EXPECT_EQ(exp.attributions[1], 0.0);
+  EXPECT_EQ(exp.base_value, 0.75);
+  EXPECT_EQ(exp.prediction, 0.75);
+
+  Matrix rows(2, 2);
+  TreeShapBatchResult batch = TreeShapBatch(view, rows);
+  EXPECT_EQ(batch.base_value, 0.75);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(batch.attributions(i, 0), 0.0);
+    EXPECT_EQ(batch.attributions(i, 1), 0.0);
+    EXPECT_EQ(batch.predictions[i], 0.75);
+  }
+}
+
+// Left-leaning chain 40 levels deep cycling through 3 features: stresses
+// the arena's per-depth path buffers and the repeated-feature unwind far
+// beyond trained-tree depths.
+TEST(FlatTreeShapTest, DeepDegenerateChainTree) {
+  const int kDepth = 40;
+  // [split, right-leaf] pairs; each split's left child is the next split,
+  // the last split's left child is the final leaf.
+  std::vector<TreeNode> nodes;
+  int index = 0;
+  for (int level = 0; level < kDepth; ++level) {
+    TreeNode split;
+    split.feature = level % 3;
+    split.threshold = static_cast<double>(level) - 20.0;
+    split.left = index + 2;   // Next split (or the final leaf).
+    split.right = index + 1;  // Leaf.
+    split.cover = static_cast<double>(2 * (kDepth - level) + 2);
+    nodes.push_back(split);
+    TreeNode leaf;
+    leaf.feature = -1;
+    leaf.value = static_cast<double>(level % 7) - 3.0;
+    leaf.cover = 2.0;
+    nodes.push_back(leaf);
+    index += 2;
+  }
+  TreeNode last;
+  last.feature = -1;
+  last.value = 11.0;
+  last.cover = 2.0;
+  nodes.push_back(last);
+  Tree tree(std::move(nodes));
+  ASSERT_EQ(tree.Depth(), kDepth);
+
+  TreeEnsembleView view;
+  view.trees.push_back(&tree);
+  view.scales.push_back(1.0);
+  for (Vector x : {Vector{-30.0, 0.0, 5.0}, Vector{25.0, -25.0, 0.0},
+                   Vector{0.0, 0.0, 0.0}}) {
+    ExpectBitIdentical(TreeShap(view, x), TreeShapLegacy(view, x));
+  }
+}
+
+TEST(FlatTreeShapTest, MoreThanSixtyFourFeatures) {
+  auto [d, truth] = MakeLinearData(200, 70, 0.1, 26);
+  RandomForestConfig config;
+  config.n_trees = 6;
+  config.max_depth = 6;
+  auto model = RandomForestModel::Train(d, config).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+  for (int i = 0; i < 15; ++i) {
+    Vector row = d.Row(i);
+    ExpectBitIdentical(TreeShap(view, row), TreeShapLegacy(view, row));
+  }
+}
+
+// The lazily built side-table caches per-tree expectations bit-identical
+// to the per-call TreeExpectedValue scans, and building it twice returns
+// the same snapshot.
+TEST(FlatTreeShapTest, SideTableCachesExpectedValues) {
+  Dataset d = MakeLoans(200, 27);
+  RandomForestConfig config;
+  config.n_trees = 7;
+  auto model = RandomForestModel::Train(d, config).ValueOrDie();
+  TreeEnsembleView view = TreeEnsembleView::Of(model);
+
+  auto flat = view.flat();
+  EXPECT_EQ(flat->tree_shap_data(), nullptr);  // Not built yet.
+  const FlatEnsemble::TreeShapData& data =
+      flat->EnsureTreeShapData(view.trees);
+  EXPECT_EQ(&flat->EnsureTreeShapData(view.trees), &data);  // Idempotent.
+  ASSERT_EQ(static_cast<int>(data.expected.size()), view.num_trees());
+  for (int t = 0; t < view.num_trees(); ++t) {
+    EXPECT_EQ(data.expected[t], TreeExpectedValue(*view.trees[t]));
+    EXPECT_EQ(data.depth[t], view.trees[t]->Depth());
+  }
+  EXPECT_GT(data.max_depth, 0);
+  ASSERT_EQ(static_cast<int>(data.cover.size()), flat->num_nodes());
+
+  FlatTreeShap kernel = FlatTreeShap::Build(view);
+  double base = view.base;
+  for (int t = 0; t < view.num_trees(); ++t)
+    base += view.scales[t] * data.expected[t];
+  EXPECT_EQ(kernel.base_value(), base);
+  EXPECT_EQ(kernel.max_depth(), data.max_depth);
+}
+
+}  // namespace
+}  // namespace xai
