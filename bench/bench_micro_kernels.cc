@@ -1,6 +1,7 @@
 // Microbenchmarks of the computational kernels (google-benchmark):
 // Cholesky solve, TreeSHAP per instance, FP-Growth per database, tuple
-// Shapley per endogenous tuple, LIME per explanation.
+// Shapley per endogenous tuple, LIME per explanation, and the row-vs-
+// columnar relational operator pairs.
 
 #include <benchmark/benchmark.h>
 
@@ -14,6 +15,9 @@
 #include "xai/explain/shapley/flat_tree_shap.h"
 #include "xai/explain/shapley/tree_shap.h"
 #include "xai/model/gbdt.h"
+#include "xai/relational/columnar.h"
+#include "xai/relational/columnar_ops.h"
+#include "xai/relational/operators.h"
 #include "xai/rules/fpgrowth.h"
 
 namespace xai {
@@ -272,6 +276,78 @@ void BM_TupleShapleyExact(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TupleShapleyExact)->Arg(10)->Arg(16);
+
+// Row engine vs columnar engine on the same relational operator — the
+// tuple-at-a-time interpreter against batch-of-1024 kernels. Outputs are
+// bit-identical by contract (bench_e25 checks that; these rows quantify
+// the per-operator throughput gap).
+rel::Relation MicroFact(int rows) {
+  Rng rng(13);
+  rel::Relation fact("fact", {"k", "v"});
+  for (int i = 0; i < rows; ++i) {
+    (void)fact.AppendBase({rel::Value::Int(rng.UniformInt(64)),
+                           rel::Value::Double(rng.Uniform(-1.0, 1.0))},
+                          i);
+  }
+  return fact;
+}
+
+rel::ExprPtr MicroPred() {
+  return rel::Expr::Gt(rel::Expr::Column(1),
+                       rel::Expr::Const(rel::Value::Double(0.0)));
+}
+
+void BM_SelectRowEngine(benchmark::State& state) {
+  rel::Relation fact = MicroFact(static_cast<int>(state.range(0)));
+  rel::ExprPtr pred = MicroPred();
+  for (auto _ : state) {
+    auto out = rel::Select(fact, pred).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelectRowEngine)->Arg(4096)->Arg(65536);
+
+void BM_SelectColumnar(benchmark::State& state) {
+  SetNumThreads(1);
+  rel::Relation fact = MicroFact(static_cast<int>(state.range(0)));
+  rel::ColumnarRelation cfact =
+      rel::ColumnarRelation::FromRows(fact).ValueOrDie();
+  rel::ExprPtr pred = MicroPred();
+  for (auto _ : state) {
+    auto out = rel::Select(cfact, pred).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelectColumnar)->Arg(4096)->Arg(65536);
+
+void BM_GroupByRowEngine(benchmark::State& state) {
+  rel::Relation fact = MicroFact(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto out =
+        rel::GroupByAggregate(fact, {0}, rel::AggFn::kSum, 1, "s")
+            .ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByRowEngine)->Arg(4096)->Arg(65536);
+
+void BM_GroupByColumnar(benchmark::State& state) {
+  SetNumThreads(1);
+  rel::Relation fact = MicroFact(static_cast<int>(state.range(0)));
+  rel::ColumnarRelation cfact =
+      rel::ColumnarRelation::FromRows(fact).ValueOrDie();
+  for (auto _ : state) {
+    auto out =
+        rel::GroupByAggregate(cfact, {0}, rel::AggFn::kSum, 1, "s")
+            .ValueOrDie();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByColumnar)->Arg(4096)->Arg(65536);
 
 void BM_LimeExplain(benchmark::State& state) {
   int n_samples = static_cast<int>(state.range(0));

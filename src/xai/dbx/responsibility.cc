@@ -1,8 +1,7 @@
 #include "xai/dbx/responsibility.h"
 
-#include <set>
-
 #include "xai/core/combinatorics.h"
+#include "xai/dbx/shared_scan.h"
 
 namespace xai {
 
@@ -14,18 +13,17 @@ Result<ResponsibilityResult> TupleResponsibility(
   if (n > 20)
     return Status::Unimplemented(
         "responsibility search limited to 20 endogenous tuples");
-  std::set<int> endo_set(endogenous.begin(), endogenous.end());
+
+  const CompiledLineage compiled = CompiledLineage::Compile(lineage,
+                                                            endogenous);
+  CompiledLineage::Scratch scratch;
 
   // holds(removed_mask): does the answer hold when the endogenous tuples in
-  // the mask are removed (all others present)?
+  // the mask are removed (all others present)? Presence is the complement
+  // of removal, so the compiled program evaluates the inverted mask (bits
+  // beyond n are ignored by the program).
   auto holds = [&](uint64_t removed_mask) {
-    auto present = [&](int id) {
-      if (!endo_set.count(id)) return true;
-      for (int i = 0; i < n; ++i)
-        if (endogenous[i] == id) return (removed_mask & (1ULL << i)) == 0;
-      return true;
-    };
-    return lineage->EvalBool(present);
+    return compiled.Eval(~removed_mask, &scratch);
   };
 
   ResponsibilityResult result;

@@ -1,0 +1,325 @@
+#include "xai/dbx/shared_scan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "xai/relational/agg_kernels.h"
+
+namespace xai {
+namespace {
+
+using rel::ProvExpr;
+using rel::ProvExprPtr;
+
+/// Partial-evaluation result for one DAG node: either a compile-time
+/// constant (exogenous-only subtrees fold to true; Zero folds to false)
+/// or a program slot.
+struct PartialValue {
+  bool is_const = false;
+  bool const_value = false;
+  int slot = -1;
+
+  static PartialValue Const(bool v) { return {true, v, -1}; }
+  static PartialValue Slot(int s) { return {false, false, s}; }
+};
+
+}  // namespace
+
+CompiledLineage CompiledLineage::Compile(const ProvExprPtr& lineage,
+                                         const std::vector<int>& endogenous) {
+  CompiledLineage out;
+  // First occurrence wins, matching the linear scan in the naive path.
+  std::unordered_map<int, int> bit_of;
+  for (size_t i = 0; i < endogenous.size(); ++i)
+    bit_of.emplace(endogenous[i], static_cast<int>(i));
+
+  // Memoized postorder walk over the shared DAG (annotations reuse
+  // subtrees heavily — PlusAll trees share base variables).
+  std::unordered_map<const ProvExpr*, PartialValue> memo;
+  std::unordered_map<int, int> var_slot;  // bit -> emitted kVar slot.
+
+  std::function<PartialValue(const ProvExpr&)> walk =
+      [&](const ProvExpr& e) -> PartialValue {
+    auto found = memo.find(&e);
+    if (found != memo.end()) return found->second;
+    PartialValue pv;
+    switch (e.kind()) {
+      case ProvExpr::Kind::kZero:
+        pv = PartialValue::Const(false);
+        break;
+      case ProvExpr::Kind::kOne:
+        pv = PartialValue::Const(true);
+        break;
+      case ProvExpr::Kind::kBase: {
+        auto it = bit_of.find(e.base_id());
+        if (it == bit_of.end()) {
+          pv = PartialValue::Const(true);  // Exogenous: always present.
+        } else {
+          auto [vs, inserted] =
+              var_slot.try_emplace(it->second, static_cast<int>(
+                                                   out.nodes_.size()));
+          if (inserted) {
+            Node n;
+            n.op = Node::Op::kVar;
+            n.bit = it->second;
+            out.nodes_.push_back(std::move(n));
+          }
+          pv = PartialValue::Slot(vs->second);
+        }
+        break;
+      }
+      case ProvExpr::Kind::kPlus:
+      case ProvExpr::Kind::kTimes: {
+        const bool is_plus = e.kind() == ProvExpr::Kind::kPlus;
+        const Node::Op op = is_plus ? Node::Op::kOr : Node::Op::kAnd;
+        // The absorbing constant (true for OR, false for AND) decides the
+        // whole node; the neutral constant drops out. Children with the
+        // same operator splice their args in (associativity): the deep
+        // binary PlusAll trees the operators build flatten into one wide
+        // node, which then dedups by idempotence. Spliced children may go
+        // dead; the DCE pass below drops them.
+        bool absorbed = false;
+        std::vector<int> args;
+        for (const ProvExprPtr& child : e.children()) {
+          const PartialValue c = walk(*child);
+          if (c.is_const) {
+            if (c.const_value == is_plus) absorbed = true;
+          } else if (out.nodes_[c.slot].op == op) {
+            const std::vector<int>& inner = out.nodes_[c.slot].args;
+            args.insert(args.end(), inner.begin(), inner.end());
+          } else {
+            args.push_back(c.slot);
+          }
+        }
+        std::sort(args.begin(), args.end());
+        args.erase(std::unique(args.begin(), args.end()), args.end());
+        if (absorbed) {
+          pv = PartialValue::Const(is_plus);
+        } else if (args.empty()) {
+          pv = PartialValue::Const(!is_plus);
+        } else if (args.size() == 1) {
+          pv = PartialValue::Slot(args[0]);
+        } else {
+          Node n;
+          n.op = op;
+          n.args = std::move(args);
+          out.nodes_.push_back(std::move(n));
+          pv = PartialValue::Slot(static_cast<int>(out.nodes_.size()) - 1);
+        }
+        break;
+      }
+    }
+    memo.emplace(&e, pv);
+    return pv;
+  };
+
+  const PartialValue root = walk(*lineage);
+  out.root_is_const_ = root.is_const;
+  out.const_result_ = root.const_value;
+  out.root_slot_ = root.slot;
+  if (root.is_const) {
+    out.nodes_.clear();  // Nothing reachable matters.
+    return out;
+  }
+
+  // Dead-code elimination: splicing and memoized sharing can leave nodes
+  // no longer reachable from the root; Eval runs every program op, so
+  // compact to the live subset (order-preserving, args stay postorder).
+  std::vector<uint8_t> live(out.nodes_.size(), 0);
+  std::vector<int> stack = {root.slot};
+  while (!stack.empty()) {
+    const int s = stack.back();
+    stack.pop_back();
+    if (live[s]) continue;
+    live[s] = 1;
+    for (int a : out.nodes_[s].args) stack.push_back(a);
+  }
+  std::vector<int> remap(out.nodes_.size(), -1);
+  std::vector<Node> compact;
+  compact.reserve(out.nodes_.size());
+  for (size_t i = 0; i < out.nodes_.size(); ++i) {
+    if (!live[i]) continue;
+    remap[i] = static_cast<int>(compact.size());
+    compact.push_back(std::move(out.nodes_[i]));
+    for (int& a : compact.back().args) a = remap[a];
+  }
+  out.nodes_ = std::move(compact);
+  out.root_slot_ = remap[root.slot];
+  return out;
+}
+
+bool CompiledLineage::Eval(uint64_t mask, Scratch* scratch) const {
+  if (root_is_const_) return const_result_;
+  std::vector<uint8_t>& vals = scratch->vals;
+  if (vals.size() < nodes_.size()) vals.resize(nodes_.size());
+  const int n = static_cast<int>(nodes_.size());
+  for (int i = 0; i < n; ++i) {
+    const Node& node = nodes_[i];
+    switch (node.op) {
+      case Node::Op::kVar:
+        vals[i] = static_cast<uint8_t>((mask >> node.bit) & 1);
+        break;
+      case Node::Op::kAnd: {
+        uint8_t v = 1;
+        for (int a : node.args) {
+          if (!vals[a]) {
+            v = 0;
+            break;
+          }
+        }
+        vals[i] = v;
+        break;
+      }
+      case Node::Op::kOr: {
+        uint8_t v = 0;
+        for (int a : node.args) {
+          if (vals[a]) {
+            v = 1;
+            break;
+          }
+        }
+        vals[i] = v;
+        break;
+      }
+    }
+  }
+  return vals[root_slot_] != 0;
+}
+
+uint64_t CompiledLineage::Eval64(uint64_t base_mask, Scratch* scratch) const {
+  if (root_is_const_) return const_result_ ? ~0ULL : 0ULL;
+  // Lane j of every word is coalition (base_mask & ~63) + j. Over a
+  // 64-aligned block, mask bit b < 6 cycles with period 2^(b+1) — a fixed
+  // lane constant — and bit b >= 6 is the same for all 64 lanes.
+  static constexpr uint64_t kLowBitLanes[6] = {
+      0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+      0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+  std::vector<uint64_t>& vals = scratch->lanes;
+  if (vals.size() < nodes_.size()) vals.resize(nodes_.size());
+  const int n = static_cast<int>(nodes_.size());
+  for (int i = 0; i < n; ++i) {
+    const Node& node = nodes_[i];
+    switch (node.op) {
+      case Node::Op::kVar:
+        vals[i] = node.bit < 6 ? kLowBitLanes[node.bit]
+                  : ((base_mask >> node.bit) & 1) ? ~0ULL
+                                                  : 0ULL;
+        break;
+      case Node::Op::kAnd: {
+        uint64_t v = ~0ULL;
+        for (int a : node.args) v &= vals[a];
+        vals[i] = v;
+        break;
+      }
+      case Node::Op::kOr: {
+        uint64_t v = 0;
+        for (int a : node.args) v |= vals[a];
+        vals[i] = v;
+        break;
+      }
+    }
+  }
+  return vals[root_slot_];
+}
+
+bool CompiledLineage::IsConst(bool* value) const {
+  if (!root_is_const_) return false;
+  *value = const_result_;
+  return true;
+}
+
+bool CompiledLineage::IsSingleVar(int* bit) const {
+  if (root_is_const_ || nodes_[root_slot_].op != Node::Op::kVar) return false;
+  *bit = nodes_[root_slot_].bit;
+  return true;
+}
+
+Result<SharedScanAggregate> SharedScanAggregate::Build(
+    const rel::Relation& rows, rel::AggFn fn, int agg_column,
+    const std::vector<int>& endogenous) {
+  if (fn != rel::AggFn::kCount &&
+      (agg_column < 0 || agg_column >= rows.num_columns()))
+    return Status::OutOfRange("aggregate column out of range");
+  SharedScanAggregate s;
+  s.fn_ = fn;
+  for (size_t i = 0; i < endogenous.size(); ++i)
+    s.bit_of_.emplace(endogenous[i], static_cast<int>(i));
+
+  const int n = rows.num_tuples();
+  s.values_.reserve(n);
+  s.presence_.reserve(n);
+  s.detail_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    s.values_.push_back(fn == rel::AggFn::kCount
+                            ? 1.0
+                            : rows.tuple(i)[agg_column].AsDouble());
+    CompiledLineage compiled =
+        CompiledLineage::Compile(rows.annotation(i), endogenous);
+    bool cval = false;
+    int bit = -1;
+    if (compiled.IsConst(&cval)) {
+      s.presence_.push_back(cval ? Presence::kAlways : Presence::kNever);
+      s.detail_.push_back(0);
+    } else if (compiled.IsSingleVar(&bit)) {
+      s.presence_.push_back(Presence::kVar);
+      s.detail_.push_back(bit);
+    } else {
+      s.presence_.push_back(Presence::kProgram);
+      s.detail_.push_back(static_cast<int32_t>(s.programs_.size()));
+      s.programs_.push_back(std::move(compiled));
+    }
+  }
+  s.gather_.reserve(n);
+  return s;
+}
+
+double SharedScanAggregate::Eval(uint64_t mask) {
+  gather_.clear();
+  const int64_t n = num_rows();
+  for (int64_t i = 0; i < n; ++i) {
+    bool present = false;
+    switch (presence_[i]) {
+      case Presence::kAlways:
+        present = true;
+        break;
+      case Presence::kNever:
+        present = false;
+        break;
+      case Presence::kVar:
+        present = (mask >> detail_[i]) & 1;
+        break;
+      case Presence::kProgram:
+        present = programs_[detail_[i]].Eval(mask, &scratch_);
+        break;
+    }
+    if (present) gather_.push_back(values_[i]);
+  }
+  const int64_t len = static_cast<int64_t>(gather_.size());
+  switch (fn_) {
+    case rel::AggFn::kCount:
+      return static_cast<double>(len);
+    case rel::AggFn::kSum:
+      return rel::CanonicalSum(gather_.data(), len);
+    case rel::AggFn::kAvg:
+      return len ? rel::CanonicalSum(gather_.data(), len) / len : 0.0;
+    case rel::AggFn::kMin:
+      return rel::CanonicalMin(gather_.data(), len);
+    case rel::AggFn::kMax:
+      return rel::CanonicalMax(gather_.data(), len);
+  }
+  return 0.0;
+}
+
+std::function<double(const std::vector<int>&)>
+SharedScanAggregate::AsQueryValue() {
+  return [this](const std::vector<int>& present) {
+    uint64_t mask = 0;
+    for (int id : present) {
+      auto it = bit_of_.find(id);
+      if (it != bit_of_.end()) mask |= 1ULL << it->second;
+    }
+    return Eval(mask);
+  };
+}
+
+}  // namespace xai

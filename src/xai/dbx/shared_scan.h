@@ -1,0 +1,134 @@
+#ifndef XAI_DBX_SHARED_SCAN_H_
+#define XAI_DBX_SHARED_SCAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/relational/operators.h"
+#include "xai/relational/provenance.h"
+#include "xai/relational/relation.h"
+
+namespace xai {
+
+/// \brief Boolean lineage compiled against a fixed endogenous-tuple set.
+///
+/// The Shapley and responsibility analyses evaluate the same lineage under
+/// thousands to millions of coalitions. The naive path re-walks the
+/// ProvExpr tree per coalition with a `present(id)` callback that does a
+/// set lookup plus a linear scan of the endogenous list per *node*.
+/// Compile() does all of that once: exogenous variables partial-evaluate
+/// to true (folding constants through the +/x structure), endogenous
+/// variables resolve to bit positions in the coalition mask, and what
+/// remains flattens into a postorder AND/OR program over the shared DAG.
+/// Eval(mask) then costs O(remaining nodes) with no hashing, no
+/// std::function, and no allocation.
+///
+/// Eval is exactly ProvExpr::EvalBool with
+///   present(id) = id not endogenous ? true : mask bit of id,
+/// where duplicate ids in `endogenous` resolve to their first bit, like
+/// the linear scan they replace.
+class CompiledLineage {
+ public:
+  /// Reusable per-evaluator buffer (one per thread when evaluating
+  /// concurrently; Eval never allocates once it has grown).
+  struct Scratch {
+    std::vector<uint8_t> vals;
+    std::vector<uint64_t> lanes;  // Eval64 per-node lane vectors.
+  };
+
+  static CompiledLineage Compile(const rel::ProvExprPtr& lineage,
+                                 const std::vector<int>& endogenous);
+
+  /// Coalition bit i = endogenous[i] present. Bits >= endogenous.size()
+  /// are ignored.
+  bool Eval(uint64_t mask, Scratch* scratch) const;
+
+  /// Bit-parallel block evaluation: bit j of the result is
+  /// Eval(block + j) for the 64-aligned block of masks containing
+  /// `base_mask` (its low 6 bits are ignored). One pass over the program
+  /// evaluates 64 consecutive coalitions — a variable's 64-lane vector is
+  /// a fixed low-bit pattern (mask bits 0-5) or a broadcast of the
+  /// block's bit (bits 6+), and each AND/OR is a single word op. This is
+  /// what compilation buys over the interpreted tree walk for
+  /// exhaustive-enumeration games (exact Shapley, responsibility).
+  uint64_t Eval64(uint64_t base_mask, Scratch* scratch) const;
+
+  /// True when the result does not depend on the mask at all (the lineage
+  /// is derivable from exogenous tuples alone, or not derivable at all);
+  /// `*value` receives the constant.
+  bool IsConst(bool* value) const;
+  /// True when the result is exactly one mask bit; `*bit` receives it.
+  bool IsSingleVar(int* bit) const;
+
+  /// Number of program ops Eval executes (0 when constant).
+  int num_ops() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    enum class Op : uint8_t { kVar, kAnd, kOr };
+    Op op;
+    int bit = -1;            // kVar: mask bit.
+    std::vector<int> args;   // kAnd/kOr: earlier slots.
+  };
+
+  std::vector<Node> nodes_;
+  bool root_is_const_ = true;
+  bool const_result_ = false;
+  int root_slot_ = -1;
+};
+
+/// \brief Shared-scan evaluator for aggregate coalition games over a query
+/// result: v(S) = aggregate over the result rows whose lineage is
+/// derivable from S plus the exogenous tuples.
+///
+/// One pass over the result relation precomputes, per row, its aggregate
+/// contribution (Value::AsDouble of the aggregate column; 1.0 for COUNT)
+/// and its compiled presence condition. Eval(mask) gathers the present
+/// rows' values *in row order* and finalizes through the canonical
+/// aggregation kernels of rel/agg_kernels.h — the same kernels
+/// GroupByAggregate uses — so the value equals, bit for bit, what
+/// re-running the query pipeline on the reduced sub-instance produces
+/// (operators preserve relative row order under tuple removal).
+///
+/// This replaces the rebuild-per-coalition pattern (filter the base
+/// relations, re-join, re-aggregate — O(pipeline) per coalition) with
+/// O(result rows) per coalition after a single shared scan.
+class SharedScanAggregate {
+ public:
+  /// `rows` is the materialized query result whose annotations carry the
+  /// lineage. `agg_column` is ignored for kCount.
+  static Result<SharedScanAggregate> Build(const rel::Relation& rows,
+                                           rel::AggFn fn, int agg_column,
+                                           const std::vector<int>& endogenous);
+
+  /// Aggregate under the coalition; empty-selection aggregates are 0.0
+  /// (count 0, sum 0; min/max/avg of nothing are 0 like the row path's
+  /// zero-initialized group).
+  double Eval(uint64_t mask);
+
+  /// Adapter for NumericQueryTupleShapley's query_value callback: converts
+  /// the present-id list back to a mask. The returned callable borrows
+  /// `this` — keep the evaluator alive while it is in use.
+  std::function<double(const std::vector<int>&)> AsQueryValue();
+
+  int64_t num_rows() const { return static_cast<int64_t>(values_.size()); }
+
+ private:
+  enum class Presence : uint8_t { kAlways, kNever, kVar, kProgram };
+
+  rel::AggFn fn_ = rel::AggFn::kCount;
+  std::vector<double> values_;
+  std::vector<Presence> presence_;
+  std::vector<int32_t> detail_;  // kVar: bit; kProgram: programs_ index.
+  std::vector<CompiledLineage> programs_;
+  std::unordered_map<int, int> bit_of_;
+  CompiledLineage::Scratch scratch_;
+  std::vector<double> gather_;
+};
+
+}  // namespace xai
+
+#endif  // XAI_DBX_SHARED_SCAN_H_

@@ -1,9 +1,9 @@
 #include "xai/dbx/tuple_shapley.h"
 
 #include <algorithm>
-#include <set>
 
 #include "xai/core/combinatorics.h"
+#include "xai/dbx/shared_scan.h"
 
 namespace xai {
 
@@ -14,22 +14,33 @@ Result<TupleShapleyResult> BooleanQueryTupleShapley(
   if (n == 0) return Status::InvalidArgument("no endogenous tuples");
   if (n > 63)
     return Status::Unimplemented("more than 63 endogenous tuples");
-  std::set<int> endo_set(endogenous.begin(), endogenous.end());
+
+  // One compilation replaces the per-evaluation tree walk (which paid a
+  // set lookup plus a linear endogenous scan per lineage node); every
+  // coalition evaluation is then a pass over the residual AND/OR program.
+  const CompiledLineage compiled = CompiledLineage::Compile(lineage,
+                                                            endogenous);
+  CompiledLineage::Scratch scratch;
 
   TupleShapleyResult result;
   auto value_of_mask = [&](uint64_t mask) {
     ++result.game_evaluations;
-    auto present = [&](int id) {
-      if (!endo_set.count(id)) return true;  // Exogenous: always present.
-      for (int i = 0; i < n; ++i)
-        if (endogenous[i] == id) return (mask & (1ULL << i)) != 0;
-      return false;
-    };
-    return lineage->EvalBool(present) ? 1.0 : 0.0;
+    return compiled.Eval(mask, &scratch) ? 1.0 : 0.0;
   };
 
   if (n <= config.exact_limit && n <= 24) {
-    std::vector<double> phi = ShapleyOfSetFunction(n, value_of_mask);
+    // Exact enumeration visits every coalition, so precompute all 2^n
+    // values bit-parallel — Eval64 does 64 consecutive masks per program
+    // pass — and serve ShapleyOfSetFunction from the bit table.
+    const uint64_t total = 1ULL << n;
+    std::vector<uint64_t> table((total + 63) / 64);
+    for (uint64_t base = 0; base < total; base += 64)
+      table[base >> 6] = compiled.Eval64(base, &scratch);
+    auto table_value = [&](uint64_t mask) {
+      ++result.game_evaluations;
+      return static_cast<double>((table[mask >> 6] >> (mask & 63)) & 1);
+    };
+    std::vector<double> phi = ShapleyOfSetFunction(n, table_value);
     for (int i = 0; i < n; ++i) result.values[endogenous[i]] = phi[i];
     result.exact = true;
     return result;

@@ -1,0 +1,46 @@
+#include "xai/relational/agg_kernels.h"
+
+#include <algorithm>
+
+#include "xai/core/simd.h"
+#include "xai/relational/columnar.h"
+
+namespace xai::rel {
+namespace {
+
+const double* Ones() {
+  static const double* kOnes = [] {
+    auto* ones = new double[kBatchRows];
+    std::fill(ones, ones + kBatchRows, 1.0);
+    return ones;
+  }();
+  return kOnes;
+}
+
+}  // namespace
+
+double CanonicalSum(const double* v, int64_t n) {
+  const double* ones = Ones();
+  double acc = 0.0;
+  for (int64_t b = 0; b < n; b += kBatchRows) {
+    const int64_t len = std::min<int64_t>(kBatchRows, n - b);
+    acc += simd::Dot(v + b, ones, static_cast<size_t>(len));
+  }
+  return acc;
+}
+
+double CanonicalMin(const double* v, int64_t n) {
+  if (n == 0) return 0.0;
+  double m = v[0];
+  for (int64_t i = 1; i < n; ++i) m = std::min(m, v[i]);
+  return m;
+}
+
+double CanonicalMax(const double* v, int64_t n) {
+  if (n == 0) return 0.0;
+  double m = v[0];
+  for (int64_t i = 1; i < n; ++i) m = std::max(m, v[i]);
+  return m;
+}
+
+}  // namespace xai::rel

@@ -1,0 +1,77 @@
+#include "xai/relational/columnar.h"
+
+#include <utility>
+
+#include "xai/core/check.h"
+
+namespace xai::rel {
+
+ColumnarRelation::ColumnarRelation(std::string name,
+                                   std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  cols_.resize(columns_.size());
+}
+
+Result<ColumnarRelation> ColumnarRelation::FromRows(const Relation& rows) {
+  ColumnarRelation out(rows.name(), rows.columns());
+  out.Reserve(rows.num_tuples());
+  for (int i = 0; i < rows.num_tuples(); ++i) {
+    XAI_RETURN_NOT_OK(out.AppendRow(rows.tuple(i), rows.annotation(i)));
+  }
+  return out;
+}
+
+Relation ColumnarRelation::ToRows() const {
+  Relation out(name_, columns_);
+  out.Reserve(num_rows_);
+  for (int64_t i = 0; i < num_rows_; ++i) {
+    Tuple t;
+    t.reserve(cols_.size());
+    for (const Column& c : cols_) t.push_back(c.ValueAt(i));
+    Status s = out.Append(std::move(t), annotations_[i]);
+    XAI_CHECK_MSG(s.ok(), "columnar->row materialization cannot fail");
+  }
+  return out;
+}
+
+int ColumnarRelation::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i] == column) return static_cast<int>(i);
+  return -1;
+}
+
+void ColumnarRelation::Reserve(int64_t n) {
+  for (Column& c : cols_) c.Reserve(n);
+  annotations_.reserve(n);
+}
+
+Status ColumnarRelation::AppendRow(const Tuple& tuple,
+                                   ProvExprPtr annotation) {
+  if (static_cast<int>(tuple.size()) != num_columns())
+    return Status::InvalidArgument("tuple arity mismatch in " + name_);
+  // A failed cell append leaves the relation half-mutated; callers
+  // (FromRows included) must discard it on error.
+  for (int c = 0; c < num_columns(); ++c) {
+    XAI_RETURN_NOT_OK(cols_[c].AppendValue(tuple[c]));
+  }
+  annotations_.push_back(std::move(annotation));
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status ColumnarRelation::AppendBaseRow(const Tuple& tuple, int base_id) {
+  return AppendRow(tuple, ProvExpr::Base(base_id));
+}
+
+ColumnarRelation ColumnarRelation::GatherRows(
+    const std::vector<int32_t>& rows, std::string name) const {
+  ColumnarRelation out(std::move(name), columns_);
+  for (size_t c = 0; c < cols_.size(); ++c)
+    out.cols_[c] = cols_[c].Gather(rows);
+  out.annotations_.reserve(rows.size());
+  for (int32_t r : rows) out.annotations_.push_back(annotations_[r]);
+  out.num_rows_ = static_cast<int64_t>(rows.size());
+  return out;
+}
+
+}  // namespace xai::rel

@@ -1,0 +1,89 @@
+#ifndef XAI_RELATIONAL_COLUMNAR_H_
+#define XAI_RELATIONAL_COLUMNAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/relational/column.h"
+#include "xai/relational/provenance.h"
+#include "xai/relational/relation.h"
+
+namespace xai::rel {
+
+/// Rows per operator batch: predicates evaluate, selections materialize,
+/// and aggregates accumulate in blocks of this many rows. Also the
+/// ParallelFor grain of the block-parallel scans, so the block layout —
+/// and therefore every floating-point combine order — is a pure function
+/// of the row count, never of the thread count.
+inline constexpr int64_t kBatchRows = 1024;
+
+/// \brief Columnar twin of Relation: typed column vectors (int64 / double /
+/// dictionary-encoded string) with per-column validity plus the same
+/// per-tuple N[X] provenance annotation side array.
+///
+/// The row-oriented Relation stays the API of record; this is the storage
+/// the vectorized operators (columnar_ops.h) and the shared-scan
+/// tuple-Shapley fast path run on. FromRows/ToRows convert losslessly both
+/// ways (see Column for the class rules; heterogeneous string/number
+/// columns are rejected and stay row-oriented).
+class ColumnarRelation {
+ public:
+  ColumnarRelation() = default;
+  ColumnarRelation(std::string name, std::vector<std::string> columns);
+
+  /// Imports a row relation. Fails (without aborting) on columns the typed
+  /// storage cannot represent exactly — the caller keeps the row path.
+  static Result<ColumnarRelation> FromRows(const Relation& rows);
+
+  /// Materializes back to the row representation: exact same Values
+  /// (including INT-vs-DOUBLE typing) and the same shared annotation
+  /// pointers, so round-tripping is observationally identical.
+  Relation ToRows() const;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::vector<std::string>& column_names() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const { return num_rows_; }
+
+  const Column& column(int c) const { return cols_[c]; }
+  Column* mutable_column(int c) { return &cols_[c]; }
+  const ProvExprPtr& annotation(int64_t i) const { return annotations_[i]; }
+  const std::vector<ProvExprPtr>& annotations() const { return annotations_; }
+
+  /// Index of a column by name, or -1 (same contract as Relation).
+  int ColumnIndex(const std::string& column) const;
+
+  void Reserve(int64_t n);
+  /// Appends one row (tests and builders; bulk paths use FromRows/Gather).
+  Status AppendRow(const Tuple& tuple, ProvExprPtr annotation);
+  /// Appends a base row annotated Base(base_id).
+  Status AppendBaseRow(const Tuple& tuple, int base_id);
+
+  /// Gathers the given row indices (in order) into a new relation with the
+  /// same schema; annotations come along by shared pointer.
+  ColumnarRelation GatherRows(const std::vector<int32_t>& rows,
+                              std::string name) const;
+
+  /// \name Operator plumbing (columnar_ops.cc)
+  /// @{
+  void SetColumn(int c, Column column) { cols_[c] = std::move(column); }
+  void SetAnnotations(std::vector<ProvExprPtr> annotations) {
+    annotations_ = std::move(annotations);
+    num_rows_ = static_cast<int64_t>(annotations_.size());
+  }
+  /// @}
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<Column> cols_;
+  std::vector<ProvExprPtr> annotations_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace xai::rel
+
+#endif  // XAI_RELATIONAL_COLUMNAR_H_

@@ -1,0 +1,66 @@
+#ifndef XAI_RELATIONAL_COLUMNAR_OPS_H_
+#define XAI_RELATIONAL_COLUMNAR_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "xai/core/status.h"
+#include "xai/relational/columnar.h"
+#include "xai/relational/expression.h"
+#include "xai/relational/operators.h"
+
+namespace xai::rel {
+
+/// \brief Vectorized relational operators over ColumnarRelation — the
+/// batch-of-kBatchRows engine behind the row operators in operators.h.
+///
+/// Each operator is observationally identical to its row twin: converting
+/// the output with ToRows() yields the same relation name, columns,
+/// tuples (values and order), and provenance structure that the row
+/// operator produces from ToRows() of the inputs. That includes the row
+/// path's rendered-string semantics — group-by/distinct keys merge on
+/// Value::ToString renderings (so "%.6g" collisions merge here too), and
+/// the equi-join probes rendered keys before filtering on actual value
+/// equality (so a match the row path's rendered index misses is missed
+/// here as well). Aggregates finalize through the canonical kernels in
+/// agg_kernels.h, which the row path shares — aggregate values are
+/// bit-identical by construction.
+///
+/// Scans (selection, join probe) are parallelized over kBatchRows-sized
+/// row blocks via ParallelFor; per-block results are concatenated in
+/// ascending block order, so output order — and every floating-point
+/// combine — is independent of the thread count (the repo-wide
+/// bit-identity contract).
+
+/// sigma_predicate(input): compiles the predicate once, evaluates it
+/// batch-at-a-time, gathers matching rows.
+xai::Result<ColumnarRelation> Select(const ColumnarRelation& input,
+                                     const ExprPtr& predicate);
+
+/// pi_columns(input); with `distinct`, equal (rendered) tuples merge and
+/// annotations combine with +, first-appearance order.
+xai::Result<ColumnarRelation> Project(const ColumnarRelation& input,
+                                      const std::vector<int>& columns,
+                                      bool distinct);
+
+/// Equi-join on a.col_a == b.col_b; output columns are a's then b's
+/// (prefixed with b's name), a-major with b matches in ascending row
+/// order. NULL keys join NULL keys, like the row path.
+xai::Result<ColumnarRelation> EquiJoin(const ColumnarRelation& a,
+                                       const ColumnarRelation& b, int col_a,
+                                       int col_b);
+
+/// Bag union; annotations pass through. Fails if a column's storage
+/// classes cannot be reconciled (string/number mix).
+xai::Result<ColumnarRelation> Union(const ColumnarRelation& a,
+                                    const ColumnarRelation& b);
+
+/// Group-by aggregate; see the row twin for the provenance rules. The
+/// sum/avg inner loops run simd::Dot over the contiguous payload.
+xai::Result<ColumnarRelation> GroupByAggregate(
+    const ColumnarRelation& input, const std::vector<int>& group_columns,
+    AggFn fn, int agg_column, const std::string& agg_name);
+
+}  // namespace xai::rel
+
+#endif  // XAI_RELATIONAL_COLUMNAR_OPS_H_

@@ -54,6 +54,15 @@ class Expr {
   /// Convenience: Eval() interpreted as a boolean.
   bool EvalBool(const Tuple& tuple) const;
 
+  /// \name Tree introspection (the columnar compiler walks the tree once to
+  /// resolve column indices and value classes per node).
+  /// @{
+  Op op() const { return op_; }
+  int column_index() const { return column_; }
+  const Value& constant() const { return constant_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  /// @}
+
  private:
   Expr(Op op, int column, Value constant, std::vector<ExprPtr> children)
       : op_(op),

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
+
+#include "xai/relational/agg_kernels.h"
 
 namespace xai::rel {
 
 xai::Result<Relation> Select(const Relation& input, const ExprPtr& predicate) {
   Relation out("select(" + input.name() + ")", input.columns());
+  out.Reserve(input.num_tuples());
   for (int i = 0; i < input.num_tuples(); ++i) {
     if (predicate->EvalBool(input.tuple(i))) {
       XAI_RETURN_NOT_OK(out.Append(input.tuple(i), input.annotation(i)));
@@ -26,8 +30,10 @@ xai::Result<Relation> Project(const Relation& input,
   }
   Relation out("project(" + input.name() + ")", names);
   if (!distinct) {
+    out.Reserve(input.num_tuples());
     for (int i = 0; i < input.num_tuples(); ++i) {
       Tuple t;
+      t.reserve(columns.size());
       for (int c : columns) t.push_back(input.tuple(i)[c]);
       XAI_RETURN_NOT_OK(out.Append(std::move(t), input.annotation(i)));
     }
@@ -35,32 +41,27 @@ xai::Result<Relation> Project(const Relation& input,
   }
   // Distinct: merge equal tuples; annotations combine with a balanced sum
   // so huge duplicate groups cannot create deep expression chains.
-  std::map<std::vector<std::string>,
-           std::pair<Tuple, std::vector<ProvExprPtr>>>
-      merged;
-  std::vector<std::vector<std::string>> order;
+  using Merged = std::pair<Tuple, std::vector<ProvExprPtr>>;
+  std::map<std::vector<std::string>, Merged> merged;
+  std::vector<Merged*> order;  // Map nodes are stable; no finalize re-lookup.
+  std::vector<std::string> key;
   for (int i = 0; i < input.num_tuples(); ++i) {
-    Tuple t;
-    std::vector<std::string> key;
-    for (int c : columns) {
-      t.push_back(input.tuple(i)[c]);
-      key.push_back(input.tuple(i)[c].ToString());
+    key.clear();
+    for (int c : columns) key.push_back(input.tuple(i)[c].ToString());
+    auto [it, inserted] = merged.try_emplace(key);
+    if (inserted) {
+      Tuple t;
+      t.reserve(columns.size());
+      for (int c : columns) t.push_back(input.tuple(i)[c]);
+      it->second.first = std::move(t);
+      order.push_back(&it->second);
     }
-    auto it = merged.find(key);
-    if (it == merged.end()) {
-      merged.emplace(key,
-                     std::make_pair(std::move(t),
-                                    std::vector<ProvExprPtr>{
-                                        input.annotation(i)}));
-      order.push_back(std::move(key));
-    } else {
-      it->second.second.push_back(input.annotation(i));
-    }
+    it->second.second.push_back(input.annotation(i));
   }
-  for (const auto& key : order) {
-    auto& [tuple, annotations] = merged[key];
+  out.Reserve(static_cast<int64_t>(order.size()));
+  for (Merged* m : order) {
     XAI_RETURN_NOT_OK(
-        out.Append(tuple, ProvExpr::PlusAll(std::move(annotations))));
+        out.Append(m->first, ProvExpr::PlusAll(std::move(m->second))));
   }
   return out;
 }
@@ -74,17 +75,23 @@ xai::Result<Relation> EquiJoin(const Relation& a, const Relation& b,
   for (const std::string& c : b.columns()) names.push_back(b.name() + "." + c);
   Relation out("join(" + a.name() + "," + b.name() + ")", names);
 
-  // Hash join on the rendered key.
-  std::multimap<std::string, int> index;
+  // Hash join on the rendered key; per-key match lists hold b-rows in
+  // ascending order (the insertion order the old multimap preserved).
+  std::unordered_map<std::string, std::vector<int>> index;
+  index.reserve(b.num_tuples());
   for (int j = 0; j < b.num_tuples(); ++j)
-    index.emplace(b.tuple(j)[col_b].ToString(), j);
+    index[b.tuple(j)[col_b].ToString()].push_back(j);
+  const size_t out_width = a.num_columns() + b.num_columns();
   for (int i = 0; i < a.num_tuples(); ++i) {
-    auto [lo, hi] = index.equal_range(a.tuple(i)[col_a].ToString());
-    for (auto it = lo; it != hi; ++it) {
-      int j = it->second;
-      if (!(a.tuple(i)[col_a] == b.tuple(j)[col_b])) continue;
-      Tuple t = a.tuple(i);
-      for (const Value& v : b.tuple(j)) t.push_back(v);
+    const Value& key_a = a.tuple(i)[col_a];
+    auto it = index.find(key_a.ToString());
+    if (it == index.end()) continue;
+    for (int j : it->second) {
+      if (!(key_a == b.tuple(j)[col_b])) continue;
+      Tuple t;
+      t.reserve(out_width);
+      t.insert(t.end(), a.tuple(i).begin(), a.tuple(i).end());
+      t.insert(t.end(), b.tuple(j).begin(), b.tuple(j).end());
       XAI_RETURN_NOT_OK(out.Append(
           std::move(t),
           ProvExpr::Times(a.annotation(i), b.annotation(j))));
@@ -120,68 +127,62 @@ xai::Result<Relation> GroupByAggregate(const Relation& input,
   names.push_back(agg_name);
   Relation out("agg(" + input.name() + ")", names);
 
+  // Each group buffers its contributing values in row order and finalizes
+  // through the canonical kernels in agg_kernels.h — the same kernels the
+  // columnar engine calls — so the two paths' aggregate values are
+  // bit-identical by construction.
   struct Group {
     Tuple key;
-    double sum = 0.0;
-    double min = 0.0;
-    double max = 0.0;
-    int64_t count = 0;
+    std::vector<double> values;
     std::vector<ProvExprPtr> annotations;
   };
   std::map<std::vector<std::string>, Group> groups;
-  std::vector<std::vector<std::string>> order;
+  std::vector<Group*> order;  // Map nodes are stable; no finalize re-lookup.
+  std::vector<std::string> key_str;
   for (int i = 0; i < input.num_tuples(); ++i) {
-    std::vector<std::string> key_str;
-    Tuple key;
-    for (int c : group_columns) {
-      key.push_back(input.tuple(i)[c]);
+    key_str.clear();
+    for (int c : group_columns)
       key_str.push_back(input.tuple(i)[c].ToString());
-    }
-    auto it = groups.find(key_str);
-    if (it == groups.end()) {
-      it = groups.emplace(key_str, Group{}).first;
+    auto [it, inserted] = groups.try_emplace(key_str);
+    if (inserted) {
+      Tuple key;
+      key.reserve(group_columns.size());
+      for (int c : group_columns) key.push_back(input.tuple(i)[c]);
       it->second.key = std::move(key);
-      order.push_back(std::move(key_str));
+      order.push_back(&it->second);
     }
     Group& g = it->second;
-    double v =
-        fn == AggFn::kCount ? 1.0 : input.tuple(i)[agg_column].AsDouble();
-    if (g.count == 0) {
-      g.min = g.max = v;
-    } else {
-      g.min = std::min(g.min, v);
-      g.max = std::max(g.max, v);
-    }
-    g.sum += v;
-    g.count += 1;
+    g.values.push_back(
+        fn == AggFn::kCount ? 1.0 : input.tuple(i)[agg_column].AsDouble());
     g.annotations.push_back(input.annotation(i));
   }
-  for (const auto& key : order) {
-    Group& g = groups[key];
+  out.Reserve(static_cast<int64_t>(order.size()));
+  for (Group* g : order) {
+    const int64_t count = static_cast<int64_t>(g->values.size());
     double value = 0.0;
     switch (fn) {
       case AggFn::kCount:
-        value = static_cast<double>(g.count);
+        value = static_cast<double>(count);
         break;
       case AggFn::kSum:
-        value = g.sum;
+        value = CanonicalSum(g->values.data(), count);
         break;
       case AggFn::kAvg:
-        value = g.count ? g.sum / g.count : 0.0;
+        value = count ? CanonicalSum(g->values.data(), count) / count : 0.0;
         break;
       case AggFn::kMin:
-        value = g.min;
+        value = CanonicalMin(g->values.data(), count);
         break;
       case AggFn::kMax:
-        value = g.max;
+        value = CanonicalMax(g->values.data(), count);
         break;
     }
-    Tuple t = g.key;
-    t.push_back(fn == AggFn::kCount ? Value::Int(g.count)
+    Tuple t = std::move(g->key);
+    t.push_back(fn == AggFn::kCount ? Value::Int(count)
                                     : Value::Double(value));
     XAI_RETURN_NOT_OK(out.Append(std::move(t),
                                  rel::ProvExpr::PlusAll(
-                                     std::move(g.annotations))));
+                                     std::move(g->annotations))));
   }
   return out;
 }

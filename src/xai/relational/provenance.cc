@@ -19,36 +19,55 @@ ProvExprPtr ProvExpr::One() {
 }
 
 ProvExprPtr ProvExpr::Base(int id) {
-  return ProvExprPtr(new ProvExpr(Kind::kBase, id, {}));
+  // Local shim so make_shared can reach the private constructor; fusing
+  // the control block with the node halves the allocations per variable.
+  struct Node : ProvExpr {
+    explicit Node(int id) : ProvExpr(Kind::kBase, id, {}) {}
+  };
+  return std::make_shared<const Node>(id);
+}
+
+ProvExprPtr ProvExpr::MakeBinary(Kind kind, ProvExprPtr a, ProvExprPtr b) {
+  struct Node : ProvExpr {
+    Node(Kind k, std::vector<ProvExprPtr> c) : ProvExpr(k, -1, std::move(c)) {}
+  };
+  std::vector<ProvExprPtr> children;
+  children.reserve(2);
+  children.push_back(std::move(a));
+  children.push_back(std::move(b));
+  return std::make_shared<const Node>(kind, std::move(children));
 }
 
 ProvExprPtr ProvExpr::Plus(ProvExprPtr a, ProvExprPtr b) {
   if (a->kind_ == Kind::kZero) return b;
   if (b->kind_ == Kind::kZero) return a;
-  return ProvExprPtr(
-      new ProvExpr(Kind::kPlus, -1, {std::move(a), std::move(b)}));
+  return MakeBinary(Kind::kPlus, std::move(a), std::move(b));
 }
 
 ProvExprPtr ProvExpr::PlusAll(std::vector<ProvExprPtr> terms) {
+  // 0 + x = x, matching the binary Plus simplification.
+  terms.erase(std::remove_if(terms.begin(), terms.end(),
+                             [](const ProvExprPtr& t) {
+                               return t->kind_ == Kind::kZero;
+                             }),
+              terms.end());
   if (terms.empty()) return Zero();
-  // Pairwise tree reduction keeps the expression depth logarithmic.
-  while (terms.size() > 1) {
-    std::vector<ProvExprPtr> next;
-    next.reserve((terms.size() + 1) / 2);
-    for (size_t i = 0; i + 1 < terms.size(); i += 2)
-      next.push_back(Plus(terms[i], terms[i + 1]));
-    if (terms.size() % 2 == 1) next.push_back(terms.back());
-    terms = std::move(next);
-  }
-  return terms[0];
+  if (terms.size() == 1) return std::move(terms[0]);
+  // One n-ary sum node: a single allocation regardless of the group size
+  // (the evaluators iterate children, so depth is constant), instead of
+  // n-1 binary nodes. Group-by over large relations spends its time here.
+  struct Node : ProvExpr {
+    explicit Node(std::vector<ProvExprPtr> c)
+        : ProvExpr(Kind::kPlus, -1, std::move(c)) {}
+  };
+  return std::make_shared<const Node>(std::move(terms));
 }
 
 ProvExprPtr ProvExpr::Times(ProvExprPtr a, ProvExprPtr b) {
   if (a->kind_ == Kind::kZero || b->kind_ == Kind::kZero) return Zero();
   if (a->kind_ == Kind::kOne) return b;
   if (b->kind_ == Kind::kOne) return a;
-  return ProvExprPtr(
-      new ProvExpr(Kind::kTimes, -1, {std::move(a), std::move(b)}));
+  return MakeBinary(Kind::kTimes, std::move(a), std::move(b));
 }
 
 bool ProvExpr::EvalBool(const std::function<bool(int)>& present) const {
@@ -60,11 +79,13 @@ bool ProvExpr::EvalBool(const std::function<bool(int)>& present) const {
     case Kind::kBase:
       return present(base_id_);
     case Kind::kPlus:
-      return children_[0]->EvalBool(present) ||
-             children_[1]->EvalBool(present);
+      for (const ProvExprPtr& c : children_)
+        if (c->EvalBool(present)) return true;
+      return false;
     case Kind::kTimes:
-      return children_[0]->EvalBool(present) &&
-             children_[1]->EvalBool(present);
+      for (const ProvExprPtr& c : children_)
+        if (!c->EvalBool(present)) return false;
+      return true;
   }
   return false;
 }
@@ -77,10 +98,16 @@ int64_t ProvExpr::EvalCount(const std::function<int64_t(int)>& mult) const {
       return 1;
     case Kind::kBase:
       return mult(base_id_);
-    case Kind::kPlus:
-      return children_[0]->EvalCount(mult) + children_[1]->EvalCount(mult);
-    case Kind::kTimes:
-      return children_[0]->EvalCount(mult) * children_[1]->EvalCount(mult);
+    case Kind::kPlus: {
+      int64_t sum = 0;
+      for (const ProvExprPtr& c : children_) sum += c->EvalCount(mult);
+      return sum;
+    }
+    case Kind::kTimes: {
+      int64_t product = 1;
+      for (const ProvExprPtr& c : children_) product *= c->EvalCount(mult);
+      return product;
+    }
   }
   return 0;
 }
@@ -97,14 +124,20 @@ double ProvExpr::EvalNumeric(
       return one;
     case Kind::kBase:
       return value(base_id_);
-    case Kind::kPlus:
-      return plus(
-          children_[0]->EvalNumeric(value, plus, times, zero, one),
-          children_[1]->EvalNumeric(value, plus, times, zero, one));
-    case Kind::kTimes:
-      return times(
-          children_[0]->EvalNumeric(value, plus, times, zero, one),
-          children_[1]->EvalNumeric(value, plus, times, zero, one));
+    case Kind::kPlus: {
+      double acc = children_[0]->EvalNumeric(value, plus, times, zero, one);
+      for (size_t i = 1; i < children_.size(); ++i)
+        acc = plus(acc,
+                   children_[i]->EvalNumeric(value, plus, times, zero, one));
+      return acc;
+    }
+    case Kind::kTimes: {
+      double acc = children_[0]->EvalNumeric(value, plus, times, zero, one);
+      for (size_t i = 1; i < children_.size(); ++i)
+        acc = times(acc,
+                    children_[i]->EvalNumeric(value, plus, times, zero, one));
+      return acc;
+    }
   }
   return zero;
 }
@@ -137,9 +170,11 @@ std::set<std::set<int>> ProvExpr::WhyProvenance() const {
     case Kind::kBase:
       return {{base_id_}};
     case Kind::kPlus: {
-      std::set<std::set<int>> out = children_[0]->WhyProvenance();
-      std::set<std::set<int>> rhs = children_[1]->WhyProvenance();
-      out.insert(rhs.begin(), rhs.end());
+      std::set<std::set<int>> out;
+      for (const ProvExprPtr& c : children_) {
+        std::set<std::set<int>> sub = c->WhyProvenance();
+        out.insert(sub.begin(), sub.end());
+      }
       // Minimize: drop witnesses that strictly contain another witness.
       std::set<std::set<int>> minimal;
       for (const auto& w : out) {
@@ -156,15 +191,18 @@ std::set<std::set<int>> ProvExpr::WhyProvenance() const {
       return minimal;
     }
     case Kind::kTimes: {
-      std::set<std::set<int>> lhs = children_[0]->WhyProvenance();
-      std::set<std::set<int>> rhs = children_[1]->WhyProvenance();
-      std::set<std::set<int>> out;
-      for (const auto& a : lhs) {
-        for (const auto& b : rhs) {
-          std::set<int> merged = a;
-          merged.insert(b.begin(), b.end());
-          out.insert(std::move(merged));
+      std::set<std::set<int>> out = children_[0]->WhyProvenance();
+      for (size_t i = 1; i < children_.size(); ++i) {
+        std::set<std::set<int>> rhs = children_[i]->WhyProvenance();
+        std::set<std::set<int>> next;
+        for (const auto& a : out) {
+          for (const auto& b : rhs) {
+            std::set<int> merged = a;
+            merged.insert(b.begin(), b.end());
+            next.insert(std::move(merged));
+          }
         }
+        out = std::move(next);
       }
       return out;
     }
@@ -233,16 +271,21 @@ std::string ProvExpr::ToString(
       return "1";
     case Kind::kBase:
       return render(base_id_);
-    case Kind::kPlus:
-      return children_[0]->ToString(name) + " + " +
-             children_[1]->ToString(name);
+    case Kind::kPlus: {
+      std::string s = children_[0]->ToString(name);
+      for (size_t i = 1; i < children_.size(); ++i)
+        s += " + " + children_[i]->ToString(name);
+      return s;
+    }
     case Kind::kTimes: {
       auto wrap = [&](const ProvExprPtr& child) {
         std::string s = child->ToString(name);
         if (child->kind_ == Kind::kPlus) return "(" + s + ")";
         return s;
       };
-      return wrap(children_[0]) + "*" + wrap(children_[1]);
+      std::string s = wrap(children_[0]);
+      for (size_t i = 1; i < children_.size(); ++i) s += "*" + wrap(children_[i]);
+      return s;
     }
   }
   return "?";

@@ -34,9 +34,11 @@ class ProvExpr {
   static ProvExprPtr Base(int id);
   /// a + b (alternative derivations). Simplifies 0 + x = x.
   static ProvExprPtr Plus(ProvExprPtr a, ProvExprPtr b);
-  /// Sum of many terms as a *balanced* tree (depth O(log n)), so the
-  /// recursive evaluators cannot overflow the stack on annotations that
-  /// aggregate millions of tuples. Empty input yields Zero().
+  /// Sum of many terms as a single n-ary Plus node: one allocation and
+  /// constant depth however many tuples a group aggregates, so the
+  /// recursive evaluators cannot overflow the stack and group-by spends
+  /// no time building node chains. Zero terms drop out; empty input
+  /// yields Zero(), a single term is returned unchanged.
   static ProvExprPtr PlusAll(std::vector<ProvExprPtr> terms);
   /// a * b (joint derivations). Simplifies 1 * x = x, 0 * x = 0.
   static ProvExprPtr Times(ProvExprPtr a, ProvExprPtr b);
@@ -91,6 +93,11 @@ class ProvExpr {
  private:
   ProvExpr(Kind kind, int base_id, std::vector<ProvExprPtr> children)
       : kind_(kind), base_id_(base_id), children_(std::move(children)) {}
+
+  // Binary node without the initializer-list detour: a braced children
+  // list copies both shared pointers (four atomic refcount ops per node),
+  // which dominates PlusAll over large groups.
+  static ProvExprPtr MakeBinary(Kind kind, ProvExprPtr a, ProvExprPtr b);
 
   Kind kind_;
   int base_id_;

@@ -1,6 +1,7 @@
 #ifndef XAI_RELATIONAL_RELATION_H_
 #define XAI_RELATIONAL_RELATION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,13 @@ class Relation {
 
   /// Index of a column by name, or -1.
   int ColumnIndex(const std::string& column) const;
+
+  /// Reserves capacity for `n` tuples (operators reserve their output
+  /// bound up front instead of growing per tuple).
+  void Reserve(int64_t n) {
+    tuples_.reserve(n);
+    annotations_.reserve(n);
+  }
 
   /// Appends a tuple with an explicit annotation.
   xai::Status Append(Tuple tuple, ProvExprPtr annotation);

@@ -1,0 +1,456 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "xai/core/parallel.h"
+#include "xai/core/rng.h"
+#include "xai/dbx/shared_scan.h"
+#include "xai/dbx/tuple_shapley.h"
+#include "xai/relational/columnar.h"
+#include "xai/relational/columnar_ops.h"
+#include "xai/relational/operators.h"
+
+namespace xai::rel {
+namespace {
+
+uint64_t Bits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+// Exact equality: same names, same value *types and bits* per cell, same
+// provenance structure. Stricter than Value::operator== (which merges
+// INT 2 with DOUBLE 2.0 and never distinguishes double bit patterns).
+void ExpectSameRelation(const Relation& a, const Relation& b) {
+  EXPECT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.columns(), b.columns());
+  ASSERT_EQ(a.num_tuples(), b.num_tuples());
+  for (int i = 0; i < a.num_tuples(); ++i) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      const Value& va = a.tuple(i)[c];
+      const Value& vb = b.tuple(i)[c];
+      ASSERT_EQ(static_cast<int>(va.type()), static_cast<int>(vb.type()))
+          << "row " << i << " col " << c;
+      switch (va.type()) {
+        case Value::Type::kNull:
+          break;
+        case Value::Type::kInt:
+          ASSERT_EQ(va.AsInt(), vb.AsInt()) << "row " << i << " col " << c;
+          break;
+        case Value::Type::kDouble:
+          ASSERT_EQ(Bits(va.AsDouble()), Bits(vb.AsDouble()))
+              << "row " << i << " col " << c;
+          break;
+        case Value::Type::kString:
+          ASSERT_EQ(va.AsString(), vb.AsString())
+              << "row " << i << " col " << c;
+          break;
+      }
+    }
+    ASSERT_EQ(a.annotation(i)->ToString(), b.annotation(i)->ToString())
+        << "row " << i;
+  }
+}
+
+// Mixed-type relation with NULLs in every column and plenty of duplicate
+// keys: k (int64, ~10% NULL), v (double, ~10% NULL), cat (string,
+// ~10% NULL), d (double, never NULL — exercises the branch-free kernels).
+Relation RandomRelation(int n, uint64_t seed, const std::string& name = "t") {
+  Relation r(name, {"k", "v", "cat", "d"});
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    Tuple t;
+    t.push_back(rng.Uniform() < 0.1 ? Value::Null()
+                                    : Value::Int(rng.UniformInt(8)));
+    t.push_back(rng.Uniform() < 0.1 ? Value::Null()
+                                    : Value::Double(rng.Uniform(-2.0, 2.0)));
+    t.push_back(rng.Uniform() < 0.1
+                    ? Value::Null()
+                    : Value::Str("c" + std::to_string(rng.UniformInt(3))));
+    t.push_back(Value::Double(rng.Uniform(-1.0, 1.0)));
+    EXPECT_TRUE(r.AppendBase(std::move(t), i).ok());
+  }
+  return r;
+}
+
+ColumnarRelation Columnar(const Relation& rows) {
+  auto result = ColumnarRelation::FromRows(rows);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+TEST(ColumnarRelationTest, RoundTripIsExact) {
+  Relation rows = RandomRelation(500, 11);
+  ExpectSameRelation(Columnar(rows).ToRows(), rows);
+}
+
+TEST(ColumnarRelationTest, RoundTripPreservesIntOriginInDoubleColumn) {
+  Relation r("m", {"x"});
+  ASSERT_TRUE(r.AppendBase({Value::Int(2)}, 0).ok());
+  ASSERT_TRUE(r.AppendBase({Value::Double(2.5)}, 1).ok());
+  ASSERT_TRUE(r.AppendBase({Value::Null()}, 2).ok());
+  Relation back = Columnar(r).ToRows();
+  EXPECT_EQ(back.tuple(0)[0].type(), Value::Type::kInt);
+  EXPECT_EQ(back.tuple(1)[0].type(), Value::Type::kDouble);
+  EXPECT_TRUE(back.tuple(2)[0].is_null());
+}
+
+TEST(ColumnarRelationTest, RejectsStringNumberMix) {
+  Relation r("m", {"x"});
+  ASSERT_TRUE(r.AppendBase({Value::Int(1)}, 0).ok());
+  ASSERT_TRUE(r.AppendBase({Value::Str("one")}, 1).ok());
+  EXPECT_FALSE(ColumnarRelation::FromRows(r).ok());
+}
+
+// Runs `op` on both engines at 1, 4 and 8 threads and requires every
+// columnar result to be exactly the row result (hence bit-identical
+// across thread counts).
+template <typename RowOp, typename ColOp>
+void ExpectEngineAgreement(const Relation& rows, const RowOp& row_op,
+                           const ColOp& col_op) {
+  auto row_result = row_op(rows);
+  ASSERT_TRUE(row_result.ok()) << row_result.status().ToString();
+  ColumnarRelation cols = Columnar(rows);
+  const int saved = GetNumThreads();
+  for (int threads : {1, 4, 8}) {
+    SetNumThreads(threads);
+    auto col_result = col_op(cols);
+    ASSERT_TRUE(col_result.ok()) << col_result.status().ToString();
+    ExpectSameRelation(col_result.ValueOrDie().ToRows(),
+                       row_result.ValueOrDie());
+  }
+  SetNumThreads(saved);
+}
+
+TEST(ColumnarOpsTest, SelectNumericPredicateMatchesRowEngine) {
+  Relation rows = RandomRelation(5000, 23);
+  // d > 0.25 AND NOT k == 3 — branch-free double kernel plus a nullable
+  // int64 column (NULL == 3 is false, so NOT yields true: NULLs pass).
+  ExprPtr pred = Expr::And(
+      Expr::Gt(Expr::Column(3), Expr::Const(Value::Double(0.25))),
+      Expr::Not(Expr::Eq(Expr::Column(0), Expr::Const(Value::Int(3)))));
+  ExpectEngineAgreement(
+      rows, [&](const Relation& r) { return Select(r, pred); },
+      [&](const ColumnarRelation& c) { return Select(c, pred); });
+}
+
+TEST(ColumnarOpsTest, SelectStringAndArithmeticPredicateMatchesRowEngine) {
+  Relation rows = RandomRelation(3000, 29);
+  // cat == "c1" OR (v + d) * 2 >= 1.5 — string equality against a
+  // dictionary column plus arithmetic over a NULL-able double column
+  // (NULL coerces to 0.0 inside arithmetic, like Value::AsDouble).
+  ExprPtr pred = Expr::Or(
+      Expr::Eq(Expr::Column(2), Expr::Const(Value::Str("c1"))),
+      Expr::Ge(Expr::Mul(Expr::Add(Expr::Column(1), Expr::Column(3)),
+                         Expr::Const(Value::Double(2.0))),
+               Expr::Const(Value::Double(1.5))));
+  ExpectEngineAgreement(
+      rows, [&](const Relation& r) { return Select(r, pred); },
+      [&](const ColumnarRelation& c) { return Select(c, pred); });
+}
+
+TEST(ColumnarOpsTest, SelectNullComparisonSemanticsMatchRowEngine) {
+  Relation rows = RandomRelation(2000, 31);
+  // NULL < non-NULL and numeric-sorts-before-string edges: k < v, and
+  // cat > "c1" (NULL cat is less than any string).
+  for (ExprPtr pred :
+       {Expr::Lt(Expr::Column(0), Expr::Column(1)),
+        Expr::Gt(Expr::Column(2), Expr::Const(Value::Str("c1"))),
+        Expr::Le(Expr::Column(1), Expr::Column(0)),
+        Expr::Ne(Expr::Column(0), Expr::Column(0))}) {
+    ExpectEngineAgreement(
+        rows, [&](const Relation& r) { return Select(r, pred); },
+        [&](const ColumnarRelation& c) { return Select(c, pred); });
+  }
+}
+
+TEST(ColumnarOpsTest, ProjectBagAndDistinctMatchRowEngine) {
+  Relation rows = RandomRelation(2000, 37);
+  for (bool distinct : {false, true}) {
+    ExpectEngineAgreement(
+        rows,
+        [&](const Relation& r) { return Project(r, {2, 0}, distinct); },
+        [&](const ColumnarRelation& c) {
+          return Project(c, {2, 0}, distinct);
+        });
+  }
+}
+
+TEST(ColumnarOpsTest, EquiJoinIntKeysMatchesRowEngine) {
+  Relation a = RandomRelation(800, 41, "a");
+  Relation b = RandomRelation(600, 43, "b");
+  ExpectEngineAgreement(
+      a, [&](const Relation& r) { return EquiJoin(r, b, 0, 0); },
+      [&](const ColumnarRelation& c) {
+        return EquiJoin(c, Columnar(b), 0, 0);
+      });
+}
+
+TEST(ColumnarOpsTest, EquiJoinStringKeysMatchesRowEngine) {
+  Relation a = RandomRelation(500, 47, "a");
+  Relation b = RandomRelation(400, 53, "b");
+  ExpectEngineAgreement(
+      a, [&](const Relation& r) { return EquiJoin(r, b, 2, 2); },
+      [&](const ColumnarRelation& c) {
+        return EquiJoin(c, Columnar(b), 2, 2);
+      });
+}
+
+TEST(ColumnarOpsTest, EquiJoinMixedIntDoubleKeysMatchesRowEngine) {
+  // Int keys on one side, int-valued doubles on the other: the row engine
+  // joins only where the *renderings* collide, and the columnar engine
+  // must reproduce exactly that (including any misses).
+  Relation a("a", {"k"});
+  Relation b("b", {"k"});
+  int id = 0;
+  for (int64_t k : {1, 2, 1000000, 3}) {
+    ASSERT_TRUE(a.AppendBase({Value::Int(k)}, id++).ok());
+  }
+  for (double k : {1.0, 1e6, 2.0, 2.0}) {
+    ASSERT_TRUE(b.AppendBase({Value::Double(k)}, id++).ok());
+  }
+  ExpectEngineAgreement(
+      a, [&](const Relation& r) { return EquiJoin(r, b, 0, 0); },
+      [&](const ColumnarRelation& c) {
+        return EquiJoin(c, Columnar(b), 0, 0);
+      });
+}
+
+TEST(ColumnarOpsTest, UnionMatchesRowEngine) {
+  Relation a = RandomRelation(700, 59, "a");
+  Relation b = RandomRelation(300, 61, "b");
+  ExpectEngineAgreement(
+      a, [&](const Relation& r) { return Union(r, b); },
+      [&](const ColumnarRelation& c) { return Union(c, Columnar(b)); });
+}
+
+TEST(ColumnarOpsTest, GroupByAllFunctionsMatchRowEngine) {
+  Relation rows = RandomRelation(4000, 67);
+  for (AggFn fn : {AggFn::kCount, AggFn::kSum, AggFn::kAvg, AggFn::kMin,
+                   AggFn::kMax}) {
+    for (const std::vector<int>& group : {std::vector<int>{0},
+                                          std::vector<int>{2, 0},
+                                          std::vector<int>{}}) {
+      ExpectEngineAgreement(
+          rows,
+          [&](const Relation& r) {
+            return GroupByAggregate(r, group, fn, 1, "agg");
+          },
+          [&](const ColumnarRelation& c) {
+            return GroupByAggregate(c, group, fn, 1, "agg");
+          });
+    }
+  }
+}
+
+TEST(ColumnarOpsTest, GroupByDoubleKeysMergeOnRenderings) {
+  // Int 2 and Double 2.0 land in one kDouble column and must merge into
+  // one group, exactly like the row path's ToString keys.
+  Relation r("m", {"g", "v"});
+  ASSERT_TRUE(r.AppendBase({Value::Int(2), Value::Double(1.5)}, 0).ok());
+  ASSERT_TRUE(r.AppendBase({Value::Double(2.0), Value::Double(2.5)}, 1).ok());
+  ASSERT_TRUE(r.AppendBase({Value::Null(), Value::Double(4.0)}, 2).ok());
+  ExpectEngineAgreement(
+      r,
+      [&](const Relation& rows) {
+        return GroupByAggregate(rows, {0}, AggFn::kSum, 1, "s");
+      },
+      [&](const ColumnarRelation& c) {
+        return GroupByAggregate(c, {0}, AggFn::kSum, 1, "s");
+      });
+}
+
+TEST(ColumnarOpsTest, ComposedPipelineMatchesRowEngine) {
+  // join -> select -> distinct project, provenance polynomials included.
+  Relation a = RandomRelation(400, 71, "a");
+  Relation b = RandomRelation(300, 73, "b");
+  auto row_final = [&]() {
+    auto j = EquiJoin(a, b, 0, 0).ValueOrDie();
+    auto s =
+        Select(j, Expr::Gt(Expr::Column(3), Expr::Const(Value::Double(0.0))))
+            .ValueOrDie();
+    return Project(s, {2, 4}, /*distinct=*/true).ValueOrDie();
+  }();
+  ColumnarRelation ca = Columnar(a), cb = Columnar(b);
+  for (int threads : {1, 4, 8}) {
+    SetNumThreads(threads);
+    auto j = EquiJoin(ca, cb, 0, 0).ValueOrDie();
+    auto s =
+        Select(j, Expr::Gt(Expr::Column(3), Expr::Const(Value::Double(0.0))))
+            .ValueOrDie();
+    auto p = Project(s, {2, 4}, /*distinct=*/true).ValueOrDie();
+    ExpectSameRelation(p.ToRows(), row_final);
+  }
+  SetNumThreads(1);
+}
+
+TEST(CompiledLineageTest, MatchesEvalBoolOnAllMasks) {
+  // t2*t5 + t7*(t2 + t11) + t99, endogenous {2, 5, 7, 11}; t99 is
+  // exogenous so the whole lineage folds to constant-true... except it
+  // participates in a Plus, which is exactly the point: the partial
+  // evaluator must fold it to TRUE and short-circuit the OR.
+  auto lineage = ProvExpr::Plus(
+      ProvExpr::Plus(
+          ProvExpr::Times(ProvExpr::Base(2), ProvExpr::Base(5)),
+          ProvExpr::Times(ProvExpr::Base(7),
+                          ProvExpr::Plus(ProvExpr::Base(2),
+                                         ProvExpr::Base(11)))),
+      ProvExpr::Base(99));
+  std::vector<int> endo = {2, 5, 7, 11};
+  CompiledLineage compiled = CompiledLineage::Compile(lineage, endo);
+  bool cval = false;
+  EXPECT_TRUE(compiled.IsConst(&cval));
+  EXPECT_TRUE(cval);
+
+  // Without the exogenous escape hatch the program is nontrivial; check
+  // every coalition against the interpreted evaluation.
+  auto hard = ProvExpr::Plus(
+      ProvExpr::Times(ProvExpr::Base(2), ProvExpr::Base(5)),
+      ProvExpr::Times(ProvExpr::Base(7),
+                      ProvExpr::Plus(ProvExpr::Base(2), ProvExpr::Base(11))));
+  CompiledLineage hard_compiled = CompiledLineage::Compile(hard, endo);
+  CompiledLineage::Scratch scratch;
+  std::set<int> endo_set(endo.begin(), endo.end());
+  for (uint64_t mask = 0; mask < 16; ++mask) {
+    bool expected = hard->EvalBool([&](int id) {
+      if (!endo_set.count(id)) return true;
+      for (size_t i = 0; i < endo.size(); ++i)
+        if (endo[i] == id) return ((mask >> i) & 1) != 0;
+      return false;
+    });
+    EXPECT_EQ(hard_compiled.Eval(mask, &scratch), expected) << mask;
+  }
+}
+
+TEST(CompiledLineageTest, Eval64LanesMatchScalarEval) {
+  // Eight endogenous variables so the block evaluator exercises both lane
+  // kinds: fixed patterns for mask bits 0-5 and per-block broadcasts for
+  // bits 6-7. Lineage mixes AND/OR depth with a shared subterm.
+  std::vector<int> endo = {10, 11, 12, 13, 14, 15, 16, 17};
+  auto shared = ProvExpr::Plus(ProvExpr::Base(12), ProvExpr::Base(16));
+  std::vector<rel::ProvExprPtr> terms;
+  terms.push_back(ProvExpr::Times(ProvExpr::Base(10), ProvExpr::Base(11)));
+  terms.push_back(ProvExpr::Times(ProvExpr::Base(13), shared));
+  terms.push_back(ProvExpr::Times(
+      ProvExpr::Base(17), ProvExpr::Times(ProvExpr::Base(14), shared)));
+  terms.push_back(ProvExpr::Times(ProvExpr::Base(15), ProvExpr::Base(200)));
+  auto lineage = ProvExpr::PlusAll(std::move(terms));
+  CompiledLineage compiled = CompiledLineage::Compile(lineage, endo);
+  CompiledLineage::Scratch scratch;
+  for (uint64_t base = 0; base < 256; base += 64) {
+    const uint64_t lanes = compiled.Eval64(base, &scratch);
+    for (uint64_t j = 0; j < 64; ++j) {
+      EXPECT_EQ((lanes >> j) & 1,
+                compiled.Eval(base + j, &scratch) ? 1u : 0u)
+          << "mask " << base + j;
+    }
+  }
+
+  // Degenerate programs: constants broadcast, single vars follow the bit.
+  CompiledLineage zero = CompiledLineage::Compile(ProvExpr::Zero(), endo);
+  CompiledLineage one = CompiledLineage::Compile(ProvExpr::Base(99), endo);
+  EXPECT_EQ(zero.Eval64(0, &scratch), 0u);
+  EXPECT_EQ(one.Eval64(0, &scratch), ~uint64_t{0});
+  CompiledLineage var =
+      CompiledLineage::Compile(ProvExpr::Base(12), endo);  // bit 2
+  EXPECT_EQ(var.Eval64(0, &scratch), 0xF0F0F0F0F0F0F0F0ULL);
+  CompiledLineage hi =
+      CompiledLineage::Compile(ProvExpr::Base(17), endo);  // bit 7
+  EXPECT_EQ(hi.Eval64(0, &scratch), 0u);
+  EXPECT_EQ(hi.Eval64(1ULL << 7, &scratch), ~uint64_t{0});
+}
+
+TEST(CompiledLineageTest, SingleVarAndConstantClassification) {
+  std::vector<int> endo = {4, 6};
+  int bit = -1;
+  bool cval = true;
+  CompiledLineage var = CompiledLineage::Compile(
+      ProvExpr::Times(ProvExpr::Base(4), ProvExpr::Base(80)), endo);
+  EXPECT_TRUE(var.IsSingleVar(&bit));
+  EXPECT_EQ(bit, 0);
+  CompiledLineage zero = CompiledLineage::Compile(ProvExpr::Zero(), endo);
+  EXPECT_TRUE(zero.IsConst(&cval));
+  EXPECT_FALSE(cval);
+}
+
+TEST(SharedScanAggregateTest, MatchesRebuildPerCoalitionBitwise) {
+  // Four endogenous rows with non-trivially-summing double salaries: the
+  // shared-scan value must equal re-running select+aggregate on each
+  // sub-instance, bit for bit.
+  Relation emp("emp", {"name", "salary"});
+  const double salaries[] = {80.33, 120.1, 95.7, 100.25};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(emp.AppendBase({Value::Str("e" + std::to_string(i)),
+                                Value::Double(salaries[i])},
+                               i)
+                    .ok());
+  }
+  ExprPtr pred =
+      Expr::Gt(Expr::Column(1), Expr::Const(Value::Double(85.0)));
+  std::vector<int> endo = {0, 1, 2, 3};
+  auto all_rows = Select(emp, pred).ValueOrDie();
+
+  for (AggFn fn : {AggFn::kCount, AggFn::kSum, AggFn::kAvg, AggFn::kMin,
+                   AggFn::kMax}) {
+    auto shared = SharedScanAggregate::Build(all_rows, fn, 1, endo);
+    ASSERT_TRUE(shared.ok());
+    for (uint64_t mask = 0; mask < 16; ++mask) {
+      Relation sub("emp", emp.columns());
+      for (int i = 0; i < emp.num_tuples(); ++i) {
+        if ((mask >> i) & 1) {
+          ASSERT_TRUE(sub.Append(emp.tuple(i), emp.annotation(i)).ok());
+        }
+      }
+      auto rows = Select(sub, pred).ValueOrDie();
+      auto agg = GroupByAggregate(rows, {}, fn, 1, "a").ValueOrDie();
+      double naive =
+          agg.num_tuples() ? agg.tuple(0)[0].AsDouble() : 0.0;
+      EXPECT_EQ(Bits(shared->Eval(mask)), Bits(naive))
+          << "fn " << static_cast<int>(fn) << " mask " << mask;
+    }
+  }
+}
+
+TEST(SharedScanAggregateTest, DrivesNumericShapleyViaAdapter) {
+  Relation emp("emp", {"name", "salary"});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(emp.AppendBase({Value::Str("e" + std::to_string(i)),
+                                Value::Double(90.0 + 7.3 * i)},
+                               i)
+                    .ok());
+  }
+  ExprPtr pred =
+      Expr::Gt(Expr::Column(1), Expr::Const(Value::Double(95.0)));
+  std::vector<int> endo = {0, 1, 2, 3, 4};
+  auto rows = Select(emp, pred).ValueOrDie();
+  auto shared =
+      SharedScanAggregate::Build(rows, AggFn::kSum, 1, endo).ValueOrDie();
+
+  auto naive_value = [&](const std::vector<int>& present) {
+    std::set<int> p(present.begin(), present.end());
+    Relation sub("emp", emp.columns());
+    for (int i = 0; i < emp.num_tuples(); ++i) {
+      if (p.count(i)) {
+        EXPECT_TRUE(sub.Append(emp.tuple(i), emp.annotation(i)).ok());
+      }
+    }
+    auto selected = Select(sub, pred).ValueOrDie();
+    auto agg =
+        GroupByAggregate(selected, {}, AggFn::kSum, 1, "a").ValueOrDie();
+    return agg.num_tuples() ? agg.tuple(0)[0].AsDouble() : 0.0;
+  };
+
+  auto fast =
+      NumericQueryTupleShapley(shared.AsQueryValue(), endo).ValueOrDie();
+  auto slow = NumericQueryTupleShapley(naive_value, endo).ValueOrDie();
+  EXPECT_EQ(fast.exact, slow.exact);
+  EXPECT_EQ(fast.game_evaluations, slow.game_evaluations);
+  ASSERT_EQ(fast.values.size(), slow.values.size());
+  for (const auto& [id, value] : fast.values)
+    EXPECT_EQ(Bits(value), Bits(slow.values.at(id))) << "tuple " << id;
+}
+
+}  // namespace
+}  // namespace xai::rel

@@ -302,6 +302,80 @@ TEST(RelationTest, ArityEnforced) {
   EXPECT_FALSE(r.Append({Value::Int(1)}, ProvExpr::One()).ok());
 }
 
+TEST(OperatorsTest, EquiJoinNullKeysMatchAndDuplicatesFanOut) {
+  // NULL == NULL is true under Value equality, so NULL keys *join*;
+  // duplicate keys fan out a-major with b rows in ascending order.
+  Relation a("a", {"k", "tag"});
+  Relation b("b", {"k"});
+  TupleIdAllocator ids;
+  ASSERT_TRUE(a.AppendBase({Value::Int(1), Value::Str("a0")}, ids.Next()).ok());
+  ASSERT_TRUE(
+      a.AppendBase({Value::Null(), Value::Str("a1")}, ids.Next()).ok());
+  ASSERT_TRUE(a.AppendBase({Value::Int(2), Value::Str("a2")}, ids.Next()).ok());
+  ASSERT_TRUE(a.AppendBase({Value::Int(1), Value::Str("a3")}, ids.Next()).ok());
+  ASSERT_TRUE(b.AppendBase({Value::Int(1)}, ids.Next()).ok());   // t4
+  ASSERT_TRUE(b.AppendBase({Value::Null()}, ids.Next()).ok());   // t5
+  ASSERT_TRUE(b.AppendBase({Value::Int(1)}, ids.Next()).ok());   // t6
+  auto j = EquiJoin(a, b, 0, 0).ValueOrDie();
+  // a0 x {t4,t6}, a1 x {t5}, a2 x {}, a3 x {t4,t6}.
+  ASSERT_EQ(j.num_tuples(), 5);
+  EXPECT_EQ(j.tuple(0)[1].AsString(), "a0");
+  EXPECT_EQ(j.tuple(1)[1].AsString(), "a0");
+  EXPECT_EQ(j.tuple(2)[1].AsString(), "a1");
+  EXPECT_TRUE(j.tuple(2)[0].is_null());
+  EXPECT_TRUE(j.tuple(2)[2].is_null());
+  EXPECT_EQ(j.annotation(2)->Lineage(), (std::set<int>{1, 5}));
+  EXPECT_EQ(j.tuple(3)[1].AsString(), "a3");
+  EXPECT_EQ(j.annotation(4)->Lineage(), (std::set<int>{3, 6}));
+}
+
+TEST(OperatorsTest, GroupByAggregateOnEmptyInput) {
+  Relation empty("e", {"g", "v"});
+  for (AggFn fn :
+       {AggFn::kCount, AggFn::kSum, AggFn::kAvg, AggFn::kMin, AggFn::kMax}) {
+    auto out = GroupByAggregate(empty, {0}, fn, 1, "agg").ValueOrDie();
+    EXPECT_EQ(out.num_tuples(), 0);
+    ASSERT_EQ(out.num_columns(), 2);
+    EXPECT_EQ(out.columns()[1], "agg");
+  }
+}
+
+TEST(OperatorsTest, AggregatesOverAllNullColumn) {
+  // NULL coerces to 0.0 under Value::AsDouble, so aggregates over an
+  // all-NULL column see zeros: count still counts rows, avg/min are 0.
+  Relation r("n", {"g", "v"});
+  TupleIdAllocator ids;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        r.AppendBase({Value::Str("g"), Value::Null()}, ids.Next()).ok());
+  }
+  auto cnt = GroupByAggregate(r, {0}, AggFn::kCount, -1, "c").ValueOrDie();
+  ASSERT_EQ(cnt.num_tuples(), 1);
+  EXPECT_EQ(cnt.tuple(0)[1].AsInt(), 3);
+  auto avg = GroupByAggregate(r, {0}, AggFn::kAvg, 1, "a").ValueOrDie();
+  EXPECT_DOUBLE_EQ(avg.tuple(0)[1].AsDouble(), 0.0);
+  auto mn = GroupByAggregate(r, {0}, AggFn::kMin, 1, "m").ValueOrDie();
+  EXPECT_DOUBLE_EQ(mn.tuple(0)[1].AsDouble(), 0.0);
+}
+
+TEST(OperatorsTest, ProjectDistinctAddsAnnotationsAcrossRenderings) {
+  // INT 2 and DOUBLE 2.0 render identically ("2"), so distinct merges
+  // them and their provenance combines with +; the merged tuple keeps the
+  // first appearance's value.
+  Relation r("m", {"x"});
+  TupleIdAllocator ids;
+  ASSERT_TRUE(r.AppendBase({Value::Int(2)}, ids.Next()).ok());
+  ASSERT_TRUE(r.AppendBase({Value::Double(2.0)}, ids.Next()).ok());
+  ASSERT_TRUE(r.AppendBase({Value::Int(3)}, ids.Next()).ok());
+  auto d = Project(r, {0}, /*distinct=*/true).ValueOrDie();
+  ASSERT_EQ(d.num_tuples(), 2);
+  EXPECT_EQ(d.tuple(0)[0].type(), Value::Type::kInt);
+  EXPECT_EQ(d.annotation(0)->kind(), ProvExpr::Kind::kPlus);
+  EXPECT_EQ(d.annotation(0)->EvalCount([](int) { return 1; }), 2);
+  EXPECT_EQ(d.annotation(0)->Lineage(), (std::set<int>{0, 1}));
+  EXPECT_EQ(d.annotation(1)->kind(), ProvExpr::Kind::kBase);
+}
+
 TEST(ExpressionTest, ArithmeticAndLogic) {
   Tuple t = {Value::Int(10), Value::Int(3)};
   auto sum = Expr::Add(Expr::Column(0), Expr::Column(1));

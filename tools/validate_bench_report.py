@@ -70,6 +70,31 @@ E24_FLOOR_GATES = {
     "global_speedup_max": 1.05,
 }
 
+# bench_e25's acceptance gates. The bit-identity metrics are exact — the
+# columnar engine must reproduce the row engine to the last bit (values,
+# types, provenance polynomials) at 1/4/8 threads. The speedup floors sit
+# below the numbers measured on the 1-CPU CI container (scan ~60x, filter
+# ~3.2-3.6x, aggregate ~6.5x, join ~1.8-2.0x, compiled lineage ~1.2-1.4x,
+# shared-scan Shapley ~36-67x): the engine claim is >= 3x on the
+# scan/filter/aggregate kernels; the join is bounded by output
+# materialization and the lineage micro by the interpreter's own
+# short-circuiting, so their floors are correspondingly lower.
+E25_EQ_GATES = {
+    "pipeline_bit_identical_t1": 1.0,
+    "pipeline_bit_identical_t4": 1.0,
+    "pipeline_bit_identical_t8": 1.0,
+    "lineage_identical": 1.0,
+    "shapley_bit_identical": 1.0,
+}
+E25_FLOOR_GATES = {
+    "scan_speedup": 3.0,
+    "filter_speedup": 3.0,
+    "aggregate_speedup": 3.0,
+    "join_speedup": 1.5,
+    "lineage_eval_speedup": 1.0,
+    "shapley_speedup_max": 2.0,
+}
+
 
 def fail(msg):
     print(f"FAIL: {msg}", file=sys.stderr)
@@ -126,11 +151,13 @@ def check_provenance(path):
 
 def main():
     usage = (f"usage: {sys.argv[0]} BENCH_<id>.json [--require-telemetry] "
-             "[--require-empty-trace] [--provenance FILE] [--e23] [--e24]")
+             "[--require-empty-trace] [--provenance FILE] [--e23] [--e24] "
+             "[--e25]")
     require_telemetry = False
     require_empty_trace = False
     check_e23 = False
     check_e24 = False
+    check_e25 = False
     provenance_path = None
     positional = []
     argv = sys.argv[1:]
@@ -145,6 +172,8 @@ def main():
             check_e23 = True
         elif a == "--e24":
             check_e24 = True
+        elif a == "--e25":
+            check_e25 = True
         elif a == "--provenance":
             if i + 1 >= len(argv):
                 fail(usage)
@@ -193,13 +222,15 @@ def main():
             fail("--require-telemetry but report says telemetry_compiled "
                  "is false")
         # Every bench drives work through the model, a valuation utility,
-        # or the flat TreeSHAP kernel; one of these counters must have
-        # fired (e08's kNN utility never touches a Model, and e24's tree
-        # walks are not model evaluations, so model/evals alone is too
-        # strict).
+        # the flat TreeSHAP kernel, or the columnar relational operators;
+        # one of these counters must have fired (e08's kNN utility never
+        # touches a Model, e24's tree walks are not model evaluations, and
+        # e25's operators process relations rather than models, so
+        # model/evals alone is too strict).
         work = {name: telemetry["counters"].get(name, 0)
                 for name in ("model/evals", "valuation/utility_calls",
-                             "tree_shap/flat_rows")}
+                             "tree_shap/flat_rows",
+                             "relational/columnar_rows")}
         if not any(isinstance(v, int) and v > 0 for v in work.values()):
             fail(f"no work counter is positive: {work}")
         if not telemetry["histograms"]:
@@ -264,6 +295,25 @@ def main():
         counters = telemetry["counters"]
         if counters.get("tree_shap/flat_rows", 0) <= 0:
             fail("e24 ran without the flat kernel counting rows")
+
+    if check_e25:
+        if report["id"] != "e25":
+            fail(f"--e25 against report id {report['id']!r}")
+        for name, want in E25_EQ_GATES.items():
+            got = report["metrics"].get(name)
+            if got is None:
+                fail(f"e25 gate metric {name!r} missing")
+            if got != want:
+                fail(f"e25 gate {name} = {got}, want {want}")
+        for name, floor in E25_FLOOR_GATES.items():
+            got = report["metrics"].get(name)
+            if got is None:
+                fail(f"e25 gate metric {name!r} missing")
+            if got < floor:
+                fail(f"e25 gate {name} = {got}, want >= {floor}")
+        counters = telemetry["counters"]
+        if counters.get("relational/columnar_rows", 0) <= 0:
+            fail("e25 ran without the columnar operators counting rows")
 
     provenance_records = 0
     if provenance_path is not None:
